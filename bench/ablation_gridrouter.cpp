@@ -1,0 +1,74 @@
+// Ablation D: any-direction vs tile-grid optical routing. GLOW [4] is a
+// tile-based global router; OPERON's optical baselines route in any
+// direction (§2.3). This bench quantifies the difference on the Table 1
+// cases: waveguide length (grid pays the Manhattan factor), bends,
+// congestion rounds, optical admission, and total power, for the same
+// candidate sets.
+
+#include <cstdio>
+
+#include "baseline/routers.hpp"
+#include "benchgen/benchgen.hpp"
+#include "core/flow.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace operon;
+  const util::Cli cli(argc, argv);
+
+  std::printf("=== Ablation D: any-direction (GLOW-like) vs tile-grid maze "
+              "optical routing ===\n\n");
+
+  grid::GridOptions grid_options;
+  grid_options.tiles = static_cast<std::size_t>(cli.get_int("tiles", 28));
+
+  util::Table table({"Bench", "router", "waveguide (mm)", "bends",
+                     "optical nets", "fallbacks", "power (pJ)", "rounds"});
+  for (const std::string& id : benchgen::table1_cases()) {
+    const model::Design design =
+        benchgen::generate_benchmark(benchgen::table1_spec(id));
+    core::OperonOptions options;
+    options.solver = core::SolverKind::Lr;
+    options.run_wdm_stage = false;
+    const core::OperonResult prep = core::run_operon(design, options);
+
+    const auto straight =
+        baseline::route_optical_glow(prep.sets, options.params);
+    double straight_wl = 0.0;
+    for (const auto& cand : straight.chosen) straight_wl += cand.optical_wl_um;
+    table.add_row({id, "any-direction", util::fixed(straight_wl / 1000.0, 1),
+                   "-", std::to_string(straight.optical_nets),
+                   std::to_string(straight.detection_fallbacks),
+                   util::fixed(straight.total_power_pj, 1), "-"});
+
+    const auto gridded =
+        baseline::route_optical_grid(prep.sets, options.params, grid_options);
+    double grid_wl = 0.0;
+    for (const auto& cand : gridded.routing.chosen) {
+      grid_wl += cand.optical_wl_um;
+    }
+    table.add_row({id, "tile-grid", util::fixed(grid_wl / 1000.0, 1),
+                   std::to_string(gridded.total_bends),
+                   std::to_string(gridded.routing.optical_nets),
+                   std::to_string(gridded.routing.detection_fallbacks),
+                   util::fixed(gridded.routing.total_power_pj, 1),
+                   std::to_string(gridded.maze_stats.rounds)});
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf(
+      "Reading the table: grid waveguides are ~1.4-1.8x longer (Manhattan "
+      "factor + tile snapping) and pay hundreds of bends; yet the grid "
+      "router admits MORE nets optically. That is corridor bundling: "
+      "negotiated maze routes share tile corridors, so their segments "
+      "become collinear, and collinear waveguides are parallel — they do "
+      "not cross. The segment-level crossing model therefore sees far "
+      "fewer crossings than the any-direction geometry. This is partly "
+      "physical (bundled parallel waveguides really do not intersect) "
+      "and partly an undercount (routes diverging from a shared corridor "
+      "must weave past their bundle-mates, which tile-level congestion "
+      "models capture but segment intersection tests do not). Treat the "
+      "grid rows as a bound: real tile routers sit between the two.\n");
+  return 0;
+}

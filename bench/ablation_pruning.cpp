@@ -1,0 +1,65 @@
+// Ablation A: the co-design DP's inferior-solution pruning (Fig 5's
+// mechanism). We compare candidate generation with (a) full Pareto
+// pruning + pool cap, (b) pool cap only, (c) tight pool caps, measuring
+// generation runtime, candidate counts, and the final OPERON(LR) power.
+// The expected result: pruning costs no measurable quality while keeping
+// the candidate explosion in check — the paper's O(|Nc||d|) claim relies
+// on it.
+
+#include <cstdio>
+
+#include "benchgen/benchgen.hpp"
+#include "core/flow.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace operon;
+  const util::Cli cli(argc, argv);
+  const std::string id = cli.get("bench", "I1");
+
+  std::printf("=== Ablation A: DP Pareto pruning (case %s) ===\n\n",
+              id.c_str());
+  const model::Design design =
+      benchgen::generate_benchmark(benchgen::table1_spec(id));
+
+  struct Config {
+    const char* name;
+    std::size_t max_labels;
+    bool prune_dominated;
+  };
+  const Config configs[] = {
+      {"pareto + cap 24 (default)", 24, true},
+      {"pareto + cap 8", 8, true},
+      {"cap 24, no pareto", 24, false},
+      {"pareto, no cap", 0, true},
+  };
+
+  util::Table table({"configuration", "gen time (s)", "avg candidates/net",
+                     "LR power (pJ)", "LR CPU (s)"});
+  for (const Config& config : configs) {
+    core::OperonOptions options;
+    options.solver = core::SolverKind::Lr;
+    options.run_wdm_stage = false;
+    options.generation.dp.max_labels = config.max_labels;
+    options.generation.dp.prune_dominated = config.prune_dominated;
+
+    util::Timer timer;
+    const core::OperonResult result = core::run_operon(design, options);
+    std::size_t candidates = 0;
+    for (const auto& set : result.sets) candidates += set.options.size();
+    table.add_row({config.name, util::fixed(result.times.generation_s, 2),
+                   util::fixed(static_cast<double>(candidates) /
+                                   static_cast<double>(result.sets.size()),
+                               2),
+                   util::fixed(result.power_pj, 1),
+                   util::fixed(result.times.selection_s, 2)});
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf("Expected: identical (or near-identical) power across rows; "
+              "pruning/capping trades nothing measurable for bounded label "
+              "growth.\n");
+  return 0;
+}

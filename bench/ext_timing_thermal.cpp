@@ -1,0 +1,108 @@
+// Extension experiments beyond the paper's tables:
+//
+//  E1 — interconnect timing: worst/mean source-to-sink delay of the
+//       all-electrical design vs the OPERON design (the intro's
+//       "interconnect delay becomes a bottleneck" motivation, measured),
+//       plus the raw electrical/optical delay crossover length.
+//
+//  E2 — ring thermal tuning (refs [2]/[6]): the electrical layer heats
+//       the die; resonant EO/OE rings pay tuning power proportional to
+//       their temperature offset. Compares GLOW vs OPERON tuning energy
+//       on each Table 1 case — a cooler electrical layer (Fig 9) also
+//       buys cheaper ring tuning.
+
+#include <cstdio>
+
+#include "baseline/routers.hpp"
+#include "benchgen/benchgen.hpp"
+#include "core/flow.hpp"
+#include "thermal/thermal.hpp"
+#include "timing/timing.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace operon;
+  const timing::TimingParams timing_params = timing::TimingParams::defaults();
+
+  std::printf("=== E1: interconnect timing (electrical vs OPERON) ===\n\n");
+  std::printf("electrical/optical delay crossover: %.0f um\n\n",
+              timing::delay_crossover_um(timing_params));
+
+  util::Table timing_table({"Bench", "elec worst (ps)", "elec mean (ps)",
+                            "OPERON worst (ps)", "OPERON mean (ps)",
+                            "speedup"});
+  util::Table thermal_table({"Bench", "GLOW Tmax (C)", "OPERON Tmax (C)",
+                             "GLOW pJ/ring", "OPERON pJ/ring",
+                             "per-ring saving"});
+  const thermal::ThermalParams thermal_params;
+
+  for (const std::string& id : benchgen::table1_cases()) {
+    const model::Design design =
+        benchgen::generate_benchmark(benchgen::table1_spec(id));
+    core::OperonOptions options;
+    options.solver = core::SolverKind::Lr;
+    options.run_wdm_stage = false;
+    const core::OperonResult result = core::run_operon(design, options);
+
+    // E1: timing.
+    codesign::SelectionEvaluator evaluator(result.sets, options.params);
+    const auto electrical_selection = evaluator.all_electrical();
+    const auto elec_timing = timing::analyze_selection(
+        result.sets, electrical_selection, timing_params);
+    const auto operon_timing =
+        timing::analyze_selection(result.sets, result.selection, timing_params);
+    timing_table.add_row(
+        {id, util::fixed(elec_timing.worst_delay_ps, 1),
+         util::fixed(elec_timing.mean_worst_delay_ps, 1),
+         util::fixed(operon_timing.worst_delay_ps, 1),
+         util::fixed(operon_timing.mean_worst_delay_ps, 1),
+         util::fixed(elec_timing.mean_worst_delay_ps /
+                         std::max(operon_timing.mean_worst_delay_ps, 1e-9),
+                     2) +
+             "x"});
+
+    // E2: thermal tuning.
+    const auto glow = baseline::route_optical_glow(result.sets, options.params);
+    std::vector<codesign::Candidate> operon_chosen;
+    for (std::size_t i = 0; i < result.sets.size(); ++i) {
+      operon_chosen.push_back(result.sets[i].options[result.selection[i]]);
+    }
+    const auto glow_thermal = thermal::analyze(
+        design.chip, result.sets, glow.chosen, options.params, thermal_params);
+    const auto operon_thermal =
+        thermal::analyze(design.chip, result.sets, operon_chosen,
+                         options.params, thermal_params);
+    const double glow_per_ring =
+        glow_thermal.rings.empty()
+            ? 0.0
+            : glow_thermal.total_tuning_pj / glow_thermal.rings.size();
+    const double operon_per_ring =
+        operon_thermal.rings.empty()
+            ? 0.0
+            : operon_thermal.total_tuning_pj / operon_thermal.rings.size();
+    const double saving =
+        glow_per_ring > 0
+            ? 100.0 * (glow_per_ring - operon_per_ring) / glow_per_ring
+            : 0.0;
+    thermal_table.add_row(
+        {id, util::fixed(glow_thermal.max_temperature_c, 1),
+         util::fixed(operon_thermal.max_temperature_c, 1),
+         util::fixed(glow_per_ring, 3), util::fixed(operon_per_ring, 3),
+         util::fixed(saving, 1) + "%"});
+  }
+  std::printf("%s\n", timing_table.to_text().c_str());
+  std::printf("Expected: the hybrid design's mean delay beats all-copper "
+              "(optical time-of-flight + fixed conversion latency vs "
+              "repeatered RC) wherever nets are long.\n\n");
+
+  std::printf("=== E2: ring thermal tuning (GLOW vs OPERON) ===\n\n%s\n",
+              thermal_table.to_text().c_str());
+  std::printf("Expected: OPERON's cooler electrical layer (Fig 9) lowers "
+              "die temperature peaks, so each resonant ring sits closer "
+              "to its design-time tuning point and pays less tuning "
+              "energy (OPERON routes more nets optically, so its total "
+              "ring count is larger — the per-ring energy is the fair "
+              "comparison).\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Fig 9 reproduction: power-consumption distribution of I2 on the
+// optical and electrical layers, for GLOW and OPERON. The paper's
+// observation: the optical-layer hotspot maps are similar (similar
+// EO/OE conversion volumes), while OPERON's electrical layer is much
+// cooler (far fewer electrical wires). We print total/max/hotspot-share
+// statistics per layer plus coarse ASCII heat maps, and write the full
+// grids as CSV next to the binary for external plotting.
+
+#include <cstdio>
+#include <fstream>
+
+#include "baseline/routers.hpp"
+#include "benchgen/benchgen.hpp"
+#include "core/flow.hpp"
+#include "core/powermap.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace operon;
+  const util::Cli cli(argc, argv);
+  const std::string id = cli.get("bench", "I2");
+  const auto cells = static_cast<std::size_t>(cli.get_int("cells", 48));
+
+  std::printf("=== Fig 9: power distribution of %s (GLOW vs OPERON) ===\n\n",
+              id.c_str());
+
+  const model::Design design =
+      benchgen::generate_benchmark(benchgen::table1_spec(id));
+  core::OperonOptions options;
+  options.solver = core::SolverKind::Lr;
+  options.run_wdm_stage = false;
+  const core::OperonResult result = core::run_operon(design, options);
+
+  const auto glow = baseline::route_optical_glow(result.sets, options.params);
+  std::vector<codesign::Candidate> operon_chosen;
+  operon_chosen.reserve(result.sets.size());
+  for (std::size_t i = 0; i < result.sets.size(); ++i) {
+    operon_chosen.push_back(result.sets[i].options[result.selection[i]]);
+  }
+
+  const core::PowerMap glow_map = core::build_power_map(
+      design.chip, result.sets, glow.chosen, options.params, cells);
+  const core::PowerMap operon_map = core::build_power_map(
+      design.chip, result.sets, operon_chosen, options.params, cells);
+
+  const std::size_t top = cells * cells / 20;  // hottest 5% of cells
+  util::Table table({"layer / metric", "GLOW", "OPERON", "OPERON/GLOW"});
+  const auto ratio = [](double a, double b) {
+    return b > 0 ? util::fixed(a / b, 3) : std::string("-");
+  };
+  table.add_row({"optical total (pJ)", util::fixed(glow_map.total_optical(), 1),
+                 util::fixed(operon_map.total_optical(), 1),
+                 ratio(operon_map.total_optical(), glow_map.total_optical())});
+  table.add_row({"optical max cell (pJ)", util::fixed(glow_map.max_optical(), 2),
+                 util::fixed(operon_map.max_optical(), 2),
+                 ratio(operon_map.max_optical(), glow_map.max_optical())});
+  table.add_row({"optical top-5% share",
+                 util::fixed(glow_map.optical_hotspot_share(top), 3),
+                 util::fixed(operon_map.optical_hotspot_share(top), 3),
+                 ratio(operon_map.optical_hotspot_share(top),
+                       glow_map.optical_hotspot_share(top))});
+  table.add_row(
+      {"electrical total (pJ)", util::fixed(glow_map.total_electrical(), 1),
+       util::fixed(operon_map.total_electrical(), 1),
+       ratio(operon_map.total_electrical(), glow_map.total_electrical())});
+  table.add_row(
+      {"electrical max cell (pJ)", util::fixed(glow_map.max_electrical(), 2),
+       util::fixed(operon_map.max_electrical(), 2),
+       ratio(operon_map.max_electrical(), glow_map.max_electrical())});
+  std::printf("%s\n", table.to_text().c_str());
+
+  std::printf("Expectation from the paper: optical rows similar (ratio near "
+              "1), electrical rows much cooler for OPERON (ratio well below "
+              "1).\n\n");
+
+  const std::size_t down = cells / 24 + 1;
+  std::printf("(a) GLOW optical layer:\n%s\n",
+              glow_map.ascii(true, down).c_str());
+  std::printf("(b) GLOW electrical layer:\n%s\n",
+              glow_map.ascii(false, down).c_str());
+  std::printf("(c) OPERON optical layer:\n%s\n",
+              operon_map.ascii(true, down).c_str());
+  std::printf("(d) OPERON electrical layer:\n%s\n",
+              operon_map.ascii(false, down).c_str());
+
+  for (const auto& [name, map] :
+       {std::pair<const char*, const core::PowerMap*>{"fig9_glow.csv",
+                                                      &glow_map},
+        std::pair<const char*, const core::PowerMap*>{"fig9_operon.csv",
+                                                      &operon_map}}) {
+    std::ofstream os(name);
+    os << map->to_csv();
+    std::printf("wrote %s\n", name);
+  }
+  return 0;
+}

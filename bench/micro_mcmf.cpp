@@ -1,0 +1,68 @@
+// Microbenchmarks for the min-cost max-flow substrate on assignment-like
+// networks shaped like the §4.2 WDM graph (source -> connections ->
+// WDMs -> sink).
+
+#include <benchmark/benchmark.h>
+
+#include "flow/mcmf.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void BM_WdmShapedAssignment(benchmark::State& state) {
+  const std::size_t connections = static_cast<std::size_t>(state.range(0));
+  const std::size_t wdms = connections / 3 + 1;
+  operon::util::Rng rng(7);
+  // Pre-generate topology data so each iteration builds + solves.
+  std::vector<std::int64_t> bits(connections);
+  for (auto& b : bits) b = rng.uniform_int(1, 24);
+  std::vector<std::vector<std::pair<std::size_t, double>>> windows(connections);
+  for (std::size_t c = 0; c < connections; ++c) {
+    const std::size_t fan = 1 + static_cast<std::size_t>(rng.uniform_int(0, 3));
+    for (std::size_t k = 0; k < fan; ++k) {
+      windows[c].push_back(
+          {static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(wdms) - 1)),
+           rng.uniform(0.0, 1.0)});
+    }
+  }
+  for (auto _ : state) {
+    operon::flow::MinCostMaxFlow graph(2 + connections + wdms);
+    std::int64_t demand = 0;
+    for (std::size_t c = 0; c < connections; ++c) {
+      graph.add_edge(0, 2 + c, bits[c], 0.0);
+      demand += bits[c];
+      for (const auto& [w, cost] : windows[c]) {
+        graph.add_edge(2 + c, 2 + connections + w, bits[c], cost);
+      }
+    }
+    for (std::size_t w = 0; w < wdms; ++w) {
+      graph.add_edge(2 + connections + w, 1, 32,
+                     10.0 + static_cast<double>(w));
+    }
+    benchmark::DoNotOptimize(graph.solve(0, 1, demand));
+  }
+}
+BENCHMARK(BM_WdmShapedAssignment)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_DenseBipartite(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  operon::util::Rng rng(11);
+  std::vector<double> costs(n * n);
+  for (auto& c : costs) c = rng.uniform(0.0, 10.0);
+  for (auto _ : state) {
+    operon::flow::MinCostMaxFlow graph(2 + 2 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      graph.add_edge(0, 2 + i, 1, 0.0);
+      graph.add_edge(2 + n + i, 1, 1, 0.0);
+      for (std::size_t j = 0; j < n; ++j) {
+        graph.add_edge(2 + i, 2 + n + j, 1, costs[i * n + j]);
+      }
+    }
+    benchmark::DoNotOptimize(graph.solve(0, 1));
+  }
+}
+BENCHMARK(BM_DenseBipartite)->Arg(8)->Arg(32)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

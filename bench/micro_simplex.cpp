@@ -1,0 +1,89 @@
+// Microbenchmarks for the LP/MIP substrate: dense two-phase simplex and
+// branch-and-bound on knapsack/one-hot structures like the OPERON ILP.
+
+#include <benchmark/benchmark.h>
+
+#include "ilp/bnb.hpp"
+#include "ilp/simplex.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+operon::ilp::Model random_lp(std::size_t vars, std::size_t rows,
+                             std::uint64_t seed) {
+  operon::util::Rng rng(seed);
+  operon::ilp::Model model;
+  operon::ilp::LinearExpr objective;
+  for (std::size_t v = 0; v < vars; ++v) {
+    model.add_continuous(0.0, 10.0);
+    objective.push_back({v, rng.uniform(-5.0, 5.0)});
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    operon::ilp::LinearExpr expr;
+    for (std::size_t v = 0; v < vars; ++v) {
+      if (rng.bernoulli(0.4)) expr.push_back({v, rng.uniform(0.1, 3.0)});
+    }
+    if (expr.empty()) expr.push_back({0, 1.0});
+    model.add_constraint(std::move(expr), operon::ilp::Relation::LessEq,
+                         rng.uniform(5.0, 25.0));
+  }
+  model.set_objective(std::move(objective), operon::ilp::Sense::Minimize);
+  return model;
+}
+
+void BM_SimplexRandomLp(benchmark::State& state) {
+  const auto model = random_lp(static_cast<std::size_t>(state.range(0)),
+                               static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(operon::ilp::solve_lp(model));
+  }
+}
+BENCHMARK(BM_SimplexRandomLp)->Arg(10)->Arg(30)->Arg(60);
+
+void BM_BnbKnapsack(benchmark::State& state) {
+  operon::util::Rng rng(9);
+  operon::ilp::Model model;
+  operon::ilp::LinearExpr weight, value;
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto v = model.add_binary();
+    weight.push_back({v, rng.uniform(1.0, 9.0)});
+    value.push_back({v, rng.uniform(1.0, 9.0)});
+  }
+  model.add_constraint(std::move(weight), operon::ilp::Relation::LessEq,
+                       static_cast<double>(n));
+  model.set_objective(std::move(value), operon::ilp::Sense::Maximize);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(operon::ilp::solve_mip(model));
+  }
+}
+BENCHMARK(BM_BnbKnapsack)->Arg(8)->Arg(14)->Arg(20);
+
+void BM_BnbOneHotSelection(benchmark::State& state) {
+  // The OPERON structure: one-hot groups with a shared soft budget.
+  operon::util::Rng rng(13);
+  operon::ilp::Model model;
+  operon::ilp::LinearExpr objective, budget;
+  const std::size_t groups = static_cast<std::size_t>(state.range(0));
+  for (std::size_t g = 0; g < groups; ++g) {
+    operon::ilp::LinearExpr onehot;
+    for (int c = 0; c < 4; ++c) {
+      const auto v = model.add_binary();
+      onehot.push_back({v, 1.0});
+      objective.push_back({v, rng.uniform(1.0, 20.0)});
+      budget.push_back({v, rng.uniform(0.0, 2.0)});
+    }
+    model.add_constraint(std::move(onehot), operon::ilp::Relation::Equal, 1.0);
+  }
+  model.add_constraint(std::move(budget), operon::ilp::Relation::LessEq,
+                       static_cast<double>(groups));
+  model.set_objective(std::move(objective), operon::ilp::Sense::Minimize);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(operon::ilp::solve_mip(model));
+  }
+}
+BENCHMARK(BM_BnbOneHotSelection)->Arg(4)->Arg(8)->Arg(12);
+
+}  // namespace
+
+BENCHMARK_MAIN();

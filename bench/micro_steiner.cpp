@@ -1,0 +1,76 @@
+// Microbenchmarks for the Steiner engine: MST, BI1S (both metrics),
+// baseline generation, and crossing counting — the inner loops of
+// candidate generation.
+
+#include <benchmark/benchmark.h>
+
+#include "codesign/crossing.hpp"
+#include "steiner/bi1s.hpp"
+#include "steiner/mst.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+std::vector<operon::geom::Point> random_points(std::size_t n,
+                                               std::uint64_t seed) {
+  operon::util::Rng rng(seed);
+  std::vector<operon::geom::Point> pts(n);
+  for (auto& p : pts) p = {rng.uniform(0, 20000), rng.uniform(0, 20000)};
+  return pts;
+}
+
+void BM_Mst(benchmark::State& state) {
+  const auto pts = random_points(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        operon::steiner::mst_length(pts, operon::steiner::Metric::Euclidean));
+  }
+}
+BENCHMARK(BM_Mst)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_Bi1sEuclidean(benchmark::State& state) {
+  const auto pts = random_points(static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        operon::steiner::bi1s(pts, {.metric = operon::steiner::Metric::Euclidean}));
+  }
+}
+BENCHMARK(BM_Bi1sEuclidean)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_Bi1sRectilinear(benchmark::State& state) {
+  const auto pts = random_points(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(operon::steiner::bi1s(
+        pts, {.metric = operon::steiner::Metric::Rectilinear}));
+  }
+}
+BENCHMARK(BM_Bi1sRectilinear)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_GenerateBaselines(benchmark::State& state) {
+  const auto pts = random_points(6, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(operon::steiner::generate_baselines(
+        pts, operon::steiner::Metric::Euclidean, 3));
+  }
+}
+BENCHMARK(BM_GenerateBaselines);
+
+void BM_SegmentIndexQuery(benchmark::State& state) {
+  operon::util::Rng rng(5);
+  const operon::geom::BBox chip = operon::geom::BBox::of({0, 0}, {20000, 20000});
+  operon::codesign::SegmentIndex index(chip, 64);
+  const std::size_t segments = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < segments; ++i) {
+    index.add(i, {{rng.uniform(0, 20000), rng.uniform(0, 20000)},
+                  {rng.uniform(0, 20000), rng.uniform(0, 20000)}});
+  }
+  const operon::geom::Segment probe{{1000, 1000}, {19000, 18000}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.count_crossings(probe, 1u << 30));
+  }
+}
+BENCHMARK(BM_SegmentIndexQuery)->Arg(100)->Arg(1000)->Arg(4000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

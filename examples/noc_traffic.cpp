@@ -1,0 +1,102 @@
+// Scenario: a 4x4 tile NoC-style traffic pattern with narrow
+// crisscrossing links — the congested regime where crossing loss forces
+// real optical-electrical trade-offs. East-west and north-south flows
+// cross in the chip center; OPERON's detour baselines and the global
+// selection keep more nets optical than the GLOW-like baseline, and the
+// example prints which nets ended up hybrid or on copper and why.
+
+#include <cstdio>
+
+#include "baseline/routers.hpp"
+#include "core/flow.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace operon;
+  util::Rng rng(7);
+
+  model::Design design;
+  design.name = "noc_traffic";
+  design.chip = geom::BBox::of({0, 0}, {20000, 20000});
+
+  const auto tile_center = [](int tx, int ty) {
+    return geom::Point{2500.0 + 5000.0 * tx, 2500.0 + 5000.0 * ty};
+  };
+
+  // Row streams (west->east) and column streams (south->north), 8 bits
+  // each, plus a few random long-haul flows.
+  int id = 0;
+  const auto add_flow = [&](const geom::Point& src, const geom::Point& dst) {
+    model::SignalGroup group;
+    group.name = "flow" + std::to_string(id++);
+    for (int b = 0; b < 8; ++b) {
+      model::SignalBit bit;
+      bit.source = {{src.x + rng.uniform(0, 100), src.y + rng.uniform(0, 100)},
+                    model::PinRole::Source};
+      bit.sinks.push_back(
+          {{dst.x + rng.uniform(0, 100), dst.y + rng.uniform(0, 100)},
+           model::PinRole::Sink});
+      group.bits.push_back(std::move(bit));
+    }
+    design.groups.push_back(std::move(group));
+  };
+  for (int row = 0; row < 4; ++row) {
+    add_flow(tile_center(0, row), tile_center(3, row));
+    add_flow(tile_center(3, row), tile_center(0, row));
+  }
+  for (int col = 0; col < 4; ++col) {
+    add_flow(tile_center(col, 0), tile_center(col, 3));
+    add_flow(tile_center(col, 3), tile_center(col, 0));
+  }
+  for (int extra = 0; extra < 4; ++extra) {
+    add_flow(tile_center(static_cast<int>(rng.uniform_int(0, 1)),
+                         static_cast<int>(rng.uniform_int(0, 3))),
+             tile_center(static_cast<int>(rng.uniform_int(2, 3)),
+                         static_cast<int>(rng.uniform_int(0, 3))));
+  }
+
+  core::OperonOptions options;
+  options.solver = core::SolverKind::IlpExact;
+  options.select.time_limit_s = 15.0;
+  // A tight detector budget makes the center congestion bite: streams
+  // crossing the chip middle must detour, hybridize, or drop to copper.
+  options.params.optical.max_loss_db = 7.0;
+  const core::OperonResult result = core::run_operon(design, options);
+  const auto glow = baseline::route_optical_glow(result.sets, options.params);
+  const auto electrical = baseline::route_electrical(result.sets, options.params);
+
+  std::printf("=== 4x4 tile NoC traffic (16 row/column streams + 4 random "
+              "flows, 8 bits each, tight 7 dB budget) ===\n\n");
+  std::printf("electrical: %.1f pJ | GLOW-like: %.1f pJ (%zu optical, %zu "
+              "fallbacks) | OPERON: %.1f pJ (%zu optical)\n\n",
+              electrical.total_power_pj, glow.total_power_pj,
+              glow.optical_nets, glow.detection_fallbacks, result.power_pj,
+              result.optical_nets);
+
+  codesign::SelectionEvaluator evaluator(result.sets, options.params);
+  for (std::size_t i = 0; i < result.sets.size(); ++i) {
+    const auto& set = result.sets[i];
+    const auto& cand = set.options[result.selection[i]];
+    double worst = 0.0;
+    for (std::size_t p = 0; p < cand.paths.size(); ++p) {
+      worst = std::max(worst, evaluator.path_loss_db(result.selection, i,
+                                                     result.selection[i], p));
+    }
+    const char* route_kind =
+        cand.pure_electrical()
+            ? "electrical"
+            : (cand.electrical_wl_um > 0.0 ? "hybrid" : "optical");
+    const bool detour = !cand.pure_electrical() && cand.baseline > 0;
+    std::printf("  net %2zu: %-10s baseline %zu%s power %6.2f pJ, worst loss "
+                "%5.2f dB, %zu crossings-sensitive paths\n",
+                i, route_kind, cand.baseline, detour ? " (detour)" : "",
+                cand.power_pj, worst, cand.paths.size());
+  }
+  std::printf("\nInterpretation: center-crossing streams accumulate "
+              "crossing loss; the selection keeps them under the %.1f dB "
+              "budget by detouring or converting parts of the tree to "
+              "copper instead of abandoning optics entirely.\n",
+              options.params.optical.max_loss_db);
+  return 0;
+}

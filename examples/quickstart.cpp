@@ -1,0 +1,79 @@
+// Quickstart: build a tiny design in code, run the full OPERON pipeline
+// (Fig 2), and inspect the result. This is the 60-second tour of the
+// public API.
+
+#include <cstdio>
+
+#include "core/flow.hpp"
+
+int main() {
+  using namespace operon;
+
+  // 1. Describe the design: a 2 cm chip with two signal groups.
+  //    Group "dbus": a 16-bit bus from a logic block near (2mm, 2mm) to a
+  //    memory interface near (14mm, 12mm). Group "ctl": a 4-bit control
+  //    bundle with two fan-out destinations.
+  model::Design design;
+  design.name = "quickstart";
+  design.chip = geom::BBox::of({0, 0}, {20000, 20000});
+
+  model::SignalGroup dbus;
+  dbus.name = "dbus";
+  for (int b = 0; b < 16; ++b) {
+    model::SignalBit bit;
+    bit.source = {{2000.0 + 10 * b, 2000.0}, model::PinRole::Source};
+    bit.sinks.push_back({{14000.0 + 10 * b, 12000.0}, model::PinRole::Sink});
+    dbus.bits.push_back(std::move(bit));
+  }
+  design.groups.push_back(std::move(dbus));
+
+  model::SignalGroup ctl;
+  ctl.name = "ctl";
+  for (int b = 0; b < 4; ++b) {
+    model::SignalBit bit;
+    bit.source = {{3000.0 + 10 * b, 3000.0}, model::PinRole::Source};
+    bit.sinks.push_back({{9000.0 + 10 * b, 15000.0}, model::PinRole::Sink});
+    bit.sinks.push_back({{16000.0 + 10 * b, 5000.0}, model::PinRole::Sink});
+    ctl.bits.push_back(std::move(bit));
+  }
+  design.groups.push_back(std::move(ctl));
+
+  // 2. Run the flow with the paper's DAC'18 technology parameters and
+  //    the LR solver (use SolverKind::IlpExact for the exact solver).
+  core::OperonOptions options;  // defaults = TechParams::dac18_defaults()
+  options.solver = core::SolverKind::Lr;
+  const core::OperonResult result = core::run_operon(design, options);
+
+  // 3. Inspect the result.
+  std::printf("hyper nets: %zu, hyper pins: %zu\n",
+              result.processing.num_hyper_nets(),
+              result.processing.num_hyper_pins());
+  std::printf("total power: %.2f pJ/bit-cycle (%zu optical nets, %zu "
+              "electrical)\n",
+              result.power_pj, result.optical_nets, result.electrical_nets);
+  std::printf("detection constraints: %s (worst path loss %.2f dB, budget "
+              "%.1f dB)\n",
+              result.violations.clean() ? "all satisfied" : "VIOLATED",
+              result.violations.worst_loss_db,
+              options.params.optical.max_loss_db);
+
+  for (std::size_t i = 0; i < result.sets.size(); ++i) {
+    const auto& cand = result.sets[i].options[result.selection[i]];
+    std::printf("  hyper net %zu (%zu bits): %s — %d modulators, %d "
+                "detectors, %.0f um optical, %.0f um electrical, %.2f pJ\n",
+                i, result.sets[i].bit_count,
+                cand.pure_electrical() ? "electrical" : "optical/hybrid",
+                cand.num_modulators, cand.num_detectors, cand.optical_wl_um,
+                cand.electrical_wl_um, cand.power_pj);
+  }
+
+  std::printf("WDM plan: %zu optical connections -> %zu WDMs placed -> %zu "
+              "in use after flow assignment\n",
+              result.wdm_plan.connections.size(), result.wdm_plan.initial_wdms,
+              result.wdm_plan.final_wdms);
+  std::printf("runtimes: processing %.3f s, candidates %.3f s, selection "
+              "%.3f s, WDM %.3f s\n",
+              result.times.processing_s, result.times.generation_s,
+              result.times.selection_s, result.times.wdm_s);
+  return 0;
+}

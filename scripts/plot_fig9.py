@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Render the Fig 9 hotspot CSVs written by `bench/fig9_hotspots`.
+
+Usage:
+    build/bench/fig9_hotspots            # writes fig9_glow.csv, fig9_operon.csv
+    python3 scripts/plot_fig9.py fig9_glow.csv fig9_operon.csv -o fig9.png
+
+Produces the paper's 2x2 panel: (a) GLOW optical, (b) GLOW electrical,
+(c) OPERON optical, (d) OPERON electrical, on a shared per-layer color
+scale so the GLOW/OPERON comparison is visual. Requires matplotlib; falls
+back to an ASCII rendering when it is unavailable.
+"""
+
+import argparse
+import csv
+import math
+import sys
+
+
+def load(path):
+    cells = 0
+    rows = []
+    with open(path, newline="") as fh:
+        for row in csv.DictReader(fh):
+            rows.append((int(row["x"]), int(row["y"]),
+                         float(row["optical_pj"]), float(row["electrical_pj"])))
+            cells = max(cells, int(row["x"]) + 1, int(row["y"]) + 1)
+    optical = [[0.0] * cells for _ in range(cells)]
+    electrical = [[0.0] * cells for _ in range(cells)]
+    for x, y, o, e in rows:
+        optical[y][x] = o
+        electrical[y][x] = e
+    return optical, electrical
+
+
+def ascii_panel(grid, title):
+    peak = max((v for row in grid for v in row), default=0.0)
+    print(title)
+    for row in reversed(grid):  # chip +y up
+        line = "".join(
+            "." if peak <= 0 or v <= 0 else str(min(9, int(10 * v / peak)))
+            for v in row)
+        print(line)
+    print()
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("glow_csv")
+    parser.add_argument("operon_csv")
+    parser.add_argument("-o", "--out", default="fig9.png")
+    args = parser.parse_args()
+
+    glow_opt, glow_elec = load(args.glow_csv)
+    operon_opt, operon_elec = load(args.operon_csv)
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib unavailable; ASCII fallback\n", file=sys.stderr)
+        for grid, title in [(glow_opt, "(a) GLOW optical"),
+                            (glow_elec, "(b) GLOW electrical"),
+                            (operon_opt, "(c) OPERON optical"),
+                            (operon_elec, "(d) OPERON electrical")]:
+            ascii_panel(grid, title)
+        return
+
+    fig, axes = plt.subplots(2, 2, figsize=(9, 8))
+    panels = [(glow_opt, "(a) GLOW optical"),
+              (glow_elec, "(b) GLOW electrical"),
+              (operon_opt, "(c) OPERON optical"),
+              (operon_elec, "(d) OPERON electrical")]
+    # Shared scale per layer (optical: a/c, electrical: b/d).
+    opt_max = max(max(max(r) for r in glow_opt),
+                  max(max(r) for r in operon_opt), 1e-12)
+    elec_max = max(max(max(r) for r in glow_elec),
+                   max(max(r) for r in operon_elec), 1e-12)
+    for ax, (grid, title) in zip(axes.flat, panels):
+        vmax = opt_max if "optical" in title else elec_max
+        im = ax.imshow(grid, origin="lower", cmap="inferno", vmin=0, vmax=vmax)
+        ax.set_title(title, fontsize=10)
+        ax.set_xticks([])
+        ax.set_yticks([])
+        fig.colorbar(im, ax=ax, fraction=0.046, label="pJ/cell")
+    fig.suptitle("Fig 9: power distribution, GLOW vs OPERON")
+    fig.tight_layout()
+    fig.savefig(args.out, dpi=150)
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+#include <map>
+
+#include "baseline/optical_common.hpp"
+#include "baseline/routers.hpp"
+#include "codesign/assemble.hpp"
+#include "util/check.hpp"
+
+namespace operon::baseline {
+
+using codesign::Candidate;
+using codesign::CandidateSet;
+using codesign::EdgeKind;
+
+namespace {
+
+/// Convert a grid route into a SteinerTree whose terminals are the
+/// hyper-pin centers (order preserved, root first at `set.root`) and
+/// whose Steiner points are the tile centers the route passes through.
+/// Each terminal attaches to its own tile's node with an escape edge.
+steiner::SteinerTree tree_from_route(const grid::RoutingGrid& grid,
+                                     const grid::GridRoute& route,
+                                     const CandidateSet& set) {
+  const steiner::SteinerTree& reference = set.baselines[0];
+  steiner::SteinerTree tree;
+  tree.num_terminals = reference.num_terminals;
+  for (std::size_t t = 0; t < reference.num_terminals; ++t) {
+    tree.points.push_back(reference.points[t]);
+  }
+
+  // Tile nodes referenced by the route or by terminal escapes.
+  std::map<grid::TileId, std::size_t> tile_node;
+  const auto node_of = [&](grid::TileId tile) {
+    const auto it = tile_node.find(tile);
+    if (it != tile_node.end()) return it->second;
+    tree.points.push_back(grid.center(tile));
+    return tile_node.emplace(tile, tree.points.size() - 1).first->second;
+  };
+
+  for (const auto& [a, b] : route.edges) {
+    const std::size_t na = node_of(a);
+    const std::size_t nb = node_of(b);
+    tree.edges.emplace_back(na, nb);
+  }
+  for (std::size_t t = 0; t < tree.num_terminals; ++t) {
+    tree.edges.emplace_back(t, node_of(grid.tile_of(tree.points[t])));
+  }
+  return tree;
+}
+
+}  // namespace
+
+GridBaselineResult route_optical_grid(std::span<const CandidateSet> sets,
+                                      const model::TechParams& params,
+                                      const grid::GridOptions& options) {
+  OPERON_CHECK(params.valid());
+  GridBaselineResult result;
+
+  // Maze-route every hyper net over its hyper-pin centers.
+  grid::MazeRouter router(
+      [&] {
+        geom::BBox chip;
+        for (const CandidateSet& set : sets) {
+          for (const auto& tree : set.baselines) {
+            for (const geom::Point& p : tree.points) chip.expand(p);
+          }
+        }
+        return chip.inflated(1.0);
+      }(),
+      options);
+  std::vector<std::vector<geom::Point>> nets(sets.size());
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    const steiner::SteinerTree& reference = sets[i].baselines[0];
+    nets[i].push_back(reference.points[sets[i].root]);  // driver first
+    for (std::size_t t = 0; t < reference.num_terminals; ++t) {
+      if (t != sets[i].root) nets[i].push_back(reference.points[t]);
+    }
+  }
+  const std::vector<grid::GridRoute> routes = router.route_all(nets);
+  result.maze_stats = router.stats();
+
+  // Assemble each route as an all-optical candidate with the usual
+  // component/split/path semantics, then run the shared GLOW evaluation.
+  std::vector<Candidate> candidates(sets.size());
+  std::vector<steiner::SteinerTree> trees(sets.size());
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    trees[i] = tree_from_route(router.grid(), routes[i], sets[i]);
+    OPERON_CHECK_MSG(trees[i].is_connected_tree(),
+                     "grid route of net " << sets[i].net
+                                          << " did not form a tree");
+    const steiner::RootedTree rooted =
+        steiner::RootedTree::build(trees[i], sets[i].root);
+    codesign::AssembleContext ctx;
+    ctx.tree = &trees[i];
+    ctx.rooted = &rooted;
+    ctx.bit_count = sets[i].bit_count;
+    ctx.params = &params;
+    ctx.net_id = sets[i].net;
+    candidates[i] = codesign::assemble_candidate(
+        ctx, std::vector<EdgeKind>(trees[i].num_points(), EdgeKind::Optical),
+        0);
+    result.total_waveguide_um += candidates[i].optical_wl_um;
+    result.total_bends += routes[i].bends;
+  }
+  result.routing =
+      internal::finalize_optical_routes(sets, std::move(candidates), params);
+  return result;
+}
+
+}  // namespace operon::baseline

@@ -1,0 +1,20 @@
+#pragma once
+// Internal to operon_baseline: shared admission/fallback evaluation for
+// the optical baselines. Given one all-optical route (as an assembled
+// Candidate) per hyper net, run GLOW's two phases: a split-blind
+// congestion peel (its own optimization view) and the true detection
+// check with splitting loss (reality), demoting failures to the
+// electrical fallback.
+
+#include <span>
+#include <vector>
+
+#include "baseline/routers.hpp"
+
+namespace operon::baseline::internal {
+
+BaselineResult finalize_optical_routes(
+    std::span<const codesign::CandidateSet> sets,
+    std::vector<codesign::Candidate> routes, const model::TechParams& params);
+
+}  // namespace operon::baseline::internal

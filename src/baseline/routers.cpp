@@ -1,0 +1,178 @@
+#include "baseline/routers.hpp"
+
+#include <algorithm>
+
+#include "baseline/optical_common.hpp"
+#include "codesign/assemble.hpp"
+#include "util/check.hpp"
+
+namespace operon::baseline {
+
+using codesign::Candidate;
+using codesign::CandidateSet;
+using codesign::EdgeKind;
+
+BaselineResult route_electrical(std::span<const CandidateSet> sets,
+                                const model::TechParams& params) {
+  (void)params;
+  BaselineResult result;
+  result.chosen.reserve(sets.size());
+  for (const CandidateSet& set : sets) {
+    result.chosen.push_back(set.electrical());
+    result.total_power_pj += set.electrical().power_pj;
+    ++result.electrical_nets;
+  }
+  return result;
+}
+
+namespace {
+
+/// Sparse pairwise crossing structure between the all-optical routes:
+/// for net i, per-path crossing counts against every net m that actually
+/// crosses it.
+struct CrossList {
+  std::size_t other;
+  std::vector<int> counts;  ///< per path of the owning net
+};
+
+std::vector<std::vector<CrossList>> build_crossings(
+    const std::vector<Candidate>& routes) {
+  const std::size_t n = routes.size();
+  std::vector<geom::BBox> boxes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const geom::Segment& seg : routes[i].optical_segments) {
+      boxes[i].expand(seg.bbox());
+    }
+  }
+  std::vector<std::vector<CrossList>> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t m = 0; m < n; ++m) {
+      if (m == i || !boxes[i].overlaps(boxes[m])) continue;
+      std::vector<int> counts(routes[i].paths.size(), 0);
+      bool any = false;
+      for (std::size_t p = 0; p < counts.size(); ++p) {
+        counts[p] = static_cast<int>(geom::count_crossings(
+            routes[i].paths[p].segments, routes[m].optical_segments));
+        any = any || counts[p] != 0;
+      }
+      if (any) out[i].push_back({m, std::move(counts)});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+namespace internal {
+
+BaselineResult finalize_optical_routes(std::span<const CandidateSet> sets,
+                                       std::vector<Candidate> routes,
+                                       const model::TechParams& params) {
+  OPERON_CHECK(routes.size() == sets.size());
+  BaselineResult result;
+  result.chosen.resize(sets.size());
+
+  const double lm = params.optical.max_loss_db;
+  const double beta = params.optical.beta_db_per_crossing;
+  const auto crossings = build_crossings(routes);
+
+  // Per-net per-path crossing loss among currently-optical nets, kept
+  // incrementally as nets are demoted to copper.
+  std::vector<char> optical(sets.size(), 1);
+  std::vector<std::vector<double>> crossing_db(sets.size());
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    crossing_db[i].assign(routes[i].paths.size(), 0.0);
+    for (const CrossList& entry : crossings[i]) {
+      for (std::size_t p = 0; p < crossing_db[i].size(); ++p) {
+        crossing_db[i][p] += beta * entry.counts[p];
+      }
+    }
+  }
+  const auto demote = [&](std::size_t victim) {
+    optical[victim] = 0;
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+      if (!optical[i]) continue;
+      for (const CrossList& entry : crossings[i]) {
+        if (entry.other != victim) continue;
+        for (std::size_t p = 0; p < crossing_db[i].size(); ++p) {
+          crossing_db[i][p] -= beta * entry.counts[p];
+        }
+      }
+    }
+  };
+  // Worst loss of a net; `blind` drops the splitting term — GLOW's
+  // documented blind spot during optimization.
+  const auto worst_loss = [&](std::size_t i, bool blind) {
+    double worst = 0.0;
+    for (std::size_t p = 0; p < routes[i].paths.size(); ++p) {
+      double loss = routes[i].paths[p].static_loss_db + crossing_db[i][p];
+      if (blind) loss -= routes[i].paths[p].splitting_db;
+      worst = std::max(worst, loss);
+    }
+    return worst;
+  };
+  const auto peel_phase = [&](bool blind) {
+    std::size_t demoted = 0;
+    while (true) {
+      std::size_t victim = sets.size();
+      double victim_loss = lm + 1e-9;
+      for (std::size_t i = 0; i < sets.size(); ++i) {
+        if (!optical[i]) continue;
+        const double worst = worst_loss(i, blind);
+        if (worst > victim_loss) {
+          victim_loss = worst;
+          victim = i;
+        }
+      }
+      if (victim == sets.size()) return demoted;
+      demote(victim);
+      ++demoted;
+    }
+  };
+
+  // Phase 1 — the router's own congestion control, split-blind: it
+  // believes the result is detection-clean.
+  peel_phase(/*blind=*/true);
+  // Phase 2 — reality check with splitting loss: the nets it got wrong
+  // fall back to electrical wires, paying the extra power (§5).
+  result.detection_fallbacks = peel_phase(/*blind=*/false);
+
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    if (optical[i]) {
+      result.chosen[i] = std::move(routes[i]);
+      ++result.optical_nets;
+    } else {
+      result.chosen[i] = sets[i].electrical();
+      ++result.electrical_nets;
+    }
+    result.total_power_pj += result.chosen[i].power_pj;
+  }
+  return result;
+}
+
+}  // namespace internal
+
+BaselineResult route_optical_glow(std::span<const CandidateSet> sets,
+                                  const model::TechParams& params) {
+  OPERON_CHECK(params.valid());
+  // All-optical labeling of every net's primary baseline — GLOW's route.
+  std::vector<steiner::RootedTree> rooted(sets.size());
+  std::vector<Candidate> routes(sets.size());
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    rooted[i] = steiner::RootedTree::build(sets[i].baselines[0], sets[i].root);
+    codesign::AssembleContext ctx;
+    ctx.tree = &sets[i].baselines[0];
+    ctx.rooted = &rooted[i];
+    ctx.bit_count = sets[i].bit_count;
+    ctx.params = &params;
+    ctx.net_id = sets[i].net;
+    routes[i] = codesign::assemble_candidate(
+        ctx,
+        std::vector<EdgeKind>(sets[i].baselines[0].num_points(),
+                              EdgeKind::Optical),
+        0);
+  }
+  return internal::finalize_optical_routes(sets, std::move(routes), params);
+}
+
+}  // namespace operon::baseline

@@ -1,0 +1,57 @@
+#pragma once
+// Comparison baselines of Table 1.
+//
+//  * Electrical [14] (Streak-like): every hyper net routed with its
+//    pure-electrical RSMT alternative a_ie; power from Eq. 6.
+//  * Optical [4] (GLOW-like): every hyper net routed all-optically on its
+//    primary baseline topology. Faithful to GLOW's documented blind
+//    spot, the *optimization* ignores splitting loss — a net goes optical
+//    when its propagation + estimated crossing loss fits lm — but the
+//    *evaluation* includes it, so over-split nets fail detection and
+//    must fall back to electrical wires, "resulting in additional power
+//    consumptions" (§5).
+
+#include <span>
+#include <vector>
+
+#include "codesign/candidate.hpp"
+#include "grid/maze.hpp"
+#include "model/params.hpp"
+
+namespace operon::baseline {
+
+struct BaselineResult {
+  /// Chosen route per net, aligned with the candidate-set span.
+  std::vector<codesign::Candidate> chosen;
+  double total_power_pj = 0.0;
+  std::size_t optical_nets = 0;
+  std::size_t electrical_nets = 0;
+  /// Nets that went optical under GLOW's split-blind check but failed
+  /// true detection and fell back (always 0 for the electrical router).
+  std::size_t detection_fallbacks = 0;
+};
+
+BaselineResult route_electrical(std::span<const codesign::CandidateSet> sets,
+                                const model::TechParams& params);
+
+BaselineResult route_optical_glow(std::span<const codesign::CandidateSet> sets,
+                                  const model::TechParams& params);
+
+/// Grid (Manhattan) variant of the optical baseline: every hyper net is
+/// maze-routed on a congestion-negotiated tile grid (GLOW [4] is a
+/// tile-based global router), then the same split-blind admission and
+/// true-detection fallback passes run on the resulting geometry. Longer
+/// Manhattan waveguides and corridor-bundled routes trade propagation
+/// loss against crossing count relative to the any-direction baseline.
+struct GridBaselineResult {
+  BaselineResult routing;
+  grid::MazeRouter::Stats maze_stats;
+  double total_waveguide_um = 0.0;
+  int total_bends = 0;
+};
+
+GridBaselineResult route_optical_grid(
+    std::span<const codesign::CandidateSet> sets,
+    const model::TechParams& params, const grid::GridOptions& options = {});
+
+}  // namespace operon::baseline

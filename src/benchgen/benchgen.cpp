@@ -1,0 +1,165 @@
+#include "benchgen/benchgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace operon::benchgen {
+
+namespace {
+
+geom::Point jitter(util::Rng& rng, const geom::Point& center, double spread,
+                   const geom::BBox& chip) {
+  geom::Point p{center.x + rng.uniform(-spread, spread),
+                center.y + rng.uniform(-spread, spread)};
+  p.x = std::clamp(p.x, chip.xlo, chip.xhi);
+  p.y = std::clamp(p.y, chip.ylo, chip.yhi);
+  return p;
+}
+
+}  // namespace
+
+model::Design generate_benchmark(const BenchmarkSpec& spec) {
+  OPERON_CHECK(spec.bits_lo >= 1 && spec.bits_lo <= spec.bits_hi);
+  OPERON_CHECK(spec.sink_blocks_lo >= 1 &&
+               spec.sink_blocks_lo <= spec.sink_blocks_hi);
+  OPERON_CHECK(spec.chip_um > 2.0 * spec.margin_um);
+  OPERON_CHECK(spec.max_span_um > spec.min_span_um);
+
+  util::Rng rng(spec.seed);
+  model::Design design;
+  design.name = spec.name;
+  design.chip = geom::BBox::of({0.0, 0.0}, {spec.chip_um, spec.chip_um});
+  geom::BBox placeable = design.chip.inflated(-spec.margin_um);
+  if (spec.placement_region_um > 0.0) {
+    const double inset =
+        std::max(0.0, (spec.chip_um - spec.placement_region_um) * 0.5);
+    placeable = design.chip.inflated(-std::max(inset, spec.margin_um));
+  }
+
+  const auto random_site = [&] {
+    return geom::Point{rng.uniform(placeable.xlo, placeable.xhi),
+                       rng.uniform(placeable.ylo, placeable.yhi)};
+  };
+
+  for (std::size_t g = 0; g < spec.num_groups; ++g) {
+    model::SignalGroup group;
+    group.name = spec.name + "_g" + std::to_string(g);
+
+    const geom::Point source_block = random_site();
+    const auto num_sink_blocks = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(spec.sink_blocks_lo),
+        static_cast<std::int64_t>(spec.sink_blocks_hi)));
+    std::vector<geom::Point> sink_blocks;
+    std::size_t attempts = 0;
+    while (sink_blocks.size() < num_sink_blocks) {
+      OPERON_CHECK_MSG(++attempts <= 100000,
+                       "cannot place sink blocks: span range ["
+                           << spec.min_span_um << ", " << spec.max_span_um
+                           << "] um is unsatisfiable within the placeable "
+                              "region of a " << spec.chip_um << " um chip");
+      // Uniform span in [min, max] at a uniform angle: net-length
+      // distributions in placed designs are span-uniform-ish rather than
+      // area-weighted toward the long end.
+      const double span = rng.uniform(spec.min_span_um, spec.max_span_um);
+      const double angle = rng.uniform(0.0, 2.0 * M_PI);
+      const geom::Point candidate{source_block.x + span * std::cos(angle),
+                                  source_block.y + span * std::sin(angle)};
+      if (!placeable.contains(candidate)) continue;
+      // Keep sink blocks apart from each other too, so they agglomerate
+      // into distinct hyper pins.
+      const bool far_enough = std::all_of(
+          sink_blocks.begin(), sink_blocks.end(), [&](const geom::Point& b) {
+            return geom::euclidean(candidate, b) >= spec.min_span_um * 0.5;
+          });
+      if (far_enough) sink_blocks.push_back(candidate);
+    }
+
+    std::size_t bits;
+    if (spec.bit_choices.empty()) {
+      bits = static_cast<std::size_t>(
+          rng.uniform_int(static_cast<std::int64_t>(spec.bits_lo),
+                          static_cast<std::int64_t>(spec.bits_hi)));
+    } else {
+      bits = spec.bit_choices[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(spec.bit_choices.size()) - 1))];
+    }
+    for (std::size_t b = 0; b < bits; ++b) {
+      model::SignalBit bit;
+      bit.source = {jitter(rng, source_block, spec.block_size_um, design.chip),
+                    model::PinRole::Source};
+      for (const geom::Point& block : sink_blocks) {
+        bit.sinks.push_back(
+            {jitter(rng, block, spec.block_size_um, design.chip),
+             model::PinRole::Sink});
+      }
+      group.bits.push_back(std::move(bit));
+    }
+    design.groups.push_back(std::move(group));
+  }
+  design.validate();
+  return design;
+}
+
+BenchmarkSpec table1_spec(std::string_view id) {
+  BenchmarkSpec spec;
+  spec.name = std::string(id);
+  if (id == "I1") {
+    // 2660 nets / 356 hnets / 1306 hpins: mid-width buses, fan-out 2-3.
+    spec.num_groups = 355;
+    spec.bit_choices = {3, 5, 9, 13};  // mean 7.5 bits, fragmenting widths
+    spec.sink_blocks_lo = 2;
+    spec.sink_blocks_hi = 3;
+    spec.min_span_um = 2000.0;
+    spec.max_span_um = 4200.0;
+    spec.seed = 101;
+  } else if (id == "I2") {
+    // 1782 / 837 / 1701: many narrow point-to-point buses.
+    spec.num_groups = 860;
+    spec.bit_choices = {1, 2, 2, 3};  // mean 2 bits
+    spec.sink_blocks_lo = 1;
+    spec.sink_blocks_hi = 1;
+    spec.min_span_um = 2200.0;
+    spec.max_span_um = 6200.0;
+    spec.seed = 102;
+  } else if (id == "I3") {
+    // 5072 / 168 / 336: few wide (≈32-bit) point-to-point buses.
+    spec.num_groups = 172;
+    spec.bit_choices = {26, 29, 31};  // mean 28.7 bits
+    spec.sink_blocks_lo = 1;
+    spec.sink_blocks_hi = 1;
+    spec.min_span_um = 6000.0;   // I3 is the long-haul case: the paper's
+    spec.max_span_um = 11000.0;  // E/Optical ratio there is 6.65
+    spec.seed = 103;
+  } else if (id == "I4") {
+    // 3224 / 403 / 1474: mid-width buses, fan-out 2-3.
+    spec.num_groups = 395;
+    spec.bit_choices = {2, 3, 5, 9, 13, 18};  // mean 8.3, incl. Fig 6-like 18
+    spec.sink_blocks_lo = 2;
+    spec.sink_blocks_hi = 3;
+    spec.min_span_um = 1900.0;
+    spec.max_span_um = 4000.0;
+    spec.seed = 104;
+  } else if (id == "I5") {
+    // 1994 / 933 / 1897: the densest narrow-bus case.
+    spec.num_groups = 960;
+    spec.bit_choices = {1, 2, 2, 3};  // mean 2 bits
+    spec.sink_blocks_lo = 1;
+    spec.sink_blocks_hi = 1;
+    spec.min_span_um = 2200.0;   // the short-haul, most congested case
+    spec.max_span_um = 5800.0;
+    spec.placement_region_um = 16500.0;
+    spec.seed = 105;
+  } else {
+    OPERON_CHECK_MSG(false, "unknown Table 1 case '" << id << "'");
+  }
+  return spec;
+}
+
+std::vector<std::string> table1_cases() {
+  return {"I1", "I2", "I3", "I4", "I5"};
+}
+
+}  // namespace operon::benchgen

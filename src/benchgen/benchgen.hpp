@@ -1,0 +1,53 @@
+#pragma once
+// Synthetic benchmark generation. The paper derives its test cases from
+// industrial designs up-scaled to centimeter dimensions; those netlists
+// are proprietary, so this generator reproduces their *structural
+// regimes* instead: each signal group is a bus from one source block to
+// 1..k distant sink blocks, with per-case group counts, bus widths, and
+// fan-outs tuned so the resulting #Net / #HNet / #HPin statistics track
+// Table 1's left columns (see DESIGN.md, substitutions).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/design.hpp"
+
+namespace operon::benchgen {
+
+struct BenchmarkSpec {
+  std::string name = "synthetic";
+  double chip_um = 20000.0;  ///< 2 cm square, per the paper's up-scaling
+  double margin_um = 500.0;
+  std::size_t num_groups = 100;
+  std::size_t bits_lo = 2;   ///< bus width range (uniform)
+  std::size_t bits_hi = 8;
+  /// When non-empty, bus widths are drawn uniformly from this set instead
+  /// of [bits_lo, bits_hi] (industrial designs mix a few stock widths).
+  std::vector<std::size_t> bit_choices;
+  std::size_t sink_blocks_lo = 1;  ///< sink fan-out block range
+  std::size_t sink_blocks_hi = 1;
+  double block_size_um = 150.0;    ///< pin jitter within a block
+  double min_span_um = 2500.0;     ///< minimum source-to-sink distance
+  /// Maximum source-to-sink distance. Industrial buses are mostly local;
+  /// bounding the span keeps the crossing graph sparse (a cross-chip
+  /// free-for-all would violate every detection budget, which no real
+  /// up-scaled netlist does).
+  double max_span_um = 4500.0;
+  /// Side of the square region pins are placed in (0 = whole chip).
+  /// Shrinking it raises congestion without changing span statistics.
+  double placement_region_um = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Generate a random design per the spec. Deterministic for a seed.
+model::Design generate_benchmark(const BenchmarkSpec& spec);
+
+/// The five Table 1 cases. `id` is one of "I1".."I5".
+BenchmarkSpec table1_spec(std::string_view id);
+
+/// All five Table 1 case ids, in order.
+std::vector<std::string> table1_cases();
+
+}  // namespace operon::benchgen

@@ -1,0 +1,50 @@
+#include "cluster/agglomerate.hpp"
+
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace operon::cluster {
+
+std::vector<model::HyperPin> agglomerate_pins(std::vector<model::PinRef> pins,
+                                              double distance_threshold_um) {
+  OPERON_CHECK(distance_threshold_um >= 0.0);
+  std::vector<model::HyperPin> clusters;
+  clusters.reserve(pins.size());
+  for (model::PinRef& pin : pins) {
+    model::HyperPin hp;
+    hp.center = pin.location;
+    hp.pins.push_back(std::move(pin));
+    clusters.push_back(std::move(hp));
+  }
+
+  while (clusters.size() >= 2) {
+    // Closest pair by gravity-center distance.
+    std::size_t best_i = 0, best_j = 1;
+    double best_d2 = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < clusters.size(); ++i) {
+      for (std::size_t j = i + 1; j < clusters.size(); ++j) {
+        const double d2 =
+            geom::squared_distance(clusters[i].center, clusters[j].center);
+        if (d2 < best_d2) {
+          best_d2 = d2;
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+    if (best_d2 > distance_threshold_um * distance_threshold_um) break;
+
+    // Merge j into i, recompute gravity center, drop j.
+    auto& into = clusters[best_i];
+    auto& from = clusters[best_j];
+    into.pins.insert(into.pins.end(),
+                     std::make_move_iterator(from.pins.begin()),
+                     std::make_move_iterator(from.pins.end()));
+    into.update_center();
+    clusters.erase(clusters.begin() + static_cast<std::ptrdiff_t>(best_j));
+  }
+  return clusters;
+}
+
+}  // namespace operon::cluster

@@ -1,0 +1,17 @@
+#pragma once
+// Bottom-up hyper-pin agglomeration (§3.1.2). Every electrical pin starts
+// as its own hyper pin; each iteration merges the closest pair of hyper
+// pins (by gravity-center Euclidean distance) while that distance stays
+// below a threshold, updating the gravity center after each merge.
+
+#include <vector>
+
+#include "model/hyper.hpp"
+
+namespace operon::cluster {
+
+/// Greedy closest-pair agglomeration. Deterministic; O(n^2) per merge.
+std::vector<model::HyperPin> agglomerate_pins(std::vector<model::PinRef> pins,
+                                              double distance_threshold_um);
+
+}  // namespace operon::cluster

@@ -1,0 +1,110 @@
+#include "cluster/hypernet_builder.hpp"
+
+#include <algorithm>
+
+#include "cluster/agglomerate.hpp"
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace operon::cluster {
+
+namespace {
+
+/// All electrical pins of the given bits as PinRefs.
+std::vector<model::PinRef> collect_pins(const model::Design& design,
+                                        std::size_t group,
+                                        const std::vector<std::size_t>& bits) {
+  std::vector<model::PinRef> pins;
+  const model::SignalGroup& sg = design.groups[group];
+  for (std::size_t bit : bits) {
+    const model::SignalBit& sb = sg.bits[bit];
+    pins.push_back({group, bit, -1, sb.source.location, model::PinRole::Source});
+    for (int s = 0; s < static_cast<int>(sb.sinks.size()); ++s) {
+      pins.push_back({group, bit, s, sb.sinks[static_cast<std::size_t>(s)].location,
+                      model::PinRole::Sink});
+    }
+  }
+  return pins;
+}
+
+/// When agglomeration collapses everything into one hyper pin the net has
+/// no routing problem left; split sources back out so the net still has a
+/// driver side and a sink side.
+std::vector<model::HyperPin> split_single_cluster(model::HyperPin all) {
+  model::HyperPin sources, sinks;
+  for (model::PinRef& pin : all.pins) {
+    (pin.role == model::PinRole::Source ? sources : sinks)
+        .pins.push_back(std::move(pin));
+  }
+  std::vector<model::HyperPin> out;
+  if (!sources.pins.empty()) {
+    sources.update_center();
+    out.push_back(std::move(sources));
+  }
+  if (!sinks.pins.empty()) {
+    sinks.update_center();
+    out.push_back(std::move(sinks));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::size_t SignalProcessingResult::num_hyper_pins() const {
+  std::size_t count = 0;
+  for (const model::HyperNet& net : hyper_nets) count += net.pins.size();
+  return count;
+}
+
+SignalProcessingResult build_hyper_nets(
+    const model::Design& design, const SignalProcessingOptions& options) {
+  SignalProcessingResult result;
+
+  for (std::size_t g = 0; g < design.groups.size(); ++g) {
+    const model::SignalGroup& group = design.groups[g];
+
+    // Top-down: partition the group's bits by centroid into
+    // capacity-respecting clusters.
+    std::vector<geom::Point> centroids;
+    centroids.reserve(group.bits.size());
+    for (const model::SignalBit& bit : group.bits) {
+      centroids.push_back(bit.centroid());
+    }
+    KMeansOptions km = options.kmeans;
+    km.seed = options.kmeans.seed + g * 7919;  // per-group deterministic seed
+    const KMeansResult clusters = capacitated_kmeans(centroids, km);
+
+    std::vector<std::vector<std::size_t>> members(clusters.num_clusters());
+    for (std::size_t bit = 0; bit < group.bits.size(); ++bit) {
+      members[clusters.assignment[bit]].push_back(bit);
+    }
+
+    // Bottom-up: hyper pins per cluster, then assemble the hyper net.
+    for (std::vector<std::size_t>& bits : members) {
+      OPERON_CHECK(!bits.empty());
+      model::HyperNet net;
+      net.id = result.hyper_nets.size();
+      net.group = g;
+      net.bits = std::move(bits);
+
+      std::vector<model::HyperPin> pins = agglomerate_pins(
+          collect_pins(design, g, net.bits), options.pin_merge_threshold_um);
+      if (pins.size() == 1) {
+        pins = split_single_cluster(std::move(pins.front()));
+      }
+      if (pins.size() < 2) {
+        // Degenerate: all pins coincide; nothing to route. Skip but log.
+        OPERON_LOG(Warn) << "hyper net in group '" << group.name
+                         << "' collapsed to a single location; skipping";
+        continue;
+      }
+      net.pins = std::move(pins);
+      net.select_root();
+      net.validate(design);
+      result.hyper_nets.push_back(std::move(net));
+    }
+  }
+  return result;
+}
+
+}  // namespace operon::cluster

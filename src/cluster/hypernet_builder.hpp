@@ -1,0 +1,35 @@
+#pragma once
+// Signal-processing stage of Fig 2: partition each signal group into
+// hyper nets (top-down capacitated K-Means over bit centroids) and build
+// hyper pins (bottom-up pin agglomeration) for every hyper net.
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/kmeans.hpp"
+#include "model/design.hpp"
+#include "model/hyper.hpp"
+
+namespace operon::cluster {
+
+struct SignalProcessingOptions {
+  KMeansOptions kmeans;
+  /// Pins closer than this agglomerate into one hyper pin (§3.1.2).
+  double pin_merge_threshold_um = 600.0;
+};
+
+struct SignalProcessingResult {
+  std::vector<model::HyperNet> hyper_nets;
+
+  std::size_t num_hyper_nets() const { return hyper_nets.size(); }  ///< "#HNet"
+  std::size_t num_hyper_pins() const;                               ///< "#HPin"
+};
+
+/// Build hyper nets for the whole design. Every bit of every group lands
+/// in exactly one hyper net; every hyper net gets >= 2 hyper pins (source
+/// pins are forced into their own hyper pin when agglomeration would
+/// otherwise collapse a net to a single pin) and a selected root.
+SignalProcessingResult build_hyper_nets(const model::Design& design,
+                                        const SignalProcessingOptions& options);
+
+}  // namespace operon::cluster

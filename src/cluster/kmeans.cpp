@@ -1,0 +1,206 @@
+#include "cluster/kmeans.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace operon::cluster {
+
+std::vector<std::size_t> KMeansResult::cluster_sizes() const {
+  std::vector<std::size_t> sizes(centers.size(), 0);
+  for (std::size_t c : assignment) {
+    OPERON_DCHECK(c < sizes.size());
+    ++sizes[c];
+  }
+  return sizes;
+}
+
+namespace {
+
+/// k-means++ style seeding: first center uniform, then proportional to
+/// squared distance from the nearest chosen center.
+std::vector<geom::Point> seed_centers(std::span<const geom::Point> points,
+                                      std::size_t k, util::Rng& rng) {
+  std::vector<geom::Point> centers;
+  centers.reserve(k);
+  centers.push_back(points[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(points.size()) - 1))]);
+  std::vector<double> dist2(points.size());
+  while (centers.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const geom::Point& c : centers) {
+        best = std::min(best, geom::squared_distance(points[i], c));
+      }
+      dist2[i] = best;
+      total += best;
+    }
+    if (total <= 0.0) {
+      // All points coincide with existing centers; duplicate one.
+      centers.push_back(centers.back());
+      continue;
+    }
+    double pick = rng.uniform01() * total;
+    std::size_t chosen = points.size() - 1;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      pick -= dist2[i];
+      if (pick < 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centers.push_back(points[chosen]);
+  }
+  return centers;
+}
+
+/// Assign every point to its nearest center, then repair capacity
+/// violations by spilling the points farthest from an overfull center to
+/// their next-closest center with remaining room (§3.1.1).
+std::vector<std::size_t> assign_with_capacity(
+    std::span<const geom::Point> points,
+    const std::vector<geom::Point>& centers, std::size_t capacity) {
+  const std::size_t n = points.size();
+  const std::size_t k = centers.size();
+  std::vector<std::size_t> assignment(n);
+  std::vector<std::size_t> load(k, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t best = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < k; ++c) {
+      const double d = geom::squared_distance(points[i], centers[c]);
+      if (d < best_d) {
+        best_d = d;
+        best = c;
+      }
+    }
+    assignment[i] = best;
+    ++load[best];
+  }
+
+  // Spill overflow, farthest points first, to next-closest non-full cluster.
+  for (std::size_t c = 0; c < k; ++c) {
+    while (load[c] > capacity) {
+      std::size_t worst = n;
+      double worst_d = -1.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (assignment[i] != c) continue;
+        const double d = geom::squared_distance(points[i], centers[c]);
+        if (d > worst_d) {
+          worst_d = d;
+          worst = i;
+        }
+      }
+      OPERON_CHECK(worst < n);
+      // Rank other clusters by distance; take the first with room.
+      std::vector<std::size_t> order(k);
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return geom::squared_distance(points[worst], centers[a]) <
+               geom::squared_distance(points[worst], centers[b]);
+      });
+      bool moved = false;
+      for (std::size_t cand : order) {
+        if (cand == c || load[cand] >= capacity) continue;
+        assignment[worst] = cand;
+        --load[c];
+        ++load[cand];
+        moved = true;
+        break;
+      }
+      OPERON_CHECK_MSG(moved, "capacity repair failed: total capacity "
+                                  << k * capacity << " < points " << n);
+    }
+  }
+  return assignment;
+}
+
+double compute_variance(std::span<const geom::Point> points,
+                        const std::vector<std::size_t>& assignment,
+                        const std::vector<geom::Point>& centers) {
+  if (points.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    sum += geom::squared_distance(points[i], centers[assignment[i]]);
+  }
+  return sum / static_cast<double>(points.size());
+}
+
+}  // namespace
+
+KMeansResult capacitated_kmeans(std::span<const geom::Point> points,
+                                const KMeansOptions& options) {
+  OPERON_CHECK(options.capacity >= 1);
+  KMeansResult result;
+  if (points.empty()) return result;
+
+  const std::size_t n = points.size();
+  const std::size_t k = (n + options.capacity - 1) / options.capacity;
+  if (k == 1) {
+    result.iterations = 1;
+    result.assignment.assign(n, 0);
+    geom::Point sum{0, 0};
+    for (const auto& p : points) sum = sum + p;
+    result.centers = {{sum.x / static_cast<double>(n),
+                       sum.y / static_cast<double>(n)}};
+    result.variance =
+        compute_variance(points, result.assignment, result.centers);
+    return result;
+  }
+
+  util::Rng rng(options.seed);
+  std::vector<geom::Point> centers = seed_centers(points, k, rng);
+  std::vector<std::size_t> assignment;
+  double prev_variance = std::numeric_limits<double>::infinity();
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    assignment = assign_with_capacity(points, centers, options.capacity);
+
+    // Recompute gravity centers (empty clusters keep their position).
+    std::vector<geom::Point> sums(k, {0, 0});
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      sums[assignment[i]] = sums[assignment[i]] + points[i];
+      ++counts[assignment[i]];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] > 0) {
+        centers[c] = {sums[c].x / static_cast<double>(counts[c]),
+                      sums[c].y / static_cast<double>(counts[c])};
+      }
+    }
+
+    const double variance = compute_variance(points, assignment, centers);
+    if (prev_variance < std::numeric_limits<double>::infinity()) {
+      const double denom = std::max(prev_variance, 1e-12);
+      if ((prev_variance - variance) / denom < options.variance_threshold) {
+        prev_variance = variance;
+        break;
+      }
+    }
+    prev_variance = variance;
+  }
+
+  // Compact away empty clusters.
+  std::vector<std::size_t> counts(k, 0);
+  for (std::size_t c : assignment) ++counts[c];
+  std::vector<std::size_t> remap(k, k);
+  std::size_t next = 0;
+  for (std::size_t c = 0; c < k; ++c) {
+    if (counts[c] > 0) {
+      remap[c] = next++;
+      result.centers.push_back(centers[c]);
+    }
+  }
+  result.assignment.resize(n);
+  for (std::size_t i = 0; i < n; ++i) result.assignment[i] = remap[assignment[i]];
+  result.variance = prev_variance;
+  return result;
+}
+
+}  // namespace operon::cluster

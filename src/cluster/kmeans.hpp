@@ -1,0 +1,42 @@
+#pragma once
+// Capacity-constrained K-Means (§3.1.1). Signal bits are partitioned into
+// K = ceil(#bits / WDM capacity) clusters; the vanilla Lloyd assignment is
+// repaired each iteration so no cluster exceeds the capacity (overflow
+// bits spill to their second-closest cluster, and so on). Iteration stops
+// when the distance variance improves by less than a threshold; empty
+// clusters are removed afterward.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/point.hpp"
+
+namespace operon::cluster {
+
+struct KMeansOptions {
+  std::size_t capacity = 32;
+  double variance_threshold = 1e-3;  ///< relative improvement stop criterion
+  std::size_t max_iterations = 50;
+  std::uint64_t seed = 1;
+};
+
+struct KMeansResult {
+  /// Cluster index per input point; indices are compacted (no empties).
+  std::vector<std::size_t> assignment;
+  std::vector<geom::Point> centers;
+  std::size_t iterations = 0;
+  /// Mean squared point-to-center distance at convergence.
+  double variance = 0.0;
+
+  std::size_t num_clusters() const { return centers.size(); }
+  std::vector<std::size_t> cluster_sizes() const;
+};
+
+/// Partition `points` into capacity-respecting clusters. Deterministic for
+/// a fixed seed. Requires capacity >= 1; handles n == 0 (empty result).
+KMeansResult capacitated_kmeans(std::span<const geom::Point> points,
+                                const KMeansOptions& options);
+
+}  // namespace operon::cluster

@@ -1,0 +1,172 @@
+#include "codesign/assemble.hpp"
+
+#include <algorithm>
+
+#include "optical/loss.hpp"
+#include "util/check.hpp"
+
+namespace operon::codesign {
+
+double estimated_crossing_db(const AssembleContext& ctx,
+                             const geom::Segment& segment) {
+  if (ctx.estimator == nullptr) return 0.0;
+  const std::size_t crossings =
+      ctx.estimator->count_crossings(segment, ctx.net_id);
+  return ctx.params->optical.beta_db_per_crossing *
+         static_cast<double>(crossings);
+}
+
+namespace {
+
+struct Walker {
+  const AssembleContext& ctx;
+  const std::vector<EdgeKind>& kinds;
+  Candidate& out;
+
+  bool is_sink(std::size_t v) const {
+    return ctx.tree->is_terminal(v) && v != ctx.rooted->root;
+  }
+
+  std::vector<std::size_t> optical_children(std::size_t v) const {
+    std::vector<std::size_t> result;
+    for (std::size_t c : ctx.rooted->children[v]) {
+      if (kinds[c] == EdgeKind::Optical) result.push_back(c);
+    }
+    return result;
+  }
+
+  bool has_electrical_child(std::size_t v) const {
+    for (std::size_t c : ctx.rooted->children[v]) {
+      if (kinds[c] == EdgeKind::Electrical) return true;
+    }
+    return false;
+  }
+
+  /// Walk one optical component from its top node `top`.
+  void walk_component(std::size_t top) {
+    ++out.num_modulators;
+    out.modulator_sites.push_back(ctx.tree->points[top]);
+    const auto arms0 = optical_children(top);
+    OPERON_DCHECK(!arms0.empty());
+    const double split0 = optical::splitting_loss_db(
+        ctx.params->optical, static_cast<int>(arms0.size()));
+    const int splits0 = arms0.size() >= 2 ? 1 : 0;
+    for (std::size_t child : arms0) {
+      descend(child, top, split0, split0, 0.0, splits0, {});
+    }
+  }
+
+  /// Arrive at `v` through optical edge (parent, v), carrying the loss
+  /// accumulated *before* traversing that edge.
+  void descend(std::size_t v, std::size_t parent, double loss_before,
+               double split_before, double crossing_before, int splits_before,
+               std::vector<geom::Segment> trail) {
+    const geom::Segment seg{ctx.tree->points[parent], ctx.tree->points[v]};
+    double static_loss = loss_before;
+    double crossing = crossing_before;
+    if (seg.length() > 0.0) {
+      static_loss += ctx.params->optical.alpha_db_per_um * seg.length();
+      crossing += estimated_crossing_db(ctx, seg);
+      trail.push_back(seg);
+    }
+
+    const auto optical_kids = optical_children(v);
+    const bool needs_local = is_sink(v) || has_electrical_child(v);
+    const int arms = static_cast<int>(optical_kids.size()) + (needs_local ? 1 : 0);
+    OPERON_CHECK_MSG(arms >= 1,
+                     "optical edge dead-ends at node " << v
+                                                       << " (invalid labeling)");
+    const double split =
+        arms >= 2 ? optical::splitting_loss_db(ctx.params->optical, arms) : 0.0;
+
+    const int splits_here = splits_before + (arms >= 2 ? 1 : 0);
+    if (needs_local) {
+      ++out.num_detectors;
+      out.detector_sites.push_back(ctx.tree->points[v]);
+      CandidatePath path;
+      path.static_loss_db = static_loss + split;
+      path.splitting_db = split_before + split;
+      path.num_splits = splits_here;
+      path.estimated_crossing_db = crossing;
+      path.segments = trail;
+      out.paths.push_back(std::move(path));
+    }
+    for (std::size_t child : optical_kids) {
+      descend(child, v, static_loss + split, split_before + split, crossing,
+              splits_here, trail);
+    }
+  }
+};
+
+}  // namespace
+
+double Candidate::worst_estimated_loss_db() const {
+  double worst = 0.0;
+  for (const CandidatePath& path : paths) {
+    worst = std::max(worst, path.static_loss_db + path.estimated_crossing_db);
+  }
+  return worst;
+}
+
+double Candidate::worst_static_loss_db() const {
+  double worst = 0.0;
+  for (const CandidatePath& path : paths) {
+    worst = std::max(worst, path.static_loss_db);
+  }
+  return worst;
+}
+
+Candidate assemble_candidate(const AssembleContext& ctx,
+                             std::vector<EdgeKind> edge_kinds,
+                             std::size_t baseline_index) {
+  OPERON_CHECK(ctx.tree != nullptr && ctx.rooted != nullptr &&
+               ctx.params != nullptr);
+  const steiner::SteinerTree& tree = *ctx.tree;
+  const steiner::RootedTree& rooted = *ctx.rooted;
+  OPERON_CHECK(edge_kinds.size() == tree.num_points());
+
+  Candidate out;
+  out.baseline = baseline_index;
+
+  Walker walker{ctx, edge_kinds, out};
+
+  // Wirelength and segments per edge.
+  for (std::size_t v = 0; v < tree.num_points(); ++v) {
+    if (v == rooted.root) continue;
+    const std::size_t parent = rooted.parent[v];
+    const geom::Point& a = tree.points[parent];
+    const geom::Point& b = tree.points[v];
+    if (edge_kinds[v] == EdgeKind::Optical) {
+      out.optical_wl_um += geom::euclidean(a, b);
+      if (a != b) out.optical_segments.push_back({a, b});
+    } else {
+      out.electrical_wl_um += geom::manhattan(a, b);
+      // L-route, horizontal first (matches SteinerTree::edge_segments).
+      const geom::Point corner{b.x, a.y};
+      if (corner != a) out.electrical_segments.push_back({a, corner});
+      if (corner != b) out.electrical_segments.push_back({corner, b});
+    }
+  }
+
+  // Optical components: a top is a node with >= 1 optical child whose own
+  // edge up is electrical (or it is the root).
+  for (std::size_t v = 0; v < tree.num_points(); ++v) {
+    const bool top = (v == rooted.root || edge_kinds[v] == EdgeKind::Electrical);
+    if (!top) continue;
+    if (walker.optical_children(v).empty()) continue;
+    walker.walk_component(v);
+  }
+
+  const double bits = static_cast<double>(ctx.bit_count);
+  out.electrical_power_pj =
+      bits * ctx.params->electrical.energy_pj_per_bit(out.electrical_wl_um);
+  out.optical_power_pj =
+      bits * optical::conversion_energy_pj(ctx.params->optical,
+                                           out.num_modulators,
+                                           out.num_detectors);
+  out.power_pj = out.electrical_power_pj + out.optical_power_pj;
+  out.edge_kinds = std::move(edge_kinds);
+  return out;
+}
+
+}  // namespace operon::codesign

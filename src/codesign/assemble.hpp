@@ -1,0 +1,51 @@
+#pragma once
+// Candidate assembly: given a baseline tree and an Optical/Electrical
+// label per edge, derive every property of the candidate (power, paths,
+// segments). This is the single source of truth for candidate semantics;
+// the DP (dp.hpp) must agree with it and is tested against brute-force
+// enumeration through this function.
+//
+// Semantics of an assignment:
+//  * Light flows from the root (driver hyper pin) toward the sinks.
+//  * A maximal connected set of Optical edges is one component; its top
+//    node (closest to root) holds one modulator per channel — data is
+//    available there electrically (it is the root, or its parent edge is
+//    Electrical).
+//  * At the top, the component splits into its optical child arms
+//    (splitting loss for >= 2 arms). At an interior node the arm count is
+//    (#optical children) + 1 if the node needs the data electrically —
+//    i.e. it is a sink hyper pin (local detector tap) or it has
+//    Electrical child edges to feed.
+//  * Every point where light is converted back (tap or conversion node)
+//    is a detector and a detection-constraint path endpoint (Eq. 3c).
+
+#include <vector>
+
+#include "codesign/candidate.hpp"
+#include "codesign/crossing.hpp"
+#include "model/params.hpp"
+#include "steiner/tree.hpp"
+
+namespace operon::codesign {
+
+struct AssembleContext {
+  const steiner::SteinerTree* tree = nullptr;
+  const steiner::RootedTree* rooted = nullptr;
+  std::size_t bit_count = 1;
+  const model::TechParams* params = nullptr;
+  /// Optional crossing estimator (baselines of the other nets); may be null.
+  const SegmentIndex* estimator = nullptr;
+  std::size_t net_id = 0;
+};
+
+/// Derive all fields of a candidate from its edge labels. `edge_kinds`
+/// is indexed by tree node id; the root entry is ignored.
+Candidate assemble_candidate(const AssembleContext& ctx,
+                             std::vector<EdgeKind> edge_kinds,
+                             std::size_t baseline_index);
+
+/// Estimated crossing loss (dB) of a single optical edge segment.
+double estimated_crossing_db(const AssembleContext& ctx,
+                             const geom::Segment& segment);
+
+}  // namespace operon::codesign

@@ -1,0 +1,84 @@
+#pragma once
+// Optical-electrical route candidates (§3.2). For one hyper net, a
+// candidate fixes a baseline tree topology and labels every tree edge
+// Optical (waveguide, any-direction) or Electrical (Manhattan wire).
+// Every maximal optical component has one modulator at its top (where it
+// taps electrical data), splits at fan-out nodes, and a detector at every
+// endpoint that needs the data electrically. A candidate records its
+// power, its source-to-detector paths (the detection-constraint points of
+// Eq. 3c), and its optical segments (for pairwise crossing loss).
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/bbox.hpp"
+#include "geom/segment.hpp"
+#include "steiner/tree.hpp"
+
+namespace operon::codesign {
+
+enum class EdgeKind : unsigned char { Electrical = 0, Optical = 1 };
+
+/// One modulator-to-detector optical path — a detection constraint point.
+struct CandidatePath {
+  /// Propagation + splitting loss along the path, dB (exact).
+  double static_loss_db = 0.0;
+  /// Splitting-only share of static_loss_db (what GLOW [4] ignores).
+  double splitting_db = 0.0;
+  /// Number of splitting events along the path (for variation models).
+  int num_splits = 0;
+  /// Estimated crossing loss against other nets' baselines, dB (used by
+  /// the DP and standalone evaluation; the ILP/LR recompute it pairwise).
+  double estimated_crossing_db = 0.0;
+  /// The optical segments this path traverses (for exact lx terms).
+  std::vector<geom::Segment> segments;
+};
+
+struct Candidate {
+  /// Which baseline topology this candidate was derived from.
+  std::size_t baseline = 0;
+  /// Edge labels indexed by the non-root tree node the edge descends to.
+  std::vector<EdgeKind> edge_kinds;
+
+  // -- derived, filled by assemble_candidate() --
+  double power_pj = 0.0;           ///< total (conversion + wire) energy
+  double electrical_power_pj = 0.0;
+  double optical_power_pj = 0.0;
+  int num_modulators = 0;          ///< per channel (multiply by bits for Eq.1)
+  int num_detectors = 0;
+  double electrical_wl_um = 0.0;   ///< Manhattan wirelength of E edges
+  double optical_wl_um = 0.0;      ///< Euclidean length of O edges
+  std::vector<CandidatePath> paths;
+  std::vector<geom::Segment> optical_segments;
+  std::vector<geom::Segment> electrical_segments;
+  std::vector<geom::Point> modulator_sites;  ///< EO conversion locations
+  std::vector<geom::Point> detector_sites;   ///< OE conversion locations
+
+  bool pure_electrical() const { return optical_segments.empty(); }
+
+  /// Worst static + estimated loss across paths (0 when pure electrical).
+  double worst_estimated_loss_db() const;
+
+  /// Worst propagation + splitting loss across paths, ignoring crossing
+  /// estimates (0 when pure electrical). A candidate whose static loss
+  /// already exceeds lm can never be detected; one whose static loss fits
+  /// may still work out, depending on which other nets go optical — that
+  /// judgement belongs to the ILP/LR, not to generation.
+  double worst_static_loss_db() const;
+};
+
+/// All solution candidates of one hyper net: the co-design set Hsol(i)
+/// plus the mandatory pure-electrical fallback a_ie (always last).
+struct CandidateSet {
+  std::size_t net = 0;        ///< hyper net id
+  std::size_t bit_count = 0;  ///< channels
+  geom::BBox bbox;            ///< for §3.3 variable reduction
+  std::size_t root = 0;  ///< driver hyper-pin index (tree terminal index)
+  std::vector<steiner::SteinerTree> baselines;
+  std::vector<Candidate> options;
+  std::size_t electrical_index = 0;  ///< index of a_ie within options
+
+  const Candidate& electrical() const { return options[electrical_index]; }
+};
+
+}  // namespace operon::codesign

@@ -1,0 +1,76 @@
+#include "codesign/crossing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace operon::codesign {
+
+SegmentIndex::SegmentIndex(const geom::BBox& extent, std::size_t cells)
+    : extent_(extent), cells_(std::max<std::size_t>(cells, 1)) {
+  OPERON_CHECK(!extent.is_empty());
+  cell_w_ = std::max(extent_.width(), 1e-9) / static_cast<double>(cells_);
+  cell_h_ = std::max(extent_.height(), 1e-9) / static_cast<double>(cells_);
+  buckets_.resize(cells_ * cells_);
+}
+
+std::size_t SegmentIndex::cell_of(double x, double y) const {
+  const auto clamp_idx = [this](double v, double lo, double width) {
+    const auto idx = static_cast<long long>((v - lo) / width);
+    return static_cast<std::size_t>(
+        std::clamp<long long>(idx, 0, static_cast<long long>(cells_) - 1));
+  };
+  return clamp_idx(y, extent_.ylo, cell_h_) * cells_ +
+         clamp_idx(x, extent_.xlo, cell_w_);
+}
+
+void SegmentIndex::cells_overlapping(const geom::BBox& box,
+                                     std::vector<std::size_t>& out) const {
+  out.clear();
+  const std::size_t lo = cell_of(box.xlo, box.ylo);
+  const std::size_t hi = cell_of(box.xhi, box.yhi);
+  const std::size_t x0 = lo % cells_, y0 = lo / cells_;
+  const std::size_t x1 = hi % cells_, y1 = hi / cells_;
+  for (std::size_t y = y0; y <= y1; ++y) {
+    for (std::size_t x = x0; x <= x1; ++x) {
+      out.push_back(y * cells_ + x);
+    }
+  }
+}
+
+void SegmentIndex::add(std::size_t net, const geom::Segment& segment) {
+  const std::size_t index = segments_.size();
+  segments_.push_back({segment, net});
+  stamp_.push_back(0);
+  std::vector<std::size_t> cells;
+  cells_overlapping(segment.bbox(), cells);
+  for (std::size_t c : cells) buckets_[c].push_back(index);
+}
+
+void SegmentIndex::add_all(std::size_t net,
+                           std::span<const geom::Segment> segments) {
+  for (const geom::Segment& s : segments) add(net, s);
+}
+
+std::size_t SegmentIndex::count_crossings(const geom::Segment& seg,
+                                          std::size_t exclude_net) const {
+  ++stamp_counter_;
+  std::vector<std::size_t> cells;
+  cells_overlapping(seg.bbox(), cells);
+  const geom::BBox seg_box = seg.bbox();
+  std::size_t count = 0;
+  for (std::size_t c : cells) {
+    for (std::size_t index : buckets_[c]) {
+      if (stamp_[index] == stamp_counter_) continue;
+      stamp_[index] = stamp_counter_;
+      const Tagged& tagged = segments_[index];
+      if (tagged.net == exclude_net) continue;
+      if (!seg_box.overlaps(tagged.segment.bbox())) continue;
+      if (geom::segments_cross(seg, tagged.segment)) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace operon::codesign

@@ -1,0 +1,51 @@
+#pragma once
+// Crossing-loss estimation (§3.2): during candidate generation the
+// crossing loss of an edge is approximated against the *baseline*
+// topologies of the other hyper nets. A uniform bucket grid keeps the
+// segment-vs-segment tests local.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geom/bbox.hpp"
+#include "geom/segment.hpp"
+
+namespace operon::codesign {
+
+/// Spatial index over tagged segments supporting "how many segments not
+/// belonging to net X does this segment properly cross?".
+class SegmentIndex {
+ public:
+  /// `extent`: chip bounding box; `cells`: grid resolution per axis.
+  explicit SegmentIndex(const geom::BBox& extent, std::size_t cells = 64);
+
+  void add(std::size_t net, const geom::Segment& segment);
+  void add_all(std::size_t net, std::span<const geom::Segment> segments);
+
+  std::size_t num_segments() const { return segments_.size(); }
+
+  /// Proper crossings of `seg` against stored segments with net != exclude.
+  std::size_t count_crossings(const geom::Segment& seg,
+                              std::size_t exclude_net) const;
+
+ private:
+  struct Tagged {
+    geom::Segment segment;
+    std::size_t net;
+  };
+
+  std::size_t cell_of(double x, double y) const;
+  void cells_overlapping(const geom::BBox& box, std::vector<std::size_t>& out) const;
+
+  geom::BBox extent_;
+  std::size_t cells_;
+  double cell_w_;
+  double cell_h_;
+  std::vector<Tagged> segments_;
+  std::vector<std::vector<std::size_t>> buckets_;
+  mutable std::vector<std::size_t> stamp_;   ///< visited marks per segment
+  mutable std::size_t stamp_counter_ = 0;
+};
+
+}  // namespace operon::codesign

@@ -1,0 +1,337 @@
+#include "codesign/dp.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "optical/loss.hpp"
+#include "util/check.hpp"
+
+namespace operon::codesign {
+
+namespace {
+
+constexpr double kClosed = -1.0;
+
+/// A label: the state of one subtree *including* the decision for the
+/// edge above it. Closed labels (open_det == 0) have no optical component
+/// reaching through that edge; open labels carry the worst accumulated
+/// loss from the top of the edge down to any pending detector.
+struct Label {
+  double power = 0.0;
+  double open_loss = kClosed;
+  /// Static-only (propagation + splitting) share of open_loss: detection
+  /// feasibility is judged on this, while open_loss (which adds the
+  /// crossing estimate) drives candidate ranking.
+  double open_static = kClosed;
+  int open_det = 0;
+  /// Worst loss among detection paths already closed below this node —
+  /// kept so the root retains a (power, loss-headroom) Pareto frontier
+  /// rather than a single min-power labeling.
+  double closed_worst = 0.0;
+  std::vector<EdgeKind> kinds;
+
+  bool open() const { return open_det > 0; }
+};
+
+/// Intermediate state while folding a node's children together.
+struct MergeState {
+  double power = 0.0;
+  double max_open = 0.0;  ///< only meaningful when k_optical > 0
+  double max_open_static = 0.0;
+  double closed_worst = 0.0;
+  int sum_det = 0;
+  int k_optical = 0;
+  int k_electrical = 0;
+  std::vector<EdgeKind> kinds;
+};
+
+bool dominates(const MergeState& a, const MergeState& b) {
+  return a.power <= b.power + 1e-12 && a.max_open <= b.max_open + 1e-12 &&
+         a.max_open_static <= b.max_open_static + 1e-12 &&
+         a.closed_worst <= b.closed_worst + 1e-12 && a.sum_det <= b.sum_det &&
+         a.k_optical <= b.k_optical && a.k_electrical == b.k_electrical;
+}
+
+void prune_states(std::vector<MergeState>& states, std::size_t cap,
+                  bool prune_dominated) {
+  if (prune_dominated) {
+    std::vector<MergeState> kept;
+    for (auto& s : states) {
+      bool dominated = false;
+      for (const auto& k : kept) {
+        if (dominates(k, s)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (dominated) continue;
+      std::erase_if(kept, [&](const MergeState& k) { return dominates(s, k); });
+      kept.push_back(std::move(s));
+    }
+    states = std::move(kept);
+  }
+  if (cap > 0 && states.size() > cap) {
+    std::sort(states.begin(), states.end(),
+              [](const MergeState& a, const MergeState& b) {
+                if (a.power != b.power) return a.power < b.power;
+                return a.max_open < b.max_open;
+              });
+    // Guarantee an all-closed state survives: it is the only one whose
+    // close option is unconditionally feasible.
+    std::size_t best_closed = states.size();
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      if (states[i].k_optical == 0) {
+        best_closed = i;
+        break;
+      }
+    }
+    if (best_closed >= cap && best_closed < states.size()) {
+      std::swap(states[cap - 1], states[best_closed]);
+    }
+    states.resize(cap);
+  }
+}
+
+void prune_labels(std::vector<Label>& labels, std::size_t cap,
+                  bool prune_dominated) {
+  const auto label_dominates = [](const Label& a, const Label& b) {
+    if (a.open() != b.open()) return false;  // separate pools
+    return a.power <= b.power + 1e-12 &&
+           a.open_loss <= b.open_loss + 1e-12 &&
+           a.open_static <= b.open_static + 1e-12 &&
+           a.closed_worst <= b.closed_worst + 1e-12 &&
+           a.open_det <= b.open_det;
+  };
+  if (prune_dominated) {
+    std::vector<Label> kept;
+    for (auto& l : labels) {
+      bool dominated = false;
+      for (const auto& k : kept) {
+        if (label_dominates(k, l)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (dominated) continue;
+      std::erase_if(kept, [&](const Label& k) { return label_dominates(l, k); });
+      kept.push_back(std::move(l));
+    }
+    labels = std::move(kept);
+  }
+  if (cap > 0 && labels.size() > cap) {
+    // Keep the cheapest of each pool, preserving at least one closed label.
+    std::stable_sort(labels.begin(), labels.end(),
+                     [](const Label& a, const Label& b) {
+                       if (a.power != b.power) return a.power < b.power;
+                       return a.open_loss < b.open_loss;
+                     });
+    std::vector<Label> kept;
+    kept.reserve(cap);
+    bool have_closed = false;
+    for (auto& l : labels) {
+      if (kept.size() >= cap) {
+        if (!have_closed && !l.open()) {
+          kept.back() = std::move(l);  // guarantee a closed survivor
+          have_closed = true;
+        }
+        continue;
+      }
+      have_closed = have_closed || !l.open();
+      kept.push_back(std::move(l));
+    }
+    labels = std::move(kept);
+  }
+}
+
+class DpRunner {
+ public:
+  DpRunner(const AssembleContext& ctx, const DpOptions& options)
+      : ctx_(ctx), options_(options), tree_(*ctx.tree), rooted_(*ctx.rooted) {}
+
+  std::vector<std::vector<EdgeKind>> run() {
+    const std::size_t n = tree_.num_points();
+    labels_.assign(n, {});
+    for (std::size_t v : rooted_.postorder) {
+      process_node(v);
+    }
+    std::vector<std::vector<EdgeKind>> result;
+    for (Label& label : labels_[rooted_.root]) {
+      result.push_back(std::move(label.kinds));
+    }
+    return result;
+  }
+
+ private:
+  bool is_sink(std::size_t v) const {
+    return tree_.is_terminal(v) && v != rooted_.root;
+  }
+
+  /// (static propagation loss, estimated crossing loss) of one edge.
+  std::pair<double, double> edge_optical_loss(std::size_t parent,
+                                              std::size_t v) const {
+    const geom::Segment seg{tree_.points[parent], tree_.points[v]};
+    const double prop = ctx_.params->optical.alpha_db_per_um * seg.length();
+    const double est =
+        seg.length() > 0.0 ? estimated_crossing_db(ctx_, seg) : 0.0;
+    return {prop, est};
+  }
+
+  void process_node(std::size_t v) {
+    const std::size_t n = tree_.num_points();
+    const auto& children = rooted_.children[v];
+
+    // Fold children label sets into merge states.
+    std::vector<MergeState> states;
+    {
+      MergeState init;
+      init.kinds.assign(n, EdgeKind::Electrical);
+      init.max_open = 0.0;
+      states.push_back(std::move(init));
+    }
+    for (std::size_t child : children) {
+      std::vector<MergeState> next;
+      for (const MergeState& state : states) {
+        for (const Label& label : labels_[child]) {
+          MergeState merged = state;
+          merged.power += label.power;
+          merged.closed_worst = std::max(merged.closed_worst, label.closed_worst);
+          if (label.open()) {
+            merged.max_open = std::max(merged.max_open, label.open_loss);
+            merged.max_open_static =
+                std::max(merged.max_open_static, label.open_static);
+            merged.sum_det += label.open_det;
+            ++merged.k_optical;
+          } else {
+            ++merged.k_electrical;
+          }
+          // Overlay the child's subtree decisions.
+          for (std::size_t i = 0; i < n; ++i) {
+            if (label.kinds[i] == EdgeKind::Optical)
+              merged.kinds[i] = EdgeKind::Optical;
+          }
+          merged.kinds[child] = label.open() ? EdgeKind::Optical
+                                             : EdgeKind::Electrical;
+          next.push_back(std::move(merged));
+        }
+      }
+      prune_states(next, options_.max_labels * 2, options_.prune_dominated);
+      states = std::move(next);
+    }
+
+    // Emit labels for v from each merged state.
+    const double bits = static_cast<double>(ctx_.bit_count);
+    const double lm = ctx_.params->optical.max_loss_db;
+    std::vector<Label> out;
+    const bool is_root = (v == rooted_.root);
+
+    for (const MergeState& state : states) {
+      // Option A: close at v — edge above electrical (or v is root).
+      {
+        double power = state.power;
+        double closed_worst = state.closed_worst;
+        bool feasible = true;
+        if (state.k_optical >= 1) {
+          const double split = optical::splitting_loss_db(
+              ctx_.params->optical, state.k_optical);
+          // Detection feasibility is judged on static loss only; exact
+          // crossing terms are enforced at selection time (Eq. 3c).
+          if (options_.prune_infeasible &&
+              state.max_open_static + split > lm + 1e-9) {
+            feasible = false;
+          }
+          closed_worst = std::max(closed_worst, state.max_open + split);
+          power += bits * optical::conversion_energy_pj(ctx_.params->optical,
+                                                        1, state.sum_det);
+        }
+        if (feasible) {
+          Label label;
+          label.closed_worst = closed_worst;
+          label.kinds = state.kinds;
+          if (!is_root) {
+            const double len = geom::manhattan(tree_.points[rooted_.parent[v]],
+                                               tree_.points[v]);
+            power += bits * ctx_.params->electrical.energy_pj_per_bit(len);
+            label.kinds[v] = EdgeKind::Electrical;
+          }
+          label.power = power;
+          out.push_back(std::move(label));
+        }
+      }
+
+      // Option B: extend upward — edge above optical (v != root).
+      if (!is_root) {
+        const bool needs_local = is_sink(v) || state.k_electrical > 0;
+        const int arms = state.k_optical + (needs_local ? 1 : 0);
+        if (arms >= 1) {
+          const double split =
+              arms >= 2
+                  ? optical::splitting_loss_db(ctx_.params->optical, arms)
+                  : 0.0;
+          const auto [edge_prop, edge_est] =
+              edge_optical_loss(rooted_.parent[v], v);
+          double open_loss = needs_local ? split : 0.0;
+          double open_static = open_loss;
+          if (state.k_optical >= 1) {
+            open_loss = std::max(open_loss, state.max_open + split);
+            open_static =
+                std::max(open_static, state.max_open_static + split);
+          }
+          open_loss += edge_prop + edge_est;
+          open_static += edge_prop;
+          if (!options_.prune_infeasible || open_static <= lm + 1e-9) {
+            Label label;
+            label.power = state.power;
+            label.open_loss = open_loss;
+            label.open_static = open_static;
+            label.open_det = state.sum_det + (needs_local ? 1 : 0);
+            label.closed_worst = state.closed_worst;
+            label.kinds = state.kinds;
+            label.kinds[v] = EdgeKind::Optical;
+            out.push_back(std::move(label));
+          }
+        }
+      }
+    }
+    prune_labels(out, options_.max_labels, options_.prune_dominated);
+    OPERON_CHECK_MSG(!out.empty(), "DP produced no labels at node " << v);
+    labels_[v] = std::move(out);
+  }
+
+  const AssembleContext& ctx_;
+  DpOptions options_;
+  const steiner::SteinerTree& tree_;
+  const steiner::RootedTree& rooted_;
+  std::vector<std::vector<Label>> labels_;
+};
+
+}  // namespace
+
+std::vector<Candidate> run_codesign_dp(const AssembleContext& ctx,
+                                       std::size_t baseline_index,
+                                       const DpOptions& options) {
+  OPERON_CHECK(ctx.tree != nullptr && ctx.rooted != nullptr &&
+               ctx.params != nullptr);
+  DpRunner runner(ctx, options);
+  std::vector<std::vector<EdgeKind>> assignments = runner.run();
+
+  // Always include the all-electrical labeling of this topology so the
+  // candidate set is never empty even under aggressive pruning.
+  assignments.emplace_back(ctx.tree->num_points(), EdgeKind::Electrical);
+
+  // Deduplicate assignments.
+  std::map<std::vector<EdgeKind>, bool> seen;
+  std::vector<Candidate> candidates;
+  for (auto& kinds : assignments) {
+    if (!seen.emplace(kinds, true).second) continue;
+    candidates.push_back(
+        assemble_candidate(ctx, std::move(kinds), baseline_index));
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.power_pj < b.power_pj;
+            });
+  return candidates;
+}
+
+}  // namespace operon::codesign

@@ -1,0 +1,34 @@
+#pragma once
+// Bottom-up co-design dynamic program (§3.2, Fig 5). Inspired by classic
+// buffer insertion: each tree node carries a Pareto set of labels
+// (power, open-path loss, open detector count); per-edge Optical /
+// Electrical decisions extend or close optical components, and inferior
+// labels are pruned. The surviving root labels are the candidate set of
+// the hyper net. Runtime is O(|Nc|·|d|) label work as claimed in §3.2,
+// with the label width bounded by `max_labels`.
+
+#include <vector>
+
+#include "codesign/assemble.hpp"
+#include "codesign/candidate.hpp"
+
+namespace operon::codesign {
+
+struct DpOptions {
+  /// Pareto-pool cap per node and kind (E vs O pools prune separately).
+  std::size_t max_labels = 24;
+  /// Prune labels whose estimated open loss already exceeds lm.
+  bool prune_infeasible = true;
+  /// Disable Pareto dominance pruning entirely (ablation support); the
+  /// pool cap still applies unless it is 0 (= unlimited).
+  bool prune_dominated = true;
+};
+
+/// Run the DP over one baseline tree. Returns assembled candidates,
+/// deduplicated and sorted by power; always contains at least the
+/// all-electrical labeling of this topology.
+std::vector<Candidate> run_codesign_dp(const AssembleContext& ctx,
+                                       std::size_t baseline_index,
+                                       const DpOptions& options = {});
+
+}  // namespace operon::codesign

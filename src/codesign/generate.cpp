@@ -1,0 +1,155 @@
+#include "codesign/generate.hpp"
+
+#include <algorithm>
+
+#include "optical/loss.hpp"
+#include "steiner/bi1s.hpp"
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace operon::codesign {
+
+namespace {
+
+std::vector<geom::Point> pin_centers(const model::HyperNet& net) {
+  std::vector<geom::Point> points;
+  points.reserve(net.pins.size());
+  for (const model::HyperPin& pin : net.pins) points.push_back(pin.center);
+  return points;
+}
+
+/// Two-pin nets get extra *detour* baselines: a bend point offset
+/// perpendicular to the straight route. The conversion power is the same
+/// as the straight waveguide, but the geometry can dodge crossing-dense
+/// regions — a choice GLOW's straight-line router does not have ("optical
+/// scheme allows routing in any direction", §2.3).
+void add_detour_baselines(std::vector<steiner::SteinerTree>& baselines,
+                          const std::vector<geom::Point>& pins) {
+  if (pins.size() != 2) return;
+  const geom::Point a = pins[0], b = pins[1];
+  const double len = geom::euclidean(a, b);
+  if (len <= 0.0) return;
+  const geom::Point mid = geom::midpoint(a, b);
+  const geom::Point normal{-(b.y - a.y) / len, (b.x - a.x) / len};
+  for (const double offset : {0.12 * len, -0.12 * len, 0.25 * len}) {
+    steiner::SteinerTree tree;
+    tree.points = {a, b, mid + normal * offset};
+    tree.num_terminals = 2;
+    tree.edges = {{0, 2}, {2, 1}};
+    baselines.push_back(std::move(tree));
+  }
+}
+
+/// The pure-electrical alternative a_ie: RSMT topology, every edge
+/// electrical, Manhattan wirelength power (Eq. 6).
+Candidate electrical_candidate(const model::HyperNet& net,
+                               const model::TechParams& params,
+                               steiner::SteinerTree& rsmt_out) {
+  const auto points = pin_centers(net);
+  steiner::Bi1sOptions options;
+  options.metric = steiner::Metric::Rectilinear;
+  rsmt_out = steiner::bi1s(points, options);
+  const steiner::RootedTree rooted = steiner::RootedTree::build(rsmt_out, net.root);
+
+  AssembleContext ctx;
+  ctx.tree = &rsmt_out;
+  ctx.rooted = &rooted;
+  ctx.bit_count = net.bit_count();
+  ctx.params = &params;
+  ctx.net_id = net.id;
+  return assemble_candidate(
+      ctx, std::vector<EdgeKind>(rsmt_out.num_points(), EdgeKind::Electrical),
+      /*baseline_index=*/0);
+}
+
+}  // namespace
+
+std::vector<CandidateSet> generate_candidates(
+    const model::Design& design, std::span<const model::HyperNet> nets,
+    const model::TechParams& params, const GenerationOptions& options) {
+  OPERON_CHECK(params.valid());
+  OPERON_CHECK(options.max_baselines >= 1);
+
+  // Phase 1: baselines for every net (needed before any DP so crossings
+  // can be estimated against the other nets' primary baselines).
+  std::vector<std::vector<steiner::SteinerTree>> baselines(nets.size());
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    baselines[i] = steiner::generate_baselines(
+        pin_centers(nets[i]), steiner::Metric::Euclidean, options.max_baselines);
+  }
+
+  SegmentIndex estimator(design.chip, options.grid_cells);
+  if (options.estimate_crossings) {
+    for (std::size_t i = 0; i < nets.size(); ++i) {
+      estimator.add_all(nets[i].id,
+                        baselines[i][0].segments(steiner::Metric::Euclidean));
+    }
+  }
+
+  // Phase 2: DP per baseline, then the electrical fallback.
+  std::vector<CandidateSet> sets;
+  sets.reserve(nets.size());
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    const model::HyperNet& net = nets[i];
+    CandidateSet set;
+    set.net = net.id;
+    set.bit_count = net.bit_count();
+    set.root = net.root;
+    set.baselines = std::move(baselines[i]);
+
+    if (options.detour_baselines) {
+      add_detour_baselines(set.baselines, pin_centers(net));
+    }
+
+    for (std::size_t b = 0; b < set.baselines.size(); ++b) {
+      const steiner::SteinerTree& tree = set.baselines[b];
+      const steiner::RootedTree rooted = steiner::RootedTree::build(tree, net.root);
+      AssembleContext ctx;
+      ctx.tree = &tree;
+      ctx.rooted = &rooted;
+      ctx.bit_count = net.bit_count();
+      ctx.params = &params;
+      ctx.estimator = options.estimate_crossings ? &estimator : nullptr;
+      ctx.net_id = net.id;
+      for (Candidate& cand : run_codesign_dp(ctx, b, options.dp)) {
+        // Drop candidates that cannot meet detection even in isolation
+        // (static loss; crossing-dependent feasibility is the selection
+        // stage's job, with exact pairwise lx terms).
+        if (cand.worst_static_loss_db() > params.optical.max_loss_db + 1e-9)
+          continue;
+        set.options.push_back(std::move(cand));
+      }
+    }
+
+    std::sort(set.options.begin(), set.options.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.power_pj < b.power_pj;
+              });
+    // Drop duplicate pure-electrical DP labelings (a_ie supersedes them)
+    // and cap the co-design set.
+    std::erase_if(set.options,
+                  [](const Candidate& c) { return c.pure_electrical(); });
+    if (options.max_candidates_per_net > 0 &&
+        set.options.size() > options.max_candidates_per_net) {
+      set.options.resize(options.max_candidates_per_net);
+    }
+
+    steiner::SteinerTree rsmt;
+    set.options.push_back(electrical_candidate(net, params, rsmt));
+    set.baselines.push_back(std::move(rsmt));
+    set.options.back().baseline = set.baselines.size() - 1;
+    set.electrical_index = set.options.size() - 1;
+
+    geom::BBox box = net.bbox();
+    for (const Candidate& cand : set.options) {
+      for (const geom::Segment& seg : cand.optical_segments) {
+        box.expand(seg.bbox());
+      }
+    }
+    set.bbox = box;
+    sets.push_back(std::move(set));
+  }
+  return sets;
+}
+
+}  // namespace operon::codesign

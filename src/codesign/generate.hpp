@@ -1,0 +1,41 @@
+#pragma once
+// Candidate generation driver (the "Signal Route Determination" box of
+// Fig 2 up to its formulation step): per hyper net, build Euclidean BI1S
+// baseline topologies, estimate crossings against the other nets'
+// primary baselines, run the co-design DP on every baseline, and append
+// the rectilinear-Steiner pure-electrical alternative a_ie.
+
+#include <span>
+#include <vector>
+
+#include "codesign/candidate.hpp"
+#include "codesign/dp.hpp"
+#include "model/design.hpp"
+#include "model/hyper.hpp"
+#include "model/params.hpp"
+
+namespace operon::codesign {
+
+struct GenerationOptions {
+  std::size_t max_baselines = 3;
+  DpOptions dp;
+  /// Grid resolution of the crossing estimator.
+  std::size_t grid_cells = 64;
+  /// Estimate crossing losses against other nets' baselines during
+  /// generation (§3.2); ablation switch.
+  bool estimate_crossings = true;
+  /// Keep at most this many co-design candidates per net (0 = all).
+  std::size_t max_candidates_per_net = 12;
+  /// Add perpendicular-bend detour baselines for two-pin nets (§2.3's
+  /// any-direction routing; lets the selection dodge crossing hotspots).
+  bool detour_baselines = true;
+};
+
+/// Candidate sets for every hyper net, in the same order as `nets`.
+/// Every set contains >= 1 co-design or electrical option and always the
+/// pure-electrical fallback (options.back(), electrical_index).
+std::vector<CandidateSet> generate_candidates(
+    const model::Design& design, std::span<const model::HyperNet> nets,
+    const model::TechParams& params, const GenerationOptions& options = {});
+
+}  // namespace operon::codesign

@@ -1,0 +1,466 @@
+#include "codesign/ilp_select.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <numeric>
+
+#include "util/check.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace operon::codesign {
+
+namespace {
+
+bool has_optical_option(const CandidateSet& set) {
+  return std::any_of(set.options.begin(), set.options.end(),
+                     [](const Candidate& c) { return !c.pure_electrical(); });
+}
+
+/// True when some candidate pair of the two nets can actually cross.
+bool can_conflict(const SelectionEvaluator& evaluator, std::size_t i,
+                  std::size_t m) {
+  const auto& a = evaluator.set(i);
+  const auto& b = evaluator.set(m);
+  for (std::size_t ci = 0; ci < a.options.size(); ++ci) {
+    for (std::size_t cm = 0; cm < b.options.size(); ++cm) {
+      if (!evaluator.crossings(i, ci, m, cm).empty()) return true;
+      if (!evaluator.crossings(m, cm, i, ci).empty()) return true;
+    }
+  }
+  return false;
+}
+
+/// Connected components of the conflict graph: nets are joined only when
+/// some candidate pair can genuinely cross (a sharper §3.3 reduction than
+/// bounding boxes alone — disjoint components solve independently and a
+/// conflict-free net is provably optimal at its min-power candidate).
+std::vector<std::vector<std::size_t>> interaction_components(
+    const SelectionEvaluator& evaluator) {
+  const std::size_t n = evaluator.num_nets();
+  std::vector<std::size_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  const std::function<std::size_t(std::size_t)> find = [&](std::size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!has_optical_option(evaluator.set(i))) continue;
+    for (std::size_t m : evaluator.interacting(i)) {
+      if (m < i || !has_optical_option(evaluator.set(m))) continue;
+      if (find(i) == find(m)) continue;
+      if (can_conflict(evaluator, i, m)) parent[find(i)] = find(m);
+    }
+  }
+  std::vector<std::vector<std::size_t>> components;
+  std::vector<std::size_t> index(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t root = find(i);
+    if (index[root] == n) {
+      index[root] = components.size();
+      components.emplace_back();
+    }
+    components[index[root]].push_back(i);
+  }
+  return components;
+}
+
+/// Exact DFS branch-and-bound over one interaction component.
+class ComponentSolver {
+ public:
+  ComponentSolver(const SelectionEvaluator& evaluator,
+                  std::vector<std::size_t> nets, const util::Deadline& deadline,
+                  Selection& selection, std::size_t& nodes,
+                  const Selection* warm_start, const Selection* peeled)
+      : evaluator_(evaluator),
+        nets_(std::move(nets)),
+        deadline_(deadline),
+        selection_(selection),
+        nodes_(nodes),
+        warm_start_(warm_start),
+        peeled_(peeled) {
+    const std::size_t n = evaluator_.num_nets();
+    local_index_.assign(n, n);
+    for (std::size_t k = 0; k < nets_.size(); ++k) local_index_[nets_[k]] = k;
+
+    // Order: most-interacting nets first so conflicts surface early.
+    std::sort(nets_.begin(), nets_.end(), [&](std::size_t a, std::size_t b) {
+      const auto da = evaluator_.interacting(a).size();
+      const auto db = evaluator_.interacting(b).size();
+      if (da != db) return da > db;
+      return a < b;
+    });
+    for (std::size_t k = 0; k < nets_.size(); ++k) local_index_[nets_[k]] = k;
+
+    // Per-net candidate order by power, and suffix minimum power bound.
+    candidate_order_.resize(nets_.size());
+    min_power_.resize(nets_.size());
+    for (std::size_t k = 0; k < nets_.size(); ++k) {
+      const auto& options = evaluator_.set(nets_[k]).options;
+      candidate_order_[k].resize(options.size());
+      std::iota(candidate_order_[k].begin(), candidate_order_[k].end(), 0u);
+      std::sort(candidate_order_[k].begin(), candidate_order_[k].end(),
+                [&](std::size_t a, std::size_t b) {
+                  return options[a].power_pj < options[b].power_pj;
+                });
+      min_power_[k] = options[candidate_order_[k][0]].power_pj;
+    }
+    suffix_min_.assign(nets_.size() + 1, 0.0);
+    for (std::size_t k = nets_.size(); k > 0; --k) {
+      suffix_min_[k - 1] = suffix_min_[k] + min_power_[k - 1];
+    }
+
+    path_loss_.resize(nets_.size());
+    choice_.assign(nets_.size(), 0);
+    assigned_.assign(nets_.size(), false);
+  }
+
+  /// Returns true when the component optimum was proven within deadline.
+  bool solve() {
+    seed_incumbent();
+    timed_out_ = false;
+    dfs(0, 0.0);
+    for (std::size_t k = 0; k < nets_.size(); ++k) {
+      selection_[nets_[k]] = best_choice_[k];
+    }
+    return !timed_out_;
+  }
+
+ private:
+  void seed_incumbent() {
+    // Greedy: cheapest candidate consistent with earlier picks; the
+    // pure-electrical fallback always works, so this always completes.
+    double power = 0.0;
+    for (std::size_t k = 0; k < nets_.size(); ++k) {
+      bool placed = false;
+      for (std::size_t ci : candidate_order_[k]) {
+        if (try_assign(k, ci)) {
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) {
+        const bool ok = try_assign(k, evaluator_.set(nets_[k]).electrical_index);
+        OPERON_CHECK_MSG(ok, "electrical fallback rejected — invariant broken");
+      }
+      power += evaluator_.set(nets_[k]).options[choice_[k]].power_pj;
+    }
+    best_choice_ = choice_;
+    best_power_ = power;
+    // Unwind the greedy assignment.
+    for (std::size_t k = nets_.size(); k > 0; --k) unassign(k - 1);
+
+    // Warm starts (user-provided and the peel heuristic) replace the
+    // greedy incumbent when feasible on this component and cheaper.
+    for (const Selection* seed : {warm_start_, peeled_}) {
+      if (seed == nullptr) continue;
+      double seed_power = 0.0;
+      std::size_t assigned = 0;
+      for (; assigned < nets_.size(); ++assigned) {
+        const std::size_t ci = (*seed)[nets_[assigned]];
+        if (!try_assign(assigned, ci)) break;
+        seed_power += evaluator_.set(nets_[assigned]).options[ci].power_pj;
+      }
+      const bool feasible = (assigned == nets_.size());
+      if (feasible && seed_power < best_power_) {
+        best_power_ = seed_power;
+        best_choice_ = choice_;
+      }
+      for (std::size_t k = assigned; k > 0; --k) unassign(k - 1);
+    }
+  }
+
+  /// If every remaining slot can take its min-power candidate without a
+  /// violation, the subtree optimum equals the additive bound: record the
+  /// completed incumbent and prune the whole subtree.
+  bool try_min_power_completion(std::size_t k, double committed) {
+    std::size_t assigned = k;
+    for (; assigned < nets_.size(); ++assigned) {
+      if (!try_assign(assigned, candidate_order_[assigned][0])) break;
+    }
+    const bool complete = (assigned == nets_.size());
+    if (complete) {
+      const double power = committed + suffix_min_[k];
+      if (power < best_power_ - 1e-12) {
+        best_power_ = power;
+        best_choice_ = choice_;
+      }
+    }
+    for (std::size_t undo = assigned; undo > k; --undo) unassign(undo - 1);
+    return complete;
+  }
+
+  void dfs(std::size_t k, double committed) {
+    ++nodes_;
+    if (deadline_.expired()) {
+      timed_out_ = true;
+      return;
+    }
+    if (k == nets_.size()) {
+      if (committed < best_power_ - 1e-12) {
+        best_power_ = committed;
+        best_choice_ = choice_;
+      }
+      return;
+    }
+    // Min-power completion: when the cheapest remaining candidates are
+    // mutually consistent with the partial assignment, the additive bound
+    // is achieved exactly and no branching below this node can do better.
+    if (try_min_power_completion(k, committed)) return;
+    for (std::size_t ci : candidate_order_[k]) {
+      const double power =
+          evaluator_.set(nets_[k]).options[ci].power_pj;
+      // Candidates are power-sorted: once the bound trips, all later ones
+      // trip too.
+      if (committed + power + suffix_min_[k + 1] >= best_power_ - 1e-12) break;
+      if (!try_assign(k, ci)) continue;
+      dfs(k + 1, committed + power);
+      unassign(k);
+      if (timed_out_) return;
+    }
+  }
+
+  /// Attempt to assign candidate ci to component slot k; returns false
+  /// (leaving state untouched) if any assigned path would exceed lm.
+  bool try_assign(std::size_t k, std::size_t ci) {
+    const std::size_t i = nets_[k];
+    const Candidate& cand = evaluator_.set(i).options[ci];
+    const double lm = evaluator_.params().optical.max_loss_db;
+    const double beta = evaluator_.params().optical.beta_db_per_crossing;
+
+    // New net's path losses against already-assigned neighbors.
+    std::vector<double> own(cand.paths.size());
+    for (std::size_t p = 0; p < cand.paths.size(); ++p) {
+      own[p] = cand.paths[p].static_loss_db;
+    }
+    for (std::size_t m : evaluator_.interacting(i)) {
+      const std::size_t km = local_index_[m];
+      if (km >= nets_.size() || !assigned_[km]) continue;
+      const auto& counts = evaluator_.crossings(i, ci, m, choice_[km]);
+      if (counts.empty()) continue;  // all-zero marker
+      for (std::size_t p = 0; p < own.size(); ++p) {
+        own[p] += beta * counts[p];
+      }
+    }
+    for (double loss : own) {
+      if (loss > lm + 1e-9) return false;
+    }
+
+    // Increments to assigned neighbors' paths.
+    std::vector<DeltaRec> deltas;
+    if (!cand.optical_segments.empty()) {
+      for (std::size_t m : evaluator_.interacting(i)) {
+        const std::size_t km = local_index_[m];
+        if (km >= nets_.size() || !assigned_[km]) continue;
+        const auto& counts = evaluator_.crossings(m, choice_[km], i, ci);
+        if (counts.empty()) continue;  // all-zero marker
+        DeltaRec delta{km, std::vector<double>(counts.size(), 0.0)};
+        bool any = false;
+        for (std::size_t q = 0; q < counts.size(); ++q) {
+          if (counts[q] == 0) continue;
+          delta.add[q] = beta * counts[q];
+          if (path_loss_[km][q] + delta.add[q] > lm + 1e-9) return false;
+          any = true;
+        }
+        if (any) deltas.push_back(std::move(delta));
+      }
+    }
+
+    // Commit.
+    for (const DeltaRec& delta : deltas) {
+      for (std::size_t q = 0; q < delta.add.size(); ++q) {
+        path_loss_[delta.km][q] += delta.add[q];
+      }
+    }
+    path_loss_[k] = std::move(own);
+    choice_[k] = ci;
+    assigned_[k] = true;
+    undo_stack_.push_back(std::move(deltas));
+    return true;
+  }
+
+  void unassign(std::size_t k) {
+    assigned_[k] = false;
+    path_loss_[k].clear();
+    const auto deltas = std::move(undo_stack_.back());
+    undo_stack_.pop_back();
+    for (const auto& delta : deltas) {
+      for (std::size_t q = 0; q < delta.add.size(); ++q) {
+        path_loss_[delta.km][q] -= delta.add[q];
+      }
+    }
+  }
+
+  const SelectionEvaluator& evaluator_;
+  std::vector<std::size_t> nets_;
+  const util::Deadline& deadline_;
+  Selection& selection_;
+  std::size_t& nodes_;
+  const Selection* warm_start_ = nullptr;
+  const Selection* peeled_ = nullptr;
+
+  std::vector<std::size_t> local_index_;
+  std::vector<std::vector<std::size_t>> candidate_order_;
+  std::vector<double> min_power_;
+  std::vector<double> suffix_min_;
+
+  std::vector<std::vector<double>> path_loss_;
+  std::vector<std::size_t> choice_;
+  std::vector<char> assigned_;
+
+  std::vector<std::size_t> best_choice_;
+  double best_power_ = std::numeric_limits<double>::infinity();
+  bool timed_out_ = false;
+
+  // Undo records for try_assign/unassign.
+  struct DeltaRec {
+    std::size_t km;
+    std::vector<double> add;
+  };
+  std::vector<std::vector<DeltaRec>> undo_stack_;
+};
+
+}  // namespace
+
+SelectResult solve_selection_exact(std::span<const CandidateSet> sets,
+                                   const model::TechParams& params,
+                                   const SelectOptions& options) {
+  util::Timer timer;
+  util::Deadline deadline(options.time_limit_s);
+  SelectionEvaluator evaluator(sets, params,
+                               /*interact_all=*/!options.reduce_variables);
+
+  SelectResult result;
+  result.selection = evaluator.min_power_selection();
+  // Peel(min-power) is a strong generic incumbent (GLOW-style worst-
+  // offender demotion, but candidate-aware); components pick the best of
+  // it, the user-provided warm start, and their own greedy seed.
+  const Selection peeled = evaluator.peel(result.selection);
+  const auto components = interaction_components(evaluator);
+  result.num_components = components.size();
+  bool all_proven = true;
+  std::size_t nodes = 0;
+  for (const auto& component : components) {
+    result.largest_component =
+        std::max(result.largest_component, component.size());
+    if (component.size() == 1 &&
+        evaluator.set(component[0]).options.size() == 1) {
+      result.selection[component[0]] = 0;
+      continue;
+    }
+    const Selection* warm =
+        options.warm_start.size() == sets.size() ? &options.warm_start
+                                                 : nullptr;
+    ComponentSolver solver(evaluator, component, deadline, result.selection,
+                           nodes, warm, &peeled);
+    all_proven = solver.solve() && all_proven;
+  }
+  result.nodes_explored = nodes;
+  result.power_pj = evaluator.total_power(result.selection);
+  result.violations = evaluator.violations(result.selection);
+  result.proven_optimal = all_proven;
+  result.timed_out = !all_proven && deadline.expired();
+  result.runtime_s = timer.seconds();
+  return result;
+}
+
+SelectionMip build_selection_mip(const SelectionEvaluator& evaluator) {
+  SelectionMip mip;
+  const double lm = evaluator.params().optical.max_loss_db;
+  const double beta = evaluator.params().optical.beta_db_per_crossing;
+
+  // One-hot selection binaries (3b) and the objective (3a).
+  ilp::LinearExpr objective;
+  mip.selection_vars.resize(evaluator.num_nets());
+  for (std::size_t i = 0; i < evaluator.num_nets(); ++i) {
+    const auto& options = evaluator.set(i).options;
+    ilp::LinearExpr onehot;
+    for (std::size_t c = 0; c < options.size(); ++c) {
+      const auto var = mip.model.add_binary("a_" + std::to_string(i) + "_" +
+                                            std::to_string(c));
+      mip.selection_vars[i].push_back(var);
+      onehot.push_back({var, 1.0});
+      objective.push_back({var, options[c].power_pj});
+    }
+    mip.model.add_constraint(std::move(onehot), ilp::Relation::Equal, 1.0,
+                             "onehot_" + std::to_string(i));
+  }
+  mip.model.set_objective(std::move(objective), ilp::Sense::Minimize);
+
+  // Detection constraints (3c) with McCormick products for aij * amn.
+  std::unordered_map<std::uint64_t, std::size_t> product_vars;
+  const auto product = [&](std::size_t va, std::size_t vb) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(std::min(va, vb)) << 32) |
+        static_cast<std::uint64_t>(std::max(va, vb));
+    const auto it = product_vars.find(key);
+    if (it != product_vars.end()) return it->second;
+    const auto y = mip.model.add_continuous(0.0, 1.0);
+    mip.model.add_constraint({{y, 1.0}, {va, -1.0}}, ilp::Relation::LessEq, 0.0);
+    mip.model.add_constraint({{y, 1.0}, {vb, -1.0}}, ilp::Relation::LessEq, 0.0);
+    mip.model.add_constraint({{y, 1.0}, {va, -1.0}, {vb, -1.0}},
+                             ilp::Relation::GreaterEq, -1.0);
+    product_vars.emplace(key, y);
+    return y;
+  };
+
+  for (std::size_t i = 0; i < evaluator.num_nets(); ++i) {
+    const auto& options = evaluator.set(i).options;
+    for (std::size_t c = 0; c < options.size(); ++c) {
+      const Candidate& cand = options[c];
+      for (std::size_t p = 0; p < cand.paths.size(); ++p) {
+        ilp::LinearExpr lhs;
+        lhs.push_back({mip.selection_vars[i][c],
+                       cand.paths[p].static_loss_db});
+        for (std::size_t m : evaluator.interacting(i)) {
+          for (std::size_t cm = 0; cm < evaluator.set(m).options.size(); ++cm) {
+            const auto& counts = evaluator.crossings(i, c, m, cm);
+            if (counts.empty() || counts[p] == 0) continue;
+            const auto y =
+                product(mip.selection_vars[i][c], mip.selection_vars[m][cm]);
+            lhs.push_back({y, beta * counts[p]});
+          }
+        }
+        mip.model.add_constraint(std::move(lhs), ilp::Relation::LessEq, lm);
+      }
+    }
+  }
+  return mip;
+}
+
+SelectResult solve_selection_mip(std::span<const CandidateSet> sets,
+                                 const model::TechParams& params,
+                                 const SelectOptions& options) {
+  util::Timer timer;
+  SelectionEvaluator evaluator(sets, params,
+                               /*interact_all=*/!options.reduce_variables);
+  SelectionMip mip = build_selection_mip(evaluator);
+
+  ilp::MipOptions mip_options;
+  mip_options.time_limit_s = options.time_limit_s;
+  const ilp::MipResult solved = ilp::solve_mip(mip.model, mip_options);
+
+  SelectResult result;
+  result.runtime_s = timer.seconds();
+  result.nodes_explored = solved.nodes_explored;
+  result.timed_out = solved.status == ilp::MipStatus::TimeLimit;
+  result.proven_optimal = solved.status == ilp::MipStatus::Optimal;
+  if (solved.has_incumbent) {
+    result.selection.assign(evaluator.num_nets(), 0);
+    for (std::size_t i = 0; i < evaluator.num_nets(); ++i) {
+      for (std::size_t c = 0; c < mip.selection_vars[i].size(); ++c) {
+        if (solved.values[mip.selection_vars[i][c]] > 0.5) {
+          result.selection[i] = c;
+        }
+      }
+    }
+  } else {
+    result.selection = evaluator.all_electrical();
+  }
+  result.power_pj = evaluator.total_power(result.selection);
+  result.violations = evaluator.violations(result.selection);
+  return result;
+}
+
+}  // namespace operon::codesign

@@ -1,0 +1,68 @@
+#pragma once
+// "OPERON (ILP)" — exact solution determination for Formulation (3).
+//
+// Two solvers are provided:
+//
+//  * solve_selection_exact(): a specialized exact branch-and-bound that
+//    first decomposes the instance into connected components of the
+//    interaction graph (the §3.3 bounding-box reduction makes these
+//    small), then searches each component with an additive power bound
+//    and monotone incremental feasibility (crossing loss only grows, so
+//    any violated assigned path prunes the subtree). A wall-clock limit
+//    yields the paper's "> T" rows: the incumbent (seeded by the always-
+//    feasible all-electrical choice) is returned with timed_out = true.
+//
+//  * build_selection_mip() / solve_selection_mip(): the literal ILP of
+//    Formulation (3) over the generic ilp::Model — one-hot selection
+//    binaries, McCormick-linearized aij*amn crossing products, per-path
+//    detection rows — solved by simplex-based branch-and-bound. Intended
+//    for small instances and as a cross-check of the specialized solver.
+
+#include <span>
+
+#include "codesign/selection.hpp"
+#include "ilp/bnb.hpp"
+#include "ilp/model.hpp"
+
+namespace operon::codesign {
+
+struct SelectOptions {
+  double time_limit_s = 60.0;  ///< <= 0: unlimited
+  /// Apply the §3.3 bounding-box variable reduction (ablation switch).
+  bool reduce_variables = true;
+  /// Optional warm-start selection (e.g. an LR solution): seeds the
+  /// branch-and-bound incumbent when it is feasible, so a time-limited
+  /// run never returns worse than the heuristic that seeded it.
+  Selection warm_start;
+};
+
+struct SelectResult {
+  Selection selection;
+  double power_pj = 0.0;
+  ViolationStats violations;
+  bool proven_optimal = false;
+  bool timed_out = false;
+  double runtime_s = 0.0;
+  std::size_t nodes_explored = 0;
+  std::size_t num_components = 0;
+  std::size_t largest_component = 0;
+};
+
+SelectResult solve_selection_exact(std::span<const CandidateSet> sets,
+                                   const model::TechParams& params,
+                                   const SelectOptions& options = {});
+
+/// Variable map of the literal ILP: selection[i][c] is the binary for
+/// candidate c of net i; products holds the McCormick variables.
+struct SelectionMip {
+  ilp::Model model;
+  std::vector<std::vector<std::size_t>> selection_vars;
+};
+
+SelectionMip build_selection_mip(const SelectionEvaluator& evaluator);
+
+SelectResult solve_selection_mip(std::span<const CandidateSet> sets,
+                                 const model::TechParams& params,
+                                 const SelectOptions& options = {});
+
+}  // namespace operon::codesign

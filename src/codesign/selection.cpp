@@ -1,0 +1,214 @@
+#include "codesign/selection.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace operon::codesign {
+
+namespace {
+
+std::uint64_t pair_key(std::size_t i, std::size_t ci, std::size_t m,
+                       std::size_t cm) {
+  // Nets < 2^24, candidates < 2^8 comfortably.
+  return (static_cast<std::uint64_t>(i) << 40) |
+         (static_cast<std::uint64_t>(ci) << 32) |
+         (static_cast<std::uint64_t>(m) << 8) | static_cast<std::uint64_t>(cm);
+}
+
+/// Canonical "all zero crossings" marker (also used for cached zeros, so
+/// entries stay tiny).
+const std::vector<int> kNoCrossings;
+
+}  // namespace
+
+SelectionEvaluator::SelectionEvaluator(std::span<const CandidateSet> sets,
+                                       const model::TechParams& params,
+                                       bool interact_all)
+    : sets_(sets), params_(params), interactions_(sets.size()) {
+  for (std::size_t i = 0; i < sets_.size(); ++i) {
+    for (std::size_t m = i + 1; m < sets_.size(); ++m) {
+      if (interact_all || sets_[i].bbox.overlaps(sets_[m].bbox)) {
+        interactions_[i].push_back(m);
+        interactions_[m].push_back(i);
+      }
+    }
+  }
+  // Per-candidate optical geometry bounding boxes for quick rejection.
+  optical_bbox_.resize(sets_.size());
+  for (std::size_t i = 0; i < sets_.size(); ++i) {
+    optical_bbox_[i].resize(sets_[i].options.size());
+    for (std::size_t c = 0; c < sets_[i].options.size(); ++c) {
+      geom::BBox box;
+      for (const geom::Segment& seg : sets_[i].options[c].optical_segments) {
+        box.expand(seg.bbox());
+      }
+      optical_bbox_[i][c] = box;
+    }
+  }
+}
+
+std::size_t SelectionEvaluator::num_interacting_pairs() const {
+  std::size_t total = 0;
+  for (const auto& list : interactions_) total += list.size();
+  return total / 2;
+}
+
+double SelectionEvaluator::total_power(const Selection& selection) const {
+  OPERON_CHECK(selection.size() == sets_.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < sets_.size(); ++i) {
+    OPERON_DCHECK(selection[i] < sets_[i].options.size());
+    sum += sets_[i].options[selection[i]].power_pj;
+  }
+  return sum;
+}
+
+const std::vector<int>& SelectionEvaluator::crossings(std::size_t i,
+                                                      std::size_t ci,
+                                                      std::size_t m,
+                                                      std::size_t cm) const {
+  const Candidate& mine = sets_[i].options[ci];
+  const Candidate& other = sets_[m].options[cm];
+  // Cheap rejections: either side has no optical geometry, or the
+  // geometries cannot overlap. An empty result means "all zeros".
+  if (mine.paths.empty() || other.optical_segments.empty()) {
+    return kNoCrossings;
+  }
+  if (!optical_bbox_[i][ci].overlaps(optical_bbox_[m][cm])) {
+    return kNoCrossings;
+  }
+
+  const std::uint64_t key = pair_key(i, ci, m, cm);
+  const auto it = crossing_cache_.find(key);
+  if (it != crossing_cache_.end()) return it->second;
+
+  std::vector<int> counts(mine.paths.size(), 0);
+  bool any = false;
+  for (std::size_t p = 0; p < mine.paths.size(); ++p) {
+    counts[p] = static_cast<int>(geom::count_crossings(
+        mine.paths[p].segments, other.optical_segments));
+    any = any || counts[p] != 0;
+  }
+  if (!any) counts.clear();  // store the tiny all-zero marker
+  return crossing_cache_.emplace(key, std::move(counts)).first->second;
+}
+
+double SelectionEvaluator::path_loss_db(const Selection& selection,
+                                        std::size_t i, std::size_t ci,
+                                        std::size_t p) const {
+  const Candidate& cand = sets_[i].options[ci];
+  OPERON_DCHECK(p < cand.paths.size());
+  double loss = cand.paths[p].static_loss_db;
+  const double beta = params_.optical.beta_db_per_crossing;
+  for (std::size_t m : interactions_[i]) {
+    const auto& counts = crossings(i, ci, m, selection[m]);
+    if (!counts.empty()) loss += beta * counts[p];
+  }
+  return loss;
+}
+
+ViolationStats SelectionEvaluator::violations(const Selection& selection) const {
+  OPERON_CHECK(selection.size() == sets_.size());
+  ViolationStats stats;
+  const double lm = params_.optical.max_loss_db;
+  for (std::size_t i = 0; i < sets_.size(); ++i) {
+    const Candidate& cand = sets_[i].options[selection[i]];
+    for (std::size_t p = 0; p < cand.paths.size(); ++p) {
+      const double loss = path_loss_db(selection, i, selection[i], p);
+      stats.worst_loss_db = std::max(stats.worst_loss_db, loss);
+      if (loss > lm + 1e-9) {
+        ++stats.violated_paths;
+        stats.total_excess_db += loss - lm;
+      }
+    }
+  }
+  return stats;
+}
+
+Selection SelectionEvaluator::all_electrical() const {
+  Selection selection(sets_.size());
+  for (std::size_t i = 0; i < sets_.size(); ++i) {
+    selection[i] = sets_[i].electrical_index;
+  }
+  return selection;
+}
+
+Selection SelectionEvaluator::min_power_selection() const {
+  Selection selection(sets_.size());
+  for (std::size_t i = 0; i < sets_.size(); ++i) {
+    std::size_t best = 0;
+    double best_power = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < sets_[i].options.size(); ++c) {
+      if (sets_[i].options[c].power_pj < best_power) {
+        best_power = sets_[i].options[c].power_pj;
+        best = c;
+      }
+    }
+    selection[i] = best;
+  }
+  return selection;
+}
+
+double SelectionEvaluator::power_lower_bound() const {
+  return total_power(min_power_selection());
+}
+
+Selection SelectionEvaluator::peel(Selection selection) const {
+  OPERON_CHECK(selection.size() == sets_.size());
+  const double lm = params_.optical.max_loss_db;
+  // Equal-power alternatives (e.g. detour geometries) may be tried, so a
+  // hard cap guards against oscillation; the final sweep falls back to
+  // strictly-monotone demotion, which always terminates clean.
+  std::size_t budget = 20 * sets_.size() + 100;
+  while (true) {
+    // Worst violated path and its owner.
+    std::size_t worst_net = sets_.size();
+    double worst_loss = lm + 1e-9;
+    for (std::size_t i = 0; i < sets_.size(); ++i) {
+      const Candidate& cand = sets_[i].options[selection[i]];
+      for (std::size_t p = 0; p < cand.paths.size(); ++p) {
+        const double loss = path_loss_db(selection, i, selection[i], p);
+        if (loss > worst_loss) {
+          worst_loss = loss;
+          worst_net = i;
+        }
+      }
+    }
+    if (worst_net == sets_.size()) return selection;  // clean
+
+    // Cheapest different candidate whose own paths are detectable under
+    // the current picks; while budget remains, equal-power alternatives
+    // (detours) are allowed, afterwards strictly costlier ones only.
+    const CandidateSet& set = sets_[worst_net];
+    const double current_power = set.options[selection[worst_net]].power_pj;
+    const bool allow_equal = budget > 0;
+    if (budget > 0) --budget;
+    std::size_t best = set.electrical_index;
+    double best_power = set.electrical().power_pj;
+    for (std::size_t c = 0; c < set.options.size(); ++c) {
+      if (c == selection[worst_net]) continue;
+      const Candidate& cand = set.options[c];
+      const double floor_power =
+          allow_equal ? current_power - 1e-12 : current_power + 1e-12;
+      if (cand.power_pj < floor_power || cand.power_pj >= best_power) {
+        continue;
+      }
+      bool ok = true;
+      for (std::size_t p = 0; p < cand.paths.size(); ++p) {
+        if (path_loss_db(selection, worst_net, c, p) > lm + 1e-9) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        best = c;
+        best_power = cand.power_pj;
+      }
+    }
+    selection[worst_net] = best;
+  }
+}
+
+}  // namespace operon::codesign

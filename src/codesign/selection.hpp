@@ -1,0 +1,93 @@
+#pragma once
+// Shared infrastructure for the solution-determination stage
+// (Formulation 3): a selection assigns one candidate to every hyper net;
+// the evaluator computes total power, exact pairwise crossing losses
+// (the lx(i,j,m,n,p) terms, lazily cached), and detection violations.
+// The §3.3 speed-up — dropping crossing terms for hyper-net pairs with
+// disjoint bounding boxes — is realized by the interaction list.
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "codesign/candidate.hpp"
+#include "model/params.hpp"
+
+namespace operon::codesign {
+
+/// Candidate choice per net (index into CandidateSet::options), aligned
+/// with the CandidateSet span.
+using Selection = std::vector<std::size_t>;
+
+struct ViolationStats {
+  std::size_t violated_paths = 0;
+  double total_excess_db = 0.0;
+  double worst_loss_db = 0.0;
+
+  bool clean() const { return violated_paths == 0; }
+};
+
+class SelectionEvaluator {
+ public:
+  /// `interact_all`: when false (default), only bbox-overlapping net
+  /// pairs contribute crossing terms (§3.3 variable reduction); when
+  /// true, every pair is considered (ablation baseline).
+  SelectionEvaluator(std::span<const CandidateSet> sets,
+                     const model::TechParams& params,
+                     bool interact_all = false);
+
+  std::size_t num_nets() const { return sets_.size(); }
+  const CandidateSet& set(std::size_t i) const { return sets_[i]; }
+  const model::TechParams& params() const { return params_; }
+
+  /// Nets whose candidates may cross net i's candidates.
+  const std::vector<std::size_t>& interacting(std::size_t i) const {
+    return interactions_[i];
+  }
+  std::size_t num_interacting_pairs() const;
+
+  /// Sum of selected candidates' power (objective 3a).
+  double total_power(const Selection& selection) const;
+
+  /// Per-path crossing counts of candidate (i, ci) against candidate
+  /// (m, cm): result[k] = proper crossings of path k's segments with the
+  /// other candidate's optical segments. Cached. An EMPTY vector means
+  /// "all zeros" (the common case is returned without allocating).
+  const std::vector<int>& crossings(std::size_t i, std::size_t ci,
+                                    std::size_t m, std::size_t cm) const;
+
+  /// Loss of path `p` of candidate (i, ci) under a full selection: static
+  /// loss plus beta * crossings against every selected interacting net.
+  double path_loss_db(const Selection& selection, std::size_t i,
+                      std::size_t ci, std::size_t p) const;
+
+  /// Detection-constraint violations (Eq. 3c) of a full selection.
+  ViolationStats violations(const Selection& selection) const;
+
+  /// All-electrical selection: trivially feasible (no optical paths).
+  Selection all_electrical() const;
+
+  /// Per-net independent optimum (ignores crossing interactions).
+  Selection min_power_selection() const;
+
+  /// Sum over nets of their cheapest candidate (a lower bound on 3a).
+  double power_lower_bound() const;
+
+  /// Greedy feasibility repair: starting from `selection`, repeatedly
+  /// demote the owner of the worst violated path to its next-cheapest
+  /// candidate whose own paths are detectable under the current picks
+  /// (the electrical fallback as last resort). Per-net power is monotone
+  /// non-decreasing, so this terminates; the result is always clean.
+  Selection peel(Selection selection) const;
+
+ private:
+  std::span<const CandidateSet> sets_;
+  const model::TechParams& params_;
+  std::vector<std::vector<std::size_t>> interactions_;
+  /// Bounding box of each candidate's optical segments (quick rejection).
+  std::vector<std::vector<geom::BBox>> optical_bbox_;
+  mutable std::unordered_map<std::uint64_t, std::vector<int>> crossing_cache_;
+};
+
+}  // namespace operon::codesign

@@ -1,0 +1,111 @@
+#include "codesign/variation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace operon::codesign {
+
+YieldReport estimate_yield(const SelectionEvaluator& evaluator,
+                           const Selection& selection,
+                           const VariationParams& params) {
+  OPERON_CHECK(params.samples >= 1);
+  const double lm = evaluator.params().optical.max_loss_db;
+  const double beta = evaluator.params().optical.beta_db_per_crossing;
+
+  // Nominal decomposition per optical path of the selection.
+  struct PathModel {
+    double prop_db;
+    double split_db;
+    int num_splits;
+    int crossings;
+  };
+  std::vector<PathModel> paths;
+  YieldReport report;
+  report.worst_nominal_margin_db = lm;
+  double margin_sum = 0.0;
+  for (std::size_t i = 0; i < evaluator.num_nets(); ++i) {
+    const Candidate& cand = evaluator.set(i).options[selection[i]];
+    for (std::size_t p = 0; p < cand.paths.size(); ++p) {
+      const CandidatePath& path = cand.paths[p];
+      const double nominal = evaluator.path_loss_db(selection, i, selection[i], p);
+      PathModel pm;
+      pm.prop_db = path.static_loss_db - path.splitting_db;
+      pm.split_db = path.splitting_db;
+      pm.num_splits = path.num_splits;
+      const double crossing_db = nominal - path.static_loss_db;
+      pm.crossings = beta > 0.0
+                         ? static_cast<int>(std::lround(crossing_db / beta))
+                         : 0;
+      paths.push_back(pm);
+      const double margin = lm - nominal;
+      margin_sum += margin;
+      report.worst_nominal_margin_db =
+          std::min(report.worst_nominal_margin_db, margin);
+    }
+  }
+  report.optical_paths = paths.size();
+  if (paths.empty()) {
+    report.worst_nominal_margin_db = lm;
+    return report;  // all-electrical: yields by construction
+  }
+  report.mean_nominal_margin_db =
+      margin_sum / static_cast<double>(paths.size());
+
+  util::Rng rng(params.seed);
+  std::size_t good_samples = 0;
+  std::size_t good_paths = 0;
+  for (std::size_t s = 0; s < params.samples; ++s) {
+    bool all_ok = true;
+    for (const PathModel& pm : paths) {
+      double loss = pm.prop_db * (1.0 + rng.normal(0.0, params.alpha_sigma_frac));
+      for (int x = 0; x < pm.crossings; ++x) {
+        loss += std::max(0.0, beta + rng.normal(0.0, params.crossing_sigma_db));
+      }
+      loss += pm.split_db;
+      for (int k = 0; k < pm.num_splits; ++k) {
+        loss += rng.normal(0.0, params.splitter_sigma_db);
+      }
+      loss += rng.normal(0.0, params.detector_sigma_db);
+      if (loss <= lm) ++good_paths;
+      else all_ok = false;
+    }
+    if (all_ok) ++good_samples;
+  }
+  report.design_yield =
+      static_cast<double>(good_samples) / static_cast<double>(params.samples);
+  report.path_yield = static_cast<double>(good_paths) /
+                      static_cast<double>(params.samples * paths.size());
+  return report;
+}
+
+LaserReport laser_budget(const SelectionEvaluator& evaluator,
+                         const Selection& selection,
+                         const optical::LaserParams& params) {
+  LaserReport report;
+  double loss_sum = 0.0;
+  for (std::size_t i = 0; i < evaluator.num_nets(); ++i) {
+    const CandidateSet& set = evaluator.set(i);
+    const Candidate& cand = set.options[selection[i]];
+    for (std::size_t p = 0; p < cand.paths.size(); ++p) {
+      const double loss = evaluator.path_loss_db(selection, i, selection[i], p);
+      const double per_channel = optical::laser_wallplug_mw(params, loss);
+      const double bits = static_cast<double>(set.bit_count);
+      report.total_mw += bits * per_channel;
+      report.worst_channel_mw = std::max(report.worst_channel_mw, per_channel);
+      report.channels += set.bit_count;
+      loss_sum += loss;
+    }
+  }
+  std::size_t path_count = 0;
+  for (std::size_t i = 0; i < evaluator.num_nets(); ++i) {
+    path_count += evaluator.set(i).options[selection[i]].paths.size();
+  }
+  report.mean_path_loss_db =
+      path_count == 0 ? 0.0 : loss_sum / static_cast<double>(path_count);
+  return report;
+}
+
+}  // namespace operon::codesign

@@ -1,0 +1,66 @@
+#pragma once
+// Process/environment variation analysis — the robustness dimension the
+// paper's related work ([4] thermal-reliable, [6] variation-aware
+// photonic management) optimizes and OPERON's power-minimal designs
+// trade away: a selection whose worst path sits at 19.9 of 20 dB is
+// power-optimal and yield-fragile.
+//
+// Monte-Carlo model per detection path:
+//   loss = prop·(1 + eps_a) + sum over crossings of max(0, beta + eps_x)
+//        + splitting + eps_s per split + eps_d (receiver sensitivity),
+// with independent zero-mean Gaussian eps. A sample "yields" when every
+// path of every selected candidate stays within the budget.
+
+#include <cstdint>
+
+#include "codesign/selection.hpp"
+#include "optical/loss.hpp"
+
+namespace operon::codesign {
+
+struct VariationParams {
+  /// Relative sigma on propagation loss (waveguide width/roughness).
+  double alpha_sigma_frac = 0.08;
+  /// Absolute sigma per crossing, dB.
+  double crossing_sigma_db = 0.05;
+  /// Absolute sigma per splitting event, dB (Y-branch imbalance).
+  double splitter_sigma_db = 0.25;
+  /// Receiver sensitivity sigma, dB (detector + TIA variation).
+  double detector_sigma_db = 0.5;
+  std::size_t samples = 2000;
+  std::uint64_t seed = 99;
+};
+
+struct YieldReport {
+  /// Fraction of samples with every path detectable.
+  double design_yield = 1.0;
+  /// Fraction of (sample, path) pairs detectable.
+  double path_yield = 1.0;
+  /// Nominal margins (lm - nominal loss) over all optical paths, dB.
+  double mean_nominal_margin_db = 0.0;
+  double worst_nominal_margin_db = 0.0;
+  std::size_t optical_paths = 0;
+};
+
+/// Monte-Carlo yield of a selection under the evaluator's exact nominal
+/// losses. Deterministic for a seed.
+YieldReport estimate_yield(const SelectionEvaluator& evaluator,
+                           const Selection& selection,
+                           const VariationParams& params = {});
+
+/// Laser wall-plug budget of a selection: per channel of every optical
+/// path, the laser must overcome the exact nominal loss (exponential in
+/// dB), so two selections with identical conversion power can differ
+/// sharply here — the other face of the guard-band trade-off.
+struct LaserReport {
+  double total_mw = 0.0;
+  double worst_channel_mw = 0.0;
+  double mean_path_loss_db = 0.0;
+  std::size_t channels = 0;
+};
+
+LaserReport laser_budget(const SelectionEvaluator& evaluator,
+                         const Selection& selection,
+                         const optical::LaserParams& params = {});
+
+}  // namespace operon::codesign

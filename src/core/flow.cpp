@@ -1,0 +1,114 @@
+#include "core/flow.hpp"
+
+#include "util/check.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace operon::core {
+
+namespace {
+
+void run_selection_stage(OperonResult& result, const OperonOptions& options) {
+  switch (options.solver) {
+    case SolverKind::IlpExact: {
+      // Warm-start the branch-and-bound with a quick LR pass so a
+      // time-limited run is never worse than the heuristic.
+      codesign::SelectOptions select = options.select;
+      if (select.warm_start.empty()) {
+        select.warm_start =
+            lr::solve_selection_lr(result.sets, options.params, options.lr)
+                .selection;
+      }
+      const codesign::SelectResult solved = codesign::solve_selection_exact(
+          result.sets, options.params, select);
+      result.selection = solved.selection;
+      result.timed_out = solved.timed_out;
+      result.proven_optimal = solved.proven_optimal;
+      break;
+    }
+    case SolverKind::MipLiteral: {
+      const codesign::SelectResult solved = codesign::solve_selection_mip(
+          result.sets, options.params, options.select);
+      result.selection = solved.selection;
+      result.timed_out = solved.timed_out;
+      result.proven_optimal = solved.proven_optimal;
+      break;
+    }
+    case SolverKind::Lr: {
+      const lr::LrResult solved =
+          lr::solve_selection_lr(result.sets, options.params, options.lr);
+      result.selection = solved.selection;
+      result.lr_iterations = solved.iterations;
+      break;
+    }
+  }
+  codesign::SelectionEvaluator evaluator(result.sets, options.params);
+  result.power_pj = evaluator.total_power(result.selection);
+  result.violations = evaluator.violations(result.selection);
+  for (std::size_t i = 0; i < result.sets.size(); ++i) {
+    const codesign::Candidate& cand =
+        result.sets[i].options[result.selection[i]];
+    if (cand.pure_electrical()) ++result.electrical_nets;
+    else ++result.optical_nets;
+  }
+}
+
+}  // namespace
+
+OperonResult run_operon(const model::Design& design,
+                        const OperonOptions& options) {
+  design.validate();
+  OPERON_CHECK_MSG(options.params.valid(),
+                   "invalid technology parameters (check loss budget > 0, "
+                   "positive device powers, wdm capacity >= 1)");
+  OperonResult result;
+  util::Timer timer;
+
+  // Stage 1: signal processing (Fig 2, §3.1).
+  cluster::SignalProcessingOptions processing = options.processing;
+  processing.kmeans.capacity =
+      static_cast<std::size_t>(options.params.optical.wdm_capacity);
+  result.processing = cluster::build_hyper_nets(design, processing);
+  result.times.processing_s = timer.seconds();
+  OPERON_LOG(Info) << design.name << ": " << design.num_bits() << " bits -> "
+                   << result.processing.num_hyper_nets() << " hyper nets, "
+                   << result.processing.num_hyper_pins() << " hyper pins";
+
+  // Stage 2: co-design candidate generation (§3.2).
+  timer.reset();
+  result.sets = codesign::generate_candidates(
+      design, result.processing.hyper_nets, options.params, options.generation);
+  result.times.generation_s = timer.seconds();
+
+  // Stage 3: solution determination (§3.3 / §3.4).
+  timer.reset();
+  run_selection_stage(result, options);
+  result.times.selection_s = timer.seconds();
+
+  // Stage 4: WDM placement + assignment (§4).
+  if (options.run_wdm_stage) {
+    timer.reset();
+    result.wdm_plan = wdm::plan_wdm_assignment(
+        result.sets, result.selection, options.params.optical, options.wdm);
+    result.times.wdm_s = timer.seconds();
+  }
+  return result;
+}
+
+OperonResult run_selection_only(std::vector<codesign::CandidateSet> sets,
+                                const OperonOptions& options) {
+  OperonResult result;
+  result.sets = std::move(sets);
+  util::Timer timer;
+  run_selection_stage(result, options);
+  result.times.selection_s = timer.seconds();
+  if (options.run_wdm_stage) {
+    timer.reset();
+    result.wdm_plan = wdm::plan_wdm_assignment(
+        result.sets, result.selection, options.params.optical, options.wdm);
+    result.times.wdm_s = timer.seconds();
+  }
+  return result;
+}
+
+}  // namespace operon::core

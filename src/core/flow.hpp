@@ -1,0 +1,70 @@
+#pragma once
+// OperonFlow — the end-to-end pipeline of Fig 2: signal processing
+// (hyper nets) -> optical-electrical co-design (candidates) -> solution
+// determination (exact ILP-style branch-and-bound, or the LR speed-up)
+// -> WDM placement + network-flow assignment.
+
+#include <vector>
+
+#include "cluster/hypernet_builder.hpp"
+#include "codesign/generate.hpp"
+#include "codesign/ilp_select.hpp"
+#include "lr/lr.hpp"
+#include "model/design.hpp"
+#include "wdm/assign.hpp"
+
+namespace operon::core {
+
+enum class SolverKind {
+  IlpExact,   ///< "OPERON (ILP)": exact branch-and-bound, time-limited
+  Lr,         ///< "OPERON (LR)": Lagrangian-relaxation speed-up
+  MipLiteral  ///< literal Formulation-(3) MIP via simplex B&B (small cases)
+};
+
+struct OperonOptions {
+  model::TechParams params = model::TechParams::dac18_defaults();
+  cluster::SignalProcessingOptions processing;
+  codesign::GenerationOptions generation;
+  codesign::SelectOptions select;
+  lr::LrOptions lr;
+  wdm::AssignOptions wdm;
+  SolverKind solver = SolverKind::Lr;
+  bool run_wdm_stage = true;
+};
+
+struct StageTimes {
+  double processing_s = 0.0;
+  double generation_s = 0.0;
+  double selection_s = 0.0;
+  double wdm_s = 0.0;
+
+  double total_s() const {
+    return processing_s + generation_s + selection_s + wdm_s;
+  }
+};
+
+struct OperonResult {
+  cluster::SignalProcessingResult processing;
+  std::vector<codesign::CandidateSet> sets;
+  codesign::Selection selection;
+  double power_pj = 0.0;
+  codesign::ViolationStats violations;
+  bool timed_out = false;
+  bool proven_optimal = false;
+  std::size_t lr_iterations = 0;
+  std::size_t optical_nets = 0;
+  std::size_t electrical_nets = 0;
+  wdm::WdmPlan wdm_plan;
+  StageTimes times;
+};
+
+/// Run the full OPERON pipeline on a design.
+OperonResult run_operon(const model::Design& design,
+                        const OperonOptions& options = {});
+
+/// Re-run only the selection stage on prepared candidate sets (used by
+/// benches that compare solvers on identical candidates).
+OperonResult run_selection_only(std::vector<codesign::CandidateSet> sets,
+                                const OperonOptions& options);
+
+}  // namespace operon::core

@@ -1,0 +1,163 @@
+#include "core/powermap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace operon::core {
+
+namespace {
+
+std::size_t clamp_index(double v, double lo, double width, std::size_t cells) {
+  const auto idx = static_cast<long long>((v - lo) / width);
+  return static_cast<std::size_t>(
+      std::clamp<long long>(idx, 0, static_cast<long long>(cells) - 1));
+}
+
+double sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+double hotspot_share(std::vector<double> values, std::size_t top_cells) {
+  const double total = sum(values);
+  if (total <= 0.0) return 0.0;
+  top_cells = std::min(top_cells, values.size());
+  std::partial_sort(values.begin(),
+                    values.begin() + static_cast<std::ptrdiff_t>(top_cells),
+                    values.end(), std::greater<>());
+  double top = 0.0;
+  for (std::size_t i = 0; i < top_cells; ++i) top += values[i];
+  return top / total;
+}
+
+}  // namespace
+
+double& PowerMap::optical_at(std::size_t x, std::size_t y) {
+  return optical[y * cells + x];
+}
+double& PowerMap::electrical_at(std::size_t x, std::size_t y) {
+  return electrical[y * cells + x];
+}
+double PowerMap::optical_at(std::size_t x, std::size_t y) const {
+  return optical[y * cells + x];
+}
+double PowerMap::electrical_at(std::size_t x, std::size_t y) const {
+  return electrical[y * cells + x];
+}
+
+double PowerMap::total_optical() const { return sum(optical); }
+double PowerMap::total_electrical() const { return sum(electrical); }
+double PowerMap::max_optical() const {
+  return optical.empty() ? 0.0 : *std::max_element(optical.begin(), optical.end());
+}
+double PowerMap::max_electrical() const {
+  return electrical.empty()
+             ? 0.0
+             : *std::max_element(electrical.begin(), electrical.end());
+}
+
+double PowerMap::optical_hotspot_share(std::size_t top_cells) const {
+  return hotspot_share(optical, top_cells);
+}
+double PowerMap::electrical_hotspot_share(std::size_t top_cells) const {
+  return hotspot_share(electrical, top_cells);
+}
+
+std::string PowerMap::to_csv() const {
+  std::ostringstream os;
+  os << "x,y,optical_pj,electrical_pj\n";
+  for (std::size_t y = 0; y < cells; ++y) {
+    for (std::size_t x = 0; x < cells; ++x) {
+      os << x << ',' << y << ',' << optical_at(x, y) << ','
+         << electrical_at(x, y) << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string PowerMap::ascii(bool optical_layer, std::size_t downsample) const {
+  OPERON_CHECK(downsample >= 1);
+  const std::vector<double>& layer = optical_layer ? optical : electrical;
+  const double peak = optical_layer ? max_optical() : max_electrical();
+  std::ostringstream os;
+  for (std::size_t y = 0; y < cells; y += downsample) {
+    for (std::size_t x = 0; x < cells; x += downsample) {
+      // Aggregate the downsampled block.
+      double block = 0.0;
+      for (std::size_t dy = 0; dy < downsample && y + dy < cells; ++dy) {
+        for (std::size_t dx = 0; dx < downsample && x + dx < cells; ++dx) {
+          block = std::max(block, layer[(y + dy) * cells + (x + dx)]);
+        }
+      }
+      if (peak <= 0.0 || block <= 0.0) {
+        os << '.';
+      } else {
+        const int level =
+            std::min(9, static_cast<int>(std::floor(10.0 * block / peak)));
+        os << level;
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+PowerMap build_power_map(const geom::BBox& chip,
+                         std::span<const codesign::CandidateSet> sets,
+                         std::span<const codesign::Candidate> chosen,
+                         const model::TechParams& params, std::size_t cells) {
+  OPERON_CHECK(cells >= 1);
+  OPERON_CHECK(sets.size() == chosen.size());
+  OPERON_CHECK(!chip.is_empty());
+
+  PowerMap map;
+  map.cells = cells;
+  map.extent = chip;
+  map.optical.assign(cells * cells, 0.0);
+  map.electrical.assign(cells * cells, 0.0);
+
+  const double cw = std::max(chip.width(), 1e-9) / static_cast<double>(cells);
+  const double ch = std::max(chip.height(), 1e-9) / static_cast<double>(cells);
+  const auto deposit = [&](std::vector<double>& layer, const geom::Point& p,
+                           double energy) {
+    const std::size_t x = clamp_index(p.x, chip.xlo, cw, cells);
+    const std::size_t y = clamp_index(p.y, chip.ylo, ch, cells);
+    layer[y * cells + x] += energy;
+  };
+
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    const codesign::Candidate& cand = chosen[i];
+    const double bits = static_cast<double>(sets[i].bit_count);
+
+    // Optical layer: conversion energy at EO/OE sites.
+    for (const geom::Point& site : cand.modulator_sites) {
+      deposit(map.optical, site, bits * params.optical.pmod_pj_per_bit);
+    }
+    for (const geom::Point& site : cand.detector_sites) {
+      deposit(map.optical, site, bits * params.optical.pdet_pj_per_bit);
+    }
+
+    // Electrical layer: wire energy spread along each segment.
+    for (const geom::Segment& seg : cand.electrical_segments) {
+      const double energy =
+          bits * params.electrical.energy_pj_per_bit(seg.manhattan_length());
+      const double step = std::min(cw, ch) * 0.5;
+      const int samples =
+          std::max(1, static_cast<int>(std::ceil(seg.length() / step)));
+      const double share = energy / static_cast<double>(samples);
+      for (int k = 0; k < samples; ++k) {
+        const double t = (static_cast<double>(k) + 0.5) /
+                         static_cast<double>(samples);
+        deposit(map.electrical, {seg.a.x + t * (seg.b.x - seg.a.x),
+                                 seg.a.y + t * (seg.b.y - seg.a.y)},
+                share);
+      }
+    }
+  }
+  return map;
+}
+
+}  // namespace operon::core

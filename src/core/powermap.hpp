@@ -1,0 +1,53 @@
+#pragma once
+// Grid-binned power-density maps of the optical and electrical layers —
+// the data behind Fig 9's hotspot plots. Optical energy is deposited at
+// EO/OE conversion sites (drivers/amplifiers dominate, per §2.2);
+// electrical energy is spread uniformly along each wire.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "codesign/candidate.hpp"
+#include "geom/bbox.hpp"
+#include "model/params.hpp"
+
+namespace operon::core {
+
+struct PowerMap {
+  std::size_t cells = 0;       ///< grid is cells x cells
+  geom::BBox extent;
+  std::vector<double> optical;     ///< row-major, pJ per cell
+  std::vector<double> electrical;
+
+  double& optical_at(std::size_t x, std::size_t y);
+  double& electrical_at(std::size_t x, std::size_t y);
+  double optical_at(std::size_t x, std::size_t y) const;
+  double electrical_at(std::size_t x, std::size_t y) const;
+
+  double total_optical() const;
+  double total_electrical() const;
+  double max_optical() const;
+  double max_electrical() const;
+
+  /// Fraction of total layer energy inside the hottest `top_cells` cells —
+  /// the hotspot-concentration metric used by the Fig 9 bench.
+  double optical_hotspot_share(std::size_t top_cells) const;
+  double electrical_hotspot_share(std::size_t top_cells) const;
+
+  /// CSV: x,y,optical,electrical rows (for external plotting).
+  std::string to_csv() const;
+
+  /// Coarse ASCII rendering of one layer (normalized 0-9 digits).
+  std::string ascii(bool optical_layer, std::size_t downsample = 1) const;
+};
+
+/// Build a power map from per-net chosen candidates (same alignment as
+/// `sets`).
+PowerMap build_power_map(const geom::BBox& chip,
+                         std::span<const codesign::CandidateSet> sets,
+                         std::span<const codesign::Candidate> chosen,
+                         const model::TechParams& params, std::size_t cells);
+
+}  // namespace operon::core

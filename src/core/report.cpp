@@ -1,0 +1,109 @@
+#include "core/report.hpp"
+
+#include <fstream>
+
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace operon::core {
+
+namespace {
+const char* solver_name(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::IlpExact: return "ilp-exact";
+    case SolverKind::Lr: return "lagrangian-relaxation";
+    case SolverKind::MipLiteral: return "mip-literal";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string report_json(const model::Design& design,
+                        const OperonResult& result,
+                        const OperonOptions& options, bool include_per_net) {
+  util::JsonWriter json;
+  json.begin_object();
+
+  json.key("design").begin_object();
+  json.key("name").value(design.name);
+  json.key("groups").value(design.groups.size());
+  json.key("bits").value(design.num_bits());
+  json.key("pins").value(design.num_pins());
+  json.key("chip_um").begin_array();
+  json.value(design.chip.width()).value(design.chip.height());
+  json.end_array();
+  json.end_object();
+
+  json.key("processing").begin_object();
+  json.key("hyper_nets").value(result.processing.num_hyper_nets());
+  json.key("hyper_pins").value(result.processing.num_hyper_pins());
+  json.end_object();
+
+  json.key("solver").begin_object();
+  json.key("kind").value(solver_name(options.solver));
+  json.key("timed_out").value(result.timed_out);
+  json.key("proven_optimal").value(result.proven_optimal);
+  json.key("lr_iterations").value(result.lr_iterations);
+  json.end_object();
+
+  json.key("result").begin_object();
+  json.key("power_pj").value(result.power_pj);
+  json.key("optical_nets").value(result.optical_nets);
+  json.key("electrical_nets").value(result.electrical_nets);
+  json.key("violated_paths").value(result.violations.violated_paths);
+  json.key("worst_loss_db").value(result.violations.worst_loss_db);
+  json.key("loss_budget_db").value(options.params.optical.max_loss_db);
+  json.end_object();
+
+  json.key("wdm").begin_object();
+  json.key("connections").value(result.wdm_plan.connections.size());
+  json.key("initial_wdms").value(result.wdm_plan.initial_wdms);
+  json.key("final_wdms").value(result.wdm_plan.final_wdms);
+  json.key("feasible").value(result.wdm_plan.feasible);
+  json.end_object();
+
+  json.key("runtimes_s").begin_object();
+  json.key("processing").value(result.times.processing_s);
+  json.key("generation").value(result.times.generation_s);
+  json.key("selection").value(result.times.selection_s);
+  json.key("wdm").value(result.times.wdm_s);
+  json.key("total").value(result.times.total_s());
+  json.end_object();
+
+  if (include_per_net) {
+    json.key("nets").begin_array();
+    for (std::size_t i = 0; i < result.sets.size(); ++i) {
+      const auto& set = result.sets[i];
+      const auto& cand = set.options[result.selection[i]];
+      json.begin_object();
+      json.key("id").value(set.net);
+      json.key("bits").value(set.bit_count);
+      json.key("kind").value(cand.pure_electrical()
+                                 ? "electrical"
+                                 : (cand.electrical_wl_um > 0.0 ? "hybrid"
+                                                                : "optical"));
+      json.key("baseline").value(cand.baseline);
+      json.key("power_pj").value(cand.power_pj);
+      json.key("modulators").value(cand.num_modulators);
+      json.key("detectors").value(cand.num_detectors);
+      json.key("optical_um").value(cand.optical_wl_um);
+      json.key("electrical_um").value(cand.electrical_wl_um);
+      json.end_object();
+    }
+    json.end_array();
+  }
+
+  json.end_object();
+  return json.str();
+}
+
+void write_report(const std::string& path, const model::Design& design,
+                  const OperonResult& result, const OperonOptions& options,
+                  bool include_per_net) {
+  std::ofstream os(path);
+  OPERON_CHECK_MSG(os.good(), "cannot open '" << path << "' for writing");
+  os << report_json(design, result, options, include_per_net) << "\n";
+  OPERON_CHECK_MSG(os.good(), "write failed for '" << path << "'");
+}
+
+}  // namespace operon::core

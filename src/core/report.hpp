@@ -1,0 +1,25 @@
+#pragma once
+// Machine-readable run reports: serialize an OperonResult (and the
+// design/solver context) as JSON for external tooling and regression
+// tracking.
+
+#include <string>
+
+#include "core/flow.hpp"
+
+namespace operon::core {
+
+/// JSON document summarizing a run: design stats, per-stage runtimes,
+/// power breakdown, violation stats, WDM plan counters, and per-net
+/// routing decisions (kind, power, conversions).
+std::string report_json(const model::Design& design,
+                        const OperonResult& result,
+                        const OperonOptions& options,
+                        bool include_per_net = true);
+
+/// Convenience: write report_json to a file (throws on I/O failure).
+void write_report(const std::string& path, const model::Design& design,
+                  const OperonResult& result, const OperonOptions& options,
+                  bool include_per_net = true);
+
+}  // namespace operon::core

@@ -1,0 +1,158 @@
+#include "flow/mcmf.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace operon::flow {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+MinCostMaxFlow::MinCostMaxFlow(std::size_t num_nodes)
+    : num_nodes_(num_nodes), adjacency_(num_nodes), potential_(num_nodes, 0.0) {}
+
+std::size_t MinCostMaxFlow::add_edge(NodeId from, NodeId to,
+                                     std::int64_t capacity, double cost) {
+  OPERON_CHECK(from < num_nodes_);
+  OPERON_CHECK(to < num_nodes_);
+  OPERON_CHECK(capacity >= 0);
+  if (cost < 0.0) has_negative_costs_ = true;
+
+  const std::size_t fwd_pos = adjacency_[from].size();
+  const std::size_t rev_pos = adjacency_[to].size() + (from == to ? 1 : 0);
+  adjacency_[from].push_back({to, capacity, cost, rev_pos});
+  adjacency_[to].push_back({from, 0, -cost, fwd_pos});
+
+  edges_.push_back({from, to, capacity, cost, 0});
+  edge_handles_.emplace_back(from, fwd_pos);
+  return edges_.size() - 1;
+}
+
+const Edge& MinCostMaxFlow::edge(std::size_t index) const {
+  OPERON_CHECK(index < edges_.size());
+  return edges_[index];
+}
+
+void MinCostMaxFlow::clear_flow() {
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    const auto [node, pos] = edge_handles_[i];
+    InternalEdge& fwd = adjacency_[node][pos];
+    InternalEdge& rev = adjacency_[fwd.to][fwd.reverse];
+    fwd.capacity = edges_[i].capacity;
+    rev.capacity = 0;
+    edges_[i].flow = 0;
+  }
+  std::fill(potential_.begin(), potential_.end(), 0.0);
+}
+
+void MinCostMaxFlow::bellman_ford(NodeId s) {
+  std::vector<double> dist(num_nodes_, kInf);
+  dist[s] = 0.0;
+  for (std::size_t round = 0; round + 1 < num_nodes_; ++round) {
+    bool relaxed = false;
+    for (NodeId u = 0; u < num_nodes_; ++u) {
+      if (dist[u] == kInf) continue;
+      for (const InternalEdge& e : adjacency_[u]) {
+        if (e.capacity <= 0) continue;
+        if (dist[u] + e.cost < dist[e.to] - 1e-12) {
+          dist[e.to] = dist[u] + e.cost;
+          relaxed = true;
+        }
+      }
+    }
+    if (!relaxed) break;
+  }
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    potential_[u] = dist[u] == kInf ? 0.0 : dist[u];
+  }
+}
+
+bool MinCostMaxFlow::dijkstra(
+    NodeId s, NodeId t, std::vector<double>& dist,
+    std::vector<std::pair<NodeId, std::size_t>>& parent) const {
+  dist.assign(num_nodes_, kInf);
+  parent.assign(num_nodes_, {num_nodes_, 0});
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[s] = 0.0;
+  heap.emplace(0.0, s);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u] + 1e-12) continue;
+    for (std::size_t i = 0; i < adjacency_[u].size(); ++i) {
+      const InternalEdge& e = adjacency_[u][i];
+      if (e.capacity <= 0) continue;
+      const double reduced = e.cost + potential_[u] - potential_[e.to];
+      OPERON_DCHECK(reduced >= -1e-6);  // potentials keep costs non-negative
+      const double nd = dist[u] + std::max(reduced, 0.0);
+      if (nd < dist[e.to] - 1e-12) {
+        dist[e.to] = nd;
+        parent[e.to] = {u, i};
+        heap.emplace(nd, e.to);
+      }
+    }
+  }
+  return dist[t] < kInf;
+}
+
+FlowResult MinCostMaxFlow::solve(NodeId s, NodeId t, std::int64_t limit) {
+  OPERON_CHECK(s < num_nodes_);
+  OPERON_CHECK(t < num_nodes_);
+  OPERON_CHECK(s != t);
+
+  if (has_negative_costs_) {
+    bellman_ford(s);
+  } else {
+    std::fill(potential_.begin(), potential_.end(), 0.0);
+  }
+
+  FlowResult result;
+  std::vector<double> dist;
+  std::vector<std::pair<NodeId, std::size_t>> parent;
+  while (result.max_flow < limit && dijkstra(s, t, dist, parent)) {
+    // Update potentials with the new shortest distances.
+    for (NodeId u = 0; u < num_nodes_; ++u) {
+      if (dist[u] < kInf) potential_[u] += dist[u];
+    }
+    // Bottleneck along the augmenting path.
+    std::int64_t push = limit - result.max_flow;
+    for (NodeId v = t; v != s;) {
+      const auto [u, idx] = parent[v];
+      push = std::min(push, adjacency_[u][idx].capacity);
+      v = u;
+    }
+    OPERON_CHECK(push > 0);
+    // Apply.
+    for (NodeId v = t; v != s;) {
+      const auto [u, idx] = parent[v];
+      InternalEdge& fwd = adjacency_[u][idx];
+      InternalEdge& rev = adjacency_[fwd.to][fwd.reverse];
+      fwd.capacity -= push;
+      rev.capacity += push;
+      result.total_cost += fwd.cost * static_cast<double>(push);
+      v = u;
+    }
+    result.max_flow += push;
+  }
+
+  // Mirror flows back to the user-facing edge list.
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    const auto [node, pos] = edge_handles_[i];
+    edges_[i].flow = edges_[i].capacity - adjacency_[node][pos].capacity;
+  }
+  return result;
+}
+
+FlowResult MinCostMaxFlow::solve_with_demand(NodeId s, NodeId t,
+                                             std::int64_t demand) {
+  FlowResult result = solve(s, t, demand);
+  result.feasible = result.max_flow >= demand;
+  return result;
+}
+
+}  // namespace operon::flow

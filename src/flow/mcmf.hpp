@@ -1,0 +1,78 @@
+#pragma once
+// Min-cost max-flow on directed graphs with integer capacities and real
+// edge costs — the network substrate for the WDM assignment (§4.2,
+// Fig 7), replacing LEMON. Successive shortest paths with Johnson
+// potentials (Dijkstra); an initial Bellman–Ford pass establishes valid
+// potentials when negative-cost edges are present. For networks with
+// integral capacities the optimum is integral (total unimodularity),
+// which is exactly the property §4.2 relies on.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace operon::flow {
+
+using NodeId = std::size_t;
+
+struct Edge {
+  NodeId from = 0;
+  NodeId to = 0;
+  std::int64_t capacity = 0;
+  double cost = 0.0;
+  std::int64_t flow = 0;  ///< filled in by solve()
+
+  std::int64_t residual() const { return capacity - flow; }
+};
+
+struct FlowResult {
+  std::int64_t max_flow = 0;
+  double total_cost = 0.0;
+  bool feasible = true;  ///< set by solve_with_demand when demand met
+};
+
+class MinCostMaxFlow {
+ public:
+  explicit MinCostMaxFlow(std::size_t num_nodes);
+
+  std::size_t num_nodes() const { return num_nodes_; }
+
+  /// Returns the edge index (stable; use edge() to read back flow).
+  std::size_t add_edge(NodeId from, NodeId to, std::int64_t capacity,
+                       double cost);
+
+  const Edge& edge(std::size_t index) const;
+  std::size_t num_edges() const { return edges_.size(); }
+
+  /// Push min-cost flow from s to t until max flow (or `limit` units).
+  FlowResult solve(NodeId s, NodeId t,
+                   std::int64_t limit = std::numeric_limits<std::int64_t>::max());
+
+  /// Like solve() but marks the result infeasible when fewer than
+  /// `demand` units could be routed.
+  FlowResult solve_with_demand(NodeId s, NodeId t, std::int64_t demand);
+
+  /// Reset all flows to zero (graph reusable).
+  void clear_flow();
+
+ private:
+  struct InternalEdge {
+    NodeId to;
+    std::int64_t capacity;
+    double cost;
+    std::size_t reverse;  ///< index of reverse edge in adjacency of `to`
+  };
+
+  bool dijkstra(NodeId s, NodeId t, std::vector<double>& dist,
+                std::vector<std::pair<NodeId, std::size_t>>& parent) const;
+  void bellman_ford(NodeId s);
+
+  std::size_t num_nodes_;
+  std::vector<std::vector<InternalEdge>> adjacency_;
+  std::vector<Edge> edges_;                     ///< user-facing mirror
+  std::vector<std::pair<NodeId, std::size_t>> edge_handles_;
+  std::vector<double> potential_;
+  bool has_negative_costs_ = false;
+};
+
+}  // namespace operon::flow

@@ -1,0 +1,77 @@
+#pragma once
+// Axis-aligned bounding boxes. Used by the ILP variable-reduction
+// speed-up (§3.3): hyper-net pairs whose bounding boxes do not overlap
+// cannot contribute crossing-loss terms.
+
+#include <algorithm>
+#include <limits>
+
+#include "geom/point.hpp"
+
+namespace operon::geom {
+
+struct BBox {
+  double xlo = std::numeric_limits<double>::infinity();
+  double ylo = std::numeric_limits<double>::infinity();
+  double xhi = -std::numeric_limits<double>::infinity();
+  double yhi = -std::numeric_limits<double>::infinity();
+
+  /// Empty box (expand() to grow). Default-constructed boxes are empty.
+  static BBox empty() { return {}; }
+
+  static BBox of(const Point& a, const Point& b) {
+    BBox box;
+    box.expand(a);
+    box.expand(b);
+    return box;
+  }
+
+  bool is_empty() const { return xlo > xhi || ylo > yhi; }
+
+  void expand(const Point& p) {
+    xlo = std::min(xlo, p.x);
+    ylo = std::min(ylo, p.y);
+    xhi = std::max(xhi, p.x);
+    yhi = std::max(yhi, p.y);
+  }
+
+  void expand(const BBox& other) {
+    xlo = std::min(xlo, other.xlo);
+    ylo = std::min(ylo, other.ylo);
+    xhi = std::max(xhi, other.xhi);
+    yhi = std::max(yhi, other.yhi);
+  }
+
+  /// Grow symmetrically by a margin on all four sides.
+  BBox inflated(double margin) const {
+    BBox box = *this;
+    box.xlo -= margin;
+    box.ylo -= margin;
+    box.xhi += margin;
+    box.yhi += margin;
+    return box;
+  }
+
+  double width() const { return is_empty() ? 0.0 : xhi - xlo; }
+  double height() const { return is_empty() ? 0.0 : yhi - ylo; }
+  double half_perimeter() const { return width() + height(); }
+  double area() const { return width() * height(); }
+  Point center() const { return {(xlo + xhi) * 0.5, (ylo + yhi) * 0.5}; }
+
+  bool contains(const Point& p) const {
+    return p.x >= xlo && p.x <= xhi && p.y >= ylo && p.y <= yhi;
+  }
+
+  /// Closed-interval overlap (touching boxes overlap).
+  bool overlaps(const BBox& other) const {
+    if (is_empty() || other.is_empty()) return false;
+    return xlo <= other.xhi && other.xlo <= xhi && ylo <= other.yhi &&
+           other.ylo <= yhi;
+  }
+
+  friend bool operator==(const BBox& a, const BBox& b) {
+    return a.xlo == b.xlo && a.ylo == b.ylo && a.xhi == b.xhi && a.yhi == b.yhi;
+  }
+};
+
+}  // namespace operon::geom

@@ -1,0 +1,63 @@
+#pragma once
+// 2-D points in micrometers. Optical waveguides route in any direction
+// (Euclidean metric); electrical wires are Manhattan.
+
+#include <cmath>
+#include <functional>
+#include <ostream>
+
+namespace operon::geom {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+  friend bool operator!=(const Point& a, const Point& b) { return !(a == b); }
+  friend Point operator+(const Point& a, const Point& b) {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend Point operator-(const Point& a, const Point& b) {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend Point operator*(const Point& a, double s) { return {a.x * s, a.y * s}; }
+  friend Point operator*(double s, const Point& a) { return a * s; }
+
+  friend std::ostream& operator<<(std::ostream& os, const Point& p) {
+    return os << '(' << p.x << ", " << p.y << ')';
+  }
+};
+
+inline double dot(const Point& a, const Point& b) { return a.x * b.x + a.y * b.y; }
+
+/// z-component of the 2-D cross product (a × b).
+inline double cross(const Point& a, const Point& b) { return a.x * b.y - a.y * b.x; }
+
+inline double euclidean(const Point& a, const Point& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+inline double manhattan(const Point& a, const Point& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+inline double squared_distance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x, dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+inline Point midpoint(const Point& a, const Point& b) {
+  return {(a.x + b.x) * 0.5, (a.y + b.y) * 0.5};
+}
+
+/// Lexicographic (x, then y) ordering, useful for canonicalization.
+struct PointLess {
+  bool operator()(const Point& a, const Point& b) const {
+    if (a.x != b.x) return a.x < b.x;
+    return a.y < b.y;
+  }
+};
+
+}  // namespace operon::geom

@@ -1,0 +1,85 @@
+#include "geom/segment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace operon::geom {
+
+namespace {
+// Relative tolerance for orientation tests; geometry is in µm with chip
+// extents up to ~1e5 µm, so 1e-9 relative keeps us well above double noise.
+constexpr double kRelTol = 1e-9;
+}  // namespace
+
+int orientation(const Point& a, const Point& b, const Point& c) {
+  const double v = cross(b - a, c - a);
+  const double scale = std::max({std::abs(b.x - a.x), std::abs(b.y - a.y),
+                                 std::abs(c.x - a.x), std::abs(c.y - a.y),
+                                 1.0});
+  if (std::abs(v) <= kRelTol * scale * scale) return 0;
+  return v > 0 ? 1 : -1;
+}
+
+bool on_segment(const Segment& s, const Point& p) {
+  if (orientation(s.a, s.b, p) != 0) return false;
+  return p.x >= std::min(s.a.x, s.b.x) - kRelTol &&
+         p.x <= std::max(s.a.x, s.b.x) + kRelTol &&
+         p.y >= std::min(s.a.y, s.b.y) - kRelTol &&
+         p.y <= std::max(s.a.y, s.b.y) + kRelTol;
+}
+
+bool segments_intersect(const Segment& s, const Segment& t) {
+  const int o1 = orientation(s.a, s.b, t.a);
+  const int o2 = orientation(s.a, s.b, t.b);
+  const int o3 = orientation(t.a, t.b, s.a);
+  const int o4 = orientation(t.a, t.b, s.b);
+  if (o1 != o2 && o3 != o4) return true;
+  if (o1 == 0 && on_segment(s, t.a)) return true;
+  if (o2 == 0 && on_segment(s, t.b)) return true;
+  if (o3 == 0 && on_segment(t, s.a)) return true;
+  if (o4 == 0 && on_segment(t, s.b)) return true;
+  return false;
+}
+
+bool segments_cross(const Segment& s, const Segment& t) {
+  const int o1 = orientation(s.a, s.b, t.a);
+  const int o2 = orientation(s.a, s.b, t.b);
+  const int o3 = orientation(t.a, t.b, s.a);
+  const int o4 = orientation(t.a, t.b, s.b);
+  // Proper crossing requires strict straddling on both segments: each
+  // segment's endpoints lie strictly on opposite sides of the other.
+  return o1 != 0 && o2 != 0 && o3 != 0 && o4 != 0 && o1 != o2 && o3 != o4;
+}
+
+std::size_t count_crossings(std::span<const Segment> lhs,
+                            std::span<const Segment> rhs) {
+  std::size_t count = 0;
+  for (const Segment& s : lhs) {
+    const BBox sb = s.bbox();
+    for (const Segment& t : rhs) {
+      if (!sb.overlaps(t.bbox())) continue;
+      if (segments_cross(s, t)) ++count;
+    }
+  }
+  return count;
+}
+
+std::size_t count_crossings(const Segment& seg, std::span<const Segment> set) {
+  return count_crossings(std::span<const Segment>{&seg, 1}, set);
+}
+
+double point_segment_distance(const Point& p, const Segment& s) {
+  const Point d = s.b - s.a;
+  const double len2 = dot(d, d);
+  if (len2 == 0.0) return euclidean(p, s.a);
+  const double t = std::clamp(dot(p - s.a, d) / len2, 0.0, 1.0);
+  return euclidean(p, s.a + d * t);
+}
+
+double total_length(std::span<const Segment> segs) {
+  double sum = 0.0;
+  for (const Segment& s : segs) sum += s.length();
+  return sum;
+}
+
+}  // namespace operon::geom

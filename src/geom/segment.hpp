@@ -1,0 +1,64 @@
+#pragma once
+// Line segments and crossing predicates. Waveguide crossing loss (β per
+// crossing, Eq. 2) is driven by counting proper intersections between
+// optical segments of different routes; segments that merely share an
+// endpoint (tree branching) do not count as crossings.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geom/bbox.hpp"
+#include "geom/point.hpp"
+
+namespace operon::geom {
+
+struct Segment {
+  Point a;
+  Point b;
+
+  double length() const { return euclidean(a, b); }
+  double manhattan_length() const { return manhattan(a, b); }
+  BBox bbox() const { return BBox::of(a, b); }
+
+  bool is_horizontal(double tol = 1e-9) const {
+    return std::abs(a.y - b.y) <= tol;
+  }
+  bool is_vertical(double tol = 1e-9) const {
+    return std::abs(a.x - b.x) <= tol;
+  }
+
+  friend bool operator==(const Segment& s, const Segment& t) {
+    return s.a == t.a && s.b == t.b;
+  }
+};
+
+/// Sign of the orientation of the triangle (a, b, c): +1 counter-clockwise,
+/// -1 clockwise, 0 collinear (within tolerance scaled to the inputs).
+int orientation(const Point& a, const Point& b, const Point& c);
+
+/// True if point p lies on segment s (inclusive of endpoints).
+bool on_segment(const Segment& s, const Point& p);
+
+/// True if the segments intersect at all (shared endpoints count).
+bool segments_intersect(const Segment& s, const Segment& t);
+
+/// True if the segments cross *properly*: they intersect at a single point
+/// interior to both. Shared endpoints, T-junctions at endpoints, and
+/// collinear overlaps are NOT proper crossings.
+bool segments_cross(const Segment& s, const Segment& t);
+
+/// Number of proper crossings between two segment sets (bbox-filtered).
+std::size_t count_crossings(std::span<const Segment> lhs,
+                            std::span<const Segment> rhs);
+
+/// Proper crossings of one segment against a set.
+std::size_t count_crossings(const Segment& seg, std::span<const Segment> set);
+
+/// Euclidean distance from point p to segment s.
+double point_segment_distance(const Point& p, const Segment& s);
+
+/// Total Euclidean length of a set of segments.
+double total_length(std::span<const Segment> segs);
+
+}  // namespace operon::geom

@@ -1,0 +1,237 @@
+#include "grid/maze.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <queue>
+#include <set>
+
+#include "util/check.hpp"
+
+namespace operon::grid {
+
+RoutingGrid::RoutingGrid(const geom::BBox& chip, std::size_t tiles)
+    : chip_(chip), tiles_(tiles) {
+  OPERON_CHECK(!chip.is_empty());
+  OPERON_CHECK(tiles >= 2);
+  pitch_x_ = chip.width() / static_cast<double>(tiles);
+  pitch_y_ = chip.height() / static_cast<double>(tiles);
+}
+
+TileId RoutingGrid::tile_of(const geom::Point& p) const {
+  const auto clamp_idx = [&](double v, double lo, double pitch) {
+    const auto i = static_cast<long long>((v - lo) / pitch);
+    return static_cast<std::size_t>(
+        std::clamp<long long>(i, 0, static_cast<long long>(tiles_) - 1));
+  };
+  return clamp_idx(p.y, chip_.ylo, pitch_y_) * tiles_ +
+         clamp_idx(p.x, chip_.xlo, pitch_x_);
+}
+
+geom::Point RoutingGrid::center(TileId tile) const {
+  OPERON_DCHECK(tile < num_tiles());
+  const std::size_t x = tile % tiles_;
+  const std::size_t y = tile / tiles_;
+  return {chip_.xlo + (static_cast<double>(x) + 0.5) * pitch_x_,
+          chip_.ylo + (static_cast<double>(y) + 0.5) * pitch_y_};
+}
+
+std::vector<TileId> RoutingGrid::neighbors(TileId tile) const {
+  const std::size_t x = tile % tiles_;
+  const std::size_t y = tile / tiles_;
+  std::vector<TileId> out;
+  out.reserve(4);
+  if (x > 0) out.push_back(tile - 1);
+  if (x + 1 < tiles_) out.push_back(tile + 1);
+  if (y > 0) out.push_back(tile - tiles_);
+  if (y + 1 < tiles_) out.push_back(tile + tiles_);
+  return out;
+}
+
+std::size_t RoutingGrid::edge_index(TileId a, TileId b) const {
+  if (a > b) std::swap(a, b);
+  const std::size_t xa = a % tiles_, ya = a / tiles_;
+  if (b == a + 1) {
+    // Horizontal edge between (xa, ya) and (xa+1, ya).
+    OPERON_DCHECK(xa + 1 < tiles_);
+    return ya * (tiles_ - 1) + xa;
+  }
+  OPERON_DCHECK(b == a + tiles_);
+  // Vertical edge between (xa, ya) and (xa, ya+1).
+  const std::size_t horizontal_count = tiles_ * (tiles_ - 1);
+  return horizontal_count + xa * (tiles_ - 1) + ya;
+}
+
+std::size_t RoutingGrid::num_edges() const { return 2 * tiles_ * (tiles_ - 1); }
+
+std::vector<geom::Segment> route_segments(const RoutingGrid& grid,
+                                          const GridRoute& route) {
+  std::vector<geom::Segment> out;
+  out.reserve(route.edges.size());
+  for (const auto& [a, b] : route.edges) {
+    out.push_back({grid.center(a), grid.center(b)});
+  }
+  return out;
+}
+
+MazeRouter::MazeRouter(const geom::BBox& chip, const GridOptions& options)
+    : grid_(chip, options.tiles),
+      options_(options),
+      usage_(grid_.num_edges(), 0),
+      history_(grid_.num_edges(), 0.0) {
+  OPERON_CHECK(options.edge_capacity >= 1);
+  OPERON_CHECK(options.max_rounds >= 1);
+}
+
+double MazeRouter::edge_cost(TileId from, TileId to, TileId via_parent) const {
+  const std::size_t edge = grid_.edge_index(from, to);
+  const double base = geom::euclidean(grid_.center(from), grid_.center(to));
+  const double over = std::max(
+      0, usage_[edge] + 1 - options_.edge_capacity);
+  double cost = base *
+                    (1.0 + options_.congestion_weight * over /
+                               static_cast<double>(options_.edge_capacity)) +
+                history_[edge];
+  // Bend penalty: direction change relative to the step into `from`.
+  if (via_parent != from) {  // `from` has an incoming direction
+    const bool incoming_horizontal =
+        (via_parent / grid_.tiles_per_axis()) == (from / grid_.tiles_per_axis());
+    const bool outgoing_horizontal =
+        (from / grid_.tiles_per_axis()) == (to / grid_.tiles_per_axis());
+    if (incoming_horizontal != outgoing_horizontal) {
+      cost += options_.bend_penalty_um;
+    }
+  }
+  return cost;
+}
+
+GridRoute MazeRouter::route_net(const std::vector<TileId>& terminals) {
+  GridRoute route;
+  route.routed = true;
+  if (terminals.size() <= 1) return route;
+
+  std::set<TileId> tree{terminals[0]};
+  std::set<TileId> pending(terminals.begin() + 1, terminals.end());
+  pending.erase(terminals[0]);
+
+  while (!pending.empty()) {
+    // Multi-source Dijkstra from the whole tree to the nearest pending
+    // terminal. Parent tracking reconstructs the path.
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    std::vector<double> dist(grid_.num_tiles(), kInf);
+    std::vector<TileId> parent(grid_.num_tiles(),
+                               std::numeric_limits<TileId>::max());
+    using Item = std::pair<double, TileId>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+    for (TileId t : tree) {
+      dist[t] = 0.0;
+      parent[t] = t;
+      heap.emplace(0.0, t);
+    }
+    TileId reached = std::numeric_limits<TileId>::max();
+    while (!heap.empty()) {
+      const auto [d, u] = heap.top();
+      heap.pop();
+      if (d > dist[u] + 1e-12) continue;
+      if (pending.count(u)) {
+        reached = u;
+        break;
+      }
+      for (TileId v : grid_.neighbors(u)) {
+        const double nd = d + edge_cost(u, v, parent[u]);
+        if (nd < dist[v] - 1e-9) {
+          dist[v] = nd;
+          parent[v] = u;
+          heap.emplace(nd, v);
+        }
+      }
+    }
+    if (reached == std::numeric_limits<TileId>::max()) {
+      route.routed = false;
+      return route;
+    }
+    // Splice the path into the tree (new edges only).
+    for (TileId v = reached; parent[v] != v; v = parent[v]) {
+      route.edges.emplace_back(parent[v], v);
+      tree.insert(v);
+    }
+    pending.erase(reached);
+  }
+
+  // Length and bend statistics.
+  route.length_um = 0.0;
+  for (const auto& [a, b] : route.edges) {
+    route.length_um += geom::euclidean(grid_.center(a), grid_.center(b));
+  }
+  // Bends: per node on the tree, count direction changes along each
+  // parent-child chain (approximate: count per tile with both a
+  // horizontal and a vertical incident route edge).
+  std::map<TileId, std::pair<bool, bool>> orientation;  // (has H, has V)
+  for (const auto& [a, b] : route.edges) {
+    const bool horizontal =
+        (a / grid_.tiles_per_axis()) == (b / grid_.tiles_per_axis());
+    for (TileId t : {a, b}) {
+      auto& [h, v] = orientation[t];
+      h = h || horizontal;
+      v = v || !horizontal;
+    }
+  }
+  route.bends = 0;
+  for (const auto& [tile, hv] : orientation) {
+    if (hv.first && hv.second) ++route.bends;
+  }
+  return route;
+}
+
+void MazeRouter::commit(const GridRoute& route, int delta) {
+  for (const auto& [a, b] : route.edges) {
+    usage_[grid_.edge_index(a, b)] += delta;
+    OPERON_DCHECK(usage_[grid_.edge_index(a, b)] >= 0);
+  }
+}
+
+std::vector<GridRoute> MazeRouter::route_all(
+    std::span<const std::vector<geom::Point>> nets) {
+  // Terminal tiles per net (deduplicated, driver first).
+  std::vector<std::vector<TileId>> terminals(nets.size());
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    OPERON_CHECK(!nets[i].empty());
+    std::set<TileId> seen;
+    for (const geom::Point& pin : nets[i]) {
+      const TileId tile = grid_.tile_of(pin);
+      if (seen.insert(tile).second) terminals[i].push_back(tile);
+    }
+  }
+
+  std::vector<GridRoute> routes(nets.size());
+  for (std::size_t round = 0; round < options_.max_rounds; ++round) {
+    stats_.rounds = round + 1;
+    // Full rip-up and re-route with current history costs.
+    std::fill(usage_.begin(), usage_.end(), 0);
+    for (std::size_t i = 0; i < nets.size(); ++i) {
+      routes[i] = route_net(terminals[i]);
+      commit(routes[i], +1);
+    }
+    // Overflow accounting; stop when clean.
+    std::size_t overflowed = 0;
+    for (std::size_t e = 0; e < usage_.size(); ++e) {
+      if (usage_[e] > options_.edge_capacity) {
+        ++overflowed;
+        history_[e] +=
+            options_.history_increment * grid_.tile_pitch_um();
+      }
+    }
+    stats_.overflowed_edges = overflowed;
+    if (overflowed == 0) break;
+  }
+
+  stats_.failed_nets = 0;
+  stats_.total_length_um = 0.0;
+  for (const GridRoute& route : routes) {
+    if (!route.routed) ++stats_.failed_nets;
+    stats_.total_length_um += route.length_um;
+  }
+  return routes;
+}
+
+}  // namespace operon::grid

@@ -1,0 +1,111 @@
+#pragma once
+// Tile-grid maze routing with negotiated congestion (PathFinder-lite) —
+// the router class GLOW [4] belongs to ("global routing" on tiles with
+// WDM capacity). Used by the grid-based optical baseline and available
+// as a substrate for Manhattan waveguide routing experiments.
+//
+// The chip is tiled N x N; routes run between 4-neighbor tile centers.
+// Edge cost = base length * (1 + congestion penalty) + bend penalty;
+// after each round, edges over capacity raise their history cost and
+// every overflowing net reroutes, until no overflow or the round limit.
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "geom/bbox.hpp"
+#include "geom/point.hpp"
+#include "geom/segment.hpp"
+
+namespace operon::grid {
+
+using TileId = std::size_t;
+
+struct GridOptions {
+  std::size_t tiles = 24;           ///< tiles per axis
+  int edge_capacity = 4;            ///< waveguides per tile edge
+  double bend_penalty_um = 200.0;   ///< cost per direction change
+  double congestion_weight = 2.0;   ///< present-overuse multiplier
+  double history_increment = 0.5;   ///< per-round history bump on overflow
+  std::size_t max_rounds = 8;
+};
+
+/// One routed tree over tiles (a 2-pin route is a single path).
+struct GridRoute {
+  /// Tree edges between adjacent tiles (parent, child), root-first order.
+  std::vector<std::pair<TileId, TileId>> edges;
+  double length_um = 0.0;
+  int bends = 0;
+  bool routed = false;  ///< false when a terminal was unreachable
+
+  bool empty() const { return edges.empty(); }
+};
+
+class RoutingGrid {
+ public:
+  RoutingGrid(const geom::BBox& chip, std::size_t tiles);
+
+  std::size_t tiles_per_axis() const { return tiles_; }
+  std::size_t num_tiles() const { return tiles_ * tiles_; }
+  TileId tile_of(const geom::Point& p) const;
+  geom::Point center(TileId tile) const;
+  double tile_pitch_um() const { return pitch_x_; }
+
+  /// 4-neighbors of a tile.
+  std::vector<TileId> neighbors(TileId tile) const;
+
+  /// Undirected edge index between adjacent tiles a and b.
+  std::size_t edge_index(TileId a, TileId b) const;
+  std::size_t num_edges() const;
+
+  const geom::BBox& chip() const { return chip_; }
+
+ private:
+  geom::BBox chip_;
+  std::size_t tiles_;
+  double pitch_x_;
+  double pitch_y_;
+};
+
+/// Polyline geometry of a route (tile-center segments, merged straights).
+std::vector<geom::Segment> route_segments(const RoutingGrid& grid,
+                                          const GridRoute& route);
+
+class MazeRouter {
+ public:
+  MazeRouter(const geom::BBox& chip, const GridOptions& options = {});
+
+  const RoutingGrid& grid() const { return grid_; }
+
+  /// Route every net (first terminal = driver) with negotiated
+  /// congestion; returns one route per net, aligned with the input.
+  /// Multi-terminal nets are routed as sequential Steiner trees (each
+  /// new terminal connects to the nearest point of the growing tree).
+  std::vector<GridRoute> route_all(
+      std::span<const std::vector<geom::Point>> nets);
+
+  struct Stats {
+    std::size_t rounds = 0;
+    std::size_t overflowed_edges = 0;  ///< after the final round
+    std::size_t failed_nets = 0;
+    double total_length_um = 0.0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Per-edge usage after route_all (for congestion inspection).
+  const std::vector<int>& edge_usage() const { return usage_; }
+
+ private:
+  GridRoute route_net(const std::vector<TileId>& terminals);
+  void commit(const GridRoute& route, int delta);
+  double edge_cost(TileId from, TileId to, TileId via_parent) const;
+
+  RoutingGrid grid_;
+  GridOptions options_;
+  std::vector<int> usage_;
+  std::vector<double> history_;
+  Stats stats_;
+};
+
+}  // namespace operon::grid

@@ -1,0 +1,137 @@
+#include "ilp/bnb.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace operon::ilp {
+
+namespace {
+
+struct Node {
+  std::vector<double> lower;
+  std::vector<double> upper;
+  double bound;  ///< parent LP objective (minimization sense)
+};
+
+/// Index of the most fractional integral variable, or size() if none.
+std::size_t most_fractional(const Model& model,
+                            const std::vector<double>& values, double tol) {
+  std::size_t best = values.size();
+  double best_frac = tol;
+  for (std::size_t v = 0; v < values.size(); ++v) {
+    if (!model.variable(v).integral) continue;
+    const double frac = std::abs(values[v] - std::round(values[v]));
+    if (frac > best_frac) {
+      best_frac = frac;
+      best = v;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+MipResult solve_mip(const Model& model, const MipOptions& options) {
+  model.validate();
+  util::Deadline deadline(options.time_limit_s);
+  MipResult result;
+
+  // Minimization sense internally; flip at the end for Maximize.
+  const double sense = model.sense() == Sense::Minimize ? 1.0 : -1.0;
+
+  std::vector<double> root_lower(model.num_variables());
+  std::vector<double> root_upper(model.num_variables());
+  for (std::size_t v = 0; v < model.num_variables(); ++v) {
+    const Variable& var = model.variable(v);
+    root_lower[v] = var.lower;
+    root_upper[v] = var.upper;
+    // Tighten integral bounds immediately.
+    if (var.integral) {
+      root_lower[v] = std::ceil(root_lower[v] - 1e-9);
+      root_upper[v] = std::floor(root_upper[v] + 1e-9);
+    }
+  }
+
+  std::vector<Node> stack;
+  stack.push_back({std::move(root_lower), std::move(root_upper),
+                   -std::numeric_limits<double>::infinity()});
+
+  double incumbent_obj = std::numeric_limits<double>::infinity();
+  std::vector<double> incumbent;
+  bool hit_time = false;
+  bool hit_nodes = false;
+
+  while (!stack.empty()) {
+    if (deadline.expired()) {
+      hit_time = true;
+      break;
+    }
+    if (options.max_nodes > 0 && result.nodes_explored >= options.max_nodes) {
+      hit_nodes = true;
+      break;
+    }
+    Node node = std::move(stack.back());
+    stack.pop_back();
+    if (node.bound >= incumbent_obj - options.gap_tol) continue;  // pruned
+
+    ++result.nodes_explored;
+    const LpResult lp =
+        solve_lp_with_bounds(model, node.lower, node.upper, options.lp);
+    if (lp.status == LpStatus::Infeasible) continue;
+    OPERON_CHECK_MSG(lp.status == LpStatus::Optimal,
+                     "LP relaxation unbounded or hit iteration limit in B&B");
+    const double lp_obj = sense * lp.objective;
+    if (lp_obj >= incumbent_obj - options.gap_tol) continue;
+
+    const std::size_t branch_var =
+        most_fractional(model, lp.values, options.integrality_tol);
+    if (branch_var == lp.values.size()) {
+      // Integral solution: new incumbent.
+      incumbent_obj = lp_obj;
+      incumbent = lp.values;
+      // Snap integral values exactly.
+      for (std::size_t v = 0; v < incumbent.size(); ++v) {
+        if (model.variable(v).integral) incumbent[v] = std::round(incumbent[v]);
+      }
+      continue;
+    }
+
+    // Branch: floor side and ceil side. Push the side closer to the LP
+    // value last so DFS dives toward it first.
+    const double value = lp.values[branch_var];
+    Node down = node;
+    down.upper[branch_var] = std::floor(value);
+    down.bound = lp_obj;
+    Node up = std::move(node);
+    up.lower[branch_var] = std::ceil(value);
+    up.bound = lp_obj;
+    const bool prefer_up = (value - std::floor(value)) > 0.5;
+    if (prefer_up) {
+      stack.push_back(std::move(down));
+      stack.push_back(std::move(up));
+    } else {
+      stack.push_back(std::move(up));
+      stack.push_back(std::move(down));
+    }
+  }
+
+  result.has_incumbent = !incumbent.empty();
+  if (result.has_incumbent) {
+    result.objective = sense * incumbent_obj;
+    result.values = std::move(incumbent);
+    if (hit_time) result.status = MipStatus::TimeLimit;
+    else if (hit_nodes) result.status = MipStatus::NodeLimit;
+    else result.status = MipStatus::Optimal;
+  } else {
+    if (hit_time) result.status = MipStatus::TimeLimit;
+    else if (hit_nodes) result.status = MipStatus::NodeLimit;
+    else result.status = MipStatus::Infeasible;
+  }
+  return result;
+}
+
+}  // namespace operon::ilp

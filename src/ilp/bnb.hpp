@@ -1,0 +1,36 @@
+#pragma once
+// Branch-and-bound MIP solver over the LP relaxation — the exact solver
+// behind "OPERON (ILP)". Depth-first with best-bound tie-breaking,
+// most-fractional branching, and a wall-clock deadline: when the deadline
+// trips, the incumbent (if any) is returned with status TimeLimit, which
+// is how Table 1's "> 3000" rows arise.
+
+#include <cstddef>
+#include <vector>
+
+#include "ilp/model.hpp"
+#include "ilp/simplex.hpp"
+
+namespace operon::ilp {
+
+enum class MipStatus { Optimal, Feasible, Infeasible, TimeLimit, NodeLimit };
+
+struct MipOptions {
+  double time_limit_s = 0.0;    ///< <= 0 means unlimited
+  std::size_t max_nodes = 0;    ///< 0 means unlimited
+  double integrality_tol = 1e-6;
+  double gap_tol = 1e-9;        ///< absolute objective gap to prune with
+  LpOptions lp;
+};
+
+struct MipResult {
+  MipStatus status = MipStatus::Infeasible;
+  double objective = 0.0;
+  std::vector<double> values;
+  std::size_t nodes_explored = 0;
+  bool has_incumbent = false;
+};
+
+MipResult solve_mip(const Model& model, const MipOptions& options = {});
+
+}  // namespace operon::ilp

@@ -1,0 +1,95 @@
+#include "ilp/model.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace operon::ilp {
+
+std::size_t Model::add_variable(double lower, double upper, bool integral,
+                                std::string name) {
+  OPERON_CHECK_MSG(lower <= upper, "variable '" << name << "' has lb > ub");
+  variables_.push_back({lower, upper, integral, std::move(name)});
+  return variables_.size() - 1;
+}
+
+std::size_t Model::add_binary(std::string name) {
+  return add_variable(0.0, 1.0, true, std::move(name));
+}
+
+std::size_t Model::add_continuous(double lower, double upper,
+                                  std::string name) {
+  return add_variable(lower, upper, false, std::move(name));
+}
+
+void Model::add_constraint(LinearExpr expr, Relation relation, double rhs,
+                           std::string name) {
+  constraints_.push_back({std::move(expr), relation, rhs, std::move(name)});
+}
+
+void Model::set_objective(LinearExpr expr, Sense sense) {
+  objective_ = std::move(expr);
+  sense_ = sense;
+}
+
+double Model::evaluate_expr(const LinearExpr& expr,
+                            const std::vector<double>& values) const {
+  double sum = 0.0;
+  for (const LinearTerm& term : expr) {
+    OPERON_DCHECK(term.var < values.size());
+    sum += term.coeff * values[term.var];
+  }
+  return sum;
+}
+
+double Model::evaluate_objective(const std::vector<double>& values) const {
+  return evaluate_expr(objective_, values);
+}
+
+bool Model::is_feasible(const std::vector<double>& values, double tol) const {
+  if (values.size() != variables_.size()) return false;
+  for (std::size_t v = 0; v < variables_.size(); ++v) {
+    const Variable& var = variables_[v];
+    if (values[v] < var.lower - tol || values[v] > var.upper + tol) return false;
+    if (var.integral &&
+        std::abs(values[v] - std::round(values[v])) > tol) {
+      return false;
+    }
+  }
+  for (const Constraint& con : constraints_) {
+    const double lhs = evaluate_expr(con.expr, values);
+    switch (con.relation) {
+      case Relation::LessEq:
+        if (lhs > con.rhs + tol) return false;
+        break;
+      case Relation::GreaterEq:
+        if (lhs < con.rhs - tol) return false;
+        break;
+      case Relation::Equal:
+        if (std::abs(lhs - con.rhs) > tol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+void Model::validate() const {
+  for (const Variable& var : variables_) {
+    OPERON_CHECK(var.lower <= var.upper);
+    OPERON_CHECK(std::isfinite(var.lower) && std::isfinite(var.upper));
+  }
+  const auto check_expr = [&](const LinearExpr& expr) {
+    for (const LinearTerm& term : expr) {
+      OPERON_CHECK_MSG(term.var < variables_.size(),
+                       "expression references unknown variable " << term.var);
+      OPERON_CHECK(std::isfinite(term.coeff));
+    }
+  };
+  check_expr(objective_);
+  for (const Constraint& con : constraints_) {
+    check_expr(con.expr);
+    OPERON_CHECK(std::isfinite(con.rhs));
+  }
+}
+
+}  // namespace operon::ilp

@@ -1,0 +1,77 @@
+#pragma once
+// Linear / integer-linear model description, the input language of the
+// simplex and branch-and-bound solvers (the repo's GUROBI substitute).
+// Variables carry bounds and an integrality flag; constraints are sparse
+// linear expressions compared against a right-hand side.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace operon::ilp {
+
+enum class Sense { Minimize, Maximize };
+enum class Relation { LessEq, GreaterEq, Equal };
+
+struct LinearTerm {
+  std::size_t var = 0;
+  double coeff = 0.0;
+};
+
+/// Sparse linear expression; duplicate variables are allowed and summed.
+using LinearExpr = std::vector<LinearTerm>;
+
+struct Variable {
+  double lower = 0.0;
+  double upper = 1.0;
+  bool integral = false;
+  std::string name;
+};
+
+struct Constraint {
+  LinearExpr expr;
+  Relation relation = Relation::LessEq;
+  double rhs = 0.0;
+  std::string name;
+};
+
+class Model {
+ public:
+  std::size_t add_variable(double lower, double upper, bool integral,
+                           std::string name = {});
+  /// Convenience: binary decision variable.
+  std::size_t add_binary(std::string name = {});
+  /// Convenience: continuous non-negative variable.
+  std::size_t add_continuous(double lower, double upper, std::string name = {});
+
+  void add_constraint(LinearExpr expr, Relation relation, double rhs,
+                      std::string name = {});
+
+  void set_objective(LinearExpr expr, Sense sense);
+
+  std::size_t num_variables() const { return variables_.size(); }
+  std::size_t num_constraints() const { return constraints_.size(); }
+  const Variable& variable(std::size_t v) const { return variables_[v]; }
+  const Constraint& constraint(std::size_t c) const { return constraints_[c]; }
+  const LinearExpr& objective() const { return objective_; }
+  Sense sense() const { return sense_; }
+
+  double evaluate_objective(const std::vector<double>& values) const;
+  double evaluate_expr(const LinearExpr& expr,
+                       const std::vector<double>& values) const;
+
+  /// True when `values` satisfies all bounds, integrality, and constraints
+  /// within `tol`.
+  bool is_feasible(const std::vector<double>& values, double tol = 1e-6) const;
+
+  /// Throws util::CheckError on malformed models (bad indices, lb > ub).
+  void validate() const;
+
+ private:
+  std::vector<Variable> variables_;
+  std::vector<Constraint> constraints_;
+  LinearExpr objective_;
+  Sense sense_ = Sense::Minimize;
+};
+
+}  // namespace operon::ilp

@@ -1,0 +1,297 @@
+#include "ilp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace operon::ilp {
+
+namespace {
+
+// Dense tableau over columns [structural y_j | slacks | artificials | rhs].
+// Structural variables are the model's, shifted so y_j = x_j - lb_j >= 0.
+class Tableau {
+ public:
+  Tableau(const Model& model, const std::vector<double>& lower,
+          const std::vector<double>& upper, const LpOptions& options)
+      : model_(model), lower_(lower), upper_(upper), options_(options) {}
+
+  LpResult run() {
+    build_rows();
+    if (infeasible_bounds_) return {LpStatus::Infeasible, 0.0, {}};
+    assemble();
+    // Phase 1: drive artificials to zero.
+    if (num_artificials_ > 0) {
+      set_phase1_objective();
+      const LpStatus status = iterate();
+      if (status != LpStatus::Optimal) return {status, 0.0, {}};
+      if (-obj_[cols_] > 1e-7) return {LpStatus::Infeasible, 0.0, {}};
+      expel_artificials();
+    }
+    // Phase 2: optimize the real objective.
+    set_phase2_objective();
+    const LpStatus status = iterate();
+    if (status != LpStatus::Optimal) return {status, 0.0, {}};
+    return extract();
+  }
+
+ private:
+  struct Row {
+    std::vector<double> coeff;  ///< per structural variable
+    double rhs = 0.0;
+    Relation relation = Relation::LessEq;
+  };
+
+  void build_rows() {
+    const std::size_t n = model_.num_variables();
+    for (std::size_t v = 0; v < n; ++v) {
+      if (upper_[v] < lower_[v] - 1e-12) {
+        infeasible_bounds_ = true;
+        return;
+      }
+    }
+    // Model constraints, shifted by lower bounds.
+    for (std::size_t c = 0; c < model_.num_constraints(); ++c) {
+      const Constraint& con = model_.constraint(c);
+      Row row;
+      row.coeff.assign(n, 0.0);
+      for (const LinearTerm& term : con.expr) row.coeff[term.var] += term.coeff;
+      double shift = 0.0;
+      for (std::size_t v = 0; v < n; ++v) shift += row.coeff[v] * lower_[v];
+      row.rhs = con.rhs - shift;
+      row.relation = con.relation;
+      rows_.push_back(std::move(row));
+    }
+    // Finite upper bounds become y_v <= ub - lb rows.
+    for (std::size_t v = 0; v < n; ++v) {
+      const double span = upper_[v] - lower_[v];
+      if (span < 1e14) {
+        Row row;
+        row.coeff.assign(n, 0.0);
+        row.coeff[v] = 1.0;
+        row.rhs = span;
+        row.relation = Relation::LessEq;
+        rows_.push_back(std::move(row));
+      }
+    }
+  }
+
+  void assemble() {
+    const std::size_t n = model_.num_variables();
+    const std::size_t m = rows_.size();
+    // Normalize rhs >= 0 and count slacks/artificials.
+    std::size_t num_slacks = 0;
+    for (Row& row : rows_) {
+      if (row.rhs < 0.0) {
+        for (double& a : row.coeff) a = -a;
+        row.rhs = -row.rhs;
+        if (row.relation == Relation::LessEq) row.relation = Relation::GreaterEq;
+        else if (row.relation == Relation::GreaterEq) row.relation = Relation::LessEq;
+      }
+      if (row.relation != Relation::Equal) ++num_slacks;
+    }
+    // Artificials: GreaterEq and Equal rows need one (their slack, if any,
+    // enters with -1 so it cannot seed the basis).
+    num_artificials_ = 0;
+    for (const Row& row : rows_) {
+      if (row.relation != Relation::LessEq) ++num_artificials_;
+    }
+    slack_begin_ = n;
+    artificial_begin_ = n + num_slacks;
+    cols_ = n + num_slacks + num_artificials_;
+
+    a_.assign(m, std::vector<double>(cols_ + 1, 0.0));
+    basis_.assign(m, 0);
+    std::size_t slack = slack_begin_;
+    std::size_t artificial = artificial_begin_;
+    for (std::size_t r = 0; r < m; ++r) {
+      const Row& row = rows_[r];
+      for (std::size_t v = 0; v < n; ++v) a_[r][v] = row.coeff[v];
+      a_[r][cols_] = row.rhs;
+      switch (row.relation) {
+        case Relation::LessEq:
+          a_[r][slack] = 1.0;
+          basis_[r] = slack++;
+          break;
+        case Relation::GreaterEq:
+          a_[r][slack] = -1.0;
+          ++slack;
+          a_[r][artificial] = 1.0;
+          basis_[r] = artificial++;
+          break;
+        case Relation::Equal:
+          a_[r][artificial] = 1.0;
+          basis_[r] = artificial++;
+          break;
+      }
+    }
+  }
+
+  void set_phase1_objective() {
+    obj_.assign(cols_ + 1, 0.0);
+    for (std::size_t c = artificial_begin_; c < cols_; ++c) obj_[c] = 1.0;
+    price_out();
+    phase1_ = true;
+  }
+
+  void set_phase2_objective() {
+    obj_.assign(cols_ + 1, 0.0);
+    const double sign = model_.sense() == Sense::Minimize ? 1.0 : -1.0;
+    for (const LinearTerm& term : model_.objective()) {
+      obj_[term.var] += sign * term.coeff;
+    }
+    price_out();
+    phase1_ = false;
+  }
+
+  /// Subtract basic rows so reduced costs of basic columns become zero.
+  void price_out() {
+    for (std::size_t r = 0; r < a_.size(); ++r) {
+      const double c = obj_[basis_[r]];
+      if (std::abs(c) < 1e-15) continue;
+      for (std::size_t j = 0; j <= cols_; ++j) obj_[j] -= c * a_[r][j];
+    }
+  }
+
+  LpStatus iterate() {
+    for (std::size_t iter = 0; iter < options_.max_iterations; ++iter) {
+      // Bland's rule: entering = lowest-index column with negative reduced
+      // cost (artificials may not re-enter in phase 2).
+      const std::size_t limit = phase1_ ? cols_ : artificial_begin_;
+      std::size_t enter = limit;
+      for (std::size_t j = 0; j < limit; ++j) {
+        if (obj_[j] < -options_.eps) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter == limit) return LpStatus::Optimal;
+
+      // Leaving: min ratio, ties by lowest basis index (Bland).
+      std::size_t leave = a_.size();
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t r = 0; r < a_.size(); ++r) {
+        if (a_[r][enter] <= options_.eps) continue;
+        const double ratio = a_[r][cols_] / a_[r][enter];
+        if (ratio < best_ratio - 1e-12 ||
+            (ratio < best_ratio + 1e-12 &&
+             (leave == a_.size() || basis_[r] < basis_[leave]))) {
+          best_ratio = ratio;
+          leave = r;
+        }
+      }
+      if (leave == a_.size()) return LpStatus::Unbounded;
+      pivot(leave, enter);
+    }
+    return LpStatus::IterationLimit;
+  }
+
+  void pivot(std::size_t row, std::size_t col) {
+    const double inv = 1.0 / a_[row][col];
+    for (std::size_t j = 0; j <= cols_; ++j) a_[row][j] *= inv;
+    a_[row][col] = 1.0;  // exact
+    for (std::size_t r = 0; r < a_.size(); ++r) {
+      if (r == row) continue;
+      const double factor = a_[r][col];
+      if (std::abs(factor) < 1e-15) continue;
+      for (std::size_t j = 0; j <= cols_; ++j) a_[r][j] -= factor * a_[row][j];
+      a_[r][col] = 0.0;
+    }
+    const double factor = obj_[col];
+    if (std::abs(factor) > 1e-15) {
+      for (std::size_t j = 0; j <= cols_; ++j) obj_[j] -= factor * a_[row][j];
+      obj_[col] = 0.0;
+    }
+    basis_[row] = col;
+  }
+
+  /// After phase 1, pivot basic artificials out (or drop redundant rows).
+  void expel_artificials() {
+    for (std::size_t r = 0; r < a_.size();) {
+      if (basis_[r] < artificial_begin_) {
+        ++r;
+        continue;
+      }
+      std::size_t enter = artificial_begin_;
+      for (std::size_t j = 0; j < artificial_begin_; ++j) {
+        if (std::abs(a_[r][j]) > 1e-9) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter < artificial_begin_) {
+        pivot(r, enter);
+        ++r;
+      } else {
+        // Redundant row: remove it.
+        a_.erase(a_.begin() + static_cast<std::ptrdiff_t>(r));
+        basis_.erase(basis_.begin() + static_cast<std::ptrdiff_t>(r));
+      }
+    }
+    // Zero out artificial columns so they can never re-enter.
+    for (auto& row : a_) {
+      for (std::size_t j = artificial_begin_; j < cols_; ++j) row[j] = 0.0;
+    }
+  }
+
+  LpResult extract() const {
+    const std::size_t n = model_.num_variables();
+    LpResult result;
+    result.status = LpStatus::Optimal;
+    result.values.assign(n, 0.0);
+    for (std::size_t r = 0; r < a_.size(); ++r) {
+      if (basis_[r] < n) result.values[basis_[r]] = a_[r][cols_];
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      result.values[v] += lower_[v];
+      // Clamp tiny numeric drift back into bounds.
+      result.values[v] = std::clamp(result.values[v], lower_[v], upper_[v]);
+    }
+    result.objective = model_.evaluate_objective(result.values);
+    return result;
+  }
+
+  const Model& model_;
+  const std::vector<double>& lower_;
+  const std::vector<double>& upper_;
+  LpOptions options_;
+
+  std::vector<Row> rows_;
+  std::vector<std::vector<double>> a_;
+  std::vector<double> obj_;
+  std::vector<std::size_t> basis_;
+  std::size_t cols_ = 0;
+  std::size_t slack_begin_ = 0;
+  std::size_t artificial_begin_ = 0;
+  std::size_t num_artificials_ = 0;
+  bool phase1_ = false;
+  bool infeasible_bounds_ = false;
+};
+
+}  // namespace
+
+LpResult solve_lp(const Model& model, const LpOptions& options) {
+  std::vector<double> lower(model.num_variables());
+  std::vector<double> upper(model.num_variables());
+  for (std::size_t v = 0; v < model.num_variables(); ++v) {
+    lower[v] = model.variable(v).lower;
+    upper[v] = model.variable(v).upper;
+  }
+  return solve_lp_with_bounds(model, lower, upper, options);
+}
+
+LpResult solve_lp_with_bounds(const Model& model,
+                              const std::vector<double>& lower,
+                              const std::vector<double>& upper,
+                              const LpOptions& options) {
+  OPERON_CHECK(lower.size() == model.num_variables());
+  OPERON_CHECK(upper.size() == model.num_variables());
+  model.validate();
+  for (double lb : lower) OPERON_CHECK(std::isfinite(lb));
+  Tableau tableau(model, lower, upper, options);
+  return tableau.run();
+}
+
+}  // namespace operon::ilp

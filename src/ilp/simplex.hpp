@@ -1,0 +1,37 @@
+#pragma once
+// Two-phase dense tableau primal simplex for the LP relaxation of a
+// Model. Variable bounds are materialized (lower bounds shifted to zero,
+// finite upper bounds added as rows); Bland's rule guards against
+// cycling. Intended for the small/medium LPs arising in branch-and-bound
+// nodes and unit tests — O(m·n) memory per tableau.
+
+#include <vector>
+
+#include "ilp/model.hpp"
+
+namespace operon::ilp {
+
+enum class LpStatus { Optimal, Infeasible, Unbounded, IterationLimit };
+
+struct LpResult {
+  LpStatus status = LpStatus::Infeasible;
+  double objective = 0.0;
+  std::vector<double> values;  ///< per original model variable
+};
+
+struct LpOptions {
+  std::size_t max_iterations = 100000;
+  double eps = 1e-9;
+};
+
+/// Solve the continuous relaxation (integrality flags ignored).
+LpResult solve_lp(const Model& model, const LpOptions& options = {});
+
+/// Solve with temporary variable-bound overrides (used by branch-and-
+/// bound to fix branching variables without copying the model).
+LpResult solve_lp_with_bounds(const Model& model,
+                              const std::vector<double>& lower,
+                              const std::vector<double>& upper,
+                              const LpOptions& options = {});
+
+}  // namespace operon::ilp

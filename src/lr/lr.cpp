@@ -1,0 +1,177 @@
+#include "lr/lr.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace operon::lr {
+
+namespace {
+
+using codesign::Candidate;
+using codesign::CandidateSet;
+using codesign::Selection;
+using codesign::SelectionEvaluator;
+
+/// Multipliers, one per path of every candidate of every net.
+using Multipliers = std::vector<std::vector<std::vector<double>>>;
+
+Multipliers init_multipliers(const SelectionEvaluator& evaluator,
+                             double init_scale) {
+  const double lm = evaluator.params().optical.max_loss_db;
+  Multipliers lambda(evaluator.num_nets());
+  for (std::size_t i = 0; i < evaluator.num_nets(); ++i) {
+    const CandidateSet& set = evaluator.set(i);
+    const double pe = set.electrical().power_pj;  // Algorithm 1 line 1
+    lambda[i].resize(set.options.size());
+    for (std::size_t c = 0; c < set.options.size(); ++c) {
+      lambda[i][c].assign(set.options[c].paths.size(), init_scale * pe / lm);
+    }
+  }
+  return lambda;
+}
+
+/// Weighted cost of candidate (i, c) given the other nets' current picks:
+/// inherent power plus multiplier-weighted relaxed losses of its own
+/// paths, plus its linearized crossing impact on the neighbors' selected
+/// paths (both halves of Eq. 5).
+double weighted_cost(const SelectionEvaluator& evaluator,
+                     const Multipliers& lambda, const Selection& selection,
+                     std::size_t i, std::size_t c) {
+  const CandidateSet& set = evaluator.set(i);
+  const Candidate& cand = set.options[c];
+  const double beta = evaluator.params().optical.beta_db_per_crossing;
+
+  double cost = cand.power_pj;
+  // Own relaxed constraints.
+  for (std::size_t p = 0; p < cand.paths.size(); ++p) {
+    double loss = cand.paths[p].static_loss_db;
+    for (std::size_t m : evaluator.interacting(i)) {
+      const auto& counts = evaluator.crossings(i, c, m, selection[m]);
+      if (!counts.empty()) loss += beta * counts[p];
+    }
+    cost += lambda[i][c][p] * loss;
+  }
+  // Impact on neighbors' selected paths.
+  if (!cand.optical_segments.empty()) {
+    for (std::size_t m : evaluator.interacting(i)) {
+      const std::size_t cm = selection[m];
+      const auto& counts = evaluator.crossings(m, cm, i, c);
+      for (std::size_t q = 0; q < counts.size(); ++q) {
+        if (counts[q] != 0) cost += lambda[m][cm][q] * beta * counts[q];
+      }  // empty vector = all zeros, loop body never runs
+    }
+  }
+  return cost;
+}
+
+}  // namespace
+
+LrResult solve_selection_lr(std::span<const CandidateSet> sets,
+                            const model::TechParams& params,
+                            const LrOptions& options) {
+  util::Timer timer;
+  SelectionEvaluator evaluator(sets, params);
+  const double lm = params.optical.max_loss_db;
+
+  Multipliers lambda = init_multipliers(evaluator, options.init_scale);
+  Selection selection = evaluator.min_power_selection();
+
+  LrResult result;
+  double prev_power = std::numeric_limits<double>::infinity();
+  double prev_excess = std::numeric_limits<double>::infinity();
+  // Best feasible iterate seen during the multiplier trajectory (the
+  // final iterate of a sub-gradient method is not necessarily its best).
+  Selection best_feasible;
+  double best_feasible_power = std::numeric_limits<double>::infinity();
+
+  for (std::size_t iter = 1; iter <= options.max_iterations; ++iter) {
+    result.iterations = iter;
+
+    // Line 5: per-net best-weight candidate (Gauss–Seidel sweep).
+    for (std::size_t i = 0; i < evaluator.num_nets(); ++i) {
+      std::size_t best = selection[i];
+      double best_cost = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < evaluator.set(i).options.size(); ++c) {
+        const double cost = weighted_cost(evaluator, lambda, selection, i, c);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = c;
+        }
+      }
+      selection[i] = best;
+    }
+
+    // Lines 6-7: violations, then sub-gradient multiplier update.
+    const codesign::ViolationStats stats = evaluator.violations(selection);
+    const double power = evaluator.total_power(selection);
+    const double step = options.step_scale / static_cast<double>(iter);
+
+    double max_lambda = 0.0;
+    for (std::size_t i = 0; i < evaluator.num_nets(); ++i) {
+      for (std::size_t c = 0; c < evaluator.set(i).options.size(); ++c) {
+        const bool selected = (selection[i] == c);
+        for (std::size_t p = 0; p < lambda[i][c].size(); ++p) {
+          // Sub-gradient of (loss_p - lm), normalized by lm; paths of
+          // unselected candidates contribute loss 0, so they decay.
+          const double loss =
+              selected ? evaluator.path_loss_db(selection, i, c, p) : 0.0;
+          const double gradient = (loss - lm) / lm;
+          double& value = lambda[i][c][p];
+          value = std::max(0.0, value + step * gradient *
+                                    evaluator.set(i).electrical().power_pj);
+          max_lambda = std::max(max_lambda, value);
+        }
+      }
+    }
+
+    result.trace.push_back({power, stats.violated_paths,
+                            stats.total_excess_db, max_lambda});
+    if (stats.clean() && power < best_feasible_power) {
+      best_feasible_power = power;
+      best_feasible = selection;
+    }
+
+    // Converging criteria: both the power and the violation totals have
+    // stopped improving by at least the required ratio.
+    const double power_improvement =
+        prev_power == std::numeric_limits<double>::infinity()
+            ? 1.0
+            : (prev_power - power) / std::max(prev_power, 1e-12);
+    const double excess_improvement =
+        prev_excess == std::numeric_limits<double>::infinity()
+            ? 1.0
+            : (prev_excess - stats.total_excess_db) /
+                  std::max(prev_excess, 1e-12);
+    prev_power = power;
+    prev_excess = stats.total_excess_db;
+    if (std::abs(power_improvement) < options.convergence_ratio &&
+        (stats.clean() ||
+         std::abs(excess_improvement) < options.convergence_ratio)) {
+      break;
+    }
+  }
+
+  if (options.repair_violations) {
+    selection = evaluator.peel(std::move(selection));
+    // Keep the best feasible solution seen anywhere: the multiplier
+    // trajectory's best clean iterate, a plain repair of the relaxed
+    // optimum, or the repaired final iterate.
+    if (best_feasible_power < evaluator.total_power(selection)) {
+      selection = std::move(best_feasible);
+    }
+    Selection baseline = evaluator.peel(evaluator.min_power_selection());
+    if (evaluator.total_power(baseline) < evaluator.total_power(selection)) {
+      selection = std::move(baseline);
+    }
+  }
+  result.selection = std::move(selection);
+  result.power_pj = evaluator.total_power(result.selection);
+  result.violations = evaluator.violations(result.selection);
+  result.runtime_s = timer.seconds();
+  return result;
+}
+
+}  // namespace operon::lr

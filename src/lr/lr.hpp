@@ -1,0 +1,55 @@
+#pragma once
+// "OPERON (LR)" — the Lagrangian-Relaxation speed-up of §3.4
+// (Algorithm 1). The detection constraints (3c) are relaxed into the
+// objective with one multiplier per source-to-sink path; the quadratic
+// crossing terms are linearized around the previous iterate (Eq. 5).
+// Each iteration selects, per hyper net, the candidate with the best
+// weighted cost (inherent power + multiplier penalties), then updates
+// the multipliers by sub-gradient on the observed violations. The flow
+// stops when both the power and the violations improve by less than a
+// ratio, or after `max_iterations` (paper: 10).
+
+#include <span>
+#include <vector>
+
+#include "codesign/selection.hpp"
+
+namespace operon::lr {
+
+struct LrOptions {
+  std::size_t max_iterations = 10;
+  /// Initial multipliers are proportional to the net's electrical power:
+  /// lambda0 = init_scale * pe(i) / lm (Algorithm 1 line 1).
+  double init_scale = 0.05;
+  /// Sub-gradient step: step_t = step_scale / t (guarantees convergence).
+  double step_scale = 1.0;
+  /// Converged when relative improvements of power and violation both
+  /// fall below this ratio (paper's converging criteria).
+  double convergence_ratio = 0.01;
+  /// After the multiplier loop, greedily repair any remaining violations
+  /// by demoting offending nets to cheaper-loss candidates (guarantees a
+  /// feasible final selection, as constraint 3b's a_ie term promises).
+  bool repair_violations = true;
+};
+
+struct LrIterationStats {
+  double power_pj = 0.0;
+  std::size_t violated_paths = 0;
+  double total_excess_db = 0.0;
+  double max_multiplier = 0.0;
+};
+
+struct LrResult {
+  codesign::Selection selection;
+  double power_pj = 0.0;
+  codesign::ViolationStats violations;
+  std::size_t iterations = 0;
+  double runtime_s = 0.0;
+  std::vector<LrIterationStats> trace;
+};
+
+LrResult solve_selection_lr(std::span<const codesign::CandidateSet> sets,
+                            const model::TechParams& params,
+                            const LrOptions& options = {});
+
+}  // namespace operon::lr

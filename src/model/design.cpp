@@ -1,0 +1,162 @@
+#include "model/design.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace operon::model {
+
+geom::Point SignalBit::centroid() const {
+  geom::Point sum = source.location;
+  for (const Pin& pin : sinks) sum = sum + pin.location;
+  const double n = static_cast<double>(pin_count());
+  return {sum.x / n, sum.y / n};
+}
+
+geom::BBox SignalBit::bbox() const {
+  geom::BBox box;
+  box.expand(source.location);
+  for (const Pin& pin : sinks) box.expand(pin.location);
+  return box;
+}
+
+std::size_t SignalGroup::pin_count() const {
+  std::size_t count = 0;
+  for (const SignalBit& bit : bits) count += bit.pin_count();
+  return count;
+}
+
+geom::BBox SignalGroup::bbox() const {
+  geom::BBox box;
+  for (const SignalBit& bit : bits) box.expand(bit.bbox());
+  return box;
+}
+
+std::size_t Design::num_bits() const {
+  std::size_t count = 0;
+  for (const SignalGroup& group : groups) count += group.bits.size();
+  return count;
+}
+
+std::size_t Design::num_pins() const {
+  std::size_t count = 0;
+  for (const SignalGroup& group : groups) count += group.pin_count();
+  return count;
+}
+
+void Design::validate() const {
+  OPERON_CHECK_MSG(!chip.is_empty(), "design '" << name << "' has empty chip");
+  for (const SignalGroup& group : groups) {
+    OPERON_CHECK_MSG(!group.bits.empty(),
+                     "group '" << group.name << "' has no bits");
+    for (const SignalBit& bit : group.bits) {
+      OPERON_CHECK_MSG(bit.source.role == PinRole::Source,
+                       "bit source pin mis-labeled in group '" << group.name
+                                                               << "'");
+      OPERON_CHECK_MSG(!bit.sinks.empty(),
+                       "bit with no sinks in group '" << group.name << "'");
+      OPERON_CHECK_MSG(chip.contains(bit.source.location),
+                       "source pin off-chip in group '" << group.name << "'");
+      for (const Pin& pin : bit.sinks) {
+        OPERON_CHECK_MSG(pin.role == PinRole::Sink,
+                         "sink pin mis-labeled in group '" << group.name
+                                                           << "'");
+        OPERON_CHECK_MSG(chip.contains(pin.location),
+                         "sink pin off-chip in group '" << group.name << "'");
+      }
+    }
+  }
+}
+
+void write_design(std::ostream& os, const Design& design) {
+  os << "design " << design.name << "\n";
+  os << "chip " << design.chip.xlo << ' ' << design.chip.ylo << ' '
+     << design.chip.xhi << ' ' << design.chip.yhi << "\n";
+  for (const SignalGroup& group : design.groups) {
+    os << "group " << group.name << "\n";
+    for (const SignalBit& bit : group.bits) {
+      os << "bit S " << bit.source.location.x << ' ' << bit.source.location.y;
+      for (const Pin& pin : bit.sinks) {
+        os << " T " << pin.location.x << ' ' << pin.location.y;
+      }
+      os << "\n";
+    }
+  }
+}
+
+Design read_design(std::istream& is) {
+  Design design;
+  SignalGroup* current_group = nullptr;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string_view text = util::trim(line);
+    if (text.empty() || text.front() == '#') continue;
+    std::istringstream ls{std::string(text)};
+    std::string keyword;
+    ls >> keyword;
+    if (keyword == "design") {
+      ls >> design.name;
+    } else if (keyword == "chip") {
+      ls >> design.chip.xlo >> design.chip.ylo >> design.chip.xhi >>
+          design.chip.yhi;
+      OPERON_CHECK_MSG(ls, "malformed chip line " << line_no);
+    } else if (keyword == "group") {
+      SignalGroup group;
+      ls >> group.name;
+      design.groups.push_back(std::move(group));
+      current_group = &design.groups.back();
+    } else if (keyword == "bit") {
+      OPERON_CHECK_MSG(current_group != nullptr,
+                       "bit before any group at line " << line_no);
+      SignalBit bit;
+      std::string tag;
+      bool have_source = false;
+      while (ls >> tag) {
+        Pin pin;
+        ls >> pin.location.x >> pin.location.y;
+        OPERON_CHECK_MSG(ls, "malformed pin at line " << line_no);
+        if (tag == "S") {
+          OPERON_CHECK_MSG(!have_source, "two sources at line " << line_no);
+          pin.role = PinRole::Source;
+          bit.source = pin;
+          have_source = true;
+        } else if (tag == "T") {
+          pin.role = PinRole::Sink;
+          bit.sinks.push_back(pin);
+        } else {
+          OPERON_CHECK_MSG(false, "unknown pin tag '" << tag << "' at line "
+                                                      << line_no);
+        }
+      }
+      OPERON_CHECK_MSG(have_source, "bit without source at line " << line_no);
+      OPERON_CHECK_MSG(!bit.sinks.empty(),
+                       "bit without sinks at line " << line_no);
+      current_group->bits.push_back(std::move(bit));
+    } else {
+      OPERON_CHECK_MSG(false,
+                       "unknown keyword '" << keyword << "' at line " << line_no);
+    }
+  }
+  return design;
+}
+
+void save_design(const std::string& path, const Design& design) {
+  std::ofstream os(path);
+  OPERON_CHECK_MSG(os.good(), "cannot open '" << path << "' for writing");
+  write_design(os, design);
+  OPERON_CHECK_MSG(os.good(), "write failed for '" << path << "'");
+}
+
+Design load_design(const std::string& path) {
+  std::ifstream is(path);
+  OPERON_CHECK_MSG(is.good(), "cannot open '" << path << "' for reading");
+  return read_design(is);
+}
+
+}  // namespace operon::model

@@ -1,0 +1,73 @@
+#pragma once
+// Input design model: signal bits bundled in groups with pin locations
+// (Problem 1's "Signal Pin Info"). A signal bit is a driver pin plus one
+// or more sink pins; a group is a bus of bits that communicate together
+// (e.g. a datapath between a logic block and a memory interface).
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "geom/bbox.hpp"
+#include "geom/point.hpp"
+
+namespace operon::model {
+
+enum class PinRole { Source, Sink };
+
+struct Pin {
+  geom::Point location;
+  PinRole role = PinRole::Sink;
+};
+
+/// One bit of a signal bus: exactly one source pin and >= 1 sink pins.
+struct SignalBit {
+  Pin source;
+  std::vector<Pin> sinks;
+
+  std::size_t pin_count() const { return 1 + sinks.size(); }
+
+  /// Gravity center over all pins of the bit.
+  geom::Point centroid() const;
+
+  geom::BBox bbox() const;
+};
+
+/// A named bundle of bits ("signal group"); the unit the K-Means step
+/// partitions into hyper nets.
+struct SignalGroup {
+  std::string name;
+  std::vector<SignalBit> bits;
+
+  std::size_t pin_count() const;
+  geom::BBox bbox() const;
+};
+
+/// Whole input: chip outline plus all signal groups.
+struct Design {
+  std::string name;
+  geom::BBox chip;
+  std::vector<SignalGroup> groups;
+
+  std::size_t num_bits() const;  ///< "#Net" column of Table 1
+  std::size_t num_pins() const;
+
+  /// Throws util::CheckError when malformed (pins off-chip, empty bits...).
+  void validate() const;
+};
+
+/// Text serialization. Format:
+///   design <name>
+///   chip <xlo> <ylo> <xhi> <yhi>
+///   group <name>
+///   bit S <x> <y> T <x> <y> [T <x> <y> ...]
+/// Lines starting with '#' are comments.
+void write_design(std::ostream& os, const Design& design);
+Design read_design(std::istream& is);
+
+/// Convenience file wrappers (throw on I/O failure).
+void save_design(const std::string& path, const Design& design);
+Design load_design(const std::string& path);
+
+}  // namespace operon::model

@@ -1,0 +1,79 @@
+#include "model/hyper.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace operon::model {
+
+bool HyperPin::has_source() const {
+  return std::any_of(pins.begin(), pins.end(), [](const PinRef& pin) {
+    return pin.role == PinRole::Source;
+  });
+}
+
+void HyperPin::update_center() {
+  OPERON_CHECK(!pins.empty());
+  geom::Point sum{0.0, 0.0};
+  for (const PinRef& pin : pins) sum = sum + pin.location;
+  const double n = static_cast<double>(pins.size());
+  center = {sum.x / n, sum.y / n};
+}
+
+geom::BBox HyperNet::bbox() const {
+  geom::BBox box;
+  for (const HyperPin& pin : pins) box.expand(pin.center);
+  return box;
+}
+
+void HyperNet::select_root() {
+  std::size_t best = pins.size();
+  std::size_t best_sources = 0;
+  for (std::size_t i = 0; i < pins.size(); ++i) {
+    const auto sources = static_cast<std::size_t>(
+        std::count_if(pins[i].pins.begin(), pins[i].pins.end(),
+                      [](const PinRef& p) { return p.role == PinRole::Source; }));
+    if (sources > best_sources) {
+      best_sources = sources;
+      best = i;
+    }
+  }
+  OPERON_CHECK_MSG(best < pins.size(),
+                   "hyper net " << id << " has no source pin");
+  root = best;
+}
+
+void HyperNet::validate(const Design& design) const {
+  OPERON_CHECK_MSG(pins.size() >= 2,
+                   "hyper net " << id << " has fewer than 2 hyper pins");
+  OPERON_CHECK(root < pins.size());
+  OPERON_CHECK_MSG(pins[root].has_source(),
+                   "hyper net " << id << " root lacks a source pin");
+  OPERON_CHECK(group < design.groups.size());
+  const SignalGroup& sg = design.groups[group];
+
+  // Every member bit's pins must appear exactly once across hyper pins.
+  std::map<std::pair<std::size_t, int>, int> seen;  // (bit, sink) -> count
+  for (const HyperPin& hp : pins) {
+    OPERON_CHECK(!hp.pins.empty());
+    for (const PinRef& pin : hp.pins) {
+      OPERON_CHECK(pin.group == group);
+      ++seen[{pin.bit, pin.sink}];
+    }
+  }
+  for (std::size_t bit : bits) {
+    OPERON_CHECK(bit < sg.bits.size());
+    OPERON_CHECK_MSG((seen[{bit, -1}] == 1),
+                     "bit " << bit << " source covered " << seen[{bit, -1}]
+                            << " times in hyper net " << id);
+    for (int s = 0; s < static_cast<int>(sg.bits[bit].sinks.size()); ++s) {
+      OPERON_CHECK_MSG((seen[{bit, s}] == 1),
+                       "bit " << bit << " sink " << s << " covered "
+                              << seen[{bit, s}] << " times in hyper net "
+                              << id);
+    }
+  }
+}
+
+}  // namespace operon::model

@@ -1,0 +1,61 @@
+#pragma once
+// Hyper nets and hyper pins (§3.1). A hyper net stands for a cluster of
+// signal bits routed together on shared WDM channels; a hyper pin stands
+// for a cluster of neighboring electrical pins, represented by their
+// gravity center. Replacing individual nets with hyper nets shrinks the
+// problem the co-design/ILP stages must solve.
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/bbox.hpp"
+#include "geom/point.hpp"
+#include "model/design.hpp"
+
+namespace operon::model {
+
+/// Reference to one electrical pin of the input design.
+struct PinRef {
+  std::size_t group = 0;  ///< index into Design::groups
+  std::size_t bit = 0;    ///< index into SignalGroup::bits
+  int sink = -1;          ///< -1 = the bit's source pin, else sink index
+  geom::Point location;
+  PinRole role = PinRole::Sink;
+};
+
+/// Cluster of neighboring electrical pins, represented by gravity center.
+struct HyperPin {
+  geom::Point center;
+  std::vector<PinRef> pins;
+
+  std::size_t size() const { return pins.size(); }
+  bool has_source() const;
+
+  /// Recompute center as the gravity center of the member pins.
+  void update_center();
+};
+
+/// Cluster of signal bits plus its hyper pins. `root` indexes the hyper
+/// pin acting as the driver side (contains the most source pins).
+struct HyperNet {
+  std::size_t id = 0;
+  std::size_t group = 0;             ///< owning signal group
+  std::vector<std::size_t> bits;     ///< member bit indices within the group
+  std::vector<HyperPin> pins;
+  std::size_t root = 0;
+
+  /// Channels this hyper net occupies on any WDM it uses.
+  std::size_t bit_count() const { return bits.size(); }
+
+  geom::BBox bbox() const;
+
+  /// Pick `root` as the hyper pin holding the most source pins (ties:
+  /// lowest index); requires at least one hyper pin with a source.
+  void select_root();
+
+  /// Invariants: >= 2 hyper pins, root in range and holds a source, every
+  /// member bit's pins all appear exactly once across the hyper pins.
+  void validate(const Design& design) const;
+};
+
+}  // namespace operon::model

@@ -1,0 +1,22 @@
+#include "model/params.hpp"
+
+namespace operon::model {
+
+TechParams TechParams::dac18_defaults() {
+  TechParams params;
+  params.optical.alpha_db_per_um = 1.5e-4;   // 1.5 dB/cm
+  params.optical.beta_db_per_crossing = 0.52;
+  params.optical.pmod_pj_per_bit = 0.511;
+  params.optical.pdet_pj_per_bit = 0.374;
+  params.optical.max_loss_db = 20.0;
+  params.optical.wdm_capacity = 32;
+  params.optical.dis_lower_um = 20.0;
+  params.optical.dis_upper_um = 1000.0;
+  params.electrical.switching_factor = 0.15;
+  params.electrical.frequency_ghz = 1.0;
+  params.electrical.voltage_v = 1.0;
+  params.electrical.cap_ff_per_um = 4.6;
+  return params;
+}
+
+}  // namespace operon::model

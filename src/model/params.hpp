@@ -1,0 +1,78 @@
+#pragma once
+// Technology parameter library ("Optical Lib" box of Fig 2).
+//
+// Defaults follow the paper's experimental setup (§5):
+//   α = 1.5 dB/cm propagation loss, β = 0.52 dB per crossing (from [5]),
+//   pmod = 0.511 pJ/bit, pdet = 0.374 pJ/bit (from [2]),
+//   WDM capacity = 32 channels (from [4]).
+// Geometry is in µm; losses in dB; energies in pJ/bit. Power numbers
+// reported by the flow are energy-per-bit-cycle aggregates (pJ/bit), which
+// is the unit Table 1's relative comparisons are invariant to.
+
+namespace operon::model {
+
+struct OpticalParams {
+  /// Propagation loss α, dB per µm (paper: 1.5 dB/cm = 1.5e-4 dB/µm).
+  double alpha_db_per_um = 1.5e-4;
+  /// Crossing loss β, dB per waveguide crossing.
+  double beta_db_per_crossing = 0.52;
+  /// Splitter excess loss per Y-branch in dB, on top of the ideal
+  /// 10·log10(ns) split. Fig 3(b)'s ideal 50-50 branches use 0.
+  double splitter_excess_db = 0.0;
+  /// Modulator (EO) energy, pJ/bit.
+  double pmod_pj_per_bit = 0.511;
+  /// Detector (OE) energy, pJ/bit.
+  double pdet_pj_per_bit = 0.374;
+  /// Maximum tolerable source-to-detector loss lm, dB (detection limit).
+  double max_loss_db = 20.0;
+  /// WDM channel capacity (bits sharing one waveguide).
+  int wdm_capacity = 32;
+  /// Minimum spacing between adjacent WDMs, µm (crosstalk bound, §4.1).
+  double dis_lower_um = 20.0;
+  /// Maximum distance a connection may move to join a WDM, µm (§4.1).
+  double dis_upper_um = 1000.0;
+
+  bool valid() const {
+    return alpha_db_per_um >= 0 && beta_db_per_crossing >= 0 &&
+           pmod_pj_per_bit >= 0 && pdet_pj_per_bit >= 0 && max_loss_db > 0 &&
+           wdm_capacity > 0 && dis_lower_um >= 0 &&
+           dis_upper_um >= dis_lower_um;
+  }
+};
+
+struct ElectricalParams {
+  /// Switching activity factor γ.
+  double switching_factor = 0.15;
+  /// System frequency f, GHz.
+  double frequency_ghz = 1.0;
+  /// Supply voltage V, volts.
+  double voltage_v = 1.0;
+  /// Wire capacitance per unit length, fF/µm.
+  double cap_ff_per_um = 4.6;
+
+  /// Dynamic energy per bit for a wire of the given length (Eq. 6),
+  /// expressed per clock cycle so it is commensurable with pJ/bit optical
+  /// costs: pe = γ · V² · C(len)   [pJ/bit], with f folded into the unit.
+  double energy_pj_per_bit(double wirelength_um) const {
+    const double cap_pf = cap_ff_per_um * wirelength_um * 1e-3;  // fF -> pF
+    return switching_factor * voltage_v * voltage_v * cap_pf;
+  }
+
+  bool valid() const {
+    return switching_factor > 0 && frequency_ghz > 0 && voltage_v > 0 &&
+           cap_ff_per_um > 0;
+  }
+};
+
+/// Everything the flow needs about the target technology.
+struct TechParams {
+  OpticalParams optical;
+  ElectricalParams electrical;
+
+  bool valid() const { return optical.valid() && electrical.valid(); }
+
+  /// Paper §5 settings.
+  static TechParams dac18_defaults();
+};
+
+}  // namespace operon::model

@@ -1,0 +1,52 @@
+#include "optical/loss.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace operon::optical {
+
+double splitting_loss_db(const model::OpticalParams& params, int arms) {
+  OPERON_CHECK(arms >= 1);
+  if (arms == 1) return 0.0;
+  return 10.0 * std::log10(static_cast<double>(arms)) +
+         params.splitter_excess_db;
+}
+
+LossBreakdown path_loss(const model::OpticalParams& params, double length_um,
+                        int crossings, std::span<const int> split_arms) {
+  OPERON_CHECK(length_um >= 0.0);
+  OPERON_CHECK(crossings >= 0);
+  LossBreakdown loss;
+  loss.propagation_db = params.alpha_db_per_um * length_um;
+  loss.crossing_db = params.beta_db_per_crossing * crossings;
+  for (int arms : split_arms) loss.splitting_db += splitting_loss_db(params, arms);
+  return loss;
+}
+
+double conversion_energy_pj(const model::OpticalParams& params, int nmod,
+                            int ndet) {
+  OPERON_CHECK(nmod >= 0);
+  OPERON_CHECK(ndet >= 0);
+  return params.pmod_pj_per_bit * nmod + params.pdet_pj_per_bit * ndet;
+}
+
+double surviving_fraction(double loss_db) {
+  return std::pow(10.0, -loss_db / 10.0);
+}
+
+bool detectable(const model::OpticalParams& params, double loss_db) {
+  return loss_db <= params.max_loss_db + 1e-9;
+}
+
+double laser_wallplug_mw(const LaserParams& params, double path_loss_db) {
+  OPERON_CHECK(params.valid());
+  OPERON_CHECK(path_loss_db >= 0.0);
+  // Optical power at the laser, dBm: sensitivity + total loss back-off.
+  const double laser_dbm =
+      params.sensitivity_dbm + path_loss_db + params.coupling_loss_db;
+  const double optical_mw = std::pow(10.0, laser_dbm / 10.0);
+  return optical_mw / params.wallplug_efficiency;
+}
+
+}  // namespace operon::optical

@@ -1,0 +1,76 @@
+#pragma once
+// Optical loss (Eq. 2) and conversion power (Eq. 1) models.
+//
+//   loss = α·WL + β·n_x + 10·Σ log10(n_s)        [dB]
+//   p_o  = p_mod·n_mod + p_det·n_det             [pJ/bit]
+//
+// Splitting loss — the term prior work neglected and OPERON emphasizes —
+// is ideal -10·log10(arms) per split plus an optional per-branch excess.
+
+#include <span>
+
+#include "model/params.hpp"
+
+namespace operon::optical {
+
+/// Ideal + excess splitting loss in dB for a 1-to-`arms` split.
+/// arms == 1 means pass-through (0 dB). Requires arms >= 1.
+double splitting_loss_db(const model::OpticalParams& params, int arms);
+
+/// Per-path loss decomposition along one source-to-detector optical path.
+struct LossBreakdown {
+  double propagation_db = 0.0;
+  double crossing_db = 0.0;
+  double splitting_db = 0.0;
+
+  double total_db() const {
+    return propagation_db + crossing_db + splitting_db;
+  }
+
+  LossBreakdown& operator+=(const LossBreakdown& other) {
+    propagation_db += other.propagation_db;
+    crossing_db += other.crossing_db;
+    splitting_db += other.splitting_db;
+    return *this;
+  }
+};
+
+/// Eq. (2): loss of a path with the given length, crossing count, and the
+/// split fan-outs encountered along the way.
+LossBreakdown path_loss(const model::OpticalParams& params, double length_um,
+                        int crossings, std::span<const int> split_arms);
+
+/// Eq. (1): EO/OE conversion energy for n_mod modulators and n_det
+/// detectors (per bit-channel).
+double conversion_energy_pj(const model::OpticalParams& params, int nmod,
+                            int ndet);
+
+/// Fraction of optical power surviving a given loss (10^(-dB/10)).
+double surviving_fraction(double loss_db);
+
+/// True when the path loss is within the detection limit lm.
+bool detectable(const model::OpticalParams& params, double loss_db);
+
+/// Laser source budget. Eq. (1) counts only EO/OE conversion energy; the
+/// laser supplying the photons must overcome the whole path loss, so its
+/// wall-plug power is EXPONENTIAL in the dB loss — the hidden cost of
+/// routing close to the detection limit.
+struct LaserParams {
+  /// Receiver sensitivity (minimum detectable power), dBm per channel.
+  double sensitivity_dbm = -17.0;
+  /// Laser wall-plug efficiency (optical out / electrical in).
+  double wallplug_efficiency = 0.10;
+  /// Fixed laser-to-chip coupling loss, dB.
+  double coupling_loss_db = 1.0;
+
+  bool valid() const {
+    return wallplug_efficiency > 0.0 && wallplug_efficiency <= 1.0 &&
+           coupling_loss_db >= 0.0;
+  }
+};
+
+/// Electrical wall-plug power (mW) one channel's laser draws to keep a
+/// path of the given loss detectable.
+double laser_wallplug_mw(const LaserParams& params, double path_loss_db);
+
+}  // namespace operon::optical

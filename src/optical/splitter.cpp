@@ -1,0 +1,58 @@
+#include "optical/splitter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "optical/loss.hpp"
+#include "util/check.hpp"
+
+namespace operon::optical {
+
+SplitterNode balanced_cascade(int depth) {
+  OPERON_CHECK(depth >= 0);
+  SplitterNode node;
+  if (depth == 0) return node;
+  node.arms.push_back(balanced_cascade(depth - 1));
+  node.arms.push_back(balanced_cascade(depth - 1));
+  return node;
+}
+
+namespace {
+void simulate_into(const model::OpticalParams& params,
+                   const SplitterNode& node, double power,
+                   std::vector<double>& outputs) {
+  if (node.is_output()) {
+    outputs.push_back(power);
+    return;
+  }
+  const int arms = static_cast<int>(node.arms.size());
+  const double after_split =
+      power * surviving_fraction(splitting_loss_db(params, arms));
+  for (const SplitterNode& arm : node.arms) {
+    simulate_into(params, arm, after_split, outputs);
+  }
+}
+}  // namespace
+
+std::vector<double> simulate(const model::OpticalParams& params,
+                             const SplitterNode& tree, double input_power) {
+  OPERON_CHECK(input_power >= 0.0);
+  std::vector<double> outputs;
+  simulate_into(params, tree, input_power, outputs);
+  return outputs;
+}
+
+double worst_output(const model::OpticalParams& params,
+                    const SplitterNode& tree, double input_power) {
+  const auto outputs = simulate(params, tree, input_power);
+  return *std::min_element(outputs.begin(), outputs.end());
+}
+
+double worst_split_loss_db(const model::OpticalParams& params,
+                           const SplitterNode& tree) {
+  const double worst = worst_output(params, tree, 1.0);
+  OPERON_CHECK(worst > 0.0);
+  return std::max(0.0, -10.0 * std::log10(worst));
+}
+
+}  // namespace operon::optical

@@ -1,0 +1,37 @@
+#pragma once
+// Y-branch splitter cascade simulation, reproducing Fig 3(b): cascaded
+// 50-50 Y-branches each halve the input power on their output arms.
+
+#include <vector>
+
+#include "model/params.hpp"
+
+namespace operon::optical {
+
+/// One node of a splitter tree; leaves are outputs.
+struct SplitterNode {
+  std::vector<SplitterNode> arms;  ///< empty = output port
+
+  bool is_output() const { return arms.empty(); }
+};
+
+/// Full binary cascade of 50-50 Y-branches with the given depth
+/// (depth 0 = a bare output; depth 2 = the two-stage cascade of Fig 3b).
+SplitterNode balanced_cascade(int depth);
+
+/// Propagate `input_power` (linear units, e.g. normalized to 1.0) through
+/// the splitter tree; returns power at every output, left-to-right.
+/// Each 1-to-k split divides power by k and applies the configured excess
+/// loss per branch.
+std::vector<double> simulate(const model::OpticalParams& params,
+                             const SplitterNode& tree, double input_power);
+
+/// Worst-case (minimum) output power of the tree.
+double worst_output(const model::OpticalParams& params,
+                    const SplitterNode& tree, double input_power);
+
+/// Cumulative splitting loss in dB down to the worst output.
+double worst_split_loss_db(const model::OpticalParams& params,
+                           const SplitterNode& tree);
+
+}  // namespace operon::optical

@@ -1,0 +1,284 @@
+#include "steiner/bi1s.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "steiner/mst.hpp"
+#include "util/check.hpp"
+
+namespace operon::steiner {
+
+namespace {
+
+constexpr double kGainEps = 1e-9;
+
+/// Quantize a point for deduplication (1e-3 µm grid).
+std::pair<long long, long long> quantize(const geom::Point& p) {
+  return {static_cast<long long>(std::llround(p.x * 1e3)),
+          static_cast<long long>(std::llround(p.y * 1e3))};
+}
+
+/// Total absolute turn angle at point `at` across its MST edges —
+/// the "bending cost" used to order candidates (§3.2).
+double bending_cost(const std::vector<geom::Point>& points,
+                    const std::vector<std::pair<std::size_t, std::size_t>>& edges,
+                    std::size_t at) {
+  std::vector<double> angles;
+  for (const auto& [u, v] : edges) {
+    std::size_t other = points.size();
+    if (u == at) other = v;
+    else if (v == at) other = u;
+    else continue;
+    const geom::Point d = points[other] - points[at];
+    if (d.x == 0.0 && d.y == 0.0) continue;
+    angles.push_back(std::atan2(d.y, d.x));
+  }
+  if (angles.size() < 2) return 0.0;
+  std::sort(angles.begin(), angles.end());
+  // Sum of deviations from straight-through propagation: for each pair of
+  // adjacent directions, the turn is pi minus the angular gap.
+  double cost = 0.0;
+  for (std::size_t i = 0; i < angles.size(); ++i) {
+    const double next = (i + 1 < angles.size()) ? angles[i + 1]
+                                                : angles[0] + 2.0 * M_PI;
+    const double gap = next - angles[i];
+    cost += std::abs(M_PI - gap);
+  }
+  return cost;
+}
+
+}  // namespace
+
+std::vector<geom::Point> hanan_candidates(std::span<const geom::Point> points) {
+  std::vector<double> xs, ys;
+  xs.reserve(points.size());
+  ys.reserve(points.size());
+  for (const auto& p : points) {
+    xs.push_back(p.x);
+    ys.push_back(p.y);
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+
+  std::set<std::pair<long long, long long>> existing;
+  for (const auto& p : points) existing.insert(quantize(p));
+
+  std::vector<geom::Point> out;
+  for (double x : xs) {
+    for (double y : ys) {
+      const geom::Point p{x, y};
+      if (!existing.count(quantize(p))) out.push_back(p);
+    }
+  }
+  return out;
+}
+
+geom::Point fermat_point(const geom::Point& a, const geom::Point& b,
+                         const geom::Point& c) {
+  // If any vertex angle >= 120°, the Fermat point is that vertex.
+  const auto vertex_angle = [](const geom::Point& at, const geom::Point& p,
+                               const geom::Point& q) {
+    const geom::Point u = p - at, v = q - at;
+    const double lu = std::hypot(u.x, u.y), lv = std::hypot(v.x, v.y);
+    if (lu == 0.0 || lv == 0.0) return 0.0;
+    const double cosine = std::clamp(dot(u, v) / (lu * lv), -1.0, 1.0);
+    return std::acos(cosine);
+  };
+  constexpr double kOneTwenty = 2.0 * M_PI / 3.0 - 1e-12;
+  if (vertex_angle(a, b, c) >= kOneTwenty) return a;
+  if (vertex_angle(b, a, c) >= kOneTwenty) return b;
+  if (vertex_angle(c, a, b) >= kOneTwenty) return c;
+
+  // Weiszfeld iteration from the centroid.
+  geom::Point y{(a.x + b.x + c.x) / 3.0, (a.y + b.y + c.y) / 3.0};
+  const geom::Point pts[3] = {a, b, c};
+  for (int iter = 0; iter < 60; ++iter) {
+    double wx = 0.0, wy = 0.0, wsum = 0.0;
+    for (const auto& p : pts) {
+      const double d = geom::euclidean(y, p);
+      if (d < 1e-12) return p;  // converged onto a vertex
+      const double w = 1.0 / d;
+      wx += w * p.x;
+      wy += w * p.y;
+      wsum += w;
+    }
+    const geom::Point next{wx / wsum, wy / wsum};
+    const double move = geom::euclidean(next, y);
+    y = next;
+    if (move < 1e-9) break;
+  }
+  return y;
+}
+
+std::vector<geom::Point> fermat_candidates(std::span<const geom::Point> points) {
+  std::set<std::pair<long long, long long>> seen;
+  for (const auto& p : points) seen.insert(quantize(p));
+  std::vector<geom::Point> out;
+  const std::size_t n = points.size();
+
+  // All C(n,3) triples is fine for the hyper-net sizes the flow produces,
+  // but degenerates cubically for many-pin nets (e.g. agglomeration turned
+  // off). Beyond the threshold, only triples within each point's
+  // neighborhood are considered — distant triples' Fermat points almost
+  // never improve an MST edge anyway.
+  constexpr std::size_t kExhaustiveLimit = 16;
+  constexpr std::size_t kNeighbors = 6;
+  if (n <= kExhaustiveLimit) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        for (std::size_t k = j + 1; k < n; ++k) {
+          const geom::Point f = fermat_point(points[i], points[j], points[k]);
+          if (seen.insert(quantize(f)).second) out.push_back(f);
+        }
+      }
+    }
+    return out;
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // The kNeighbors nearest points to i.
+    std::vector<std::size_t> order;
+    order.reserve(n - 1);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) order.push_back(j);
+    }
+    const std::size_t keep = std::min(kNeighbors, order.size());
+    std::partial_sort(order.begin(),
+                      order.begin() + static_cast<std::ptrdiff_t>(keep),
+                      order.end(), [&](std::size_t a, std::size_t b) {
+                        return geom::squared_distance(points[i], points[a]) <
+                               geom::squared_distance(points[i], points[b]);
+                      });
+    for (std::size_t a = 0; a < keep; ++a) {
+      for (std::size_t b = a + 1; b < keep; ++b) {
+        const geom::Point f =
+            fermat_point(points[i], points[order[a]], points[order[b]]);
+        if (seen.insert(quantize(f)).second) out.push_back(f);
+      }
+    }
+  }
+  return out;
+}
+
+SteinerTree bi1s(std::span<const geom::Point> terminals,
+                 const Bi1sOptions& options) {
+  OPERON_CHECK(options.visit_stride >= 1);
+  OPERON_CHECK(options.visit_offset < options.visit_stride);
+  std::vector<geom::Point> working(terminals.begin(), terminals.end());
+  const std::size_t num_terminals = terminals.size();
+
+  if (num_terminals >= 3) {
+    for (std::size_t round = 0; round < options.max_rounds; ++round) {
+      const double base_len = mst_length(working, options.metric);
+      const std::vector<geom::Point> candidates =
+          options.metric == Metric::Rectilinear ? hanan_candidates(working)
+                                                : fermat_candidates(working);
+
+      // Score every candidate: gain minus weighted bending cost.
+      struct Scored {
+        geom::Point point;
+        double gain;
+        double score;
+      };
+      std::vector<Scored> scored;
+      scored.reserve(candidates.size());
+      std::vector<geom::Point> trial = working;
+      trial.emplace_back();
+      for (const geom::Point& cand : candidates) {
+        trial.back() = cand;
+        const auto edges = mst_edges(trial, options.metric);
+        double len = 0.0;
+        for (const auto& [u, v] : edges)
+          len += edge_length(options.metric, trial[u], trial[v]);
+        const double gain = base_len - len;
+        if (gain <= kGainEps) continue;
+        double score = gain;
+        if (options.bend_penalty > 0.0) {
+          score -= options.bend_penalty *
+                   bending_cost(trial, edges, trial.size() - 1);
+        }
+        scored.push_back({cand, gain, score});
+      }
+      std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+        if (a.score != b.score) return a.score > b.score;
+        return geom::PointLess{}(a.point, b.point);
+      });
+      if (options.max_candidates > 0 && scored.size() > options.max_candidates)
+        scored.resize(options.max_candidates);
+
+      // Batched greedy accept, visiting candidates per stride/offset.
+      bool accepted_any = false;
+      double current_len = base_len;
+      for (std::size_t rank = 0; rank < scored.size(); ++rank) {
+        if (rank % options.visit_stride != options.visit_offset) continue;
+        std::vector<geom::Point> with = working;
+        with.push_back(scored[rank].point);
+        const double len = mst_length(with, options.metric);
+        if (current_len - len > kGainEps) {
+          working = std::move(with);
+          current_len = len;
+          accepted_any = true;
+        }
+      }
+      if (!accepted_any) break;
+    }
+  }
+
+  SteinerTree tree;
+  tree.points = std::move(working);
+  tree.num_terminals = num_terminals;
+  tree.edges = mst_edges(tree.points, options.metric);
+  tree.remove_redundant_steiner();
+  return tree;
+}
+
+std::vector<SteinerTree> generate_baselines(
+    std::span<const geom::Point> terminals, Metric metric,
+    std::size_t max_baselines) {
+  OPERON_CHECK(max_baselines >= 1);
+  std::vector<SteinerTree> out;
+  std::set<std::vector<std::pair<long long, long long>>> shapes;
+
+  const auto try_add = [&](SteinerTree tree) {
+    if (out.size() >= max_baselines) return;
+    // Canonical shape: quantized sorted endpoint pairs of all edges.
+    std::vector<std::pair<long long, long long>> shape;
+    for (const auto& [u, v] : tree.edges) {
+      auto qa = quantize(tree.points[u]);
+      auto qb = quantize(tree.points[v]);
+      if (qb < qa) std::swap(qa, qb);
+      shape.push_back(qa);
+      shape.push_back(qb);
+    }
+    std::sort(shape.begin(), shape.end());
+    if (shapes.insert(std::move(shape)).second) out.push_back(std::move(tree));
+  };
+
+  Bi1sOptions options;
+  options.metric = metric;
+  try_add(bi1s(terminals, options));  // full BI1S first (best length)
+
+  options.bend_penalty = 50.0;  // bend-averse candidate ordering
+  try_add(bi1s(terminals, options));
+
+  options.bend_penalty = 0.0;
+  for (std::size_t stride = 2; stride <= 3 && out.size() < max_baselines;
+       ++stride) {
+    for (std::size_t offset = 0; offset < stride && out.size() < max_baselines;
+         ++offset) {
+      options.visit_stride = stride;
+      options.visit_offset = offset;
+      try_add(bi1s(terminals, options));
+    }
+  }
+
+  try_add(mst_tree(terminals, metric));  // plain MST as the simplest baseline
+  OPERON_CHECK(!out.empty());
+  return out;
+}
+
+}  // namespace operon::steiner

@@ -1,0 +1,57 @@
+#pragma once
+// Batched Iterated 1-Steiner (BI1S), the baseline-topology generator of
+// §3.2. Candidate Steiner points are Hanan-grid points (Rectilinear) or
+// Fermat points of terminal triples (Euclidean — optical waveguides may
+// route in any direction). Candidates are scored by induced gain minus a
+// bending cost, and "various baselines are acquired by visiting different
+// points" (visit stride/offset), exactly as the paper sketches.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geom/point.hpp"
+#include "steiner/tree.hpp"
+
+namespace operon::steiner {
+
+struct Bi1sOptions {
+  Metric metric = Metric::Euclidean;
+  /// Maximum batched rounds; each round re-evaluates all candidates.
+  std::size_t max_rounds = 8;
+  /// Keep only the top candidates by score each round (0 = all).
+  std::size_t max_candidates = 256;
+  /// Weight of the bending (turn-angle) cost when ordering candidates;
+  /// expressed in length units per radian of induced turning.
+  double bend_penalty = 0.0;
+  /// Visit only candidates with (rank % stride) == offset — the paper's
+  /// mechanism for generating alternative baselines.
+  std::size_t visit_stride = 1;
+  std::size_t visit_offset = 0;
+};
+
+/// Steiner points that could improve the tree over `points`.
+std::vector<geom::Point> hanan_candidates(std::span<const geom::Point> points);
+
+/// Geometric median of three points (Weiszfeld iteration; returns the
+/// obtuse vertex when one angle >= 120°).
+geom::Point fermat_point(const geom::Point& a, const geom::Point& b,
+                         const geom::Point& c);
+
+/// Fermat points of all point triples, deduplicated.
+std::vector<geom::Point> fermat_candidates(std::span<const geom::Point> points);
+
+/// Run BI1S over the terminals; the result spans all terminals plus the
+/// accepted Steiner points, with redundant (degree <= 2) Steiner points
+/// spliced out. Deterministic.
+SteinerTree bi1s(std::span<const geom::Point> terminals,
+                 const Bi1sOptions& options = {});
+
+/// Up to `max_baselines` structurally distinct tree topologies for the
+/// terminals: full BI1S, bend-averse BI1S, stride variants, plain MST.
+/// The first entry is always the best-length tree found.
+std::vector<SteinerTree> generate_baselines(
+    std::span<const geom::Point> terminals, Metric metric,
+    std::size_t max_baselines);
+
+}  // namespace operon::steiner

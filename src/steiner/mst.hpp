@@ -1,0 +1,26 @@
+#pragma once
+// Minimum spanning trees over point sets (Prim, O(n^2)) — the base
+// topology that BI1S iteratively improves with Steiner points.
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "geom/point.hpp"
+#include "steiner/tree.hpp"
+
+namespace operon::steiner {
+
+/// MST edges over `points` under `metric`. Returns n-1 edges (empty for
+/// n <= 1). Deterministic for fixed input.
+std::vector<std::pair<std::size_t, std::size_t>> mst_edges(
+    std::span<const geom::Point> points, Metric metric);
+
+/// Total MST length.
+double mst_length(std::span<const geom::Point> points, Metric metric);
+
+/// MST as a SteinerTree (all points are terminals).
+SteinerTree mst_tree(std::span<const geom::Point> points, Metric metric);
+
+}  // namespace operon::steiner

@@ -1,0 +1,164 @@
+#include "steiner/tree.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace operon::steiner {
+
+double edge_length(Metric metric, const geom::Point& a, const geom::Point& b) {
+  return metric == Metric::Euclidean ? geom::euclidean(a, b)
+                                     : geom::manhattan(a, b);
+}
+
+double SteinerTree::length(Metric metric) const {
+  double sum = 0.0;
+  for (const auto& [u, v] : edges) sum += edge_length(metric, points[u], points[v]);
+  return sum;
+}
+
+std::vector<geom::Segment> SteinerTree::edge_segments(Metric metric,
+                                                      std::size_t e) const {
+  OPERON_DCHECK(e < edges.size());
+  const geom::Point& a = points[edges[e].first];
+  const geom::Point& b = points[edges[e].second];
+  std::vector<geom::Segment> out;
+  if (a == b) return out;
+  if (metric == Metric::Euclidean) {
+    out.push_back({a, b});
+    return out;
+  }
+  // L-route, horizontal leg first: a -> (b.x, a.y) -> b.
+  const geom::Point corner{b.x, a.y};
+  if (corner != a) out.push_back({a, corner});
+  if (corner != b) out.push_back({corner, b});
+  return out;
+}
+
+std::vector<geom::Segment> SteinerTree::segments(Metric metric) const {
+  std::vector<geom::Segment> out;
+  out.reserve(edges.size() * (metric == Metric::Euclidean ? 1 : 2));
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const auto segs = edge_segments(metric, e);
+    out.insert(out.end(), segs.begin(), segs.end());
+  }
+  return out;
+}
+
+std::vector<int> SteinerTree::degrees() const {
+  std::vector<int> deg(points.size(), 0);
+  for (const auto& [u, v] : edges) {
+    ++deg[u];
+    ++deg[v];
+  }
+  return deg;
+}
+
+bool SteinerTree::is_connected_tree() const {
+  if (points.empty()) return false;
+  if (edges.size() + 1 != points.size()) return false;
+  std::vector<std::vector<std::size_t>> adj(points.size());
+  for (const auto& [u, v] : edges) {
+    if (u >= points.size() || v >= points.size() || u == v) return false;
+    adj[u].push_back(v);
+    adj[v].push_back(u);
+  }
+  std::vector<char> seen(points.size(), 0);
+  std::vector<std::size_t> stack{0};
+  seen[0] = 1;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const std::size_t u = stack.back();
+    stack.pop_back();
+    for (std::size_t v : adj[u]) {
+      if (!seen[v]) {
+        seen[v] = 1;
+        ++visited;
+        stack.push_back(v);
+      }
+    }
+  }
+  return visited == points.size();
+}
+
+void SteinerTree::remove_redundant_steiner() {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const std::vector<int> deg = degrees();
+    for (std::size_t v = num_terminals; v < points.size(); ++v) {
+      if (deg[v] >= 3) continue;
+      // Collect incident edges.
+      std::vector<std::size_t> incident;
+      for (std::size_t e = 0; e < edges.size(); ++e) {
+        if (edges[e].first == v || edges[e].second == v) incident.push_back(e);
+      }
+      if (incident.size() == 2) {
+        // Splice: connect the two neighbors directly.
+        const std::size_t e0 = incident[0], e1 = incident[1];
+        const std::size_t n0 =
+            edges[e0].first == v ? edges[e0].second : edges[e0].first;
+        const std::size_t n1 =
+            edges[e1].first == v ? edges[e1].second : edges[e1].first;
+        edges[e0] = {n0, n1};
+        edges.erase(edges.begin() + static_cast<std::ptrdiff_t>(e1));
+      } else if (incident.size() == 1) {
+        edges.erase(edges.begin() + static_cast<std::ptrdiff_t>(incident[0]));
+      } else if (incident.empty()) {
+        // fallthrough to removal below
+      } else {
+        continue;
+      }
+      // Remove point v; re-index edges above v.
+      points.erase(points.begin() + static_cast<std::ptrdiff_t>(v));
+      for (auto& [a, b] : edges) {
+        if (a > v) --a;
+        if (b > v) --b;
+      }
+      changed = true;
+      break;  // degrees are stale; restart scan
+    }
+  }
+}
+
+void SteinerTree::validate() const {
+  OPERON_CHECK(num_terminals >= 1);
+  OPERON_CHECK(num_terminals <= points.size());
+  OPERON_CHECK_MSG(is_connected_tree(), "Steiner tree is not a spanning tree");
+}
+
+RootedTree RootedTree::build(const SteinerTree& tree, std::size_t root) {
+  OPERON_CHECK(root < tree.num_points());
+  RootedTree rooted;
+  rooted.root = root;
+  const std::size_t n = tree.num_points();
+  rooted.parent.assign(n, n);
+  rooted.children.assign(n, {});
+  std::vector<std::vector<std::size_t>> adj(n);
+  for (const auto& [u, v] : tree.edges) {
+    adj[u].push_back(v);
+    adj[v].push_back(u);
+  }
+  // Iterative DFS from root; record preorder, reverse for postorder.
+  std::vector<std::size_t> preorder;
+  preorder.reserve(n);
+  std::vector<std::size_t> stack{root};
+  rooted.parent[root] = root;
+  while (!stack.empty()) {
+    const std::size_t u = stack.back();
+    stack.pop_back();
+    preorder.push_back(u);
+    for (std::size_t v : adj[u]) {
+      if (v == rooted.parent[u] && v != u) continue;
+      if (rooted.parent[v] != n) continue;  // already visited
+      rooted.parent[v] = u;
+      rooted.children[u].push_back(v);
+      stack.push_back(v);
+    }
+  }
+  OPERON_CHECK_MSG(preorder.size() == n, "tree is disconnected");
+  rooted.postorder.assign(preorder.rbegin(), preorder.rend());
+  return rooted;
+}
+
+}  // namespace operon::steiner

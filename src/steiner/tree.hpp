@@ -1,0 +1,65 @@
+#pragma once
+// Steiner tree container shared by the routing stages. Terminals (hyper
+// pins) occupy indices [0, num_terminals); Steiner points follow. The
+// tree may be viewed rooted at any terminal (the driver hyper pin) for
+// the bottom-up co-design DP.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "geom/point.hpp"
+#include "geom/segment.hpp"
+
+namespace operon::steiner {
+
+enum class Metric { Euclidean, Rectilinear };
+
+double edge_length(Metric metric, const geom::Point& a, const geom::Point& b);
+
+struct SteinerTree {
+  std::vector<geom::Point> points;  ///< terminals first, then Steiner points
+  std::size_t num_terminals = 0;
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+
+  std::size_t num_points() const { return points.size(); }
+  std::size_t num_steiner() const { return points.size() - num_terminals; }
+  bool is_terminal(std::size_t v) const { return v < num_terminals; }
+
+  double length(Metric metric) const;
+
+  /// Geometry of each edge: Euclidean edges are direct segments; a
+  /// Rectilinear edge becomes an L-route (horizontal leg first), so it may
+  /// produce two segments. Degenerate edges produce none.
+  std::vector<geom::Segment> segments(Metric metric) const;
+
+  /// Geometry of a single edge under the metric (see segments()).
+  std::vector<geom::Segment> edge_segments(Metric metric,
+                                           std::size_t e) const;
+
+  /// Node degrees.
+  std::vector<int> degrees() const;
+
+  /// True when edges form a spanning tree over all points.
+  bool is_connected_tree() const;
+
+  /// Drop Steiner points of degree <= 2, splicing their edges (degree-2)
+  /// or removing them (degree <= 1). Repeats until fixpoint. Terminal
+  /// indices are preserved.
+  void remove_redundant_steiner();
+
+  /// Throws util::CheckError if the tree is malformed.
+  void validate() const;
+};
+
+/// Rooted adjacency view for bottom-up traversal.
+struct RootedTree {
+  std::size_t root = 0;
+  std::vector<std::size_t> parent;             ///< parent[root] == root
+  std::vector<std::vector<std::size_t>> children;
+  std::vector<std::size_t> postorder;          ///< children before parents
+
+  static RootedTree build(const SteinerTree& tree, std::size_t root);
+};
+
+}  // namespace operon::steiner

@@ -1,0 +1,117 @@
+#include "thermal/thermal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace operon::thermal {
+
+TemperatureField::TemperatureField(const core::PowerMap& power,
+                                   const ThermalParams& params)
+    : extent_(power.extent), cells_(power.cells) {
+  OPERON_CHECK(cells_ >= 1);
+  temperature_.assign(cells_ * cells_, params.ambient_c);
+
+  // Separable Gaussian blur of (optical + electrical) dissipation.
+  const double cw = std::max(extent_.width(), 1e-9) / static_cast<double>(cells_);
+  const double sigma_cells = std::max(params.diffusion_um / cw, 1e-3);
+  const int radius = std::max(1, static_cast<int>(std::ceil(3.0 * sigma_cells)));
+  std::vector<double> kernel(static_cast<std::size_t>(2 * radius + 1));
+  double kernel_sum = 0.0;
+  for (int k = -radius; k <= radius; ++k) {
+    const double w = std::exp(-0.5 * (k / sigma_cells) * (k / sigma_cells));
+    kernel[static_cast<std::size_t>(k + radius)] = w;
+    kernel_sum += w;
+  }
+  for (double& w : kernel) w /= kernel_sum;
+
+  std::vector<double> combined(cells_ * cells_);
+  for (std::size_t i = 0; i < combined.size(); ++i) {
+    combined[i] = power.optical[i] + power.electrical[i];
+  }
+  const auto idx = [&](std::size_t x, std::size_t y) { return y * cells_ + x; };
+  // Horizontal pass.
+  std::vector<double> pass(cells_ * cells_, 0.0);
+  for (std::size_t y = 0; y < cells_; ++y) {
+    for (std::size_t x = 0; x < cells_; ++x) {
+      double acc = 0.0;
+      for (int k = -radius; k <= radius; ++k) {
+        const long long xx = static_cast<long long>(x) + k;
+        if (xx < 0 || xx >= static_cast<long long>(cells_)) continue;
+        acc += combined[idx(static_cast<std::size_t>(xx), y)] *
+               kernel[static_cast<std::size_t>(k + radius)];
+      }
+      pass[idx(x, y)] = acc;
+    }
+  }
+  // Vertical pass + conversion to temperature.
+  for (std::size_t y = 0; y < cells_; ++y) {
+    for (std::size_t x = 0; x < cells_; ++x) {
+      double acc = 0.0;
+      for (int k = -radius; k <= radius; ++k) {
+        const long long yy = static_cast<long long>(y) + k;
+        if (yy < 0 || yy >= static_cast<long long>(cells_)) continue;
+        acc += pass[idx(x, static_cast<std::size_t>(yy))] *
+               kernel[static_cast<std::size_t>(k + radius)];
+      }
+      temperature_[idx(x, y)] = params.ambient_c + params.rise_c_per_pj * acc;
+    }
+  }
+}
+
+double TemperatureField::at(const geom::Point& location) const {
+  const double cw =
+      std::max(extent_.width(), 1e-9) / static_cast<double>(cells_);
+  const double ch =
+      std::max(extent_.height(), 1e-9) / static_cast<double>(cells_);
+  const auto clamp_idx = [&](double v, double lo, double width) {
+    const auto i = static_cast<long long>((v - lo) / width);
+    return static_cast<std::size_t>(
+        std::clamp<long long>(i, 0, static_cast<long long>(cells_) - 1));
+  };
+  return temperature_[clamp_idx(location.y, extent_.ylo, ch) * cells_ +
+                      clamp_idx(location.x, extent_.xlo, cw)];
+}
+
+double TemperatureField::max_c() const {
+  return *std::max_element(temperature_.begin(), temperature_.end());
+}
+
+double TemperatureField::min_c() const {
+  return *std::min_element(temperature_.begin(), temperature_.end());
+}
+
+ThermalReport analyze(const geom::BBox& chip,
+                      std::span<const codesign::CandidateSet> sets,
+                      std::span<const codesign::Candidate> chosen,
+                      const model::TechParams& tech,
+                      const ThermalParams& params, std::size_t cells) {
+  OPERON_CHECK(sets.size() == chosen.size());
+  const core::PowerMap power =
+      core::build_power_map(chip, sets, chosen, tech, cells);
+  const TemperatureField field(power, params);
+
+  ThermalReport report;
+  report.max_temperature_c = field.max_c();
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    const codesign::Candidate& cand = chosen[i];
+    const auto charge = [&](const geom::Point& site) {
+      RingSite ring;
+      ring.location = site;
+      ring.bits = sets[i].bit_count;
+      ring.temperature_c = field.at(site);
+      const double offset = std::abs(ring.temperature_c - params.target_c);
+      ring.tuning_pj = static_cast<double>(ring.bits) *
+                       params.tuning_pj_per_bit_per_c * offset;
+      report.total_tuning_pj += ring.tuning_pj;
+      report.worst_ring_offset_c = std::max(report.worst_ring_offset_c, offset);
+      report.rings.push_back(ring);
+    };
+    for (const geom::Point& site : cand.modulator_sites) charge(site);
+    for (const geom::Point& site : cand.detector_sites) charge(site);
+  }
+  return report;
+}
+
+}  // namespace operon::thermal

@@ -1,0 +1,78 @@
+#pragma once
+// Thermal analysis of a routed design — the extension direction the
+// paper's citations point at ([2]: resonant microring thermal tuning,
+// [6]: power-efficient variation-aware photonic management). Resonant
+// optical devices (modulator/detector rings) drift with temperature and
+// must be tuned back on-channel; the tuning power grows with the local
+// temperature offset. Electrical wiring heats the die, so a design with
+// a cooler electrical layer (OPERON vs GLOW, Fig 9) also pays less ring
+// tuning power — this module quantifies that coupling.
+//
+// Model: steady-state temperature field = ambient + thermal-resistance-
+// scaled Gaussian diffusion of the per-cell dissipated power (both
+// layers); per-ring tuning energy = efficiency * |T(site) - T_target|.
+
+#include <span>
+#include <vector>
+
+#include "codesign/candidate.hpp"
+#include "core/powermap.hpp"
+#include "model/params.hpp"
+
+namespace operon::thermal {
+
+struct ThermalParams {
+  double ambient_c = 45.0;          ///< die ambient under load
+  /// Peak temperature rise per pJ/bit-cycle of cell power, °C (lumps the
+  /// package thermal resistance and the activity/frequency scaling).
+  double rise_c_per_pj = 0.08;
+  /// Gaussian diffusion radius of heat in the die, µm.
+  double diffusion_um = 1200.0;
+  /// Ring resonance target temperature (tuned at design time), °C.
+  /// Defaults to the ambient: tuning energy then measures exactly the
+  /// local self-heating the routed design causes.
+  double target_c = 45.0;
+  /// Tuning energy per channel per °C of offset, pJ/bit/°C
+  /// (thermo-optic heater efficiency folded into per-bit units).
+  double tuning_pj_per_bit_per_c = 0.012;
+};
+
+/// Steady-state temperature field on the power-map grid.
+class TemperatureField {
+ public:
+  TemperatureField(const core::PowerMap& power, const ThermalParams& params);
+
+  double at(const geom::Point& location) const;
+  double max_c() const;
+  double min_c() const;
+  std::size_t cells() const { return cells_; }
+
+ private:
+  geom::BBox extent_;
+  std::size_t cells_ = 0;
+  std::vector<double> temperature_;
+};
+
+struct RingSite {
+  geom::Point location;
+  std::size_t bits = 0;
+  double temperature_c = 0.0;
+  double tuning_pj = 0.0;
+};
+
+struct ThermalReport {
+  double max_temperature_c = 0.0;
+  double total_tuning_pj = 0.0;   ///< over all modulator/detector rings
+  double worst_ring_offset_c = 0.0;
+  std::vector<RingSite> rings;
+};
+
+/// Analyze a routed design: build the temperature field from its power
+/// map and charge every EO/OE ring its tuning energy.
+ThermalReport analyze(const geom::BBox& chip,
+                      std::span<const codesign::CandidateSet> sets,
+                      std::span<const codesign::Candidate> chosen,
+                      const model::TechParams& tech,
+                      const ThermalParams& params, std::size_t cells = 32);
+
+}  // namespace operon::thermal

@@ -1,0 +1,161 @@
+#include "timing/timing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "steiner/tree.hpp"
+#include "util/check.hpp"
+
+namespace operon::timing {
+
+namespace {
+// 1 fF * 1 Ohm = 1e-3 ps.
+constexpr double kFfOhmToPs = 1e-3;
+// Speed of light, um/ps.
+constexpr double kC_umPerPs = 299.792458;
+}  // namespace
+
+double elmore_delay_ps(const ElectricalTimingParams& params,
+                       double length_um) {
+  OPERON_CHECK(length_um >= 0.0);
+  const double wire_cap = params.capacitance_ff_per_um * length_um;
+  const double driver_term = params.driver_resistance_ohm * wire_cap;
+  const double wire_term = 0.5 * params.resistance_ohm_per_um * length_um *
+                           wire_cap;
+  return 0.69 * (driver_term + wire_term) * kFfOhmToPs;
+}
+
+double repeatered_delay_ps(const ElectricalTimingParams& params,
+                           double length_um) {
+  OPERON_CHECK(length_um >= 0.0);
+  if (length_um == 0.0) return 0.0;
+  // Optimal segment length: L* = sqrt(2 R_drv C_in / (r c)).
+  const double rc =
+      params.resistance_ohm_per_um * params.capacitance_ff_per_um;
+  const double optimal_segment =
+      std::sqrt(2.0 * params.driver_resistance_ohm *
+                params.input_capacitance_ff / rc);
+  const double stages =
+      std::max(1.0, std::ceil(length_um / optimal_segment));
+  const double per_stage =
+      elmore_delay_ps(params, length_um / stages) +
+      0.69 * params.driver_resistance_ohm * params.input_capacitance_ff *
+          kFfOhmToPs +
+      params.repeater_intrinsic_ps;
+  return stages * per_stage;
+}
+
+double electrical_delay_ps(const ElectricalTimingParams& params,
+                           double length_um) {
+  return std::min(elmore_delay_ps(params, length_um),
+                  repeatered_delay_ps(params, length_um));
+}
+
+double waveguide_tof_ps(const OpticalTimingParams& params, double length_um) {
+  OPERON_CHECK(length_um >= 0.0);
+  return length_um * params.group_index / kC_umPerPs;
+}
+
+double optical_link_delay_ps(const OpticalTimingParams& params,
+                             double length_um) {
+  return params.modulator_latency_ps + waveguide_tof_ps(params, length_um) +
+         params.detector_latency_ps;
+}
+
+double delay_crossover_um(const TimingParams& params) {
+  // Bisect on [1, 1e7] um; both curves are monotone increasing and the
+  // optical one has a fixed offset, so a single crossover exists if any.
+  double lo = 1.0, hi = 1e7;
+  const auto optics_wins = [&](double length) {
+    return optical_link_delay_ps(params.optical, length) <
+           electrical_delay_ps(params.electrical, length);
+  };
+  if (!optics_wins(hi)) return std::numeric_limits<double>::infinity();
+  if (optics_wins(lo)) return lo;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (optics_wins(mid)) hi = mid;
+    else lo = mid;
+  }
+  return hi;
+}
+
+CandidateTiming analyze_candidate(const codesign::CandidateSet& set,
+                                  const codesign::Candidate& candidate,
+                                  const TimingParams& params) {
+  OPERON_CHECK(candidate.baseline < set.baselines.size());
+  const steiner::SteinerTree& tree = set.baselines[candidate.baseline];
+  OPERON_CHECK(candidate.edge_kinds.size() == tree.num_points());
+  const steiner::RootedTree rooted = steiner::RootedTree::build(tree, set.root);
+
+  CandidateTiming timing;
+  timing.best_sink_delay_ps = std::numeric_limits<double>::infinity();
+
+  // Walk the tree from the root in preorder (reverse postorder),
+  // accumulating arrival time per node. An optical edge whose parent edge
+  // was electrical (or the root) pays the EO latency; converting back at
+  // a node that needs the data electrically pays the OE latency — the
+  // same component semantics as the power model.
+  std::vector<double> arrival(tree.num_points(), 0.0);
+  for (auto it = rooted.postorder.rbegin(); it != rooted.postorder.rend();
+       ++it) {
+    const std::size_t v = *it;
+    if (v == rooted.root) continue;
+    const std::size_t parent = rooted.parent[v];
+    const geom::Point& a = tree.points[parent];
+    const geom::Point& b = tree.points[v];
+    double t = arrival[parent];
+
+    const bool edge_optical =
+        candidate.edge_kinds[v] == codesign::EdgeKind::Optical;
+    const bool parent_edge_optical =
+        parent != rooted.root &&
+        candidate.edge_kinds[parent] == codesign::EdgeKind::Optical;
+
+    if (edge_optical) {
+      if (!parent_edge_optical) t += params.optical.modulator_latency_ps;
+      t += waveguide_tof_ps(params.optical, geom::euclidean(a, b));
+    } else {
+      if (parent_edge_optical) t += params.optical.detector_latency_ps;
+      t += electrical_delay_ps(params.electrical, geom::manhattan(a, b));
+    }
+    arrival[v] = t;
+  }
+
+  for (std::size_t v = 0; v < tree.num_points(); ++v) {
+    if (!tree.is_terminal(v) || v == rooted.root) continue;
+    double t = arrival[v];
+    // A sink reached optically still needs its local OE conversion.
+    if (candidate.edge_kinds[v] == codesign::EdgeKind::Optical) {
+      t += params.optical.detector_latency_ps;
+    }
+    timing.worst_sink_delay_ps = std::max(timing.worst_sink_delay_ps, t);
+    timing.best_sink_delay_ps = std::min(timing.best_sink_delay_ps, t);
+    ++timing.sinks;
+  }
+  if (timing.sinks == 0) timing.best_sink_delay_ps = 0.0;
+  return timing;
+}
+
+TimingReport analyze_selection(std::span<const codesign::CandidateSet> sets,
+                               const codesign::Selection& selection,
+                               const TimingParams& params) {
+  OPERON_CHECK(sets.size() == selection.size());
+  TimingReport report;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    const CandidateTiming timing =
+        analyze_candidate(sets[i], sets[i].options[selection[i]], params);
+    sum += timing.worst_sink_delay_ps;
+    if (timing.worst_sink_delay_ps > report.worst_delay_ps) {
+      report.worst_delay_ps = timing.worst_sink_delay_ps;
+      report.worst_net = i;
+    }
+  }
+  report.mean_worst_delay_ps =
+      sets.empty() ? 0.0 : sum / static_cast<double>(sets.size());
+  return report;
+}
+
+}  // namespace operon::timing

@@ -1,0 +1,94 @@
+#pragma once
+// Interconnect delay models — the paper's motivation ("interconnect
+// delay becomes a bottleneck towards timing closure") made quantitative.
+// Not part of the paper's optimization objective, but the natural
+// companion analysis for a routed design:
+//
+//  * Electrical wires: Elmore RC delay, quadratic in length when
+//    unrepeated; optimally repeatered long wires are linear in length
+//    with delay/µm = 0.7·sqrt(2·R_drv·C_in·r·c) (classic Bakoglu result).
+//    The model picks whichever is smaller (repeaters are only inserted
+//    when they help).
+//  * Optical waveguides: time-of-flight at the group velocity c/n_g plus
+//    fixed EO (modulator+driver) and OE (detector+amplifier) latencies.
+//
+// The crossover — optics wins delay beyond a few millimeters — mirrors
+// the power crossover the routing optimizes.
+
+#include <span>
+
+#include "codesign/candidate.hpp"
+#include "codesign/selection.hpp"
+
+namespace operon::timing {
+
+struct ElectricalTimingParams {
+  double resistance_ohm_per_um = 1.0;   ///< unit wire resistance r
+  double capacitance_ff_per_um = 0.2;   ///< unit wire capacitance c
+  double driver_resistance_ohm = 1000.0;  ///< repeater drive resistance
+  double input_capacitance_ff = 2.0;      ///< repeater input capacitance
+  double repeater_intrinsic_ps = 5.0;     ///< per-stage intrinsic delay
+};
+
+struct OpticalTimingParams {
+  double group_index = 4.2;      ///< silicon waveguide group index n_g
+  double modulator_latency_ps = 10.0;  ///< EO conversion (driver+mod)
+  double detector_latency_ps = 15.0;   ///< OE conversion (PD+TIA+amp)
+};
+
+struct TimingParams {
+  ElectricalTimingParams electrical;
+  OpticalTimingParams optical;
+
+  static TimingParams defaults() { return {}; }
+};
+
+/// Unrepeated Elmore delay of a wire driven by a repeater-class driver:
+/// 0.69·(R_drv·c·L + r·c·L²/2) in ps.
+double elmore_delay_ps(const ElectricalTimingParams& params, double length_um);
+
+/// Delay of the same wire with optimal repeater insertion (linear in L);
+/// includes per-stage intrinsic delays.
+double repeatered_delay_ps(const ElectricalTimingParams& params,
+                           double length_um);
+
+/// min(Elmore, repeatered): repeaters only get inserted when they help.
+double electrical_delay_ps(const ElectricalTimingParams& params,
+                           double length_um);
+
+/// Time of flight through a waveguide (no conversions).
+double waveguide_tof_ps(const OpticalTimingParams& params, double length_um);
+
+/// Full optical hop: EO + flight + OE.
+double optical_link_delay_ps(const OpticalTimingParams& params,
+                             double length_um);
+
+/// Wire length beyond which a full optical hop beats the repeatered wire
+/// (computed numerically; returns +inf if optics never wins).
+double delay_crossover_um(const TimingParams& params);
+
+/// Source-to-sink delays of one routed candidate: walks the tree from
+/// the root, accumulating electrical wire delay / optical flight and the
+/// conversion latencies at every EO/OE boundary.
+struct CandidateTiming {
+  double worst_sink_delay_ps = 0.0;
+  double best_sink_delay_ps = 0.0;
+  std::size_t sinks = 0;
+};
+
+CandidateTiming analyze_candidate(const codesign::CandidateSet& set,
+                                  const codesign::Candidate& candidate,
+                                  const TimingParams& params);
+
+/// Design-level summary over a selection.
+struct TimingReport {
+  double worst_delay_ps = 0.0;
+  double mean_worst_delay_ps = 0.0;  ///< mean over nets of per-net worst
+  std::size_t worst_net = 0;
+};
+
+TimingReport analyze_selection(std::span<const codesign::CandidateSet> sets,
+                               const codesign::Selection& selection,
+                               const TimingParams& params);
+
+}  // namespace operon::timing

@@ -1,0 +1,49 @@
+#pragma once
+// Runtime invariant checking. OPERON_CHECK is always on (cheap, guards
+// library-boundary contracts); OPERON_DCHECK compiles out in release
+// builds and guards internal loop invariants.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace operon::util {
+
+/// Thrown when a checked invariant or precondition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace operon::util
+
+#define OPERON_CHECK(expr)                                                \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::operon::util::check_failed(#expr, __FILE__, __LINE__, {});        \
+  } while (0)
+
+#define OPERON_CHECK_MSG(expr, ...)                                       \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream os_;                                             \
+      os_ << __VA_ARGS__;                                                 \
+      ::operon::util::check_failed(#expr, __FILE__, __LINE__, os_.str()); \
+    }                                                                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define OPERON_DCHECK(expr) \
+  do {                      \
+  } while (0)
+#else
+#define OPERON_DCHECK(expr) OPERON_CHECK(expr)
+#endif

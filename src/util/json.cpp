@@ -1,0 +1,158 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace operon::util {
+
+void JsonWriter::comma_if_needed() {
+  if (pending_key_) return;  // value follows "key":
+  if (!stack_.empty()) {
+    if (has_items_.back()) out_ << ',';
+    has_items_.back() = true;
+  }
+}
+
+std::string JsonWriter::escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma_if_needed();
+  pending_key_ = false;
+  out_ << '{';
+  stack_.push_back('{');
+  has_items_.push_back(false);
+  has_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  OPERON_CHECK_MSG(!stack_.empty() && stack_.back() == '{',
+                   "end_object without matching begin_object");
+  OPERON_CHECK_MSG(!pending_key_, "dangling key at end_object");
+  out_ << '}';
+  stack_.pop_back();
+  has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma_if_needed();
+  pending_key_ = false;
+  out_ << '[';
+  stack_.push_back('[');
+  has_items_.push_back(false);
+  has_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  OPERON_CHECK_MSG(!stack_.empty() && stack_.back() == '[',
+                   "end_array without matching begin_array");
+  out_ << ']';
+  stack_.pop_back();
+  has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  OPERON_CHECK_MSG(!stack_.empty() && stack_.back() == '{',
+                   "key() outside an object");
+  OPERON_CHECK_MSG(!pending_key_, "two keys in a row");
+  comma_if_needed();
+  out_ << '"' << escape(name) << "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  comma_if_needed();
+  pending_key_ = false;
+  out_ << '"' << escape(text) << '"';
+  has_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* text) {
+  return value(std::string_view(text));
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  comma_if_needed();
+  pending_key_ = false;
+  if (std::isfinite(number)) {
+    // Shortest round-trip-ish representation.
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%.12g", number);
+    out_ << buffer;
+  } else {
+    out_ << "null";  // JSON has no Inf/NaN
+  }
+  has_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  comma_if_needed();
+  pending_key_ = false;
+  out_ << number;
+  has_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  comma_if_needed();
+  pending_key_ = false;
+  out_ << number;
+  has_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int number) {
+  return value(static_cast<std::int64_t>(number));
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  comma_if_needed();
+  pending_key_ = false;
+  out_ << (flag ? "true" : "false");
+  has_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  comma_if_needed();
+  pending_key_ = false;
+  out_ << "null";
+  has_root_ = true;
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  OPERON_CHECK_MSG(complete(), "JSON document has unclosed scopes");
+  return out_.str();
+}
+
+}  // namespace operon::util

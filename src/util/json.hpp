@@ -1,0 +1,60 @@
+#pragma once
+// Minimal JSON writer for machine-readable run reports. Write-only by
+// design (the library never consumes JSON); handles escaping, nesting,
+// and number formatting. Not a general-purpose JSON library.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace operon::util {
+
+/// Streaming JSON writer with explicit begin/end nesting.
+///
+///   JsonWriter json;
+///   json.begin_object();
+///   json.key("power").value(12.5);
+///   json.key("nets").begin_array();
+///   json.value(1).value(2);
+///   json.end_array();
+///   json.end_object();
+///   std::string text = json.str();
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emit an object key (must be inside an object, before a value).
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text);
+  JsonWriter& value(double number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(int number);
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  /// Finished document (valid once all scopes are closed).
+  std::string str() const;
+
+  /// True when every begin_* has a matching end_*.
+  bool complete() const { return stack_.empty() && has_root_; }
+
+ private:
+  void comma_if_needed();
+  static std::string escape(std::string_view text);
+
+  std::ostringstream out_;
+  std::vector<char> stack_;       ///< '{' or '['
+  std::vector<bool> has_items_;   ///< per scope: needs a comma?
+  bool pending_key_ = false;
+  bool has_root_ = false;
+};
+
+}  // namespace operon::util

@@ -1,0 +1,47 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <iostream>
+
+namespace operon::util {
+
+namespace {
+std::atomic<LogLevel> g_threshold{LogLevel::Info};
+
+const char* basename_of(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+}  // namespace
+
+LogLevel log_threshold() { return g_threshold.load(std::memory_order_relaxed); }
+
+void set_log_threshold(LogLevel level) {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << '[' << to_string(level) << ' ' << basename_of(file) << ':' << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << '\n';
+  std::cerr << stream_.str();
+  if (level_ >= LogLevel::Error) std::cerr.flush();
+}
+
+}  // namespace operon::util

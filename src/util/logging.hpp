@@ -1,0 +1,42 @@
+#pragma once
+// Minimal leveled logger. Global severity threshold; streams to stderr.
+// Usage: OPERON_LOG(Info) << "placed " << n << " WDMs";
+
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace operon::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Process-wide log threshold; messages below it are dropped.
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+const char* to_string(LogLevel level);
+
+/// One log statement; flushes on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace operon::util
+
+#define OPERON_LOG(severity)                                               \
+  if (::operon::util::LogLevel::severity < ::operon::util::log_threshold()) \
+    ;                                                                      \
+  else                                                                     \
+    ::operon::util::LogMessage(::operon::util::LogLevel::severity,         \
+                               __FILE__, __LINE__)                         \
+        .stream()

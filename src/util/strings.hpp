@@ -1,0 +1,27 @@
+#pragma once
+// Small string utilities shared across the library.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace operon::util {
+
+/// Split on a delimiter; empty fields are kept.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Strip leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Fixed-precision double rendering ("12.34").
+std::string fixed(double value, int digits);
+
+/// Human-readable count with thousands separators ("12,345").
+std::string with_commas(long long value);
+
+}  // namespace operon::util

@@ -1,0 +1,34 @@
+#pragma once
+// Plain-text and CSV table rendering for benchmark harness output.
+// The Table 1 / Fig 8 benches print through this so every harness has a
+// consistent, diff-friendly format.
+
+#include <string>
+#include <vector>
+
+namespace operon::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Render with aligned columns and a header separator.
+  std::string to_text() const;
+
+  /// Render as RFC-4180-ish CSV (fields with commas/quotes get quoted).
+  std::string to_csv() const;
+
+  /// Render as a GitHub-flavored markdown table.
+  std::string to_markdown() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace operon::util

@@ -1,0 +1,49 @@
+#pragma once
+// Wall-clock stopwatch for runtime reporting (Table 1 CPU(s) columns).
+
+#include <chrono>
+#include <limits>
+
+namespace operon::util {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Deadline helper for time-limited solvers (ILP branch-and-bound).
+class Deadline {
+ public:
+  /// A non-positive budget means "no limit".
+  explicit Deadline(double budget_seconds) : budget_(budget_seconds) {}
+
+  bool expired() const {
+    return budget_ > 0.0 && timer_.seconds() >= budget_;
+  }
+
+  double remaining() const {
+    if (budget_ <= 0.0) return std::numeric_limits<double>::infinity();
+    return budget_ - timer_.seconds();
+  }
+
+  double budget() const { return budget_; }
+
+ private:
+  double budget_;
+  Timer timer_;
+};
+
+}  // namespace operon::util

@@ -1,0 +1,113 @@
+#include "viz/render.hpp"
+
+#include "util/check.hpp"
+#include "viz/svg.hpp"
+
+namespace operon::viz {
+
+namespace {
+
+constexpr const char* kElectricalColor = "#d97706";  // copper
+constexpr const char* kOpticalColor = "#2563eb";     // waveguide blue
+constexpr const char* kModulatorColor = "#16a34a";   // EO
+constexpr const char* kDetectorColor = "#dc2626";    // OE
+constexpr const char* kPinColor = "#475569";
+constexpr const char* kWdmColor = "#7c3aed";
+
+void draw_candidate(SvgCanvas& canvas, const codesign::Candidate& cand,
+                    const RenderOptions& options) {
+  for (const geom::Segment& seg : cand.electrical_segments) {
+    canvas.line(seg.a, seg.b, kElectricalColor, 1.4, 0.85);
+  }
+  for (const geom::Segment& seg : cand.optical_segments) {
+    canvas.line(seg.a, seg.b, kOpticalColor, 1.8, 0.85);
+  }
+  if (options.draw_conversions) {
+    for (const geom::Point& site : cand.modulator_sites) {
+      canvas.circle(site, 3.0, kModulatorColor);
+    }
+    for (const geom::Point& site : cand.detector_sites) {
+      canvas.circle(site, 3.0, kDetectorColor);
+    }
+  }
+}
+
+void draw_common(SvgCanvas& canvas, const geom::BBox& chip,
+                 std::span<const codesign::CandidateSet> sets,
+                 const RenderOptions& options) {
+  canvas.rect(chip, "#94a3b8", "none", 1.0);
+  if (options.draw_pins) {
+    for (const auto& set : sets) {
+      for (const auto& tree : set.baselines) {
+        for (std::size_t t = 0; t < tree.num_terminals; ++t) {
+          canvas.circle(tree.points[t], 1.6, kPinColor, 0.7);
+        }
+        break;  // terminals are identical across baselines
+      }
+    }
+  }
+  if (options.draw_legend) {
+    canvas.legend("electrical wire", kElectricalColor);
+    canvas.legend("optical waveguide", kOpticalColor);
+    if (options.draw_conversions) {
+      canvas.legend("modulator (EO)", kModulatorColor);
+      canvas.legend("detector (OE)", kDetectorColor);
+    }
+    if (options.draw_wdms) canvas.legend("WDM waveguide", kWdmColor);
+  }
+}
+
+}  // namespace
+
+std::string render_candidates(const geom::BBox& chip,
+                              std::span<const codesign::CandidateSet> sets,
+                              std::span<const codesign::Candidate> chosen,
+                              const RenderOptions& options) {
+  OPERON_CHECK(sets.size() == chosen.size());
+  SvgCanvas canvas(chip, options.pixel_width);
+  draw_common(canvas, chip, sets, options);
+  for (const codesign::Candidate& cand : chosen) {
+    draw_candidate(canvas, cand, options);
+  }
+  return canvas.str();
+}
+
+std::string render_routed_design(const geom::BBox& chip,
+                                 std::span<const codesign::CandidateSet> sets,
+                                 const codesign::Selection& selection,
+                                 const RenderOptions& options) {
+  OPERON_CHECK(sets.size() == selection.size());
+  SvgCanvas canvas(chip, options.pixel_width);
+  draw_common(canvas, chip, sets, options);
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    draw_candidate(canvas, sets[i].options[selection[i]], options);
+  }
+  return canvas.str();
+}
+
+std::string render_with_wdms(const geom::BBox& chip,
+                             std::span<const codesign::CandidateSet> sets,
+                             const codesign::Selection& selection,
+                             const wdm::WdmPlan& plan,
+                             const RenderOptions& options) {
+  RenderOptions with_wdms = options;
+  with_wdms.draw_wdms = true;
+  SvgCanvas canvas(chip, with_wdms.pixel_width);
+  draw_common(canvas, chip, sets, with_wdms);
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    draw_candidate(canvas, sets[i].options[selection[i]], with_wdms);
+  }
+  for (const wdm::Wdm& wdm : plan.wdms) {
+    if (wdm.used <= 0) continue;
+    if (wdm.axis == wdm::Axis::Horizontal) {
+      canvas.line({wdm.lo, wdm.coord}, {wdm.hi, wdm.coord}, kWdmColor, 2.4,
+                  0.5, /*dashed=*/true);
+    } else {
+      canvas.line({wdm.coord, wdm.lo}, {wdm.coord, wdm.hi}, kWdmColor, 2.4,
+                  0.5, /*dashed=*/true);
+    }
+  }
+  return canvas.str();
+}
+
+}  // namespace operon::viz

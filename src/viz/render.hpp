@@ -1,0 +1,42 @@
+#pragma once
+// High-level rendering of routed designs: electrical wires (copper),
+// optical waveguides (blue), EO/OE conversion sites, hyper-pin centers,
+// and optionally the placed WDM waveguides — the pictures Fig 1/4/6 of
+// the paper sketch, generated from real routing results.
+
+#include <string>
+
+#include "codesign/candidate.hpp"
+#include "codesign/selection.hpp"
+#include "model/design.hpp"
+#include "wdm/assign.hpp"
+
+namespace operon::viz {
+
+struct RenderOptions {
+  double pixel_width = 900.0;
+  bool draw_pins = true;
+  bool draw_conversions = true;
+  bool draw_wdms = false;
+  bool draw_legend = true;
+};
+
+/// Render a selection over candidate sets (chosen = per-net candidate).
+std::string render_routed_design(
+    const geom::BBox& chip, std::span<const codesign::CandidateSet> sets,
+    const codesign::Selection& selection, const RenderOptions& options = {});
+
+/// Render explicit per-net candidates (e.g. a baseline router's choices).
+std::string render_candidates(const geom::BBox& chip,
+                              std::span<const codesign::CandidateSet> sets,
+                              std::span<const codesign::Candidate> chosen,
+                              const RenderOptions& options = {});
+
+/// Render a WDM plan on top of a routed design.
+std::string render_with_wdms(const geom::BBox& chip,
+                             std::span<const codesign::CandidateSet> sets,
+                             const codesign::Selection& selection,
+                             const wdm::WdmPlan& plan,
+                             const RenderOptions& options = {});
+
+}  // namespace operon::viz

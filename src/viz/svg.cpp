@@ -1,0 +1,109 @@
+#include "viz/svg.hpp"
+
+#include "util/check.hpp"
+
+namespace operon::viz {
+
+namespace {
+void append_escaped(std::ostringstream& out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '<': out << "&lt;"; break;
+      case '>': out << "&gt;"; break;
+      case '&': out << "&amp;"; break;
+      default: out << c;
+    }
+  }
+}
+}  // namespace
+
+SvgCanvas::SvgCanvas(const geom::BBox& world, double pixel_width)
+    : world_(world), width_px_(pixel_width) {
+  OPERON_CHECK(!world.is_empty());
+  OPERON_CHECK(pixel_width > 0.0);
+  const double w = std::max(world.width(), 1e-9);
+  const double h = std::max(world.height(), 1e-9);
+  scale_ = width_px_ / w;
+  height_px_ = h * scale_;
+}
+
+geom::Point SvgCanvas::to_px(const geom::Point& world_point) const {
+  return {(world_point.x - world_.xlo) * scale_,
+          // Flip Y: world up = screen up.
+          height_px_ - (world_point.y - world_.ylo) * scale_};
+}
+
+void SvgCanvas::line(const geom::Point& a, const geom::Point& b,
+                     std::string_view color, double width_px, double opacity,
+                     bool dashed) {
+  const geom::Point pa = to_px(a), pb = to_px(b);
+  body_ << "<line x1=\"" << pa.x << "\" y1=\"" << pa.y << "\" x2=\"" << pb.x
+        << "\" y2=\"" << pb.y << "\" stroke=\"" << color
+        << "\" stroke-width=\"" << width_px << "\" stroke-opacity=\""
+        << opacity << "\"";
+  if (dashed) body_ << " stroke-dasharray=\"6,4\"";
+  body_ << "/>\n";
+}
+
+void SvgCanvas::polyline(const std::vector<geom::Point>& points,
+                         std::string_view color, double width_px,
+                         double opacity) {
+  if (points.size() < 2) return;
+  body_ << "<polyline fill=\"none\" stroke=\"" << color
+        << "\" stroke-width=\"" << width_px << "\" stroke-opacity=\""
+        << opacity << "\" points=\"";
+  for (const geom::Point& p : points) {
+    const geom::Point px = to_px(p);
+    body_ << px.x << ',' << px.y << ' ';
+  }
+  body_ << "\"/>\n";
+}
+
+void SvgCanvas::circle(const geom::Point& center, double radius_px,
+                       std::string_view fill, double opacity) {
+  const geom::Point p = to_px(center);
+  body_ << "<circle cx=\"" << p.x << "\" cy=\"" << p.y << "\" r=\""
+        << radius_px << "\" fill=\"" << fill << "\" fill-opacity=\""
+        << opacity << "\"/>\n";
+}
+
+void SvgCanvas::rect(const geom::BBox& box, std::string_view stroke,
+                     std::string_view fill, double width_px) {
+  const geom::Point lo = to_px({box.xlo, box.yhi});  // top-left after flip
+  body_ << "<rect x=\"" << lo.x << "\" y=\"" << lo.y << "\" width=\""
+        << box.width() * scale_ << "\" height=\"" << box.height() * scale_
+        << "\" stroke=\"" << stroke << "\" fill=\"" << fill
+        << "\" stroke-width=\"" << width_px << "\"/>\n";
+}
+
+void SvgCanvas::text(const geom::Point& anchor, std::string_view content,
+                     double size_px, std::string_view color) {
+  const geom::Point p = to_px(anchor);
+  body_ << "<text x=\"" << p.x << "\" y=\"" << p.y << "\" font-size=\""
+        << size_px << "\" fill=\"" << color
+        << "\" font-family=\"monospace\">";
+  append_escaped(body_, content);
+  body_ << "</text>\n";
+}
+
+void SvgCanvas::legend(std::string_view label, std::string_view color) {
+  const double y = 18.0 + 16.0 * static_cast<double>(legend_entries_++);
+  body_ << "<rect x=\"8\" y=\"" << y - 9 << "\" width=\"12\" height=\"12\""
+        << " fill=\"" << color << "\"/>\n";
+  body_ << "<text x=\"26\" y=\"" << y + 2
+        << "\" font-size=\"12\" font-family=\"monospace\" fill=\"#222\">";
+  append_escaped(body_, label);
+  body_ << "</text>\n";
+}
+
+std::string SvgCanvas::str() const {
+  std::ostringstream out;
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width_px_
+      << "\" height=\"" << height_px_ << "\" viewBox=\"0 0 " << width_px_
+      << ' ' << height_px_ << "\">\n"
+      << "<rect width=\"100%\" height=\"100%\" fill=\"#fafafa\"/>\n"
+      << body_.str() << "</svg>\n";
+  return out.str();
+}
+
+}  // namespace operon::viz

@@ -1,0 +1,55 @@
+#pragma once
+// Tiny SVG canvas: world coordinates in, one self-contained <svg> out.
+// Enough vocabulary (lines, circles, rectangles, text, polylines,
+// dashes, opacity) to draw routed designs; no external dependencies.
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geom/bbox.hpp"
+#include "geom/point.hpp"
+
+namespace operon::viz {
+
+class SvgCanvas {
+ public:
+  /// `world`: the region to draw (e.g. the chip bbox); `pixel_width`:
+  /// output width in px (height keeps the aspect ratio). The Y axis is
+  /// flipped so world +y is up, as in chip coordinates.
+  SvgCanvas(const geom::BBox& world, double pixel_width = 800.0);
+
+  void line(const geom::Point& a, const geom::Point& b,
+            std::string_view color, double width_px = 1.0,
+            double opacity = 1.0, bool dashed = false);
+  void polyline(const std::vector<geom::Point>& points,
+                std::string_view color, double width_px = 1.0,
+                double opacity = 1.0);
+  void circle(const geom::Point& center, double radius_px,
+              std::string_view fill, double opacity = 1.0);
+  void rect(const geom::BBox& box, std::string_view stroke,
+            std::string_view fill = "none", double width_px = 1.0);
+  void text(const geom::Point& anchor, std::string_view content,
+            double size_px = 12.0, std::string_view color = "#333");
+
+  /// Legend entry rendered in the top-left margin.
+  void legend(std::string_view label, std::string_view color);
+
+  std::string str() const;
+
+  double width_px() const { return width_px_; }
+  double height_px() const { return height_px_; }
+
+ private:
+  geom::Point to_px(const geom::Point& world_point) const;
+
+  geom::BBox world_;
+  double width_px_;
+  double height_px_;
+  double scale_;
+  std::ostringstream body_;
+  std::size_t legend_entries_ = 0;
+};
+
+}  // namespace operon::viz

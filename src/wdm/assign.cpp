@@ -1,0 +1,144 @@
+#include "wdm/assign.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "flow/mcmf.hpp"
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace operon::wdm {
+
+AssignResult assign_connections(std::span<const Connection> connections,
+                                std::span<const Wdm> wdms, Axis axis,
+                                const model::OpticalParams& optical,
+                                const AssignOptions& options) {
+  // Axis-local index maps.
+  std::vector<std::size_t> conn_ids, wdm_ids;
+  for (std::size_t c = 0; c < connections.size(); ++c) {
+    if (connections[c].axis == axis) conn_ids.push_back(c);
+  }
+  for (std::size_t w = 0; w < wdms.size(); ++w) {
+    if (wdms[w].axis == axis) wdm_ids.push_back(w);
+  }
+  AssignResult result;
+  if (conn_ids.empty()) return result;
+
+  // Node layout: 0 = source, 1 = sink, then connections, then WDMs.
+  const std::size_t s = 0, t = 1;
+  const std::size_t conn_base = 2;
+  const std::size_t wdm_base = conn_base + conn_ids.size();
+  flow::MinCostMaxFlow graph(wdm_base + wdm_ids.size());
+
+  std::int64_t demand = 0;
+  for (std::size_t k = 0; k < conn_ids.size(); ++k) {
+    const Connection& conn = connections[conn_ids[k]];
+    graph.add_edge(s, conn_base + k, static_cast<std::int64_t>(conn.bits), 0.0);
+    demand += static_cast<std::int64_t>(conn.bits);
+  }
+  for (std::size_t j = 0; j < wdm_ids.size(); ++j) {
+    const Wdm& wdm = wdms[wdm_ids[j]];
+    const double usage =
+        options.usage_cost + options.usage_rank_cost * static_cast<double>(j);
+    graph.add_edge(wdm_base + j, t, wdm.capacity, usage);
+  }
+
+  // Connection -> WDM edges within the disu window; cost = normalized move.
+  struct EdgeRef {
+    std::size_t edge;
+    std::size_t conn_k;
+    std::size_t wdm_j;
+  };
+  std::vector<EdgeRef> middle_edges;
+  for (std::size_t k = 0; k < conn_ids.size(); ++k) {
+    const Connection& conn = connections[conn_ids[k]];
+    bool any = false;
+    std::size_t nearest = wdm_ids.size();
+    double nearest_move = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < wdm_ids.size(); ++j) {
+      const Wdm& wdm = wdms[wdm_ids[j]];
+      const double move = std::abs(conn.coord - wdm.coord);
+      if (move < nearest_move) {
+        nearest_move = move;
+        nearest = j;
+      }
+      if (move > optical.dis_upper_um) continue;
+      const double cost =
+          options.move_cost_weight * move / std::max(optical.dis_upper_um, 1e-9);
+      const std::size_t edge = graph.add_edge(
+          conn_base + k, wdm_base + j, static_cast<std::int64_t>(conn.bits),
+          cost);
+      middle_edges.push_back({edge, k, j});
+      any = true;
+    }
+    if (!any) {
+      // Legalization may have pushed every WDM past disu; fall back to
+      // the nearest one rather than dropping the channels.
+      OPERON_CHECK(nearest < wdm_ids.size());
+      OPERON_LOG(Warn) << "connection " << conn_ids[k]
+                       << " exceeds dis_upper to every WDM; using nearest at "
+                       << nearest_move << " um";
+      const std::size_t edge = graph.add_edge(
+          conn_base + k, wdm_base + nearest,
+          static_cast<std::int64_t>(conn.bits), options.move_cost_weight);
+      middle_edges.push_back({edge, k, nearest});
+    }
+  }
+
+  const flow::FlowResult flow_result = graph.solve_with_demand(s, t, demand);
+  result.feasible = flow_result.feasible;
+  if (!flow_result.feasible) {
+    OPERON_LOG(Warn) << "WDM assignment: only " << flow_result.max_flow << "/"
+                     << demand << " channels placed on axis "
+                     << (axis == Axis::Horizontal ? "H" : "V");
+  }
+
+  std::vector<char> wdm_hit(wdm_ids.size(), 0);
+  for (const EdgeRef& ref : middle_edges) {
+    const flow::Edge& edge = graph.edge(ref.edge);
+    if (edge.flow <= 0) continue;
+    const Connection& conn = connections[conn_ids[ref.conn_k]];
+    result.allocations.push_back({conn_ids[ref.conn_k], wdm_ids[ref.wdm_j],
+                                  static_cast<std::size_t>(edge.flow)});
+    result.total_move_um +=
+        std::abs(conn.coord - wdms[wdm_ids[ref.wdm_j]].coord) *
+        static_cast<double>(edge.flow);
+    wdm_hit[ref.wdm_j] = 1;
+  }
+  result.wdms_used = static_cast<std::size_t>(
+      std::count(wdm_hit.begin(), wdm_hit.end(), 1));
+  return result;
+}
+
+WdmPlan plan_wdm_assignment(std::span<const codesign::CandidateSet> sets,
+                            const codesign::Selection& selection,
+                            const model::OpticalParams& optical,
+                            const AssignOptions& options) {
+  WdmPlan plan;
+  plan.connections = extract_connections(sets, selection);
+
+  std::vector<Wdm> horizontal =
+      place_wdms(plan.connections, Axis::Horizontal, optical);
+  std::vector<Wdm> vertical =
+      place_wdms(plan.connections, Axis::Vertical, optical);
+  plan.initial_wdms = horizontal.size() + vertical.size();
+
+  plan.wdms = std::move(horizontal);
+  plan.wdms.insert(plan.wdms.end(), vertical.begin(), vertical.end());
+  legalize_spacing(plan.wdms, optical.dis_lower_um);
+
+  for (const Axis axis : {Axis::Horizontal, Axis::Vertical}) {
+    AssignResult result =
+        assign_connections(plan.connections, plan.wdms, axis, optical, options);
+    plan.final_wdms += result.wdms_used;
+    plan.total_move_um += result.total_move_um;
+    plan.feasible = plan.feasible && result.feasible;
+    plan.allocations.insert(plan.allocations.end(),
+                            result.allocations.begin(),
+                            result.allocations.end());
+  }
+  return plan;
+}
+
+}  // namespace operon::wdm

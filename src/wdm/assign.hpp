@@ -1,0 +1,68 @@
+#pragma once
+// Network-flow WDM assignment (§4.2, Fig 7). A min-cost max-flow network
+// re-allocates connections onto the placed WDMs concurrently: source ->
+// connection nodes (capacity = channel demand), connection -> WDM edges
+// (allowed when the perpendicular move is within disu; cost = normalized
+// move distance), WDM -> sink (capacity = WDM channel capacity; cost =
+// usage cost, dominant so WDM consolidation is emphasized). Capacities
+// are integral, so the optimum is integral (total unimodularity) and a
+// connection's channels may split across neighboring WDMs (Fig 6b).
+
+#include <span>
+#include <vector>
+
+#include "model/params.hpp"
+#include "wdm/wdm.hpp"
+
+namespace operon::wdm {
+
+struct AssignOptions {
+  /// Base per-channel cost of occupying a WDM; must dominate move costs.
+  double usage_cost = 10.0;
+  /// Additional per-channel cost per WDM rank, creating the gradient that
+  /// concentrates flow into fewer WDMs.
+  double usage_rank_cost = 1.0;
+  /// Weight of the normalized (distance / disu) move cost.
+  double move_cost_weight = 0.5;
+};
+
+/// One piece of a (possibly split) connection-to-WDM allocation.
+struct ChannelAllocation {
+  std::size_t connection = 0;  ///< index into the connections span
+  std::size_t wdm = 0;         ///< index into the wdms span
+  std::size_t bits = 0;
+};
+
+struct AssignResult {
+  std::vector<ChannelAllocation> allocations;
+  std::size_t wdms_used = 0;       ///< WDMs with non-zero flow
+  double total_move_um = 0.0;      ///< channel-weighted perpendicular moves
+  bool feasible = true;            ///< all channels allocated
+};
+
+/// Solve the assignment for one axis (connections and WDMs of the other
+/// axis are ignored). Requires the WDMs to come from place_wdms so total
+/// capacity is sufficient.
+AssignResult assign_connections(std::span<const Connection> connections,
+                                std::span<const Wdm> wdms, Axis axis,
+                                const model::OpticalParams& optical,
+                                const AssignOptions& options = {});
+
+/// Full §4 pipeline over both axes: place, legalize, assign; reports the
+/// Fig 8 counters.
+struct WdmPlan {
+  std::vector<Connection> connections;
+  std::vector<Wdm> wdms;                        ///< placed + legalized
+  std::vector<ChannelAllocation> allocations;   ///< final (flow) assignment
+  std::size_t initial_wdms = 0;                 ///< after placement
+  std::size_t final_wdms = 0;                   ///< with flow > 0
+  double total_move_um = 0.0;
+  bool feasible = true;
+};
+
+WdmPlan plan_wdm_assignment(std::span<const codesign::CandidateSet> sets,
+                            const codesign::Selection& selection,
+                            const model::OpticalParams& optical,
+                            const AssignOptions& options = {});
+
+}  // namespace operon::wdm

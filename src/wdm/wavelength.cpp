@@ -1,0 +1,106 @@
+#include "wdm/wavelength.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace operon::wdm {
+
+WavelengthPlan assign_wavelengths(const WdmPlan& plan,
+                                  const model::OpticalParams& optical) {
+  WavelengthPlan result;
+  result.channels_used.assign(plan.wdms.size(), 0);
+  const int capacity = optical.wdm_capacity;
+
+  // Occupancy bitmap per WDM.
+  std::vector<std::vector<char>> taken(
+      plan.wdms.size(), std::vector<char>(static_cast<std::size_t>(capacity), 0));
+
+  // Deterministic order: larger allocations first (best-fit-decreasing
+  // keeps contiguous runs available for the wide ones).
+  std::vector<std::size_t> order(plan.allocations.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (plan.allocations[a].bits != plan.allocations[b].bits) {
+      return plan.allocations[a].bits > plan.allocations[b].bits;
+    }
+    return a < b;
+  });
+
+  result.assignments.resize(plan.allocations.size());
+  for (std::size_t index : order) {
+    const ChannelAllocation& alloc = plan.allocations[index];
+    OPERON_CHECK(alloc.wdm < plan.wdms.size());
+    auto& occupancy = taken[alloc.wdm];
+    WavelengthAssignment assignment;
+    assignment.allocation = index;
+
+    // Prefer a contiguous run; fall back to first-fit singles.
+    const int need = static_cast<int>(alloc.bits);
+    int run_start = -1, run_length = 0;
+    for (int c = 0; c < capacity && run_start < 0; ++c) {
+      if (occupancy[static_cast<std::size_t>(c)]) {
+        run_length = 0;
+        continue;
+      }
+      if (run_length == 0 && c + need <= capacity) {
+        bool fits = true;
+        for (int k = c; k < c + need; ++k) {
+          if (occupancy[static_cast<std::size_t>(k)]) {
+            fits = false;
+            break;
+          }
+        }
+        if (fits) run_start = c;
+      }
+      ++run_length;
+    }
+    if (run_start >= 0) {
+      for (int k = run_start; k < run_start + need; ++k) {
+        occupancy[static_cast<std::size_t>(k)] = 1;
+        assignment.channels.push_back(k);
+      }
+    } else {
+      for (int c = 0; c < capacity && static_cast<int>(assignment.channels.size()) < need; ++c) {
+        if (occupancy[static_cast<std::size_t>(c)]) continue;
+        occupancy[static_cast<std::size_t>(c)] = 1;
+        assignment.channels.push_back(c);
+      }
+      if (static_cast<int>(assignment.channels.size()) < need) {
+        result.feasible = false;  // flow overcommitted (should not happen)
+      }
+    }
+    result.assignments[index] = std::move(assignment);
+  }
+
+  for (std::size_t w = 0; w < plan.wdms.size(); ++w) {
+    int high = 0;
+    for (int c = 0; c < capacity; ++c) {
+      if (taken[w][static_cast<std::size_t>(c)]) high = c + 1;
+    }
+    result.channels_used[w] = high;
+  }
+  return result;
+}
+
+bool wavelengths_valid(const WdmPlan& plan, const WavelengthPlan& wavelengths,
+                       const model::OpticalParams& optical) {
+  if (wavelengths.assignments.size() != plan.allocations.size()) return false;
+  std::vector<std::vector<char>> seen(
+      plan.wdms.size(),
+      std::vector<char>(static_cast<std::size_t>(optical.wdm_capacity), 0));
+  for (std::size_t i = 0; i < plan.allocations.size(); ++i) {
+    const ChannelAllocation& alloc = plan.allocations[i];
+    const WavelengthAssignment& assignment = wavelengths.assignments[i];
+    if (assignment.allocation != i) return false;
+    if (assignment.channels.size() != alloc.bits) return false;
+    for (int c : assignment.channels) {
+      if (c < 0 || c >= optical.wdm_capacity) return false;
+      if (seen[alloc.wdm][static_cast<std::size_t>(c)]) return false;
+      seen[alloc.wdm][static_cast<std::size_t>(c)] = 1;
+    }
+  }
+  return true;
+}
+
+}  // namespace operon::wdm

@@ -1,0 +1,39 @@
+#pragma once
+// Wavelength (channel-index) assignment within each WDM waveguide. The
+// flow stage decides how many channels of each connection a WDM carries;
+// this step pins them to concrete wavelength indices 0..capacity-1 so
+// that no two signals on one waveguide share a carrier — the "without
+// crosstalk issues between different channels" property of §2.2 made
+// explicit. Channels of one (connection, WDM) allocation are kept
+// contiguous where possible (simpler mux/demux hardware).
+
+#include <span>
+#include <vector>
+
+#include "wdm/assign.hpp"
+
+namespace operon::wdm {
+
+struct WavelengthAssignment {
+  std::size_t allocation = 0;  ///< index into WdmPlan::allocations
+  std::vector<int> channels;   ///< wavelength indices on that WDM
+};
+
+struct WavelengthPlan {
+  std::vector<WavelengthAssignment> assignments;  ///< per allocation
+  /// Highest channel index used per WDM + 1 (<= capacity when feasible).
+  std::vector<int> channels_used;
+  bool feasible = true;
+};
+
+/// First-fit contiguous assignment per WDM. Feasible whenever the flow
+/// respected capacities (it does); returns the per-allocation channels.
+WavelengthPlan assign_wavelengths(const WdmPlan& plan,
+                                  const model::OpticalParams& optical);
+
+/// Validation: every channel of every WDM used at most once, all
+/// allocations fully assigned, indices within capacity.
+bool wavelengths_valid(const WdmPlan& plan, const WavelengthPlan& wavelengths,
+                       const model::OpticalParams& optical);
+
+}  // namespace operon::wdm

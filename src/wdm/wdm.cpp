@@ -1,0 +1,112 @@
+#include "wdm/wdm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace operon::wdm {
+
+std::vector<Connection> extract_connections(
+    std::span<const codesign::CandidateSet> sets,
+    const codesign::Selection& selection) {
+  OPERON_CHECK(selection.size() == sets.size());
+  std::vector<Connection> connections;
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    const codesign::Candidate& cand = sets[i].options[selection[i]];
+    for (const geom::Segment& seg : cand.optical_segments) {
+      Connection conn;
+      conn.net = sets[i].net;
+      conn.bits = sets[i].bit_count;
+      const double dx = std::abs(seg.b.x - seg.a.x);
+      const double dy = std::abs(seg.b.y - seg.a.y);
+      if (dx >= dy) {
+        conn.axis = Axis::Horizontal;
+        conn.coord = (seg.a.y + seg.b.y) * 0.5;
+        conn.lo = std::min(seg.a.x, seg.b.x);
+        conn.hi = std::max(seg.a.x, seg.b.x);
+      } else {
+        conn.axis = Axis::Vertical;
+        conn.coord = (seg.a.x + seg.b.x) * 0.5;
+        conn.lo = std::min(seg.a.y, seg.b.y);
+        conn.hi = std::max(seg.a.y, seg.b.y);
+      }
+      connections.push_back(conn);
+    }
+  }
+  return connections;
+}
+
+std::vector<Wdm> place_wdms(std::span<const Connection> connections, Axis axis,
+                            const model::OpticalParams& optical) {
+  OPERON_CHECK(optical.valid());
+  // Collect and sort this axis's connections in ascending coordinate.
+  std::vector<const Connection*> sorted;
+  for (const Connection& conn : connections) {
+    if (conn.axis == axis) sorted.push_back(&conn);
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Connection* a, const Connection* b) {
+              if (a->coord != b->coord) return a->coord < b->coord;
+              return a->lo < b->lo;
+            });
+
+  std::vector<Wdm> wdms;
+  for (const Connection* conn : sorted) {
+    OPERON_CHECK_MSG(
+        conn->bits <= static_cast<std::size_t>(optical.wdm_capacity),
+        "connection of " << conn->bits << " bits exceeds WDM capacity "
+                         << optical.wdm_capacity);
+    Wdm* current = wdms.empty() ? nullptr : &wdms.back();
+    const bool fits =
+        current != nullptr &&
+        current->free() >= static_cast<int>(conn->bits) &&
+        std::abs(conn->coord - current->coord) <= optical.dis_upper_um;
+    if (fits) {
+      current->used += static_cast<int>(conn->bits);
+      current->lo = std::min(current->lo, conn->lo);
+      current->hi = std::max(current->hi, conn->hi);
+    } else {
+      Wdm wdm;
+      wdm.axis = axis;
+      wdm.coord = conn->coord;
+      wdm.lo = conn->lo;
+      wdm.hi = conn->hi;
+      wdm.capacity = optical.wdm_capacity;
+      wdm.used = static_cast<int>(conn->bits);
+      wdms.push_back(wdm);
+    }
+  }
+  return wdms;
+}
+
+bool spacing_legal(std::span<const Wdm> wdms, double dis_lower_um) {
+  for (std::size_t i = 0; i < wdms.size(); ++i) {
+    for (std::size_t j = i + 1; j < wdms.size(); ++j) {
+      if (wdms[i].axis != wdms[j].axis) continue;
+      if (std::abs(wdms[i].coord - wdms[j].coord) < dis_lower_um - 1e-9) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void legalize_spacing(std::vector<Wdm>& wdms, double dis_lower_um) {
+  // Per axis: sort by coordinate and push each WDM up to at least
+  // dis_lower above its predecessor (the one-by-one adjustment of §4.1).
+  for (const Axis axis : {Axis::Horizontal, Axis::Vertical}) {
+    std::vector<Wdm*> line;
+    for (Wdm& wdm : wdms) {
+      if (wdm.axis == axis) line.push_back(&wdm);
+    }
+    std::sort(line.begin(), line.end(),
+              [](const Wdm* a, const Wdm* b) { return a->coord < b->coord; });
+    for (std::size_t k = 1; k < line.size(); ++k) {
+      const double min_coord = line[k - 1]->coord + dis_lower_um;
+      if (line[k]->coord < min_coord) line[k]->coord = min_coord;
+    }
+  }
+}
+
+}  // namespace operon::wdm

@@ -1,0 +1,59 @@
+#pragma once
+// WDM placement (§4.1). The selected candidates' optical point-to-point
+// connections are binned by dominant direction; per axis, a greedy sweep
+// in coordinate order packs connections onto shared WDM waveguides
+// subject to the channel capacity and the `disu` attraction window, and
+// a legalization pass enforces the `disl` crosstalk spacing between
+// neighboring WDMs.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "codesign/candidate.hpp"
+#include "codesign/selection.hpp"
+#include "model/params.hpp"
+
+namespace operon::wdm {
+
+enum class Axis : unsigned char { Horizontal, Vertical };
+
+/// One optical point-to-point connection of a selected candidate.
+struct Connection {
+  std::size_t net = 0;    ///< owning hyper net id
+  std::size_t bits = 0;   ///< channels required
+  Axis axis = Axis::Horizontal;
+  double coord = 0.0;     ///< y for Horizontal, x for Vertical
+  double lo = 0.0;        ///< span start along the running direction
+  double hi = 0.0;        ///< span end
+};
+
+struct Wdm {
+  Axis axis = Axis::Horizontal;
+  double coord = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+  int capacity = 0;
+  int used = 0;           ///< channels occupied
+
+  int free() const { return capacity - used; }
+};
+
+/// Dominant-direction classification of the selected optical segments.
+std::vector<Connection> extract_connections(
+    std::span<const codesign::CandidateSet> sets,
+    const codesign::Selection& selection);
+
+/// Greedy sweep placement (§4.1) over one axis; returns the WDMs with
+/// their `used` fields reflecting the sequential assignment.
+std::vector<Wdm> place_wdms(std::span<const Connection> connections,
+                            Axis axis, const model::OpticalParams& optical);
+
+/// Shift WDMs apart (in coordinate order, one by one) until adjacent
+/// same-axis WDMs are at least `dis_lower_um` apart.
+void legalize_spacing(std::vector<Wdm>& wdms, double dis_lower_um);
+
+/// True when no two same-axis WDMs are closer than `dis_lower_um`.
+bool spacing_legal(std::span<const Wdm> wdms, double dis_lower_um);
+
+}  // namespace operon::wdm

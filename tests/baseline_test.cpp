@@ -1,0 +1,108 @@
+// Tests for the Table 1 baselines: the electrical (Streak-like) router
+// and the GLOW-like optical router, including GLOW's split-blindness —
+// the defect OPERON's splitting-loss modeling fixes.
+
+#include <gtest/gtest.h>
+
+#include "baseline/routers.hpp"
+#include "cluster/hypernet_builder.hpp"
+#include "codesign/generate.hpp"
+#include "util/rng.hpp"
+
+namespace ob = operon::baseline;
+namespace oc = operon::codesign;
+namespace om = operon::model;
+namespace og = operon::geom;
+
+namespace {
+
+const om::TechParams kParams = om::TechParams::dac18_defaults();
+
+/// Buses with configurable fan-out (sink blocks) so splitting loss can be
+/// made decisive.
+om::Design fanout_design(std::size_t groups, std::size_t fanout,
+                         std::uint64_t seed) {
+  operon::util::Rng rng(seed);
+  om::Design design;
+  design.name = "fanout";
+  design.chip = og::BBox::of({0, 0}, {20000, 20000});
+  for (std::size_t g = 0; g < groups; ++g) {
+    om::SignalGroup group;
+    group.name = "g" + std::to_string(g);
+    const og::Point src{rng.uniform(500, 3000), rng.uniform(500, 19000)};
+    std::vector<og::Point> blocks;
+    for (std::size_t f = 0; f < fanout; ++f) {
+      blocks.push_back({rng.uniform(12000, 19500), rng.uniform(500, 19000)});
+    }
+    for (int b = 0; b < 10; ++b) {
+      om::SignalBit bit;
+      bit.source = {{src.x + rng.uniform(0, 80), src.y + rng.uniform(0, 80)},
+                    om::PinRole::Source};
+      for (const auto& block : blocks) {
+        bit.sinks.push_back(
+            {{block.x + rng.uniform(0, 80), block.y + rng.uniform(0, 80)},
+             om::PinRole::Sink});
+      }
+      group.bits.push_back(std::move(bit));
+    }
+    design.groups.push_back(std::move(group));
+  }
+  return design;
+}
+
+std::vector<oc::CandidateSet> candidates_for(const om::Design& design,
+                                             const om::TechParams& params) {
+  operon::cluster::SignalProcessingOptions processing;
+  const auto nets = operon::cluster::build_hyper_nets(design, processing);
+  return oc::generate_candidates(design, nets.hyper_nets, params);
+}
+
+}  // namespace
+
+TEST(ElectricalRouter, AllNetsElectrical) {
+  const auto sets = candidates_for(fanout_design(5, 1, 31), kParams);
+  const auto result = ob::route_electrical(sets, kParams);
+  ASSERT_EQ(result.chosen.size(), sets.size());
+  EXPECT_EQ(result.electrical_nets, sets.size());
+  EXPECT_EQ(result.optical_nets, 0u);
+  EXPECT_EQ(result.detection_fallbacks, 0u);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    EXPECT_TRUE(result.chosen[i].pure_electrical());
+    sum += sets[i].electrical().power_pj;
+  }
+  EXPECT_NEAR(result.total_power_pj, sum, 1e-9);
+}
+
+TEST(GlowRouter, LongBusesGoOptical) {
+  const auto sets = candidates_for(fanout_design(5, 1, 32), kParams);
+  const auto glow = ob::route_optical_glow(sets, kParams);
+  EXPECT_EQ(glow.optical_nets, sets.size());
+  const auto electrical = ob::route_electrical(sets, kParams);
+  // The optical design is far cheaper (Table 1: ~3.5x).
+  EXPECT_LT(glow.total_power_pj, electrical.total_power_pj * 0.5);
+}
+
+TEST(GlowRouter, SplitBlindnessCausesFallbacks) {
+  // High fan-out + tight budget: GLOW admits nets based on propagation
+  // only, but the 3-level splitting pushes true loss past lm, forcing
+  // electrical fallbacks.
+  om::TechParams tight = kParams;
+  tight.optical.max_loss_db = 11.0;  // allows propagation+crossings, not 6-way splits
+  const auto sets = candidates_for(fanout_design(6, 6, 33), tight);
+  const auto glow = ob::route_optical_glow(sets, tight);
+  EXPECT_GT(glow.detection_fallbacks, 0u);
+  EXPECT_GT(glow.electrical_nets, 0u);
+  // Fallbacks pay electrical power on those nets.
+  const auto electrical = ob::route_electrical(sets, tight);
+  EXPECT_LE(glow.total_power_pj, electrical.total_power_pj + 1e-9);
+}
+
+TEST(GlowRouter, PowerAccountingConsistent) {
+  const auto sets = candidates_for(fanout_design(4, 2, 34), kParams);
+  const auto glow = ob::route_optical_glow(sets, kParams);
+  double sum = 0.0;
+  for (const auto& cand : glow.chosen) sum += cand.power_pj;
+  EXPECT_NEAR(sum, glow.total_power_pj, 1e-9);
+  EXPECT_EQ(glow.optical_nets + glow.electrical_nets, sets.size());
+}

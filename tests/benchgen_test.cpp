@@ -1,0 +1,118 @@
+// Tests for the synthetic benchmark generator: determinism, validity,
+// and that the five Table 1 cases land near the paper's #Net / #HNet /
+// #HPin statistics after the real signal-processing stage.
+
+#include <gtest/gtest.h>
+
+#include "benchgen/benchgen.hpp"
+#include "cluster/hypernet_builder.hpp"
+#include "util/check.hpp"
+#include "model/params.hpp"
+
+namespace obg = operon::benchgen;
+namespace om = operon::model;
+
+TEST(BenchGen, DeterministicForSeed) {
+  obg::BenchmarkSpec spec;
+  spec.num_groups = 20;
+  spec.seed = 5;
+  const om::Design a = obg::generate_benchmark(spec);
+  const om::Design b = obg::generate_benchmark(spec);
+  ASSERT_EQ(a.groups.size(), b.groups.size());
+  for (std::size_t g = 0; g < a.groups.size(); ++g) {
+    ASSERT_EQ(a.groups[g].bits.size(), b.groups[g].bits.size());
+    EXPECT_EQ(a.groups[g].bits[0].source.location,
+              b.groups[g].bits[0].source.location);
+  }
+}
+
+TEST(BenchGen, GeneratedDesignValidates) {
+  obg::BenchmarkSpec spec;
+  spec.num_groups = 50;
+  spec.sink_blocks_hi = 3;
+  spec.bits_hi = 12;
+  EXPECT_NO_THROW(obg::generate_benchmark(spec).validate());
+}
+
+TEST(BenchGen, SpanRespected) {
+  obg::BenchmarkSpec spec;
+  spec.num_groups = 30;
+  spec.min_span_um = 5000.0;
+  spec.max_span_um = 9000.0;
+  const om::Design design = obg::generate_benchmark(spec);
+  for (const auto& group : design.groups) {
+    // Block centers were >= min_span apart; pins jitter by <= block size,
+    // so pin distance is at least min_span - 2*jitter.
+    const auto& bit = group.bits[0];
+    EXPECT_GE(operon::geom::euclidean(bit.source.location,
+                                      bit.sinks[0].location),
+              spec.min_span_um - 2.0 * spec.block_size_um);
+  }
+}
+
+TEST(BenchGen, UnsatisfiableSpanRejectedNotHung) {
+  obg::BenchmarkSpec spec;
+  spec.chip_um = 6000;
+  spec.min_span_um = 8000;
+  spec.max_span_um = 9000;
+  spec.num_groups = 1;
+  EXPECT_THROW(obg::generate_benchmark(spec), operon::util::CheckError);
+}
+
+TEST(BenchGen, UnknownCaseRejected) {
+  EXPECT_THROW(obg::table1_spec("I9"), operon::util::CheckError);
+}
+
+TEST(BenchGen, FiveCasesListed) {
+  const auto cases = obg::table1_cases();
+  ASSERT_EQ(cases.size(), 5u);
+  EXPECT_EQ(cases.front(), "I1");
+  EXPECT_EQ(cases.back(), "I5");
+}
+
+struct CaseStats {
+  const char* id;
+  std::size_t nets;   // paper "#Net"
+  std::size_t hnets;  // paper "#HNet"
+  std::size_t hpins;  // paper "#HPin"
+};
+
+class Table1Cases : public ::testing::TestWithParam<CaseStats> {};
+
+TEST_P(Table1Cases, StatisticsTrackPaper) {
+  const CaseStats expected = GetParam();
+  const om::Design design =
+      obg::generate_benchmark(obg::table1_spec(expected.id));
+  design.validate();
+
+  operon::cluster::SignalProcessingOptions processing;
+  processing.kmeans.capacity = static_cast<std::size_t>(
+      om::TechParams::dac18_defaults().optical.wdm_capacity);
+  const auto result = operon::cluster::build_hyper_nets(design, processing);
+
+  // Within 15% of the paper's statistics (the paper's absolute numbers
+  // come from proprietary netlists; we reproduce the regime).
+  const auto near = [](std::size_t actual, std::size_t target) {
+    const double ratio =
+        static_cast<double>(actual) / static_cast<double>(target);
+    return ratio > 0.85 && ratio < 1.15;
+  };
+  EXPECT_TRUE(near(design.num_bits(), expected.nets))
+      << expected.id << ": #Net " << design.num_bits() << " vs "
+      << expected.nets;
+  EXPECT_TRUE(near(result.num_hyper_nets(), expected.hnets))
+      << expected.id << ": #HNet " << result.num_hyper_nets() << " vs "
+      << expected.hnets;
+  EXPECT_TRUE(near(result.num_hyper_pins(), expected.hpins))
+      << expected.id << ": #HPin " << result.num_hyper_pins() << " vs "
+      << expected.hpins;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paper, Table1Cases,
+    ::testing::Values(CaseStats{"I1", 2660, 356, 1306},
+                      CaseStats{"I2", 1782, 837, 1701},
+                      CaseStats{"I3", 5072, 168, 336},
+                      CaseStats{"I4", 3224, 403, 1474},
+                      CaseStats{"I5", 1994, 933, 1897}),
+    [](const auto& info) { return info.param.id; });

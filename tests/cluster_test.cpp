@@ -1,0 +1,233 @@
+// Tests for §3.1 signal processing: capacitated K-Means invariants,
+// bottom-up hyper-pin agglomeration, and hyper-net construction on a
+// whole design. Includes parameterized property sweeps.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "cluster/agglomerate.hpp"
+#include "cluster/hypernet_builder.hpp"
+#include "cluster/kmeans.hpp"
+#include "util/rng.hpp"
+
+namespace oc = operon::cluster;
+namespace om = operon::model;
+namespace og = operon::geom;
+
+namespace {
+
+std::vector<og::Point> random_points(std::uint64_t seed, std::size_t n,
+                                     double extent) {
+  operon::util::Rng rng(seed);
+  std::vector<og::Point> pts(n);
+  for (auto& p : pts) p = {rng.uniform(0, extent), rng.uniform(0, extent)};
+  return pts;
+}
+
+}  // namespace
+
+TEST(KMeans, EmptyInput) {
+  const auto result = oc::capacitated_kmeans({}, {});
+  EXPECT_EQ(result.num_clusters(), 0u);
+  EXPECT_TRUE(result.assignment.empty());
+}
+
+TEST(KMeans, SingleClusterWhenUnderCapacity) {
+  const auto pts = random_points(1, 10, 100.0);
+  oc::KMeansOptions options;
+  options.capacity = 32;
+  const auto result = oc::capacitated_kmeans(pts, options);
+  EXPECT_EQ(result.num_clusters(), 1u);
+  for (std::size_t c : result.assignment) EXPECT_EQ(c, 0u);
+}
+
+TEST(KMeans, SeparatedBlobsFound) {
+  // Two well-separated blobs of 20 points with capacity 20 must split
+  // cleanly: every cluster is spatially pure.
+  operon::util::Rng rng(5);
+  std::vector<og::Point> pts;
+  for (int i = 0; i < 20; ++i)
+    pts.push_back({rng.uniform(0, 10), rng.uniform(0, 10)});
+  for (int i = 0; i < 20; ++i)
+    pts.push_back({rng.uniform(1000, 1010), rng.uniform(1000, 1010)});
+  oc::KMeansOptions options;
+  options.capacity = 20;
+  const auto result = oc::capacitated_kmeans(pts, options);
+  EXPECT_EQ(result.num_clusters(), 2u);
+  // All left-blob points share a cluster, all right-blob points the other.
+  const std::size_t left = result.assignment[0];
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(result.assignment[static_cast<std::size_t>(i)], left);
+  const std::size_t right = result.assignment[20];
+  EXPECT_NE(left, right);
+  for (int i = 20; i < 40; ++i) EXPECT_EQ(result.assignment[static_cast<std::size_t>(i)], right);
+}
+
+TEST(KMeans, DeterministicForSeed) {
+  const auto pts = random_points(9, 100, 5000.0);
+  oc::KMeansOptions options;
+  options.capacity = 16;
+  options.seed = 777;
+  const auto a = oc::capacitated_kmeans(pts, options);
+  const auto b = oc::capacitated_kmeans(pts, options);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+struct KMeansSweep {
+  std::size_t n;
+  std::size_t capacity;
+  std::uint64_t seed;
+};
+
+class KMeansProperty : public ::testing::TestWithParam<KMeansSweep> {};
+
+TEST_P(KMeansProperty, CapacityAndCoverageInvariants) {
+  const KMeansSweep sweep = GetParam();
+  const auto pts = random_points(sweep.seed, sweep.n, 10000.0);
+  oc::KMeansOptions options;
+  options.capacity = sweep.capacity;
+  options.seed = sweep.seed;
+  const auto result = oc::capacitated_kmeans(pts, options);
+
+  // Every point assigned to a real cluster.
+  ASSERT_EQ(result.assignment.size(), sweep.n);
+  for (std::size_t c : result.assignment) ASSERT_LT(c, result.num_clusters());
+
+  // Capacity respected, no empty clusters, enough clusters for all bits.
+  const auto sizes = result.cluster_sizes();
+  for (std::size_t s : sizes) {
+    EXPECT_LE(s, sweep.capacity);
+    EXPECT_GE(s, 1u);
+  }
+  const std::size_t min_clusters =
+      (sweep.n + sweep.capacity - 1) / sweep.capacity;
+  EXPECT_GE(result.num_clusters(), min_clusters);
+  EXPECT_GE(result.iterations, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KMeansProperty,
+    ::testing::Values(KMeansSweep{1, 4, 2}, KMeansSweep{4, 4, 3},
+                      KMeansSweep{5, 4, 4}, KMeansSweep{33, 32, 5},
+                      KMeansSweep{64, 32, 6}, KMeansSweep{100, 7, 7},
+                      KMeansSweep{200, 32, 8}, KMeansSweep{257, 32, 9},
+                      KMeansSweep{50, 1, 10}));
+
+TEST(Agglomerate, MergesWithinThreshold) {
+  std::vector<om::PinRef> pins;
+  pins.push_back({0, 0, -1, {0, 0}, om::PinRole::Source});
+  pins.push_back({0, 0, 0, {1, 0}, om::PinRole::Sink});
+  pins.push_back({0, 1, 0, {100, 100}, om::PinRole::Sink});
+  const auto clusters = oc::agglomerate_pins(pins, 10.0);
+  ASSERT_EQ(clusters.size(), 2u);
+  // The two nearby pins share a hyper pin with gravity center (0.5, 0).
+  const auto& merged = clusters[0].pins.size() == 2 ? clusters[0] : clusters[1];
+  EXPECT_EQ(merged.pins.size(), 2u);
+  EXPECT_NEAR(merged.center.x, 0.5, 1e-12);
+}
+
+TEST(Agglomerate, ZeroThresholdKeepsAllSeparate) {
+  std::vector<om::PinRef> pins;
+  for (int i = 0; i < 5; ++i)
+    pins.push_back({0, 0, i, {static_cast<double>(i), 0}, om::PinRole::Sink});
+  EXPECT_EQ(oc::agglomerate_pins(pins, 0.0).size(), 5u);
+}
+
+TEST(Agglomerate, HugeThresholdMergesAll) {
+  std::vector<om::PinRef> pins;
+  for (int i = 0; i < 5; ++i)
+    pins.push_back({0, 0, i, {static_cast<double>(i * 100), 0}, om::PinRole::Sink});
+  const auto clusters = oc::agglomerate_pins(pins, 1e9);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].pins.size(), 5u);
+  EXPECT_NEAR(clusters[0].center.x, 200.0, 1e-12);
+}
+
+TEST(Agglomerate, PreservesPinCount) {
+  operon::util::Rng rng(12);
+  std::vector<om::PinRef> pins;
+  for (int i = 0; i < 40; ++i) {
+    pins.push_back({0, static_cast<std::size_t>(i), 0,
+                    {rng.uniform(0, 1000), rng.uniform(0, 1000)},
+                    om::PinRole::Sink});
+  }
+  const auto clusters = oc::agglomerate_pins(pins, 150.0);
+  std::size_t total = 0;
+  for (const auto& hp : clusters) total += hp.pins.size();
+  EXPECT_EQ(total, 40u);
+}
+
+namespace {
+
+om::Design two_block_design(std::size_t bits_per_group, std::size_t groups) {
+  operon::util::Rng rng(2026);
+  om::Design design;
+  design.name = "twoblock";
+  design.chip = og::BBox::of({0, 0}, {20000, 20000});
+  for (std::size_t g = 0; g < groups; ++g) {
+    om::SignalGroup group;
+    group.name = "g" + std::to_string(g);
+    const og::Point src_base{rng.uniform(500, 3000), rng.uniform(500, 3000)};
+    const og::Point dst_base{rng.uniform(15000, 19000), rng.uniform(15000, 19000)};
+    for (std::size_t b = 0; b < bits_per_group; ++b) {
+      om::SignalBit bit;
+      bit.source = {{src_base.x + rng.uniform(0, 200), src_base.y + rng.uniform(0, 200)},
+                    om::PinRole::Source};
+      bit.sinks.push_back({{dst_base.x + rng.uniform(0, 200),
+                            dst_base.y + rng.uniform(0, 200)},
+                           om::PinRole::Sink});
+      group.bits.push_back(std::move(bit));
+    }
+    design.groups.push_back(std::move(group));
+  }
+  return design;
+}
+
+}  // namespace
+
+TEST(HyperNetBuilder, CoversEveryBitExactlyOnce) {
+  const om::Design design = two_block_design(70, 3);
+  oc::SignalProcessingOptions options;
+  options.kmeans.capacity = 32;
+  const auto result = oc::build_hyper_nets(design, options);
+
+  // 70 bits with capacity 32 -> at least 3 hyper nets per group.
+  EXPECT_GE(result.num_hyper_nets(), 9u);
+  std::set<std::pair<std::size_t, std::size_t>> covered;
+  for (const auto& net : result.hyper_nets) {
+    net.validate(design);
+    for (std::size_t bit : net.bits) {
+      EXPECT_TRUE(covered.insert({net.group, bit}).second)
+          << "bit covered twice";
+    }
+    EXPECT_LE(net.bit_count(), 32u);
+  }
+  EXPECT_EQ(covered.size(), design.num_bits());
+}
+
+TEST(HyperNetBuilder, HyperPinsCompressPins) {
+  const om::Design design = two_block_design(32, 1);
+  oc::SignalProcessingOptions options;
+  options.kmeans.capacity = 32;
+  options.pin_merge_threshold_um = 600.0;
+  const auto result = oc::build_hyper_nets(design, options);
+  ASSERT_EQ(result.num_hyper_nets(), 1u);
+  const auto& net = result.hyper_nets[0];
+  // 64 electrical pins collapse into very few hyper pins (tight blocks).
+  EXPECT_LE(net.pins.size(), 4u);
+  EXPECT_GE(net.pins.size(), 2u);
+  EXPECT_TRUE(net.pins[net.root].has_source());
+}
+
+TEST(HyperNetBuilder, TinyThresholdKeepsPinsApart) {
+  const om::Design design = two_block_design(8, 1);
+  oc::SignalProcessingOptions options;
+  options.kmeans.capacity = 32;
+  options.pin_merge_threshold_um = 0.0;
+  const auto result = oc::build_hyper_nets(design, options);
+  ASSERT_EQ(result.num_hyper_nets(), 1u);
+  // Every pin its own hyper pin: 8 sources + 8 sinks.
+  EXPECT_EQ(result.hyper_nets[0].pins.size(), 16u);
+  EXPECT_EQ(result.num_hyper_pins(), 16u);
+}

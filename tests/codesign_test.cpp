@@ -1,0 +1,402 @@
+// Tests for the co-design stage. The key property test checks the DP
+// against brute-force enumeration of all 2^|edges| labelings: the DP's
+// label state (power, open loss, open detectors) is a sufficient
+// statistic, so its best candidate must match the enumerated optimum and
+// its root set must cover the enumerated (power, worst-loss) Pareto
+// frontier.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "cluster/hypernet_builder.hpp"
+#include "codesign/assemble.hpp"
+#include "codesign/crossing.hpp"
+#include "codesign/dp.hpp"
+#include "codesign/generate.hpp"
+#include "model/params.hpp"
+#include "steiner/bi1s.hpp"
+#include "util/rng.hpp"
+
+namespace oc = operon::codesign;
+namespace os = operon::steiner;
+namespace om = operon::model;
+namespace og = operon::geom;
+
+namespace {
+
+const om::TechParams kParams = om::TechParams::dac18_defaults();
+
+/// A simple 3-terminal star: root at origin, two sinks far right/up,
+/// joined through a Steiner point.
+os::SteinerTree star_tree() {
+  os::SteinerTree tree;
+  tree.points = {{0, 0}, {12000, 3000}, {12000, -3000}, {9000, 0}};
+  tree.num_terminals = 3;
+  tree.edges = {{0, 3}, {3, 1}, {3, 2}};
+  return tree;
+}
+
+oc::AssembleContext make_ctx(const os::SteinerTree& tree,
+                             const os::RootedTree& rooted,
+                             std::size_t bits = 16) {
+  oc::AssembleContext ctx;
+  ctx.tree = &tree;
+  ctx.rooted = &rooted;
+  ctx.bit_count = bits;
+  ctx.params = &kParams;
+  return ctx;
+}
+
+}  // namespace
+
+TEST(SegmentIndexTest, CountsAndExcludesOwnNet) {
+  og::BBox chip = og::BBox::of({0, 0}, {100, 100});
+  oc::SegmentIndex index(chip, 8);
+  index.add(0, {{0, 50}, {100, 50}});   // horizontal, net 0
+  index.add(1, {{0, 60}, {100, 60}});   // horizontal, net 1
+  const og::Segment vertical{{50, 0}, {50, 100}};
+  EXPECT_EQ(index.count_crossings(vertical, 99), 2u);
+  EXPECT_EQ(index.count_crossings(vertical, 0), 1u);  // net-0 bar excluded
+  EXPECT_EQ(index.num_segments(), 2u);
+}
+
+TEST(SegmentIndexTest, NoDoubleCountAcrossCells) {
+  // A long segment spans many grid cells; the crossing must count once.
+  og::BBox chip = og::BBox::of({0, 0}, {1000, 1000});
+  oc::SegmentIndex index(chip, 32);
+  index.add(0, {{0, 500}, {1000, 500}});
+  EXPECT_EQ(index.count_crossings({{500, 0}, {500, 1000}}, 99), 1u);
+}
+
+TEST(Assemble, AllElectricalStar) {
+  const os::SteinerTree tree = star_tree();
+  const os::RootedTree rooted = os::RootedTree::build(tree, 0);
+  const auto ctx = make_ctx(tree, rooted);
+  const oc::Candidate cand = oc::assemble_candidate(
+      ctx, std::vector<oc::EdgeKind>(4, oc::EdgeKind::Electrical), 0);
+  EXPECT_TRUE(cand.pure_electrical());
+  EXPECT_EQ(cand.num_modulators, 0);
+  EXPECT_EQ(cand.num_detectors, 0);
+  EXPECT_TRUE(cand.paths.empty());
+  const double wl = 9000.0 + (3000 + 3000) + (3000 + 3000);
+  EXPECT_NEAR(cand.electrical_wl_um, wl, 1e-9);
+  EXPECT_NEAR(cand.power_pj,
+              16.0 * kParams.electrical.energy_pj_per_bit(wl), 1e-9);
+}
+
+TEST(Assemble, AllOpticalStar) {
+  const os::SteinerTree tree = star_tree();
+  const os::RootedTree rooted = os::RootedTree::build(tree, 0);
+  const auto ctx = make_ctx(tree, rooted);
+  const oc::Candidate cand = oc::assemble_candidate(
+      ctx, std::vector<oc::EdgeKind>(4, oc::EdgeKind::Optical), 0);
+  EXPECT_FALSE(cand.pure_electrical());
+  EXPECT_EQ(cand.num_modulators, 1);  // one component from the root
+  EXPECT_EQ(cand.num_detectors, 2);   // two sinks tap off
+  ASSERT_EQ(cand.paths.size(), 2u);
+  // Each path: 9000 um trunk + ~3162 um arm, one 2-way split at the
+  // Steiner point.
+  const double arm = std::hypot(3000.0, 3000.0);
+  const double expected =
+      kParams.optical.alpha_db_per_um * (9000.0 + arm) +
+      10.0 * std::log10(2.0);
+  EXPECT_NEAR(cand.paths[0].static_loss_db, expected, 1e-6);
+  EXPECT_NEAR(cand.paths[0].splitting_db, 10.0 * std::log10(2.0), 1e-9);
+  EXPECT_NEAR(cand.power_pj,
+              16.0 * (kParams.optical.pmod_pj_per_bit +
+                      2 * kParams.optical.pdet_pj_per_bit),
+              1e-9);
+  ASSERT_EQ(cand.modulator_sites.size(), 1u);
+  EXPECT_EQ(cand.modulator_sites[0], tree.points[0]);
+  EXPECT_EQ(cand.detector_sites.size(), 2u);
+}
+
+TEST(Assemble, MixedTrunkOpticalArmsElectrical) {
+  // Optical trunk to the Steiner point, electrical arms: the Steiner
+  // point needs a detector (it feeds electrical children); 1 mod + 1 det.
+  const os::SteinerTree tree = star_tree();
+  const os::RootedTree rooted = os::RootedTree::build(tree, 0);
+  const auto ctx = make_ctx(tree, rooted);
+  std::vector<oc::EdgeKind> kinds(4, oc::EdgeKind::Electrical);
+  kinds[3] = oc::EdgeKind::Optical;  // root -> steiner
+  const oc::Candidate cand = oc::assemble_candidate(ctx, kinds, 0);
+  EXPECT_EQ(cand.num_modulators, 1);
+  EXPECT_EQ(cand.num_detectors, 1);
+  ASSERT_EQ(cand.paths.size(), 1u);
+  // No splitting: single arm continues into the local detector.
+  EXPECT_NEAR(cand.paths[0].splitting_db, 0.0, 1e-12);
+  EXPECT_NEAR(cand.paths[0].static_loss_db,
+              kParams.optical.alpha_db_per_um * 9000.0, 1e-9);
+  EXPECT_NEAR(cand.electrical_wl_um, 12000.0, 1e-9);
+}
+
+TEST(Assemble, TwoSeparateComponents) {
+  // Electrical trunk, both arms optical: each arm is its own component
+  // with its own modulator at the Steiner point... both arms start at the
+  // same top, so they form ONE component with a 2-way split.
+  const os::SteinerTree tree = star_tree();
+  const os::RootedTree rooted = os::RootedTree::build(tree, 0);
+  const auto ctx = make_ctx(tree, rooted);
+  std::vector<oc::EdgeKind> kinds(4, oc::EdgeKind::Optical);
+  kinds[3] = oc::EdgeKind::Electrical;  // trunk electrical
+  const oc::Candidate cand = oc::assemble_candidate(ctx, kinds, 0);
+  EXPECT_EQ(cand.num_modulators, 1);
+  EXPECT_EQ(cand.num_detectors, 2);
+  ASSERT_EQ(cand.paths.size(), 2u);
+  EXPECT_NEAR(cand.paths[0].splitting_db, 10.0 * std::log10(2.0), 1e-9);
+}
+
+TEST(Assemble, PassThroughSinkAddsTapArm) {
+  // Chain root -> sinkA -> sinkB, all optical: at sinkA the light both
+  // taps locally and continues, so a 2-way split applies and sinkA and
+  // sinkB are separate detector paths.
+  os::SteinerTree tree;
+  tree.points = {{0, 0}, {8000, 0}, {16000, 0}};
+  tree.num_terminals = 3;
+  tree.edges = {{0, 1}, {1, 2}};
+  const os::RootedTree rooted = os::RootedTree::build(tree, 0);
+  const auto ctx = make_ctx(tree, rooted);
+  const oc::Candidate cand = oc::assemble_candidate(
+      ctx, std::vector<oc::EdgeKind>(3, oc::EdgeKind::Optical), 0);
+  EXPECT_EQ(cand.num_modulators, 1);
+  EXPECT_EQ(cand.num_detectors, 2);
+  ASSERT_EQ(cand.paths.size(), 2u);
+  const double alpha = kParams.optical.alpha_db_per_um;
+  const double split = 10.0 * std::log10(2.0);
+  // Path at sinkA: 8000 um + split; path at sinkB: 16000 um + split.
+  std::vector<double> losses{cand.paths[0].static_loss_db,
+                             cand.paths[1].static_loss_db};
+  std::sort(losses.begin(), losses.end());
+  EXPECT_NEAR(losses[0], alpha * 8000.0 + split, 1e-9);
+  EXPECT_NEAR(losses[1], alpha * 16000.0 + split, 1e-9);
+}
+
+// ---------------------------------------------------------------------
+// DP vs brute force.
+
+namespace {
+
+struct Enumerated {
+  double power;
+  double worst_loss;
+};
+
+/// All 2^edges labelings of a tree, assembled; returns (power, worst
+/// static loss) of those that are detection-feasible in isolation.
+std::vector<Enumerated> brute_force(const oc::AssembleContext& ctx) {
+  const std::size_t n = ctx.tree->num_points();
+  std::vector<std::size_t> edge_nodes;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (v != ctx.rooted->root) edge_nodes.push_back(v);
+  }
+  std::vector<Enumerated> out;
+  for (std::size_t mask = 0; mask < (1ull << edge_nodes.size()); ++mask) {
+    std::vector<oc::EdgeKind> kinds(n, oc::EdgeKind::Electrical);
+    for (std::size_t b = 0; b < edge_nodes.size(); ++b) {
+      if (mask & (1ull << b)) kinds[edge_nodes[b]] = oc::EdgeKind::Optical;
+    }
+    const oc::Candidate cand = oc::assemble_candidate(ctx, kinds, 0);
+    if (cand.worst_estimated_loss_db() > ctx.params->optical.max_loss_db)
+      continue;
+    out.push_back({cand.power_pj, cand.worst_estimated_loss_db()});
+  }
+  return out;
+}
+
+os::SteinerTree random_tree(operon::util::Rng& rng, std::size_t terminals,
+                            double extent) {
+  std::vector<og::Point> pts(terminals);
+  for (auto& p : pts) p = {rng.uniform(0, extent), rng.uniform(0, extent)};
+  return os::bi1s(pts, {.metric = os::Metric::Euclidean});
+}
+
+}  // namespace
+
+TEST(DpVsBruteForce, BestPowerMatches) {
+  operon::util::Rng rng(4242);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t terminals = 3 + static_cast<std::size_t>(trial % 4);
+    const os::SteinerTree tree = random_tree(rng, terminals, 15000.0);
+    const os::RootedTree rooted = os::RootedTree::build(tree, 0);
+    const std::size_t bits = 8 + static_cast<std::size_t>(rng.uniform_int(0, 24));
+    const auto ctx = make_ctx(tree, rooted, bits);
+
+    const auto enumerated = brute_force(ctx);
+    ASSERT_FALSE(enumerated.empty());
+    double best_bf = 1e18;
+    for (const auto& e : enumerated) best_bf = std::min(best_bf, e.power);
+
+    oc::DpOptions options;
+    options.max_labels = 64;
+    const auto candidates = oc::run_codesign_dp(ctx, 0, options);
+    ASSERT_FALSE(candidates.empty());
+    double best_dp = 1e18;
+    for (const auto& c : candidates) {
+      if (c.worst_estimated_loss_db() <= ctx.params->optical.max_loss_db) {
+        best_dp = std::min(best_dp, c.power_pj);
+      }
+    }
+    EXPECT_NEAR(best_dp, best_bf, 1e-6)
+        << "trial " << trial << " terminals " << terminals << " bits " << bits;
+  }
+}
+
+TEST(DpVsBruteForce, CoversParetoFrontier) {
+  operon::util::Rng rng(777);
+  for (int trial = 0; trial < 10; ++trial) {
+    const os::SteinerTree tree = random_tree(rng, 4, 12000.0);
+    const os::RootedTree rooted = os::RootedTree::build(tree, 0);
+    const auto ctx = make_ctx(tree, rooted, 16);
+
+    // Enumerated Pareto frontier on (power, worst loss).
+    auto enumerated = brute_force(ctx);
+    std::vector<Enumerated> frontier;
+    for (const auto& e : enumerated) {
+      bool dominated = false;
+      for (const auto& other : enumerated) {
+        if (other.power < e.power - 1e-9 &&
+            other.worst_loss <= e.worst_loss + 1e-9) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) frontier.push_back(e);
+    }
+
+    oc::DpOptions options;
+    options.max_labels = 0;  // unlimited
+    const auto candidates = oc::run_codesign_dp(ctx, 0, options);
+
+    // Every frontier point has a DP candidate at least as good.
+    for (const auto& f : frontier) {
+      bool covered = false;
+      for (const auto& c : candidates) {
+        if (c.power_pj <= f.power + 1e-6 &&
+            c.worst_estimated_loss_db() <= f.worst_loss + 1e-6) {
+          covered = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(covered) << "frontier point (power " << f.power << ", loss "
+                           << f.worst_loss << ") not covered in trial "
+                           << trial;
+    }
+  }
+}
+
+TEST(Dp, TightLossBudgetForcesElectrical) {
+  // With a lm too small for even one span, the only feasible candidate
+  // is all-electrical.
+  om::TechParams tight = kParams;
+  tight.optical.max_loss_db = 0.5;
+  const os::SteinerTree tree = star_tree();
+  const os::RootedTree rooted = os::RootedTree::build(tree, 0);
+  oc::AssembleContext ctx = make_ctx(tree, rooted);
+  ctx.params = &tight;
+  const auto candidates = oc::run_codesign_dp(ctx, 0);
+  for (const auto& c : candidates) {
+    if (c.worst_estimated_loss_db() <= tight.optical.max_loss_db) {
+      EXPECT_TRUE(c.pure_electrical());
+    }
+  }
+}
+
+TEST(Dp, PruningKeepsBestPower) {
+  // Aggressive label caps must not lose the min-power candidate on a
+  // moderately sized tree (regression guard for the closed-label
+  // preservation logic).
+  operon::util::Rng rng(31337);
+  const os::SteinerTree tree = random_tree(rng, 6, 15000.0);
+  const os::RootedTree rooted = os::RootedTree::build(tree, 0);
+  const auto ctx = make_ctx(tree, rooted, 20);
+
+  oc::DpOptions wide;
+  wide.max_labels = 0;
+  oc::DpOptions narrow;
+  narrow.max_labels = 4;
+  const auto wide_cands = oc::run_codesign_dp(ctx, 0, wide);
+  const auto narrow_cands = oc::run_codesign_dp(ctx, 0, narrow);
+  ASSERT_FALSE(narrow_cands.empty());
+  // Narrow never beats wide, and stays within 10% of it.
+  EXPECT_GE(narrow_cands[0].power_pj, wide_cands[0].power_pj - 1e-9);
+  EXPECT_LE(narrow_cands[0].power_pj, wide_cands[0].power_pj * 1.10 + 1e-9);
+}
+
+// ---------------------------------------------------------------------
+// Generation driver.
+
+namespace {
+
+om::Design bus_design(std::size_t groups, std::size_t bits,
+                      std::uint64_t seed) {
+  operon::util::Rng rng(seed);
+  om::Design design;
+  design.name = "gen";
+  design.chip = og::BBox::of({0, 0}, {20000, 20000});
+  for (std::size_t g = 0; g < groups; ++g) {
+    om::SignalGroup group;
+    group.name = "g" + std::to_string(g);
+    const og::Point src{rng.uniform(500, 6000), rng.uniform(500, 19000)};
+    const og::Point dst{rng.uniform(12000, 19500), rng.uniform(500, 19000)};
+    for (std::size_t b = 0; b < bits; ++b) {
+      om::SignalBit bit;
+      bit.source = {{src.x + rng.uniform(0, 100), src.y + rng.uniform(0, 100)},
+                    om::PinRole::Source};
+      bit.sinks.push_back(
+          {{dst.x + rng.uniform(0, 100), dst.y + rng.uniform(0, 100)},
+           om::PinRole::Sink});
+      group.bits.push_back(std::move(bit));
+    }
+    design.groups.push_back(std::move(group));
+  }
+  return design;
+}
+
+}  // namespace
+
+TEST(Generate, InvariantsOnSmallDesign) {
+  const om::Design design = bus_design(6, 16, 99);
+  operon::cluster::SignalProcessingOptions processing;
+  const auto nets = operon::cluster::build_hyper_nets(design, processing);
+  ASSERT_EQ(nets.num_hyper_nets(), 6u);
+
+  const auto sets = oc::generate_candidates(design, nets.hyper_nets, kParams);
+  ASSERT_EQ(sets.size(), 6u);
+  for (const auto& set : sets) {
+    ASSERT_GE(set.options.size(), 1u);
+    EXPECT_EQ(set.electrical_index, set.options.size() - 1);
+    EXPECT_TRUE(set.electrical().pure_electrical());
+    EXPECT_EQ(set.bit_count, 16u);
+    // Candidates are sorted by power (except the trailing a_ie).
+    for (std::size_t c = 1; c + 1 < set.options.size(); ++c) {
+      EXPECT_LE(set.options[c - 1].power_pj, set.options[c].power_pj + 1e-9);
+    }
+    // At 1.4+ cm spans, optics must beat copper: the best co-design
+    // candidate is optical and cheaper than the electrical fallback.
+    ASSERT_GE(set.options.size(), 2u);
+    EXPECT_FALSE(set.options[0].pure_electrical());
+    EXPECT_LT(set.options[0].power_pj, set.electrical().power_pj);
+    // All kept candidates are detection-feasible in isolation.
+    for (const auto& cand : set.options) {
+      EXPECT_LE(cand.worst_estimated_loss_db(),
+                kParams.optical.max_loss_db + 1e-6);
+    }
+  }
+}
+
+TEST(Generate, BBoxCoversOpticalGeometry) {
+  const om::Design design = bus_design(3, 8, 7);
+  operon::cluster::SignalProcessingOptions processing;
+  const auto nets = operon::cluster::build_hyper_nets(design, processing);
+  const auto sets = oc::generate_candidates(design, nets.hyper_nets, kParams);
+  for (const auto& set : sets) {
+    for (const auto& cand : set.options) {
+      for (const auto& seg : cand.optical_segments) {
+        EXPECT_TRUE(set.bbox.contains(seg.a));
+        EXPECT_TRUE(set.bbox.contains(seg.b));
+      }
+    }
+  }
+}

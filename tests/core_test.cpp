@@ -1,0 +1,163 @@
+// Integration tests: the full OPERON pipeline end-to-end on synthetic
+// designs (both solvers), the power-map builder, and the Table 1
+// qualitative ordering electrical > GLOW > OPERON on a small case.
+
+#include <gtest/gtest.h>
+
+#include "baseline/routers.hpp"
+#include "benchgen/benchgen.hpp"
+#include "core/flow.hpp"
+#include "core/powermap.hpp"
+
+namespace ocore = operon::core;
+namespace obg = operon::benchgen;
+namespace oc = operon::codesign;
+namespace om = operon::model;
+
+namespace {
+
+obg::BenchmarkSpec small_spec(std::uint64_t seed) {
+  obg::BenchmarkSpec spec;
+  spec.name = "it";
+  spec.num_groups = 12;
+  spec.bits_lo = 4;
+  spec.bits_hi = 12;
+  spec.sink_blocks_lo = 1;
+  spec.sink_blocks_hi = 2;
+  spec.seed = seed;
+  return spec;
+}
+
+}  // namespace
+
+TEST(OperonFlow, EndToEndLr) {
+  const om::Design design = obg::generate_benchmark(small_spec(900));
+  ocore::OperonOptions options;
+  options.solver = ocore::SolverKind::Lr;
+  const auto result = ocore::run_operon(design, options);
+
+  EXPECT_GT(result.processing.num_hyper_nets(), 0u);
+  ASSERT_EQ(result.sets.size(), result.processing.num_hyper_nets());
+  ASSERT_EQ(result.selection.size(), result.sets.size());
+  EXPECT_TRUE(result.violations.clean());
+  EXPECT_GT(result.power_pj, 0.0);
+  EXPECT_GT(result.optical_nets, 0u);
+  EXPECT_GE(result.lr_iterations, 1u);
+
+  // WDM stage ran and is consistent.
+  EXPECT_GT(result.wdm_plan.connections.size(), 0u);
+  EXPECT_TRUE(result.wdm_plan.feasible);
+  EXPECT_LE(result.wdm_plan.final_wdms, result.wdm_plan.initial_wdms);
+  EXPECT_GT(result.times.total_s(), 0.0);
+}
+
+TEST(OperonFlow, EndToEndIlpMatchesOrBeatsLr) {
+  const om::Design design = obg::generate_benchmark(small_spec(901));
+  ocore::OperonOptions ilp;
+  ilp.solver = ocore::SolverKind::IlpExact;
+  ilp.select.time_limit_s = 30.0;
+  const auto ilp_result = ocore::run_operon(design, ilp);
+
+  ocore::OperonOptions lr;
+  lr.solver = ocore::SolverKind::Lr;
+  const auto lr_result = ocore::run_operon(design, lr);
+
+  EXPECT_TRUE(ilp_result.violations.clean());
+  EXPECT_TRUE(lr_result.violations.clean());
+  if (ilp_result.proven_optimal) {
+    EXPECT_LE(ilp_result.power_pj, lr_result.power_pj + 1e-9);
+  }
+}
+
+TEST(OperonFlow, Table1OrderingHolds) {
+  // electrical ~3.5x optical; OPERON <= GLOW.
+  const om::Design design = obg::generate_benchmark(small_spec(902));
+  ocore::OperonOptions options;
+  options.solver = ocore::SolverKind::Lr;
+  const auto operon_result = ocore::run_operon(design, options);
+
+  const auto electrical =
+      operon::baseline::route_electrical(operon_result.sets, options.params);
+  const auto glow =
+      operon::baseline::route_optical_glow(operon_result.sets, options.params);
+
+  EXPECT_GT(electrical.total_power_pj, glow.total_power_pj * 1.5);
+  EXPECT_LE(operon_result.power_pj, glow.total_power_pj * 1.02 + 1e-9);
+}
+
+TEST(OperonFlow, SelectionOnlyReproducesPipelineStage) {
+  const om::Design design = obg::generate_benchmark(small_spec(903));
+  ocore::OperonOptions options;
+  options.solver = ocore::SolverKind::Lr;
+  const auto full = ocore::run_operon(design, options);
+  const auto redo = ocore::run_selection_only(full.sets, options);
+  EXPECT_NEAR(redo.power_pj, full.power_pj, 1e-9);
+  EXPECT_EQ(redo.selection, full.selection);
+}
+
+TEST(PowerMap, DepositsMatchTotals) {
+  const om::Design design = obg::generate_benchmark(small_spec(904));
+  ocore::OperonOptions options;
+  const auto result = ocore::run_operon(design, options);
+
+  std::vector<oc::Candidate> chosen;
+  for (std::size_t i = 0; i < result.sets.size(); ++i) {
+    chosen.push_back(result.sets[i].options[result.selection[i]]);
+  }
+  const auto map = ocore::build_power_map(design.chip, result.sets, chosen,
+                                          options.params, 32);
+  ASSERT_EQ(map.optical.size(), 32u * 32u);
+
+  double optical_expected = 0.0, electrical_expected = 0.0;
+  for (std::size_t i = 0; i < chosen.size(); ++i) {
+    optical_expected += chosen[i].optical_power_pj;
+    electrical_expected += chosen[i].electrical_power_pj;
+  }
+  EXPECT_NEAR(map.total_optical(), optical_expected, 1e-6);
+  EXPECT_NEAR(map.total_electrical(), electrical_expected, 1e-6);
+  EXPECT_NEAR(map.total_optical() + map.total_electrical(), result.power_pj,
+              1e-6);
+}
+
+TEST(PowerMap, HotspotShareAndRendering) {
+  const om::Design design = obg::generate_benchmark(small_spec(905));
+  ocore::OperonOptions options;
+  const auto result = ocore::run_operon(design, options);
+  std::vector<oc::Candidate> chosen;
+  for (std::size_t i = 0; i < result.sets.size(); ++i) {
+    chosen.push_back(result.sets[i].options[result.selection[i]]);
+  }
+  const auto map = ocore::build_power_map(design.chip, result.sets, chosen,
+                                          options.params, 16);
+  const double top = map.optical_hotspot_share(8);
+  EXPECT_GT(top, 0.0);
+  EXPECT_LE(top, 1.0 + 1e-12);
+  EXPECT_GE(map.optical_hotspot_share(16 * 16), 1.0 - 1e-9);
+
+  const std::string art = map.ascii(true, 2);
+  EXPECT_FALSE(art.empty());
+  const std::string csv = map.to_csv();
+  EXPECT_NE(csv.find("x,y,optical_pj,electrical_pj"), std::string::npos);
+}
+
+TEST(PowerMap, OperonCoolsElectricalLayerVsGlow) {
+  // Fig 9's claim on a small instance: OPERON's electrical layer carries
+  // (much) less total energy than GLOW's *when GLOW has fallbacks*, and
+  // never more than the all-electrical design.
+  const om::Design design = obg::generate_benchmark(small_spec(906));
+  ocore::OperonOptions options;
+  const auto result = ocore::run_operon(design, options);
+
+  const auto glow =
+      operon::baseline::route_optical_glow(result.sets, options.params);
+  std::vector<oc::Candidate> operon_chosen;
+  for (std::size_t i = 0; i < result.sets.size(); ++i) {
+    operon_chosen.push_back(result.sets[i].options[result.selection[i]]);
+  }
+  const auto operon_map = ocore::build_power_map(
+      design.chip, result.sets, operon_chosen, options.params, 24);
+  const auto glow_map = ocore::build_power_map(design.chip, result.sets,
+                                               glow.chosen, options.params, 24);
+  EXPECT_LE(operon_map.total_electrical(),
+            glow_map.total_electrical() + 1e-6);
+}

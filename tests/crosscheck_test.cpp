@@ -1,0 +1,175 @@
+// Cross-substrate consistency checks: the same problem solved through
+// two independent code paths must agree. These catch subtle solver bugs
+// that single-module unit tests cannot.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+
+#include "flow/mcmf.hpp"
+#include "ilp/bnb.hpp"
+#include "ilp/simplex.hpp"
+#include "util/rng.hpp"
+
+namespace of = operon::flow;
+namespace oi = operon::ilp;
+
+namespace {
+
+/// Build a random transportation instance; return (supply, demand, cost).
+struct Transportation {
+  std::size_t sources;
+  std::size_t sinks;
+  std::vector<std::int64_t> supply;
+  std::vector<std::int64_t> demand;
+  std::vector<double> cost;  // sources x sinks
+
+  double cost_at(std::size_t i, std::size_t j) const {
+    return cost[i * sinks + j];
+  }
+};
+
+Transportation random_transportation(operon::util::Rng& rng) {
+  Transportation t;
+  t.sources = 3 + static_cast<std::size_t>(rng.uniform_int(0, 2));
+  t.sinks = 3 + static_cast<std::size_t>(rng.uniform_int(0, 2));
+  t.supply.resize(t.sources);
+  t.demand.resize(t.sinks);
+  // Balanced instance.
+  std::int64_t total = 0;
+  for (auto& s : t.supply) {
+    s = rng.uniform_int(1, 9);
+    total += s;
+  }
+  std::int64_t remaining = total;
+  for (std::size_t j = 0; j + 1 < t.sinks; ++j) {
+    t.demand[j] = rng.uniform_int(0, remaining);
+    remaining -= t.demand[j];
+  }
+  t.demand[t.sinks - 1] = remaining;
+  t.cost.resize(t.sources * t.sinks);
+  for (auto& c : t.cost) c = rng.uniform(0.0, 10.0);
+  return t;
+}
+
+}  // namespace
+
+// MCMF and the LP (simplex) must find the same optimal transportation
+// cost: two completely independent optimality proofs.
+TEST(CrossCheck, TransportationMcmfEqualsSimplex) {
+  operon::util::Rng rng(1234);
+  for (int trial = 0; trial < 12; ++trial) {
+    const Transportation t = random_transportation(rng);
+
+    // MCMF formulation.
+    of::MinCostMaxFlow graph(2 + t.sources + t.sinks);
+    std::int64_t total = 0;
+    for (std::size_t i = 0; i < t.sources; ++i) {
+      graph.add_edge(0, 2 + i, t.supply[i], 0.0);
+      total += t.supply[i];
+    }
+    for (std::size_t j = 0; j < t.sinks; ++j) {
+      graph.add_edge(2 + t.sources + j, 1, t.demand[j], 0.0);
+    }
+    for (std::size_t i = 0; i < t.sources; ++i) {
+      for (std::size_t j = 0; j < t.sinks; ++j) {
+        graph.add_edge(2 + i, 2 + t.sources + j,
+                       std::min(t.supply[i], t.demand[j]), t.cost_at(i, j));
+      }
+    }
+    const auto flow_result = graph.solve(0, 1);
+    ASSERT_EQ(flow_result.max_flow, total) << "trial " << trial;
+
+    // LP formulation: min sum c_ij x_ij, row sums = supply, col sums =
+    // demand, x >= 0.
+    oi::Model model;
+    oi::LinearExpr objective;
+    std::vector<std::vector<std::size_t>> x(t.sources,
+                                            std::vector<std::size_t>(t.sinks));
+    for (std::size_t i = 0; i < t.sources; ++i) {
+      for (std::size_t j = 0; j < t.sinks; ++j) {
+        x[i][j] = model.add_continuous(0.0, 1e6);
+        objective.push_back({x[i][j], t.cost_at(i, j)});
+      }
+    }
+    for (std::size_t i = 0; i < t.sources; ++i) {
+      oi::LinearExpr row;
+      for (std::size_t j = 0; j < t.sinks; ++j) row.push_back({x[i][j], 1.0});
+      model.add_constraint(std::move(row), oi::Relation::Equal,
+                           static_cast<double>(t.supply[i]));
+    }
+    for (std::size_t j = 0; j < t.sinks; ++j) {
+      oi::LinearExpr col;
+      for (std::size_t i = 0; i < t.sources; ++i) col.push_back({x[i][j], 1.0});
+      model.add_constraint(std::move(col), oi::Relation::Equal,
+                           static_cast<double>(t.demand[j]));
+    }
+    model.set_objective(std::move(objective), oi::Sense::Minimize);
+    const auto lp = oi::solve_lp(model);
+    ASSERT_EQ(lp.status, oi::LpStatus::Optimal) << "trial " << trial;
+
+    EXPECT_NEAR(flow_result.total_cost, lp.objective, 1e-6)
+        << "trial " << trial;
+  }
+}
+
+// Simplex optimality probe: no sampled feasible point beats the optimum.
+TEST(CrossCheck, SimplexBeatsRandomFeasiblePoints) {
+  operon::util::Rng rng(4321);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 4;
+    oi::Model model;
+    oi::LinearExpr objective;
+    for (std::size_t v = 0; v < n; ++v) {
+      model.add_continuous(0.0, 5.0);
+      objective.push_back({v, rng.uniform(-3.0, 3.0)});
+    }
+    for (int r = 0; r < 3; ++r) {
+      oi::LinearExpr expr;
+      for (std::size_t v = 0; v < n; ++v) {
+        expr.push_back({v, rng.uniform(0.0, 2.0)});
+      }
+      model.add_constraint(std::move(expr), oi::Relation::LessEq,
+                           rng.uniform(4.0, 12.0));
+    }
+    model.set_objective(objective, oi::Sense::Minimize);
+    const auto lp = oi::solve_lp(model);
+    ASSERT_EQ(lp.status, oi::LpStatus::Optimal);
+    EXPECT_TRUE(model.is_feasible(lp.values, 1e-6));
+
+    for (int probe = 0; probe < 300; ++probe) {
+      std::vector<double> point(n);
+      for (auto& value : point) value = rng.uniform(0.0, 5.0);
+      if (!model.is_feasible(point, 1e-9)) continue;
+      EXPECT_GE(model.evaluate_objective(point), lp.objective - 1e-6);
+    }
+  }
+}
+
+// B&B on relaxable instances: MIP optimum >= LP optimum (minimization),
+// equal when the LP solution is integral.
+TEST(CrossCheck, MipBoundedByLpRelaxation) {
+  operon::util::Rng rng(5678);
+  for (int trial = 0; trial < 10; ++trial) {
+    oi::Model model;
+    oi::LinearExpr objective;
+    for (int v = 0; v < 8; ++v) {
+      model.add_binary();
+      objective.push_back({static_cast<std::size_t>(v), rng.uniform(0.5, 5.0)});
+    }
+    oi::LinearExpr cover;
+    for (int v = 0; v < 8; ++v) {
+      cover.push_back({static_cast<std::size_t>(v), 1.0});
+    }
+    model.add_constraint(std::move(cover), oi::Relation::GreaterEq, 3.0);
+    model.set_objective(std::move(objective), oi::Sense::Minimize);
+
+    const auto lp = oi::solve_lp(model);
+    const auto mip = oi::solve_mip(model);
+    ASSERT_EQ(lp.status, oi::LpStatus::Optimal);
+    ASSERT_EQ(mip.status, oi::MipStatus::Optimal);
+    EXPECT_GE(mip.objective, lp.objective - 1e-9);
+    EXPECT_TRUE(model.is_feasible(mip.values));
+  }
+}

@@ -1,0 +1,180 @@
+// Edge cases across modules that the mainline tests do not reach:
+// degenerate geometry, boundary parameter values, parser corner cases,
+// and parameterized BI1S quality sweeps.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cluster/agglomerate.hpp"
+#include "core/powermap.hpp"
+#include "model/design.hpp"
+#include "optical/loss.hpp"
+#include "steiner/bi1s.hpp"
+#include "steiner/mst.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+namespace os = operon::steiner;
+namespace og = operon::geom;
+namespace om = operon::model;
+
+// --------------------------------------------------------------------
+// BI1S quality sweep: the Steiner ratio guarantees the optimum is never
+// below ~0.866 (Euclidean) / 2/3 (rectilinear) of the MST; BI1S must
+// stay within [ratio_bound, 1.0] of the MST for any input.
+
+struct Bi1sSweep {
+  std::size_t terminals;
+  std::uint64_t seed;
+};
+
+class Bi1sQuality : public ::testing::TestWithParam<Bi1sSweep> {};
+
+TEST_P(Bi1sQuality, WithinSteinerRatioBounds) {
+  const auto [terminals, seed] = GetParam();
+  operon::util::Rng rng(seed);
+  std::vector<og::Point> pts(terminals);
+  for (auto& p : pts) p = {rng.uniform(0, 10000), rng.uniform(0, 10000)};
+
+  for (const auto metric : {os::Metric::Euclidean, os::Metric::Rectilinear}) {
+    const double mst = os::mst_length(pts, metric);
+    const os::SteinerTree tree = os::bi1s(pts, {.metric = metric});
+    const double length = tree.length(metric);
+    EXPECT_LE(length, mst + 1e-6);
+    // No heuristic can beat the Steiner ratio lower bound.
+    const double bound = metric == os::Metric::Euclidean ? 0.866 : 2.0 / 3.0;
+    EXPECT_GE(length, mst * bound - 1e-6);
+    EXPECT_TRUE(tree.is_connected_tree());
+    // Steiner points all have degree >= 3 after cleanup.
+    const auto degrees = tree.degrees();
+    for (std::size_t v = tree.num_terminals; v < tree.num_points(); ++v) {
+      EXPECT_GE(degrees[v], 3);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, Bi1sQuality,
+    ::testing::Values(Bi1sSweep{3, 11}, Bi1sSweep{5, 12}, Bi1sSweep{7, 13},
+                      Bi1sSweep{9, 14}, Bi1sSweep{12, 15}, Bi1sSweep{15, 16}));
+
+// --------------------------------------------------------------------
+// Degenerate geometry.
+
+TEST(Degenerate, CoincidentTerminalsSteiner) {
+  std::vector<og::Point> pts{{5, 5}, {5, 5}, {5, 5}};
+  const os::SteinerTree tree = os::bi1s(pts);
+  EXPECT_TRUE(tree.is_connected_tree());
+  EXPECT_NEAR(tree.length(os::Metric::Euclidean), 0.0, 1e-12);
+}
+
+TEST(Degenerate, CollinearTerminals) {
+  std::vector<og::Point> pts{{0, 0}, {5, 0}, {10, 0}, {15, 0}};
+  const os::SteinerTree tree = os::bi1s(pts);
+  EXPECT_NEAR(tree.length(os::Metric::Euclidean), 15.0, 1e-9);
+  EXPECT_EQ(tree.num_steiner(), 0u);  // nothing to gain on a line
+}
+
+TEST(Degenerate, AgglomerateSinglePin) {
+  std::vector<om::PinRef> pins;
+  pins.push_back({0, 0, -1, {3, 4}, om::PinRole::Source});
+  const auto clusters = operon::cluster::agglomerate_pins(pins, 100.0);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].center, (og::Point{3, 4}));
+}
+
+TEST(Degenerate, AgglomerateEmpty) {
+  EXPECT_TRUE(operon::cluster::agglomerate_pins({}, 100.0).empty());
+}
+
+TEST(Degenerate, PowerMapSingleCell) {
+  using operon::core::PowerMap;
+  const og::BBox chip = og::BBox::of({0, 0}, {100, 100});
+  const auto map = operon::core::build_power_map(chip, {}, {},
+                                                 om::TechParams::dac18_defaults(),
+                                                 1);
+  EXPECT_EQ(map.optical.size(), 1u);
+  EXPECT_DOUBLE_EQ(map.total_optical(), 0.0);
+  EXPECT_DOUBLE_EQ(map.optical_hotspot_share(5), 0.0);  // no energy at all
+}
+
+// --------------------------------------------------------------------
+// Loss model boundaries.
+
+TEST(LossEdge, HugeArmsAndZeroLength) {
+  const om::OpticalParams params = om::TechParams::dac18_defaults().optical;
+  EXPECT_NEAR(operon::optical::splitting_loss_db(params, 1024),
+              10.0 * std::log10(1024.0), 1e-9);
+  const auto loss = operon::optical::path_loss(params, 0.0, 0, {});
+  EXPECT_DOUBLE_EQ(loss.total_db(), 0.0);
+  EXPECT_TRUE(operon::optical::detectable(params, 0.0));
+}
+
+TEST(LossEdge, NegativeInputsRejected) {
+  const om::OpticalParams params = om::TechParams::dac18_defaults().optical;
+  EXPECT_THROW(operon::optical::path_loss(params, -1.0, 0, {}),
+               operon::util::CheckError);
+  EXPECT_THROW(operon::optical::path_loss(params, 1.0, -1, {}),
+               operon::util::CheckError);
+  EXPECT_THROW(operon::optical::conversion_energy_pj(params, -1, 0),
+               operon::util::CheckError);
+}
+
+// --------------------------------------------------------------------
+// Parser corner cases.
+
+TEST(ParserEdge, ScientificNotationCoordinates) {
+  std::stringstream ss;
+  ss << "design sci\nchip 0 0 2e4 2e4\ngroup g\nbit S 1e3 1.5e3 T 1.9e4 5e2\n";
+  const om::Design design = om::read_design(ss);
+  EXPECT_DOUBLE_EQ(design.chip.xhi, 20000.0);
+  EXPECT_DOUBLE_EQ(design.groups[0].bits[0].source.location.x, 1000.0);
+  EXPECT_NO_THROW(design.validate());
+}
+
+TEST(ParserEdge, WindowsLineEndings) {
+  std::stringstream ss;
+  ss << "design crlf\r\nchip 0 0 10 10\r\ngroup g\r\nbit S 1 1 T 2 2\r\n";
+  const om::Design design = om::read_design(ss);
+  EXPECT_EQ(design.name, "crlf");
+  EXPECT_EQ(design.groups[0].bits.size(), 1u);
+}
+
+TEST(ParserEdge, TruncatedPinRejected) {
+  std::stringstream ss;
+  ss << "chip 0 0 10 10\ngroup g\nbit S 1\n";
+  EXPECT_THROW(om::read_design(ss), operon::util::CheckError);
+}
+
+TEST(CliEdge, EqualsInsideValue) {
+  const char* argv[] = {"prog", "--expr=a=b"};
+  const operon::util::Cli cli(2, argv);
+  EXPECT_EQ(cli.get("expr", ""), "a=b");
+}
+
+TEST(CliEdge, RepeatedFlagLastWins) {
+  const char* argv[] = {"prog", "--n=1", "--n=2"};
+  const operon::util::Cli cli(3, argv);
+  EXPECT_EQ(cli.get_int("n", 0), 2);
+}
+
+// --------------------------------------------------------------------
+// RootedTree on every possible root.
+
+TEST(TreeEdge, RootedFromAnyNode) {
+  os::SteinerTree tree;
+  tree.points = {{0, 0}, {10, 0}, {5, 5}, {5, 0}};
+  tree.num_terminals = 3;
+  tree.edges = {{0, 3}, {3, 1}, {3, 2}};
+  for (std::size_t root = 0; root < tree.num_points(); ++root) {
+    const os::RootedTree rooted = os::RootedTree::build(tree, root);
+    EXPECT_EQ(rooted.parent[root], root);
+    EXPECT_EQ(rooted.postorder.size(), tree.num_points());
+    EXPECT_EQ(rooted.postorder.back(), root);  // root last in postorder
+    std::size_t child_count = 0;
+    for (const auto& kids : rooted.children) child_count += kids.size();
+    EXPECT_EQ(child_count, tree.edges.size());
+  }
+}

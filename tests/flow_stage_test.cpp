@@ -1,0 +1,144 @@
+// Tests for core-flow orchestration options and stage wiring that the
+// integration tests do not cover: WDM stage toggling, solver equivalence
+// plumbing, per-stage timing bookkeeping, processing capacity override,
+// and report/selection consistency.
+
+#include <gtest/gtest.h>
+
+#include "benchgen/benchgen.hpp"
+#include "core/flow.hpp"
+#include "util/check.hpp"
+
+namespace ocore = operon::core;
+namespace om = operon::model;
+
+namespace {
+
+om::Design fixture(std::uint64_t seed, std::size_t groups = 10) {
+  operon::benchgen::BenchmarkSpec spec;
+  spec.num_groups = groups;
+  spec.bits_lo = 3;
+  spec.bits_hi = 9;
+  spec.seed = seed;
+  return operon::benchgen::generate_benchmark(spec);
+}
+
+}  // namespace
+
+TEST(FlowStage, WdmStageToggle) {
+  const om::Design design = fixture(1001);
+  ocore::OperonOptions with;
+  with.run_wdm_stage = true;
+  ocore::OperonOptions without = with;
+  without.run_wdm_stage = false;
+
+  const auto a = ocore::run_operon(design, with);
+  const auto b = ocore::run_operon(design, without);
+  EXPECT_GT(a.wdm_plan.connections.size(), 0u);
+  EXPECT_EQ(b.wdm_plan.connections.size(), 0u);
+  EXPECT_EQ(b.wdm_plan.initial_wdms, 0u);
+  EXPECT_DOUBLE_EQ(b.times.wdm_s, 0.0);
+  // The selection itself is independent of the WDM stage.
+  EXPECT_EQ(a.selection, b.selection);
+  EXPECT_DOUBLE_EQ(a.power_pj, b.power_pj);
+}
+
+TEST(FlowStage, CapacityOverrideReclusters) {
+  // WDM capacity flows from params into the K-Means capacity: halving it
+  // can only increase (or keep) the hyper-net count for wide groups.
+  operon::benchgen::BenchmarkSpec spec;
+  spec.num_groups = 6;
+  spec.bits_lo = 20;
+  spec.bits_hi = 30;
+  spec.seed = 1002;
+  const om::Design design = operon::benchgen::generate_benchmark(spec);
+
+  ocore::OperonOptions wide;
+  wide.run_wdm_stage = false;
+  ocore::OperonOptions narrow = wide;
+  narrow.params.optical.wdm_capacity = 8;
+
+  const auto a = ocore::run_operon(design, wide);
+  const auto b = ocore::run_operon(design, narrow);
+  EXPECT_GT(b.processing.num_hyper_nets(), a.processing.num_hyper_nets());
+  for (const auto& net : b.processing.hyper_nets) {
+    EXPECT_LE(net.bit_count(), 8u);
+  }
+}
+
+TEST(FlowStage, StageTimesAccount) {
+  const om::Design design = fixture(1003);
+  ocore::OperonOptions options;
+  const auto result = ocore::run_operon(design, options);
+  EXPECT_GE(result.times.processing_s, 0.0);
+  EXPECT_GE(result.times.generation_s, 0.0);
+  EXPECT_GE(result.times.selection_s, 0.0);
+  EXPECT_GE(result.times.wdm_s, 0.0);
+  EXPECT_NEAR(result.times.total_s(),
+              result.times.processing_s + result.times.generation_s +
+                  result.times.selection_s + result.times.wdm_s,
+              1e-12);
+}
+
+TEST(FlowStage, NetCountsPartitionSelection) {
+  const om::Design design = fixture(1004, 16);
+  ocore::OperonOptions options;
+  const auto result = ocore::run_operon(design, options);
+  EXPECT_EQ(result.optical_nets + result.electrical_nets,
+            result.sets.size());
+  std::size_t optical = 0;
+  for (std::size_t i = 0; i < result.sets.size(); ++i) {
+    if (!result.sets[i].options[result.selection[i]].pure_electrical()) {
+      ++optical;
+    }
+  }
+  EXPECT_EQ(optical, result.optical_nets);
+}
+
+TEST(FlowStage, MipLiteralSolverOnTinyDesign) {
+  const om::Design design = fixture(1005, 4);
+  ocore::OperonOptions mip;
+  mip.solver = ocore::SolverKind::MipLiteral;
+  mip.select.time_limit_s = 20.0;
+  mip.run_wdm_stage = false;
+  const auto a = ocore::run_operon(design, mip);
+
+  ocore::OperonOptions exact = mip;
+  exact.solver = ocore::SolverKind::IlpExact;
+  const auto b = ocore::run_operon(design, exact);
+
+  EXPECT_TRUE(a.violations.clean());
+  EXPECT_TRUE(b.violations.clean());
+  if (a.proven_optimal && b.proven_optimal) {
+    EXPECT_NEAR(a.power_pj, b.power_pj, 1e-6);
+  }
+}
+
+TEST(FlowStage, InvalidParamsRejectedWithMessage) {
+  const om::Design design = fixture(1006);
+  ocore::OperonOptions options;
+  options.params.optical.max_loss_db = 0.0;
+  try {
+    ocore::run_operon(design, options);
+    FAIL() << "expected CheckError";
+  } catch (const operon::util::CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("technology parameters"),
+              std::string::npos);
+  }
+}
+
+TEST(FlowStage, SelectionGuardBandMonotone) {
+  // Tightening lm by a guard band does not decrease total power (small
+  // slack because the default LR solver is heuristic).
+  const om::Design design = fixture(1007, 14);
+  double previous = 0.0;
+  for (const double lm : {20.0, 16.0, 12.0, 8.0}) {
+    ocore::OperonOptions options;
+    options.params.optical.max_loss_db = lm;
+    options.run_wdm_stage = false;
+    const auto result = ocore::run_operon(design, options);
+    EXPECT_TRUE(result.violations.clean()) << "lm=" << lm;
+    EXPECT_GE(result.power_pj, previous * 0.98 - 1e-6) << "lm=" << lm;
+    previous = result.power_pj;
+  }
+}

@@ -1,0 +1,167 @@
+// Unit + property tests for geometry: distances, bounding boxes, segment
+// intersection/crossing predicates (the basis of crossing-loss counting).
+
+#include <gtest/gtest.h>
+
+#include "geom/bbox.hpp"
+#include "geom/point.hpp"
+#include "geom/segment.hpp"
+#include "util/rng.hpp"
+
+namespace og = operon::geom;
+
+TEST(Point, Distances) {
+  const og::Point a{0, 0}, b{3, 4};
+  EXPECT_DOUBLE_EQ(og::euclidean(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(og::manhattan(a, b), 7.0);
+  EXPECT_DOUBLE_EQ(og::squared_distance(a, b), 25.0);
+}
+
+TEST(Point, Arithmetic) {
+  const og::Point a{1, 2}, b{3, -1};
+  EXPECT_EQ(a + b, (og::Point{4, 1}));
+  EXPECT_EQ(a - b, (og::Point{-2, 3}));
+  EXPECT_EQ(a * 2.0, (og::Point{2, 4}));
+  EXPECT_EQ(og::midpoint(a, b), (og::Point{2, 0.5}));
+}
+
+TEST(Point, CrossAndDot) {
+  EXPECT_DOUBLE_EQ(og::cross({1, 0}, {0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(og::cross({0, 1}, {1, 0}), -1.0);
+  EXPECT_DOUBLE_EQ(og::dot({1, 2}, {3, 4}), 11.0);
+}
+
+TEST(BBox, EmptyAndExpand) {
+  og::BBox box;
+  EXPECT_TRUE(box.is_empty());
+  box.expand(og::Point{1, 2});
+  EXPECT_FALSE(box.is_empty());
+  EXPECT_DOUBLE_EQ(box.area(), 0.0);
+  box.expand(og::Point{4, 6});
+  EXPECT_DOUBLE_EQ(box.width(), 3.0);
+  EXPECT_DOUBLE_EQ(box.height(), 4.0);
+  EXPECT_DOUBLE_EQ(box.half_perimeter(), 7.0);
+  EXPECT_DOUBLE_EQ(box.area(), 12.0);
+  EXPECT_EQ(box.center(), (og::Point{2.5, 4}));
+}
+
+TEST(BBox, OverlapSemantics) {
+  const og::BBox a = og::BBox::of({0, 0}, {2, 2});
+  const og::BBox b = og::BBox::of({2, 2}, {4, 4});  // touching corner
+  const og::BBox c = og::BBox::of({3, 0}, {5, 1});
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_FALSE(a.overlaps(c));
+  EXPECT_FALSE(a.overlaps(og::BBox::empty()));
+  EXPECT_FALSE(og::BBox::empty().overlaps(a));
+}
+
+TEST(BBox, ContainsAndInflate) {
+  const og::BBox a = og::BBox::of({0, 0}, {2, 2});
+  EXPECT_TRUE(a.contains({1, 1}));
+  EXPECT_TRUE(a.contains({0, 2}));  // boundary inclusive
+  EXPECT_FALSE(a.contains({2.1, 1}));
+  EXPECT_TRUE(a.inflated(0.5).contains({2.4, 1}));
+}
+
+TEST(Segment, LengthsAndOrientation) {
+  const og::Segment s{{0, 0}, {3, 4}};
+  EXPECT_DOUBLE_EQ(s.length(), 5.0);
+  EXPECT_DOUBLE_EQ(s.manhattan_length(), 7.0);
+  EXPECT_FALSE(s.is_horizontal());
+  EXPECT_TRUE((og::Segment{{0, 1}, {5, 1}}).is_horizontal());
+  EXPECT_TRUE((og::Segment{{2, 0}, {2, 9}}).is_vertical());
+}
+
+TEST(Segment, OrientationPredicate) {
+  EXPECT_EQ(og::orientation({0, 0}, {1, 0}, {1, 1}), 1);
+  EXPECT_EQ(og::orientation({0, 0}, {1, 0}, {1, -1}), -1);
+  EXPECT_EQ(og::orientation({0, 0}, {1, 0}, {2, 0}), 0);
+}
+
+TEST(Segment, ProperCrossing) {
+  const og::Segment plus_h{{-1, 0}, {1, 0}};
+  const og::Segment plus_v{{0, -1}, {0, 1}};
+  EXPECT_TRUE(og::segments_cross(plus_h, plus_v));
+  EXPECT_TRUE(og::segments_intersect(plus_h, plus_v));
+}
+
+TEST(Segment, SharedEndpointIsNotACrossing) {
+  const og::Segment a{{0, 0}, {1, 1}};
+  const og::Segment b{{1, 1}, {2, 0}};
+  EXPECT_TRUE(og::segments_intersect(a, b));
+  EXPECT_FALSE(og::segments_cross(a, b));
+}
+
+TEST(Segment, TJunctionIsNotACrossing) {
+  const og::Segment bar{{-1, 0}, {1, 0}};
+  const og::Segment stem{{0, 0}, {0, 1}};  // endpoint on bar's interior
+  EXPECT_TRUE(og::segments_intersect(bar, stem));
+  EXPECT_FALSE(og::segments_cross(bar, stem));
+}
+
+TEST(Segment, CollinearOverlapIsNotACrossing) {
+  const og::Segment a{{0, 0}, {2, 0}};
+  const og::Segment b{{1, 0}, {3, 0}};
+  EXPECT_TRUE(og::segments_intersect(a, b));
+  EXPECT_FALSE(og::segments_cross(a, b));
+}
+
+TEST(Segment, DisjointSegments) {
+  const og::Segment a{{0, 0}, {1, 0}};
+  const og::Segment b{{0, 1}, {1, 1}};
+  EXPECT_FALSE(og::segments_intersect(a, b));
+  EXPECT_FALSE(og::segments_cross(a, b));
+}
+
+TEST(Segment, CountCrossingsGrid) {
+  // Two horizontal lines crossing two vertical lines: 4 proper crossings.
+  std::vector<og::Segment> horizontal{{{0, 1}, {10, 1}}, {{0, 2}, {10, 2}}};
+  std::vector<og::Segment> vertical{{{3, 0}, {3, 5}}, {{7, 0}, {7, 5}}};
+  EXPECT_EQ(og::count_crossings(horizontal, vertical), 4u);
+  EXPECT_EQ(og::count_crossings(vertical, horizontal), 4u);
+}
+
+TEST(Segment, PointSegmentDistance) {
+  const og::Segment s{{0, 0}, {10, 0}};
+  EXPECT_DOUBLE_EQ(og::point_segment_distance({5, 3}, s), 3.0);
+  EXPECT_DOUBLE_EQ(og::point_segment_distance({-3, 4}, s), 5.0);
+  EXPECT_DOUBLE_EQ(og::point_segment_distance({12, 0}, s), 2.0);
+  const og::Segment degenerate{{1, 1}, {1, 1}};
+  EXPECT_DOUBLE_EQ(og::point_segment_distance({4, 5}, degenerate), 5.0);
+}
+
+TEST(Segment, TotalLength) {
+  std::vector<og::Segment> segs{{{0, 0}, {3, 4}}, {{0, 0}, {0, 2}}};
+  EXPECT_DOUBLE_EQ(og::total_length(segs), 7.0);
+}
+
+// Property: crossing is symmetric and invariant under endpoint swap.
+TEST(SegmentProperty, CrossingSymmetry) {
+  operon::util::Rng rng(99);
+  for (int trial = 0; trial < 500; ++trial) {
+    const og::Segment s{{rng.uniform(-10, 10), rng.uniform(-10, 10)},
+                        {rng.uniform(-10, 10), rng.uniform(-10, 10)}};
+    const og::Segment t{{rng.uniform(-10, 10), rng.uniform(-10, 10)},
+                        {rng.uniform(-10, 10), rng.uniform(-10, 10)}};
+    const bool st = og::segments_cross(s, t);
+    EXPECT_EQ(st, og::segments_cross(t, s));
+    EXPECT_EQ(st, og::segments_cross({s.b, s.a}, t));
+    if (st) {
+      EXPECT_TRUE(og::segments_intersect(s, t));
+    }
+  }
+}
+
+// Property: a proper crossing implies the bounding boxes overlap.
+TEST(SegmentProperty, CrossingImpliesBBoxOverlap) {
+  operon::util::Rng rng(123);
+  for (int trial = 0; trial < 500; ++trial) {
+    const og::Segment s{{rng.uniform(0, 100), rng.uniform(0, 100)},
+                        {rng.uniform(0, 100), rng.uniform(0, 100)}};
+    const og::Segment t{{rng.uniform(0, 100), rng.uniform(0, 100)},
+                        {rng.uniform(0, 100), rng.uniform(0, 100)}};
+    if (og::segments_cross(s, t)) {
+      EXPECT_TRUE(s.bbox().overlaps(t.bbox()));
+    }
+  }
+}

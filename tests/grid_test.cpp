@@ -1,0 +1,182 @@
+// Tests for the tile-grid maze router: grid indexing, single-path
+// routing, Steiner connection of multi-terminal nets, congestion
+// negotiation, and the grid-based optical baseline built on top of it.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "baseline/routers.hpp"
+#include "benchgen/benchgen.hpp"
+#include "cluster/hypernet_builder.hpp"
+#include "codesign/generate.hpp"
+#include "grid/maze.hpp"
+#include "util/rng.hpp"
+
+namespace ogr = operon::grid;
+namespace og = operon::geom;
+
+namespace {
+const og::BBox kChip = og::BBox::of({0, 0}, {20000, 20000});
+}
+
+TEST(RoutingGrid, TileIndexingRoundTrip) {
+  ogr::RoutingGrid grid(kChip, 10);
+  EXPECT_EQ(grid.num_tiles(), 100u);
+  EXPECT_EQ(grid.tile_of({100, 100}), 0u);
+  EXPECT_EQ(grid.tile_of({19900, 100}), 9u);
+  EXPECT_EQ(grid.tile_of({100, 19900}), 90u);
+  // Off-chip points clamp to the border tiles.
+  EXPECT_EQ(grid.tile_of({-50, -50}), 0u);
+  EXPECT_EQ(grid.tile_of({99999, 99999}), 99u);
+  // Tile centers map back to their own tile.
+  for (ogr::TileId t : {0u, 5u, 47u, 99u}) {
+    EXPECT_EQ(grid.tile_of(grid.center(t)), t);
+  }
+}
+
+TEST(RoutingGrid, NeighborsAndEdgeIndices) {
+  ogr::RoutingGrid grid(kChip, 4);
+  EXPECT_EQ(grid.neighbors(0).size(), 2u);    // corner
+  EXPECT_EQ(grid.neighbors(1).size(), 3u);    // edge
+  EXPECT_EQ(grid.neighbors(5).size(), 4u);    // interior
+  EXPECT_EQ(grid.num_edges(), 2u * 4u * 3u);
+  // Every adjacent pair maps to a unique edge id, symmetric in order.
+  std::set<std::size_t> ids;
+  for (ogr::TileId t = 0; t < grid.num_tiles(); ++t) {
+    for (ogr::TileId n : grid.neighbors(t)) {
+      EXPECT_EQ(grid.edge_index(t, n), grid.edge_index(n, t));
+      ids.insert(grid.edge_index(t, n));
+      EXPECT_LT(grid.edge_index(t, n), grid.num_edges());
+    }
+  }
+  EXPECT_EQ(ids.size(), grid.num_edges());
+}
+
+TEST(MazeRouter, TwoPinRouteIsConnectedAndShort) {
+  ogr::GridOptions options;
+  options.tiles = 16;
+  ogr::MazeRouter router(kChip, options);
+  const std::vector<std::vector<og::Point>> nets{
+      {{1000, 1000}, {18000, 1000}}};
+  const auto routes = router.route_all(nets);
+  ASSERT_EQ(routes.size(), 1u);
+  EXPECT_TRUE(routes[0].routed);
+  EXPECT_FALSE(routes[0].edges.empty());
+  // Roughly straight: no longer than Manhattan distance + 2 tile pitches.
+  const double manhattan = 17000.0;
+  EXPECT_LE(routes[0].length_um,
+            manhattan + 2.5 * router.grid().tile_pitch_um());
+  EXPECT_EQ(router.stats().failed_nets, 0u);
+}
+
+TEST(MazeRouter, MultiTerminalBuildsTree) {
+  ogr::GridOptions options;
+  options.tiles = 12;
+  ogr::MazeRouter router(kChip, options);
+  const std::vector<std::vector<og::Point>> nets{
+      {{1000, 1000}, {18000, 2000}, {2000, 18000}, {18000, 18000}}};
+  const auto routes = router.route_all(nets);
+  ASSERT_TRUE(routes[0].routed);
+  // The edge set must form a tree over its tiles: |edges| = |tiles| - 1.
+  std::set<ogr::TileId> tiles;
+  for (const auto& [a, b] : routes[0].edges) {
+    tiles.insert(a);
+    tiles.insert(b);
+  }
+  EXPECT_EQ(routes[0].edges.size(), tiles.size() - 1);
+  // All four terminals' tiles are covered.
+  for (const auto& pin : nets[0]) {
+    EXPECT_TRUE(tiles.count(router.grid().tile_of(pin)));
+  }
+}
+
+TEST(MazeRouter, SameTileNetIsTrivial) {
+  ogr::MazeRouter router(kChip, {});
+  const std::vector<std::vector<og::Point>> nets{{{100, 100}, {150, 150}}};
+  const auto routes = router.route_all(nets);
+  EXPECT_TRUE(routes[0].routed);
+  EXPECT_TRUE(routes[0].edges.empty());
+  EXPECT_DOUBLE_EQ(routes[0].length_um, 0.0);
+}
+
+TEST(MazeRouter, CongestionSpreadsParallelNets) {
+  // Three nets between the same source/sink tiles with capacity 1: the
+  // straight corridor can carry only one, so negotiation must find three
+  // edge-disjoint paths (direct + detours above/below).
+  ogr::GridOptions options;
+  options.tiles = 12;
+  options.edge_capacity = 1;
+  options.max_rounds = 16;
+  ogr::MazeRouter router(kChip, options);
+  std::vector<std::vector<og::Point>> nets;
+  for (int k = 0; k < 3; ++k) {
+    nets.push_back({{500.0, 10000.0 + 10.0 * k}, {19500.0, 10000.0 + 10.0 * k}});
+  }
+  const auto routes = router.route_all(nets);
+  EXPECT_EQ(router.stats().overflowed_edges, 0u)
+      << "negotiation failed to resolve congestion in "
+      << router.stats().rounds << " rounds";
+  for (const auto& route : routes) EXPECT_TRUE(route.routed);
+  // Usage respects capacity on every edge -> the paths are edge-disjoint.
+  // (Present-congestion cost usually resolves this within the first
+  // round; the history mechanism is the backstop for harder knots.)
+  for (int usage : router.edge_usage()) EXPECT_LE(usage, 1);
+}
+
+TEST(MazeRouter, BendPenaltyStraightensRoutes) {
+  ogr::GridOptions cheap_bends;
+  cheap_bends.tiles = 16;
+  cheap_bends.bend_penalty_um = 0.0;
+  ogr::GridOptions dear_bends = cheap_bends;
+  dear_bends.bend_penalty_um = 5000.0;
+
+  const std::vector<std::vector<og::Point>> nets{
+      {{1000, 1000}, {18000, 18000}}};
+  ogr::MazeRouter free_router(kChip, cheap_bends);
+  ogr::MazeRouter straight_router(kChip, dear_bends);
+  const auto free_routes = free_router.route_all(nets);
+  const auto straight_routes = straight_router.route_all(nets);
+  EXPECT_LE(straight_routes[0].bends, free_routes[0].bends + 1);
+  // With a huge bend penalty, the diagonal collapses to a single L.
+  EXPECT_LE(straight_routes[0].bends, 2);
+}
+
+TEST(GridBaseline, RoutesRealBenchmark) {
+  using namespace operon;
+  benchgen::BenchmarkSpec spec;
+  spec.num_groups = 20;
+  spec.bits_lo = 4;
+  spec.bits_hi = 8;
+  spec.seed = 93;
+  const model::Design design = benchgen::generate_benchmark(spec);
+  cluster::SignalProcessingOptions processing;
+  const auto nets = cluster::build_hyper_nets(design, processing);
+  const auto params = model::TechParams::dac18_defaults();
+  const auto sets = codesign::generate_candidates(design, nets.hyper_nets, params);
+
+  const auto grid_result = baseline::route_optical_grid(sets, params);
+  const auto& routing = grid_result.routing;
+  ASSERT_EQ(routing.chosen.size(), sets.size());
+  EXPECT_EQ(routing.optical_nets + routing.electrical_nets, sets.size());
+  EXPECT_GT(routing.optical_nets, 0u);
+  EXPECT_GT(grid_result.total_waveguide_um, 0.0);
+  EXPECT_EQ(grid_result.maze_stats.failed_nets, 0u);
+
+  // Grid waveguides are Manhattan: at least as long as the any-direction
+  // baseline geometry of the same nets.
+  const auto glow = baseline::route_optical_glow(sets, params);
+  double euclid_total = 0.0;
+  for (const auto& cand : glow.chosen) euclid_total += cand.optical_wl_um;
+  EXPECT_GE(grid_result.total_waveguide_um, euclid_total * 0.9);
+
+  // Every optical candidate built from the grid satisfies the candidate
+  // invariants (detectors = paths, one modulator component per net here).
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    const auto& cand = routing.chosen[i];
+    if (cand.pure_electrical()) continue;
+    EXPECT_EQ(cand.paths.size(), static_cast<std::size_t>(cand.num_detectors));
+    EXPECT_GE(cand.num_modulators, 1);
+  }
+}

@@ -1,0 +1,92 @@
+// Tests for the JSON writer: structure, escaping, number formatting,
+// misuse detection.
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace ou = operon::util;
+
+TEST(Json, FlatObject) {
+  ou::JsonWriter json;
+  json.begin_object();
+  json.key("name").value("operon");
+  json.key("power").value(12.5);
+  json.key("nets").value(std::int64_t{42});
+  json.key("ok").value(true);
+  json.key("missing").null();
+  json.end_object();
+  EXPECT_EQ(json.str(),
+            R"({"name":"operon","power":12.5,"nets":42,"ok":true,"missing":null})");
+}
+
+TEST(Json, NestedArraysAndObjects) {
+  ou::JsonWriter json;
+  json.begin_object();
+  json.key("rows").begin_array();
+  json.begin_object().key("id").value(1).end_object();
+  json.begin_object().key("id").value(2).end_object();
+  json.end_array();
+  json.end_object();
+  EXPECT_EQ(json.str(), R"({"rows":[{"id":1},{"id":2}]})");
+}
+
+TEST(Json, ArrayOfNumbers) {
+  ou::JsonWriter json;
+  json.begin_array();
+  json.value(1).value(2).value(3);
+  json.end_array();
+  EXPECT_EQ(json.str(), "[1,2,3]");
+}
+
+TEST(Json, EscapesStrings) {
+  ou::JsonWriter json;
+  json.begin_object();
+  json.key("text").value("a \"b\"\n\tc\\d");
+  json.end_object();
+  EXPECT_EQ(json.str(), R"({"text":"a \"b\"\n\tc\\d"})");
+}
+
+TEST(Json, NonFiniteBecomesNull) {
+  ou::JsonWriter json;
+  json.begin_array();
+  json.value(std::numeric_limits<double>::infinity());
+  json.value(std::numeric_limits<double>::quiet_NaN());
+  json.end_array();
+  EXPECT_EQ(json.str(), "[null,null]");
+}
+
+TEST(Json, EmptyContainers) {
+  ou::JsonWriter json;
+  json.begin_object();
+  json.key("a").begin_array().end_array();
+  json.key("o").begin_object().end_object();
+  json.end_object();
+  EXPECT_EQ(json.str(), R"({"a":[],"o":{}})");
+}
+
+TEST(Json, MisuseDetected) {
+  {
+    ou::JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.end_array(), ou::CheckError);
+  }
+  {
+    ou::JsonWriter json;
+    json.begin_array();
+    EXPECT_THROW(json.key("k"), ou::CheckError);
+  }
+  {
+    ou::JsonWriter json;
+    json.begin_object();
+    json.key("a");
+    EXPECT_THROW(json.key("b"), ou::CheckError);
+  }
+  {
+    ou::JsonWriter json;
+    json.begin_object();
+    EXPECT_FALSE(json.complete());
+    EXPECT_THROW(json.str(), ou::CheckError);
+  }
+}

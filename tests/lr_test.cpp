@@ -1,0 +1,143 @@
+// Tests for the Lagrangian-relaxation solver (Algorithm 1): feasibility
+// of the final selection, closeness to the exact optimum (Table 1 shows
+// LR within a few percent of ILP), iteration cap, trace bookkeeping, and
+// behaviour under tight loss budgets.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "cluster/hypernet_builder.hpp"
+#include "codesign/generate.hpp"
+#include "codesign/ilp_select.hpp"
+#include "lr/lr.hpp"
+#include "util/rng.hpp"
+
+namespace oc = operon::codesign;
+namespace om = operon::model;
+namespace og = operon::geom;
+
+namespace {
+
+const om::TechParams kParams = om::TechParams::dac18_defaults();
+
+om::Design mesh_design(std::size_t per_direction, std::uint64_t seed) {
+  operon::util::Rng rng(seed);
+  om::Design design;
+  design.name = "lrmesh";
+  design.chip = og::BBox::of({0, 0}, {20000, 20000});
+  const auto add_group = [&](const og::Point& src, const og::Point& dst) {
+    om::SignalGroup group;
+    group.name = "g" + std::to_string(design.groups.size());
+    for (int b = 0; b < 10; ++b) {
+      om::SignalBit bit;
+      bit.source = {{src.x + rng.uniform(0, 60), src.y + rng.uniform(0, 60)},
+                    om::PinRole::Source};
+      bit.sinks.push_back(
+          {{dst.x + rng.uniform(0, 60), dst.y + rng.uniform(0, 60)},
+           om::PinRole::Sink});
+      group.bits.push_back(std::move(bit));
+    }
+    design.groups.push_back(std::move(group));
+  };
+  for (std::size_t k = 0; k < per_direction; ++k) {
+    const double c = 3000.0 + 2200.0 * static_cast<double>(k);
+    add_group({1000, c}, {19000, c});
+    add_group({c, 1000}, {c, 19000});
+  }
+  return design;
+}
+
+std::vector<oc::CandidateSet> candidates_for(const om::Design& design,
+                                             const om::TechParams& params) {
+  operon::cluster::SignalProcessingOptions processing;
+  const auto nets = operon::cluster::build_hyper_nets(design, processing);
+  return oc::generate_candidates(design, nets.hyper_nets, params);
+}
+
+}  // namespace
+
+TEST(Lr, FinalSelectionFeasible) {
+  const auto sets = candidates_for(mesh_design(3, 21), kParams);
+  const auto result = operon::lr::solve_selection_lr(sets, kParams);
+  ASSERT_EQ(result.selection.size(), sets.size());
+  EXPECT_TRUE(result.violations.clean());
+  EXPECT_GE(result.iterations, 1u);
+  EXPECT_LE(result.iterations, 10u);
+  EXPECT_EQ(result.trace.size(), result.iterations);
+}
+
+TEST(Lr, CloseToExactOptimum) {
+  const auto sets = candidates_for(mesh_design(3, 22), kParams);
+  const auto exact = oc::solve_selection_exact(sets, kParams);
+  ASSERT_TRUE(exact.proven_optimal);
+  const auto lr = operon::lr::solve_selection_lr(sets, kParams);
+  EXPECT_TRUE(lr.violations.clean());
+  EXPECT_GE(lr.power_pj, exact.power_pj - 1e-9);  // never better than exact
+  // Paper: LR within ~3-4% of ILP. Allow 12% slack on random meshes.
+  EXPECT_LE(lr.power_pj, exact.power_pj * 1.12 + 1e-9);
+}
+
+TEST(Lr, BeatsAllElectricalClearly) {
+  const auto sets = candidates_for(mesh_design(3, 23), kParams);
+  oc::SelectionEvaluator evaluator(sets, kParams);
+  const auto lr = operon::lr::solve_selection_lr(sets, kParams);
+  const double electrical =
+      evaluator.total_power(evaluator.all_electrical());
+  // The whole point of the paper: hybrid beats all-electrical by ~3x.
+  EXPECT_LT(lr.power_pj, electrical * 0.6);
+}
+
+TEST(Lr, IterationCapRespected) {
+  const auto sets = candidates_for(mesh_design(2, 24), kParams);
+  operon::lr::LrOptions options;
+  options.max_iterations = 3;
+  const auto result = operon::lr::solve_selection_lr(sets, kParams, options);
+  EXPECT_LE(result.iterations, 3u);
+  EXPECT_TRUE(result.violations.clean());
+}
+
+TEST(Lr, RepairDisabledMayLeaveViolations) {
+  // Under an artificially tight budget and no repair, LR may end with
+  // violations (we only check it doesn't crash and reports them).
+  om::TechParams tight = kParams;
+  tight.optical.max_loss_db = 2.4;
+  const auto sets = candidates_for(mesh_design(4, 25), tight);
+  operon::lr::LrOptions options;
+  options.repair_violations = false;
+  const auto result = operon::lr::solve_selection_lr(sets, tight, options);
+  ASSERT_EQ(result.selection.size(), sets.size());
+  // With repair on, the same instance is clean.
+  options.repair_violations = true;
+  const auto repaired = operon::lr::solve_selection_lr(sets, tight, options);
+  EXPECT_TRUE(repaired.violations.clean());
+}
+
+TEST(Lr, TraceMonotoneBookkeeping) {
+  const auto sets = candidates_for(mesh_design(3, 26), kParams);
+  const auto result = operon::lr::solve_selection_lr(sets, kParams);
+  for (const auto& step : result.trace) {
+    EXPECT_GE(step.power_pj, 0.0);
+    EXPECT_GE(step.max_multiplier, 0.0);
+  }
+}
+
+TEST(Lr, MultiplierPressureDrivesFeasibility) {
+  // Tight-ish budget: min-power selection is infeasible, LR must move
+  // off it before (or without) repair.
+  om::TechParams tight = kParams;
+  tight.optical.max_loss_db = 3.2;
+  const auto sets = candidates_for(mesh_design(4, 27), tight);
+  oc::SelectionEvaluator evaluator(sets, tight);
+  const auto min_power = evaluator.min_power_selection();
+  if (evaluator.violations(min_power).clean()) {
+    GTEST_SKIP() << "instance not tight enough to exercise multipliers";
+  }
+  operon::lr::LrOptions options;
+  options.repair_violations = false;
+  options.max_iterations = 10;
+  const auto result = operon::lr::solve_selection_lr(sets, tight, options);
+  const auto lr_viol = result.violations;
+  const auto min_viol = evaluator.violations(min_power);
+  EXPECT_LE(lr_viol.total_excess_db, min_viol.total_excess_db + 1e-9);
+}

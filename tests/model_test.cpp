@@ -1,0 +1,208 @@
+// Tests for the design model: parameters (Eq. 1/6 units), design
+// validation, text round-trip I/O, hyper net/pin invariants.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "model/design.hpp"
+#include "model/hyper.hpp"
+#include "model/params.hpp"
+#include "util/check.hpp"
+
+namespace om = operon::model;
+
+namespace {
+
+om::Design small_design() {
+  om::Design design;
+  design.name = "tiny";
+  design.chip = operon::geom::BBox::of({0, 0}, {10000, 10000});
+  om::SignalGroup group;
+  group.name = "bus0";
+  for (int b = 0; b < 3; ++b) {
+    om::SignalBit bit;
+    bit.source = {{100.0 + b, 100.0}, om::PinRole::Source};
+    bit.sinks.push_back({{9000.0 + b, 9000.0}, om::PinRole::Sink});
+    bit.sinks.push_back({{9000.0 + b, 500.0}, om::PinRole::Sink});
+    group.bits.push_back(std::move(bit));
+  }
+  design.groups.push_back(std::move(group));
+  return design;
+}
+
+}  // namespace
+
+TEST(Params, Dac18Defaults) {
+  const om::TechParams params = om::TechParams::dac18_defaults();
+  EXPECT_TRUE(params.valid());
+  EXPECT_DOUBLE_EQ(params.optical.alpha_db_per_um * 1e4, 1.5);  // 1.5 dB/cm
+  EXPECT_DOUBLE_EQ(params.optical.beta_db_per_crossing, 0.52);
+  EXPECT_DOUBLE_EQ(params.optical.pmod_pj_per_bit, 0.511);
+  EXPECT_DOUBLE_EQ(params.optical.pdet_pj_per_bit, 0.374);
+  EXPECT_EQ(params.optical.wdm_capacity, 32);
+}
+
+TEST(Params, ElectricalEnergyScalesLinearly) {
+  const om::ElectricalParams ep;
+  const double e1 = ep.energy_pj_per_bit(1000.0);
+  const double e2 = ep.energy_pj_per_bit(2000.0);
+  EXPECT_GT(e1, 0.0);
+  EXPECT_DOUBLE_EQ(e2, 2.0 * e1);
+  EXPECT_DOUBLE_EQ(ep.energy_pj_per_bit(0.0), 0.0);
+}
+
+TEST(Params, OpticalBeatsElectricalAtDistance) {
+  // The optical-vs-electrical crossover: at 1 cm, a wire costs more than
+  // one EO+OE conversion pair; at 1 mm it costs less. This calibration is
+  // what makes the co-design trade-off (and Table 1's shape) non-trivial.
+  const om::TechParams p = om::TechParams::dac18_defaults();
+  const double conv =
+      p.optical.pmod_pj_per_bit + p.optical.pdet_pj_per_bit;
+  EXPECT_GT(p.electrical.energy_pj_per_bit(10000.0), conv);
+  EXPECT_LT(p.electrical.energy_pj_per_bit(1000.0), conv);
+}
+
+TEST(Params, InvalidDetected) {
+  om::OpticalParams op;
+  op.wdm_capacity = 0;
+  EXPECT_FALSE(op.valid());
+  om::ElectricalParams ep;
+  ep.voltage_v = 0.0;
+  EXPECT_FALSE(ep.valid());
+}
+
+TEST(Design, CountsAndCentroid) {
+  const om::Design design = small_design();
+  EXPECT_EQ(design.num_bits(), 3u);
+  EXPECT_EQ(design.num_pins(), 9u);
+  const om::SignalBit& bit = design.groups[0].bits[0];
+  const auto c = bit.centroid();
+  EXPECT_NEAR(c.x, (100.0 + 9000.0 + 9000.0) / 3.0, 1e-9);
+}
+
+TEST(Design, ValidatePasses) {
+  EXPECT_NO_THROW(small_design().validate());
+}
+
+TEST(Design, ValidateCatchesOffChipPin) {
+  om::Design design = small_design();
+  design.groups[0].bits[0].sinks[0].location = {99999, 99999};
+  EXPECT_THROW(design.validate(), operon::util::CheckError);
+}
+
+TEST(Design, ValidateCatchesEmptyGroup) {
+  om::Design design = small_design();
+  design.groups[0].bits.clear();
+  EXPECT_THROW(design.validate(), operon::util::CheckError);
+}
+
+TEST(DesignIo, RoundTrip) {
+  const om::Design design = small_design();
+  std::stringstream ss;
+  om::write_design(ss, design);
+  const om::Design back = om::read_design(ss);
+  EXPECT_EQ(back.name, design.name);
+  ASSERT_EQ(back.groups.size(), 1u);
+  EXPECT_EQ(back.groups[0].name, "bus0");
+  ASSERT_EQ(back.groups[0].bits.size(), 3u);
+  EXPECT_EQ(back.groups[0].bits[1].sinks.size(), 2u);
+  EXPECT_DOUBLE_EQ(back.groups[0].bits[2].source.location.x, 102.0);
+  EXPECT_NO_THROW(back.validate());
+}
+
+TEST(DesignIo, CommentsAndBlanksIgnored) {
+  std::stringstream ss;
+  ss << "# a comment\n\n"
+     << "design d\n"
+     << "chip 0 0 10 10\n"
+     << "group g\n"
+     << "bit S 1 1 T 2 2\n";
+  const om::Design design = om::read_design(ss);
+  EXPECT_EQ(design.groups[0].bits.size(), 1u);
+}
+
+TEST(DesignIo, RejectsBitBeforeGroup) {
+  std::stringstream ss;
+  ss << "chip 0 0 10 10\nbit S 1 1 T 2 2\n";
+  EXPECT_THROW(om::read_design(ss), operon::util::CheckError);
+}
+
+TEST(DesignIo, RejectsTwoSources) {
+  std::stringstream ss;
+  ss << "chip 0 0 10 10\ngroup g\nbit S 1 1 S 2 2 T 3 3\n";
+  EXPECT_THROW(om::read_design(ss), operon::util::CheckError);
+}
+
+TEST(DesignIo, RejectsUnknownKeyword) {
+  std::stringstream ss;
+  ss << "nonsense 1 2 3\n";
+  EXPECT_THROW(om::read_design(ss), operon::util::CheckError);
+}
+
+TEST(HyperPin, GravityCenterAndSource) {
+  om::HyperPin hp;
+  hp.pins.push_back({0, 0, -1, {0, 0}, om::PinRole::Source});
+  hp.pins.push_back({0, 1, 0, {2, 4}, om::PinRole::Sink});
+  hp.update_center();
+  EXPECT_EQ(hp.center, (operon::geom::Point{1, 2}));
+  EXPECT_TRUE(hp.has_source());
+  hp.pins[0].role = om::PinRole::Sink;
+  EXPECT_FALSE(hp.has_source());
+}
+
+TEST(HyperNet, SelectRootPicksMostSources) {
+  om::HyperNet net;
+  net.id = 0;
+  om::HyperPin a, b;
+  a.pins.push_back({0, 0, 0, {0, 0}, om::PinRole::Sink});
+  b.pins.push_back({0, 0, -1, {5, 5}, om::PinRole::Source});
+  b.pins.push_back({0, 1, -1, {5, 6}, om::PinRole::Source});
+  a.update_center();
+  b.update_center();
+  net.pins = {a, b};
+  net.select_root();
+  EXPECT_EQ(net.root, 1u);
+}
+
+TEST(HyperNet, SelectRootThrowsWithoutSource) {
+  om::HyperNet net;
+  om::HyperPin a;
+  a.pins.push_back({0, 0, 0, {0, 0}, om::PinRole::Sink});
+  net.pins = {a};
+  EXPECT_THROW(net.select_root(), operon::util::CheckError);
+}
+
+TEST(HyperNet, BBoxSpansPins) {
+  om::HyperNet net;
+  om::HyperPin a, b;
+  a.center = {1, 2};
+  b.center = {5, 9};
+  a.pins.resize(1);
+  b.pins.resize(1);
+  net.pins = {a, b};
+  const auto box = net.bbox();
+  EXPECT_DOUBLE_EQ(box.xlo, 1);
+  EXPECT_DOUBLE_EQ(box.yhi, 9);
+}
+
+TEST(HyperNet, ValidateCatchesDoubleCoverage) {
+  const om::Design design = small_design();
+  om::HyperNet net;
+  net.id = 0;
+  net.group = 0;
+  net.bits = {0};
+  om::HyperPin a, b;
+  a.pins.push_back({0, 0, -1, design.groups[0].bits[0].source.location,
+                    om::PinRole::Source});
+  // Sink 0 covered twice; sink 1 missing.
+  b.pins.push_back({0, 0, 0, design.groups[0].bits[0].sinks[0].location,
+                    om::PinRole::Sink});
+  b.pins.push_back({0, 0, 0, design.groups[0].bits[0].sinks[0].location,
+                    om::PinRole::Sink});
+  a.update_center();
+  b.update_center();
+  net.pins = {a, b};
+  net.root = 0;
+  EXPECT_THROW(net.validate(design), operon::util::CheckError);
+}

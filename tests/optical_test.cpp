@@ -1,0 +1,132 @@
+// Tests for the optical physics: Eq. (2) loss composition, Eq. (1)
+// conversion energy, detection predicate, and the Fig 3(b) Y-branch
+// cascade simulation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/params.hpp"
+#include "optical/loss.hpp"
+#include "optical/splitter.hpp"
+#include "util/check.hpp"
+
+namespace oo = operon::optical;
+namespace om = operon::model;
+
+namespace {
+const om::OpticalParams kParams = om::TechParams::dac18_defaults().optical;
+}
+
+TEST(Loss, SplittingLossIdeal) {
+  EXPECT_DOUBLE_EQ(oo::splitting_loss_db(kParams, 1), 0.0);
+  EXPECT_NEAR(oo::splitting_loss_db(kParams, 2), 3.0103, 1e-3);
+  EXPECT_NEAR(oo::splitting_loss_db(kParams, 4), 6.0206, 1e-3);
+  EXPECT_NEAR(oo::splitting_loss_db(kParams, 10), 10.0, 1e-9);
+}
+
+TEST(Loss, SplittingLossExcess) {
+  om::OpticalParams params = kParams;
+  params.splitter_excess_db = 0.3;
+  EXPECT_NEAR(oo::splitting_loss_db(params, 2), 3.3103, 1e-3);
+  EXPECT_DOUBLE_EQ(oo::splitting_loss_db(params, 1), 0.0);  // pass-through
+}
+
+TEST(Loss, SplittingLossRejectsZeroArms) {
+  EXPECT_THROW(oo::splitting_loss_db(kParams, 0), operon::util::CheckError);
+}
+
+TEST(Loss, PathLossEq2Composition) {
+  // 1 cm of waveguide, 3 crossings, one 2-way and one 4-way split:
+  // 1.5 + 3*0.52 + 3.0103 + 6.0206 dB.
+  const std::vector<int> splits{2, 4};
+  const oo::LossBreakdown loss = oo::path_loss(kParams, 1e4, 3, splits);
+  EXPECT_NEAR(loss.propagation_db, 1.5, 1e-9);
+  EXPECT_NEAR(loss.crossing_db, 1.56, 1e-9);
+  EXPECT_NEAR(loss.splitting_db, 9.0309, 1e-3);
+  EXPECT_NEAR(loss.total_db(),
+              loss.propagation_db + loss.crossing_db + loss.splitting_db,
+              1e-12);
+}
+
+TEST(Loss, BreakdownAccumulates) {
+  oo::LossBreakdown a{1.0, 2.0, 3.0};
+  const oo::LossBreakdown b{0.5, 0.25, 0.125};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.propagation_db, 1.5);
+  EXPECT_DOUBLE_EQ(a.crossing_db, 2.25);
+  EXPECT_DOUBLE_EQ(a.splitting_db, 3.125);
+}
+
+TEST(Loss, ConversionEnergyEq1) {
+  EXPECT_DOUBLE_EQ(oo::conversion_energy_pj(kParams, 0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(oo::conversion_energy_pj(kParams, 1, 1), 0.885);
+  EXPECT_DOUBLE_EQ(oo::conversion_energy_pj(kParams, 2, 3),
+                   2 * 0.511 + 3 * 0.374);
+}
+
+TEST(Loss, SurvivingFraction) {
+  EXPECT_DOUBLE_EQ(oo::surviving_fraction(0.0), 1.0);
+  EXPECT_NEAR(oo::surviving_fraction(3.0103), 0.5, 1e-4);
+  EXPECT_NEAR(oo::surviving_fraction(10.0), 0.1, 1e-12);
+}
+
+TEST(Loss, DetectablePredicate) {
+  EXPECT_TRUE(oo::detectable(kParams, 0.0));
+  EXPECT_TRUE(oo::detectable(kParams, kParams.max_loss_db));
+  EXPECT_FALSE(oo::detectable(kParams, kParams.max_loss_db + 0.1));
+}
+
+TEST(Splitter, Fig3bTwoCascadedYBranches) {
+  // Fig 3(b): two cascaded 50-50 Y-branches -> 4 outputs at 1/4 input.
+  const oo::SplitterNode cascade = oo::balanced_cascade(2);
+  const auto outputs = oo::simulate(kParams, cascade, 1.0);
+  ASSERT_EQ(outputs.size(), 4u);
+  for (double p : outputs) EXPECT_NEAR(p, 0.25, 1e-12);
+  EXPECT_NEAR(oo::worst_split_loss_db(kParams, cascade), 6.0206, 1e-3);
+}
+
+TEST(Splitter, SingleBranchHalves) {
+  const oo::SplitterNode y = oo::balanced_cascade(1);
+  const auto outputs = oo::simulate(kParams, y, 2.0);
+  ASSERT_EQ(outputs.size(), 2u);
+  EXPECT_NEAR(outputs[0], 1.0, 1e-12);
+  EXPECT_NEAR(outputs[1], 1.0, 1e-12);
+}
+
+TEST(Splitter, DepthZeroIsPassThrough) {
+  const oo::SplitterNode wire = oo::balanced_cascade(0);
+  const auto outputs = oo::simulate(kParams, wire, 0.7);
+  ASSERT_EQ(outputs.size(), 1u);
+  EXPECT_DOUBLE_EQ(outputs[0], 0.7);
+  EXPECT_DOUBLE_EQ(oo::worst_split_loss_db(kParams, wire), 0.0);
+}
+
+TEST(Splitter, UnbalancedTreeWorstOutput) {
+  // Root splits 2 ways; left arm splits again -> worst output is 1/4.
+  oo::SplitterNode root;
+  root.arms.push_back(oo::balanced_cascade(1));
+  root.arms.push_back(oo::balanced_cascade(0));
+  const auto outputs = oo::simulate(kParams, root, 1.0);
+  ASSERT_EQ(outputs.size(), 3u);
+  EXPECT_NEAR(oo::worst_output(kParams, root, 1.0), 0.25, 1e-12);
+}
+
+TEST(Splitter, ExcessLossCompounds) {
+  om::OpticalParams params = kParams;
+  params.splitter_excess_db = 1.0;
+  const oo::SplitterNode cascade = oo::balanced_cascade(2);
+  // Each level: 3.01 dB ideal + 1 dB excess; two levels ~ 8.02 dB.
+  EXPECT_NEAR(oo::worst_split_loss_db(params, cascade), 8.0206, 1e-3);
+}
+
+TEST(Splitter, EnergyConservationIdealSplits) {
+  // With zero excess loss the output powers must sum to the input.
+  for (int depth = 0; depth <= 4; ++depth) {
+    const auto outputs =
+        oo::simulate(kParams, oo::balanced_cascade(depth), 1.0);
+    double sum = 0.0;
+    for (double p : outputs) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "depth " << depth;
+  }
+}

@@ -1,0 +1,227 @@
+// Cross-cutting property tests: invariants that must hold across
+// parameter regimes (loss budgets, crossing costs, solver choice, bus
+// widths). These are the "laws of the system" that individual unit tests
+// cannot express.
+
+#include <gtest/gtest.h>
+
+#include "baseline/routers.hpp"
+#include "benchgen/benchgen.hpp"
+#include "cluster/hypernet_builder.hpp"
+#include "codesign/generate.hpp"
+#include "codesign/ilp_select.hpp"
+#include "core/flow.hpp"
+#include "lr/lr.hpp"
+#include "util/rng.hpp"
+
+namespace oc = operon::codesign;
+namespace om = operon::model;
+namespace obg = operon::benchgen;
+
+namespace {
+
+om::Design small_case(std::uint64_t seed, std::size_t groups = 14) {
+  obg::BenchmarkSpec spec;
+  spec.name = "prop";
+  spec.num_groups = groups;
+  spec.bits_lo = 2;
+  spec.bits_hi = 10;
+  spec.sink_blocks_lo = 1;
+  spec.sink_blocks_hi = 2;
+  spec.seed = seed;
+  return obg::generate_benchmark(spec);
+}
+
+std::vector<oc::CandidateSet> candidates_for(const om::Design& design,
+                                             const om::TechParams& params) {
+  operon::cluster::SignalProcessingOptions processing;
+  processing.kmeans.capacity =
+      static_cast<std::size_t>(params.optical.wdm_capacity);
+  const auto nets = operon::cluster::build_hyper_nets(design, processing);
+  return oc::generate_candidates(design, nets.hyper_nets, params);
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------
+// Law 1: every solver's final selection satisfies all detection
+// constraints, for any loss budget.
+
+class LossBudgetSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LossBudgetSweep, AllSolversFeasible) {
+  om::TechParams params = om::TechParams::dac18_defaults();
+  params.optical.max_loss_db = GetParam();
+  const om::Design design = small_case(501);
+  const auto sets = candidates_for(design, params);
+
+  const auto exact = oc::solve_selection_exact(sets, params);
+  EXPECT_TRUE(exact.violations.clean()) << "exact, lm=" << GetParam();
+  const auto lr = operon::lr::solve_selection_lr(sets, params);
+  EXPECT_TRUE(lr.violations.clean()) << "lr, lm=" << GetParam();
+
+  // Exact never loses to LR when proven.
+  if (exact.proven_optimal) {
+    EXPECT_LE(exact.power_pj, lr.power_pj + 1e-9);
+  }
+}
+
+TEST_P(LossBudgetSweep, OperonNeverWorseThanBothBaselines) {
+  om::TechParams params = om::TechParams::dac18_defaults();
+  params.optical.max_loss_db = GetParam();
+  const om::Design design = small_case(502);
+  const auto sets = candidates_for(design, params);
+
+  const auto exact = oc::solve_selection_exact(sets, params);
+  const auto electrical = operon::baseline::route_electrical(sets, params);
+  EXPECT_LE(exact.power_pj, electrical.total_power_pj + 1e-9);
+  // GLOW's configuration is a valid selection only when its all-optical
+  // candidates exist in the option sets; the weaker (always true)
+  // guarantee is against the all-electrical fallback above. Against GLOW
+  // we allow a tiny epsilon for candidates OPERON pruned away.
+  const auto glow = operon::baseline::route_optical_glow(sets, params);
+  EXPECT_LE(exact.power_pj, glow.total_power_pj * 1.05 + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, LossBudgetSweep,
+                         ::testing::Values(3.0, 6.0, 10.0, 14.0, 20.0, 30.0));
+
+// --------------------------------------------------------------------
+// Law 2: monotonicity in the loss budget — loosening lm never increases
+// the optimal power (every lm-feasible selection stays feasible).
+
+TEST(Monotonicity, PowerNonIncreasingInLossBudget) {
+  const om::Design design = small_case(503);
+  double previous = std::numeric_limits<double>::infinity();
+  for (double lm : {4.0, 8.0, 12.0, 16.0, 20.0, 26.0}) {
+    om::TechParams params = om::TechParams::dac18_defaults();
+    params.optical.max_loss_db = lm;
+    const auto sets = candidates_for(design, params);
+    const auto exact = oc::solve_selection_exact(sets, params);
+    if (!exact.proven_optimal) continue;  // only compare proven optima
+    EXPECT_LE(exact.power_pj, previous + 1e-6) << "lm=" << lm;
+    previous = exact.power_pj;
+  }
+}
+
+TEST(Monotonicity, OpticalShareGrowsWithBudget) {
+  const om::Design design = small_case(504, 20);
+  std::size_t previous_optical = 0;
+  for (double lm : {2.0, 8.0, 20.0}) {
+    om::TechParams params = om::TechParams::dac18_defaults();
+    params.optical.max_loss_db = lm;
+    const auto sets = candidates_for(design, params);
+    const auto exact = oc::solve_selection_exact(sets, params);
+    std::size_t optical = 0;
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+      if (!sets[i].options[exact.selection[i]].pure_electrical()) ++optical;
+    }
+    EXPECT_GE(optical + 1, previous_optical) << "lm=" << lm;  // +1 slack
+    previous_optical = optical;
+  }
+}
+
+// --------------------------------------------------------------------
+// Law 3: the peel repair is idempotent, always clean, and never beats
+// the exact optimum.
+
+TEST(Peel, CleanIdempotentBounded) {
+  operon::util::Rng rng(71);
+  for (int trial = 0; trial < 5; ++trial) {
+    const om::Design design = small_case(600 + static_cast<std::uint64_t>(trial));
+    const om::TechParams params = om::TechParams::dac18_defaults();
+    const auto sets = candidates_for(design, params);
+    oc::SelectionEvaluator evaluator(sets, params);
+
+    const auto peeled = evaluator.peel(evaluator.min_power_selection());
+    EXPECT_TRUE(evaluator.violations(peeled).clean());
+    const auto twice = evaluator.peel(peeled);
+    EXPECT_EQ(twice, peeled);  // already clean -> unchanged
+
+    const auto exact = oc::solve_selection_exact(sets, params);
+    if (exact.proven_optimal) {
+      EXPECT_GE(evaluator.total_power(peeled), exact.power_pj - 1e-9);
+    }
+  }
+}
+
+// --------------------------------------------------------------------
+// Law 4: candidate sets are internally consistent for any crossing-cost
+// regime.
+
+class BetaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BetaSweep, CandidateSetInvariants) {
+  om::TechParams params = om::TechParams::dac18_defaults();
+  params.optical.beta_db_per_crossing = GetParam();
+  const om::Design design = small_case(505);
+  const auto sets = candidates_for(design, params);
+  for (const auto& set : sets) {
+    ASSERT_FALSE(set.options.empty());
+    EXPECT_TRUE(set.electrical().pure_electrical());
+    for (const auto& cand : set.options) {
+      // Power decomposition is consistent.
+      EXPECT_NEAR(cand.power_pj,
+                  cand.electrical_power_pj + cand.optical_power_pj, 1e-9);
+      // Detector count equals constraint-path count.
+      EXPECT_EQ(static_cast<std::size_t>(cand.num_detectors),
+                cand.paths.size());
+      // Conversion sites match counts.
+      EXPECT_EQ(cand.modulator_sites.size(),
+                static_cast<std::size_t>(cand.num_modulators));
+      EXPECT_EQ(cand.detector_sites.size(),
+                static_cast<std::size_t>(cand.num_detectors));
+      // Static loss fits the budget (the generation filter).
+      EXPECT_LE(cand.worst_static_loss_db(),
+                params.optical.max_loss_db + 1e-6);
+      // Paths' segments are a subset of the candidate's optical segments.
+      for (const auto& path : cand.paths) {
+        EXPECT_LE(path.splitting_db, path.static_loss_db + 1e-12);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, BetaSweep,
+                         ::testing::Values(0.0, 0.2, 0.52, 1.5));
+
+// --------------------------------------------------------------------
+// Law 5: determinism — identical seeds give bit-identical results across
+// the whole pipeline.
+
+TEST(Determinism, FullPipelineReproducible) {
+  const om::Design design = small_case(506);
+  operon::core::OperonOptions options;
+  const auto a = operon::core::run_operon(design, options);
+  const auto b = operon::core::run_operon(design, options);
+  EXPECT_EQ(a.selection, b.selection);
+  EXPECT_DOUBLE_EQ(a.power_pj, b.power_pj);
+  EXPECT_EQ(a.wdm_plan.initial_wdms, b.wdm_plan.initial_wdms);
+  EXPECT_EQ(a.wdm_plan.final_wdms, b.wdm_plan.final_wdms);
+}
+
+// --------------------------------------------------------------------
+// Law 6: solver cross-checks on bus-width extremes.
+
+class WidthSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WidthSweep, ExactMatchesLiteralMip) {
+  obg::BenchmarkSpec spec;
+  spec.num_groups = 6;
+  spec.bits_lo = GetParam();
+  spec.bits_hi = GetParam();
+  spec.seed = 507 + GetParam();
+  const om::Design design = obg::generate_benchmark(spec);
+  const om::TechParams params = om::TechParams::dac18_defaults();
+  const auto sets = candidates_for(design, params);
+
+  const auto exact = oc::solve_selection_exact(sets, params);
+  const auto mip = oc::solve_selection_mip(sets, params);
+  ASSERT_TRUE(exact.proven_optimal);
+  ASSERT_TRUE(mip.proven_optimal);
+  EXPECT_NEAR(exact.power_pj, mip.power_pj, 1e-6)
+      << "width " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WidthSweep,
+                         ::testing::Values(1u, 8u, 32u));

@@ -1,0 +1,143 @@
+// Tests for JSON run reports and the wavelength-assignment stage.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "benchgen/benchgen.hpp"
+#include "core/flow.hpp"
+#include "core/report.hpp"
+#include "wdm/wavelength.hpp"
+
+namespace ocore = operon::core;
+namespace ow = operon::wdm;
+
+namespace {
+
+ocore::OperonResult routed_fixture(const operon::model::Design& design,
+                                   ocore::OperonOptions& options) {
+  options.solver = ocore::SolverKind::Lr;
+  return ocore::run_operon(design, options);
+}
+
+operon::model::Design small_design() {
+  operon::benchgen::BenchmarkSpec spec;
+  spec.num_groups = 10;
+  spec.bits_lo = 3;
+  spec.bits_hi = 12;
+  spec.seed = 321;
+  return operon::benchgen::generate_benchmark(spec);
+}
+
+}  // namespace
+
+TEST(Report, ContainsExpectedFields) {
+  const auto design = small_design();
+  ocore::OperonOptions options;
+  const auto result = routed_fixture(design, options);
+  const std::string json = ocore::report_json(design, result, options);
+
+  for (const char* field :
+       {"\"design\":", "\"hyper_nets\":", "\"solver\":", "\"power_pj\":",
+        "\"wdm\":", "\"runtimes_s\":", "\"nets\":",
+        "\"lagrangian-relaxation\""}) {
+    EXPECT_NE(json.find(field), std::string::npos) << "missing " << field;
+  }
+  // Brace balance (cheap well-formedness proxy given the writer's own
+  // structural checks).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(Report, PerNetSectionOptional) {
+  const auto design = small_design();
+  ocore::OperonOptions options;
+  const auto result = routed_fixture(design, options);
+  const std::string with = ocore::report_json(design, result, options, true);
+  const std::string without =
+      ocore::report_json(design, result, options, false);
+  EXPECT_NE(with.find("\"nets\":"), std::string::npos);
+  EXPECT_EQ(without.find("\"nets\":"), std::string::npos);
+  EXPECT_LT(without.size(), with.size());
+}
+
+TEST(Report, WriteReadFile) {
+  const auto design = small_design();
+  ocore::OperonOptions options;
+  const auto result = routed_fixture(design, options);
+  const std::string path = "report_test_tmp.json";
+  ocore::write_report(path, design, result, options);
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good());
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  EXPECT_EQ(buffer.str(),
+            ocore::report_json(design, result, options) + "\n");
+  std::remove(path.c_str());
+}
+
+TEST(Wavelength, AssignmentValidOnRealPlan) {
+  const auto design = small_design();
+  ocore::OperonOptions options;
+  const auto result = routed_fixture(design, options);
+  ASSERT_FALSE(result.wdm_plan.allocations.empty());
+
+  const auto wavelengths =
+      ow::assign_wavelengths(result.wdm_plan, options.params.optical);
+  EXPECT_TRUE(wavelengths.feasible);
+  EXPECT_TRUE(ow::wavelengths_valid(result.wdm_plan, wavelengths,
+                                    options.params.optical));
+  // Channel-high-water per WDM within capacity.
+  for (int used : wavelengths.channels_used) {
+    EXPECT_GE(used, 0);
+    EXPECT_LE(used, options.params.optical.wdm_capacity);
+  }
+}
+
+TEST(Wavelength, ContiguousWherePossible) {
+  // One WDM, two allocations 20 + 12 = 32: both runs contiguous.
+  ow::WdmPlan plan;
+  ow::Wdm wdm;
+  wdm.capacity = 32;
+  plan.wdms.push_back(wdm);
+  plan.allocations.push_back({0, 0, 20});
+  plan.allocations.push_back({1, 0, 12});
+  operon::model::OpticalParams optical =
+      operon::model::TechParams::dac18_defaults().optical;
+
+  const auto wavelengths = ow::assign_wavelengths(plan, optical);
+  ASSERT_TRUE(wavelengths.feasible);
+  EXPECT_TRUE(ow::wavelengths_valid(plan, wavelengths, optical));
+  for (const auto& assignment : wavelengths.assignments) {
+    for (std::size_t k = 1; k < assignment.channels.size(); ++k) {
+      EXPECT_EQ(assignment.channels[k], assignment.channels[k - 1] + 1);
+    }
+  }
+  EXPECT_EQ(wavelengths.channels_used[0], 32);
+}
+
+TEST(Wavelength, DetectsCorruptAssignment) {
+  ow::WdmPlan plan;
+  ow::Wdm wdm;
+  wdm.capacity = 8;
+  plan.wdms.push_back(wdm);
+  plan.allocations.push_back({0, 0, 4});
+  operon::model::OpticalParams optical =
+      operon::model::TechParams::dac18_defaults().optical;
+  optical.wdm_capacity = 8;
+
+  auto wavelengths = ow::assign_wavelengths(plan, optical);
+  ASSERT_TRUE(ow::wavelengths_valid(plan, wavelengths, optical));
+  // Duplicate a channel -> invalid.
+  wavelengths.assignments[0].channels[1] =
+      wavelengths.assignments[0].channels[0];
+  EXPECT_FALSE(ow::wavelengths_valid(plan, wavelengths, optical));
+  // Out-of-range channel -> invalid.
+  wavelengths = ow::assign_wavelengths(plan, optical);
+  wavelengths.assignments[0].channels[0] = 99;
+  EXPECT_FALSE(ow::wavelengths_valid(plan, wavelengths, optical));
+}

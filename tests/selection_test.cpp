@@ -1,0 +1,238 @@
+// Tests for solution determination: the evaluator's crossing math, the
+// exact branch-and-bound (cross-checked against the literal Formulation-3
+// MIP and brute force), the §3.3 variable reduction, and time-limit
+// semantics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/hypernet_builder.hpp"
+#include "codesign/generate.hpp"
+#include "codesign/ilp_select.hpp"
+#include "codesign/selection.hpp"
+#include "util/rng.hpp"
+
+namespace oc = operon::codesign;
+namespace om = operon::model;
+namespace og = operon::geom;
+
+namespace {
+
+const om::TechParams kParams = om::TechParams::dac18_defaults();
+
+/// Parallel horizontal buses source-left, sink-right; optical baselines
+/// of different nets do not cross (parallel), so interactions exist only
+/// via bbox overlap.
+om::Design parallel_buses(std::size_t groups, double pitch,
+                          std::uint64_t seed) {
+  operon::util::Rng rng(seed);
+  om::Design design;
+  design.name = "parallel";
+  design.chip = og::BBox::of({0, 0}, {20000, 20000});
+  for (std::size_t g = 0; g < groups; ++g) {
+    om::SignalGroup group;
+    group.name = "g" + std::to_string(g);
+    const double y = 1000.0 + pitch * static_cast<double>(g);
+    for (int b = 0; b < 8; ++b) {
+      om::SignalBit bit;
+      bit.source = {{1000.0 + rng.uniform(0, 50), y + rng.uniform(0, 50)},
+                    om::PinRole::Source};
+      bit.sinks.push_back(
+          {{15000.0 + rng.uniform(0, 50), y + rng.uniform(0, 50)},
+           om::PinRole::Sink});
+      group.bits.push_back(std::move(bit));
+    }
+    design.groups.push_back(std::move(group));
+  }
+  return design;
+}
+
+/// A crossing mesh: half the buses run left-to-right, half bottom-to-top,
+/// so optical routes must cross.
+om::Design crossing_mesh(std::size_t per_direction, std::uint64_t seed) {
+  operon::util::Rng rng(seed);
+  om::Design design;
+  design.name = "mesh";
+  design.chip = og::BBox::of({0, 0}, {20000, 20000});
+  const auto add_group = [&](const og::Point& src, const og::Point& dst,
+                             std::size_t id) {
+    om::SignalGroup group;
+    group.name = "m" + std::to_string(id);
+    for (int b = 0; b < 8; ++b) {
+      om::SignalBit bit;
+      bit.source = {{src.x + rng.uniform(0, 50), src.y + rng.uniform(0, 50)},
+                    om::PinRole::Source};
+      bit.sinks.push_back(
+          {{dst.x + rng.uniform(0, 50), dst.y + rng.uniform(0, 50)},
+           om::PinRole::Sink});
+      group.bits.push_back(std::move(bit));
+    }
+    design.groups.push_back(std::move(group));
+  };
+  for (std::size_t k = 0; k < per_direction; ++k) {
+    const double c = 4000.0 + 2500.0 * static_cast<double>(k);
+    add_group({1000, c}, {19000, c}, 2 * k);        // horizontal
+    add_group({c, 1000}, {c, 19000}, 2 * k + 1);    // vertical
+  }
+  return design;
+}
+
+std::vector<oc::CandidateSet> candidates_for(const om::Design& design,
+                                             const om::TechParams& params) {
+  operon::cluster::SignalProcessingOptions processing;
+  const auto nets = operon::cluster::build_hyper_nets(design, processing);
+  return oc::generate_candidates(design, nets.hyper_nets, params);
+}
+
+}  // namespace
+
+TEST(Evaluator, InteractionListRespectsBBoxes) {
+  // Far-apart buses: with variable reduction, no interactions.
+  const auto sets = candidates_for(parallel_buses(4, 5000.0, 1), kParams);
+  oc::SelectionEvaluator reduced(sets, kParams, /*interact_all=*/false);
+  oc::SelectionEvaluator full(sets, kParams, /*interact_all=*/true);
+  EXPECT_LT(reduced.num_interacting_pairs(), full.num_interacting_pairs());
+  EXPECT_EQ(full.num_interacting_pairs(), 4u * 3u / 2u);
+}
+
+TEST(Evaluator, AllElectricalIsCleanAndExpensive) {
+  const auto sets = candidates_for(parallel_buses(3, 600.0, 2), kParams);
+  oc::SelectionEvaluator evaluator(sets, kParams);
+  const auto electrical = evaluator.all_electrical();
+  EXPECT_TRUE(evaluator.violations(electrical).clean());
+  const auto min_power = evaluator.min_power_selection();
+  EXPECT_LT(evaluator.total_power(min_power),
+            evaluator.total_power(electrical));
+  EXPECT_DOUBLE_EQ(evaluator.power_lower_bound(),
+                   evaluator.total_power(min_power));
+}
+
+TEST(Evaluator, CrossingCountsSymmetricInMesh) {
+  const auto sets = candidates_for(crossing_mesh(2, 3), kParams);
+  oc::SelectionEvaluator evaluator(sets, kParams);
+  // Find a horizontal/vertical pair and check that selected optical
+  // candidates actually cross.
+  const auto selection = evaluator.min_power_selection();
+  std::size_t crossing_pairs = 0;
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    for (std::size_t m : evaluator.interacting(i)) {
+      if (m <= i) continue;
+      const auto& counts = evaluator.crossings(i, selection[i], m, selection[m]);
+      for (int c : counts) {
+        if (c > 0) ++crossing_pairs;
+      }
+    }
+  }
+  EXPECT_GT(crossing_pairs, 0u);
+}
+
+TEST(ExactSelect, NoInteractionsPicksPerNetMin) {
+  const auto sets = candidates_for(parallel_buses(5, 4000.0, 4), kParams);
+  oc::SelectionEvaluator evaluator(sets, kParams);
+  const auto result = oc::solve_selection_exact(sets, kParams);
+  EXPECT_TRUE(result.proven_optimal);
+  EXPECT_FALSE(result.timed_out);
+  EXPECT_TRUE(result.violations.clean());
+  EXPECT_NEAR(result.power_pj, evaluator.power_lower_bound(), 1e-9);
+}
+
+TEST(ExactSelect, MatchesLiteralMipOnMesh) {
+  const auto sets = candidates_for(crossing_mesh(2, 5), kParams);
+  const auto exact = oc::solve_selection_exact(sets, kParams);
+  const auto mip = oc::solve_selection_mip(sets, kParams);
+  ASSERT_TRUE(exact.proven_optimal);
+  ASSERT_TRUE(mip.proven_optimal);
+  EXPECT_NEAR(exact.power_pj, mip.power_pj, 1e-6);
+  EXPECT_TRUE(exact.violations.clean());
+  EXPECT_TRUE(mip.violations.clean());
+}
+
+TEST(ExactSelect, MatchesBruteForceSmall) {
+  // 3 mesh nets: enumerate all selections and compare.
+  const auto sets = candidates_for(crossing_mesh(2, 6), kParams);
+  ASSERT_LE(sets.size(), 4u);
+  oc::SelectionEvaluator evaluator(sets, kParams);
+
+  // Brute force over the candidate cross product.
+  oc::Selection current(sets.size(), 0);
+  double best = 1e18;
+  const std::function<void(std::size_t)> recurse = [&](std::size_t i) {
+    if (i == sets.size()) {
+      if (evaluator.violations(current).clean()) {
+        best = std::min(best, evaluator.total_power(current));
+      }
+      return;
+    }
+    for (std::size_t c = 0; c < sets[i].options.size(); ++c) {
+      current[i] = c;
+      recurse(i + 1);
+    }
+  };
+  recurse(0);
+
+  const auto exact = oc::solve_selection_exact(sets, kParams);
+  ASSERT_TRUE(exact.proven_optimal);
+  EXPECT_NEAR(exact.power_pj, best, 1e-6);
+}
+
+TEST(ExactSelect, TightLossForcesFallbacks) {
+  om::TechParams tight = kParams;
+  tight.optical.max_loss_db = 2.3;  // barely one 1.4 cm span, no crossing
+  const auto sets = candidates_for(crossing_mesh(3, 7), tight);
+  const auto result = oc::solve_selection_exact(sets, tight);
+  EXPECT_TRUE(result.violations.clean());
+  // Some nets must have stepped off the pure min-power (all-optical) pick.
+  oc::SelectionEvaluator evaluator(sets, tight);
+  EXPECT_GE(result.power_pj, evaluator.power_lower_bound());
+}
+
+TEST(ExactSelect, TimeLimitReturnsFeasibleIncumbent) {
+  const auto sets = candidates_for(crossing_mesh(4, 8), kParams);
+  oc::SelectOptions options;
+  options.time_limit_s = 1e-9;
+  const auto result = oc::solve_selection_exact(sets, kParams, options);
+  EXPECT_TRUE(result.timed_out);
+  EXPECT_FALSE(result.proven_optimal);
+  // The incumbent must still be a complete, feasible selection.
+  ASSERT_EQ(result.selection.size(), sets.size());
+  EXPECT_TRUE(result.violations.clean());
+}
+
+TEST(ExactSelect, VariableReductionPreservesOptimum) {
+  const auto sets = candidates_for(crossing_mesh(2, 9), kParams);
+  oc::SelectOptions reduced;
+  reduced.reduce_variables = true;
+  oc::SelectOptions full;
+  full.reduce_variables = false;
+  const auto a = oc::solve_selection_exact(sets, kParams, reduced);
+  const auto b = oc::solve_selection_exact(sets, kParams, full);
+  ASSERT_TRUE(a.proven_optimal);
+  ASSERT_TRUE(b.proven_optimal);
+  EXPECT_NEAR(a.power_pj, b.power_pj, 1e-6);
+  EXPECT_LE(a.num_components, sets.size());
+}
+
+TEST(ExactSelect, ComponentsReported) {
+  const auto sets = candidates_for(parallel_buses(6, 4000.0, 10), kParams);
+  const auto result = oc::solve_selection_exact(sets, kParams);
+  EXPECT_GE(result.num_components, 1u);
+  EXPECT_GE(result.largest_component, 1u);
+  EXPECT_GT(result.nodes_explored, 0u);
+}
+
+TEST(MipBuilder, StructureMatchesFormulation3) {
+  const auto sets = candidates_for(crossing_mesh(2, 11), kParams);
+  oc::SelectionEvaluator evaluator(sets, kParams);
+  const auto mip = oc::build_selection_mip(evaluator);
+  // One binary per candidate; one-hot rows exist for every net.
+  std::size_t binaries = 0;
+  for (std::size_t v = 0; v < mip.model.num_variables(); ++v) {
+    if (mip.model.variable(v).integral) ++binaries;
+  }
+  std::size_t expected = 0;
+  for (const auto& set : sets) expected += set.options.size();
+  EXPECT_EQ(binaries, expected);
+  EXPECT_GE(mip.model.num_constraints(), sets.size());
+  mip.model.validate();
+}

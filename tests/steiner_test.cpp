@@ -1,0 +1,279 @@
+// Tests for the Steiner engine: MST correctness vs brute force, BI1S
+// improvement properties, Hanan/Fermat candidates, tree utilities, and
+// multi-baseline generation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+#include "steiner/bi1s.hpp"
+#include "steiner/mst.hpp"
+#include "steiner/tree.hpp"
+#include "util/rng.hpp"
+
+namespace os = operon::steiner;
+namespace og = operon::geom;
+
+namespace {
+
+/// Brute-force MST length via Kruskal on all pairs (reference).
+double reference_mst_length(const std::vector<og::Point>& points,
+                            os::Metric metric) {
+  const std::size_t n = points.size();
+  struct E {
+    double w;
+    std::size_t u, v;
+  };
+  std::vector<E> edges;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      edges.push_back({os::edge_length(metric, points[i], points[j]), i, j});
+  std::sort(edges.begin(), edges.end(),
+            [](const E& a, const E& b) { return a.w < b.w; });
+  std::vector<std::size_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  const std::function<std::size_t(std::size_t)> find = [&](std::size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  double total = 0.0;
+  std::size_t used = 0;
+  for (const E& e : edges) {
+    const auto ru = find(e.u), rv = find(e.v);
+    if (ru == rv) continue;
+    parent[ru] = rv;
+    total += e.w;
+    if (++used == n - 1) break;
+  }
+  return total;
+}
+
+std::vector<og::Point> random_points(operon::util::Rng& rng, std::size_t n,
+                                     double extent) {
+  std::vector<og::Point> pts(n);
+  for (auto& p : pts) p = {rng.uniform(0, extent), rng.uniform(0, extent)};
+  return pts;
+}
+
+}  // namespace
+
+TEST(Mst, TrivialSizes) {
+  EXPECT_TRUE(os::mst_edges({}, os::Metric::Euclidean).empty());
+  std::vector<og::Point> one{{1, 1}};
+  EXPECT_TRUE(os::mst_edges(one, os::Metric::Euclidean).empty());
+  std::vector<og::Point> two{{0, 0}, {3, 4}};
+  const auto edges = os::mst_edges(two, os::Metric::Euclidean);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_DOUBLE_EQ(os::mst_length(two, os::Metric::Euclidean), 5.0);
+  EXPECT_DOUBLE_EQ(os::mst_length(two, os::Metric::Rectilinear), 7.0);
+}
+
+TEST(Mst, MatchesKruskalReference) {
+  operon::util::Rng rng(31);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto pts = random_points(rng, 3 + static_cast<std::size_t>(trial % 15), 1000.0);
+    for (const auto metric : {os::Metric::Euclidean, os::Metric::Rectilinear}) {
+      EXPECT_NEAR(os::mst_length(pts, metric),
+                  reference_mst_length(pts, metric), 1e-6);
+    }
+  }
+}
+
+TEST(Mst, TreeIsSpanning) {
+  operon::util::Rng rng(37);
+  const auto pts = random_points(rng, 20, 500.0);
+  const os::SteinerTree tree = os::mst_tree(pts, os::Metric::Euclidean);
+  EXPECT_TRUE(tree.is_connected_tree());
+  EXPECT_EQ(tree.num_terminals, 20u);
+  EXPECT_EQ(tree.num_steiner(), 0u);
+}
+
+TEST(Tree, SegmentsEuclideanVsRectilinear) {
+  os::SteinerTree tree;
+  tree.points = {{0, 0}, {3, 4}};
+  tree.num_terminals = 2;
+  tree.edges = {{0, 1}};
+  const auto direct = tree.segments(os::Metric::Euclidean);
+  ASSERT_EQ(direct.size(), 1u);
+  EXPECT_DOUBLE_EQ(direct[0].length(), 5.0);
+  const auto l_route = tree.segments(os::Metric::Rectilinear);
+  ASSERT_EQ(l_route.size(), 2u);
+  EXPECT_DOUBLE_EQ(og::total_length(l_route), 7.0);
+}
+
+TEST(Tree, DegenerateEdgeYieldsNoSegments) {
+  os::SteinerTree tree;
+  tree.points = {{1, 1}, {1, 1}};
+  tree.num_terminals = 2;
+  tree.edges = {{0, 1}};
+  EXPECT_TRUE(tree.segments(os::Metric::Euclidean).empty());
+}
+
+TEST(Tree, RemoveRedundantSteinerSplices) {
+  // Terminal - steiner(degree 2) - terminal: the Steiner point must go.
+  os::SteinerTree tree;
+  tree.points = {{0, 0}, {10, 0}, {5, 0}};
+  tree.num_terminals = 2;
+  tree.edges = {{0, 2}, {2, 1}};
+  tree.remove_redundant_steiner();
+  EXPECT_EQ(tree.num_points(), 2u);
+  ASSERT_EQ(tree.edges.size(), 1u);
+  EXPECT_TRUE(tree.is_connected_tree());
+}
+
+TEST(Tree, RemoveRedundantKeepsDegree3) {
+  os::SteinerTree tree;
+  tree.points = {{0, 0}, {10, 0}, {5, 5}, {5, 0}};
+  tree.num_terminals = 3;
+  tree.edges = {{0, 3}, {3, 1}, {3, 2}};
+  tree.remove_redundant_steiner();
+  EXPECT_EQ(tree.num_points(), 4u);
+  EXPECT_EQ(tree.edges.size(), 3u);
+}
+
+TEST(Tree, RootedPostorderChildrenFirst) {
+  os::SteinerTree tree;
+  tree.points = {{0, 0}, {1, 0}, {2, 0}, {1, 1}};
+  tree.num_terminals = 4;
+  tree.edges = {{0, 1}, {1, 2}, {1, 3}};
+  const os::RootedTree rooted = os::RootedTree::build(tree, 0);
+  EXPECT_EQ(rooted.parent[0], 0u);
+  EXPECT_EQ(rooted.parent[1], 0u);
+  EXPECT_EQ(rooted.parent[2], 1u);
+  EXPECT_EQ(rooted.parent[3], 1u);
+  // Postorder: every node appears after all its children.
+  std::vector<std::size_t> position(4);
+  for (std::size_t i = 0; i < rooted.postorder.size(); ++i)
+    position[rooted.postorder[i]] = i;
+  for (std::size_t v = 0; v < 4; ++v) {
+    for (std::size_t c : rooted.children[v]) {
+      EXPECT_LT(position[c], position[v]);
+    }
+  }
+}
+
+TEST(Hanan, GridExcludesInputPoints) {
+  std::vector<og::Point> pts{{0, 0}, {2, 3}, {5, 1}};
+  const auto candidates = os::hanan_candidates(pts);
+  // 3x3 grid minus the 3 inputs = 6 candidates.
+  EXPECT_EQ(candidates.size(), 6u);
+  for (const auto& c : candidates) {
+    for (const auto& p : pts) EXPECT_FALSE(c == p);
+  }
+}
+
+TEST(Fermat, EquilateralCentroid) {
+  const og::Point a{0, 0}, b{2, 0}, c{1, std::sqrt(3.0)};
+  const og::Point f = os::fermat_point(a, b, c);
+  EXPECT_NEAR(f.x, 1.0, 1e-6);
+  EXPECT_NEAR(f.y, std::sqrt(3.0) / 3.0, 1e-6);
+}
+
+TEST(Fermat, ObtuseVertexDominates) {
+  // Angle at origin is ~170 degrees: the Fermat point is that vertex.
+  const og::Point a{0, 0}, b{10, 0.5}, c{-10, 0.5};
+  const og::Point f = os::fermat_point(a, b, c);
+  EXPECT_NEAR(f.x, 0.0, 1e-9);
+  EXPECT_NEAR(f.y, 0.0, 1e-9);
+}
+
+TEST(Fermat, MinimizesStarLength) {
+  operon::util::Rng rng(41);
+  for (int trial = 0; trial < 100; ++trial) {
+    const og::Point a{rng.uniform(0, 10), rng.uniform(0, 10)};
+    const og::Point b{rng.uniform(0, 10), rng.uniform(0, 10)};
+    const og::Point c{rng.uniform(0, 10), rng.uniform(0, 10)};
+    const og::Point f = os::fermat_point(a, b, c);
+    const auto star = [&](const og::Point& p) {
+      return og::euclidean(p, a) + og::euclidean(p, b) + og::euclidean(p, c);
+    };
+    const double best = star(f);
+    // No sampled point does better (within numeric slack).
+    for (int probe = 0; probe < 50; ++probe) {
+      const og::Point p{rng.uniform(0, 10), rng.uniform(0, 10)};
+      EXPECT_GE(star(p), best - 1e-6);
+    }
+  }
+}
+
+TEST(Bi1s, EquilateralGainsSteinerPoint) {
+  // For an equilateral triangle the Steiner tree is ~13.4% shorter than
+  // the MST; BI1S must find the Fermat point.
+  std::vector<og::Point> pts{{0, 0}, {100, 0}, {50, 100.0 * std::sqrt(3.0) / 2.0}};
+  os::Bi1sOptions options;
+  options.metric = os::Metric::Euclidean;
+  const os::SteinerTree tree = os::bi1s(pts, options);
+  EXPECT_EQ(tree.num_steiner(), 1u);
+  const double mst = os::mst_length(pts, os::Metric::Euclidean);
+  EXPECT_LT(tree.length(os::Metric::Euclidean), mst * 0.88);
+  EXPECT_TRUE(tree.is_connected_tree());
+}
+
+TEST(Bi1s, CrossRectilinear) {
+  // Four corners of a plus sign: one Hanan point at center saves length.
+  std::vector<og::Point> pts{{0, 5}, {10, 5}, {5, 0}, {5, 10}};
+  os::Bi1sOptions options;
+  options.metric = os::Metric::Rectilinear;
+  const os::SteinerTree tree = os::bi1s(pts, options);
+  const double mst = os::mst_length(pts, os::Metric::Rectilinear);
+  EXPECT_LE(tree.length(os::Metric::Rectilinear), mst);
+  EXPECT_GE(tree.num_steiner(), 1u);
+  EXPECT_NEAR(tree.length(os::Metric::Rectilinear), 20.0, 1e-9);
+}
+
+TEST(Bi1s, NeverWorseThanMst) {
+  operon::util::Rng rng(43);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto pts = random_points(rng, 4 + static_cast<std::size_t>(trial % 8), 1000.0);
+    for (const auto metric : {os::Metric::Euclidean, os::Metric::Rectilinear}) {
+      const os::SteinerTree tree = os::bi1s(pts, {.metric = metric});
+      EXPECT_LE(tree.length(metric),
+                os::mst_length(pts, metric) + 1e-6);
+      EXPECT_TRUE(tree.is_connected_tree());
+      EXPECT_EQ(tree.num_terminals, pts.size());
+    }
+  }
+}
+
+TEST(Bi1s, TwoTerminalsNoSteiner) {
+  std::vector<og::Point> pts{{0, 0}, {7, 7}};
+  const os::SteinerTree tree = os::bi1s(pts);
+  EXPECT_EQ(tree.num_steiner(), 0u);
+  EXPECT_EQ(tree.edges.size(), 1u);
+}
+
+TEST(Baselines, DistinctAndFirstIsBest) {
+  operon::util::Rng rng(47);
+  const auto pts = random_points(rng, 7, 1000.0);
+  const auto baselines =
+      os::generate_baselines(pts, os::Metric::Euclidean, 4);
+  ASSERT_GE(baselines.size(), 2u);
+  EXPECT_LE(baselines.size(), 4u);
+  const double best = baselines[0].length(os::Metric::Euclidean);
+  for (const auto& tree : baselines) {
+    EXPECT_TRUE(tree.is_connected_tree());
+    EXPECT_EQ(tree.num_terminals, pts.size());
+    EXPECT_GE(tree.length(os::Metric::Euclidean), best - 1e-6);
+  }
+}
+
+TEST(Fermat, ManyPointsUseNeighborTriples) {
+  // Above the exhaustive threshold the candidate count must stay linear
+  // (i * C(6,2) bound) instead of cubic, and BI1S must finish promptly.
+  operon::util::Rng rng(53);
+  const auto pts = random_points(rng, 40, 5000.0);
+  const auto candidates = os::fermat_candidates(pts);
+  EXPECT_LE(candidates.size(), 40u * 15u);
+  const os::SteinerTree tree = os::bi1s(pts, {.metric = os::Metric::Euclidean});
+  EXPECT_TRUE(tree.is_connected_tree());
+  EXPECT_LE(tree.length(os::Metric::Euclidean),
+            os::mst_length(pts, os::Metric::Euclidean) + 1e-6);
+}
+
+TEST(Baselines, SingleRequestedReturnsOne) {
+  std::vector<og::Point> pts{{0, 0}, {10, 0}, {5, 8}};
+  const auto baselines = os::generate_baselines(pts, os::Metric::Euclidean, 1);
+  EXPECT_EQ(baselines.size(), 1u);
+}

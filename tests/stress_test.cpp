@@ -1,0 +1,67 @@
+// Randomized end-to-end stress: many small designs with varied structure
+// pushed through the full pipeline, asserting only the system-level
+// invariants. Catches crashes and invariant breaks in configurations no
+// hand-written test enumerates.
+
+#include <gtest/gtest.h>
+
+#include "core/flow.hpp"
+#include "benchgen/benchgen.hpp"
+#include "util/rng.hpp"
+#include "wdm/wavelength.hpp"
+
+namespace ocore = operon::core;
+
+TEST(Stress, RandomPipelines) {
+  operon::util::Rng rng(31415);
+  for (int trial = 0; trial < 14; ++trial) {
+    operon::benchgen::BenchmarkSpec spec;
+    spec.name = "stress" + std::to_string(trial);
+    spec.num_groups = 4 + static_cast<std::size_t>(rng.uniform_int(0, 12));
+    spec.bits_lo = 1 + static_cast<std::size_t>(rng.uniform_int(0, 3));
+    spec.bits_hi = spec.bits_lo + static_cast<std::size_t>(rng.uniform_int(0, 20));
+    spec.sink_blocks_lo = 1;
+    spec.sink_blocks_hi = 1 + static_cast<std::size_t>(rng.uniform_int(0, 2));
+    spec.min_span_um = rng.uniform(1200.0, 3000.0);
+    spec.max_span_um = spec.min_span_um + rng.uniform(1000.0, 6000.0);
+    spec.block_size_um = rng.uniform(50.0, 400.0);
+    spec.seed = 10000 + static_cast<std::uint64_t>(trial);
+
+    const auto design = operon::benchgen::generate_benchmark(spec);
+    ocore::OperonOptions options;
+    options.solver = rng.bernoulli(0.5) ? ocore::SolverKind::Lr
+                                        : ocore::SolverKind::IlpExact;
+    options.select.time_limit_s = 5.0;
+    options.params.optical.max_loss_db = rng.uniform(4.0, 24.0);
+
+    const auto result = ocore::run_operon(design, options);
+    SCOPED_TRACE("trial " + std::to_string(trial));
+
+    // System invariants, regardless of configuration:
+    ASSERT_EQ(result.selection.size(), result.sets.size());
+    EXPECT_TRUE(result.violations.clean());
+    EXPECT_GT(result.power_pj, 0.0);
+    EXPECT_EQ(result.optical_nets + result.electrical_nets,
+              result.sets.size());
+    // WDM plan consistent: final <= initial <= connections (per-WDM
+    // sharing can only reduce), all channels allocated.
+    EXPECT_LE(result.wdm_plan.final_wdms, result.wdm_plan.initial_wdms);
+    EXPECT_LE(result.wdm_plan.initial_wdms,
+              result.wdm_plan.connections.size());
+    EXPECT_TRUE(result.wdm_plan.feasible);
+    std::size_t alloc_bits = 0, conn_bits = 0;
+    for (const auto& alloc : result.wdm_plan.allocations) {
+      alloc_bits += alloc.bits;
+    }
+    for (const auto& conn : result.wdm_plan.connections) {
+      conn_bits += conn.bits;
+    }
+    EXPECT_EQ(alloc_bits, conn_bits);
+    // Wavelength assignment always succeeds on a feasible plan.
+    const auto wavelengths = operon::wdm::assign_wavelengths(
+        result.wdm_plan, options.params.optical);
+    EXPECT_TRUE(wavelengths.feasible);
+    EXPECT_TRUE(operon::wdm::wavelengths_valid(result.wdm_plan, wavelengths,
+                                               options.params.optical));
+  }
+}

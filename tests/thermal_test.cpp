@@ -1,0 +1,122 @@
+// Tests for the thermal extension: temperature-field construction
+// (diffusion, peak location), ring tuning-energy accounting, and the
+// headline coupling — a cooler electrical layer (OPERON) pays less ring
+// tuning power than a hotter one (GLOW with electrical fallbacks).
+
+#include <gtest/gtest.h>
+
+#include "baseline/routers.hpp"
+#include "benchgen/benchgen.hpp"
+#include "core/flow.hpp"
+#include "thermal/thermal.hpp"
+
+namespace oth = operon::thermal;
+namespace ocore = operon::core;
+namespace og = operon::geom;
+
+namespace {
+const operon::model::TechParams kTech =
+    operon::model::TechParams::dac18_defaults();
+}
+
+TEST(Thermal, AmbientWhenNoPower) {
+  ocore::PowerMap map;
+  map.cells = 16;
+  map.extent = og::BBox::of({0, 0}, {10000, 10000});
+  map.optical.assign(16 * 16, 0.0);
+  map.electrical.assign(16 * 16, 0.0);
+  oth::ThermalParams params;
+  const oth::TemperatureField field(map, params);
+  EXPECT_DOUBLE_EQ(field.max_c(), params.ambient_c);
+  EXPECT_DOUBLE_EQ(field.min_c(), params.ambient_c);
+  EXPECT_DOUBLE_EQ(field.at({5000, 5000}), params.ambient_c);
+}
+
+TEST(Thermal, HotspotPeaksAtSourceAndDiffuses) {
+  ocore::PowerMap map;
+  map.cells = 32;
+  map.extent = og::BBox::of({0, 0}, {10000, 10000});
+  map.optical.assign(32 * 32, 0.0);
+  map.electrical.assign(32 * 32, 0.0);
+  map.electrical_at(16, 16) = 100.0;  // point source in the middle
+  oth::ThermalParams params;
+  const oth::TemperatureField field(map, params);
+  const double center = field.at({5156, 5156});
+  const double near = field.at({6000, 5156});
+  const double far = field.at({500, 500});
+  EXPECT_GT(center, near);
+  EXPECT_GT(near, far);
+  EXPECT_NEAR(far, params.ambient_c, 0.5);
+  EXPECT_GT(field.max_c(), params.ambient_c);
+}
+
+TEST(Thermal, TuningEnergyScalesWithOffset) {
+  // Two identical designs analyzed with different target temperatures:
+  // farther target -> more tuning energy.
+  operon::benchgen::BenchmarkSpec spec;
+  spec.num_groups = 6;
+  spec.seed = 91;
+  const operon::model::Design design =
+      operon::benchgen::generate_benchmark(spec);
+  ocore::OperonOptions options;
+  const ocore::OperonResult result = ocore::run_operon(design, options);
+  std::vector<operon::codesign::Candidate> chosen;
+  for (std::size_t i = 0; i < result.sets.size(); ++i) {
+    chosen.push_back(result.sets[i].options[result.selection[i]]);
+  }
+
+  oth::ThermalParams near_target;
+  near_target.target_c = 46.0;
+  oth::ThermalParams far_target = near_target;
+  far_target.target_c = 80.0;
+  const auto near_report =
+      oth::analyze(design.chip, result.sets, chosen, kTech, near_target);
+  const auto far_report =
+      oth::analyze(design.chip, result.sets, chosen, kTech, far_target);
+  EXPECT_GT(near_report.rings.size(), 0u);
+  EXPECT_EQ(near_report.rings.size(), far_report.rings.size());
+  EXPECT_LT(near_report.total_tuning_pj, far_report.total_tuning_pj);
+  // Ring count matches the conversion-site count of the selection.
+  std::size_t sites = 0;
+  for (const auto& cand : chosen) {
+    sites += cand.modulator_sites.size() + cand.detector_sites.size();
+  }
+  EXPECT_EQ(near_report.rings.size(), sites);
+}
+
+TEST(Thermal, CoolerElectricalLayerPaysLessTuning) {
+  // The extension's headline: under a tight budget GLOW falls back to
+  // copper more, heating the die; OPERON's rings then need less tuning.
+  operon::model::TechParams tight = kTech;
+  tight.optical.max_loss_db = 7.0;
+  operon::benchgen::BenchmarkSpec spec;
+  spec.num_groups = 24;
+  spec.bits_lo = 4;
+  spec.bits_hi = 10;
+  spec.sink_blocks_lo = 2;
+  spec.sink_blocks_hi = 3;
+  spec.seed = 92;
+  const operon::model::Design design =
+      operon::benchgen::generate_benchmark(spec);
+
+  ocore::OperonOptions options;
+  options.params = tight;
+  const ocore::OperonResult result = ocore::run_operon(design, options);
+  const auto glow =
+      operon::baseline::route_optical_glow(result.sets, tight);
+  std::vector<operon::codesign::Candidate> operon_chosen;
+  for (std::size_t i = 0; i < result.sets.size(); ++i) {
+    operon_chosen.push_back(result.sets[i].options[result.selection[i]]);
+  }
+  if (result.power_pj >= glow.total_power_pj) {
+    GTEST_SKIP() << "instance did not separate OPERON from GLOW";
+  }
+
+  oth::ThermalParams thermal;
+  const auto operon_report =
+      oth::analyze(design.chip, result.sets, operon_chosen, tight, thermal);
+  const auto glow_report =
+      oth::analyze(design.chip, result.sets, glow.chosen, tight, thermal);
+  EXPECT_LE(operon_report.max_temperature_c,
+            glow_report.max_temperature_c + 1e-9);
+}

@@ -1,0 +1,160 @@
+// Tests for the interconnect timing models: Elmore quadratic growth,
+// repeatered linearization, the optical time-of-flight, the
+// electrical/optical delay crossover, and candidate-level analysis on
+// hand-built trees.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codesign/assemble.hpp"
+#include "steiner/tree.hpp"
+#include "timing/timing.hpp"
+
+namespace ot = operon::timing;
+namespace oc = operon::codesign;
+namespace os = operon::steiner;
+
+namespace {
+const ot::TimingParams kTiming = ot::TimingParams::defaults();
+const operon::model::TechParams kTech =
+    operon::model::TechParams::dac18_defaults();
+}  // namespace
+
+TEST(Timing, ElmoreQuadratic) {
+  const double d1 = ot::elmore_delay_ps(kTiming.electrical, 1000.0);
+  const double d2 = ot::elmore_delay_ps(kTiming.electrical, 2000.0);
+  EXPECT_GT(d1, 0.0);
+  // Doubling length more than doubles unrepeated delay (quadratic term).
+  EXPECT_GT(d2, 2.0 * d1);
+  EXPECT_DOUBLE_EQ(ot::elmore_delay_ps(kTiming.electrical, 0.0), 0.0);
+}
+
+TEST(Timing, RepeateredIsLinearish) {
+  const double d4 = ot::repeatered_delay_ps(kTiming.electrical, 4000.0);
+  const double d8 = ot::repeatered_delay_ps(kTiming.electrical, 8000.0);
+  // Repeatered delay within 35% of proportional scaling (stage rounding).
+  EXPECT_NEAR(d8 / d4, 2.0, 0.7);
+}
+
+TEST(Timing, RepeatersOnlyHelpLongWires) {
+  // Very short wires: Elmore wins; very long wires: repeaters win.
+  EXPECT_LT(ot::elmore_delay_ps(kTiming.electrical, 50.0),
+            ot::repeatered_delay_ps(kTiming.electrical, 50.0));
+  EXPECT_GT(ot::elmore_delay_ps(kTiming.electrical, 20000.0),
+            ot::repeatered_delay_ps(kTiming.electrical, 20000.0));
+  // electrical_delay_ps picks the min of both.
+  for (double len : {50.0, 1000.0, 20000.0}) {
+    EXPECT_DOUBLE_EQ(ot::electrical_delay_ps(kTiming.electrical, len),
+                     std::min(ot::elmore_delay_ps(kTiming.electrical, len),
+                              ot::repeatered_delay_ps(kTiming.electrical, len)));
+  }
+}
+
+TEST(Timing, WaveguideTimeOfFlight) {
+  // 1 mm at n_g = 4.2: 1000 * 4.2 / 299.79 ≈ 14.0 ps.
+  EXPECT_NEAR(ot::waveguide_tof_ps(kTiming.optical, 1000.0), 14.0, 0.1);
+  const double link = ot::optical_link_delay_ps(kTiming.optical, 1000.0);
+  EXPECT_NEAR(link,
+              kTiming.optical.modulator_latency_ps +
+                  kTiming.optical.detector_latency_ps + 14.0,
+              0.1);
+}
+
+TEST(Timing, CrossoverExistsAndSeparates) {
+  const double crossover = ot::delay_crossover_um(kTiming);
+  ASSERT_TRUE(std::isfinite(crossover));
+  EXPECT_GT(crossover, 100.0);
+  EXPECT_LT(crossover, 1e6);
+  // Below: wire faster. Above: optics faster.
+  EXPECT_LT(ot::electrical_delay_ps(kTiming.electrical, crossover * 0.5),
+            ot::optical_link_delay_ps(kTiming.optical, crossover * 0.5));
+  EXPECT_GT(ot::electrical_delay_ps(kTiming.electrical, crossover * 2.0),
+            ot::optical_link_delay_ps(kTiming.optical, crossover * 2.0));
+}
+
+namespace {
+
+/// Two-terminal candidate set at the given span with one candidate per
+/// kind (all-optical and all-electrical).
+oc::CandidateSet p2p_set(double span_um) {
+  oc::CandidateSet set;
+  set.bit_count = 8;
+  set.root = 0;
+  os::SteinerTree tree;
+  tree.points = {{0, 0}, {span_um, 0}};
+  tree.num_terminals = 2;
+  tree.edges = {{0, 1}};
+  set.baselines.push_back(tree);
+
+  const os::RootedTree rooted = os::RootedTree::build(tree, 0);
+  oc::AssembleContext ctx;
+  ctx.tree = &set.baselines[0];
+  ctx.rooted = &rooted;
+  ctx.bit_count = 8;
+  ctx.params = &kTech;
+  set.options.push_back(oc::assemble_candidate(
+      ctx, {oc::EdgeKind::Electrical, oc::EdgeKind::Optical}, 0));
+  set.options.push_back(oc::assemble_candidate(
+      ctx, {oc::EdgeKind::Electrical, oc::EdgeKind::Electrical}, 0));
+  set.electrical_index = 1;
+  return set;
+}
+
+}  // namespace
+
+TEST(Timing, CandidateAnalysisP2P) {
+  const oc::CandidateSet set = p2p_set(10000.0);
+  const auto optical = ot::analyze_candidate(set, set.options[0], kTiming);
+  const auto electrical = ot::analyze_candidate(set, set.options[1], kTiming);
+  EXPECT_EQ(optical.sinks, 1u);
+  EXPECT_EQ(electrical.sinks, 1u);
+  EXPECT_NEAR(optical.worst_sink_delay_ps,
+              ot::optical_link_delay_ps(kTiming.optical, 10000.0), 1e-9);
+  EXPECT_NEAR(electrical.worst_sink_delay_ps,
+              ot::electrical_delay_ps(kTiming.electrical, 10000.0), 1e-9);
+  // At 1 cm, optics wins delay too.
+  EXPECT_LT(optical.worst_sink_delay_ps, electrical.worst_sink_delay_ps);
+}
+
+TEST(Timing, HybridChainAccountsConversions) {
+  // root --optical--> steiner --electrical--> sink: one EO, one OE at the
+  // conversion point, then wire delay.
+  oc::CandidateSet set;
+  set.bit_count = 4;
+  set.root = 0;
+  os::SteinerTree tree;
+  tree.points = {{0, 0}, {9000, 0}, {6000, 0}};
+  tree.num_terminals = 2;
+  tree.edges = {{0, 2}, {2, 1}};
+  set.baselines.push_back(tree);
+  const os::RootedTree rooted = os::RootedTree::build(tree, 0);
+  oc::AssembleContext ctx;
+  ctx.tree = &set.baselines[0];
+  ctx.rooted = &rooted;
+  ctx.bit_count = 4;
+  ctx.params = &kTech;
+  // kinds indexed by node: node1 (sink, edge from steiner) = E,
+  // node2 (steiner, edge from root) = O.
+  std::vector<oc::EdgeKind> kinds(3, oc::EdgeKind::Electrical);
+  kinds[2] = oc::EdgeKind::Optical;
+  set.options.push_back(oc::assemble_candidate(ctx, kinds, 0));
+  set.electrical_index = 0;
+
+  const auto timing = ot::analyze_candidate(set, set.options[0], kTiming);
+  const double expected = kTiming.optical.modulator_latency_ps +
+                          ot::waveguide_tof_ps(kTiming.optical, 6000.0) +
+                          kTiming.optical.detector_latency_ps +
+                          ot::electrical_delay_ps(kTiming.electrical, 3000.0);
+  EXPECT_NEAR(timing.worst_sink_delay_ps, expected, 1e-9);
+}
+
+TEST(Timing, SelectionReport) {
+  std::vector<oc::CandidateSet> sets{p2p_set(5000.0), p2p_set(15000.0)};
+  const oc::Selection selection{0, 0};  // both optical
+  const auto report = ot::analyze_selection(sets, selection, kTiming);
+  EXPECT_EQ(report.worst_net, 1u);  // the longer net dominates
+  EXPECT_GT(report.worst_delay_ps, report.mean_worst_delay_ps);
+  EXPECT_NEAR(report.worst_delay_ps,
+              ot::optical_link_delay_ps(kTiming.optical, 15000.0), 1e-9);
+}

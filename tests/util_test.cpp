@@ -1,0 +1,225 @@
+// Unit tests for the util substrate: RNG determinism and distribution
+// sanity, tables, string helpers, CLI parsing, check macros, timers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace ou = operon::util;
+
+TEST(Rng, DeterministicForSeed) {
+  ou::Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  ou::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformIntInRange) {
+  ou::Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 9u);  // all 9 values hit
+}
+
+TEST(Rng, UniformIntSingleValue) {
+  ou::Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, Uniform01Bounds) {
+  ou::Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  ou::Rng rng(13);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(10.0, 2.0);
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  ou::Rng rng(17);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  ou::Rng rng(19);
+  std::vector<double> weights{0.0, 1.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.4);
+}
+
+TEST(Rng, WeightedIndexRejectsAllZero) {
+  ou::Rng rng(19);
+  std::vector<double> weights{0.0, 0.0};
+  EXPECT_THROW(rng.weighted_index(weights), ou::CheckError);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  ou::Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, SplitIndependent) {
+  ou::Rng a(5);
+  ou::Rng child = a.split();
+  EXPECT_NE(a.next(), child.next());
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = ou::split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(ou::trim("  hi \t\n"), "hi");
+  EXPECT_EQ(ou::trim(""), "");
+  EXPECT_EQ(ou::trim("   "), "");
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(ou::format("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(ou::format("%.2f", 3.14159), "3.14");
+}
+
+TEST(Strings, Fixed) {
+  EXPECT_EQ(ou::fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(ou::fixed(-0.5, 1), "-0.5");
+}
+
+TEST(Strings, WithCommas) {
+  EXPECT_EQ(ou::with_commas(0), "0");
+  EXPECT_EQ(ou::with_commas(999), "999");
+  EXPECT_EQ(ou::with_commas(1000), "1,000");
+  EXPECT_EQ(ou::with_commas(1234567), "1,234,567");
+  EXPECT_EQ(ou::with_commas(-12345), "-12,345");
+}
+
+TEST(Table, TextRendering) {
+  ou::Table t({"a", "bb"});
+  t.add_row({"1", "2"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("a  bb"), std::string::npos);
+  EXPECT_NE(text.find("1  2"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  ou::Table t({"x"});
+  t.add_row({"a,b"});
+  t.add_row({"say \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, RejectsWrongArity) {
+  ou::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ou::CheckError);
+}
+
+TEST(Table, Markdown) {
+  ou::Table t({"h"});
+  t.add_row({"v"});
+  const std::string md = t.to_markdown();
+  EXPECT_NE(md.find("| h |"), std::string::npos);
+  EXPECT_NE(md.find("|---|"), std::string::npos);
+  EXPECT_NE(md.find("| v |"), std::string::npos);
+}
+
+TEST(Cli, ParsesFlagsAndPositionals) {
+  // Note: a bare positional may not directly follow a valueless flag
+  // (the flag would greedily consume it), so it comes first.
+  const char* argv[] = {"prog", "input.txt", "--alpha=1.5", "--name", "foo",
+                        "--verbose"};
+  ou::Cli cli(6, argv);
+  EXPECT_DOUBLE_EQ(cli.get_double("alpha", 0.0), 1.5);
+  EXPECT_EQ(cli.get("name", ""), "foo");
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  EXPECT_FALSE(cli.get_bool("quiet", false));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "input.txt");
+}
+
+TEST(Cli, IntFallback) {
+  const char* argv[] = {"prog"};
+  ou::Cli cli(1, argv);
+  EXPECT_EQ(cli.get_int("n", 42), 42);
+}
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    OPERON_CHECK_MSG(1 == 2, "math is broken: " << 42);
+    FAIL() << "expected throw";
+  } catch (const ou::CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("math is broken: 42"),
+              std::string::npos);
+  }
+}
+
+TEST(Timer, MeasuresElapsed) {
+  ou::Timer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  EXPECT_GE(t.seconds(), 0.0);
+  EXPECT_LT(t.seconds(), 10.0);
+}
+
+TEST(Deadline, UnlimitedNeverExpires) {
+  ou::Deadline d(0.0);
+  EXPECT_FALSE(d.expired());
+  EXPECT_TRUE(std::isinf(d.remaining()));
+}
+
+TEST(Deadline, TinyBudgetExpires) {
+  ou::Deadline d(1e-9);
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  EXPECT_TRUE(d.expired());
+}

@@ -1,0 +1,168 @@
+// Tests for the Monte-Carlo variation/yield model.
+
+#include <gtest/gtest.h>
+
+#include "benchgen/benchgen.hpp"
+#include "cluster/hypernet_builder.hpp"
+#include "codesign/generate.hpp"
+#include "codesign/variation.hpp"
+#include "core/flow.hpp"
+#include "util/check.hpp"
+
+namespace oc = operon::codesign;
+namespace om = operon::model;
+
+namespace {
+
+struct Fixture {
+  om::Design design;
+  om::TechParams params = om::TechParams::dac18_defaults();
+  std::vector<oc::CandidateSet> sets;
+  oc::Selection selection;
+
+  explicit Fixture(std::uint64_t seed, std::size_t groups = 12) {
+    operon::benchgen::BenchmarkSpec spec;
+    spec.num_groups = groups;
+    spec.bits_lo = 2;
+    spec.bits_hi = 8;
+    spec.seed = seed;
+    design = operon::benchgen::generate_benchmark(spec);
+    operon::cluster::SignalProcessingOptions processing;
+    const auto nets = operon::cluster::build_hyper_nets(design, processing);
+    sets = oc::generate_candidates(design, nets.hyper_nets, params);
+    oc::SelectionEvaluator evaluator(sets, params);
+    selection = evaluator.peel(evaluator.min_power_selection());
+  }
+};
+
+}  // namespace
+
+TEST(Variation, AllElectricalAlwaysYields) {
+  Fixture fx(801);
+  oc::SelectionEvaluator evaluator(fx.sets, fx.params);
+  const auto yield =
+      oc::estimate_yield(evaluator, evaluator.all_electrical(), {});
+  EXPECT_DOUBLE_EQ(yield.design_yield, 1.0);
+  EXPECT_DOUBLE_EQ(yield.path_yield, 1.0);
+  EXPECT_EQ(yield.optical_paths, 0u);
+}
+
+TEST(Variation, ZeroSigmaMatchesNominal) {
+  Fixture fx(802);
+  oc::SelectionEvaluator evaluator(fx.sets, fx.params);
+  oc::VariationParams zero;
+  zero.alpha_sigma_frac = 0.0;
+  zero.crossing_sigma_db = 0.0;
+  zero.splitter_sigma_db = 0.0;
+  zero.detector_sigma_db = 0.0;
+  zero.samples = 10;
+  const auto yield = oc::estimate_yield(evaluator, fx.selection, zero);
+  // Feasible nominal selection with no noise: perfect yield.
+  EXPECT_DOUBLE_EQ(yield.design_yield, 1.0);
+  EXPECT_GE(yield.worst_nominal_margin_db, -1e-9);
+  EXPECT_GE(yield.mean_nominal_margin_db, yield.worst_nominal_margin_db);
+}
+
+TEST(Variation, DeterministicForSeed) {
+  Fixture fx(803);
+  oc::SelectionEvaluator evaluator(fx.sets, fx.params);
+  oc::VariationParams params;
+  params.samples = 500;
+  const auto a = oc::estimate_yield(evaluator, fx.selection, params);
+  const auto b = oc::estimate_yield(evaluator, fx.selection, params);
+  EXPECT_DOUBLE_EQ(a.design_yield, b.design_yield);
+  EXPECT_DOUBLE_EQ(a.path_yield, b.path_yield);
+}
+
+TEST(Variation, MoreNoiseNeverHelps) {
+  Fixture fx(804, 20);
+  oc::SelectionEvaluator evaluator(fx.sets, fx.params);
+  double previous = 1.1;
+  for (double scale : {0.25, 1.0, 4.0}) {
+    oc::VariationParams params;
+    params.alpha_sigma_frac = 0.08 * scale;
+    params.crossing_sigma_db = 0.05 * scale;
+    params.splitter_sigma_db = 0.25 * scale;
+    params.detector_sigma_db = 0.5 * scale;
+    params.samples = 1500;
+    const auto yield = oc::estimate_yield(evaluator, fx.selection, params);
+    EXPECT_LE(yield.path_yield, previous + 0.02) << "scale " << scale;
+    previous = yield.path_yield;
+  }
+}
+
+TEST(Laser, WallplugExponentialInLoss) {
+  operon::optical::LaserParams params;
+  const double p0 = operon::optical::laser_wallplug_mw(params, 0.0);
+  const double p10 = operon::optical::laser_wallplug_mw(params, 10.0);
+  const double p20 = operon::optical::laser_wallplug_mw(params, 20.0);
+  EXPECT_GT(p0, 0.0);
+  EXPECT_NEAR(p10 / p0, 10.0, 1e-9);   // +10 dB = 10x photons
+  EXPECT_NEAR(p20 / p0, 100.0, 1e-9);  // +20 dB = 100x
+  // Sensitivity -17 dBm, coupling 1 dB, 10% wall-plug at 0 dB loss:
+  // 10^(-16/10) mW / 0.1 = 0.251 mW.
+  EXPECT_NEAR(p0, std::pow(10.0, -1.6) / 0.1, 1e-9);
+}
+
+TEST(Laser, InvalidParamsRejected) {
+  operon::optical::LaserParams params;
+  params.wallplug_efficiency = 0.0;
+  EXPECT_THROW(operon::optical::laser_wallplug_mw(params, 1.0),
+               operon::util::CheckError);
+  params.wallplug_efficiency = 0.1;
+  EXPECT_THROW(operon::optical::laser_wallplug_mw(params, -1.0),
+               operon::util::CheckError);
+}
+
+TEST(Laser, BudgetAccountsChannelsAndAllElectricalIsFree) {
+  Fixture fx(806);
+  oc::SelectionEvaluator evaluator(fx.sets, fx.params);
+  const auto zero = oc::laser_budget(evaluator, evaluator.all_electrical());
+  EXPECT_DOUBLE_EQ(zero.total_mw, 0.0);
+  EXPECT_EQ(zero.channels, 0u);
+
+  const auto budget = oc::laser_budget(evaluator, fx.selection);
+  EXPECT_GT(budget.total_mw, 0.0);
+  EXPECT_GT(budget.channels, 0u);
+  EXPECT_GE(budget.worst_channel_mw,
+            budget.total_mw / static_cast<double>(budget.channels) - 1e-9);
+  EXPECT_GE(budget.mean_path_loss_db, 0.0);
+}
+
+TEST(Variation, GuardBandImprovesYield) {
+  // Route against lm - 3 dB, evaluate against lm: margins at least 3 dB,
+  // so yield beats the unguarded selection.
+  operon::benchgen::BenchmarkSpec spec;
+  spec.num_groups = 16;
+  spec.bits_lo = 2;
+  spec.bits_hi = 6;
+  spec.seed = 805;
+  const om::Design design = operon::benchgen::generate_benchmark(spec);
+
+  const om::TechParams nominal = om::TechParams::dac18_defaults();
+  om::TechParams guarded = nominal;
+  guarded.optical.max_loss_db -= 3.0;
+
+  operon::core::OperonOptions unguarded_options;
+  unguarded_options.params = nominal;
+  unguarded_options.run_wdm_stage = false;
+  const auto unguarded = operon::core::run_operon(design, unguarded_options);
+
+  operon::core::OperonOptions guarded_options = unguarded_options;
+  guarded_options.params = guarded;
+  const auto with_guard = operon::core::run_operon(design, guarded_options);
+
+  oc::SelectionEvaluator nominal_eval_a(unguarded.sets, nominal);
+  oc::SelectionEvaluator nominal_eval_b(with_guard.sets, nominal);
+  oc::VariationParams variation;
+  variation.samples = 1500;
+  const auto yield_unguarded =
+      oc::estimate_yield(nominal_eval_a, unguarded.selection, variation);
+  const auto yield_guarded =
+      oc::estimate_yield(nominal_eval_b, with_guard.selection, variation);
+
+  EXPECT_GE(yield_guarded.worst_nominal_margin_db, 3.0 - 1e-6);
+  EXPECT_GE(yield_guarded.design_yield, yield_unguarded.design_yield - 0.02);
+  // The guard band costs power (or is free when unconstrained).
+  EXPECT_GE(with_guard.power_pj, unguarded.power_pj - 1e-9);
+}

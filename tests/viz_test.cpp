@@ -1,0 +1,112 @@
+// Tests for the SVG canvas and routed-design rendering: well-formedness,
+// coordinate mapping, escaping, and that renderings contain the expected
+// primitives for a real routed design.
+
+#include <gtest/gtest.h>
+
+#include "benchgen/benchgen.hpp"
+#include "core/flow.hpp"
+#include "viz/render.hpp"
+#include "viz/svg.hpp"
+
+namespace ov = operon::viz;
+namespace og = operon::geom;
+
+namespace {
+std::size_t count_occurrences(const std::string& text, const std::string& find) {
+  std::size_t count = 0;
+  for (std::size_t pos = text.find(find); pos != std::string::npos;
+       pos = text.find(find, pos + find.size())) {
+    ++count;
+  }
+  return count;
+}
+}  // namespace
+
+TEST(Svg, EmptyCanvasIsValidSvg) {
+  ov::SvgCanvas canvas(og::BBox::of({0, 0}, {100, 50}), 400);
+  const std::string svg = canvas.str();
+  EXPECT_NE(svg.find("<svg xmlns"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_DOUBLE_EQ(canvas.width_px(), 400.0);
+  EXPECT_DOUBLE_EQ(canvas.height_px(), 200.0);  // aspect preserved
+}
+
+TEST(Svg, PrimitivesEmitted) {
+  ov::SvgCanvas canvas(og::BBox::of({0, 0}, {10, 10}));
+  canvas.line({0, 0}, {10, 10}, "#f00", 2.0);
+  canvas.circle({5, 5}, 3.0, "#0f0");
+  canvas.rect(og::BBox::of({1, 1}, {9, 9}), "#00f");
+  canvas.text({2, 2}, "hi <&> there");
+  canvas.polyline({{0, 0}, {5, 5}, {10, 0}}, "#333");
+  const std::string svg = canvas.str();
+  EXPECT_EQ(count_occurrences(svg, "<line"), 1u);
+  EXPECT_EQ(count_occurrences(svg, "<circle"), 1u);
+  EXPECT_GE(count_occurrences(svg, "<rect"), 2u);  // background + rect
+  EXPECT_EQ(count_occurrences(svg, "<polyline"), 1u);
+  EXPECT_NE(svg.find("hi &lt;&amp;&gt; there"), std::string::npos);
+}
+
+TEST(Svg, YAxisFlipped) {
+  // World (0,0) must land at the bottom of the image.
+  ov::SvgCanvas canvas(og::BBox::of({0, 0}, {100, 100}), 100);
+  canvas.circle({0, 0}, 1.0, "#000");
+  const std::string svg = canvas.str();
+  EXPECT_NE(svg.find("cx=\"0\" cy=\"100\""), std::string::npos);
+}
+
+TEST(Svg, DashedLines) {
+  ov::SvgCanvas canvas(og::BBox::of({0, 0}, {10, 10}));
+  canvas.line({0, 0}, {10, 0}, "#000", 1.0, 1.0, /*dashed=*/true);
+  EXPECT_NE(canvas.str().find("stroke-dasharray"), std::string::npos);
+}
+
+TEST(Render, RoutedDesignContainsAllLayers) {
+  using namespace operon;
+  benchgen::BenchmarkSpec spec;
+  spec.num_groups = 8;
+  spec.bits_lo = 4;
+  spec.bits_hi = 8;
+  spec.seed = 77;
+  const model::Design design = benchgen::generate_benchmark(spec);
+  core::OperonOptions options;
+  const core::OperonResult result = core::run_operon(design, options);
+
+  const std::string svg = ov::render_routed_design(
+      design.chip, result.sets, result.selection);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // Optical segments and conversion markers exist (each optical net has
+  // at least one segment line, plus pin and conversion circles).
+  EXPECT_GE(count_occurrences(svg, "<line"), result.optical_nets);
+  EXPECT_GT(count_occurrences(svg, "<circle"), 0u);
+  // Legend entries present.
+  EXPECT_NE(svg.find("optical waveguide"), std::string::npos);
+  EXPECT_NE(svg.find("electrical wire"), std::string::npos);
+
+  // The WDM overlay adds dashed purple waveguides.
+  const std::string with_wdms = ov::render_with_wdms(
+      design.chip, result.sets, result.selection, result.wdm_plan);
+  EXPECT_GT(count_occurrences(with_wdms, "stroke-dasharray"), 0u);
+  EXPECT_NE(with_wdms.find("WDM waveguide"), std::string::npos);
+}
+
+TEST(Render, CandidateRenderingMatchesSelectionRendering) {
+  using namespace operon;
+  benchgen::BenchmarkSpec spec;
+  spec.num_groups = 4;
+  spec.seed = 78;
+  const model::Design design = benchgen::generate_benchmark(spec);
+  core::OperonOptions options;
+  const core::OperonResult result = core::run_operon(design, options);
+
+  std::vector<codesign::Candidate> chosen;
+  for (std::size_t i = 0; i < result.sets.size(); ++i) {
+    chosen.push_back(result.sets[i].options[result.selection[i]]);
+  }
+  const std::string a =
+      ov::render_routed_design(design.chip, result.sets, result.selection);
+  const std::string b =
+      ov::render_candidates(design.chip, result.sets, chosen);
+  EXPECT_EQ(a, b);
+}

@@ -1,0 +1,217 @@
+// Tests for the WDM stage (§4): connection extraction, sweep placement
+// invariants (capacity, disu window), disl legalization, and the
+// network-flow assignment — including the paper's own Fig 6 example
+// (three 20-bit connections, capacity 32: placement uses 3 WDMs, the
+// flow assignment shares 2).
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "model/params.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "wdm/assign.hpp"
+#include "wdm/wdm.hpp"
+
+namespace ow = operon::wdm;
+namespace om = operon::model;
+
+namespace {
+
+om::OpticalParams optics() {
+  om::OpticalParams params = om::TechParams::dac18_defaults().optical;
+  params.wdm_capacity = 32;
+  params.dis_lower_um = 20.0;
+  params.dis_upper_um = 400.0;
+  return params;
+}
+
+ow::Connection horizontal(std::size_t net, std::size_t bits, double y,
+                          double x0, double x1) {
+  return {net, bits, ow::Axis::Horizontal, y, x0, x1};
+}
+
+}  // namespace
+
+TEST(Placement, SingleConnectionOneWdm) {
+  const std::vector<ow::Connection> conns{horizontal(0, 20, 100, 0, 5000)};
+  const auto wdms = ow::place_wdms(conns, ow::Axis::Horizontal, optics());
+  ASSERT_EQ(wdms.size(), 1u);
+  EXPECT_EQ(wdms[0].used, 20);
+  EXPECT_DOUBLE_EQ(wdms[0].coord, 100);
+}
+
+TEST(Placement, CapacityForcesSecondWdm) {
+  // Two 20-bit connections at the same y: 40 > 32 channels.
+  const std::vector<ow::Connection> conns{
+      horizontal(0, 20, 100, 0, 5000), horizontal(1, 20, 101, 0, 5000)};
+  const auto wdms = ow::place_wdms(conns, ow::Axis::Horizontal, optics());
+  EXPECT_EQ(wdms.size(), 2u);
+}
+
+TEST(Placement, SharesWithinCapacityAndWindow) {
+  const std::vector<ow::Connection> conns{
+      horizontal(0, 12, 100, 0, 5000), horizontal(1, 12, 150, 2000, 8000)};
+  const auto wdms = ow::place_wdms(conns, ow::Axis::Horizontal, optics());
+  ASSERT_EQ(wdms.size(), 1u);
+  EXPECT_EQ(wdms[0].used, 24);
+  // Span extends over both connections.
+  EXPECT_DOUBLE_EQ(wdms[0].lo, 0);
+  EXPECT_DOUBLE_EQ(wdms[0].hi, 8000);
+}
+
+TEST(Placement, DisUpperSplitsDistantConnections) {
+  const std::vector<ow::Connection> conns{
+      horizontal(0, 4, 100, 0, 5000), horizontal(1, 4, 900, 0, 5000)};
+  const auto wdms = ow::place_wdms(conns, ow::Axis::Horizontal, optics());
+  EXPECT_EQ(wdms.size(), 2u);
+}
+
+TEST(Placement, RejectsOverCapacityConnection) {
+  const std::vector<ow::Connection> conns{horizontal(0, 64, 100, 0, 5000)};
+  EXPECT_THROW(ow::place_wdms(conns, ow::Axis::Horizontal, optics()),
+               operon::util::CheckError);
+}
+
+TEST(Placement, SweepInvariantsRandom) {
+  operon::util::Rng rng(42);
+  std::vector<ow::Connection> conns;
+  for (std::size_t k = 0; k < 60; ++k) {
+    conns.push_back(horizontal(k, 1 + static_cast<std::size_t>(rng.uniform_int(0, 19)),
+                               rng.uniform(0, 20000), 0, rng.uniform(1000, 19000)));
+  }
+  const auto params = optics();
+  const auto wdms = ow::place_wdms(conns, ow::Axis::Horizontal, params);
+  std::size_t total_bits = 0;
+  for (const auto& c : conns) total_bits += c.bits;
+  std::size_t placed_bits = 0;
+  for (const auto& w : wdms) {
+    EXPECT_LE(w.used, w.capacity);
+    EXPECT_GT(w.used, 0);
+    placed_bits += static_cast<std::size_t>(w.used);
+  }
+  EXPECT_EQ(placed_bits, total_bits);
+  // Never more WDMs than connections (sharing can only reduce).
+  EXPECT_LE(wdms.size(), conns.size());
+}
+
+TEST(Legalize, EnforcesMinimumSpacing) {
+  std::vector<ow::Wdm> wdms;
+  for (int k = 0; k < 5; ++k) {
+    ow::Wdm w;
+    w.axis = ow::Axis::Horizontal;
+    w.coord = 100.0 + 5.0 * k;  // 5 um apart, below disl = 20
+    w.capacity = 32;
+    w.used = 1;
+    wdms.push_back(w);
+  }
+  EXPECT_FALSE(ow::spacing_legal(wdms, 20.0));
+  ow::legalize_spacing(wdms, 20.0);
+  EXPECT_TRUE(ow::spacing_legal(wdms, 20.0));
+}
+
+TEST(Legalize, AxesIndependent) {
+  std::vector<ow::Wdm> wdms(2);
+  wdms[0].axis = ow::Axis::Horizontal;
+  wdms[0].coord = 100;
+  wdms[1].axis = ow::Axis::Vertical;
+  wdms[1].coord = 101;  // different axis: no conflict
+  EXPECT_TRUE(ow::spacing_legal(wdms, 20.0));
+  ow::legalize_spacing(wdms, 20.0);
+  EXPECT_DOUBLE_EQ(wdms[1].coord, 101);
+}
+
+TEST(Assignment, Fig6ExampleSavesOneWdm) {
+  // Paper Fig 6: three 20-bit connections, capacity 32. The greedy sweep
+  // needs 3 WDMs (20+20 > 32 pairwise); the flow assignment splits the
+  // middle connection's channels and shares 2 WDMs.
+  const auto params = optics();
+  const std::vector<ow::Connection> conns{
+      horizontal(0, 20, 100, 0, 6000), horizontal(1, 20, 150, 0, 6000),
+      horizontal(2, 20, 200, 0, 6000)};
+  auto wdms = ow::place_wdms(conns, ow::Axis::Horizontal, params);
+  ASSERT_EQ(wdms.size(), 3u);
+
+  const auto result =
+      ow::assign_connections(conns, wdms, ow::Axis::Horizontal, params);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.wdms_used, 2u);
+
+  // All 60 channels allocated; per-WDM capacity respected.
+  std::map<std::size_t, std::size_t> wdm_load;
+  std::map<std::size_t, std::size_t> conn_bits;
+  for (const auto& alloc : result.allocations) {
+    wdm_load[alloc.wdm] += alloc.bits;
+    conn_bits[alloc.connection] += alloc.bits;
+  }
+  for (const auto& [w, load] : wdm_load) EXPECT_LE(load, 32u);
+  for (std::size_t c = 0; c < conns.size(); ++c) {
+    EXPECT_EQ(conn_bits[c], 20u) << "connection " << c;
+  }
+}
+
+TEST(Assignment, NoWdmsForEmptyAxis) {
+  const auto params = optics();
+  const std::vector<ow::Connection> conns{horizontal(0, 8, 100, 0, 1000)};
+  const auto wdms = ow::place_wdms(conns, ow::Axis::Horizontal, params);
+  const auto result =
+      ow::assign_connections(conns, wdms, ow::Axis::Vertical, params);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_TRUE(result.allocations.empty());
+  EXPECT_EQ(result.wdms_used, 0u);
+}
+
+TEST(Assignment, NeverIncreasesWdmCount) {
+  operon::util::Rng rng(77);
+  const auto params = optics();
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<ow::Connection> conns;
+    const std::size_t n = 10 + static_cast<std::size_t>(rng.uniform_int(0, 30));
+    for (std::size_t k = 0; k < n; ++k) {
+      conns.push_back(horizontal(
+          k, 1 + static_cast<std::size_t>(rng.uniform_int(0, 24)),
+          rng.uniform(0, 10000), 0, rng.uniform(1000, 19000)));
+    }
+    auto wdms = ow::place_wdms(conns, ow::Axis::Horizontal, params);
+    const auto result =
+        ow::assign_connections(conns, wdms, ow::Axis::Horizontal, params);
+    EXPECT_TRUE(result.feasible);
+    EXPECT_LE(result.wdms_used, wdms.size());
+
+    std::map<std::size_t, std::size_t> load, bits;
+    for (const auto& alloc : result.allocations) {
+      load[alloc.wdm] += alloc.bits;
+      bits[alloc.connection] += alloc.bits;
+    }
+    for (const auto& [w, l] : load) {
+      EXPECT_LE(l, static_cast<std::size_t>(params.wdm_capacity));
+    }
+    for (std::size_t c = 0; c < conns.size(); ++c) {
+      EXPECT_EQ(bits[c], conns[c].bits);
+    }
+  }
+}
+
+TEST(Extract, DominantDirectionClassification) {
+  // Build a minimal candidate set manually.
+  operon::codesign::CandidateSet set;
+  set.net = 7;
+  set.bit_count = 9;
+  operon::codesign::Candidate cand;
+  cand.optical_segments = {{{0, 0}, {1000, 100}},   // horizontal-ish
+                           {{500, 0}, {600, 2000}}};  // vertical-ish
+  set.options.push_back(cand);
+  set.electrical_index = 0;
+  const std::vector<operon::codesign::CandidateSet> sets{set};
+  const operon::codesign::Selection selection{0};
+  const auto conns = ow::extract_connections(sets, selection);
+  ASSERT_EQ(conns.size(), 2u);
+  EXPECT_EQ(conns[0].axis, ow::Axis::Horizontal);
+  EXPECT_DOUBLE_EQ(conns[0].coord, 50.0);
+  EXPECT_DOUBLE_EQ(conns[0].lo, 0.0);
+  EXPECT_DOUBLE_EQ(conns[0].hi, 1000.0);
+  EXPECT_EQ(conns[1].axis, ow::Axis::Vertical);
+  EXPECT_EQ(conns[0].bits, 9u);
+  EXPECT_EQ(conns[0].net, 7u);
+}

@@ -1,0 +1,138 @@
+// operon_cli — command-line front end for the OPERON library.
+//
+//   operon_cli gen   --case I2 --out design.txt        # or --groups/--bits
+//   operon_cli info  --in design.txt
+//   operon_cli route --in design.txt [--solver lr|ilp|mip]
+//                    [--ilp-limit 20] [--lm 20] [--report out.json]
+//                    [--svg out.svg] [--per-net]
+//
+// Exit code 0 on success, 1 on usage errors, 2 when routing left
+// detection violations (never expected — the electrical fallback exists).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "benchgen/benchgen.hpp"
+#include "core/flow.hpp"
+#include "core/report.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "viz/render.hpp"
+
+namespace {
+
+using namespace operon;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  operon_cli gen   --case I1..I5 | --groups N [--bits-lo A "
+               "--bits-hi B] [--seed S]  --out FILE\n"
+               "  operon_cli info  --in FILE\n"
+               "  operon_cli route --in FILE [--solver lr|ilp|mip] "
+               "[--ilp-limit SEC] [--lm DB] [--report FILE] [--svg FILE] "
+               "[--per-net]\n");
+  return 1;
+}
+
+int cmd_gen(const util::Cli& cli) {
+  const std::string out = cli.get("out", "");
+  if (out.empty()) return usage();
+  benchgen::BenchmarkSpec spec;
+  if (cli.has("case")) {
+    spec = benchgen::table1_spec(cli.get("case", "I1"));
+  } else {
+    spec.num_groups = static_cast<std::size_t>(cli.get_int("groups", 50));
+    spec.bits_lo = static_cast<std::size_t>(cli.get_int("bits-lo", 2));
+    spec.bits_hi = static_cast<std::size_t>(cli.get_int("bits-hi", 8));
+  }
+  if (cli.has("seed")) {
+    spec.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  }
+  const model::Design design = benchgen::generate_benchmark(spec);
+  model::save_design(out, design);
+  std::printf("wrote %s: %zu groups, %zu bits, %zu pins\n", out.c_str(),
+              design.groups.size(), design.num_bits(), design.num_pins());
+  return 0;
+}
+
+int cmd_info(const util::Cli& cli) {
+  const std::string in = cli.get("in", "");
+  if (in.empty()) return usage();
+  const model::Design design = model::load_design(in);
+  design.validate();
+  std::printf("design %s: chip %.0f x %.0f um, %zu groups, %zu bits, %zu "
+              "pins\n",
+              design.name.c_str(), design.chip.width(), design.chip.height(),
+              design.groups.size(), design.num_bits(), design.num_pins());
+  std::size_t max_bits = 0, multi_sink = 0;
+  for (const auto& group : design.groups) {
+    max_bits = std::max(max_bits, group.bits.size());
+    for (const auto& bit : group.bits) {
+      if (bit.sinks.size() > 1) ++multi_sink;
+    }
+  }
+  std::printf("widest group: %zu bits; multi-sink bits: %zu\n", max_bits,
+              multi_sink);
+  return 0;
+}
+
+int cmd_route(const util::Cli& cli) {
+  const std::string in = cli.get("in", "");
+  if (in.empty()) return usage();
+  const model::Design design = model::load_design(in);
+  design.validate();
+
+  core::OperonOptions options;
+  const std::string solver = cli.get("solver", "lr");
+  if (solver == "ilp") options.solver = core::SolverKind::IlpExact;
+  else if (solver == "mip") options.solver = core::SolverKind::MipLiteral;
+  else if (solver == "lr") options.solver = core::SolverKind::Lr;
+  else return usage();
+  options.select.time_limit_s = cli.get_double("ilp-limit", 20.0);
+  if (cli.has("lm")) {
+    options.params.optical.max_loss_db = cli.get_double("lm", 20.0);
+  }
+
+  const core::OperonResult result = core::run_operon(design, options);
+  std::printf("%s: %.2f pJ/bit-cycle | %zu optical, %zu electrical nets | "
+              "worst loss %.2f / %.1f dB | WDMs %zu -> %zu | %.2f s\n",
+              design.name.c_str(), result.power_pj, result.optical_nets,
+              result.electrical_nets, result.violations.worst_loss_db,
+              options.params.optical.max_loss_db,
+              result.wdm_plan.initial_wdms, result.wdm_plan.final_wdms,
+              result.times.total_s());
+
+  if (cli.has("report")) {
+    core::write_report(cli.get("report", "report.json"), design, result,
+                       options, cli.get_bool("per-net", false));
+    std::printf("report: %s\n", cli.get("report", "report.json").c_str());
+  }
+  if (cli.has("svg")) {
+    const std::string path = cli.get("svg", "routed.svg");
+    std::ofstream os(path);
+    os << viz::render_with_wdms(design.chip, result.sets, result.selection,
+                                result.wdm_plan);
+    std::printf("svg: %s\n", path.c_str());
+  }
+  return result.violations.clean() ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const util::Cli cli(argc - 1, argv + 1);
+  try {
+    if (command == "gen") return cmd_gen(cli);
+    if (command == "info") return cmd_info(cli);
+    if (command == "route") return cmd_route(cli);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  return usage();
+}
