@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
   core::OperonOptions options;
   options.solver = core::SolverKind::Lr;
   options.run_wdm_stage = false;
+  options.threads = cli.get_threads();
   const core::OperonResult result = core::run_operon(design, options);
 
   const auto glow = baseline::route_optical_glow(result.sets, options.params);
@@ -90,9 +91,10 @@ int main(int argc, char** argv) {
                                                       &glow_map},
         std::pair<const char*, const core::PowerMap*>{"fig9_operon.csv",
                                                       &operon_map}}) {
-    std::ofstream os(name);
+    const std::string path = cli.out_path(name);
+    std::ofstream os(path);
     os << map->to_csv();
-    std::printf("wrote %s\n", name);
+    std::printf("wrote %s\n", path.c_str());
   }
   return 0;
 }

@@ -45,13 +45,24 @@ int main(int argc, char** argv) {
   const double ilp_limit = cli.get_double("ilp-limit", 20.0);
   const std::uint64_t seed_offset =
       static_cast<std::uint64_t>(cli.get_int("seed-offset", 0));
+  const std::size_t threads = cli.get_threads();
 
   std::printf("=== Table 1: Performance Comparisons among Different Designs ===\n");
-  std::printf("(ILP time limit %.0f s; the paper used 3000 s on 8 cores)\n\n",
-              ilp_limit);
+  std::printf("(ILP time limit %.0f s; the paper used 3000 s on 8 cores; "
+              "--threads %zu)\n\n",
+              ilp_limit, threads);
 
   util::Table table({"Bench", "#Net", "#HNet", "#HPin", "Elec[14]", "Opt[4]",
                      "ILP", "ILP CPU(s)", "LR", "LR CPU(s)"});
+  // Per-stage wall-clock; when --threads != 1 each case is re-run at
+  // threads=1 so the last columns report the parallel speedup (the
+  // powers must match bit-identically — determinism is an invariant).
+  util::Table stage_table(
+      threads == 1
+          ? std::vector<std::string>{"Bench", "Proc(s)", "Gen(s)", "Sel(s)"}
+          : std::vector<std::string>{"Bench", "Proc(s)", "Gen(s)", "Sel(s)",
+                                     "Gen@1(s)", "Sel@1(s)", "Speedup"});
+  bool determinism_ok = true;
 
   double sum_e = 0, sum_g = 0, sum_ilp = 0, sum_lr = 0;
   double sum_ilp_cpu = 0, sum_lr_cpu = 0;
@@ -65,8 +76,32 @@ int main(int argc, char** argv) {
     core::OperonOptions options;
     options.solver = core::SolverKind::Lr;
     options.run_wdm_stage = false;
+    options.threads = threads;
     const core::OperonResult prep = core::run_operon(design, options);
     const double lr_cpu = prep.times.selection_s;
+
+    if (threads == 1) {
+      stage_table.add_row({id, util::fixed(prep.times.processing_s, 2),
+                           util::fixed(prep.times.generation_s, 2),
+                           util::fixed(prep.times.selection_s, 2)});
+    } else {
+      core::OperonOptions serial = options;
+      serial.threads = 1;
+      const core::OperonResult ref = core::run_operon(design, serial);
+      determinism_ok = determinism_ok && ref.power_pj == prep.power_pj &&
+                       ref.selection == prep.selection;
+      const double par = prep.times.generation_s + prep.times.selection_s;
+      stage_table.add_row(
+          {id, util::fixed(prep.times.processing_s, 2),
+           util::fixed(prep.times.generation_s, 2),
+           util::fixed(prep.times.selection_s, 2),
+           util::fixed(ref.times.generation_s, 2),
+           util::fixed(ref.times.selection_s, 2),
+           par > 0 ? util::fixed(
+                         (ref.times.generation_s + ref.times.selection_s) / par,
+                         2) + "x"
+                   : std::string("-")});
+    }
 
     const auto electrical =
         baseline::route_electrical(prep.sets, options.params);
@@ -129,7 +164,16 @@ int main(int argc, char** argv) {
 
   std::printf(
       "Measured ratios vs paper: electrical %.3f (3.565), "
-      "OPERON(ILP) %.3f (0.860), OPERON(LR) %.3f (0.889)\n",
+      "OPERON(ILP) %.3f (0.860), OPERON(LR) %.3f (0.889)\n\n",
       sum_e / sum_g, sum_ilp / sum_g, sum_lr / sum_g);
+
+  std::printf("Per-stage wall-clock (generation + LR selection)%s:\n%s\n",
+              threads == 1 ? "" : ", speedup vs --threads 1",
+              stage_table.to_text().c_str());
+  if (threads != 1) {
+    std::printf("Determinism check (threads=%zu vs 1): %s\n", threads,
+                determinism_ok ? "bit-identical" : "MISMATCH — BUG");
+    if (!determinism_ok) return 1;
+  }
   return 0;
 }

@@ -42,7 +42,6 @@ void SegmentIndex::cells_overlapping(const geom::BBox& box,
 void SegmentIndex::add(std::size_t net, const geom::Segment& segment) {
   const std::size_t index = segments_.size();
   segments_.push_back({segment, net});
-  stamp_.push_back(0);
   std::vector<std::size_t> cells;
   cells_overlapping(segment.bbox(), cells);
   for (std::size_t c : cells) buckets_[c].push_back(index);
@@ -55,20 +54,25 @@ void SegmentIndex::add_all(std::size_t net,
 
 std::size_t SegmentIndex::count_crossings(const geom::Segment& seg,
                                           std::size_t exclude_net) const {
-  ++stamp_counter_;
   std::vector<std::size_t> cells;
   cells_overlapping(seg.bbox(), cells);
+  // A segment spanning several cells appears in several buckets; dedup
+  // with a call-local sort so the query stays const and thread-safe.
+  std::vector<std::size_t> candidates;
+  for (std::size_t c : cells) {
+    candidates.insert(candidates.end(), buckets_[c].begin(),
+                      buckets_[c].end());
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
   const geom::BBox seg_box = seg.bbox();
   std::size_t count = 0;
-  for (std::size_t c : cells) {
-    for (std::size_t index : buckets_[c]) {
-      if (stamp_[index] == stamp_counter_) continue;
-      stamp_[index] = stamp_counter_;
-      const Tagged& tagged = segments_[index];
-      if (tagged.net == exclude_net) continue;
-      if (!seg_box.overlaps(tagged.segment.bbox())) continue;
-      if (geom::segments_cross(seg, tagged.segment)) ++count;
-    }
+  for (std::size_t index : candidates) {
+    const Tagged& tagged = segments_[index];
+    if (tagged.net == exclude_net) continue;
+    if (!seg_box.overlaps(tagged.segment.bbox())) continue;
+    if (geom::segments_cross(seg, tagged.segment)) ++count;
   }
   return count;
 }

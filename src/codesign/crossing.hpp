@@ -15,6 +15,10 @@ namespace operon::codesign {
 
 /// Spatial index over tagged segments supporting "how many segments not
 /// belonging to net X does this segment properly cross?".
+///
+/// Thread-safety: add()/add_all() are single-threaded (construction
+/// phase); once filled, count_crossings() is const, touches no mutable
+/// state, and may be called concurrently from any number of threads.
 class SegmentIndex {
  public:
   /// `extent`: chip bounding box; `cells`: grid resolution per axis.
@@ -44,8 +48,6 @@ class SegmentIndex {
   double cell_h_;
   std::vector<Tagged> segments_;
   std::vector<std::vector<std::size_t>> buckets_;
-  mutable std::vector<std::size_t> stamp_;   ///< visited marks per segment
-  mutable std::size_t stamp_counter_ = 0;
 };
 
 }  // namespace operon::codesign

@@ -6,6 +6,7 @@
 #include "steiner/bi1s.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 
 namespace operon::codesign {
 
@@ -70,14 +71,21 @@ std::vector<CandidateSet> generate_candidates(
   OPERON_CHECK(params.valid());
   OPERON_CHECK(options.max_baselines >= 1);
 
+  // Both per-net phases are embarrassingly parallel: every iteration
+  // reads only shared immutable state and writes its own index, so any
+  // thread count produces bit-identical candidate sets.
+  util::ThreadPool pool(options.threads);
+
   // Phase 1: baselines for every net (needed before any DP so crossings
   // can be estimated against the other nets' primary baselines).
   std::vector<std::vector<steiner::SteinerTree>> baselines(nets.size());
-  for (std::size_t i = 0; i < nets.size(); ++i) {
+  pool.parallel_for(nets.size(), [&](std::size_t i) {
     baselines[i] = steiner::generate_baselines(
         pin_centers(nets[i]), steiner::Metric::Euclidean, options.max_baselines);
-  }
+  });
 
+  // The shared estimator is filled serially (insertion mutates the grid)
+  // and is read-only — hence freely shared — during phase 2.
   SegmentIndex estimator(design.chip, options.grid_cells);
   if (options.estimate_crossings) {
     for (std::size_t i = 0; i < nets.size(); ++i) {
@@ -87,9 +95,8 @@ std::vector<CandidateSet> generate_candidates(
   }
 
   // Phase 2: DP per baseline, then the electrical fallback.
-  std::vector<CandidateSet> sets;
-  sets.reserve(nets.size());
-  for (std::size_t i = 0; i < nets.size(); ++i) {
+  std::vector<CandidateSet> sets(nets.size());
+  pool.parallel_for(nets.size(), [&](std::size_t i) {
     const model::HyperNet& net = nets[i];
     CandidateSet set;
     set.net = net.id;
@@ -147,8 +154,8 @@ std::vector<CandidateSet> generate_candidates(
       }
     }
     set.bbox = box;
-    sets.push_back(std::move(set));
-  }
+    sets[i] = std::move(set);
+  });
   return sets;
 }
 

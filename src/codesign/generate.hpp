@@ -29,6 +29,11 @@ struct GenerationOptions {
   /// Add perpendicular-bend detour baselines for two-pin nets (§2.3's
   /// any-direction routing; lets the selection dodge crossing hotspots).
   bool detour_baselines = true;
+  /// Worker threads for the per-net baseline and DP phases (1 = serial,
+  /// 0 = hardware concurrency). Results are bit-identical at any value:
+  /// each net's candidate set is computed independently and written by
+  /// index (see util/thread_pool.hpp for the determinism contract).
+  std::size_t threads = 1;
 };
 
 /// Candidate sets for every hyper net, in the same order as `nets`.

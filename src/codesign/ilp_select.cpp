@@ -330,6 +330,10 @@ SelectResult solve_selection_exact(std::span<const CandidateSet> sets,
   util::Deadline deadline(options.time_limit_s);
   SelectionEvaluator evaluator(sets, params,
                                /*interact_all=*/!options.reduce_variables);
+  // can_conflict() and the DFS feasibility checks touch every candidate
+  // pair of every interacting net pair; filling the cache in parallel up
+  // front moves that cost off the sequential search path.
+  evaluator.precompute_crossings(options.threads);
 
   SelectResult result;
   result.selection = evaluator.min_power_selection();
@@ -435,6 +439,7 @@ SelectResult solve_selection_mip(std::span<const CandidateSet> sets,
   util::Timer timer;
   SelectionEvaluator evaluator(sets, params,
                                /*interact_all=*/!options.reduce_variables);
+  evaluator.precompute_crossings(options.threads);
   SelectionMip mip = build_selection_mip(evaluator);
 
   ilp::MipOptions mip_options;

@@ -34,6 +34,10 @@ struct SelectOptions {
   /// branch-and-bound incumbent when it is feasible, so a time-limited
   /// run never returns worse than the heuristic that seeded it.
   Selection warm_start;
+  /// Worker threads for the up-front pairwise crossing precomputation
+  /// (1 = serial, 0 = hardware concurrency). The search itself is
+  /// sequential, so the selected optimum is identical at any value.
+  std::size_t threads = 1;
 };
 
 struct SelectResult {

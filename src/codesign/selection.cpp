@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace operon::codesign {
 
@@ -26,7 +27,10 @@ const std::vector<int> kNoCrossings;
 SelectionEvaluator::SelectionEvaluator(std::span<const CandidateSet> sets,
                                        const model::TechParams& params,
                                        bool interact_all)
-    : sets_(sets), params_(params), interactions_(sets.size()) {
+    : sets_(sets),
+      params_(params),
+      interactions_(sets.size()),
+      cache_shards_(new CacheShard[kCacheShards]) {
   for (std::size_t i = 0; i < sets_.size(); ++i) {
     for (std::size_t m = i + 1; m < sets_.size(); ++m) {
       if (interact_all || sets_[i].bbox.overlaps(sets_[m].bbox)) {
@@ -81,9 +85,15 @@ const std::vector<int>& SelectionEvaluator::crossings(std::size_t i,
   }
 
   const std::uint64_t key = pair_key(i, ci, m, cm);
-  const auto it = crossing_cache_.find(key);
-  if (it != crossing_cache_.end()) return it->second;
+  CacheShard& shard = cache_shards_[key % kCacheShards];
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end()) return it->second;
+  }
 
+  // Compute outside the lock so concurrent misses on one shard don't
+  // serialize the geometry work; a racing duplicate is discarded below.
   std::vector<int> counts(mine.paths.size(), 0);
   bool any = false;
   for (std::size_t p = 0; p < mine.paths.size(); ++p) {
@@ -92,7 +102,28 @@ const std::vector<int>& SelectionEvaluator::crossings(std::size_t i,
     any = any || counts[p] != 0;
   }
   if (!any) counts.clear();  // store the tiny all-zero marker
-  return crossing_cache_.emplace(key, std::move(counts)).first->second;
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.map.emplace(key, std::move(counts)).first->second;
+}
+
+void SelectionEvaluator::precompute_crossings(std::size_t threads) const {
+  if (util::resolve_threads(threads) <= 1) return;
+  // Deterministic work list: every interacting (i, m) pair once.
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  for (std::size_t i = 0; i < sets_.size(); ++i) {
+    for (std::size_t m : interactions_[i]) {
+      if (i < m) pairs.emplace_back(i, m);
+    }
+  }
+  util::parallel_for(pairs.size(), threads, [&](std::size_t k) {
+    const auto [i, m] = pairs[k];
+    for (std::size_t ci = 0; ci < sets_[i].options.size(); ++ci) {
+      for (std::size_t cm = 0; cm < sets_[m].options.size(); ++cm) {
+        crossings(i, ci, m, cm);
+        crossings(m, cm, i, ci);
+      }
+    }
+  });
 }
 
 double SelectionEvaluator::path_loss_db(const Selection& selection,

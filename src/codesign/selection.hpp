@@ -5,8 +5,19 @@
 // (the lx(i,j,m,n,p) terms, lazily cached), and detection violations.
 // The §3.3 speed-up — dropping crossing terms for hyper-net pairs with
 // disjoint bounding boxes — is realized by the interaction list.
+//
+// Thread-safety contract: construction is single-threaded; afterwards
+// every const query (crossings, path_loss_db, violations, total_power,
+// peel, ...) may be called concurrently from any number of threads. The
+// lazy crossing cache is sharded behind striped mutexes; cached vectors
+// are immutable once inserted and unordered_map references are stable
+// under insertion, so returned references stay valid for the evaluator's
+// lifetime. Cached values are pure functions of the candidate geometry,
+// so results never depend on thread count or scheduling.
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -52,10 +63,19 @@ class SelectionEvaluator {
 
   /// Per-path crossing counts of candidate (i, ci) against candidate
   /// (m, cm): result[k] = proper crossings of path k's segments with the
-  /// other candidate's optical segments. Cached. An EMPTY vector means
-  /// "all zeros" (the common case is returned without allocating).
+  /// other candidate's optical segments. Cached; safe to call from many
+  /// threads concurrently. An EMPTY vector means "all zeros" (the common
+  /// case is returned without allocating).
   const std::vector<int>& crossings(std::size_t i, std::size_t ci,
                                     std::size_t m, std::size_t cm) const;
+
+  /// Bulk-fill the crossing cache for every candidate pair of every
+  /// interacting net pair (both directions) using `threads` workers
+  /// (0 = hardware concurrency). Solvers call this once up front so the
+  /// pairwise lx work — the selection stage's dominant cost — runs in
+  /// parallel instead of faulting in lazily on the solve path. A no-op
+  /// at one thread (the lazy path computes the same values on demand).
+  void precompute_crossings(std::size_t threads) const;
 
   /// Loss of path `p` of candidate (i, ci) under a full selection: static
   /// loss plus beta * crossings against every selected interacting net.
@@ -87,7 +107,16 @@ class SelectionEvaluator {
   std::vector<std::vector<std::size_t>> interactions_;
   /// Bounding box of each candidate's optical segments (quick rejection).
   std::vector<std::vector<geom::BBox>> optical_bbox_;
-  mutable std::unordered_map<std::uint64_t, std::vector<int>> crossing_cache_;
+  /// Striped-mutex crossing cache: the shard is picked by key, lookups
+  /// and insertions lock only that shard, and the geometry work itself
+  /// runs outside any lock (a racing duplicate computation is discarded
+  /// by emplace, so values are unique and deterministic).
+  struct CacheShard {
+    std::mutex mutex;
+    std::unordered_map<std::uint64_t, std::vector<int>> map;
+  };
+  static constexpr std::size_t kCacheShards = 64;
+  mutable std::unique_ptr<CacheShard[]> cache_shards_;
 };
 
 }  // namespace operon::codesign

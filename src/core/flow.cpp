@@ -8,6 +8,16 @@ namespace operon::core {
 
 namespace {
 
+/// Fan the single user-facing `threads` knob out to the per-stage option
+/// structs (which exist so the stages stay independently testable).
+OperonOptions with_threads(const OperonOptions& options) {
+  OperonOptions propagated = options;
+  propagated.generation.threads = options.threads;
+  propagated.lr.threads = options.threads;
+  propagated.select.threads = options.threads;
+  return propagated;
+}
+
 void run_selection_stage(OperonResult& result, const OperonOptions& options) {
   switch (options.solver) {
     case SolverKind::IlpExact: {
@@ -56,8 +66,9 @@ void run_selection_stage(OperonResult& result, const OperonOptions& options) {
 }  // namespace
 
 OperonResult run_operon(const model::Design& design,
-                        const OperonOptions& options) {
+                        const OperonOptions& raw_options) {
   design.validate();
+  const OperonOptions options = with_threads(raw_options);
   OPERON_CHECK_MSG(options.params.valid(),
                    "invalid technology parameters (check loss budget > 0, "
                    "positive device powers, wdm capacity >= 1)");
@@ -96,7 +107,8 @@ OperonResult run_operon(const model::Design& design,
 }
 
 OperonResult run_selection_only(std::vector<codesign::CandidateSet> sets,
-                                const OperonOptions& options) {
+                                const OperonOptions& raw_options) {
+  const OperonOptions options = with_threads(raw_options);
   OperonResult result;
   result.sets = std::move(sets);
   util::Timer timer;

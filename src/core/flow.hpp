@@ -30,6 +30,14 @@ struct OperonOptions {
   wdm::AssignOptions wdm;
   SolverKind solver = SolverKind::Lr;
   bool run_wdm_stage = true;
+  /// Worker threads for the parallel stages (candidate generation,
+  /// crossing precomputation, LR scans): 1 = serial (historical
+  /// behavior), 0 = hardware concurrency. Propagated into
+  /// generation.threads / lr.threads / select.threads by run_operon and
+  /// run_selection_only — this is the single user-facing knob, and those
+  /// per-stage fields should not be set directly. Results are
+  /// bit-identical at any value; only wall-clock changes.
+  std::size_t threads = 1;
 };
 
 struct StageTimes {

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace operon::lr {
@@ -76,6 +77,12 @@ LrResult solve_selection_lr(std::span<const CandidateSet> sets,
   SelectionEvaluator evaluator(sets, params);
   const double lm = params.optical.max_loss_db;
 
+  // Parallel setup: one pool for the whole solve (size 1 = pure serial
+  // path), and a bulk parallel fill of the pairwise crossing cache so
+  // the per-iteration scans below hit warm entries.
+  util::ThreadPool pool(options.threads);
+  evaluator.precompute_crossings(options.threads);
+
   Multipliers lambda = init_multipliers(evaluator, options.init_scale);
   Selection selection = evaluator.min_power_selection();
 
@@ -90,14 +97,36 @@ LrResult solve_selection_lr(std::span<const CandidateSet> sets,
   for (std::size_t iter = 1; iter <= options.max_iterations; ++iter) {
     result.iterations = iter;
 
-    // Line 5: per-net best-weight candidate (Gauss–Seidel sweep).
+    // Line 5: per-net best-weight candidate. The net sweep stays serial
+    // (Gauss–Seidel: net i sees this iteration's picks for nets < i),
+    // but the candidate costs within one net all read the same state, so
+    // they fan out over the pool; the argmin itself is taken serially in
+    // candidate order (first strict improvement wins), exactly as the
+    // single-threaded scan did.
+    std::vector<double> costs;
     for (std::size_t i = 0; i < evaluator.num_nets(); ++i) {
+      const std::size_t num_options = evaluator.set(i).options.size();
+      costs.assign(num_options, 0.0);
+      // Grain gate: fanning out pays only when the scan does real work
+      // (the gate depends on instance structure, not timing, so it never
+      // perturbs determinism — the costs are identical either way).
+      const bool fan_out =
+          pool.num_threads() > 1 &&
+          num_options * (evaluator.interacting(i).size() + 1) >= 64;
+      if (fan_out) {
+        pool.parallel_for(num_options, [&](std::size_t c) {
+          costs[c] = weighted_cost(evaluator, lambda, selection, i, c);
+        });
+      } else {
+        for (std::size_t c = 0; c < num_options; ++c) {
+          costs[c] = weighted_cost(evaluator, lambda, selection, i, c);
+        }
+      }
       std::size_t best = selection[i];
       double best_cost = std::numeric_limits<double>::infinity();
-      for (std::size_t c = 0; c < evaluator.set(i).options.size(); ++c) {
-        const double cost = weighted_cost(evaluator, lambda, selection, i, c);
-        if (cost < best_cost) {
-          best_cost = cost;
+      for (std::size_t c = 0; c < num_options; ++c) {
+        if (costs[c] < best_cost) {
+          best_cost = costs[c];
           best = c;
         }
       }
@@ -109,8 +138,12 @@ LrResult solve_selection_lr(std::span<const CandidateSet> sets,
     const double power = evaluator.total_power(selection);
     const double step = options.step_scale / static_cast<double>(iter);
 
-    double max_lambda = 0.0;
-    for (std::size_t i = 0; i < evaluator.num_nets(); ++i) {
+    // The update touches only lambda[i] and reads the frozen selection,
+    // so nets fan out over the pool; the max reduction folds per-net
+    // partials in index order (max is exact, so this is belt and braces).
+    std::vector<double> net_max(evaluator.num_nets(), 0.0);
+    pool.parallel_for(evaluator.num_nets(), [&](std::size_t i) {
+      double local_max = 0.0;
       for (std::size_t c = 0; c < evaluator.set(i).options.size(); ++c) {
         const bool selected = (selection[i] == c);
         for (std::size_t p = 0; p < lambda[i][c].size(); ++p) {
@@ -122,10 +155,13 @@ LrResult solve_selection_lr(std::span<const CandidateSet> sets,
           double& value = lambda[i][c][p];
           value = std::max(0.0, value + step * gradient *
                                     evaluator.set(i).electrical().power_pj);
-          max_lambda = std::max(max_lambda, value);
+          local_max = std::max(local_max, value);
         }
       }
-    }
+      net_max[i] = local_max;
+    });
+    double max_lambda = 0.0;
+    for (double value : net_max) max_lambda = std::max(max_lambda, value);
 
     result.trace.push_back({power, stats.violated_paths,
                             stats.total_excess_db, max_lambda});

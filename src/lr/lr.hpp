@@ -30,6 +30,13 @@ struct LrOptions {
   /// by demoting offending nets to cheaper-loss candidates (guarantees a
   /// feasible final selection, as constraint 3b's a_ie term promises).
   bool repair_violations = true;
+  /// Worker threads (1 = serial, 0 = hardware concurrency). The crossing
+  /// cache is bulk-filled in parallel up front, each net's candidate
+  /// argmin scan fans out over candidates, and the multiplier update
+  /// fans out over nets — all under the Gauss–Seidel iteration-order
+  /// semantics of Algorithm 1, so results are bit-identical at any
+  /// thread count.
+  std::size_t threads = 1;
 };
 
 struct LrIterationStats {

@@ -48,4 +48,15 @@ bool Cli::get_bool(const std::string& name, bool fallback) const {
   return it->second != "false" && it->second != "0" && it->second != "no";
 }
 
+std::size_t Cli::get_threads() const {
+  return static_cast<std::size_t>(get_int("threads", 1));
+}
+
+std::string Cli::out_path(const std::string& filename) const {
+  std::string dir = get("outdir", ".");
+  if (dir.empty() || dir == ".") return filename;
+  if (dir.back() != '/') dir += '/';
+  return dir + filename;
+}
+
 }  // namespace operon::util

@@ -2,6 +2,7 @@
 // Tiny command-line flag parser for examples and bench harnesses.
 // Supports --name=value, --name value, and boolean --flag.
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -19,6 +20,14 @@ class Cli {
   std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
   double get_double(const std::string& name, double fallback) const;
   bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Shared bench conventions: `--threads N` (default 1; 0 = all
+  /// hardware threads) ...
+  std::size_t get_threads() const;
+  /// ... and `--outdir DIR` for artifact files (CSV/SVG/JSON). Returns
+  /// `filename` prefixed with the --outdir value (default ".", i.e. the
+  /// historical drop-in-CWD behavior).
+  std::string out_path(const std::string& filename) const;
 
   /// Arguments that are not --flags, in order.
   const std::vector<std::string>& positional() const { return positional_; }

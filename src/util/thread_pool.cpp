@@ -1,0 +1,110 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace operon::util {
+
+std::size_t resolve_threads(std::size_t threads) {
+  if (threads != 0) return threads;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+std::vector<Rng> split_rngs(Rng& base, std::size_t n) {
+  std::vector<Rng> children;
+  children.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) children.push_back(base.split());
+  return children;
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t total = resolve_threads(threads);
+  workers_.reserve(total - 1);
+  for (std::size_t w = 1; w < total; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::run_chunk(std::size_t worker, std::size_t total_workers) {
+  // Static index-ordered chunking: worker w owns the contiguous block
+  // [w*n/T, (w+1)*n/T) and walks it in ascending order.
+  const std::size_t n = job_n_;
+  const std::size_t begin = worker * n / total_workers;
+  const std::size_t end = (worker + 1) * n / total_workers;
+  try {
+    for (std::size_t i = begin; i < end; ++i) (*job_fn_)(i);
+  } catch (...) {
+    errors_[worker] = std::current_exception();
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t worker) {
+  std::size_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+    }
+    run_chunk(worker, num_threads());
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--running_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t total = num_threads();
+  if (total == 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    OPERON_CHECK_MSG(job_fn_ == nullptr,
+                     "nested/concurrent parallel_for on one ThreadPool");
+    job_n_ = n;
+    job_fn_ = &fn;
+    errors_.assign(total, nullptr);
+    running_ = workers_.size();
+    ++epoch_;
+  }
+  start_cv_.notify_all();
+  run_chunk(0, total);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return running_ == 0; });
+    job_fn_ = nullptr;
+  }
+  // Deterministic error propagation: lowest worker index wins.
+  for (const std::exception_ptr& error : errors_) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+void parallel_for(std::size_t n, std::size_t threads,
+                  const std::function<void(std::size_t)>& fn) {
+  const std::size_t total = resolve_threads(threads);
+  if (total == 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(total);
+  pool.parallel_for(n, fn);
+}
+
+}  // namespace operon::util

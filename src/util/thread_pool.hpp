@@ -1,0 +1,91 @@
+#pragma once
+// Deterministic fork-join parallelism. The invariant the whole repo
+// relies on: a parallel_for produces BIT-IDENTICAL results at any thread
+// count. That is achieved by construction, not by luck:
+//
+//  * static index-ordered chunking — worker w of T executes the
+//    contiguous index block [w*n/T, (w+1)*n/T) in ascending order, so
+//    which indices run where depends only on (n, T), never on timing;
+//  * results are written by index (callers give each index its own
+//    output slot; no shared accumulators inside the body);
+//  * randomness, when a body needs it, comes from split_rngs(): child
+//    generators derived per index from one seed, never from completion
+//    order (see util::Rng::split()).
+//
+// Reductions that must stay bit-identical (e.g. floating-point sums)
+// should write per-index partials and fold them serially in index order
+// after the parallel_for returns.
+//
+// A ThreadPool of size 1 (and the n<=1 or T==1 fast path) runs the body
+// inline on the caller with zero synchronization, so `threads = 1` is
+// exactly the historical serial behavior.
+//
+// Exceptions thrown by the body are captured per worker and the one from
+// the lowest worker index is rethrown on the caller — again independent
+// of timing.
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace operon::util {
+
+/// Resolve a user-facing thread-count knob: 0 means "use all hardware
+/// threads", anything else is taken literally (minimum 1).
+std::size_t resolve_threads(std::size_t threads);
+
+/// Deterministic per-index child generators for parallel loops: the i-th
+/// stream depends only on the base generator's state and i, never on
+/// which thread consumes it or when.
+std::vector<Rng> split_rngs(Rng& base, std::size_t n);
+
+/// Fork-join pool with `threads - 1` persistent workers; the calling
+/// thread participates as worker 0. parallel_for calls must not be
+/// nested or issued concurrently on the same pool.
+class ThreadPool {
+ public:
+  /// `threads` is resolved via resolve_threads (0 = hardware).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total workers including the caller (always >= 1).
+  std::size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Run fn(i) for every i in [0, n) under the determinism contract
+  /// documented above. Blocks until every index has run.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop(std::size_t worker);
+  void run_chunk(std::size_t worker, std::size_t total_workers);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::size_t epoch_ = 0;    ///< bumped once per parallel_for
+  std::size_t running_ = 0;  ///< helper workers still in the current job
+  bool stop_ = false;
+  std::size_t job_n_ = 0;
+  const std::function<void(std::size_t)>* job_fn_ = nullptr;
+  std::vector<std::exception_ptr> errors_;
+};
+
+/// One-shot convenience: fn(i) for i in [0, n) on `threads` threads
+/// (resolved; 1 = inline serial loop). Callers with repeated loops
+/// should keep a ThreadPool alive instead of paying thread start-up per
+/// call.
+void parallel_for(std::size_t n, std::size_t threads,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace operon::util

@@ -1,0 +1,298 @@
+// Tests for the deterministic fork-join layer (util::ThreadPool /
+// util::parallel_for) and for the concurrency invariants built on it:
+// the striped-mutex crossing cache survives a multi-thread hammer
+// (exercised under TSan by the CI sanitizer job), and the end-to-end
+// pipeline produces bit-identical results at every thread count.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "benchgen/benchgen.hpp"
+#include "cluster/hypernet_builder.hpp"
+#include "codesign/generate.hpp"
+#include "codesign/selection.hpp"
+#include "core/flow.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ou = operon::util;
+namespace oc = operon::codesign;
+
+namespace {
+
+const operon::model::TechParams kParams =
+    operon::model::TechParams::dac18_defaults();
+
+operon::model::Design small_design(std::uint64_t seed,
+                                   std::size_t groups = 30) {
+  operon::benchgen::BenchmarkSpec spec;
+  spec.name = "parallel-test";
+  spec.num_groups = groups;
+  spec.seed = seed;
+  return operon::benchgen::generate_benchmark(spec);
+}
+
+std::vector<oc::CandidateSet> candidates_for(
+    const operon::model::Design& design) {
+  operon::cluster::SignalProcessingOptions processing;
+  const auto nets = operon::cluster::build_hyper_nets(design, processing);
+  return oc::generate_candidates(design, nets.hyper_nets, kParams);
+}
+
+}  // namespace
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (std::size_t threads : {1u, 2u, 3u, 8u, 17u}) {
+    std::vector<int> hits(1000, 0);
+    ou::parallel_for(hits.size(), threads,
+                     [&](std::size_t i) { ++hits[i]; });
+    for (int h : hits) EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ParallelFor, HandlesEdgeSizes) {
+  std::atomic<int> count{0};
+  ou::parallel_for(0, 4, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 0);
+  ou::parallel_for(1, 4, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 1);
+  // More threads than work.
+  std::vector<int> hits(3, 0);
+  ou::parallel_for(hits.size(), 16, [&](std::size_t i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelFor, ResolveThreads) {
+  EXPECT_GE(ou::resolve_threads(0), 1u);
+  EXPECT_EQ(ou::resolve_threads(1), 1u);
+  EXPECT_EQ(ou::resolve_threads(7), 7u);
+}
+
+TEST(ParallelFor, BitIdenticalAcrossThreadCounts) {
+  const std::size_t n = 512;
+  const auto compute = [](std::size_t i) {
+    double v = static_cast<double>(i) + 0.5;
+    for (int k = 0; k < 50; ++k) v = std::sin(v) * 1.7 + std::sqrt(v + 2.0);
+    return v;
+  };
+  std::vector<double> serial(n), parallel(n);
+  ou::parallel_for(n, 1, [&](std::size_t i) { serial[i] = compute(i); });
+  for (std::size_t threads : {2u, 5u, 8u}) {
+    ou::parallel_for(n, threads,
+                     [&](std::size_t i) { parallel[i] = compute(i); });
+    EXPECT_EQ(serial, parallel);  // exact, not approximate
+  }
+}
+
+TEST(ParallelFor, PropagatesBodyExceptions) {
+  EXPECT_THROW(
+      ou::parallel_for(100, 4,
+                       [](std::size_t i) {
+                         if (i == 63) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, SplitRngsIndependentOfConsumptionOrder) {
+  // Child streams depend only on the base seed and the index, so drawing
+  // them under different thread counts yields identical values.
+  std::vector<double> reference;
+  {
+    ou::Rng base(42);
+    auto rngs = ou::split_rngs(base, 64);
+    reference.resize(rngs.size());
+    for (std::size_t i = 0; i < rngs.size(); ++i) {
+      reference[i] = rngs[i].uniform01();
+    }
+  }
+  for (std::size_t threads : {2u, 8u}) {
+    ou::Rng base(42);
+    auto rngs = ou::split_rngs(base, 64);
+    std::vector<double> drawn(rngs.size());
+    ou::parallel_for(rngs.size(), threads,
+                     [&](std::size_t i) { drawn[i] = rngs[i].uniform01(); });
+    EXPECT_EQ(reference, drawn);
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  ou::ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::vector<std::size_t> out(100, 0);
+  for (std::size_t round = 1; round <= 5; ++round) {
+    pool.parallel_for(out.size(),
+                      [&](std::size_t i) { out[i] = i * round; });
+    for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * round);
+  }
+}
+
+TEST(ThreadPool, SizeOneRunsInline) {
+  ou::ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  pool.parallel_for(8, [&](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+// The CLAUDE.md-documented latent bug this PR fixes: crossings() is
+// const but caches lazily, which was a data race under any concurrency.
+// Hammer the cache from many threads in clashing orders; TSan (CI job)
+// verifies the synchronization, and the counts must match a serially
+// filled evaluator exactly.
+TEST(CrossingCache, ConcurrentHammerMatchesSerial) {
+  const auto design = small_design(11);
+  const auto sets = candidates_for(design);
+
+  // Serial reference.
+  oc::SelectionEvaluator reference(sets, kParams);
+  long long expected_sum = 0;
+  const auto visit = [&](const oc::SelectionEvaluator& evaluator,
+                         bool reversed) {
+    long long sum = 0;
+    const std::size_t n = evaluator.num_nets();
+    for (std::size_t step = 0; step < n; ++step) {
+      const std::size_t i = reversed ? n - 1 - step : step;
+      for (std::size_t m : evaluator.interacting(i)) {
+        for (std::size_t ci = 0; ci < sets[i].options.size(); ++ci) {
+          for (std::size_t cm = 0; cm < sets[m].options.size(); ++cm) {
+            for (int c : evaluator.crossings(i, ci, m, cm)) sum += c;
+          }
+        }
+      }
+    }
+    return sum;
+  };
+  expected_sum = visit(reference, false);
+  ASSERT_GT(expected_sum, 0) << "design too sparse to exercise the cache";
+
+  oc::SelectionEvaluator hammered(sets, kParams);
+  std::vector<long long> sums(8, 0);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < sums.size(); ++t) {
+    threads.emplace_back(
+        [&, t] { sums[t] = visit(hammered, /*reversed=*/t % 2 == 1); });
+  }
+  for (auto& thread : threads) thread.join();
+  for (long long sum : sums) EXPECT_EQ(sum, expected_sum);
+}
+
+TEST(CrossingCache, ParallelPrecomputeMatchesLazy) {
+  const auto design = small_design(12);
+  const auto sets = candidates_for(design);
+  oc::SelectionEvaluator lazy(sets, kParams);
+  oc::SelectionEvaluator precomputed(sets, kParams);
+  precomputed.precompute_crossings(4);
+  for (std::size_t i = 0; i < lazy.num_nets(); ++i) {
+    for (std::size_t m : lazy.interacting(i)) {
+      for (std::size_t ci = 0; ci < sets[i].options.size(); ++ci) {
+        for (std::size_t cm = 0; cm < sets[m].options.size(); ++cm) {
+          EXPECT_EQ(lazy.crossings(i, ci, m, cm),
+                    precomputed.crossings(i, ci, m, cm));
+        }
+      }
+    }
+  }
+}
+
+// Satellite regression: generation fan-out must not change a single bit
+// of the candidate sets.
+TEST(Determinism, GenerationIdenticalAcrossThreadCounts) {
+  const auto design = small_design(13);
+  operon::cluster::SignalProcessingOptions processing;
+  const auto nets = operon::cluster::build_hyper_nets(design, processing);
+
+  oc::GenerationOptions serial_options;
+  serial_options.threads = 1;
+  const auto reference =
+      oc::generate_candidates(design, nets.hyper_nets, kParams, serial_options);
+
+  for (std::size_t threads : {2u, 8u}) {
+    oc::GenerationOptions options;
+    options.threads = threads;
+    const auto sets =
+        oc::generate_candidates(design, nets.hyper_nets, kParams, options);
+    ASSERT_EQ(sets.size(), reference.size());
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+      ASSERT_EQ(sets[i].options.size(), reference[i].options.size());
+      EXPECT_EQ(sets[i].electrical_index, reference[i].electrical_index);
+      for (std::size_t c = 0; c < sets[i].options.size(); ++c) {
+        const auto& a = sets[i].options[c];
+        const auto& b = reference[i].options[c];
+        EXPECT_EQ(a.power_pj, b.power_pj);  // bit-exact
+        EXPECT_EQ(a.edge_kinds, b.edge_kinds);
+        EXPECT_EQ(a.paths.size(), b.paths.size());
+        for (std::size_t p = 0; p < a.paths.size(); ++p) {
+          EXPECT_EQ(a.paths[p].static_loss_db, b.paths[p].static_loss_db);
+        }
+      }
+    }
+  }
+}
+
+// The headline invariant: the full pipeline — selection, power,
+// violations, WDM plan — is byte-identical at threads 1, 2, and 8.
+TEST(Determinism, RunOperonIdenticalAcrossThreadCounts) {
+  const auto design = small_design(14);
+
+  operon::core::OperonOptions serial;
+  serial.threads = 1;
+  const auto reference = operon::core::run_operon(design, serial);
+
+  for (std::size_t threads : {2u, 8u}) {
+    operon::core::OperonOptions options;
+    options.threads = threads;
+    const auto result = operon::core::run_operon(design, options);
+
+    EXPECT_EQ(result.selection, reference.selection);
+    EXPECT_EQ(result.power_pj, reference.power_pj);  // bit-exact
+    EXPECT_EQ(result.violations.violated_paths,
+              reference.violations.violated_paths);
+    EXPECT_EQ(result.violations.total_excess_db,
+              reference.violations.total_excess_db);
+    EXPECT_EQ(result.violations.worst_loss_db,
+              reference.violations.worst_loss_db);
+    EXPECT_EQ(result.optical_nets, reference.optical_nets);
+    EXPECT_EQ(result.electrical_nets, reference.electrical_nets);
+    EXPECT_EQ(result.lr_iterations, reference.lr_iterations);
+
+    // WDM plan, field by field.
+    const auto& a = result.wdm_plan;
+    const auto& b = reference.wdm_plan;
+    EXPECT_EQ(a.initial_wdms, b.initial_wdms);
+    EXPECT_EQ(a.final_wdms, b.final_wdms);
+    EXPECT_EQ(a.total_move_um, b.total_move_um);
+    EXPECT_EQ(a.feasible, b.feasible);
+    ASSERT_EQ(a.allocations.size(), b.allocations.size());
+    for (std::size_t k = 0; k < a.allocations.size(); ++k) {
+      EXPECT_EQ(a.allocations[k].connection, b.allocations[k].connection);
+      EXPECT_EQ(a.allocations[k].wdm, b.allocations[k].wdm);
+      EXPECT_EQ(a.allocations[k].bits, b.allocations[k].bits);
+    }
+  }
+}
+
+// The ILP path must also be untouched by the parallel precompute. A
+// small instance keeps the branch-and-bound far from its deadline, so
+// the proven optimum (not a timing-dependent incumbent) is compared.
+TEST(Determinism, ExactSolverIdenticalAcrossThreadCounts) {
+  const auto design = small_design(15, /*groups=*/12);
+
+  operon::core::OperonOptions serial;
+  serial.solver = operon::core::SolverKind::IlpExact;
+  serial.select.time_limit_s = 30.0;
+  serial.threads = 1;
+  const auto reference = operon::core::run_operon(design, serial);
+  ASSERT_TRUE(reference.proven_optimal);
+
+  operon::core::OperonOptions options = serial;
+  options.threads = 4;
+  const auto result = operon::core::run_operon(design, options);
+  ASSERT_TRUE(result.proven_optimal);
+  EXPECT_EQ(result.selection, reference.selection);
+  EXPECT_EQ(result.power_pj, reference.power_pj);
+}

@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <set>
+#include <utility>
 
 #include "cluster/hypernet_builder.hpp"
 #include "codesign/generate.hpp"
@@ -219,6 +222,101 @@ TEST(ExactSelect, ComponentsReported) {
   EXPECT_GE(result.num_components, 1u);
   EXPECT_GE(result.largest_component, 1u);
   EXPECT_GT(result.nodes_explored, 0u);
+}
+
+// CLAUDE.md gotcha, promoted to a tested contract: an EMPTY vector from
+// crossings() means "all zeros", and every public consumer must treat
+// the marker and an explicit zero vector identically. Verified in three
+// layers: (a) the marker is truthful against a from-scratch geometric
+// recount; (b) path_loss_db / violations match a reference that always
+// materializes explicit vectors; (c) the ILP linearization introduces a
+// McCormick product exactly for the pairs whose explicit counts are
+// non-zero — zero entries and the empty marker are elided identically.
+TEST(Evaluator, EmptyCrossingsMeansAllZerosContract) {
+  const auto sets = candidates_for(crossing_mesh(2, 12), kParams);
+  oc::SelectionEvaluator evaluator(sets, kParams);
+  const double beta = kParams.optical.beta_db_per_crossing;
+
+  const auto explicit_counts = [&](std::size_t i, std::size_t ci,
+                                   std::size_t m, std::size_t cm) {
+    const oc::Candidate& mine = sets[i].options[ci];
+    const oc::Candidate& other = sets[m].options[cm];
+    std::vector<int> counts(mine.paths.size(), 0);
+    for (std::size_t p = 0; p < mine.paths.size(); ++p) {
+      counts[p] = static_cast<int>(og::count_crossings(
+          mine.paths[p].segments, other.optical_segments));
+    }
+    return counts;
+  };
+
+  // (a) The marker is truthful, and non-elided vectors are exact.
+  std::size_t empty_markers = 0, explicit_vectors = 0;
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    for (std::size_t m : evaluator.interacting(i)) {
+      for (std::size_t ci = 0; ci < sets[i].options.size(); ++ci) {
+        for (std::size_t cm = 0; cm < sets[m].options.size(); ++cm) {
+          const auto& cached = evaluator.crossings(i, ci, m, cm);
+          const auto full = explicit_counts(i, ci, m, cm);
+          if (cached.empty()) {
+            ++empty_markers;
+            for (int c : full) EXPECT_EQ(c, 0);
+          } else {
+            ++explicit_vectors;
+            EXPECT_EQ(cached, full);
+          }
+        }
+      }
+    }
+  }
+  // The property must be exercised from both sides.
+  EXPECT_GT(empty_markers, 0u);
+  EXPECT_GT(explicit_vectors, 0u);
+
+  // (b) Consumers: losses computed with explicit vectors (empty treated
+  // as zeros by construction) match path_loss_db / violations exactly.
+  for (const auto& selection :
+       {evaluator.min_power_selection(), evaluator.all_electrical()}) {
+    std::size_t ref_violated = 0;
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+      const oc::Candidate& cand = sets[i].options[selection[i]];
+      for (std::size_t p = 0; p < cand.paths.size(); ++p) {
+        double ref_loss = cand.paths[p].static_loss_db;
+        for (std::size_t m : evaluator.interacting(i)) {
+          ref_loss +=
+              beta * explicit_counts(i, selection[i], m, selection[m])[p];
+        }
+        EXPECT_EQ(evaluator.path_loss_db(selection, i, selection[i], p),
+                  ref_loss);
+        if (ref_loss > kParams.optical.max_loss_db + 1e-9) ++ref_violated;
+      }
+    }
+    EXPECT_EQ(evaluator.violations(selection).violated_paths, ref_violated);
+  }
+
+  // (c) ILP linearization: products exist exactly for candidate pairs
+  // with a non-zero explicit count in either direction.
+  const auto mip = oc::build_selection_mip(evaluator);
+  std::size_t binaries = 0;
+  for (std::size_t v = 0; v < mip.model.num_variables(); ++v) {
+    if (mip.model.variable(v).integral) ++binaries;
+  }
+  std::set<std::pair<std::size_t, std::size_t>> crossing_pairs;
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    for (std::size_t m : evaluator.interacting(i)) {
+      for (std::size_t ci = 0; ci < sets[i].options.size(); ++ci) {
+        for (std::size_t cm = 0; cm < sets[m].options.size(); ++cm) {
+          const auto counts = explicit_counts(i, ci, m, cm);
+          if (std::any_of(counts.begin(), counts.end(),
+                          [](int c) { return c != 0; })) {
+            const std::size_t va = mip.selection_vars[i][ci];
+            const std::size_t vb = mip.selection_vars[m][cm];
+            crossing_pairs.insert({std::min(va, vb), std::max(va, vb)});
+          }
+        }
+      }
+    }
+  }
+  EXPECT_EQ(mip.model.num_variables() - binaries, crossing_pairs.size());
 }
 
 TEST(MipBuilder, StructureMatchesFormulation3) {

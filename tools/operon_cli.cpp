@@ -32,7 +32,8 @@ int usage() {
                "--bits-hi B] [--seed S]  --out FILE\n"
                "  operon_cli info  --in FILE\n"
                "  operon_cli route --in FILE [--solver lr|ilp|mip] "
-               "[--ilp-limit SEC] [--lm DB] [--report FILE] [--svg FILE] "
+               "[--ilp-limit SEC] [--lm DB] [--threads N (0 = all cores; "
+               "results identical at any N)] [--report FILE] [--svg FILE] "
                "[--per-net]\n");
   return 1;
 }
@@ -92,6 +93,7 @@ int cmd_route(const util::Cli& cli) {
   else if (solver == "lr") options.solver = core::SolverKind::Lr;
   else return usage();
   options.select.time_limit_s = cli.get_double("ilp-limit", 20.0);
+  options.threads = cli.get_threads();
   if (cli.has("lm")) {
     options.params.optical.max_loss_db = cli.get_double("lm", 20.0);
   }
