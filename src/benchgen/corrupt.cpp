@@ -1,0 +1,254 @@
+#include "benchgen/corrupt.hpp"
+
+#include <cctype>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace operon::benchgen {
+
+namespace {
+
+struct BitPick {
+  std::size_t group = 0;
+  std::size_t bit = 0;
+};
+
+/// Uniform pick over every (group, bit) pair of the design.
+BitPick pick_bit(const model::Design& design, util::Rng& rng) {
+  std::size_t total = 0;
+  for (const model::SignalGroup& group : design.groups) {
+    total += group.bits.size();
+  }
+  OPERON_CHECK_MSG(total > 0,
+                   "corrupt_design needs a design with at least one bit");
+  std::size_t index = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(total) - 1));
+  for (std::size_t g = 0; g < design.groups.size(); ++g) {
+    if (index < design.groups[g].bits.size()) return {g, index};
+    index -= design.groups[g].bits.size();
+  }
+  return {0, 0};  // unreachable
+}
+
+/// A pin of the picked bit: the source or one of the sinks.
+model::Pin& pick_pin(model::SignalBit& bit, util::Rng& rng) {
+  const std::int64_t which =
+      rng.uniform_int(0, static_cast<std::int64_t>(bit.sinks.size()));
+  if (which == 0) return bit.source;
+  return bit.sinks[static_cast<std::size_t>(which - 1)];
+}
+
+}  // namespace
+
+std::vector<FaultKind> all_fault_kinds() {
+  return {FaultKind::NanCoordinate, FaultKind::InfCoordinate,
+          FaultKind::OffChipPin,    FaultKind::SwapPinRoles,
+          FaultKind::TruncateSinks, FaultKind::EmptyGroup,
+          FaultKind::ShrinkChip,    FaultKind::DuplicatePin,
+          FaultKind::GiantChip,     FaultKind::ZeroGroups};
+}
+
+std::string_view fault_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::NanCoordinate: return "nan-coordinate";
+    case FaultKind::InfCoordinate: return "inf-coordinate";
+    case FaultKind::OffChipPin: return "off-chip-pin";
+    case FaultKind::SwapPinRoles: return "swap-pin-roles";
+    case FaultKind::TruncateSinks: return "truncate-sinks";
+    case FaultKind::EmptyGroup: return "empty-group";
+    case FaultKind::ShrinkChip: return "shrink-chip";
+    case FaultKind::DuplicatePin: return "duplicate-pin";
+    case FaultKind::GiantChip: return "giant-chip";
+    case FaultKind::ZeroGroups: return "zero-groups";
+  }
+  return "unknown";
+}
+
+FaultExpectation fault_expectation(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::DuplicatePin:
+    case FaultKind::GiantChip:
+    case FaultKind::ZeroGroups:
+      return FaultExpectation::Complete;
+    default:
+      return FaultExpectation::Reject;
+  }
+}
+
+model::Design corrupt_design(const model::Design& design, FaultKind kind,
+                             util::Rng& rng) {
+  model::Design out = design;
+  switch (kind) {
+    case FaultKind::NanCoordinate: {
+      const BitPick pick = pick_bit(out, rng);
+      model::Pin& pin = pick_pin(out.groups[pick.group].bits[pick.bit], rng);
+      (rng.bernoulli(0.5) ? pin.location.x : pin.location.y) =
+          std::numeric_limits<double>::quiet_NaN();
+      break;
+    }
+    case FaultKind::InfCoordinate: {
+      const BitPick pick = pick_bit(out, rng);
+      model::Pin& pin = pick_pin(out.groups[pick.group].bits[pick.bit], rng);
+      (rng.bernoulli(0.5) ? pin.location.x : pin.location.y) =
+          std::numeric_limits<double>::infinity();
+      break;
+    }
+    case FaultKind::OffChipPin: {
+      const BitPick pick = pick_bit(out, rng);
+      model::Pin& pin = pick_pin(out.groups[pick.group].bits[pick.bit], rng);
+      pin.location.x = out.chip.xhi + 10.0 * (out.chip.width() + 1.0);
+      break;
+    }
+    case FaultKind::SwapPinRoles: {
+      const BitPick pick = pick_bit(out, rng);
+      model::SignalBit& bit = out.groups[pick.group].bits[pick.bit];
+      bit.source.role = model::PinRole::Sink;
+      for (model::Pin& sink : bit.sinks) sink.role = model::PinRole::Source;
+      break;
+    }
+    case FaultKind::TruncateSinks: {
+      const BitPick pick = pick_bit(out, rng);
+      out.groups[pick.group].bits[pick.bit].sinks.clear();
+      break;
+    }
+    case FaultKind::EmptyGroup: {
+      OPERON_CHECK_MSG(!out.groups.empty(),
+                       "corrupt_design needs at least one group");
+      const std::size_t g = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(out.groups.size()) - 1));
+      out.groups[g].bits.clear();
+      break;
+    }
+    case FaultKind::ShrinkChip: {
+      // Finite but inverted: is_empty() without tripping the finiteness
+      // check, so "chip-empty" (not "chip-not-finite") is exercised.
+      out.chip.xhi = out.chip.xlo - 1.0;
+      out.chip.yhi = out.chip.ylo - 1.0;
+      break;
+    }
+    case FaultKind::DuplicatePin: {
+      const BitPick pick = pick_bit(out, rng);
+      model::SignalBit& bit = out.groups[pick.group].bits[pick.bit];
+      if (!bit.sinks.empty()) {
+        bit.sinks.front().location = bit.source.location;
+      }
+      break;
+    }
+    case FaultKind::GiantChip: {
+      out.chip = out.chip.inflated(
+          1000.0 * (out.chip.half_perimeter() + 1.0));
+      break;
+    }
+    case FaultKind::ZeroGroups: {
+      out.groups.clear();
+      break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::size_t pick_offset(const std::string& text, util::Rng& rng) {
+  if (text.empty()) return 0;
+  return static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(text.size()) - 1));
+}
+
+std::string truncate_at(const std::string& text, util::Rng& rng) {
+  return text.substr(0, pick_offset(text, rng));
+}
+
+std::string delete_span(const std::string& text, util::Rng& rng) {
+  if (text.empty()) return text;
+  const std::size_t start = pick_offset(text, rng);
+  const std::size_t len = static_cast<std::size_t>(rng.uniform_int(
+      1, std::min<std::int64_t>(32, static_cast<std::int64_t>(
+                                        text.size() - start))));
+  std::string out = text;
+  out.erase(start, len);
+  return out;
+}
+
+std::string garble(const std::string& text, util::Rng& rng) {
+  if (text.empty()) return text;
+  std::string out = text;
+  const std::size_t hits = static_cast<std::size_t>(rng.uniform_int(1, 8));
+  for (std::size_t i = 0; i < hits; ++i) {
+    out[pick_offset(out, rng)] =
+        static_cast<char>(rng.uniform_int(1, 126));  // keep it NUL-free
+  }
+  return out;
+}
+
+/// Replace the first number token at/after a random offset with "NaN"
+/// (exercises the strict parser's non-finite rejection). Falls back to
+/// truncation when the text has no digits.
+std::string inject_nan(const std::string& text, util::Rng& rng) {
+  const std::size_t start = pick_offset(text, rng);
+  std::size_t pos = std::string::npos;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const std::size_t p = (start + i) % text.size();
+    if (std::isdigit(static_cast<unsigned char>(text[p]))) {
+      pos = p;
+      break;
+    }
+  }
+  if (pos == std::string::npos) return truncate_at(text, rng);
+  std::size_t lo = pos;
+  while (lo > 0 && (std::isdigit(static_cast<unsigned char>(text[lo - 1])) ||
+                    text[lo - 1] == '.' || text[lo - 1] == '-' ||
+                    text[lo - 1] == '+' || text[lo - 1] == 'e' ||
+                    text[lo - 1] == 'E')) {
+    --lo;
+  }
+  std::size_t hi = pos;
+  while (hi < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[hi])) ||
+          text[hi] == '.' || text[hi] == '-' || text[hi] == '+' ||
+          text[hi] == 'e' || text[hi] == 'E')) {
+    ++hi;
+  }
+  return text.substr(0, lo) + "NaN" + text.substr(hi);
+}
+
+std::string swap_punctuation(const std::string& text, util::Rng& rng) {
+  static constexpr std::string_view kPunct = "{}[],:\"";
+  std::vector<std::size_t> spots;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (kPunct.find(text[i]) != std::string_view::npos) spots.push_back(i);
+  }
+  if (spots.empty()) return garble(text, rng);
+  std::string out = text;
+  const std::size_t spot = spots[static_cast<std::size_t>(rng.uniform_int(
+      0, static_cast<std::int64_t>(spots.size()) - 1))];
+  char repl = out[spot];
+  while (repl == out[spot]) {
+    repl = kPunct[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(kPunct.size()) - 1))];
+  }
+  out[spot] = repl;
+  return out;
+}
+
+}  // namespace
+
+std::string corrupt_text(const std::string& text, util::Rng& rng) {
+  switch (rng.uniform_int(0, 2)) {
+    case 0: return truncate_at(text, rng);
+    case 1: return delete_span(text, rng);
+    default: return garble(text, rng);
+  }
+}
+
+std::string corrupt_json(const std::string& text, util::Rng& rng) {
+  switch (rng.uniform_int(0, 3)) {
+    case 0: return truncate_at(text, rng);
+    case 1: return inject_nan(text, rng);
+    case 2: return swap_punctuation(text, rng);
+    default: return garble(text, rng);
+  }
+}
+
+}  // namespace operon::benchgen

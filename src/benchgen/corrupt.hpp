@@ -1,0 +1,63 @@
+#pragma once
+// Seeded fault injection for the robustness harness. Each FaultKind is
+// one enumerable corruption of a well-formed design (or of its text /
+// JSON serialization); the corruptors draw every random choice from a
+// util::Rng so a (seed, kind) pair replays exactly. The contract under
+// test: feeding a corrupted input to the pipeline must either raise a
+// util::CheckError whose cause is enumerated by structured diagnostics
+// (expectation Reject) or complete with a plan that passes
+// core::verify_result (expectation Complete) — never crash, hang, or
+// trip a sanitizer.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/design.hpp"
+#include "util/rng.hpp"
+
+namespace operon::benchgen {
+
+enum class FaultKind {
+  // -- Reject: validation must flag these as Error --
+  NanCoordinate,   ///< one pin coordinate becomes NaN
+  InfCoordinate,   ///< one pin coordinate becomes +inf
+  OffChipPin,      ///< one pin teleports far outside the chip outline
+  SwapPinRoles,    ///< a bit's source/sink role labels are swapped
+  TruncateSinks,   ///< one bit loses all of its sinks
+  EmptyGroup,      ///< one group loses all of its bits
+  ShrinkChip,      ///< chip outline collapses to an empty box
+  // -- Complete: degenerate but processable --
+  DuplicatePin,    ///< a sink is moved exactly onto its source
+  GiantChip,       ///< chip outline inflated 1000x (pins stay legal)
+  ZeroGroups,      ///< all groups removed (empty design routes trivially)
+};
+
+/// Every FaultKind, in declaration order (for harnesses that cycle).
+std::vector<FaultKind> all_fault_kinds();
+
+std::string_view fault_name(FaultKind kind);
+
+enum class FaultExpectation { Reject, Complete };
+
+FaultExpectation fault_expectation(FaultKind kind);
+
+/// Apply one specific corruption. The design must be non-trivial (>= 1
+/// group with >= 1 bit) for the pin-level kinds; the corruptor picks its
+/// victims via `rng`.
+model::Design corrupt_design(const model::Design& design, FaultKind kind,
+                             util::Rng& rng);
+
+/// Byte-level corruption of a serialized design (text or JSON): pick one
+/// of truncate-at-random-offset / delete-a-span / garble-bytes. The
+/// result may or may not still parse; the caller's contract is only that
+/// parsing throws CheckError or yields a design that validates/rejects
+/// cleanly.
+std::string corrupt_text(const std::string& text, util::Rng& rng);
+
+/// JSON-aware corruption: truncate, inject a NaN literal into a number,
+/// swap a structural punctuation byte, or garble a span. Exercises the
+/// strict parser's error paths.
+std::string corrupt_json(const std::string& text, util::Rng& rng);
+
+}  // namespace operon::benchgen

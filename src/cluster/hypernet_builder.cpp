@@ -58,6 +58,7 @@ std::size_t SignalProcessingResult::num_hyper_pins() const {
 
 SignalProcessingResult build_hyper_nets(
     const model::Design& design, const SignalProcessingOptions& options) {
+  design.validate();  // boundary check: reject malformed designs up front
   SignalProcessingResult result;
 
   for (std::size_t g = 0; g < design.groups.size(); ++g) {

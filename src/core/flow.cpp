@@ -1,7 +1,10 @@
 #include "core/flow.hpp"
 
+#include <iterator>
+
 #include "util/check.hpp"
 #include "util/logging.hpp"
+#include "util/strings.hpp"
 #include "util/timer.hpp"
 
 namespace operon::core {
@@ -18,11 +21,69 @@ OperonOptions with_threads(const OperonOptions& options) {
   return propagated;
 }
 
+void add_warning(OperonResult& result, std::string code, std::string message) {
+  if (result.diagnostics.size() >= model::kMaxDiagnostics) return;
+  result.diagnostics.push_back({model::Severity::Warning, std::move(code),
+                                std::move(message)});
+}
+
+/// Boundary validation: Error-severity findings throw (the input is
+/// malformed); Warning-severity findings flow into result.diagnostics so
+/// callers see what was degenerate about an accepted input.
+void validate_inputs(OperonResult& result, const model::Design& design,
+                     const model::TechParams& params) {
+  std::vector<model::Diagnostic> found = model::validate(design);
+  OPERON_CHECK_MSG(!model::has_errors(found),
+                   "design '" << design.name << "' rejected:\n"
+                              << model::describe_errors(found));
+  std::vector<model::Diagnostic> param_found = model::validate(params);
+  OPERON_CHECK_MSG(!model::has_errors(param_found),
+                   "invalid technology parameters:\n"
+                       << model::describe_errors(param_found));
+  found.insert(found.end(), std::make_move_iterator(param_found.begin()),
+               std::make_move_iterator(param_found.end()));
+  for (model::Diagnostic& diagnostic : found) {
+    add_warning(result, std::move(diagnostic.code),
+                std::move(diagnostic.message));
+  }
+}
+
+/// Per-net infeasible loss budgets: a candidate set whose only option is
+/// the pure-electrical fallback means generation pruned every optical
+/// labeling (static loss alone exceeds lm). Reported as warnings — the
+/// run proceeds with those nets electrical — capped so a hostile budget
+/// cannot flood the list.
+void report_budget_infeasible_nets(OperonResult& result) {
+  constexpr std::size_t kMaxPerNet = 8;
+  std::size_t count = 0;
+  for (const codesign::CandidateSet& set : result.sets) {
+    if (set.options.size() > 1) continue;
+    if (count < kMaxPerNet) {
+      add_warning(result, "net-loss-budget-infeasible",
+                  util::format("hyper net %zu: every optical labeling exceeds "
+                               "the loss budget; only the electrical fallback "
+                               "remains",
+                               set.net));
+    }
+    ++count;
+  }
+  if (count > kMaxPerNet) {
+    add_warning(result, "net-loss-budget-infeasible",
+                util::format("%zu further hyper nets have no feasible optical "
+                             "labeling (suppressed)",
+                             count - kMaxPerNet));
+  }
+}
+
 void run_selection_stage(OperonResult& result, const OperonOptions& options) {
+  codesign::SelectionEvaluator evaluator(result.sets, options.params);
   switch (options.solver) {
     case SolverKind::IlpExact: {
       // Warm-start the branch-and-bound with a quick LR pass so a
-      // time-limited run is never worse than the heuristic.
+      // time-limited run is never worse than the heuristic — this IS the
+      // "timeout falls back to the LR surrogate" rung: the surrogate's
+      // selection seeds the incumbent, and the search only ever replaces
+      // it with something better.
       codesign::SelectOptions select = options.select;
       if (select.warm_start.empty()) {
         select.warm_start =
@@ -34,6 +95,12 @@ void run_selection_stage(OperonResult& result, const OperonOptions& options) {
       result.selection = solved.selection;
       result.timed_out = solved.timed_out;
       result.proven_optimal = solved.proven_optimal;
+      if (solved.timed_out) {
+        result.degraded = true;
+        add_warning(result, "solver-time-limit",
+                    "exact branch-and-bound hit its time limit; returning "
+                    "the incumbent (no worse than the LR warm start)");
+      }
       break;
     }
     case SolverKind::MipLiteral: {
@@ -42,6 +109,11 @@ void run_selection_stage(OperonResult& result, const OperonOptions& options) {
       result.selection = solved.selection;
       result.timed_out = solved.timed_out;
       result.proven_optimal = solved.proven_optimal;
+      if (solved.timed_out) {
+        result.degraded = true;
+        add_warning(result, "solver-time-limit",
+                    "literal MIP hit its time limit; returning the incumbent");
+      }
       break;
     }
     case SolverKind::Lr: {
@@ -49,12 +121,34 @@ void run_selection_stage(OperonResult& result, const OperonOptions& options) {
           lr::solve_selection_lr(result.sets, options.params, options.lr);
       result.selection = solved.selection;
       result.lr_iterations = solved.iterations;
+      if (!solved.converged) {
+        result.degraded = true;
+        add_warning(result, "lr-no-convergence",
+                    util::format("LR did not converge within %zu iterations; "
+                                 "keeping the repaired final selection",
+                                 solved.iterations));
+      }
       break;
     }
   }
-  codesign::SelectionEvaluator evaluator(result.sets, options.params);
-  result.power_pj = evaluator.total_power(result.selection);
+  // Last rung of the ladder: whatever the solver produced, a selection
+  // that still violates a detection constraint is replaced by the
+  // always-feasible pure-electrical selection a_ie instead of escaping
+  // as an invalid plan.
   result.violations = evaluator.violations(result.selection);
+  if (!result.violations.clean()) {
+    result.degraded = true;
+    add_warning(result, "selection-infeasible-fallback",
+                util::format("solver selection violates %zu detection "
+                             "path(s); falling back to the pure-electrical "
+                             "selection",
+                             result.violations.violated_paths));
+    result.selection = evaluator.all_electrical();
+    result.violations = evaluator.violations(result.selection);
+  }
+  result.power_pj = evaluator.total_power(result.selection);
+  result.optical_nets = 0;
+  result.electrical_nets = 0;
   for (std::size_t i = 0; i < result.sets.size(); ++i) {
     const codesign::Candidate& cand =
         result.sets[i].options[result.selection[i]];
@@ -67,12 +161,9 @@ void run_selection_stage(OperonResult& result, const OperonOptions& options) {
 
 OperonResult run_operon(const model::Design& design,
                         const OperonOptions& raw_options) {
-  design.validate();
   const OperonOptions options = with_threads(raw_options);
-  OPERON_CHECK_MSG(options.params.valid(),
-                   "invalid technology parameters (check loss budget > 0, "
-                   "positive device powers, wdm capacity >= 1)");
   OperonResult result;
+  validate_inputs(result, design, options.params);
   util::Timer timer;
 
   // Stage 1: signal processing (Fig 2, §3.1).
@@ -90,6 +181,7 @@ OperonResult run_operon(const model::Design& design,
   result.sets = codesign::generate_candidates(
       design, result.processing.hyper_nets, options.params, options.generation);
   result.times.generation_s = timer.seconds();
+  report_budget_infeasible_nets(result);
 
   // Stage 3: solution determination (§3.3 / §3.4).
   timer.reset();

@@ -11,6 +11,7 @@
 #include "codesign/ilp_select.hpp"
 #include "lr/lr.hpp"
 #include "model/design.hpp"
+#include "model/diagnostic.hpp"
 #include "wdm/assign.hpp"
 
 namespace operon::core {
@@ -64,9 +65,28 @@ struct OperonResult {
   std::size_t electrical_nets = 0;
   wdm::WdmPlan wdm_plan;
   StageTimes times;
+  /// Warnings accumulated along the run: degenerate-but-processable input
+  /// findings from model::validate, per-net infeasible loss budgets, and
+  /// degradation events (solver time limit, LR non-convergence, fallback
+  /// to the pure-electrical selection). Never contains Error-severity
+  /// entries — those throw at the boundary instead.
+  std::vector<model::Diagnostic> diagnostics;
+  /// True when any degradation rung fired (the selection came from a
+  /// weaker solver or fallback than the one requested).
+  bool degraded = false;
 };
 
 /// Run the full OPERON pipeline on a design.
+///
+/// Degradation ladder instead of mid-run throws: an ILP time limit keeps
+/// the incumbent (warm-started from LR, so never worse than the
+/// surrogate), a non-converged LR keeps its repaired selection, and if
+/// the chosen selection still violates a detection constraint the flow
+/// falls back to the always-feasible pure-electrical selection a_ie.
+/// Each rung appends a Warning to OperonResult::diagnostics and sets
+/// `degraded`. Only malformed inputs (Error-severity validation
+/// findings) throw util::CheckError, at the boundary, before any stage
+/// runs.
 OperonResult run_operon(const model::Design& design,
                         const OperonOptions& options = {});
 

@@ -53,6 +53,16 @@ std::string report_json(const model::Design& design,
   json.key("violated_paths").value(result.violations.violated_paths);
   json.key("worst_loss_db").value(result.violations.worst_loss_db);
   json.key("loss_budget_db").value(options.params.optical.max_loss_db);
+  json.key("degraded").value(result.degraded);
+  json.key("diagnostics").begin_array();
+  for (const model::Diagnostic& diagnostic : result.diagnostics) {
+    json.begin_object();
+    json.key("severity").value(model::to_string(diagnostic.severity));
+    json.key("code").value(diagnostic.code);
+    json.key("message").value(diagnostic.message);
+    json.end_object();
+  }
+  json.end_array();
   json.end_object();
 
   json.key("wdm").begin_object();

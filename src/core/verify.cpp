@@ -1,0 +1,133 @@
+#include "core/verify.hpp"
+
+#include <cmath>
+
+#include "codesign/selection.hpp"
+#include "util/strings.hpp"
+#include "wdm/wdm.hpp"
+
+namespace operon::core {
+
+namespace {
+
+void fail(std::vector<model::Diagnostic>& out, std::string code,
+          std::string message) {
+  if (out.size() >= model::kMaxDiagnostics) return;
+  out.push_back({model::Severity::Error, std::move(code), std::move(message)});
+}
+
+void verify_wdm_plan(std::vector<model::Diagnostic>& out,
+                     const OperonResult& result) {
+  const wdm::WdmPlan& plan = result.wdm_plan;
+  if (plan.final_wdms > plan.initial_wdms) {
+    fail(out, "wdm-counter-mismatch",
+         util::format("final_wdms (%zu) exceeds initial_wdms (%zu)",
+                      plan.final_wdms, plan.initial_wdms));
+  }
+  if (plan.final_wdms > plan.wdms.size()) {
+    fail(out, "wdm-counter-mismatch",
+         util::format("final_wdms (%zu) exceeds placed WDM count (%zu)",
+                      plan.final_wdms, plan.wdms.size()));
+  }
+  if (!std::isfinite(plan.total_move_um) || plan.total_move_um < 0) {
+    fail(out, "wdm-move-invalid",
+         util::format("total_move_um = %g is invalid", plan.total_move_um));
+  }
+
+  // Each allocation must reference a real connection and WDM; per-WDM
+  // load must respect capacity; and when the plan claims feasibility,
+  // every connection's channels must be fully allocated.
+  std::vector<std::size_t> allocated(plan.connections.size(), 0);
+  std::vector<std::size_t> load(plan.wdms.size(), 0);
+  for (const wdm::ChannelAllocation& alloc : plan.allocations) {
+    if (alloc.connection >= plan.connections.size() ||
+        alloc.wdm >= plan.wdms.size()) {
+      fail(out, "wdm-allocation-out-of-range",
+           util::format("allocation references connection %zu / wdm %zu "
+                        "(have %zu connections, %zu wdms)",
+                        alloc.connection, alloc.wdm, plan.connections.size(),
+                        plan.wdms.size()));
+      return;  // further indexing would be UB
+    }
+    allocated[alloc.connection] += alloc.bits;
+    load[alloc.wdm] += alloc.bits;
+  }
+  for (std::size_t w = 0; w < plan.wdms.size(); ++w) {
+    if (load[w] > static_cast<std::size_t>(plan.wdms[w].capacity)) {
+      fail(out, "wdm-over-capacity",
+           util::format("wdm %zu carries %zu channels, capacity %d", w,
+                        load[w], plan.wdms[w].capacity));
+    }
+  }
+  if (plan.feasible) {
+    for (std::size_t c = 0; c < plan.connections.size(); ++c) {
+      if (allocated[c] != plan.connections[c].bits) {
+        fail(out, "wdm-allocation-incomplete",
+             util::format("connection %zu allocated %zu of %zu channels", c,
+                          allocated[c], plan.connections[c].bits));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<model::Diagnostic> verify_result(const OperonResult& result,
+                                             const OperonOptions& options) {
+  std::vector<model::Diagnostic> out;
+
+  if (result.selection.size() != result.sets.size()) {
+    fail(out, "selection-size-mismatch",
+         util::format("selection has %zu entries for %zu candidate sets",
+                      result.selection.size(), result.sets.size()));
+    return out;  // everything below indexes selection per set
+  }
+  for (std::size_t i = 0; i < result.sets.size(); ++i) {
+    if (result.selection[i] >= result.sets[i].options.size()) {
+      fail(out, "selection-out-of-range",
+           util::format("net %zu selects candidate %zu of %zu", i,
+                        result.selection[i], result.sets[i].options.size()));
+      return out;
+    }
+  }
+
+  codesign::SelectionEvaluator evaluator(result.sets, options.params);
+  const double power = evaluator.total_power(result.selection);
+  const double scale = std::max({std::abs(power), std::abs(result.power_pj),
+                                 1.0});
+  if (!std::isfinite(result.power_pj) ||
+      std::abs(power - result.power_pj) > 1e-9 * scale) {
+    fail(out, "power-mismatch",
+         util::format("reported power %.12g pJ, evaluator says %.12g pJ",
+                      result.power_pj, power));
+  }
+  const codesign::ViolationStats stats = evaluator.violations(result.selection);
+  if (!stats.clean()) {
+    fail(out, "plan-violates-detection",
+         util::format("%zu detection path(s) exceed the loss budget "
+                      "(worst %.3f dB)",
+                      stats.violated_paths, stats.worst_loss_db));
+  }
+
+  std::size_t optical = 0;
+  std::size_t electrical = 0;
+  for (std::size_t i = 0; i < result.sets.size(); ++i) {
+    if (result.sets[i].options[result.selection[i]].pure_electrical()) {
+      ++electrical;
+    } else {
+      ++optical;
+    }
+  }
+  if (optical != result.optical_nets || electrical != result.electrical_nets) {
+    fail(out, "net-counter-mismatch",
+         util::format("reported %zu optical / %zu electrical nets, "
+                      "recomputed %zu / %zu",
+                      result.optical_nets, result.electrical_nets, optical,
+                      electrical));
+  }
+
+  if (options.run_wdm_stage) verify_wdm_plan(out, result);
+  return out;
+}
+
+}  // namespace operon::core

@@ -1,0 +1,21 @@
+#pragma once
+// Independent post-hoc verification of an OperonResult. The fault-
+// injection harness (and any caller that cares) re-derives the plan's
+// invariants from the candidate sets instead of trusting the fields the
+// pipeline filled in: every net has a selection within range, the
+// reported power matches a fresh evaluator, the detection constraints
+// hold, the net classification counters add up, and the WDM plan's
+// counters are internally consistent. Violations come back as Error
+// diagnostics; an empty list means the plan checks out.
+
+#include <vector>
+
+#include "core/flow.hpp"
+#include "model/diagnostic.hpp"
+
+namespace operon::core {
+
+std::vector<model::Diagnostic> verify_result(const OperonResult& result,
+                                             const OperonOptions& options);
+
+}  // namespace operon::core

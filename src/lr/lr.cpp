@@ -186,6 +186,7 @@ LrResult solve_selection_lr(std::span<const CandidateSet> sets,
     if (std::abs(power_improvement) < options.convergence_ratio &&
         (stats.clean() ||
          std::abs(excess_improvement) < options.convergence_ratio)) {
+      result.converged = true;
       break;
     }
   }

@@ -51,6 +51,11 @@ struct LrResult {
   double power_pj = 0.0;
   codesign::ViolationStats violations;
   std::size_t iterations = 0;
+  /// True when the converging criteria fired; false when the multiplier
+  /// loop exhausted max_iterations first. The final selection is still
+  /// feasible either way (repair_violations), but a non-converged run is
+  /// a degradation signal callers may want to surface.
+  bool converged = false;
   double runtime_s = 0.0;
   std::vector<LrIterationStats> trace;
 };

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "model/diagnostic.hpp"
 #include "util/check.hpp"
 #include "util/strings.hpp"
 
@@ -49,27 +50,10 @@ std::size_t Design::num_pins() const {
 }
 
 void Design::validate() const {
-  OPERON_CHECK_MSG(!chip.is_empty(), "design '" << name << "' has empty chip");
-  for (const SignalGroup& group : groups) {
-    OPERON_CHECK_MSG(!group.bits.empty(),
-                     "group '" << group.name << "' has no bits");
-    for (const SignalBit& bit : group.bits) {
-      OPERON_CHECK_MSG(bit.source.role == PinRole::Source,
-                       "bit source pin mis-labeled in group '" << group.name
-                                                               << "'");
-      OPERON_CHECK_MSG(!bit.sinks.empty(),
-                       "bit with no sinks in group '" << group.name << "'");
-      OPERON_CHECK_MSG(chip.contains(bit.source.location),
-                       "source pin off-chip in group '" << group.name << "'");
-      for (const Pin& pin : bit.sinks) {
-        OPERON_CHECK_MSG(pin.role == PinRole::Sink,
-                         "sink pin mis-labeled in group '" << group.name
-                                                           << "'");
-        OPERON_CHECK_MSG(chip.contains(pin.location),
-                         "sink pin off-chip in group '" << group.name << "'");
-      }
-    }
-  }
+  const std::vector<Diagnostic> diagnostics = model::validate(*this);
+  OPERON_CHECK_MSG(!has_errors(diagnostics),
+                   "design '" << name << "' failed validation:\n"
+                              << describe_errors(diagnostics));
 }
 
 void write_design(std::ostream& os, const Design& design) {

@@ -53,7 +53,10 @@ struct Design {
   std::size_t num_bits() const;  ///< "#Net" column of Table 1
   std::size_t num_pins() const;
 
-  /// Throws util::CheckError when malformed (pins off-chip, empty bits...).
+  /// Throws util::CheckError when malformed (pins off-chip, empty bits,
+  /// non-finite coordinates...). Thin wrapper over the structured
+  /// model::validate(design) in model/diagnostic.hpp: the exception
+  /// message enumerates every Error-severity diagnostic.
   void validate() const;
 };
 

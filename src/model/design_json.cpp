@@ -1,0 +1,103 @@
+#include "model/design_json.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace operon::model {
+
+namespace {
+
+void write_point(util::JsonWriter& json, const geom::Point& p) {
+  json.begin_array();
+  json.value(p.x).value(p.y);
+  json.end_array();
+}
+
+geom::Point read_point(const util::JsonValue& value, const char* what) {
+  OPERON_CHECK_MSG(value.is(util::JsonType::Array) && value.items().size() == 2,
+                   what << " must be a [x, y] pair");
+  return {value.at(std::size_t{0}).as_number(),
+          value.at(std::size_t{1}).as_number()};
+}
+
+}  // namespace
+
+std::string design_to_json(const Design& design) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("design").value(design.name);
+  json.key("chip").begin_array();
+  json.value(design.chip.xlo).value(design.chip.ylo);
+  json.value(design.chip.xhi).value(design.chip.yhi);
+  json.end_array();
+  json.key("groups").begin_array();
+  for (const SignalGroup& group : design.groups) {
+    json.begin_object();
+    json.key("name").value(group.name);
+    json.key("bits").begin_array();
+    for (const SignalBit& bit : group.bits) {
+      json.begin_object();
+      json.key("source");
+      write_point(json, bit.source.location);
+      json.key("sinks").begin_array();
+      for (const Pin& sink : bit.sinks) write_point(json, sink.location);
+      json.end_array();
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+Design design_from_json(std::string_view text) {
+  const util::JsonValue root = util::parse_json(text);
+  OPERON_CHECK_MSG(root.is(util::JsonType::Object),
+                   "design document must be a JSON object");
+  Design design;
+  design.name = root.at("design").as_string();
+  const util::JsonValue& chip = root.at("chip");
+  OPERON_CHECK_MSG(chip.is(util::JsonType::Array) && chip.items().size() == 4,
+                   "'chip' must be [xlo, ylo, xhi, yhi]");
+  design.chip.xlo = chip.at(std::size_t{0}).as_number();
+  design.chip.ylo = chip.at(std::size_t{1}).as_number();
+  design.chip.xhi = chip.at(std::size_t{2}).as_number();
+  design.chip.yhi = chip.at(std::size_t{3}).as_number();
+  for (const util::JsonValue& group_value : root.at("groups").items()) {
+    SignalGroup group;
+    group.name = group_value.at("name").as_string();
+    for (const util::JsonValue& bit_value : group_value.at("bits").items()) {
+      SignalBit bit;
+      bit.source = {read_point(bit_value.at("source"), "'source'"),
+                    PinRole::Source};
+      for (const util::JsonValue& sink : bit_value.at("sinks").items()) {
+        bit.sinks.push_back({read_point(sink, "'sinks' entry"), PinRole::Sink});
+      }
+      group.bits.push_back(std::move(bit));
+    }
+    design.groups.push_back(std::move(group));
+  }
+  return design;
+}
+
+void save_design_json(const std::string& path, const Design& design) {
+  std::ofstream os(path);
+  OPERON_CHECK_MSG(os.good(), "cannot open '" << path << "' for writing");
+  os << design_to_json(design) << "\n";
+  OPERON_CHECK_MSG(os.good(), "write failed for '" << path << "'");
+}
+
+Design load_design_json(const std::string& path) {
+  std::ifstream is(path);
+  OPERON_CHECK_MSG(is.good(), "cannot open '" << path << "' for reading");
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return design_from_json(buffer.str());
+}
+
+}  // namespace operon::model

@@ -1,0 +1,27 @@
+#pragma once
+// JSON serialization of the input design, the machine-friendly sibling
+// of the text format in design.hpp. Schema:
+//   {"design":"name","chip":[xlo,ylo,xhi,yhi],
+//    "groups":[{"name":"g0","bits":[{"source":[x,y],
+//                                    "sinks":[[x,y],...]},...]},...]}
+// design_to_json -> parse -> design_to_json is byte-identical (the
+// writer and util::write_json share number formatting and key order).
+// design_from_json is strict: wrong shapes, missing keys, and non-finite
+// numbers throw util::CheckError; the parsed design is NOT validated
+// here — run model::validate(design) to diagnose semantic problems.
+
+#include <string>
+#include <string_view>
+
+#include "model/design.hpp"
+
+namespace operon::model {
+
+std::string design_to_json(const Design& design);
+Design design_from_json(std::string_view text);
+
+/// File wrappers (throw on I/O or parse failure).
+void save_design_json(const std::string& path, const Design& design);
+Design load_design_json(const std::string& path);
+
+}  // namespace operon::model

@@ -1,0 +1,204 @@
+#include "model/diagnostic.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "model/design.hpp"
+#include "model/params.hpp"
+#include "util/strings.hpp"
+
+namespace operon::model {
+
+namespace {
+
+bool finite(const geom::Point& p) {
+  return std::isfinite(p.x) && std::isfinite(p.y);
+}
+
+/// Collector that enforces kMaxDiagnostics with a suppression note.
+class Collector {
+ public:
+  explicit Collector(std::vector<Diagnostic>& out) : out_(out) {}
+
+  template <typename... Parts>
+  void add(Severity severity, std::string_view code, Parts&&... parts) {
+    ++total_;
+    if (out_.size() >= kMaxDiagnostics) return;
+    std::ostringstream os;
+    (os << ... << parts);
+    out_.push_back({severity, std::string(code), os.str()});
+  }
+
+  void finish() {
+    if (total_ > kMaxDiagnostics) {
+      out_.push_back({Severity::Warning, "diagnostics-truncated",
+                      util::format("%zu further diagnostics suppressed",
+                                   total_ - kMaxDiagnostics)});
+    }
+  }
+
+ private:
+  std::vector<Diagnostic>& out_;
+  std::size_t total_ = 0;
+};
+
+void check_pin(Collector& collect, const Design& design,
+               const SignalGroup& group, std::size_t bit_index, const Pin& pin,
+               const char* what) {
+  if (!finite(pin.location)) {
+    collect.add(Severity::Error, "pin-not-finite", what, " pin of bit ",
+                bit_index, " in group '", group.name,
+                "' has a non-finite coordinate (", pin.location, ")");
+    return;  // contains() is meaningless on NaN
+  }
+  if (!design.chip.is_empty() && !design.chip.contains(pin.location)) {
+    collect.add(Severity::Error, "pin-off-chip", what, " pin of bit ",
+                bit_index, " in group '", group.name, "' at ", pin.location,
+                " is outside the chip");
+  }
+}
+
+}  // namespace
+
+std::string_view to_string(Severity severity) {
+  return severity == Severity::Error ? "error" : "warning";
+}
+
+std::ostream& operator<<(std::ostream& os, const Diagnostic& diagnostic) {
+  return os << '[' << to_string(diagnostic.severity) << "] "
+            << diagnostic.code << ": " << diagnostic.message;
+}
+
+bool has_errors(std::span<const Diagnostic> diagnostics) {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::Error) return true;
+  }
+  return false;
+}
+
+std::string describe_errors(std::span<const Diagnostic> diagnostics) {
+  std::ostringstream os;
+  bool first = true;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity != Severity::Error) continue;
+    if (!first) os << '\n';
+    first = false;
+    os << "  " << d;
+  }
+  return os.str();
+}
+
+std::vector<Diagnostic> validate(const Design& design) {
+  std::vector<Diagnostic> out;
+  Collector collect(out);
+
+  const bool chip_finite =
+      std::isfinite(design.chip.xlo) && std::isfinite(design.chip.ylo) &&
+      std::isfinite(design.chip.xhi) && std::isfinite(design.chip.yhi);
+  if (!chip_finite) {
+    collect.add(Severity::Error, "chip-not-finite", "design '", design.name,
+                "' has a non-finite chip outline");
+  } else if (design.chip.is_empty()) {
+    collect.add(Severity::Error, "chip-empty", "design '", design.name,
+                "' has an empty chip outline");
+  }
+  if (design.groups.empty()) {
+    collect.add(Severity::Warning, "design-empty", "design '", design.name,
+                "' has no signal groups (nothing to route)");
+  }
+
+  for (const SignalGroup& group : design.groups) {
+    if (group.bits.empty()) {
+      collect.add(Severity::Error, "group-empty", "group '", group.name,
+                  "' has no bits");
+      continue;
+    }
+    for (std::size_t b = 0; b < group.bits.size(); ++b) {
+      const SignalBit& bit = group.bits[b];
+      if (bit.source.role != PinRole::Source) {
+        collect.add(Severity::Error, "pin-role-mislabeled", "source pin of bit ",
+                    b, " in group '", group.name, "' is not labeled Source");
+      }
+      check_pin(collect, design, group, b, bit.source, "source");
+      if (bit.sinks.empty()) {
+        collect.add(Severity::Error, "bit-no-sinks", "bit ", b, " in group '",
+                    group.name, "' has no sinks");
+        continue;
+      }
+      for (std::size_t s = 0; s < bit.sinks.size(); ++s) {
+        const Pin& sink = bit.sinks[s];
+        if (sink.role != PinRole::Sink) {
+          collect.add(Severity::Error, "pin-role-mislabeled", "sink pin ", s,
+                      " of bit ", b, " in group '", group.name,
+                      "' is not labeled Sink");
+        }
+        check_pin(collect, design, group, b, sink, "sink");
+        if (finite(sink.location) && finite(bit.source.location) &&
+            sink.location == bit.source.location) {
+          collect.add(Severity::Warning, "duplicate-pin", "sink pin ", s,
+                      " of bit ", b, " in group '", group.name,
+                      "' coincides with its source at ", sink.location);
+        }
+        for (std::size_t t = 0; t < s; ++t) {
+          if (finite(sink.location) &&
+              sink.location == bit.sinks[t].location) {
+            collect.add(Severity::Warning, "duplicate-pin", "sink pins ", t,
+                        " and ", s, " of bit ", b, " in group '", group.name,
+                        "' coincide at ", sink.location);
+            break;
+          }
+        }
+      }
+    }
+  }
+  collect.finish();
+  return out;
+}
+
+std::vector<Diagnostic> validate(const TechParams& params) {
+  std::vector<Diagnostic> out;
+  Collector collect(out);
+  const auto require = [&](bool ok, std::string_view code, const char* what,
+                           double value) {
+    if (!ok) {
+      collect.add(Severity::Error, code, what, " = ", value, " is invalid");
+    }
+  };
+  const OpticalParams& o = params.optical;
+  require(std::isfinite(o.alpha_db_per_um) && o.alpha_db_per_um >= 0,
+          "param-alpha-invalid", "optical.alpha_db_per_um", o.alpha_db_per_um);
+  require(std::isfinite(o.beta_db_per_crossing) && o.beta_db_per_crossing >= 0,
+          "param-beta-invalid", "optical.beta_db_per_crossing",
+          o.beta_db_per_crossing);
+  require(std::isfinite(o.splitter_excess_db) && o.splitter_excess_db >= 0,
+          "param-splitter-invalid", "optical.splitter_excess_db",
+          o.splitter_excess_db);
+  require(std::isfinite(o.pmod_pj_per_bit) && o.pmod_pj_per_bit >= 0,
+          "param-pmod-invalid", "optical.pmod_pj_per_bit", o.pmod_pj_per_bit);
+  require(std::isfinite(o.pdet_pj_per_bit) && o.pdet_pj_per_bit >= 0,
+          "param-pdet-invalid", "optical.pdet_pj_per_bit", o.pdet_pj_per_bit);
+  require(std::isfinite(o.max_loss_db) && o.max_loss_db > 0,
+          "param-loss-budget-invalid", "optical.max_loss_db", o.max_loss_db);
+  require(o.wdm_capacity > 0, "param-wdm-capacity-invalid",
+          "optical.wdm_capacity", o.wdm_capacity);
+  require(std::isfinite(o.dis_lower_um) && o.dis_lower_um >= 0 &&
+              std::isfinite(o.dis_upper_um) && o.dis_upper_um >= o.dis_lower_um,
+          "param-wdm-distance-invalid", "optical.dis_upper_um", o.dis_upper_um);
+  const ElectricalParams& e = params.electrical;
+  require(std::isfinite(e.switching_factor) && e.switching_factor > 0,
+          "param-switching-invalid", "electrical.switching_factor",
+          e.switching_factor);
+  require(std::isfinite(e.frequency_ghz) && e.frequency_ghz > 0,
+          "param-frequency-invalid", "electrical.frequency_ghz",
+          e.frequency_ghz);
+  require(std::isfinite(e.voltage_v) && e.voltage_v > 0,
+          "param-voltage-invalid", "electrical.voltage_v", e.voltage_v);
+  require(std::isfinite(e.cap_ff_per_um) && e.cap_ff_per_um > 0,
+          "param-capacitance-invalid", "electrical.cap_ff_per_um",
+          e.cap_ff_per_um);
+  collect.finish();
+  return out;
+}
+
+}  // namespace operon::model

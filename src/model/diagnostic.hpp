@@ -1,0 +1,59 @@
+#pragma once
+// Structured validation diagnostics. Library boundaries report what is
+// wrong with an input (or how a run degraded) as a list of Diagnostics
+// instead of throwing on the first problem: callers can render all of
+// them, branch on stable codes, and distinguish fatal errors (the input
+// cannot be processed) from warnings (processed, but degenerate or
+// degraded). The throwing Design::validate() is a thin wrapper that
+// raises a CheckError enumerating the Error-severity entries.
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace operon::model {
+
+struct Design;
+struct TechParams;
+
+enum class Severity {
+  Warning,  ///< degenerate but processable (run proceeds, possibly degraded)
+  Error     ///< malformed: the input must be rejected
+};
+
+std::string_view to_string(Severity severity);
+
+/// One validation finding. `code` is a stable kebab-case identifier
+/// (e.g. "pin-off-chip") for tests and tooling to branch on; `message`
+/// carries the human-readable context (group, bit, value).
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  std::string code;
+  std::string message;
+};
+
+std::ostream& operator<<(std::ostream& os, const Diagnostic& diagnostic);
+
+bool has_errors(std::span<const Diagnostic> diagnostics);
+
+/// Error-severity entries joined as "  [error] code: message" lines
+/// (for embedding in a CheckError message).
+std::string describe_errors(std::span<const Diagnostic> diagnostics);
+
+/// Structured design validation: duplicate pins, out-of-chip or
+/// non-finite coordinates, zero-bit groups, mislabeled roles, empty or
+/// non-finite chip. Never throws; at most `kMaxDiagnostics` entries are
+/// reported (a trailing note says how many were suppressed).
+std::vector<Diagnostic> validate(const Design& design);
+
+/// Structured technology-parameter validation: non-finite or
+/// out-of-range loss/power/capacity values.
+std::vector<Diagnostic> validate(const TechParams& params);
+
+/// Cap on reported diagnostics per validate() call, so a thoroughly
+/// corrupted million-pin design cannot produce a gigabyte of messages.
+inline constexpr std::size_t kMaxDiagnostics = 64;
+
+}  // namespace operon::model

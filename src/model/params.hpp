@@ -9,6 +9,8 @@
 // reported by the flow are energy-per-bit-cycle aggregates (pJ/bit), which
 // is the unit Table 1's relative comparisons are invariant to.
 
+#include <cmath>
+
 namespace operon::model {
 
 struct OpticalParams {
@@ -33,10 +35,14 @@ struct OpticalParams {
   double dis_upper_um = 1000.0;
 
   bool valid() const {
-    return alpha_db_per_um >= 0 && beta_db_per_crossing >= 0 &&
-           pmod_pj_per_bit >= 0 && pdet_pj_per_bit >= 0 && max_loss_db > 0 &&
-           wdm_capacity > 0 && dis_lower_um >= 0 &&
-           dis_upper_um >= dis_lower_um;
+    return std::isfinite(alpha_db_per_um) && alpha_db_per_um >= 0 &&
+           std::isfinite(beta_db_per_crossing) && beta_db_per_crossing >= 0 &&
+           std::isfinite(splitter_excess_db) && splitter_excess_db >= 0 &&
+           std::isfinite(pmod_pj_per_bit) && pmod_pj_per_bit >= 0 &&
+           std::isfinite(pdet_pj_per_bit) && pdet_pj_per_bit >= 0 &&
+           std::isfinite(max_loss_db) && max_loss_db > 0 && wdm_capacity > 0 &&
+           std::isfinite(dis_lower_um) && dis_lower_um >= 0 &&
+           std::isfinite(dis_upper_um) && dis_upper_um >= dis_lower_um;
   }
 };
 
@@ -59,8 +65,10 @@ struct ElectricalParams {
   }
 
   bool valid() const {
-    return switching_factor > 0 && frequency_ghz > 0 && voltage_v > 0 &&
-           cap_ff_per_um > 0;
+    return std::isfinite(switching_factor) && switching_factor > 0 &&
+           std::isfinite(frequency_ghz) && frequency_ghz > 0 &&
+           std::isfinite(voltage_v) && voltage_v > 0 &&
+           std::isfinite(cap_ff_per_um) && cap_ff_per_um > 0;
   }
 };
 

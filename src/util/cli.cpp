@@ -1,7 +1,9 @@
 #include "util/cli.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 
+#include "util/check.hpp"
 #include "util/strings.hpp"
 
 namespace operon::util {
@@ -34,12 +36,32 @@ std::string Cli::get(const std::string& name, const std::string& fallback) const
 
 std::int64_t Cli::get_int(const std::string& name, std::int64_t fallback) const {
   const auto it = flags_.find(name);
-  return it == flags_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
+  if (it == flags_.end()) return fallback;
+  const std::string& text = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  OPERON_CHECK_MSG(end != text.c_str() && *end == '\0',
+                   "--" << name << " expects an integer, got '" << text << "'");
+  OPERON_CHECK_MSG(errno != ERANGE,
+                   "--" << name << " value '" << text
+                        << "' is out of integer range");
+  return value;
 }
 
 double Cli::get_double(const std::string& name, double fallback) const {
   const auto it = flags_.find(name);
-  return it == flags_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  if (it == flags_.end()) return fallback;
+  const std::string& text = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  OPERON_CHECK_MSG(end != text.c_str() && *end == '\0',
+                   "--" << name << " expects a number, got '" << text << "'");
+  OPERON_CHECK_MSG(errno != ERANGE,
+                   "--" << name << " value '" << text
+                        << "' is out of double range");
+  return value;
 }
 
 bool Cli::get_bool(const std::string& name, bool fallback) const {

@@ -17,6 +17,10 @@ class Cli {
   bool has(const std::string& name) const;
 
   std::string get(const std::string& name, const std::string& fallback) const;
+  /// Numeric getters are strict: a present flag whose value is not fully
+  /// a base-10 integer / floating-point literal (garbage, trailing junk,
+  /// out-of-range, or a bare valueless flag) throws CheckError instead of
+  /// silently returning 0. The fallback applies only when absent.
   std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
   double get_double(const std::string& name, double fallback) const;
   bool get_bool(const std::string& name, bool fallback) const;

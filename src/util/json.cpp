@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "util/check.hpp"
 
@@ -153,6 +154,405 @@ JsonWriter& JsonWriter::null() {
 std::string JsonWriter::str() const {
   OPERON_CHECK_MSG(complete(), "JSON document has unclosed scopes");
   return out_.str();
+}
+
+// ---------------------------------------------------------------------------
+// JsonValue
+
+std::string_view to_string(JsonType type) {
+  switch (type) {
+    case JsonType::Null: return "null";
+    case JsonType::Bool: return "bool";
+    case JsonType::Number: return "number";
+    case JsonType::String: return "string";
+    case JsonType::Array: return "array";
+    case JsonType::Object: return "object";
+  }
+  return "?";
+}
+
+JsonValue JsonValue::make_null() { return JsonValue(); }
+
+JsonValue JsonValue::make_bool(bool flag) {
+  JsonValue v;
+  v.type_ = JsonType::Bool;
+  v.bool_ = flag;
+  return v;
+}
+
+JsonValue JsonValue::make_number(double number) {
+  OPERON_CHECK_MSG(std::isfinite(number),
+                   "JSON numbers must be finite (got " << number << ")");
+  JsonValue v;
+  v.type_ = JsonType::Number;
+  v.number_ = number;
+  return v;
+}
+
+JsonValue JsonValue::make_string(std::string text) {
+  JsonValue v;
+  v.type_ = JsonType::String;
+  v.string_ = std::move(text);
+  return v;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.type_ = JsonType::Array;
+  v.items_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::make_object(Members members) {
+  JsonValue v;
+  v.type_ = JsonType::Object;
+  v.members_ = std::move(members);
+  return v;
+}
+
+bool JsonValue::as_bool() const {
+  OPERON_CHECK_MSG(type_ == JsonType::Bool,
+                   "expected JSON bool, got " << to_string(type_));
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  OPERON_CHECK_MSG(type_ == JsonType::Number,
+                   "expected JSON number, got " << to_string(type_));
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  OPERON_CHECK_MSG(type_ == JsonType::String,
+                   "expected JSON string, got " << to_string(type_));
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  OPERON_CHECK_MSG(type_ == JsonType::Array,
+                   "expected JSON array, got " << to_string(type_));
+  return items_;
+}
+
+const JsonValue::Members& JsonValue::members() const {
+  OPERON_CHECK_MSG(type_ == JsonType::Object,
+                   "expected JSON object, got " << to_string(type_));
+  return members_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  for (const auto& [name, value] : members()) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const JsonValue* value = find(key);
+  OPERON_CHECK_MSG(value != nullptr, "missing JSON object key '" << key << "'");
+  return *value;
+}
+
+const JsonValue& JsonValue::at(std::size_t index) const {
+  const auto& elements = items();
+  OPERON_CHECK_MSG(index < elements.size(),
+                   "JSON array index " << index << " out of range (size "
+                                       << elements.size() << ")");
+  return elements[index];
+}
+
+// ---------------------------------------------------------------------------
+// parse_json — strict recursive descent
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, const JsonParseOptions& options)
+      : text_(text), options_(options) {}
+
+  JsonValue parse_document() {
+    skip_whitespace();
+    JsonValue value = parse_value(0);
+    skip_whitespace();
+    OPERON_CHECK_MSG(pos_ == text_.size(),
+                     "trailing junk after JSON document at byte " << pos_);
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    OPERON_CHECK_MSG(false, "JSON parse error at byte " << pos_ << ": " << what);
+    __builtin_unreachable();
+  }
+
+  bool at_end() const { return pos_ >= text_.size(); }
+
+  char peek() const {
+    if (at_end()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (take() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  void skip_whitespace() {
+    while (!at_end()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  void expect_literal(std::string_view word) {
+    for (char c : word) {
+      if (at_end() || text_[pos_] != c) {
+        fail("invalid literal (expected '" + std::string(word) + "')");
+      }
+      ++pos_;
+    }
+  }
+
+  JsonValue parse_value(std::size_t depth) {
+    if (depth > options_.max_depth) fail("nesting too deep");
+    skip_whitespace();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return JsonValue::make_string(parse_string());
+      case 't': expect_literal("true"); return JsonValue::make_bool(true);
+      case 'f': expect_literal("false"); return JsonValue::make_bool(false);
+      case 'n': expect_literal("null"); return JsonValue::make_null();
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+        // NaN / Infinity / unquoted words all land here with a clear error.
+        fail("unexpected character");
+    }
+  }
+
+  JsonValue parse_object(std::size_t depth) {
+    expect('{');
+    JsonValue::Members members;
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue::make_object(std::move(members));
+    }
+    while (true) {
+      skip_whitespace();
+      std::string key = parse_string();
+      for (const auto& [existing, value] : members) {
+        if (existing == key) fail("duplicate object key '" + key + "'");
+      }
+      skip_whitespace();
+      expect(':');
+      members.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_whitespace();
+      const char c = take();
+      if (c == '}') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object");
+      }
+    }
+    return JsonValue::make_object(std::move(members));
+  }
+
+  JsonValue parse_array(std::size_t depth) {
+    expect('[');
+    std::vector<JsonValue> items;
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue::make_array(std::move(items));
+    }
+    while (true) {
+      items.push_back(parse_value(depth + 1));
+      skip_whitespace();
+      const char c = take();
+      if (c == ']') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array");
+      }
+    }
+    return JsonValue::make_array(std::move(items));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (at_end()) fail("unterminated string");
+      const char c = take();
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': append_utf8(out, parse_hex4()); break;
+        default:
+          --pos_;
+          fail("invalid escape sequence");
+      }
+    }
+    return out;
+  }
+
+  unsigned parse_hex4() {
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = take();
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<unsigned>(c - 'A' + 10);
+      else {
+        --pos_;
+        fail("invalid \\u escape digit");
+      }
+    }
+    return value;
+  }
+
+  static void append_utf8(std::string& out, unsigned cp) {
+    // BMP only; surrogate halves are encoded as-is (WTF-8-ish) rather
+    // than rejected — design files never contain them, and round-tripping
+    // beats guessing.
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    // Integer part: one zero, or a nonzero digit followed by digits.
+    if (at_end()) fail("truncated number");
+    if (peek() == '0') {
+      ++pos_;
+    } else if (peek() >= '1' && peek() <= '9') {
+      while (!at_end() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    } else {
+      fail("invalid number");
+    }
+    if (!at_end() && text_[pos_] == '.') {
+      ++pos_;
+      if (at_end() || text_[pos_] < '0' || text_[pos_] > '9') {
+        fail("digits required after decimal point");
+      }
+      while (!at_end() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    if (!at_end() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (!at_end() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (at_end() || text_[pos_] < '0' || text_[pos_] > '9') {
+        fail("digits required in exponent");
+      }
+      while (!at_end() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    const double value = std::strtod(token.c_str(), nullptr);
+    if (!std::isfinite(value)) fail("number out of range");
+    return JsonValue::make_number(value);
+  }
+
+  std::string_view text_;
+  JsonParseOptions options_;
+  std::size_t pos_ = 0;
+};
+
+void write_value(std::string& out, const JsonValue& value);
+
+void write_number(std::string& out, double number) {
+  // Must match JsonWriter::value(double) exactly for byte-stable
+  // round trips.
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.12g", number);
+  out += buffer;
+}
+
+void write_string(std::string& out, const std::string& text) {
+  JsonWriter writer;
+  writer.value(text);
+  out += writer.str();
+}
+
+void write_value(std::string& out, const JsonValue& value) {
+  switch (value.type()) {
+    case JsonType::Null: out += "null"; break;
+    case JsonType::Bool: out += value.as_bool() ? "true" : "false"; break;
+    case JsonType::Number: write_number(out, value.as_number()); break;
+    case JsonType::String: write_string(out, value.as_string()); break;
+    case JsonType::Array: {
+      out += '[';
+      bool first = true;
+      for (const JsonValue& item : value.items()) {
+        if (!first) out += ',';
+        first = false;
+        write_value(out, item);
+      }
+      out += ']';
+      break;
+    }
+    case JsonType::Object: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, member] : value.members()) {
+        if (!first) out += ',';
+        first = false;
+        write_string(out, key);
+        out += ':';
+        write_value(out, member);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text, const JsonParseOptions& options) {
+  return Parser(text, options).parse_document();
+}
+
+std::string write_json(const JsonValue& value) {
+  std::string out;
+  write_value(out, value);
+  return out;
 }
 
 }  // namespace operon::util

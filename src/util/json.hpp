@@ -1,12 +1,20 @@
 #pragma once
-// Minimal JSON writer for machine-readable run reports. Write-only by
-// design (the library never consumes JSON); handles escaping, nesting,
-// and number formatting. Not a general-purpose JSON library.
+// Minimal JSON support for machine-readable run reports and JSON design
+// files: a streaming writer (JsonWriter), a strict recursive-descent
+// parser (parse_json -> JsonValue), and a canonical re-serializer
+// (write_json). The parser is deliberately unforgiving — hostile input
+// (truncation, duplicate keys, NaN/Infinity literals, trailing junk,
+// absurd nesting) is rejected with a CheckError carrying the byte
+// offset, never undefined behavior. write_json(parse_json(text)) is
+// byte-stable for documents produced by JsonWriter (same number
+// formatting, object key order preserved).
 
 #include <cstdint>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace operon::util {
@@ -56,5 +64,67 @@ class JsonWriter {
   bool pending_key_ = false;
   bool has_root_ = false;
 };
+
+enum class JsonType { Null, Bool, Number, String, Array, Object };
+
+std::string_view to_string(JsonType type);
+
+/// Parsed JSON document node. Objects preserve member order (so a
+/// parse -> write round trip is byte-stable); duplicate keys are a parse
+/// error, so lookup by key is unambiguous. Accessors check the type and
+/// throw CheckError on mismatch — malformed documents fail loudly.
+class JsonValue {
+ public:
+  using Members = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() = default;  ///< null
+  static JsonValue make_null();
+  static JsonValue make_bool(bool flag);
+  static JsonValue make_number(double number);
+  static JsonValue make_string(std::string text);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(Members members);
+
+  JsonType type() const { return type_; }
+  bool is(JsonType type) const { return type_ == type; }
+
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;  ///< array elements
+  const Members& members() const;               ///< object members, in order
+
+  /// Object member lookup; nullptr when absent (throws if not an object).
+  const JsonValue* find(std::string_view key) const;
+  /// Object member lookup; throws CheckError when absent.
+  const JsonValue& at(std::string_view key) const;
+  /// Array element; throws CheckError when out of range.
+  const JsonValue& at(std::size_t index) const;
+
+ private:
+  JsonType type_ = JsonType::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  Members members_;
+};
+
+struct JsonParseOptions {
+  /// Maximum container nesting; deeper documents are rejected (guards
+  /// against stack exhaustion on hostile input).
+  std::size_t max_depth = 128;
+};
+
+/// Strict parse of exactly one JSON document (leading/trailing whitespace
+/// allowed, nothing else). Throws CheckError with a byte offset on any
+/// syntax error, duplicate object key, non-finite number literal,
+/// unterminated string, truncation, or trailing junk.
+JsonValue parse_json(std::string_view text,
+                     const JsonParseOptions& options = {});
+
+/// Compact canonical serialization: member order preserved, numbers
+/// formatted exactly as JsonWriter::value(double) does.
+std::string write_json(const JsonValue& value);
 
 }  // namespace operon::util

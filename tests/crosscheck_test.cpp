@@ -173,3 +173,121 @@ TEST(CrossCheck, MipBoundedByLpRelaxation) {
     EXPECT_TRUE(model.is_feasible(mip.values));
   }
 }
+
+// -- selection differential harness ---------------------------------------
+//
+// ~50 seeded small instances: exhaustive enumeration over the candidate
+// product, the specialized exact branch-and-bound, and the literal
+// Formulation-(3) MIP must agree on the optimal selection power; the LR
+// surrogate must stay feasible and sandwiched between the optimum and a
+// loose factor of it. Run both at the default loss budget and at a
+// deliberately tight one (post-degradation: many candidates pruned, some
+// nets electrical-only) — the degraded regime must stay consistent too.
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "benchgen/benchgen.hpp"
+#include "cluster/hypernet_builder.hpp"
+#include "codesign/generate.hpp"
+#include "codesign/ilp_select.hpp"
+#include "codesign/selection.hpp"
+#include "lr/lr.hpp"
+
+namespace ocd = operon::codesign;
+namespace om = operon::model;
+
+namespace {
+
+om::Design tiny_design(std::uint64_t seed) {
+  operon::benchgen::BenchmarkSpec spec;
+  spec.name = "xc" + std::to_string(seed);
+  spec.num_groups = 3 + seed % 3;
+  spec.bits_lo = 1;
+  spec.bits_hi = 2;
+  spec.seed = 7000 + seed;
+  return operon::benchgen::generate_benchmark(spec);
+}
+
+std::vector<ocd::CandidateSet> tiny_sets(const om::Design& design,
+                                         const om::TechParams& params) {
+  operon::cluster::SignalProcessingOptions processing;
+  const auto nets = operon::cluster::build_hyper_nets(design, processing);
+  ocd::GenerationOptions generation;
+  generation.max_candidates_per_net = 3;  // keeps the product enumerable
+  return ocd::generate_candidates(design, nets.hyper_nets, params, generation);
+}
+
+/// Exhaustive optimum over the full candidate product (clean selections
+/// only; the all-electrical choice guarantees one exists).
+double brute_force_power(const ocd::SelectionEvaluator& evaluator) {
+  ocd::Selection selection(evaluator.num_nets(), 0);
+  double best = std::numeric_limits<double>::infinity();
+  while (true) {
+    if (evaluator.violations(selection).clean()) {
+      best = std::min(best, evaluator.total_power(selection));
+    }
+    // Odometer increment over the candidate product.
+    std::size_t i = 0;
+    for (; i < evaluator.num_nets(); ++i) {
+      if (++selection[i] < evaluator.set(i).options.size()) break;
+      selection[i] = 0;
+    }
+    if (i == evaluator.num_nets()) break;
+  }
+  return best;
+}
+
+void differential_selection_check(const om::TechParams& params,
+                                  std::uint64_t seed) {
+  const om::Design design = tiny_design(seed);
+  const auto sets = tiny_sets(design, params);
+  const ocd::SelectionEvaluator evaluator(sets, params);
+
+  std::size_t combos = 1;
+  for (const auto& set : sets) combos *= set.options.size();
+  if (combos > 100000) GTEST_SKIP() << "instance unexpectedly large";
+
+  const double brute = brute_force_power(evaluator);
+  ASSERT_TRUE(std::isfinite(brute));
+
+  const auto exact = ocd::solve_selection_exact(sets, params);
+  ASSERT_TRUE(exact.proven_optimal);
+  EXPECT_TRUE(exact.violations.clean());
+  EXPECT_NEAR(exact.power_pj, brute, 1e-6);
+
+  const auto mip = ocd::solve_selection_mip(sets, params);
+  if (mip.proven_optimal) {
+    EXPECT_NEAR(mip.power_pj, brute, 1e-6);
+    EXPECT_TRUE(mip.violations.clean());
+  }
+
+  const auto lr = operon::lr::solve_selection_lr(sets, params);
+  EXPECT_TRUE(lr.violations.clean());
+  EXPECT_GE(lr.power_pj, brute - 1e-9);
+  EXPECT_LE(lr.power_pj, brute * 2.0 + 1e-9);
+}
+
+}  // namespace
+
+TEST(CrossCheck, SelectionSolversAgreeOnSmallInstances) {
+  const om::TechParams params = om::TechParams::dac18_defaults();
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    differential_selection_check(params, seed);
+  }
+}
+
+TEST(CrossCheck, SelectionSolversAgreePostDegradation) {
+  // A tight loss budget prunes most optical labelings (some nets keep
+  // only a_ie): the degraded candidate space must stay consistent across
+  // all three solvers and the enumeration.
+  om::TechParams params = om::TechParams::dac18_defaults();
+  params.optical.max_loss_db = 1.0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    differential_selection_check(params, seed);
+  }
+}

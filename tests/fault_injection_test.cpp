@@ -1,0 +1,275 @@
+// Fault-injection harness tests: every enumerable corruption of a valid
+// design must either be rejected with structured Error diagnostics (a
+// util::CheckError at the library boundary) or flow through the full
+// pipeline and produce a plan that the independent verifier accepts —
+// never crash, never hang, never return an unverifiable plan. Also
+// covers the degradation ladder (ILP time limit -> LR warm start, LR
+// non-convergence -> repaired selection, infeasible budgets -> a_ie)
+// and its bit-identical behavior across thread counts.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchgen/benchgen.hpp"
+#include "benchgen/corrupt.hpp"
+#include "core/flow.hpp"
+#include "core/verify.hpp"
+#include "model/design_json.hpp"
+#include "model/diagnostic.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ob = operon::benchgen;
+namespace oc = operon::core;
+namespace om = operon::model;
+namespace ou = operon::util;
+
+namespace {
+
+om::Design small_design(std::uint64_t seed) {
+  ob::BenchmarkSpec spec;
+  spec.name = "fi" + std::to_string(seed);
+  spec.num_groups = 3 + seed % 3;
+  spec.bits_lo = 1;
+  spec.bits_hi = 2;
+  spec.seed = 4000 + seed;
+  return ob::generate_benchmark(spec);
+}
+
+oc::OperonOptions fast_options() {
+  oc::OperonOptions options;
+  options.solver = oc::SolverKind::Lr;
+  return options;
+}
+
+}  // namespace
+
+TEST(FaultInjection, EveryKindRejectsOrVerifies) {
+  const std::vector<ob::FaultKind> kinds = ob::all_fault_kinds();
+  const oc::OperonOptions options = fast_options();
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    for (const ob::FaultKind kind : kinds) {
+      SCOPED_TRACE("seed=" + std::to_string(seed) + " fault=" +
+                   std::string(ob::fault_name(kind)));
+      ou::Rng rng(0xfa171ULL * (seed + 1));
+      const om::Design bad =
+          ob::corrupt_design(small_design(seed), kind, rng);
+      try {
+        const oc::OperonResult result = oc::run_operon(bad, options);
+        // Completed: must be the Complete expectation and must verify.
+        EXPECT_EQ(ob::fault_expectation(kind),
+                  ob::FaultExpectation::Complete);
+        const auto problems = oc::verify_result(result, options);
+        EXPECT_TRUE(problems.empty())
+            << (problems.empty() ? "" : problems.front().message);
+        EXPECT_TRUE(result.violations.clean());
+      } catch (const ou::CheckError& e) {
+        // Rejected: must be the Reject expectation, and the message must
+        // carry the structured enumeration, not a bare check.
+        EXPECT_EQ(ob::fault_expectation(kind), ob::FaultExpectation::Reject)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("[error]"), std::string::npos)
+            << e.what();
+      }
+    }
+  }
+}
+
+TEST(FaultInjection, RejectKindsCarryErrorDiagnostics) {
+  for (const ob::FaultKind kind : ob::all_fault_kinds()) {
+    if (ob::fault_expectation(kind) != ob::FaultExpectation::Reject) continue;
+    SCOPED_TRACE(std::string(ob::fault_name(kind)));
+    ou::Rng rng(7);
+    const om::Design bad = ob::corrupt_design(small_design(1), kind, rng);
+    const std::vector<om::Diagnostic> diagnostics = om::validate(bad);
+    EXPECT_TRUE(om::has_errors(diagnostics));
+    for (const om::Diagnostic& d : diagnostics) {
+      EXPECT_FALSE(d.code.empty());
+      EXPECT_FALSE(d.message.empty());
+    }
+  }
+}
+
+TEST(FaultInjection, CompleteKindsKeepWarningDiagnostics) {
+  // duplicate-pin is degenerate-but-processable: validation warns, the
+  // pipeline runs, and the warning surfaces in OperonResult::diagnostics.
+  ou::Rng rng(11);
+  const om::Design bad =
+      ob::corrupt_design(small_design(2), ob::FaultKind::DuplicatePin, rng);
+  const std::vector<om::Diagnostic> diagnostics = om::validate(bad);
+  EXPECT_FALSE(om::has_errors(diagnostics));
+  bool found = false;
+  for (const om::Diagnostic& d : diagnostics) {
+    found = found || d.code == "duplicate-pin";
+  }
+  EXPECT_TRUE(found);
+
+  const oc::OperonOptions options = fast_options();
+  const oc::OperonResult result = oc::run_operon(bad, options);
+  bool surfaced = false;
+  for (const om::Diagnostic& d : result.diagnostics) {
+    surfaced = surfaced || d.code == "duplicate-pin";
+  }
+  EXPECT_TRUE(surfaced);
+  EXPECT_TRUE(oc::verify_result(result, options).empty());
+}
+
+TEST(FaultInjection, CorruptTextParserNeverCrashes) {
+  std::ostringstream os;
+  om::write_design(os, small_design(3));
+  const std::string text = os.str();
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    ou::Rng rng(seed);
+    const std::string bad = ob::corrupt_text(text, rng);
+    try {
+      std::istringstream is(bad);
+      const om::Design parsed = om::read_design(is);
+      om::validate(parsed);  // must not throw — structured by contract
+    } catch (const ou::CheckError&) {
+      // sanctioned rejection
+    }
+    // Any other exception type escapes and fails the test.
+  }
+}
+
+TEST(FaultInjection, CorruptJsonParserNeverCrashes) {
+  const std::string text = om::design_to_json(small_design(4));
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    ou::Rng rng(seed);
+    const std::string bad = ob::corrupt_json(text, rng);
+    try {
+      const om::Design parsed = om::design_from_json(bad);
+      om::validate(parsed);
+    } catch (const ou::CheckError&) {
+      // sanctioned rejection
+    }
+  }
+}
+
+TEST(FaultInjection, CorruptorIsDeterministicPerSeed) {
+  const om::Design base = small_design(5);
+  for (const ob::FaultKind kind : ob::all_fault_kinds()) {
+    ou::Rng a(99), b(99);
+    const om::Design x = ob::corrupt_design(base, kind, a);
+    const om::Design y = ob::corrupt_design(base, kind, b);
+    std::ostringstream xs, ys;
+    om::write_design(xs, x);
+    om::write_design(ys, y);
+    EXPECT_EQ(xs.str(), ys.str()) << ob::fault_name(kind);
+  }
+}
+
+// -- degradation ladder ---------------------------------------------------
+
+TEST(Degradation, LrNonConvergenceReportedAndFeasible) {
+  const om::Design design = small_design(6);
+  oc::OperonOptions options = fast_options();
+  options.lr.max_iterations = 1;
+  options.lr.convergence_ratio = 0.0;  // the criteria can never fire
+  const oc::OperonResult result = oc::run_operon(design, options);
+  EXPECT_TRUE(result.degraded);
+  bool found = false;
+  for (const om::Diagnostic& d : result.diagnostics) {
+    found = found || d.code == "lr-no-convergence";
+  }
+  EXPECT_TRUE(found);
+  EXPECT_TRUE(result.violations.clean());
+  EXPECT_TRUE(oc::verify_result(result, options).empty());
+}
+
+TEST(Degradation, IlpTimeLimitFallsBackToWarmStart) {
+  const om::Design design = small_design(7);
+  oc::OperonOptions lr_only = fast_options();
+  const oc::OperonResult surrogate = oc::run_operon(design, lr_only);
+
+  oc::OperonOptions exact = fast_options();
+  exact.solver = oc::SolverKind::IlpExact;
+  exact.select.time_limit_s = 1e-9;  // everything times out immediately
+  const oc::OperonResult result = oc::run_operon(design, exact);
+  EXPECT_TRUE(result.timed_out);
+  EXPECT_TRUE(result.degraded);
+  bool found = false;
+  for (const om::Diagnostic& d : result.diagnostics) {
+    found = found || d.code == "solver-time-limit";
+  }
+  EXPECT_TRUE(found);
+  // The LR warm start seeds the incumbent, so the degraded answer is
+  // never worse than the surrogate alone.
+  EXPECT_LE(result.power_pj, surrogate.power_pj + 1e-9);
+  EXPECT_TRUE(result.violations.clean());
+  EXPECT_TRUE(oc::verify_result(result, exact).empty());
+}
+
+TEST(Degradation, InfeasibleLossBudgetReportedPerNet) {
+  const om::Design design = small_design(8);
+  oc::OperonOptions options = fast_options();
+  // Millidecibel budget: every optical labeling's static loss exceeds it,
+  // so generation leaves only a_ie and the run must say so instead of
+  // throwing.
+  options.params.optical.max_loss_db = 1e-3;
+  const oc::OperonResult result = oc::run_operon(design, options);
+  EXPECT_EQ(result.optical_nets, 0u);
+  EXPECT_EQ(result.electrical_nets, result.sets.size());
+  bool found = false;
+  for (const om::Diagnostic& d : result.diagnostics) {
+    found = found || d.code == "net-loss-budget-infeasible";
+  }
+  EXPECT_TRUE(found);
+  EXPECT_TRUE(result.violations.clean());
+  EXPECT_TRUE(oc::verify_result(result, options).empty());
+}
+
+TEST(Degradation, BitIdenticalAcrossThreadCounts) {
+  const om::Design design = small_design(9);
+  oc::OperonOptions base = fast_options();
+  base.lr.max_iterations = 1;          // force the non-convergence rung
+  base.lr.convergence_ratio = 0.0;
+  std::vector<oc::OperonResult> results;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    oc::OperonOptions options = base;
+    options.threads = threads;
+    results.push_back(oc::run_operon(design, options));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[0].selection, results[i].selection);
+    EXPECT_EQ(results[0].power_pj, results[i].power_pj);  // bit-identical
+    EXPECT_EQ(results[0].degraded, results[i].degraded);
+    ASSERT_EQ(results[0].diagnostics.size(), results[i].diagnostics.size());
+    for (std::size_t d = 0; d < results[0].diagnostics.size(); ++d) {
+      EXPECT_EQ(results[0].diagnostics[d].code,
+                results[i].diagnostics[d].code);
+      EXPECT_EQ(results[0].diagnostics[d].message,
+                results[i].diagnostics[d].message);
+    }
+  }
+}
+
+TEST(Verify, FlagsTamperedResults) {
+  const om::Design design = small_design(10);
+  const oc::OperonOptions options = fast_options();
+  oc::OperonResult result = oc::run_operon(design, options);
+  ASSERT_TRUE(oc::verify_result(result, options).empty());
+
+  oc::OperonResult wrong_power = result;
+  wrong_power.power_pj += 1.0;
+  auto problems = oc::verify_result(wrong_power, options);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_EQ(problems.front().code, "power-mismatch");
+
+  oc::OperonResult wrong_counts = result;
+  wrong_counts.optical_nets += 1;
+  problems = oc::verify_result(wrong_counts, options);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_EQ(problems.front().code, "net-counter-mismatch");
+
+  oc::OperonResult wrong_selection = result;
+  if (!wrong_selection.selection.empty()) {
+    wrong_selection.selection.pop_back();
+    problems = oc::verify_result(wrong_selection, options);
+    ASSERT_FALSE(problems.empty());
+    EXPECT_EQ(problems.front().code, "selection-size-mismatch");
+  }
+}

@@ -327,3 +327,64 @@ TEST(BnbProperty, OneHotSelection) {
     EXPECT_NEAR(result.objective, expected, 1e-6);
   }
 }
+
+namespace {
+
+/// The correlated knapsack from TimeLimitReportsIncumbentOrTimeout,
+/// rebuilt identically for determinism tests.
+oi::Model correlated_knapsack(std::uint64_t seed) {
+  operon::util::Rng rng(seed);
+  oi::Model model;
+  oi::LinearExpr weight, value;
+  for (int i = 0; i < 22; ++i) {
+    const auto v = model.add_binary();
+    const double w = 10.0 + rng.uniform(0.0, 1.0);
+    weight.push_back({v, w});
+    value.push_back({v, w + rng.uniform(0.0, 0.1)});
+  }
+  model.add_constraint(weight, oi::Relation::LessEq, 110.0);
+  model.set_objective(value, oi::Sense::Maximize);
+  return model;
+}
+
+}  // namespace
+
+TEST(Bnb, ExpiredDeadlineStillReturnsValidIncumbent) {
+  const oi::Model model = correlated_knapsack(55);
+  oi::MipOptions options;
+  options.time_limit_s = 1e-9;  // expires before the first node completes
+  const auto result = oi::solve_mip(model, options);
+  EXPECT_EQ(result.status, oi::MipStatus::TimeLimit);
+  if (result.has_incumbent) {
+    EXPECT_TRUE(model.is_feasible(result.values));
+    EXPECT_NEAR(model.evaluate_objective(result.values), result.objective,
+                1e-9);
+  }
+}
+
+TEST(Bnb, ExpiredDeadlineIsDeterministic) {
+  // The search order is deterministic; only the wall-clock cut point can
+  // vary. With an already-expired deadline there is nothing to cut, so
+  // two runs must return bit-identical incumbents.
+  oi::MipOptions options;
+  options.time_limit_s = 1e-12;
+  const auto a = oi::solve_mip(correlated_knapsack(77), options);
+  const auto b = oi::solve_mip(correlated_knapsack(77), options);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.has_incumbent, b.has_incumbent);
+  EXPECT_EQ(a.objective, b.objective);
+  EXPECT_EQ(a.values, b.values);
+}
+
+TEST(Bnb, NodeLimitCutIsDeterministic) {
+  // A node budget is a deterministic cut: identical runs explore the
+  // identical tree prefix and must return the identical incumbent.
+  oi::MipOptions options;
+  options.max_nodes = 25;
+  const auto a = oi::solve_mip(correlated_knapsack(91), options);
+  const auto b = oi::solve_mip(correlated_knapsack(91), options);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.nodes_explored, b.nodes_explored);
+  EXPECT_EQ(a.objective, b.objective);
+  EXPECT_EQ(a.values, b.values);
+}

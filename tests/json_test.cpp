@@ -90,3 +90,135 @@ TEST(Json, MisuseDetected) {
     EXPECT_THROW(json.str(), ou::CheckError);
   }
 }
+
+// -- strict parser --------------------------------------------------------
+
+TEST(JsonParse, ScalarsAndContainers) {
+  EXPECT_EQ(ou::parse_json("null").type(), ou::JsonType::Null);
+  EXPECT_TRUE(ou::parse_json("true").as_bool());
+  EXPECT_FALSE(ou::parse_json(" false ").as_bool());
+  EXPECT_DOUBLE_EQ(ou::parse_json("-12.5e-1").as_number(), -1.25);
+  EXPECT_EQ(ou::parse_json(R"("hi\nthere")").as_string(), "hi\nthere");
+  const ou::JsonValue arr = ou::parse_json("[1,2,3]");
+  ASSERT_EQ(arr.items().size(), 3u);
+  EXPECT_DOUBLE_EQ(arr.at(std::size_t{2}).as_number(), 3.0);
+  const ou::JsonValue obj = ou::parse_json(R"({"a":1,"b":[true,null]})");
+  EXPECT_DOUBLE_EQ(obj.at("a").as_number(), 1.0);
+  EXPECT_EQ(obj.at("b").items().size(), 2u);
+  EXPECT_EQ(obj.find("missing"), nullptr);
+}
+
+TEST(JsonParse, UnicodeEscapes) {
+  EXPECT_EQ(ou::parse_json(R"("Aé")").as_string(), "A\xc3\xa9");
+  EXPECT_EQ(ou::parse_json(R"("A\u00e9")").as_string(), "A\xc3\xa9");
+  EXPECT_THROW(ou::parse_json(R"("\uZZZZ")"), ou::CheckError);
+}
+
+TEST(JsonParse, ObjectOrderPreservedAndRoundTripStable) {
+  const std::string doc = R"({"z":1,"a":[2.5,{"k":"v"}],"m":null})";
+  const std::string once = ou::write_json(ou::parse_json(doc));
+  EXPECT_EQ(once, doc);
+  EXPECT_EQ(ou::write_json(ou::parse_json(once)), once);
+}
+
+TEST(JsonParse, DuplicateKeysRejected) {
+  EXPECT_THROW(ou::parse_json(R"({"a":1,"a":2})"), ou::CheckError);
+  EXPECT_THROW(ou::parse_json(R"({"a":{"b":1,"b":2}})"), ou::CheckError);
+}
+
+TEST(JsonParse, NonFiniteLiteralsRejected) {
+  EXPECT_THROW(ou::parse_json("NaN"), ou::CheckError);
+  EXPECT_THROW(ou::parse_json("Infinity"), ou::CheckError);
+  EXPECT_THROW(ou::parse_json("-Infinity"), ou::CheckError);
+  EXPECT_THROW(ou::parse_json(R"({"x":NaN})"), ou::CheckError);
+  EXPECT_THROW(ou::parse_json("1e999999"), ou::CheckError);  // overflows
+}
+
+TEST(JsonParse, TrailingJunkRejected) {
+  EXPECT_THROW(ou::parse_json("{} {}"), ou::CheckError);
+  EXPECT_THROW(ou::parse_json("1,2"), ou::CheckError);
+  EXPECT_THROW(ou::parse_json("[1]x"), ou::CheckError);
+}
+
+TEST(JsonParse, EveryTruncationRejected) {
+  const std::string doc =
+      R"({"design":"d","chip":[0,0,1,1],"groups":[{"name":"g","bits":[]}]})";
+  ASSERT_NO_THROW(ou::parse_json(doc));
+  for (std::size_t len = 0; len < doc.size(); ++len) {
+    EXPECT_THROW(ou::parse_json(doc.substr(0, len)), ou::CheckError)
+        << "prefix length " << len;
+  }
+}
+
+TEST(JsonParse, StrictNumberGrammar) {
+  EXPECT_THROW(ou::parse_json("01"), ou::CheckError);    // leading zero
+  EXPECT_THROW(ou::parse_json("+1"), ou::CheckError);    // leading plus
+  EXPECT_THROW(ou::parse_json(".5"), ou::CheckError);    // bare fraction
+  EXPECT_THROW(ou::parse_json("1."), ou::CheckError);    // empty fraction
+  EXPECT_THROW(ou::parse_json("1e"), ou::CheckError);    // empty exponent
+  EXPECT_DOUBLE_EQ(ou::parse_json("-0.5e+2").as_number(), -50.0);
+}
+
+TEST(JsonParse, DepthCapRejectsHostileNesting) {
+  std::string deep;
+  for (int i = 0; i < 500; ++i) deep += '[';
+  for (int i = 0; i < 500; ++i) deep += ']';
+  EXPECT_THROW(ou::parse_json(deep), ou::CheckError);
+  ou::JsonParseOptions loose;
+  loose.max_depth = 1000;
+  EXPECT_NO_THROW(ou::parse_json(deep, loose));
+}
+
+TEST(JsonParse, BadEscapesAndControlCharsRejected) {
+  EXPECT_THROW(ou::parse_json(R"("\x41")"), ou::CheckError);
+  EXPECT_THROW(ou::parse_json("\"unterminated"), ou::CheckError);
+  EXPECT_THROW(ou::parse_json(std::string("\"a\nb\""), {}), ou::CheckError);
+}
+
+// -- design JSON round trip ----------------------------------------------
+
+#include "benchgen/benchgen.hpp"
+#include "model/design_json.hpp"
+#include "model/diagnostic.hpp"
+
+namespace om = operon::model;
+
+TEST(DesignJson, RoundTripByteIdenticalOnEveryTable1Case) {
+  for (const std::string& id : operon::benchgen::table1_cases()) {
+    SCOPED_TRACE(id);
+    const om::Design design = operon::benchgen::generate_benchmark(
+        operon::benchgen::table1_spec(id));
+    const std::string first = om::design_to_json(design);
+    // serialize -> parse -> serialize must be byte-identical, both via
+    // the typed reader and via the generic JSON value round trip.
+    const om::Design reparsed = om::design_from_json(first);
+    EXPECT_EQ(om::design_to_json(reparsed), first);
+    EXPECT_EQ(ou::write_json(ou::parse_json(first)), first);
+  }
+}
+
+TEST(DesignJson, ParsedDesignMatchesOriginal) {
+  const om::Design design = operon::benchgen::generate_benchmark(
+      operon::benchgen::table1_spec("I1"));
+  const om::Design reparsed = om::design_from_json(om::design_to_json(design));
+  EXPECT_EQ(reparsed.name, design.name);
+  ASSERT_EQ(reparsed.groups.size(), design.groups.size());
+  EXPECT_EQ(reparsed.num_bits(), design.num_bits());
+  EXPECT_EQ(reparsed.num_pins(), design.num_pins());
+  EXPECT_EQ(reparsed.chip, design.chip);
+  // Pin roles are reconstructed from position in the schema.
+  EXPECT_FALSE(om::has_errors(om::validate(reparsed)));
+}
+
+TEST(DesignJson, MalformedShapesRejected) {
+  EXPECT_THROW(om::design_from_json("[]"), ou::CheckError);
+  EXPECT_THROW(om::design_from_json(R"({"design":"d"})"), ou::CheckError);
+  EXPECT_THROW(om::design_from_json(
+                   R"({"design":"d","chip":[0,0,1],"groups":[]})"),
+               ou::CheckError);
+  EXPECT_THROW(
+      om::design_from_json(
+          R"({"design":"d","chip":[0,0,1,1],"groups":[{"name":"g","bits":)"
+          R"([{"source":[1],"sinks":[]}]}]})"),
+      ou::CheckError);
+}

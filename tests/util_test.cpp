@@ -193,6 +193,49 @@ TEST(Cli, IntFallback) {
   EXPECT_EQ(cli.get_int("n", 42), 42);
 }
 
+TEST(Cli, StrictNumericValues) {
+  const char* argv[] = {"prog", "--n=-17", "--x=1.5e2", "--y=-0.25"};
+  ou::Cli cli(4, argv);
+  EXPECT_EQ(cli.get_int("n", 0), -17);
+  EXPECT_DOUBLE_EQ(cli.get_double("x", 0.0), 150.0);
+  EXPECT_DOUBLE_EQ(cli.get_double("y", 0.0), -0.25);
+  // A present numeric flag also parses through get_double.
+  EXPECT_DOUBLE_EQ(cli.get_double("n", 0.0), -17.0);
+}
+
+TEST(Cli, RejectsGarbageNumbers) {
+  // Regression: get_int/get_double used to silently return 0 for any
+  // non-numeric value, so `--seeds=all` meant `--seeds=0`.
+  const char* argv[] = {"prog", "--n=banana", "--x=fast"};
+  ou::Cli cli(3, argv);
+  EXPECT_THROW(cli.get_int("n", 7), ou::CheckError);
+  EXPECT_THROW(cli.get_double("x", 1.0), ou::CheckError);
+}
+
+TEST(Cli, RejectsTrailingJunk) {
+  const char* argv[] = {"prog", "--n=12x", "--x=1.5.2", "--m=3 4"};
+  ou::Cli cli(4, argv);
+  EXPECT_THROW(cli.get_int("n", 0), ou::CheckError);
+  EXPECT_THROW(cli.get_double("x", 0.0), ou::CheckError);
+  EXPECT_THROW(cli.get_int("m", 0), ou::CheckError);
+}
+
+TEST(Cli, RejectsOverflow) {
+  const char* argv[] = {"prog", "--n=99999999999999999999999", "--x=1e999999"};
+  ou::Cli cli(3, argv);
+  EXPECT_THROW(cli.get_int("n", 0), ou::CheckError);
+  EXPECT_THROW(cli.get_double("x", 0.0), ou::CheckError);
+}
+
+TEST(Cli, RejectsBareFlagAsNumber) {
+  // A valueless flag stores "true"; asking for a number must fail loudly
+  // instead of producing 0.
+  const char* argv[] = {"prog", "--threads"};
+  ou::Cli cli(2, argv);
+  EXPECT_THROW(cli.get_int("threads", 1), ou::CheckError);
+  EXPECT_TRUE(cli.get_bool("threads", false));
+}
+
 TEST(Check, ThrowsWithMessage) {
   try {
     OPERON_CHECK_MSG(1 == 2, "math is broken: " << 42);

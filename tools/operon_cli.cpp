@@ -1,24 +1,34 @@
 // operon_cli — command-line front end for the OPERON library.
 //
-//   operon_cli gen   --case I2 --out design.txt        # or --groups/--bits
-//   operon_cli info  --in design.txt
-//   operon_cli route --in design.txt [--solver lr|ilp|mip]
-//                    [--ilp-limit 20] [--lm 20] [--report out.json]
-//                    [--svg out.svg] [--per-net]
+//   operon_cli gen    --case I2 --out design.txt       # or --groups/--bits
+//   operon_cli info   --in design.txt
+//   operon_cli route  --in design.txt [--solver lr|ilp|mip]
+//                     [--ilp-limit 20] [--lm 20] [--report out.json]
+//                     [--svg out.svg] [--per-net]
+//   operon_cli stress --faults [--seeds 200] [--threads N]
 //
-// Exit code 0 on success, 1 on usage errors, 2 when routing left
-// detection violations (never expected — the electrical fallback exists).
+// Exit code 0 on success, 1 on usage/input errors, 2 when routing left
+// detection violations (never expected — the electrical fallback exists)
+// or when the stress harness observed a robustness breach.
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <span>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "benchgen/benchgen.hpp"
+#include "benchgen/corrupt.hpp"
 #include "core/flow.hpp"
 #include "core/report.hpp"
+#include "core/verify.hpp"
+#include "model/design_json.hpp"
+#include "model/diagnostic.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
+#include "util/rng.hpp"
 #include "viz/render.hpp"
 
 namespace {
@@ -28,14 +38,25 @@ using namespace operon;
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  operon_cli gen   --case I1..I5 | --groups N [--bits-lo A "
+               "  operon_cli gen    --case I1..I5 | --groups N [--bits-lo A "
                "--bits-hi B] [--seed S]  --out FILE\n"
-               "  operon_cli info  --in FILE\n"
-               "  operon_cli route --in FILE [--solver lr|ilp|mip] "
+               "  operon_cli info   --in FILE\n"
+               "  operon_cli route  --in FILE [--solver lr|ilp|mip] "
                "[--ilp-limit SEC] [--lm DB] [--threads N (0 = all cores; "
                "results identical at any N)] [--report FILE] [--svg FILE] "
-               "[--per-net]\n");
+               "[--per-net]\n"
+               "  operon_cli stress --faults [--seeds N] [--solver "
+               "lr|ilp|mip] [--threads N]  # fault-injection harness; exit "
+               "2 on any robustness breach\n");
   return 1;
+}
+
+void print_diagnostics(std::span<const model::Diagnostic> diagnostics) {
+  for (const model::Diagnostic& diagnostic : diagnostics) {
+    std::ostringstream os;
+    os << diagnostic;
+    std::printf("  %s\n", os.str().c_str());
+  }
 }
 
 int cmd_gen(const util::Cli& cli) {
@@ -63,7 +84,9 @@ int cmd_info(const util::Cli& cli) {
   const std::string in = cli.get("in", "");
   if (in.empty()) return usage();
   const model::Design design = model::load_design(in);
-  design.validate();
+  const std::vector<model::Diagnostic> diagnostics = model::validate(design);
+  print_diagnostics(diagnostics);
+  if (model::has_errors(diagnostics)) return 1;
   std::printf("design %s: chip %.0f x %.0f um, %zu groups, %zu bits, %zu "
               "pins\n",
               design.name.c_str(), design.chip.width(), design.chip.height(),
@@ -100,12 +123,13 @@ int cmd_route(const util::Cli& cli) {
 
   const core::OperonResult result = core::run_operon(design, options);
   std::printf("%s: %.2f pJ/bit-cycle | %zu optical, %zu electrical nets | "
-              "worst loss %.2f / %.1f dB | WDMs %zu -> %zu | %.2f s\n",
+              "worst loss %.2f / %.1f dB | WDMs %zu -> %zu | %.2f s%s\n",
               design.name.c_str(), result.power_pj, result.optical_nets,
               result.electrical_nets, result.violations.worst_loss_db,
               options.params.optical.max_loss_db,
               result.wdm_plan.initial_wdms, result.wdm_plan.final_wdms,
-              result.times.total_s());
+              result.times.total_s(), result.degraded ? " | DEGRADED" : "");
+  print_diagnostics(result.diagnostics);
 
   if (cli.has("report")) {
     core::write_report(cli.get("report", "report.json"), design, result,
@@ -122,6 +146,138 @@ int cmd_route(const util::Cli& cli) {
   return result.violations.clean() ? 0 : 2;
 }
 
+// -- stress: seeded fault-injection harness -------------------------------
+//
+// Every seed builds a small benchmark, applies one enumerable corruption
+// (cycling through benchgen::all_fault_kinds) to the in-memory design,
+// and independently byte-corrupts its text and JSON serializations. The
+// contract: the pipeline either throws util::CheckError (a structured
+// rejection) or completes with a plan that core::verify_result accepts.
+// Anything else — an unexpected exception type, a verifier complaint, a
+// Reject-expected fault that sails through, a Complete-expected fault
+// that gets rejected — is a breach. Output is fully deterministic (no
+// timing, no pointers), so stdout is byte-identical at any --threads
+// value and the trailing FNV digest can be diffed across runs.
+
+std::uint64_t fnv1a(std::uint64_t digest, std::string_view text) {
+  for (const char c : text) {
+    digest ^= static_cast<unsigned char>(c);
+    digest *= 1099511628211ULL;
+  }
+  return digest;
+}
+
+const char* check_parse_text(const std::string& text, std::size_t* breaches) {
+  try {
+    std::istringstream is(text);
+    const model::Design parsed = model::read_design(is);
+    return model::has_errors(model::validate(parsed)) ? "invalid" : "parsed";
+  } catch (const util::CheckError&) {
+    return "rejected";
+  } catch (const std::exception&) {
+    ++*breaches;
+    return "BREACH";
+  }
+}
+
+const char* check_parse_json(const std::string& text, std::size_t* breaches) {
+  try {
+    const model::Design parsed = model::design_from_json(text);
+    return model::has_errors(model::validate(parsed)) ? "invalid" : "parsed";
+  } catch (const util::CheckError&) {
+    return "rejected";
+  } catch (const std::exception&) {
+    ++*breaches;
+    return "BREACH";
+  }
+}
+
+int cmd_stress(const util::Cli& cli) {
+  if (!cli.get_bool("faults", false)) return usage();
+  const std::size_t seeds =
+      static_cast<std::size_t>(cli.get_int("seeds", 100));
+
+  core::OperonOptions options;
+  const std::string solver = cli.get("solver", "lr");
+  if (solver == "ilp") options.solver = core::SolverKind::IlpExact;
+  else if (solver == "mip") options.solver = core::SolverKind::MipLiteral;
+  else if (solver == "lr") options.solver = core::SolverKind::Lr;
+  else return usage();
+  options.select.time_limit_s = cli.get_double("ilp-limit", 5.0);
+  options.threads = cli.get_threads();
+
+  const std::vector<benchgen::FaultKind> kinds = benchgen::all_fault_kinds();
+  std::size_t rejected = 0, completed = 0, degraded = 0, breaches = 0;
+  std::uint64_t digest = 1469598103934665603ULL;
+
+  for (std::size_t s = 0; s < seeds; ++s) {
+    benchgen::BenchmarkSpec spec;
+    spec.name = "stress" + std::to_string(s);
+    spec.num_groups = 3 + s % 3;
+    spec.bits_lo = 1;
+    spec.bits_hi = 2;
+    spec.seed = 1000 + s;
+    const model::Design base = benchgen::generate_benchmark(spec);
+    const benchgen::FaultKind kind = kinds[s % kinds.size()];
+    const benchgen::FaultExpectation expected =
+        benchgen::fault_expectation(kind);
+    util::Rng rng(0x57e55ULL * (s + 1));
+    const model::Design bad = benchgen::corrupt_design(base, kind, rng);
+
+    const char* pipeline = nullptr;
+    try {
+      const core::OperonResult result = core::run_operon(bad, options);
+      const std::vector<model::Diagnostic> problems =
+          core::verify_result(result, options);
+      if (!problems.empty()) {
+        pipeline = "BREACH";  // completed, but the plan does not verify
+        ++breaches;
+      } else if (expected == benchgen::FaultExpectation::Reject) {
+        pipeline = "BREACH";  // a malformed input was silently accepted
+        ++breaches;
+      } else {
+        pipeline = result.degraded ? "degraded" : "completed";
+        ++(result.degraded ? degraded : completed);
+      }
+    } catch (const util::CheckError&) {
+      if (expected == benchgen::FaultExpectation::Complete) {
+        pipeline = "BREACH";  // a processable input was rejected
+        ++breaches;
+      } else {
+        pipeline = "rejected";
+        ++rejected;
+      }
+    } catch (const std::exception&) {
+      pipeline = "BREACH";  // only CheckError is a sanctioned rejection
+      ++breaches;
+    }
+
+    std::ostringstream text_os;
+    model::write_design(text_os, base);
+    const char* text =
+        check_parse_text(benchgen::corrupt_text(text_os.str(), rng),
+                         &breaches);
+    const char* json =
+        check_parse_json(benchgen::corrupt_json(model::design_to_json(base),
+                                                rng),
+                         &breaches);
+
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "seed=%zu fault=%s pipeline=%s text=%s json=%s", s,
+                  std::string(benchgen::fault_name(kind)).c_str(), pipeline,
+                  text, json);
+    digest = fnv1a(digest, line);
+    std::printf("%s\n", line);
+  }
+
+  std::printf("stress: %zu seeds | %zu rejected, %zu completed, %zu degraded "
+              "| %zu breaches | digest=%016llx\n",
+              seeds, rejected, completed, degraded, breaches,
+              static_cast<unsigned long long>(digest));
+  return breaches == 0 ? 0 : 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -132,6 +288,7 @@ int main(int argc, char** argv) {
     if (command == "gen") return cmd_gen(cli);
     if (command == "info") return cmd_info(cli);
     if (command == "route") return cmd_route(cli);
+    if (command == "stress") return cmd_stress(cli);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;
