@@ -10,6 +10,7 @@
 #include "baseline/routers.hpp"
 #include "benchgen/benchgen.hpp"
 #include "core/flow.hpp"
+#include "obs/sink.hpp"
 #include "util/cli.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -17,6 +18,7 @@
 int main(int argc, char** argv) {
   using namespace operon;
   const util::Cli cli(argc, argv);
+  const obs::CliObservation observing(cli);  // --trace-out/--metrics-out
 
   std::printf("=== Ablation D: any-direction (GLOW-like) vs tile-grid maze "
               "optical routing ===\n\n");

@@ -11,6 +11,7 @@
 #include "codesign/generate.hpp"
 #include "codesign/ilp_select.hpp"
 #include "lr/lr.hpp"
+#include "obs/sink.hpp"
 #include "util/cli.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -18,6 +19,7 @@
 int main(int argc, char** argv) {
   using namespace operon;
   const util::Cli cli(argc, argv);
+  const obs::CliObservation observing(cli);  // --trace-out/--metrics-out
 
   std::printf("=== Ablation C: LR convergence (Algorithm 1) ===\n\n");
   const model::TechParams params = model::TechParams::dac18_defaults();

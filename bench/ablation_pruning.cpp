@@ -10,6 +10,7 @@
 
 #include "benchgen/benchgen.hpp"
 #include "core/flow.hpp"
+#include "obs/sink.hpp"
 #include "util/cli.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -18,6 +19,7 @@
 int main(int argc, char** argv) {
   using namespace operon;
   const util::Cli cli(argc, argv);
+  const obs::CliObservation observing(cli);  // --trace-out/--metrics-out
   const std::string id = cli.get("bench", "I1");
 
   std::printf("=== Ablation A: DP Pareto pruning (case %s) ===\n\n",
@@ -50,12 +52,12 @@ int main(int argc, char** argv) {
     const core::OperonResult result = core::run_operon(design, options);
     std::size_t candidates = 0;
     for (const auto& set : result.sets) candidates += set.options.size();
-    table.add_row({config.name, util::fixed(result.times.generation_s, 2),
+    table.add_row({config.name, util::fixed(result.stats.times.generation_s, 2),
                    util::fixed(static_cast<double>(candidates) /
                                    static_cast<double>(result.sets.size()),
                                2),
-                   util::fixed(result.power_pj, 1),
-                   util::fixed(result.times.selection_s, 2)});
+                   util::fixed(result.stats.power_pj, 1),
+                   util::fixed(result.stats.times.selection_s, 2)});
   }
   std::printf("%s\n", table.to_text().c_str());
   std::printf("Expected: identical (or near-identical) power across rows; "

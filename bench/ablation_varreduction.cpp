@@ -11,6 +11,7 @@
 #include "cluster/hypernet_builder.hpp"
 #include "codesign/generate.hpp"
 #include "codesign/ilp_select.hpp"
+#include "obs/sink.hpp"
 #include "util/cli.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -18,6 +19,7 @@
 int main(int argc, char** argv) {
   using namespace operon;
   const util::Cli cli(argc, argv);
+  const obs::CliObservation observing(cli);  // --trace-out/--metrics-out
   const double limit = cli.get_double("limit", 10.0);
 
   std::printf("=== Ablation B: ILP variable reduction (bounding boxes, "

@@ -11,6 +11,8 @@
 //       on each Table 1 case — a cooler electrical layer (Fig 9) also
 //       buys cheaper ring tuning.
 
+#include "obs/sink.hpp"
+#include "util/cli.hpp"
 #include <cstdio>
 
 #include "baseline/routers.hpp"
@@ -21,7 +23,9 @@
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const operon::util::Cli cli(argc, argv);
+  const operon::obs::CliObservation observing(cli);  // --trace-out/--metrics-out
   using namespace operon;
   const timing::TimingParams timing_params = timing::TimingParams::defaults();
 

@@ -20,6 +20,7 @@
 #include "codesign/variation.hpp"
 #include "core/flow.hpp"
 #include "lr/lr.hpp"
+#include "obs/sink.hpp"
 #include "util/cli.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -27,6 +28,7 @@
 int main(int argc, char** argv) {
   using namespace operon;
   const util::Cli cli(argc, argv);
+  const obs::CliObservation observing(cli);  // --trace-out/--metrics-out
   const std::string id = cli.get("bench", "I2");
 
   std::printf("=== E3: guard-banded routing vs Monte-Carlo yield (case %s) "
@@ -56,8 +58,8 @@ int main(int argc, char** argv) {
     const auto yield =
         codesign::estimate_yield(evaluator, result.selection, variation);
     const auto laser = codesign::laser_budget(evaluator, result.selection);
-    table.add_row({util::fixed(guard, 1), util::fixed(result.power_pj, 1),
-                   std::to_string(result.optical_nets),
+    table.add_row({util::fixed(guard, 1), util::fixed(result.stats.power_pj, 1),
+                   std::to_string(result.stats.optical_nets),
                    util::fixed(yield.worst_nominal_margin_db, 2),
                    util::fixed(yield.design_yield, 3),
                    util::fixed(yield.path_yield, 4),

@@ -5,6 +5,8 @@
 // unbalanced tree to illustrate the worst-output metric the loss model
 // (Eq. 2) protects.
 
+#include "obs/sink.hpp"
+#include "util/cli.hpp"
 #include <cstdio>
 
 #include "model/params.hpp"
@@ -13,7 +15,9 @@
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const operon::util::Cli cli(argc, argv);
+  const operon::obs::CliObservation observing(cli);  // --trace-out/--metrics-out
   using namespace operon;
   const model::OpticalParams params = model::TechParams::dac18_defaults().optical;
 

@@ -9,6 +9,7 @@
 
 #include "benchgen/benchgen.hpp"
 #include "core/flow.hpp"
+#include "obs/sink.hpp"
 #include "util/cli.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -16,6 +17,7 @@
 int main(int argc, char** argv) {
   using namespace operon;
   const util::Cli cli(argc, argv);
+  const obs::CliObservation observing(cli);  // --trace-out/--metrics-out
 
   std::printf("=== Fig 8: WDM counts before placement / after placement / "
               "after flow assignment ===\n\n");

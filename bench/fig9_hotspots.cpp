@@ -13,6 +13,7 @@
 #include "benchgen/benchgen.hpp"
 #include "core/flow.hpp"
 #include "core/powermap.hpp"
+#include "obs/sink.hpp"
 #include "util/cli.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -20,6 +21,7 @@
 int main(int argc, char** argv) {
   using namespace operon;
   const util::Cli cli(argc, argv);
+  const obs::CliObservation observing(cli);  // --trace-out/--metrics-out
   const std::string id = cli.get("bench", "I2");
   const auto cells = static_cast<std::size_t>(cli.get_int("cells", 48));
 

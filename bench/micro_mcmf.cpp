@@ -2,6 +2,8 @@
 // networks shaped like the §4.2 WDM graph (source -> connections ->
 // WDMs -> sink).
 
+#include "obs/sink.hpp"
+#include "util/cli.hpp"
 #include <benchmark/benchmark.h>
 
 #include "flow/mcmf.hpp"
@@ -65,4 +67,11 @@ BENCHMARK(BM_DenseBipartite)->Arg(8)->Arg(32)->Arg(64);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const operon::util::Cli cli(argc, argv);
+  const operon::obs::CliObservation observing(cli);  // --trace-out/--metrics-out
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,6 +1,8 @@
 // Microbenchmarks for the LP/MIP substrate: dense two-phase simplex and
 // branch-and-bound on knapsack/one-hot structures like the OPERON ILP.
 
+#include "obs/sink.hpp"
+#include "util/cli.hpp"
 #include <benchmark/benchmark.h>
 
 #include "ilp/bnb.hpp"
@@ -86,4 +88,11 @@ BENCHMARK(BM_BnbOneHotSelection)->Arg(4)->Arg(8)->Arg(12);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const operon::util::Cli cli(argc, argv);
+  const operon::obs::CliObservation observing(cli);  // --trace-out/--metrics-out
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,6 +2,8 @@
 // baseline generation, and crossing counting — the inner loops of
 // candidate generation.
 
+#include "obs/sink.hpp"
+#include "util/cli.hpp"
 #include <benchmark/benchmark.h>
 
 #include "codesign/crossing.hpp"
@@ -73,4 +75,11 @@ BENCHMARK(BM_SegmentIndexQuery)->Arg(100)->Arg(1000)->Arg(4000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const operon::util::Cli cli(argc, argv);
+  const operon::obs::CliObservation observing(cli);  // --trace-out/--metrics-out
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -18,6 +18,7 @@
 #include "baseline/routers.hpp"
 #include "benchgen/benchgen.hpp"
 #include "core/flow.hpp"
+#include "obs/sink.hpp"
 #include "util/cli.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -42,6 +43,7 @@ constexpr PaperRow kPaper[] = {
 int main(int argc, char** argv) {
   using namespace operon;
   const util::Cli cli(argc, argv);
+  const obs::CliObservation observing(cli);  // --trace-out/--metrics-out
   const double ilp_limit = cli.get_double("ilp-limit", 20.0);
   const std::uint64_t seed_offset =
       static_cast<std::uint64_t>(cli.get_int("seed-offset", 0));
@@ -78,27 +80,27 @@ int main(int argc, char** argv) {
     options.run_wdm_stage = false;
     options.threads = threads;
     const core::OperonResult prep = core::run_operon(design, options);
-    const double lr_cpu = prep.times.selection_s;
+    const double lr_cpu = prep.stats.times.selection_s;
 
     if (threads == 1) {
-      stage_table.add_row({id, util::fixed(prep.times.processing_s, 2),
-                           util::fixed(prep.times.generation_s, 2),
-                           util::fixed(prep.times.selection_s, 2)});
+      stage_table.add_row({id, util::fixed(prep.stats.times.processing_s, 2),
+                           util::fixed(prep.stats.times.generation_s, 2),
+                           util::fixed(prep.stats.times.selection_s, 2)});
     } else {
       core::OperonOptions serial = options;
       serial.threads = 1;
       const core::OperonResult ref = core::run_operon(design, serial);
-      determinism_ok = determinism_ok && ref.power_pj == prep.power_pj &&
+      determinism_ok = determinism_ok && ref.stats.power_pj == prep.stats.power_pj &&
                        ref.selection == prep.selection;
-      const double par = prep.times.generation_s + prep.times.selection_s;
+      const double par = prep.stats.times.generation_s + prep.stats.times.selection_s;
       stage_table.add_row(
-          {id, util::fixed(prep.times.processing_s, 2),
-           util::fixed(prep.times.generation_s, 2),
-           util::fixed(prep.times.selection_s, 2),
-           util::fixed(ref.times.generation_s, 2),
-           util::fixed(ref.times.selection_s, 2),
+          {id, util::fixed(prep.stats.times.processing_s, 2),
+           util::fixed(prep.stats.times.generation_s, 2),
+           util::fixed(prep.stats.times.selection_s, 2),
+           util::fixed(ref.stats.times.generation_s, 2),
+           util::fixed(ref.stats.times.selection_s, 2),
            par > 0 ? util::fixed(
-                         (ref.times.generation_s + ref.times.selection_s) / par,
+                         (ref.stats.times.generation_s + ref.stats.times.selection_s) / par,
                          2) + "x"
                    : std::string("-")});
     }
@@ -120,18 +122,18 @@ int main(int argc, char** argv) {
          std::to_string(prep.processing.num_hyper_nets()),
          std::to_string(prep.processing.num_hyper_pins()),
          util::fixed(electrical.total_power_pj, 1),
-         util::fixed(glow.total_power_pj, 1), util::fixed(ilp.power_pj, 1),
-         ilp.timed_out ? ("> " + util::fixed(ilp_limit, 0))
+         util::fixed(glow.total_power_pj, 1), util::fixed(ilp.stats.power_pj, 1),
+         ilp.stats.timed_out ? ("> " + util::fixed(ilp_limit, 0))
                        : util::fixed(ilp_cpu, 1),
-         util::fixed(prep.power_pj, 1), util::fixed(lr_cpu, 1)});
+         util::fixed(prep.stats.power_pj, 1), util::fixed(lr_cpu, 1)});
 
     sum_e += electrical.total_power_pj;
     sum_g += glow.total_power_pj;
-    sum_ilp += ilp.power_pj;
-    sum_lr += prep.power_pj;
+    sum_ilp += ilp.stats.power_pj;
+    sum_lr += prep.stats.power_pj;
     sum_ilp_cpu += ilp_cpu;
     sum_lr_cpu += lr_cpu;
-    any_ilp_timeout = any_ilp_timeout || ilp.timed_out;
+    any_ilp_timeout = any_ilp_timeout || ilp.stats.timed_out;
   }
 
   const double n = 5.0;

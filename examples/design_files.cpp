@@ -40,8 +40,8 @@ int main(int argc, char** argv) {
   const core::OperonResult result = core::run_operon(design, options);
   std::printf("routed: %.1f pJ total, %zu/%zu hyper nets optical, "
               "violations: %zu, WDMs in use: %zu\n",
-              result.power_pj, result.optical_nets,
-              result.optical_nets + result.electrical_nets,
+              result.stats.power_pj, result.stats.optical_nets,
+              result.stats.optical_nets + result.stats.electrical_nets,
               result.violations.violated_paths, result.wdm_plan.final_wdms);
   return 0;
 }

@@ -65,17 +65,17 @@ int main() {
                  util::fixed(electrical.total_power_pj, 1), "1.00x"});
   table.add_row({"Optical (GLOW-like)", util::fixed(glow.total_power_pj, 1),
                  util::fixed(glow.total_power_pj / electrical.total_power_pj, 2) + "x"});
-  table.add_row({"OPERON", util::fixed(result.power_pj, 1),
-                 util::fixed(result.power_pj / electrical.total_power_pj, 2) + "x"});
+  table.add_row({"OPERON", util::fixed(result.stats.power_pj, 1),
+                 util::fixed(result.stats.power_pj / electrical.total_power_pj, 2) + "x"});
   std::printf("=== 8x 32-bit CPU<->memory buses on a 2 cm chip ===\n\n%s\n",
               table.to_text().c_str());
 
   std::printf("OPERON selection: %zu optical nets, %zu electrical; worst "
               "path loss %.2f dB (budget %.1f dB); %s\n",
-              result.optical_nets, result.electrical_nets,
+              result.stats.optical_nets, result.stats.electrical_nets,
               result.violations.worst_loss_db,
               options.params.optical.max_loss_db,
-              result.proven_optimal ? "proven optimal"
+              result.stats.proven_optimal ? "proven optimal"
                                     : "time-limited incumbent");
 
   std::printf("\nWDM infrastructure: %zu point-to-point optical connections "

@@ -71,8 +71,8 @@ int main() {
   std::printf("electrical: %.1f pJ | GLOW-like: %.1f pJ (%zu optical, %zu "
               "fallbacks) | OPERON: %.1f pJ (%zu optical)\n\n",
               electrical.total_power_pj, glow.total_power_pj,
-              glow.optical_nets, glow.detection_fallbacks, result.power_pj,
-              result.optical_nets);
+              glow.optical_nets, glow.detection_fallbacks, result.stats.power_pj,
+              result.stats.optical_nets);
 
   codesign::SelectionEvaluator evaluator(result.sets, options.params);
   for (std::size_t i = 0; i < result.sets.size(); ++i) {

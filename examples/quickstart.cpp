@@ -50,7 +50,7 @@ int main() {
               result.processing.num_hyper_pins());
   std::printf("total power: %.2f pJ/bit-cycle (%zu optical nets, %zu "
               "electrical)\n",
-              result.power_pj, result.optical_nets, result.electrical_nets);
+              result.stats.power_pj, result.stats.optical_nets, result.stats.electrical_nets);
   std::printf("detection constraints: %s (worst path loss %.2f dB, budget "
               "%.1f dB)\n",
               result.violations.clean() ? "all satisfied" : "VIOLATED",
@@ -73,7 +73,7 @@ int main() {
               result.wdm_plan.final_wdms);
   std::printf("runtimes: processing %.3f s, candidates %.3f s, selection "
               "%.3f s, WDM %.3f s\n",
-              result.times.processing_s, result.times.generation_s,
-              result.times.selection_s, result.times.wdm_s);
+              result.stats.times.processing_s, result.stats.times.generation_s,
+              result.stats.times.selection_s, result.stats.times.wdm_s);
   return 0;
 }

@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
   core::write_report(prefix + "_report.json", design, result, options);
   std::printf("report: %s_report.json — %.1f pJ total (%zu optical / %zu "
               "electrical nets), %zu WDMs\n",
-              prefix.c_str(), result.power_pj, result.optical_nets,
-              result.electrical_nets, result.wdm_plan.final_wdms);
+              prefix.c_str(), result.stats.power_pj, result.stats.optical_nets,
+              result.stats.electrical_nets, result.wdm_plan.final_wdms);
   return 0;
 }

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON file (the --trace-out format).
+
+Checks the subset of the trace-event schema that chrome://tracing and
+Perfetto require to load the file:
+
+  * top level is an object with a "traceEvents" array;
+  * every event carries name / ph / ts / pid / tid;
+  * "ph" is a known phase letter;
+  * complete events ("X") have a non-negative "dur";
+  * ts/dur/pid/tid are numbers, name/cat are strings.
+
+Usage: check_trace.py TRACE.json [--min-events N]
+Exit code 0 when valid, 1 with a diagnostic on the first violation.
+"""
+
+import argparse
+import json
+import sys
+
+# Phase letters from the trace-event format spec (complete, duration,
+# instant, counter, async, flow, metadata, sample, object life-cycle).
+KNOWN_PHASES = set("XBEiICbnesftPNOD")
+
+REQUIRED_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+
+def fail(message: str) -> None:
+    print(f"check_trace: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_event(index: int, event: object) -> None:
+    if not isinstance(event, dict):
+        fail(f"traceEvents[{index}] is not an object")
+    for key in REQUIRED_KEYS:
+        if key not in event:
+            fail(f"traceEvents[{index}] missing required key '{key}'")
+    if not isinstance(event["name"], str) or not event["name"]:
+        fail(f"traceEvents[{index}].name must be a non-empty string")
+    if "cat" in event and not isinstance(event["cat"], str):
+        fail(f"traceEvents[{index}].cat must be a string")
+    phase = event["ph"]
+    if not isinstance(phase, str) or phase not in KNOWN_PHASES:
+        fail(f"traceEvents[{index}].ph {phase!r} is not a known phase")
+    for key in ("ts", "pid", "tid"):
+        if isinstance(event[key], bool) or not isinstance(
+            event[key], (int, float)
+        ):
+            fail(f"traceEvents[{index}].{key} must be a number")
+    if event["ts"] < 0:
+        fail(f"traceEvents[{index}].ts must be >= 0")
+    if phase == "X":
+        if "dur" not in event:
+            fail(f"traceEvents[{index}] is an 'X' event without 'dur'")
+        if isinstance(event["dur"], bool) or not isinstance(
+            event["dur"], (int, float)
+        ):
+            fail(f"traceEvents[{index}].dur must be a number")
+        if event["dur"] < 0:
+            fail(f"traceEvents[{index}].dur must be >= 0")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="trace JSON file to validate")
+    parser.add_argument(
+        "--min-events",
+        type=int,
+        default=1,
+        help="fail when fewer events are present (default: 1)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"cannot load '{args.trace}': {error}")
+
+    if not isinstance(document, dict):
+        fail("top level must be an object (the JSON Object Format)")
+    if "traceEvents" not in document:
+        fail("missing 'traceEvents'")
+    events = document["traceEvents"]
+    if not isinstance(events, list):
+        fail("'traceEvents' must be an array")
+    for index, event in enumerate(events):
+        check_event(index, event)
+    if len(events) < args.min_events:
+        fail(f"expected at least {args.min_events} events, got {len(events)}")
+
+    print(f"check_trace: OK: {len(events)} events in '{args.trace}'")
+
+
+if __name__ == "__main__":
+    main()

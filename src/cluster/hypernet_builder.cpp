@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cluster/agglomerate.hpp"
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
 
@@ -59,6 +60,7 @@ std::size_t SignalProcessingResult::num_hyper_pins() const {
 SignalProcessingResult build_hyper_nets(
     const model::Design& design, const SignalProcessingOptions& options) {
   design.validate();  // boundary check: reject malformed designs up front
+  OPERON_SPAN("cluster.build_hyper_nets");
   SignalProcessingResult result;
 
   for (std::size_t g = 0; g < design.groups.size(); ++g) {
@@ -105,6 +107,10 @@ SignalProcessingResult build_hyper_nets(
       result.hyper_nets.push_back(std::move(net));
     }
   }
+  obs::set_gauge("cluster.hyper_nets",
+                 static_cast<double>(result.num_hyper_nets()));
+  obs::set_gauge("cluster.hyper_pins",
+                 static_cast<double>(result.num_hyper_pins()));
   return result;
 }
 

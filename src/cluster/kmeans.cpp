@@ -4,6 +4,7 @@
 #include <limits>
 #include <numeric>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -149,6 +150,8 @@ KMeansResult capacitated_kmeans(std::span<const geom::Point> points,
                        sum.y / static_cast<double>(n)}};
     result.variance =
         compute_variance(points, result.assignment, result.centers);
+    obs::add_counter("cluster.kmeans.runs");
+    obs::add_counter("cluster.kmeans.iterations", result.iterations);
     return result;
   }
 
@@ -200,6 +203,8 @@ KMeansResult capacitated_kmeans(std::span<const geom::Point> points,
   result.assignment.resize(n);
   for (std::size_t i = 0; i < n; ++i) result.assignment[i] = remap[assignment[i]];
   result.variance = prev_variance;
+  obs::add_counter("cluster.kmeans.runs");
+  obs::add_counter("cluster.kmeans.iterations", result.iterations);
   return result;
 }
 

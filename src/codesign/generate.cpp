@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "optical/loss.hpp"
 #include "steiner/bi1s.hpp"
 #include "util/check.hpp"
@@ -70,6 +71,7 @@ std::vector<CandidateSet> generate_candidates(
     const model::TechParams& params, const GenerationOptions& options) {
   OPERON_CHECK(params.valid());
   OPERON_CHECK(options.max_baselines >= 1);
+  OPERON_SPAN("codesign.generate");
 
   // Both per-net phases are embarrassingly parallel: every iteration
   // reads only shared immutable state and writes its own index, so any
@@ -156,6 +158,11 @@ std::vector<CandidateSet> generate_candidates(
     set.bbox = box;
     sets[i] = std::move(set);
   });
+  std::size_t total_candidates = 0;
+  for (const CandidateSet& set : sets) total_candidates += set.options.size();
+  obs::add_counter("codesign.generate.runs");
+  obs::add_counter("codesign.generate.candidates", total_candidates);
+  obs::set_gauge("codesign.generate.nets", static_cast<double>(sets.size()));
   return sets;
 }
 

@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
@@ -72,12 +73,14 @@ class ComponentSolver {
   ComponentSolver(const SelectionEvaluator& evaluator,
                   std::vector<std::size_t> nets, const util::Deadline& deadline,
                   Selection& selection, std::size_t& nodes,
-                  const Selection* warm_start, const Selection* peeled)
+                  std::size_t& incumbent_updates, const Selection* warm_start,
+                  const Selection* peeled)
       : evaluator_(evaluator),
         nets_(std::move(nets)),
         deadline_(deadline),
         selection_(selection),
         nodes_(nodes),
+        incumbent_updates_(incumbent_updates),
         warm_start_(warm_start),
         peeled_(peeled) {
     const std::size_t n = evaluator_.num_nets();
@@ -148,6 +151,7 @@ class ComponentSolver {
     }
     best_choice_ = choice_;
     best_power_ = power;
+    ++incumbent_updates_;
     // Unwind the greedy assignment.
     for (std::size_t k = nets_.size(); k > 0; --k) unassign(k - 1);
 
@@ -166,6 +170,7 @@ class ComponentSolver {
       if (feasible && seed_power < best_power_) {
         best_power_ = seed_power;
         best_choice_ = choice_;
+        ++incumbent_updates_;
       }
       for (std::size_t k = assigned; k > 0; --k) unassign(k - 1);
     }
@@ -185,6 +190,7 @@ class ComponentSolver {
       if (power < best_power_ - 1e-12) {
         best_power_ = power;
         best_choice_ = choice_;
+        ++incumbent_updates_;
       }
     }
     for (std::size_t undo = assigned; undo > k; --undo) unassign(undo - 1);
@@ -201,6 +207,7 @@ class ComponentSolver {
       if (committed < best_power_ - 1e-12) {
         best_power_ = committed;
         best_choice_ = choice_;
+        ++incumbent_updates_;
       }
       return;
     }
@@ -297,6 +304,7 @@ class ComponentSolver {
   const util::Deadline& deadline_;
   Selection& selection_;
   std::size_t& nodes_;
+  std::size_t& incumbent_updates_;
   const Selection* warm_start_ = nullptr;
   const Selection* peeled_ = nullptr;
 
@@ -345,6 +353,7 @@ SelectResult solve_selection_exact(std::span<const CandidateSet> sets,
   result.num_components = components.size();
   bool all_proven = true;
   std::size_t nodes = 0;
+  std::size_t incumbent_updates = 0;
   for (const auto& component : components) {
     result.largest_component =
         std::max(result.largest_component, component.size());
@@ -357,10 +366,18 @@ SelectResult solve_selection_exact(std::span<const CandidateSet> sets,
         options.warm_start.size() == sets.size() ? &options.warm_start
                                                  : nullptr;
     ComponentSolver solver(evaluator, component, deadline, result.selection,
-                           nodes, warm, &peeled);
+                           nodes, incumbent_updates, warm, &peeled);
     all_proven = solver.solve() && all_proven;
   }
   result.nodes_explored = nodes;
+  result.incumbent_updates = incumbent_updates;
+  obs::add_counter("codesign.exact.solves");
+  obs::add_counter("codesign.exact.nodes_explored", result.nodes_explored);
+  obs::add_counter("codesign.exact.incumbent_updates",
+                   result.incumbent_updates);
+  obs::add_counter("codesign.exact.components", result.num_components);
+  obs::set_gauge("codesign.exact.largest_component",
+                 static_cast<double>(result.largest_component));
   result.power_pj = evaluator.total_power(result.selection);
   result.violations = evaluator.violations(result.selection);
   result.proven_optimal = all_proven;
@@ -449,6 +466,7 @@ SelectResult solve_selection_mip(std::span<const CandidateSet> sets,
   SelectResult result;
   result.runtime_s = timer.seconds();
   result.nodes_explored = solved.nodes_explored;
+  result.incumbent_updates = solved.incumbent_updates;
   result.timed_out = solved.status == ilp::MipStatus::TimeLimit;
   result.proven_optimal = solved.status == ilp::MipStatus::Optimal;
   if (solved.has_incumbent) {

@@ -48,6 +48,9 @@ struct SelectResult {
   bool timed_out = false;
   double runtime_s = 0.0;
   std::size_t nodes_explored = 0;
+  /// Times the incumbent improved (greedy seeds, warm starts accepted,
+  /// min-power completions, and DFS leaves that beat the best).
+  std::size_t incumbent_updates = 0;
   std::size_t num_components = 0;
   std::size_t largest_component = 0;
 };

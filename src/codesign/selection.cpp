@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -53,6 +54,13 @@ SelectionEvaluator::SelectionEvaluator(std::span<const CandidateSet> sets,
   }
 }
 
+SelectionEvaluator::~SelectionEvaluator() {
+  obs::add_counter("codesign.crossing.cache_queries",
+                   cache_queries_.load(std::memory_order_relaxed));
+  obs::add_counter("codesign.crossing.cache_computed",
+                   cache_computed_.load(std::memory_order_relaxed));
+}
+
 std::size_t SelectionEvaluator::num_interacting_pairs() const {
   std::size_t total = 0;
   for (const auto& list : interactions_) total += list.size();
@@ -73,6 +81,12 @@ const std::vector<int>& SelectionEvaluator::crossings(std::size_t i,
                                                       std::size_t ci,
                                                       std::size_t m,
                                                       std::size_t cm) const {
+  return crossings_impl(i, ci, m, cm, /*count=*/true);
+}
+
+const std::vector<int>& SelectionEvaluator::crossings_impl(
+    std::size_t i, std::size_t ci, std::size_t m, std::size_t cm,
+    bool count) const {
   const Candidate& mine = sets_[i].options[ci];
   const Candidate& other = sets_[m].options[cm];
   // Cheap rejections: either side has no optical geometry, or the
@@ -83,13 +97,20 @@ const std::vector<int>& SelectionEvaluator::crossings(std::size_t i,
   if (!optical_bbox_[i][ci].overlaps(optical_bbox_[m][cm])) {
     return kNoCrossings;
   }
+  if (count) cache_queries_.fetch_add(1, std::memory_order_relaxed);
 
   const std::uint64_t key = pair_key(i, ci, m, cm);
   CacheShard& shard = cache_shards_[key % kCacheShards];
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
     const auto it = shard.map.find(key);
-    if (it != shard.map.end()) return it->second;
+    if (it != shard.map.end()) {
+      if (count && !it->second.counted) {
+        it->second.counted = true;
+        cache_computed_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return it->second.counts;
+    }
   }
 
   // Compute outside the lock so concurrent misses on one shard don't
@@ -103,7 +124,12 @@ const std::vector<int>& SelectionEvaluator::crossings(std::size_t i,
   }
   if (!any) counts.clear();  // store the tiny all-zero marker
   std::lock_guard<std::mutex> lock(shard.mutex);
-  return shard.map.emplace(key, std::move(counts)).first->second;
+  const auto it = shard.map.emplace(key, CacheEntry{std::move(counts)}).first;
+  if (count && !it->second.counted) {
+    it->second.counted = true;
+    cache_computed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return it->second.counts;
 }
 
 void SelectionEvaluator::precompute_crossings(std::size_t threads) const {
@@ -119,8 +145,11 @@ void SelectionEvaluator::precompute_crossings(std::size_t threads) const {
     const auto [i, m] = pairs[k];
     for (std::size_t ci = 0; ci < sets_[i].options.size(); ++ci) {
       for (std::size_t cm = 0; cm < sets_[m].options.size(); ++cm) {
-        crossings(i, ci, m, cm);
-        crossings(m, cm, i, ci);
+        // Uncounted: bulk prefill must not perturb the cache counters,
+        // which are defined over the solver-facing query stream only so
+        // they stay identical at any thread count.
+        crossings_impl(i, ci, m, cm, /*count=*/false);
+        crossings_impl(m, cm, i, ci, /*count=*/false);
       }
     }
   });

@@ -15,6 +15,7 @@
 // lifetime. Cached values are pure functions of the candidate geometry,
 // so results never depend on thread count or scheduling.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -47,6 +48,14 @@ class SelectionEvaluator {
   SelectionEvaluator(std::span<const CandidateSet> sets,
                      const model::TechParams& params,
                      bool interact_all = false);
+
+  /// Feeds the ambient obs registry (if any) with the cache counters
+  /// `codesign.crossing.cache_queries` / `cache_computed`. Both are
+  /// defined over the *solver-facing* query stream only (crossings()
+  /// calls past the cheap rejections; precompute_crossings() is
+  /// deliberately uncounted), so their totals — and the derived hit
+  /// count, queries - computed — are bit-identical at any thread count.
+  ~SelectionEvaluator();
 
   std::size_t num_nets() const { return sets_.size(); }
   const CandidateSet& set(std::size_t i) const { return sets_[i]; }
@@ -111,12 +120,30 @@ class SelectionEvaluator {
   /// and insertions lock only that shard, and the geometry work itself
   /// runs outside any lock (a racing duplicate computation is discarded
   /// by emplace, so values are unique and deterministic).
+  struct CacheEntry {
+    std::vector<int> counts;
+    /// Set the first time a *counted* (solver-facing) query reads this
+    /// entry; keeps cache_computed_ equal to "distinct pairs the query
+    /// stream needed", independent of whether precompute_crossings()
+    /// filled the value first.
+    bool counted = false;
+  };
   struct CacheShard {
     std::mutex mutex;
-    std::unordered_map<std::uint64_t, std::vector<int>> map;
+    std::unordered_map<std::uint64_t, CacheEntry> map;
   };
   static constexpr std::size_t kCacheShards = 64;
+
+  const std::vector<int>& crossings_impl(std::size_t i, std::size_t ci,
+                                         std::size_t m, std::size_t cm,
+                                         bool count) const;
+
   mutable std::unique_ptr<CacheShard[]> cache_shards_;
+  /// Crossing-cache observability (see ~SelectionEvaluator). Relaxed
+  /// atomics: only the final totals matter, and they are exact because
+  /// every increment is a distinct event.
+  mutable std::atomic<std::size_t> cache_queries_{0};
+  mutable std::atomic<std::size_t> cache_computed_{0};
 };
 
 }  // namespace operon::codesign

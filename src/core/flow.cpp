@@ -2,6 +2,7 @@
 
 #include <iterator>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
@@ -21,10 +22,11 @@ OperonOptions with_threads(const OperonOptions& options) {
   return propagated;
 }
 
-void add_warning(OperonResult& result, std::string code, std::string message) {
+void add_warning(OperonResult& result, model::DiagCode code,
+                 std::string message) {
   if (result.diagnostics.size() >= model::kMaxDiagnostics) return;
-  result.diagnostics.push_back({model::Severity::Warning, std::move(code),
-                                std::move(message)});
+  result.diagnostics.push_back(
+      {model::Severity::Warning, code, std::move(message)});
 }
 
 /// Boundary validation: Error-severity findings throw (the input is
@@ -43,8 +45,7 @@ void validate_inputs(OperonResult& result, const model::Design& design,
   found.insert(found.end(), std::make_move_iterator(param_found.begin()),
                std::make_move_iterator(param_found.end()));
   for (model::Diagnostic& diagnostic : found) {
-    add_warning(result, std::move(diagnostic.code),
-                std::move(diagnostic.message));
+    add_warning(result, diagnostic.code, std::move(diagnostic.message));
   }
 }
 
@@ -52,14 +53,21 @@ void validate_inputs(OperonResult& result, const model::Design& design,
 /// the pure-electrical fallback means generation pruned every optical
 /// labeling (static loss alone exceeds lm). Reported as warnings — the
 /// run proceeds with those nets electrical — capped so a hostile budget
-/// cannot flood the list.
+/// cannot flood the list. A set with NO options at all is a breach of
+/// the generation contract (assemble always emits the electrical
+/// fallback) and throws before the solver can index out of bounds.
 void report_budget_infeasible_nets(OperonResult& result) {
   constexpr std::size_t kMaxPerNet = 8;
   std::size_t count = 0;
   for (const codesign::CandidateSet& set : result.sets) {
+    OPERON_CHECK_MSG(!set.options.empty(),
+                     "candidate set for hyper net "
+                         << set.net
+                         << " has no options; generation must always "
+                            "include the pure-electrical fallback");
     if (set.options.size() > 1) continue;
     if (count < kMaxPerNet) {
-      add_warning(result, "net-loss-budget-infeasible",
+      add_warning(result, model::DiagCode::NetLossBudgetInfeasible,
                   util::format("hyper net %zu: every optical labeling exceeds "
                                "the loss budget; only the electrical fallback "
                                "remains",
@@ -68,7 +76,7 @@ void report_budget_infeasible_nets(OperonResult& result) {
     ++count;
   }
   if (count > kMaxPerNet) {
-    add_warning(result, "net-loss-budget-infeasible",
+    add_warning(result, model::DiagCode::NetLossBudgetInfeasible,
                 util::format("%zu further hyper nets have no feasible optical "
                              "labeling (suppressed)",
                              count - kMaxPerNet));
@@ -93,11 +101,11 @@ void run_selection_stage(OperonResult& result, const OperonOptions& options) {
       const codesign::SelectResult solved = codesign::solve_selection_exact(
           result.sets, options.params, select);
       result.selection = solved.selection;
-      result.timed_out = solved.timed_out;
-      result.proven_optimal = solved.proven_optimal;
+      result.stats.timed_out = solved.timed_out;
+      result.stats.proven_optimal = solved.proven_optimal;
       if (solved.timed_out) {
         result.degraded = true;
-        add_warning(result, "solver-time-limit",
+        add_warning(result, model::DiagCode::SolverTimeLimit,
                     "exact branch-and-bound hit its time limit; returning "
                     "the incumbent (no worse than the LR warm start)");
       }
@@ -107,11 +115,11 @@ void run_selection_stage(OperonResult& result, const OperonOptions& options) {
       const codesign::SelectResult solved = codesign::solve_selection_mip(
           result.sets, options.params, options.select);
       result.selection = solved.selection;
-      result.timed_out = solved.timed_out;
-      result.proven_optimal = solved.proven_optimal;
+      result.stats.timed_out = solved.timed_out;
+      result.stats.proven_optimal = solved.proven_optimal;
       if (solved.timed_out) {
         result.degraded = true;
-        add_warning(result, "solver-time-limit",
+        add_warning(result, model::DiagCode::SolverTimeLimit,
                     "literal MIP hit its time limit; returning the incumbent");
       }
       break;
@@ -120,10 +128,10 @@ void run_selection_stage(OperonResult& result, const OperonOptions& options) {
       const lr::LrResult solved =
           lr::solve_selection_lr(result.sets, options.params, options.lr);
       result.selection = solved.selection;
-      result.lr_iterations = solved.iterations;
+      result.stats.lr_iterations = solved.iterations;
       if (!solved.converged) {
         result.degraded = true;
-        add_warning(result, "lr-no-convergence",
+        add_warning(result, model::DiagCode::LrNoConvergence,
                     util::format("LR did not converge within %zu iterations; "
                                  "keeping the repaired final selection",
                                  solved.iterations));
@@ -138,7 +146,7 @@ void run_selection_stage(OperonResult& result, const OperonOptions& options) {
   result.violations = evaluator.violations(result.selection);
   if (!result.violations.clean()) {
     result.degraded = true;
-    add_warning(result, "selection-infeasible-fallback",
+    add_warning(result, model::DiagCode::SelectionInfeasibleFallback,
                 util::format("solver selection violates %zu detection "
                              "path(s); falling back to the pure-electrical "
                              "selection",
@@ -146,15 +154,69 @@ void run_selection_stage(OperonResult& result, const OperonOptions& options) {
     result.selection = evaluator.all_electrical();
     result.violations = evaluator.violations(result.selection);
   }
-  result.power_pj = evaluator.total_power(result.selection);
-  result.optical_nets = 0;
-  result.electrical_nets = 0;
+  result.stats.power_pj = evaluator.total_power(result.selection);
+  result.stats.optical_nets = 0;
+  result.stats.electrical_nets = 0;
   for (std::size_t i = 0; i < result.sets.size(); ++i) {
     const codesign::Candidate& cand =
         result.sets[i].options[result.selection[i]];
-    if (cand.pure_electrical()) ++result.electrical_nets;
-    else ++result.optical_nets;
+    if (cand.pure_electrical()) ++result.stats.electrical_nets;
+    else ++result.stats.optical_nets;
   }
+}
+
+/// Shared tail of both entry points — candidate-set sanity + selection
+/// + WDM, with timing and spans — so run_operon and run_selection_only
+/// cannot drift apart.
+void run_pipeline_tail(OperonResult& result, const OperonOptions& options) {
+  report_budget_infeasible_nets(result);
+
+  // Stage 3: solution determination (§3.3 / §3.4).
+  util::Timer timer;
+  {
+    OPERON_SPAN("core.selection");
+    run_selection_stage(result, options);
+  }
+  result.stats.times.selection_s = timer.seconds();
+
+  // Stage 4: WDM placement + assignment (§4).
+  if (options.run_wdm_stage) {
+    timer.reset();
+    OPERON_SPAN("core.wdm");
+    result.wdm_plan = wdm::plan_wdm_assignment(
+        result.sets, result.selection, options.params.optical, options.wdm);
+    result.stats.times.wdm_s = timer.seconds();
+  }
+}
+
+/// Summary gauges + timing gauges, then the run's metrics snapshot into
+/// result.stats. Runs inside the per-run observation scope so the
+/// snapshot is exactly this run's registry.
+void finalize_stats(OperonResult& result, obs::Observation& run_obs) {
+  obs::add_counter("core.runs");
+  obs::set_gauge("core.power_pj", result.stats.power_pj);
+  obs::set_gauge("core.optical_nets",
+                 static_cast<double>(result.stats.optical_nets));
+  obs::set_gauge("core.electrical_nets",
+                 static_cast<double>(result.stats.electrical_nets));
+  obs::set_gauge("core.violated_paths",
+                 static_cast<double>(result.violations.violated_paths));
+  obs::set_gauge("core.degraded", result.degraded ? 1.0 : 0.0);
+  obs::set_gauge("core.diagnostics",
+                 static_cast<double>(result.diagnostics.size()));
+  const StageTimes& times = result.stats.times;
+  obs::set_gauge("time.processing_s", times.processing_s, /*timing=*/true);
+  obs::set_gauge("time.generation_s", times.generation_s, /*timing=*/true);
+  obs::set_gauge("time.selection_s", times.selection_s, /*timing=*/true);
+  obs::set_gauge("time.wdm_s", times.wdm_s, /*timing=*/true);
+  obs::set_gauge("time.total_s", times.total_s(), /*timing=*/true);
+  result.stats.metrics = run_obs.metrics.snapshot();
+}
+
+/// Roll the finished run up into whatever observation enclosed it (the
+/// CLI/bench session sink, or a test's Observation).
+void absorb_into_ambient(const obs::Observation& run_obs) {
+  if (obs::Observation* ambient = obs::current()) ambient->absorb(run_obs);
 }
 
 }  // namespace
@@ -162,56 +224,58 @@ void run_selection_stage(OperonResult& result, const OperonOptions& options) {
 OperonResult run_operon(const model::Design& design,
                         const OperonOptions& raw_options) {
   const OperonOptions options = with_threads(raw_options);
+  obs::Observation run_obs;
   OperonResult result;
-  validate_inputs(result, design, options.params);
-  util::Timer timer;
+  {
+    const obs::ScopedObservation scope(run_obs);
+    OPERON_SPAN("core.run_operon");
+    validate_inputs(result, design, options.params);
+    util::Timer timer;
 
-  // Stage 1: signal processing (Fig 2, §3.1).
-  cluster::SignalProcessingOptions processing = options.processing;
-  processing.kmeans.capacity =
-      static_cast<std::size_t>(options.params.optical.wdm_capacity);
-  result.processing = cluster::build_hyper_nets(design, processing);
-  result.times.processing_s = timer.seconds();
-  OPERON_LOG(Info) << design.name << ": " << design.num_bits() << " bits -> "
-                   << result.processing.num_hyper_nets() << " hyper nets, "
-                   << result.processing.num_hyper_pins() << " hyper pins";
+    // Stage 1: signal processing (Fig 2, §3.1).
+    {
+      OPERON_SPAN("core.processing");
+      cluster::SignalProcessingOptions processing = options.processing;
+      processing.kmeans.capacity =
+          static_cast<std::size_t>(options.params.optical.wdm_capacity);
+      result.processing = cluster::build_hyper_nets(design, processing);
+    }
+    result.stats.times.processing_s = timer.seconds();
+    OPERON_LOG(Info) << design.name << ": " << design.num_bits() << " bits -> "
+                     << result.processing.num_hyper_nets() << " hyper nets, "
+                     << result.processing.num_hyper_pins() << " hyper pins";
 
-  // Stage 2: co-design candidate generation (§3.2).
-  timer.reset();
-  result.sets = codesign::generate_candidates(
-      design, result.processing.hyper_nets, options.params, options.generation);
-  result.times.generation_s = timer.seconds();
-  report_budget_infeasible_nets(result);
-
-  // Stage 3: solution determination (§3.3 / §3.4).
-  timer.reset();
-  run_selection_stage(result, options);
-  result.times.selection_s = timer.seconds();
-
-  // Stage 4: WDM placement + assignment (§4).
-  if (options.run_wdm_stage) {
+    // Stage 2: co-design candidate generation (§3.2).
     timer.reset();
-    result.wdm_plan = wdm::plan_wdm_assignment(
-        result.sets, result.selection, options.params.optical, options.wdm);
-    result.times.wdm_s = timer.seconds();
+    {
+      OPERON_SPAN("core.generation");
+      result.sets = codesign::generate_candidates(design,
+                                                  result.processing.hyper_nets,
+                                                  options.params,
+                                                  options.generation);
+    }
+    result.stats.times.generation_s = timer.seconds();
+
+    run_pipeline_tail(result, options);
+    finalize_stats(result, run_obs);
   }
+  absorb_into_ambient(run_obs);
   return result;
 }
 
 OperonResult run_selection_only(std::vector<codesign::CandidateSet> sets,
                                 const OperonOptions& raw_options) {
   const OperonOptions options = with_threads(raw_options);
+  obs::Observation run_obs;
   OperonResult result;
   result.sets = std::move(sets);
-  util::Timer timer;
-  run_selection_stage(result, options);
-  result.times.selection_s = timer.seconds();
-  if (options.run_wdm_stage) {
-    timer.reset();
-    result.wdm_plan = wdm::plan_wdm_assignment(
-        result.sets, result.selection, options.params.optical, options.wdm);
-    result.times.wdm_s = timer.seconds();
+  {
+    const obs::ScopedObservation scope(run_obs);
+    OPERON_SPAN("core.run_selection_only");
+    run_pipeline_tail(result, options);
+    finalize_stats(result, run_obs);
   }
+  absorb_into_ambient(run_obs);
   return result;
 }
 

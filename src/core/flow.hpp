@@ -9,6 +9,7 @@
 #include "cluster/hypernet_builder.hpp"
 #include "codesign/generate.hpp"
 #include "codesign/ilp_select.hpp"
+#include "core/stats.hpp"
 #include "lr/lr.hpp"
 #include "model/design.hpp"
 #include "model/diagnostic.hpp"
@@ -41,30 +42,16 @@ struct OperonOptions {
   std::size_t threads = 1;
 };
 
-struct StageTimes {
-  double processing_s = 0.0;
-  double generation_s = 0.0;
-  double selection_s = 0.0;
-  double wdm_s = 0.0;
-
-  double total_s() const {
-    return processing_s + generation_s + selection_s + wdm_s;
-  }
-};
-
 struct OperonResult {
   cluster::SignalProcessingResult processing;
   std::vector<codesign::CandidateSet> sets;
   codesign::Selection selection;
-  double power_pj = 0.0;
   codesign::ViolationStats violations;
-  bool timed_out = false;
-  bool proven_optimal = false;
-  std::size_t lr_iterations = 0;
-  std::size_t optical_nets = 0;
-  std::size_t electrical_nets = 0;
   wdm::WdmPlan wdm_plan;
-  StageTimes times;
+  /// Structured run report: summary scalars (power, net counts, solver
+  /// outcome, stage times) plus the full metrics snapshot from the
+  /// per-run observation. See core/stats.hpp.
+  RunStats stats;
   /// Warnings accumulated along the run: degenerate-but-processable input
   /// findings from model::validate, per-net infeasible loss budgets, and
   /// degradation events (solver time limit, LR non-convergence, fallback
@@ -74,6 +61,17 @@ struct OperonResult {
   /// True when any degradation rung fired (the selection came from a
   /// weaker solver or fallback than the one requested).
   bool degraded = false;
+
+  // Deprecated accessors for the pre-RunStats field names; new code
+  // should read `stats` directly. Kept as methods (not fields) so stale
+  // writes fail to compile instead of silently diverging from stats.
+  double power_pj() const { return stats.power_pj; }
+  bool timed_out() const { return stats.timed_out; }
+  bool proven_optimal() const { return stats.proven_optimal; }
+  std::size_t lr_iterations() const { return stats.lr_iterations; }
+  std::size_t optical_nets() const { return stats.optical_nets; }
+  std::size_t electrical_nets() const { return stats.electrical_nets; }
+  const StageTimes& times() const { return stats.times; }
 };
 
 /// Run the full OPERON pipeline on a design.

@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 #include "util/json.hpp"
 
@@ -20,7 +21,9 @@ const char* solver_name(SolverKind kind) {
 
 std::string report_json(const model::Design& design,
                         const OperonResult& result,
-                        const OperonOptions& options, bool include_per_net) {
+                        const OperonOptions& options,
+                        const ReportOptions& report) {
+  const RunStats& stats = result.stats;
   util::JsonWriter json;
   json.begin_object();
 
@@ -41,15 +44,15 @@ std::string report_json(const model::Design& design,
 
   json.key("solver").begin_object();
   json.key("kind").value(solver_name(options.solver));
-  json.key("timed_out").value(result.timed_out);
-  json.key("proven_optimal").value(result.proven_optimal);
-  json.key("lr_iterations").value(result.lr_iterations);
+  json.key("timed_out").value(stats.timed_out);
+  json.key("proven_optimal").value(stats.proven_optimal);
+  json.key("lr_iterations").value(stats.lr_iterations);
   json.end_object();
 
   json.key("result").begin_object();
-  json.key("power_pj").value(result.power_pj);
-  json.key("optical_nets").value(result.optical_nets);
-  json.key("electrical_nets").value(result.electrical_nets);
+  json.key("power_pj").value(stats.power_pj);
+  json.key("optical_nets").value(stats.optical_nets);
+  json.key("electrical_nets").value(stats.electrical_nets);
   json.key("violated_paths").value(result.violations.violated_paths);
   json.key("worst_loss_db").value(result.violations.worst_loss_db);
   json.key("loss_budget_db").value(options.params.optical.max_loss_db);
@@ -58,7 +61,7 @@ std::string report_json(const model::Design& design,
   for (const model::Diagnostic& diagnostic : result.diagnostics) {
     json.begin_object();
     json.key("severity").value(model::to_string(diagnostic.severity));
-    json.key("code").value(diagnostic.code);
+    json.key("code").value(model::to_string(diagnostic.code));
     json.key("message").value(diagnostic.message);
     json.end_object();
   }
@@ -72,15 +75,23 @@ std::string report_json(const model::Design& design,
   json.key("feasible").value(result.wdm_plan.feasible);
   json.end_object();
 
-  json.key("runtimes_s").begin_object();
-  json.key("processing").value(result.times.processing_s);
-  json.key("generation").value(result.times.generation_s);
-  json.key("selection").value(result.times.selection_s);
-  json.key("wdm").value(result.times.wdm_s);
-  json.key("total").value(result.times.total_s());
+  if (report.timings) {
+    json.key("runtimes_s").begin_object();
+    json.key("processing").value(stats.times.processing_s);
+    json.key("generation").value(stats.times.generation_s);
+    json.key("selection").value(stats.times.selection_s);
+    json.key("wdm").value(stats.times.wdm_s);
+    json.key("total").value(stats.times.total_s());
+    json.end_object();
+  }
+
+  json.key("stats").begin_object();
+  json.key("metrics");
+  obs::write_metric_points(json, stats.metrics.points,
+                           /*include_timing=*/report.timings);
   json.end_object();
 
-  if (include_per_net) {
+  if (report.per_net) {
     json.key("nets").begin_array();
     for (std::size_t i = 0; i < result.sets.size(); ++i) {
       const auto& set = result.sets[i];
@@ -107,12 +118,20 @@ std::string report_json(const model::Design& design,
   return json.str();
 }
 
+std::string report_json(const model::Design& design,
+                        const OperonResult& result,
+                        const OperonOptions& options, bool include_per_net) {
+  ReportOptions report;
+  report.per_net = include_per_net;
+  return report_json(design, result, options, report);
+}
+
 void write_report(const std::string& path, const model::Design& design,
                   const OperonResult& result, const OperonOptions& options,
-                  bool include_per_net) {
+                  const ReportOptions& report) {
   std::ofstream os(path);
   OPERON_CHECK_MSG(os.good(), "cannot open '" << path << "' for writing");
-  os << report_json(design, result, options, include_per_net) << "\n";
+  os << report_json(design, result, options, report) << "\n";
   OPERON_CHECK_MSG(os.good(), "write failed for '" << path << "'");
 }
 

@@ -1,7 +1,9 @@
 #pragma once
 // Machine-readable run reports: serialize an OperonResult (and the
 // design/solver context) as JSON for external tooling and regression
-// tracking.
+// tracking. The summary values come from OperonResult::stats (the
+// structured RunStats surface); the additive "stats" block renders the
+// run's full metrics snapshot.
 
 #include <string>
 
@@ -9,17 +11,32 @@
 
 namespace operon::core {
 
+struct ReportOptions {
+  /// Emit the per-net routing-decision array (can dominate the document
+  /// on large designs).
+  bool per_net = true;
+  /// Emit wall-clock data: the "runtimes_s" block and timing-flagged
+  /// metric points. Off = byte-stable output across identical runs
+  /// (CI-diffable); the CLI flag is --no-timings.
+  bool timings = true;
+};
+
 /// JSON document summarizing a run: design stats, per-stage runtimes,
-/// power breakdown, violation stats, WDM plan counters, and per-net
-/// routing decisions (kind, power, conversions).
+/// power breakdown, violation stats, WDM plan counters, the metrics
+/// snapshot, and per-net routing decisions (kind, power, conversions).
 std::string report_json(const model::Design& design,
                         const OperonResult& result,
                         const OperonOptions& options,
-                        bool include_per_net = true);
+                        const ReportOptions& report = {});
+
+/// Deprecated compatibility overload (pre-ReportOptions signature).
+std::string report_json(const model::Design& design,
+                        const OperonResult& result,
+                        const OperonOptions& options, bool include_per_net);
 
 /// Convenience: write report_json to a file (throws on I/O failure).
 void write_report(const std::string& path, const model::Design& design,
                   const OperonResult& result, const OperonOptions& options,
-                  bool include_per_net = true);
+                  const ReportOptions& report = {});
 
 }  // namespace operon::core

@@ -1,0 +1,53 @@
+#pragma once
+// RunStats — the structured run-report surface of an OPERON run. The
+// scalar summary fields that used to live loose on OperonResult
+// (power, net counts, solver outcome flags, stage times) live here,
+// together with the run's full metrics snapshot taken from the per-run
+// obs::Observation that core's pipeline driver installs around every
+// run. `metrics` is the source of truth for anything a report wants to
+// say beyond the summary scalars; report_json renders it additively.
+//
+// Determinism contract: everything in RunStats except `times` and the
+// metric points flagged `timing` is bit-identical at any
+// OperonOptions::threads value (tests/parallel_test.cpp enforces it).
+
+#include <cstddef>
+
+#include "obs/metrics.hpp"
+
+namespace operon::core {
+
+/// Wall-clock stage runtimes (Table 1 CPU(s) columns). Never part of
+/// determinism comparisons.
+struct StageTimes {
+  double processing_s = 0.0;
+  double generation_s = 0.0;
+  double selection_s = 0.0;
+  double wdm_s = 0.0;
+
+  double total_s() const {
+    return processing_s + generation_s + selection_s + wdm_s;
+  }
+};
+
+struct RunStats {
+  /// Total selected power, pJ/bit-cycle (Formulation (3) objective).
+  double power_pj = 0.0;
+  /// Nets whose selected candidate uses any optical segment / none.
+  std::size_t optical_nets = 0;
+  std::size_t electrical_nets = 0;
+  /// Exact solvers only: hit the time limit / proved optimality.
+  bool timed_out = false;
+  bool proven_optimal = false;
+  /// LR solver only: iterations until convergence or the cap.
+  std::size_t lr_iterations = 0;
+  StageTimes times;
+  /// Every metric the run's instrumentation registered, in registration
+  /// order: solver node counts, LR trajectory histograms, MCMF
+  /// augmentations, crossing-cache counters, k-means iterations, stage
+  /// runtimes (flagged timing)... See DESIGN.md "Observability" for the
+  /// name vocabulary.
+  obs::MetricsSnapshot metrics;
+};
+
+}  // namespace operon::core

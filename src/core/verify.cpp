@@ -10,27 +10,27 @@ namespace operon::core {
 
 namespace {
 
-void fail(std::vector<model::Diagnostic>& out, std::string code,
+void fail(std::vector<model::Diagnostic>& out, model::DiagCode code,
           std::string message) {
   if (out.size() >= model::kMaxDiagnostics) return;
-  out.push_back({model::Severity::Error, std::move(code), std::move(message)});
+  out.push_back({model::Severity::Error, code, std::move(message)});
 }
 
 void verify_wdm_plan(std::vector<model::Diagnostic>& out,
                      const OperonResult& result) {
   const wdm::WdmPlan& plan = result.wdm_plan;
   if (plan.final_wdms > plan.initial_wdms) {
-    fail(out, "wdm-counter-mismatch",
+    fail(out, model::DiagCode::WdmCounterMismatch,
          util::format("final_wdms (%zu) exceeds initial_wdms (%zu)",
                       plan.final_wdms, plan.initial_wdms));
   }
   if (plan.final_wdms > plan.wdms.size()) {
-    fail(out, "wdm-counter-mismatch",
+    fail(out, model::DiagCode::WdmCounterMismatch,
          util::format("final_wdms (%zu) exceeds placed WDM count (%zu)",
                       plan.final_wdms, plan.wdms.size()));
   }
   if (!std::isfinite(plan.total_move_um) || plan.total_move_um < 0) {
-    fail(out, "wdm-move-invalid",
+    fail(out, model::DiagCode::WdmMoveInvalid,
          util::format("total_move_um = %g is invalid", plan.total_move_um));
   }
 
@@ -42,7 +42,7 @@ void verify_wdm_plan(std::vector<model::Diagnostic>& out,
   for (const wdm::ChannelAllocation& alloc : plan.allocations) {
     if (alloc.connection >= plan.connections.size() ||
         alloc.wdm >= plan.wdms.size()) {
-      fail(out, "wdm-allocation-out-of-range",
+      fail(out, model::DiagCode::WdmAllocationOutOfRange,
            util::format("allocation references connection %zu / wdm %zu "
                         "(have %zu connections, %zu wdms)",
                         alloc.connection, alloc.wdm, plan.connections.size(),
@@ -54,7 +54,7 @@ void verify_wdm_plan(std::vector<model::Diagnostic>& out,
   }
   for (std::size_t w = 0; w < plan.wdms.size(); ++w) {
     if (load[w] > static_cast<std::size_t>(plan.wdms[w].capacity)) {
-      fail(out, "wdm-over-capacity",
+      fail(out, model::DiagCode::WdmOverCapacity,
            util::format("wdm %zu carries %zu channels, capacity %d", w,
                         load[w], plan.wdms[w].capacity));
     }
@@ -62,7 +62,7 @@ void verify_wdm_plan(std::vector<model::Diagnostic>& out,
   if (plan.feasible) {
     for (std::size_t c = 0; c < plan.connections.size(); ++c) {
       if (allocated[c] != plan.connections[c].bits) {
-        fail(out, "wdm-allocation-incomplete",
+        fail(out, model::DiagCode::WdmAllocationIncomplete,
              util::format("connection %zu allocated %zu of %zu channels", c,
                           allocated[c], plan.connections[c].bits));
       }
@@ -77,14 +77,14 @@ std::vector<model::Diagnostic> verify_result(const OperonResult& result,
   std::vector<model::Diagnostic> out;
 
   if (result.selection.size() != result.sets.size()) {
-    fail(out, "selection-size-mismatch",
+    fail(out, model::DiagCode::SelectionSizeMismatch,
          util::format("selection has %zu entries for %zu candidate sets",
                       result.selection.size(), result.sets.size()));
     return out;  // everything below indexes selection per set
   }
   for (std::size_t i = 0; i < result.sets.size(); ++i) {
     if (result.selection[i] >= result.sets[i].options.size()) {
-      fail(out, "selection-out-of-range",
+      fail(out, model::DiagCode::SelectionOutOfRange,
            util::format("net %zu selects candidate %zu of %zu", i,
                         result.selection[i], result.sets[i].options.size()));
       return out;
@@ -93,17 +93,17 @@ std::vector<model::Diagnostic> verify_result(const OperonResult& result,
 
   codesign::SelectionEvaluator evaluator(result.sets, options.params);
   const double power = evaluator.total_power(result.selection);
-  const double scale = std::max({std::abs(power), std::abs(result.power_pj),
+  const double scale = std::max({std::abs(power), std::abs(result.stats.power_pj),
                                  1.0});
-  if (!std::isfinite(result.power_pj) ||
-      std::abs(power - result.power_pj) > 1e-9 * scale) {
-    fail(out, "power-mismatch",
+  if (!std::isfinite(result.stats.power_pj) ||
+      std::abs(power - result.stats.power_pj) > 1e-9 * scale) {
+    fail(out, model::DiagCode::PowerMismatch,
          util::format("reported power %.12g pJ, evaluator says %.12g pJ",
-                      result.power_pj, power));
+                      result.stats.power_pj, power));
   }
   const codesign::ViolationStats stats = evaluator.violations(result.selection);
   if (!stats.clean()) {
-    fail(out, "plan-violates-detection",
+    fail(out, model::DiagCode::PlanViolatesDetection,
          util::format("%zu detection path(s) exceed the loss budget "
                       "(worst %.3f dB)",
                       stats.violated_paths, stats.worst_loss_db));
@@ -118,11 +118,11 @@ std::vector<model::Diagnostic> verify_result(const OperonResult& result,
       ++optical;
     }
   }
-  if (optical != result.optical_nets || electrical != result.electrical_nets) {
-    fail(out, "net-counter-mismatch",
+  if (optical != result.stats.optical_nets || electrical != result.stats.electrical_nets) {
+    fail(out, model::DiagCode::NetCounterMismatch,
          util::format("reported %zu optical / %zu electrical nets, "
                       "recomputed %zu / %zu",
-                      result.optical_nets, result.electrical_nets, optical,
+                      result.stats.optical_nets, result.stats.electrical_nets, optical,
                       electrical));
   }
 

@@ -4,6 +4,7 @@
 #include <limits>
 #include <queue>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace operon::flow {
@@ -105,17 +106,21 @@ FlowResult MinCostMaxFlow::solve(NodeId s, NodeId t, std::int64_t limit) {
   OPERON_CHECK(t < num_nodes_);
   OPERON_CHECK(s != t);
 
+  FlowResult result;
   if (has_negative_costs_) {
     bellman_ford(s);
+    ++result.potential_updates;
+    obs::add_counter("flow.mcmf.bellman_ford_runs");
   } else {
     std::fill(potential_.begin(), potential_.end(), 0.0);
   }
 
-  FlowResult result;
   std::vector<double> dist;
   std::vector<std::pair<NodeId, std::size_t>> parent;
   while (result.max_flow < limit && dijkstra(s, t, dist, parent)) {
     // Update potentials with the new shortest distances.
+    ++result.augmenting_paths;
+    ++result.potential_updates;
     for (NodeId u = 0; u < num_nodes_; ++u) {
       if (dist[u] < kInf) potential_[u] += dist[u];
     }
@@ -145,6 +150,9 @@ FlowResult MinCostMaxFlow::solve(NodeId s, NodeId t, std::int64_t limit) {
     const auto [node, pos] = edge_handles_[i];
     edges_[i].flow = edges_[i].capacity - adjacency_[node][pos].capacity;
   }
+  obs::add_counter("flow.mcmf.solves");
+  obs::add_counter("flow.mcmf.augmenting_paths", result.augmenting_paths);
+  obs::add_counter("flow.mcmf.potential_updates", result.potential_updates);
   return result;
 }
 

@@ -29,6 +29,11 @@ struct FlowResult {
   std::int64_t max_flow = 0;
   double total_cost = 0.0;
   bool feasible = true;  ///< set by solve_with_demand when demand met
+  std::size_t augmenting_paths = 0;
+  /// Johnson-potential recomputations: the initial Bellman–Ford pass
+  /// (when negative costs exist) plus one Dijkstra-driven update per
+  /// augmentation.
+  std::size_t potential_updates = 0;
 };
 
 class MinCostMaxFlow {

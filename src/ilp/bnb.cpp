@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 
@@ -76,21 +77,31 @@ MipResult solve_mip(const Model& model, const MipOptions& options) {
     }
     Node node = std::move(stack.back());
     stack.pop_back();
-    if (node.bound >= incumbent_obj - options.gap_tol) continue;  // pruned
+    if (node.bound >= incumbent_obj - options.gap_tol) {
+      ++result.nodes_pruned;
+      continue;
+    }
 
     ++result.nodes_explored;
     const LpResult lp =
         solve_lp_with_bounds(model, node.lower, node.upper, options.lp);
-    if (lp.status == LpStatus::Infeasible) continue;
+    if (lp.status == LpStatus::Infeasible) {
+      ++result.nodes_pruned;
+      continue;
+    }
     OPERON_CHECK_MSG(lp.status == LpStatus::Optimal,
                      "LP relaxation unbounded or hit iteration limit in B&B");
     const double lp_obj = sense * lp.objective;
-    if (lp_obj >= incumbent_obj - options.gap_tol) continue;
+    if (lp_obj >= incumbent_obj - options.gap_tol) {
+      ++result.nodes_pruned;
+      continue;
+    }
 
     const std::size_t branch_var =
         most_fractional(model, lp.values, options.integrality_tol);
     if (branch_var == lp.values.size()) {
       // Integral solution: new incumbent.
+      ++result.incumbent_updates;
       incumbent_obj = lp_obj;
       incumbent = lp.values;
       // Snap integral values exactly.
@@ -118,6 +129,11 @@ MipResult solve_mip(const Model& model, const MipOptions& options) {
       stack.push_back(std::move(down));
     }
   }
+
+  obs::add_counter("ilp.bnb.solves");
+  obs::add_counter("ilp.bnb.nodes_explored", result.nodes_explored);
+  obs::add_counter("ilp.bnb.nodes_pruned", result.nodes_pruned);
+  obs::add_counter("ilp.bnb.incumbent_updates", result.incumbent_updates);
 
   result.has_incumbent = !incumbent.empty();
   if (result.has_incumbent) {

@@ -28,6 +28,10 @@ struct MipResult {
   double objective = 0.0;
   std::vector<double> values;
   std::size_t nodes_explored = 0;
+  /// Nodes discarded without branching: bound-pruned at pop, LP
+  /// infeasible, or LP objective no better than the incumbent.
+  std::size_t nodes_pruned = 0;
+  std::size_t incumbent_updates = 0;
   bool has_incumbent = false;
 };
 

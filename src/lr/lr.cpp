@@ -1,8 +1,10 @@
 #include "lr/lr.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -95,6 +97,7 @@ LrResult solve_selection_lr(std::span<const CandidateSet> sets,
   double best_feasible_power = std::numeric_limits<double>::infinity();
 
   for (std::size_t iter = 1; iter <= options.max_iterations; ++iter) {
+    OPERON_SPAN("lr.iteration");
     result.iterations = iter;
 
     // Line 5: per-net best-weight candidate. The net sweep stays serial
@@ -142,8 +145,10 @@ LrResult solve_selection_lr(std::span<const CandidateSet> sets,
     // so nets fan out over the pool; the max reduction folds per-net
     // partials in index order (max is exact, so this is belt and braces).
     std::vector<double> net_max(evaluator.num_nets(), 0.0);
+    std::vector<double> net_norm2(evaluator.num_nets(), 0.0);
     pool.parallel_for(evaluator.num_nets(), [&](std::size_t i) {
       double local_max = 0.0;
+      double local_norm2 = 0.0;
       for (std::size_t c = 0; c < evaluator.set(i).options.size(); ++c) {
         const bool selected = (selection[i] == c);
         for (std::size_t p = 0; p < lambda[i][c].size(); ++p) {
@@ -152,6 +157,7 @@ LrResult solve_selection_lr(std::span<const CandidateSet> sets,
           const double loss =
               selected ? evaluator.path_loss_db(selection, i, c, p) : 0.0;
           const double gradient = (loss - lm) / lm;
+          local_norm2 += gradient * gradient;
           double& value = lambda[i][c][p];
           value = std::max(0.0, value + step * gradient *
                                     evaluator.set(i).electrical().power_pj);
@@ -159,12 +165,17 @@ LrResult solve_selection_lr(std::span<const CandidateSet> sets,
         }
       }
       net_max[i] = local_max;
+      net_norm2[i] = local_norm2;
     });
     double max_lambda = 0.0;
     for (double value : net_max) max_lambda = std::max(max_lambda, value);
+    // Serial fold in index order: the FP sum is thread-count-invariant.
+    double norm2 = 0.0;
+    for (double value : net_norm2) norm2 += value;
 
     result.trace.push_back({power, stats.violated_paths,
-                            stats.total_excess_db, max_lambda});
+                            stats.total_excess_db, max_lambda,
+                            std::sqrt(norm2)});
     if (stats.clean() && power < best_feasible_power) {
       best_feasible_power = power;
       best_feasible = selection;
@@ -208,6 +219,14 @@ LrResult solve_selection_lr(std::span<const CandidateSet> sets,
   result.power_pj = evaluator.total_power(result.selection);
   result.violations = evaluator.violations(result.selection);
   result.runtime_s = timer.seconds();
+
+  obs::add_counter("lr.solves");
+  obs::add_counter("lr.iterations", result.iterations);
+  obs::set_gauge("lr.converged", result.converged ? 1.0 : 0.0);
+  for (const LrIterationStats& step_stats : result.trace) {
+    obs::observe("lr.subgradient_norm", step_stats.subgradient_norm);
+    obs::observe("lr.max_multiplier", step_stats.max_multiplier);
+  }
   return result;
 }
 

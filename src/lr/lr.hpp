@@ -44,6 +44,10 @@ struct LrIterationStats {
   std::size_t violated_paths = 0;
   double total_excess_db = 0.0;
   double max_multiplier = 0.0;
+  /// L2 norm of the sub-gradient over every (net, candidate, path)
+  /// multiplier entry ((loss - lm) / lm per entry). Folded from per-net
+  /// partials in index order, so bit-identical at any thread count.
+  double subgradient_norm = 0.0;
 };
 
 struct LrResult {

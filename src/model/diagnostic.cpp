@@ -22,17 +22,17 @@ class Collector {
   explicit Collector(std::vector<Diagnostic>& out) : out_(out) {}
 
   template <typename... Parts>
-  void add(Severity severity, std::string_view code, Parts&&... parts) {
+  void add(Severity severity, DiagCode code, Parts&&... parts) {
     ++total_;
     if (out_.size() >= kMaxDiagnostics) return;
     std::ostringstream os;
     (os << ... << parts);
-    out_.push_back({severity, std::string(code), os.str()});
+    out_.push_back({severity, code, os.str()});
   }
 
   void finish() {
     if (total_ > kMaxDiagnostics) {
-      out_.push_back({Severity::Warning, "diagnostics-truncated",
+      out_.push_back({Severity::Warning, DiagCode::DiagnosticsTruncated,
                       util::format("%zu further diagnostics suppressed",
                                    total_ - kMaxDiagnostics)});
     }
@@ -47,13 +47,13 @@ void check_pin(Collector& collect, const Design& design,
                const SignalGroup& group, std::size_t bit_index, const Pin& pin,
                const char* what) {
   if (!finite(pin.location)) {
-    collect.add(Severity::Error, "pin-not-finite", what, " pin of bit ",
+    collect.add(Severity::Error, DiagCode::PinNotFinite, what, " pin of bit ",
                 bit_index, " in group '", group.name,
                 "' has a non-finite coordinate (", pin.location, ")");
     return;  // contains() is meaningless on NaN
   }
   if (!design.chip.is_empty() && !design.chip.contains(pin.location)) {
-    collect.add(Severity::Error, "pin-off-chip", what, " pin of bit ",
+    collect.add(Severity::Error, DiagCode::PinOffChip, what, " pin of bit ",
                 bit_index, " in group '", group.name, "' at ", pin.location,
                 " is outside the chip");
   }
@@ -65,9 +65,100 @@ std::string_view to_string(Severity severity) {
   return severity == Severity::Error ? "error" : "warning";
 }
 
+std::string_view to_string(DiagCode code) {
+  switch (code) {
+    case DiagCode::ChipNotFinite: return "chip-not-finite";
+    case DiagCode::ChipEmpty: return "chip-empty";
+    case DiagCode::DesignEmpty: return "design-empty";
+    case DiagCode::GroupEmpty: return "group-empty";
+    case DiagCode::PinRoleMislabeled: return "pin-role-mislabeled";
+    case DiagCode::PinNotFinite: return "pin-not-finite";
+    case DiagCode::PinOffChip: return "pin-off-chip";
+    case DiagCode::BitNoSinks: return "bit-no-sinks";
+    case DiagCode::DuplicatePin: return "duplicate-pin";
+    case DiagCode::DiagnosticsTruncated: return "diagnostics-truncated";
+    case DiagCode::ParamAlphaInvalid: return "param-alpha-invalid";
+    case DiagCode::ParamBetaInvalid: return "param-beta-invalid";
+    case DiagCode::ParamSplitterInvalid: return "param-splitter-invalid";
+    case DiagCode::ParamPmodInvalid: return "param-pmod-invalid";
+    case DiagCode::ParamPdetInvalid: return "param-pdet-invalid";
+    case DiagCode::ParamLossBudgetInvalid: return "param-loss-budget-invalid";
+    case DiagCode::ParamWdmCapacityInvalid:
+      return "param-wdm-capacity-invalid";
+    case DiagCode::ParamWdmDistanceInvalid:
+      return "param-wdm-distance-invalid";
+    case DiagCode::ParamSwitchingInvalid: return "param-switching-invalid";
+    case DiagCode::ParamFrequencyInvalid: return "param-frequency-invalid";
+    case DiagCode::ParamVoltageInvalid: return "param-voltage-invalid";
+    case DiagCode::ParamCapacitanceInvalid:
+      return "param-capacitance-invalid";
+    case DiagCode::NetLossBudgetInfeasible:
+      return "net-loss-budget-infeasible";
+    case DiagCode::SolverTimeLimit: return "solver-time-limit";
+    case DiagCode::LrNoConvergence: return "lr-no-convergence";
+    case DiagCode::SelectionInfeasibleFallback:
+      return "selection-infeasible-fallback";
+    case DiagCode::WdmCounterMismatch: return "wdm-counter-mismatch";
+    case DiagCode::WdmMoveInvalid: return "wdm-move-invalid";
+    case DiagCode::WdmAllocationOutOfRange:
+      return "wdm-allocation-out-of-range";
+    case DiagCode::WdmOverCapacity: return "wdm-over-capacity";
+    case DiagCode::WdmAllocationIncomplete:
+      return "wdm-allocation-incomplete";
+    case DiagCode::SelectionSizeMismatch: return "selection-size-mismatch";
+    case DiagCode::SelectionOutOfRange: return "selection-out-of-range";
+    case DiagCode::PowerMismatch: return "power-mismatch";
+    case DiagCode::PlanViolatesDetection: return "plan-violates-detection";
+    case DiagCode::NetCounterMismatch: return "net-counter-mismatch";
+  }
+  return "?";
+}
+
+std::span<const DiagCode> all_diag_codes() {
+  static constexpr DiagCode kAll[] = {
+      DiagCode::ChipNotFinite,
+      DiagCode::ChipEmpty,
+      DiagCode::DesignEmpty,
+      DiagCode::GroupEmpty,
+      DiagCode::PinRoleMislabeled,
+      DiagCode::PinNotFinite,
+      DiagCode::PinOffChip,
+      DiagCode::BitNoSinks,
+      DiagCode::DuplicatePin,
+      DiagCode::DiagnosticsTruncated,
+      DiagCode::ParamAlphaInvalid,
+      DiagCode::ParamBetaInvalid,
+      DiagCode::ParamSplitterInvalid,
+      DiagCode::ParamPmodInvalid,
+      DiagCode::ParamPdetInvalid,
+      DiagCode::ParamLossBudgetInvalid,
+      DiagCode::ParamWdmCapacityInvalid,
+      DiagCode::ParamWdmDistanceInvalid,
+      DiagCode::ParamSwitchingInvalid,
+      DiagCode::ParamFrequencyInvalid,
+      DiagCode::ParamVoltageInvalid,
+      DiagCode::ParamCapacitanceInvalid,
+      DiagCode::NetLossBudgetInfeasible,
+      DiagCode::SolverTimeLimit,
+      DiagCode::LrNoConvergence,
+      DiagCode::SelectionInfeasibleFallback,
+      DiagCode::WdmCounterMismatch,
+      DiagCode::WdmMoveInvalid,
+      DiagCode::WdmAllocationOutOfRange,
+      DiagCode::WdmOverCapacity,
+      DiagCode::WdmAllocationIncomplete,
+      DiagCode::SelectionSizeMismatch,
+      DiagCode::SelectionOutOfRange,
+      DiagCode::PowerMismatch,
+      DiagCode::PlanViolatesDetection,
+      DiagCode::NetCounterMismatch,
+  };
+  return kAll;
+}
+
 std::ostream& operator<<(std::ostream& os, const Diagnostic& diagnostic) {
   return os << '[' << to_string(diagnostic.severity) << "] "
-            << diagnostic.code << ": " << diagnostic.message;
+            << to_string(diagnostic.code) << ": " << diagnostic.message;
 }
 
 bool has_errors(std::span<const Diagnostic> diagnostics) {
@@ -97,53 +188,53 @@ std::vector<Diagnostic> validate(const Design& design) {
       std::isfinite(design.chip.xlo) && std::isfinite(design.chip.ylo) &&
       std::isfinite(design.chip.xhi) && std::isfinite(design.chip.yhi);
   if (!chip_finite) {
-    collect.add(Severity::Error, "chip-not-finite", "design '", design.name,
+    collect.add(Severity::Error, DiagCode::ChipNotFinite, "design '", design.name,
                 "' has a non-finite chip outline");
   } else if (design.chip.is_empty()) {
-    collect.add(Severity::Error, "chip-empty", "design '", design.name,
+    collect.add(Severity::Error, DiagCode::ChipEmpty, "design '", design.name,
                 "' has an empty chip outline");
   }
   if (design.groups.empty()) {
-    collect.add(Severity::Warning, "design-empty", "design '", design.name,
+    collect.add(Severity::Warning, DiagCode::DesignEmpty, "design '", design.name,
                 "' has no signal groups (nothing to route)");
   }
 
   for (const SignalGroup& group : design.groups) {
     if (group.bits.empty()) {
-      collect.add(Severity::Error, "group-empty", "group '", group.name,
+      collect.add(Severity::Error, DiagCode::GroupEmpty, "group '", group.name,
                   "' has no bits");
       continue;
     }
     for (std::size_t b = 0; b < group.bits.size(); ++b) {
       const SignalBit& bit = group.bits[b];
       if (bit.source.role != PinRole::Source) {
-        collect.add(Severity::Error, "pin-role-mislabeled", "source pin of bit ",
+        collect.add(Severity::Error, DiagCode::PinRoleMislabeled, "source pin of bit ",
                     b, " in group '", group.name, "' is not labeled Source");
       }
       check_pin(collect, design, group, b, bit.source, "source");
       if (bit.sinks.empty()) {
-        collect.add(Severity::Error, "bit-no-sinks", "bit ", b, " in group '",
+        collect.add(Severity::Error, DiagCode::BitNoSinks, "bit ", b, " in group '",
                     group.name, "' has no sinks");
         continue;
       }
       for (std::size_t s = 0; s < bit.sinks.size(); ++s) {
         const Pin& sink = bit.sinks[s];
         if (sink.role != PinRole::Sink) {
-          collect.add(Severity::Error, "pin-role-mislabeled", "sink pin ", s,
+          collect.add(Severity::Error, DiagCode::PinRoleMislabeled, "sink pin ", s,
                       " of bit ", b, " in group '", group.name,
                       "' is not labeled Sink");
         }
         check_pin(collect, design, group, b, sink, "sink");
         if (finite(sink.location) && finite(bit.source.location) &&
             sink.location == bit.source.location) {
-          collect.add(Severity::Warning, "duplicate-pin", "sink pin ", s,
+          collect.add(Severity::Warning, DiagCode::DuplicatePin, "sink pin ", s,
                       " of bit ", b, " in group '", group.name,
                       "' coincides with its source at ", sink.location);
         }
         for (std::size_t t = 0; t < s; ++t) {
           if (finite(sink.location) &&
               sink.location == bit.sinks[t].location) {
-            collect.add(Severity::Warning, "duplicate-pin", "sink pins ", t,
+            collect.add(Severity::Warning, DiagCode::DuplicatePin, "sink pins ", t,
                         " and ", s, " of bit ", b, " in group '", group.name,
                         "' coincide at ", sink.location);
             break;
@@ -159,7 +250,7 @@ std::vector<Diagnostic> validate(const Design& design) {
 std::vector<Diagnostic> validate(const TechParams& params) {
   std::vector<Diagnostic> out;
   Collector collect(out);
-  const auto require = [&](bool ok, std::string_view code, const char* what,
+  const auto require = [&](bool ok, DiagCode code, const char* what,
                            double value) {
     if (!ok) {
       collect.add(Severity::Error, code, what, " = ", value, " is invalid");
@@ -167,35 +258,35 @@ std::vector<Diagnostic> validate(const TechParams& params) {
   };
   const OpticalParams& o = params.optical;
   require(std::isfinite(o.alpha_db_per_um) && o.alpha_db_per_um >= 0,
-          "param-alpha-invalid", "optical.alpha_db_per_um", o.alpha_db_per_um);
+          DiagCode::ParamAlphaInvalid, "optical.alpha_db_per_um", o.alpha_db_per_um);
   require(std::isfinite(o.beta_db_per_crossing) && o.beta_db_per_crossing >= 0,
-          "param-beta-invalid", "optical.beta_db_per_crossing",
+          DiagCode::ParamBetaInvalid, "optical.beta_db_per_crossing",
           o.beta_db_per_crossing);
   require(std::isfinite(o.splitter_excess_db) && o.splitter_excess_db >= 0,
-          "param-splitter-invalid", "optical.splitter_excess_db",
+          DiagCode::ParamSplitterInvalid, "optical.splitter_excess_db",
           o.splitter_excess_db);
   require(std::isfinite(o.pmod_pj_per_bit) && o.pmod_pj_per_bit >= 0,
-          "param-pmod-invalid", "optical.pmod_pj_per_bit", o.pmod_pj_per_bit);
+          DiagCode::ParamPmodInvalid, "optical.pmod_pj_per_bit", o.pmod_pj_per_bit);
   require(std::isfinite(o.pdet_pj_per_bit) && o.pdet_pj_per_bit >= 0,
-          "param-pdet-invalid", "optical.pdet_pj_per_bit", o.pdet_pj_per_bit);
+          DiagCode::ParamPdetInvalid, "optical.pdet_pj_per_bit", o.pdet_pj_per_bit);
   require(std::isfinite(o.max_loss_db) && o.max_loss_db > 0,
-          "param-loss-budget-invalid", "optical.max_loss_db", o.max_loss_db);
-  require(o.wdm_capacity > 0, "param-wdm-capacity-invalid",
+          DiagCode::ParamLossBudgetInvalid, "optical.max_loss_db", o.max_loss_db);
+  require(o.wdm_capacity > 0, DiagCode::ParamWdmCapacityInvalid,
           "optical.wdm_capacity", o.wdm_capacity);
   require(std::isfinite(o.dis_lower_um) && o.dis_lower_um >= 0 &&
               std::isfinite(o.dis_upper_um) && o.dis_upper_um >= o.dis_lower_um,
-          "param-wdm-distance-invalid", "optical.dis_upper_um", o.dis_upper_um);
+          DiagCode::ParamWdmDistanceInvalid, "optical.dis_upper_um", o.dis_upper_um);
   const ElectricalParams& e = params.electrical;
   require(std::isfinite(e.switching_factor) && e.switching_factor > 0,
-          "param-switching-invalid", "electrical.switching_factor",
+          DiagCode::ParamSwitchingInvalid, "electrical.switching_factor",
           e.switching_factor);
   require(std::isfinite(e.frequency_ghz) && e.frequency_ghz > 0,
-          "param-frequency-invalid", "electrical.frequency_ghz",
+          DiagCode::ParamFrequencyInvalid, "electrical.frequency_ghz",
           e.frequency_ghz);
   require(std::isfinite(e.voltage_v) && e.voltage_v > 0,
-          "param-voltage-invalid", "electrical.voltage_v", e.voltage_v);
+          DiagCode::ParamVoltageInvalid, "electrical.voltage_v", e.voltage_v);
   require(std::isfinite(e.cap_ff_per_um) && e.cap_ff_per_um > 0,
-          "param-capacitance-invalid", "electrical.cap_ff_per_um",
+          DiagCode::ParamCapacitanceInvalid, "electrical.cap_ff_per_um",
           e.cap_ff_per_um);
   collect.finish();
   return out;

@@ -25,12 +25,66 @@ enum class Severity {
 
 std::string_view to_string(Severity severity);
 
-/// One validation finding. `code` is a stable kebab-case identifier
-/// (e.g. "pin-off-chip") for tests and tooling to branch on; `message`
-/// carries the human-readable context (group, bit, value).
+/// Closed vocabulary of diagnostic codes. Every code any part of the
+/// pipeline can emit is listed here, so tests can branch on codes
+/// without string drift and enumerate them for exhaustiveness. The JSON
+/// wire format is unchanged: codes serialize as the same kebab-case
+/// strings as before via to_string (e.g. PinOffChip -> "pin-off-chip").
+enum class DiagCode {
+  // model::validate(Design)
+  ChipNotFinite,
+  ChipEmpty,
+  DesignEmpty,
+  GroupEmpty,
+  PinRoleMislabeled,
+  PinNotFinite,
+  PinOffChip,
+  BitNoSinks,
+  DuplicatePin,
+  DiagnosticsTruncated,
+  // model::validate(TechParams)
+  ParamAlphaInvalid,
+  ParamBetaInvalid,
+  ParamSplitterInvalid,
+  ParamPmodInvalid,
+  ParamPdetInvalid,
+  ParamLossBudgetInvalid,
+  ParamWdmCapacityInvalid,
+  ParamWdmDistanceInvalid,
+  ParamSwitchingInvalid,
+  ParamFrequencyInvalid,
+  ParamVoltageInvalid,
+  ParamCapacitanceInvalid,
+  // core::run_operon degradation ladder
+  NetLossBudgetInfeasible,
+  SolverTimeLimit,
+  LrNoConvergence,
+  SelectionInfeasibleFallback,
+  // core::verify_result plan audit
+  WdmCounterMismatch,
+  WdmMoveInvalid,
+  WdmAllocationOutOfRange,
+  WdmOverCapacity,
+  WdmAllocationIncomplete,
+  SelectionSizeMismatch,
+  SelectionOutOfRange,
+  PowerMismatch,
+  PlanViolatesDetection,
+  NetCounterMismatch,
+};
+
+/// Stable kebab-case identifier for `code` (the JSON wire format).
+std::string_view to_string(DiagCode code);
+
+/// Every DiagCode value, for exhaustiveness tests over to_string.
+std::span<const DiagCode> all_diag_codes();
+
+/// One validation finding. `code` is a stable identifier for tests and
+/// tooling to branch on; `message` carries the human-readable context
+/// (group, bit, value).
 struct Diagnostic {
   Severity severity = Severity::Error;
-  std::string code;
+  DiagCode code = DiagCode::ChipNotFinite;
   std::string message;
 };
 

@@ -1,0 +1,225 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace operon::obs {
+
+namespace {
+
+// Decade buckets from 1e-6 up to 1e6 cover every unit used in the
+// pipeline (seconds, dB, pJ, norms, multipliers) with one layout.
+constexpr std::array<double, 13> kBounds = {1e-6, 1e-5, 1e-4, 1e-3, 1e-2,
+                                            1e-1, 1.0,  1e1,  1e2,  1e3,
+                                            1e4,  1e5,  1e6};
+
+std::size_t bucket_index(double value) {
+  for (std::size_t i = 0; i < kBounds.size(); ++i) {
+    if (value <= kBounds[i]) return i;
+  }
+  return kBounds.size();  // overflow bucket
+}
+
+void merge_point(MetricPoint& into, const MetricPoint& from) {
+  OPERON_CHECK_MSG(into.kind == from.kind,
+                   "metric '" << into.name << "' absorbed with kind "
+                              << to_string(from.kind) << ", registered as "
+                              << to_string(into.kind));
+  switch (from.kind) {
+    case MetricKind::Counter:
+      into.count += from.count;
+      break;
+    case MetricKind::Gauge:
+      into.value = from.value;
+      into.timing = from.timing;
+      break;
+    case MetricKind::Histogram:
+      if (from.count == 0) break;
+      if (into.count == 0) {
+        into.min = from.min;
+        into.max = from.max;
+      } else {
+        into.min = std::min(into.min, from.min);
+        into.max = std::max(into.max, from.max);
+      }
+      into.count += from.count;
+      into.value += from.value;
+      for (std::size_t i = 0; i < into.buckets.size(); ++i) {
+        into.buckets[i] += from.buckets[i];
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+std::string_view to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::Counter: return "counter";
+    case MetricKind::Gauge: return "gauge";
+    case MetricKind::Histogram: return "histogram";
+  }
+  return "?";
+}
+
+std::span<const double> histogram_bounds() { return kBounds; }
+
+bool operator==(const MetricPoint& a, const MetricPoint& b) {
+  return a.name == b.name && a.kind == b.kind && a.timing == b.timing &&
+         a.count == b.count && a.value == b.value && a.min == b.min &&
+         a.max == b.max && a.buckets == b.buckets;
+}
+
+const MetricPoint* MetricsSnapshot::find(std::string_view name) const {
+  for (const MetricPoint& point : points) {
+    if (point.name == name) return &point;
+  }
+  return nullptr;
+}
+
+std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
+  const MetricPoint* point = find(name);
+  return point == nullptr ? 0 : point->count;
+}
+
+double MetricsSnapshot::gauge(std::string_view name) const {
+  const MetricPoint* point = find(name);
+  return point == nullptr ? 0.0 : point->value;
+}
+
+bool semantic_equal(const MetricsSnapshot& a, const MetricsSnapshot& b) {
+  const auto semantic_sorted = [](const MetricsSnapshot& snapshot) {
+    std::vector<MetricPoint> out;
+    for (const MetricPoint& point : snapshot.points) {
+      if (!point.timing) out.push_back(point);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const MetricPoint& x, const MetricPoint& y) {
+                return x.name < y.name;
+              });
+    return out;
+  };
+  return semantic_sorted(a) == semantic_sorted(b);
+}
+
+void write_metric_points(util::JsonWriter& json,
+                         std::span<const MetricPoint> points,
+                         bool include_timing) {
+  json.begin_array();
+  for (const MetricPoint& point : points) {
+    if (point.timing && !include_timing) continue;
+    json.begin_object();
+    json.key("name").value(point.name);
+    json.key("kind").value(to_string(point.kind));
+    if (point.timing) json.key("timing").value(true);
+    switch (point.kind) {
+      case MetricKind::Counter:
+        json.key("value").value(point.count);
+        break;
+      case MetricKind::Gauge:
+        json.key("value").value(point.value);
+        break;
+      case MetricKind::Histogram:
+        json.key("count").value(point.count);
+        json.key("sum").value(point.value);
+        json.key("min").value(point.min);
+        json.key("max").value(point.max);
+        json.key("buckets").begin_array();
+        for (const std::uint64_t bucket : point.buckets) json.value(bucket);
+        json.end_array();
+        break;
+    }
+    json.end_object();
+  }
+  json.end_array();
+}
+
+void MetricsRegistry::add_counter(std::string_view name, std::uint64_t delta) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entry(name, MetricKind::Counter).count += delta;
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, double value,
+                                bool timing) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricPoint& point = entry(name, MetricKind::Gauge);
+  point.value = value;
+  point.timing = timing;
+}
+
+void MetricsRegistry::observe(std::string_view name, double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricPoint& point = entry(name, MetricKind::Histogram);
+  if (point.count == 0) {
+    point.min = value;
+    point.max = value;
+  } else {
+    point.min = std::min(point.min, value);
+    point.max = std::max(point.max, value);
+  }
+  ++point.count;
+  point.value += value;
+  point.buckets[bucket_index(value)] += 1;
+}
+
+void MetricsRegistry::absorb(const MetricsRegistry& other) {
+  // Copy under the other's lock first so absorbing never holds both.
+  std::vector<MetricPoint> theirs;
+  {
+    const std::lock_guard<std::mutex> lock(other.mutex_);
+    theirs = other.points_;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const MetricPoint& point : theirs) {
+    merge_point(entry(point.name, point.kind), point);
+  }
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return MetricsSnapshot{points_};
+}
+
+std::string MetricsRegistry::to_json() const {
+  const MetricsSnapshot copy = snapshot();
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("metrics");
+  write_metric_points(json, copy.points, /*include_timing=*/true);
+  json.end_object();
+  return json.str();
+}
+
+std::size_t MetricsRegistry::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return points_.size();
+}
+
+void MetricsRegistry::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  points_.clear();
+}
+
+MetricPoint& MetricsRegistry::entry(std::string_view name, MetricKind kind) {
+  for (MetricPoint& point : points_) {
+    if (point.name == name) {
+      OPERON_CHECK_MSG(point.kind == kind,
+                       "metric '" << point.name << "' used as "
+                                  << to_string(kind) << ", registered as "
+                                  << to_string(point.kind));
+      return point;
+    }
+  }
+  MetricPoint& point = points_.emplace_back();
+  point.name = std::string(name);
+  point.kind = kind;
+  if (kind == MetricKind::Histogram) {
+    point.buckets.assign(kBounds.size() + 1, 0);
+  }
+  return point;
+}
+
+}  // namespace operon::obs

@@ -1,0 +1,113 @@
+#pragma once
+// Typed metrics registry: counters, gauges, and fixed-bucket histograms
+// with stable registration order. Hot paths accumulate locally (usually
+// into their existing result structs) and feed the registry once from a
+// serial section, so the set of metrics and their registration order are
+// deterministic. Semantic metrics (counts, iterations, norms) must be
+// bit-identical at any --threads value; wall-clock values are marked
+// with `timing = true` and excluded from semantic comparisons
+// (semantic_equal). See DESIGN.md "Observability".
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace operon::util {
+class JsonWriter;
+}  // namespace operon::util
+
+namespace operon::obs {
+
+enum class MetricKind {
+  Counter,   ///< monotonically increasing integer (events, nodes, hits)
+  Gauge,     ///< last-written double (a level, a size, a runtime)
+  Histogram  ///< distribution: count/sum/min/max + exponential buckets
+};
+
+std::string_view to_string(MetricKind kind);
+
+/// Upper bounds of the shared exponential histogram buckets (the last
+/// returned bound is followed by an implicit +inf overflow bucket).
+/// One fixed layout keeps every histogram mergeable and the JSON shape
+/// independent of observed values.
+std::span<const double> histogram_bounds();
+
+/// One registered metric with its current value. For counters `count`
+/// holds the value; for gauges `value` holds it; for histograms `count`
+/// is the number of observations, `value` their sum, and `buckets` has
+/// histogram_bounds().size() + 1 entries (last = overflow).
+struct MetricPoint {
+  std::string name;
+  MetricKind kind = MetricKind::Counter;
+  /// Wall-clock-derived and therefore run-to-run nondeterministic;
+  /// excluded from semantic comparisons and from --no-timings reports.
+  bool timing = false;
+  std::uint64_t count = 0;
+  double value = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<std::uint64_t> buckets;
+};
+
+bool operator==(const MetricPoint& a, const MetricPoint& b);
+
+/// Point-in-time copy of a registry, in registration order.
+struct MetricsSnapshot {
+  std::vector<MetricPoint> points;
+
+  /// Lookup by name; nullptr when absent.
+  const MetricPoint* find(std::string_view name) const;
+  /// Counter value (0 when absent — convenient for tests).
+  std::uint64_t counter(std::string_view name) const;
+  /// Gauge value (0.0 when absent).
+  double gauge(std::string_view name) const;
+};
+
+/// True when the non-timing points of both snapshots are identical
+/// (name, kind, and bit-exact values; compared in name order so two
+/// registries fed by differently-ordered code paths still match).
+bool semantic_equal(const MetricsSnapshot& a, const MetricsSnapshot& b);
+
+/// Append `points` to an open JsonWriter scope as an array value (the
+/// caller has already emitted the key). Shared by report_json and the
+/// --metrics-out sink so the two formats cannot drift.
+void write_metric_points(util::JsonWriter& json,
+                         std::span<const MetricPoint> points,
+                         bool include_timing);
+
+/// Thread-safe metric store. Names are registered on first touch and
+/// keep that position forever; touching a name with a different kind is
+/// a CheckError (metric names are a closed, documented vocabulary).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  void add_counter(std::string_view name, std::uint64_t delta = 1);
+  void set_gauge(std::string_view name, double value, bool timing = false);
+  void observe(std::string_view name, double value);
+
+  /// Fold another registry into this one: counters add, gauges take the
+  /// other's value, histograms merge. Used to roll a per-run observation
+  /// up into a session-level sink.
+  void absorb(const MetricsRegistry& other);
+
+  MetricsSnapshot snapshot() const;
+  /// {"metrics": [...]} document with every point (timing included).
+  std::string to_json() const;
+  std::size_t size() const;
+  void clear();
+
+ private:
+  MetricPoint& entry(std::string_view name, MetricKind kind);
+
+  mutable std::mutex mutex_;
+  std::vector<MetricPoint> points_;  ///< registration order
+};
+
+}  // namespace operon::obs

@@ -1,0 +1,58 @@
+#include "obs/obs.hpp"
+
+#include <atomic>
+
+namespace operon::obs {
+
+namespace {
+std::atomic<Observation*> g_current{nullptr};
+}  // namespace
+
+Observation* current() { return g_current.load(std::memory_order_acquire); }
+
+MetricsRegistry* current_metrics() {
+  Observation* observation = current();
+  return observation == nullptr ? nullptr : &observation->metrics;
+}
+
+TraceRecorder* current_trace() {
+  Observation* observation = current();
+  return observation == nullptr ? nullptr : &observation->trace;
+}
+
+ScopedObservation::ScopedObservation(Observation& observation)
+    : previous_(g_current.exchange(&observation, std::memory_order_acq_rel)) {}
+
+ScopedObservation::~ScopedObservation() {
+  g_current.store(previous_, std::memory_order_release);
+}
+
+void add_counter(std::string_view name, std::uint64_t delta) {
+  if (MetricsRegistry* metrics = current_metrics()) {
+    metrics->add_counter(name, delta);
+  }
+}
+
+void set_gauge(std::string_view name, double value, bool timing) {
+  if (MetricsRegistry* metrics = current_metrics()) {
+    metrics->set_gauge(name, value, timing);
+  }
+}
+
+void observe(std::string_view name, double value) {
+  if (MetricsRegistry* metrics = current_metrics()) {
+    metrics->observe(name, value);
+  }
+}
+
+Span::Span(const char* name, const char* category)
+    : recorder_(current_trace()), name_(name), category_(category) {
+  if (recorder_ != nullptr) start_us_ = trace_now_us();
+}
+
+Span::~Span() {
+  if (recorder_ == nullptr) return;
+  recorder_->record(name_, category_, start_us_, trace_now_us() - start_us_);
+}
+
+}  // namespace operon::obs

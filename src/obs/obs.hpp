@@ -1,0 +1,85 @@
+#pragma once
+// Ambient observation: one Observation bundles a MetricsRegistry and a
+// TraceRecorder; ScopedObservation installs it as the process-wide
+// current observation so instrumented code anywhere in the pipeline can
+// feed it without plumbing a handle through every signature. The free
+// helpers (add_counter / set_gauge / observe) and Span no-op when no
+// observation is installed, so instrumentation costs one atomic load on
+// unobserved runs.
+//
+// core::run_operon installs a fresh per-run Observation around each run
+// (so OperonResult::stats.metrics is exactly that run's snapshot) and
+// absorbs it into whatever observation enclosed it — typically a
+// CliObservation sink (sink.hpp) collecting session totals.
+//
+// Install/uninstall is meant for the thread that owns the run (nesting
+// is fine); worker threads only *feed* the current observation.
+
+#include <cstdint>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace operon::obs {
+
+struct Observation {
+  MetricsRegistry metrics;
+  TraceRecorder trace;
+
+  void absorb(const Observation& other) {
+    metrics.absorb(other.metrics);
+    trace.absorb(other.trace);
+  }
+};
+
+/// Currently installed observation (nullptr when none).
+Observation* current();
+MetricsRegistry* current_metrics();
+TraceRecorder* current_trace();
+
+/// RAII install: makes `observation` current, restores the previous one
+/// on destruction.
+class ScopedObservation {
+ public:
+  explicit ScopedObservation(Observation& observation);
+  ~ScopedObservation();
+  ScopedObservation(const ScopedObservation&) = delete;
+  ScopedObservation& operator=(const ScopedObservation&) = delete;
+
+ private:
+  Observation* previous_;
+};
+
+/// Feed the current observation; no-ops when none is installed.
+void add_counter(std::string_view name, std::uint64_t delta = 1);
+void set_gauge(std::string_view name, double value, bool timing = false);
+void observe(std::string_view name, double value);
+
+/// Scoped span: records one Chrome "X" complete event on the current
+/// trace recorder, attributed to the constructing thread. The recorder
+/// is captured at construction so a span outliving its observation
+/// scope is the caller's bug, not a silent drop.
+class Span {
+ public:
+  explicit Span(const char* name, const char* category = "operon");
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  TraceRecorder* recorder_;
+  const char* name_;
+  const char* category_;
+  double start_us_ = 0.0;
+};
+
+}  // namespace operon::obs
+
+#define OPERON_SPAN_CONCAT2_(a, b) a##b
+#define OPERON_SPAN_CONCAT_(a, b) OPERON_SPAN_CONCAT2_(a, b)
+/// `OPERON_SPAN("core.selection");` — names the enclosing scope in the
+/// exported trace. Spans nest lexically; use dotted module-prefixed
+/// names (see DESIGN.md "Observability" for the taxonomy).
+#define OPERON_SPAN(name) \
+  const ::operon::obs::Span OPERON_SPAN_CONCAT_(operon_span_, __LINE__)(name)

@@ -1,0 +1,42 @@
+#include "obs/sink.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/cli.hpp"
+
+namespace operon::obs {
+
+namespace {
+
+void write_file(const std::string& path, const std::string& text,
+                const char* what) {
+  std::ofstream os(path);
+  if (os.good()) os << text << "\n";
+  if (!os.good()) {
+    std::fprintf(stderr, "warning: failed to write %s to '%s'\n", what,
+                 path.c_str());
+  }
+}
+
+}  // namespace
+
+CliObservation::CliObservation(const util::Cli& cli)
+    : trace_path_(cli.get("trace-out", "")),
+      metrics_path_(cli.get("metrics-out", "")) {
+  if (!trace_path_.empty() || !metrics_path_.empty()) {
+    scope_.emplace(observation_);
+  }
+}
+
+CliObservation::~CliObservation() {
+  scope_.reset();  // uninstall before serializing
+  if (!trace_path_.empty()) {
+    write_file(trace_path_, observation_.trace.to_chrome_json(), "trace");
+  }
+  if (!metrics_path_.empty()) {
+    write_file(metrics_path_, observation_.metrics.to_json(), "metrics");
+  }
+}
+
+}  // namespace operon::obs

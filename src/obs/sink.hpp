@@ -1,0 +1,43 @@
+#pragma once
+// Observation sink for command-line front ends: reads the shared
+// `--trace-out FILE` / `--metrics-out FILE` flags, installs a
+// process-wide Observation when either is present, and writes the
+// Chrome trace / metrics JSON files on destruction. One line per
+// binary:
+//
+//   obs::CliObservation observing(cli);
+//
+// With neither flag present nothing is installed and instrumented code
+// stays on its no-op path.
+
+#include <optional>
+#include <string>
+
+#include "obs/obs.hpp"
+
+namespace operon::util {
+class Cli;
+}  // namespace operon::util
+
+namespace operon::obs {
+
+class CliObservation {
+ public:
+  explicit CliObservation(const util::Cli& cli);
+  /// Writes the requested files; failures are reported on stderr, never
+  /// thrown (a full disk at exit must not mask the run's own status).
+  ~CliObservation();
+  CliObservation(const CliObservation&) = delete;
+  CliObservation& operator=(const CliObservation&) = delete;
+
+  bool active() const { return scope_.has_value(); }
+  Observation& observation() { return observation_; }
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  Observation observation_;
+  std::optional<ScopedObservation> scope_;
+};
+
+}  // namespace operon::obs

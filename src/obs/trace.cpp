@@ -1,0 +1,76 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+
+#include "util/json.hpp"
+
+namespace operon::obs {
+
+double trace_now_us() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point origin = Clock::now();
+  return std::chrono::duration<double, std::micro>(Clock::now() - origin)
+      .count();
+}
+
+void TraceRecorder::record(std::string_view name, std::string_view category,
+                           double ts_us, double dur_us) {
+  const std::thread::id self = std::this_thread::get_id();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto [slot, inserted] = thread_slots_.try_emplace(
+      self, static_cast<std::uint32_t>(thread_slots_.size()));
+  events_.push_back(TraceEvent{std::string(name), std::string(category), ts_us,
+                               dur_us, slot->second});
+}
+
+void TraceRecorder::absorb(const TraceRecorder& other) {
+  std::vector<TraceEvent> theirs;
+  {
+    const std::lock_guard<std::mutex> lock(other.mutex_);
+    theirs = other.events_;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // Thread slots are per-recorder; both number from 0 with the recording
+  // (usually main) thread first, so slots transfer unchanged.
+  events_.insert(events_.end(), theirs.begin(), theirs.end());
+}
+
+std::size_t TraceRecorder::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::string TraceRecorder::to_chrome_json() const {
+  const std::vector<TraceEvent> copy = events();
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("traceEvents").begin_array();
+  for (const TraceEvent& event : copy) {
+    json.begin_object();
+    json.key("name").value(event.name);
+    json.key("cat").value(event.category);
+    json.key("ph").value("X");
+    json.key("ts").value(event.ts_us);
+    json.key("dur").value(event.dur_us);
+    json.key("pid").value(1);
+    json.key("tid").value(static_cast<std::uint64_t>(event.tid));
+    json.end_object();
+  }
+  json.end_array();
+  json.key("displayTimeUnit").value("ms");
+  json.end_object();
+  return json.str();
+}
+
+void TraceRecorder::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  thread_slots_.clear();
+}
+
+}  // namespace operon::obs

@@ -1,0 +1,59 @@
+#pragma once
+// Trace event recorder exportable as Chrome trace_event JSON (the
+// chrome://tracing / Perfetto "X" complete-event format). Timestamps are
+// microseconds on one process-global steady-clock origin, so events
+// recorded by nested observations remain comparable after absorb().
+// Trace content is wall-clock by nature and therefore NOT part of the
+// determinism contract — only metrics are (see metrics.hpp).
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace operon::obs {
+
+/// Microseconds since the process-global trace origin (first use).
+double trace_now_us();
+
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  double ts_us = 0.0;   ///< start, microseconds since the process origin
+  double dur_us = 0.0;  ///< duration, microseconds
+  std::uint32_t tid = 0;  ///< dense per-recorder thread slot (0 = first seen)
+};
+
+/// Thread-safe append-only event store.
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Record a completed interval attributed to the calling thread.
+  void record(std::string_view name, std::string_view category, double ts_us,
+              double dur_us);
+
+  void absorb(const TraceRecorder& other);
+
+  std::size_t size() const;
+  std::vector<TraceEvent> events() const;
+
+  /// {"traceEvents": [{"name", "cat", "ph": "X", "ts", "dur", "pid",
+  /// "tid"}, ...]} — loadable by chrome://tracing and Perfetto.
+  std::string to_chrome_json() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::map<std::thread::id, std::uint32_t> thread_slots_;
+};
+
+}  // namespace operon::obs

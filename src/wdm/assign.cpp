@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "flow/mcmf.hpp"
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
 
@@ -115,6 +116,7 @@ WdmPlan plan_wdm_assignment(std::span<const codesign::CandidateSet> sets,
                             const codesign::Selection& selection,
                             const model::OpticalParams& optical,
                             const AssignOptions& options) {
+  OPERON_SPAN("wdm.plan_assignment");
   WdmPlan plan;
   plan.connections = extract_connections(sets, selection);
 
@@ -138,6 +140,10 @@ WdmPlan plan_wdm_assignment(std::span<const codesign::CandidateSet> sets,
                             result.allocations.begin(),
                             result.allocations.end());
   }
+  obs::add_counter("wdm.assignments");
+  obs::set_gauge("wdm.connections", static_cast<double>(plan.connections.size()));
+  obs::set_gauge("wdm.initial_wdms", static_cast<double>(plan.initial_wdms));
+  obs::set_gauge("wdm.final_wdms", static_cast<double>(plan.final_wdms));
   return plan;
 }
 

@@ -40,15 +40,15 @@ TEST(OperonFlow, EndToEndLr) {
   ASSERT_EQ(result.sets.size(), result.processing.num_hyper_nets());
   ASSERT_EQ(result.selection.size(), result.sets.size());
   EXPECT_TRUE(result.violations.clean());
-  EXPECT_GT(result.power_pj, 0.0);
-  EXPECT_GT(result.optical_nets, 0u);
-  EXPECT_GE(result.lr_iterations, 1u);
+  EXPECT_GT(result.stats.power_pj, 0.0);
+  EXPECT_GT(result.stats.optical_nets, 0u);
+  EXPECT_GE(result.stats.lr_iterations, 1u);
 
   // WDM stage ran and is consistent.
   EXPECT_GT(result.wdm_plan.connections.size(), 0u);
   EXPECT_TRUE(result.wdm_plan.feasible);
   EXPECT_LE(result.wdm_plan.final_wdms, result.wdm_plan.initial_wdms);
-  EXPECT_GT(result.times.total_s(), 0.0);
+  EXPECT_GT(result.stats.times.total_s(), 0.0);
 }
 
 TEST(OperonFlow, EndToEndIlpMatchesOrBeatsLr) {
@@ -64,8 +64,8 @@ TEST(OperonFlow, EndToEndIlpMatchesOrBeatsLr) {
 
   EXPECT_TRUE(ilp_result.violations.clean());
   EXPECT_TRUE(lr_result.violations.clean());
-  if (ilp_result.proven_optimal) {
-    EXPECT_LE(ilp_result.power_pj, lr_result.power_pj + 1e-9);
+  if (ilp_result.stats.proven_optimal) {
+    EXPECT_LE(ilp_result.stats.power_pj, lr_result.stats.power_pj + 1e-9);
   }
 }
 
@@ -82,7 +82,7 @@ TEST(OperonFlow, Table1OrderingHolds) {
       operon::baseline::route_optical_glow(operon_result.sets, options.params);
 
   EXPECT_GT(electrical.total_power_pj, glow.total_power_pj * 1.5);
-  EXPECT_LE(operon_result.power_pj, glow.total_power_pj * 1.02 + 1e-9);
+  EXPECT_LE(operon_result.stats.power_pj, glow.total_power_pj * 1.02 + 1e-9);
 }
 
 TEST(OperonFlow, SelectionOnlyReproducesPipelineStage) {
@@ -91,7 +91,7 @@ TEST(OperonFlow, SelectionOnlyReproducesPipelineStage) {
   options.solver = ocore::SolverKind::Lr;
   const auto full = ocore::run_operon(design, options);
   const auto redo = ocore::run_selection_only(full.sets, options);
-  EXPECT_NEAR(redo.power_pj, full.power_pj, 1e-9);
+  EXPECT_NEAR(redo.stats.power_pj, full.stats.power_pj, 1e-9);
   EXPECT_EQ(redo.selection, full.selection);
 }
 
@@ -115,7 +115,7 @@ TEST(PowerMap, DepositsMatchTotals) {
   }
   EXPECT_NEAR(map.total_optical(), optical_expected, 1e-6);
   EXPECT_NEAR(map.total_electrical(), electrical_expected, 1e-6);
-  EXPECT_NEAR(map.total_optical() + map.total_electrical(), result.power_pj,
+  EXPECT_NEAR(map.total_optical() + map.total_electrical(), result.stats.power_pj,
               1e-6);
 }
 

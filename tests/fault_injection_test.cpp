@@ -87,7 +87,7 @@ TEST(FaultInjection, RejectKindsCarryErrorDiagnostics) {
     const std::vector<om::Diagnostic> diagnostics = om::validate(bad);
     EXPECT_TRUE(om::has_errors(diagnostics));
     for (const om::Diagnostic& d : diagnostics) {
-      EXPECT_FALSE(d.code.empty());
+      EXPECT_FALSE(om::to_string(d.code).empty());
       EXPECT_FALSE(d.message.empty());
     }
   }
@@ -103,7 +103,7 @@ TEST(FaultInjection, CompleteKindsKeepWarningDiagnostics) {
   EXPECT_FALSE(om::has_errors(diagnostics));
   bool found = false;
   for (const om::Diagnostic& d : diagnostics) {
-    found = found || d.code == "duplicate-pin";
+    found = found || d.code == om::DiagCode::DuplicatePin;
   }
   EXPECT_TRUE(found);
 
@@ -111,7 +111,7 @@ TEST(FaultInjection, CompleteKindsKeepWarningDiagnostics) {
   const oc::OperonResult result = oc::run_operon(bad, options);
   bool surfaced = false;
   for (const om::Diagnostic& d : result.diagnostics) {
-    surfaced = surfaced || d.code == "duplicate-pin";
+    surfaced = surfaced || d.code == om::DiagCode::DuplicatePin;
   }
   EXPECT_TRUE(surfaced);
   EXPECT_TRUE(oc::verify_result(result, options).empty());
@@ -173,7 +173,7 @@ TEST(Degradation, LrNonConvergenceReportedAndFeasible) {
   EXPECT_TRUE(result.degraded);
   bool found = false;
   for (const om::Diagnostic& d : result.diagnostics) {
-    found = found || d.code == "lr-no-convergence";
+    found = found || d.code == om::DiagCode::LrNoConvergence;
   }
   EXPECT_TRUE(found);
   EXPECT_TRUE(result.violations.clean());
@@ -189,16 +189,16 @@ TEST(Degradation, IlpTimeLimitFallsBackToWarmStart) {
   exact.solver = oc::SolverKind::IlpExact;
   exact.select.time_limit_s = 1e-9;  // everything times out immediately
   const oc::OperonResult result = oc::run_operon(design, exact);
-  EXPECT_TRUE(result.timed_out);
+  EXPECT_TRUE(result.stats.timed_out);
   EXPECT_TRUE(result.degraded);
   bool found = false;
   for (const om::Diagnostic& d : result.diagnostics) {
-    found = found || d.code == "solver-time-limit";
+    found = found || d.code == om::DiagCode::SolverTimeLimit;
   }
   EXPECT_TRUE(found);
   // The LR warm start seeds the incumbent, so the degraded answer is
   // never worse than the surrogate alone.
-  EXPECT_LE(result.power_pj, surrogate.power_pj + 1e-9);
+  EXPECT_LE(result.stats.power_pj, surrogate.stats.power_pj + 1e-9);
   EXPECT_TRUE(result.violations.clean());
   EXPECT_TRUE(oc::verify_result(result, exact).empty());
 }
@@ -211,11 +211,11 @@ TEST(Degradation, InfeasibleLossBudgetReportedPerNet) {
   // throwing.
   options.params.optical.max_loss_db = 1e-3;
   const oc::OperonResult result = oc::run_operon(design, options);
-  EXPECT_EQ(result.optical_nets, 0u);
-  EXPECT_EQ(result.electrical_nets, result.sets.size());
+  EXPECT_EQ(result.stats.optical_nets, 0u);
+  EXPECT_EQ(result.stats.electrical_nets, result.sets.size());
   bool found = false;
   for (const om::Diagnostic& d : result.diagnostics) {
-    found = found || d.code == "net-loss-budget-infeasible";
+    found = found || d.code == om::DiagCode::NetLossBudgetInfeasible;
   }
   EXPECT_TRUE(found);
   EXPECT_TRUE(result.violations.clean());
@@ -235,7 +235,7 @@ TEST(Degradation, BitIdenticalAcrossThreadCounts) {
   }
   for (std::size_t i = 1; i < results.size(); ++i) {
     EXPECT_EQ(results[0].selection, results[i].selection);
-    EXPECT_EQ(results[0].power_pj, results[i].power_pj);  // bit-identical
+    EXPECT_EQ(results[0].stats.power_pj, results[i].stats.power_pj);  // bit-identical
     EXPECT_EQ(results[0].degraded, results[i].degraded);
     ASSERT_EQ(results[0].diagnostics.size(), results[i].diagnostics.size());
     for (std::size_t d = 0; d < results[0].diagnostics.size(); ++d) {
@@ -254,22 +254,22 @@ TEST(Verify, FlagsTamperedResults) {
   ASSERT_TRUE(oc::verify_result(result, options).empty());
 
   oc::OperonResult wrong_power = result;
-  wrong_power.power_pj += 1.0;
+  wrong_power.stats.power_pj += 1.0;
   auto problems = oc::verify_result(wrong_power, options);
   ASSERT_FALSE(problems.empty());
-  EXPECT_EQ(problems.front().code, "power-mismatch");
+  EXPECT_EQ(problems.front().code, om::DiagCode::PowerMismatch);
 
   oc::OperonResult wrong_counts = result;
-  wrong_counts.optical_nets += 1;
+  wrong_counts.stats.optical_nets += 1;
   problems = oc::verify_result(wrong_counts, options);
   ASSERT_FALSE(problems.empty());
-  EXPECT_EQ(problems.front().code, "net-counter-mismatch");
+  EXPECT_EQ(problems.front().code, om::DiagCode::NetCounterMismatch);
 
   oc::OperonResult wrong_selection = result;
   if (!wrong_selection.selection.empty()) {
     wrong_selection.selection.pop_back();
     problems = oc::verify_result(wrong_selection, options);
     ASSERT_FALSE(problems.empty());
-    EXPECT_EQ(problems.front().code, "selection-size-mismatch");
+    EXPECT_EQ(problems.front().code, om::DiagCode::SelectionSizeMismatch);
   }
 }

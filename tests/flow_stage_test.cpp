@@ -37,10 +37,10 @@ TEST(FlowStage, WdmStageToggle) {
   EXPECT_GT(a.wdm_plan.connections.size(), 0u);
   EXPECT_EQ(b.wdm_plan.connections.size(), 0u);
   EXPECT_EQ(b.wdm_plan.initial_wdms, 0u);
-  EXPECT_DOUBLE_EQ(b.times.wdm_s, 0.0);
+  EXPECT_DOUBLE_EQ(b.stats.times.wdm_s, 0.0);
   // The selection itself is independent of the WDM stage.
   EXPECT_EQ(a.selection, b.selection);
-  EXPECT_DOUBLE_EQ(a.power_pj, b.power_pj);
+  EXPECT_DOUBLE_EQ(a.stats.power_pj, b.stats.power_pj);
 }
 
 TEST(FlowStage, CapacityOverrideReclusters) {
@@ -70,13 +70,13 @@ TEST(FlowStage, StageTimesAccount) {
   const om::Design design = fixture(1003);
   ocore::OperonOptions options;
   const auto result = ocore::run_operon(design, options);
-  EXPECT_GE(result.times.processing_s, 0.0);
-  EXPECT_GE(result.times.generation_s, 0.0);
-  EXPECT_GE(result.times.selection_s, 0.0);
-  EXPECT_GE(result.times.wdm_s, 0.0);
-  EXPECT_NEAR(result.times.total_s(),
-              result.times.processing_s + result.times.generation_s +
-                  result.times.selection_s + result.times.wdm_s,
+  EXPECT_GE(result.stats.times.processing_s, 0.0);
+  EXPECT_GE(result.stats.times.generation_s, 0.0);
+  EXPECT_GE(result.stats.times.selection_s, 0.0);
+  EXPECT_GE(result.stats.times.wdm_s, 0.0);
+  EXPECT_NEAR(result.stats.times.total_s(),
+              result.stats.times.processing_s + result.stats.times.generation_s +
+                  result.stats.times.selection_s + result.stats.times.wdm_s,
               1e-12);
 }
 
@@ -84,7 +84,7 @@ TEST(FlowStage, NetCountsPartitionSelection) {
   const om::Design design = fixture(1004, 16);
   ocore::OperonOptions options;
   const auto result = ocore::run_operon(design, options);
-  EXPECT_EQ(result.optical_nets + result.electrical_nets,
+  EXPECT_EQ(result.stats.optical_nets + result.stats.electrical_nets,
             result.sets.size());
   std::size_t optical = 0;
   for (std::size_t i = 0; i < result.sets.size(); ++i) {
@@ -92,7 +92,7 @@ TEST(FlowStage, NetCountsPartitionSelection) {
       ++optical;
     }
   }
-  EXPECT_EQ(optical, result.optical_nets);
+  EXPECT_EQ(optical, result.stats.optical_nets);
 }
 
 TEST(FlowStage, MipLiteralSolverOnTinyDesign) {
@@ -109,8 +109,8 @@ TEST(FlowStage, MipLiteralSolverOnTinyDesign) {
 
   EXPECT_TRUE(a.violations.clean());
   EXPECT_TRUE(b.violations.clean());
-  if (a.proven_optimal && b.proven_optimal) {
-    EXPECT_NEAR(a.power_pj, b.power_pj, 1e-6);
+  if (a.stats.proven_optimal && b.stats.proven_optimal) {
+    EXPECT_NEAR(a.stats.power_pj, b.stats.power_pj, 1e-6);
   }
 }
 
@@ -138,7 +138,7 @@ TEST(FlowStage, SelectionGuardBandMonotone) {
     options.run_wdm_stage = false;
     const auto result = ocore::run_operon(design, options);
     EXPECT_TRUE(result.violations.clean()) << "lm=" << lm;
-    EXPECT_GE(result.power_pj, previous * 0.98 - 1e-6) << "lm=" << lm;
-    previous = result.power_pj;
+    EXPECT_GE(result.stats.power_pj, previous * 0.98 - 1e-6) << "lm=" << lm;
+    previous = result.stats.power_pj;
   }
 }

@@ -3,9 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
 #include <sstream>
+#include <string>
 
 #include "model/design.hpp"
+#include "model/diagnostic.hpp"
 #include "model/hyper.hpp"
 #include "model/params.hpp"
 #include "util/check.hpp"
@@ -205,4 +208,32 @@ TEST(HyperNet, ValidateCatchesDoubleCoverage) {
   net.pins = {a, b};
   net.root = 0;
   EXPECT_THROW(net.validate(design), operon::util::CheckError);
+}
+
+// -- Diagnostic codes -------------------------------------------------
+
+TEST(DiagCode, ClosedEnumHasUniqueKebabCaseNames) {
+  std::set<std::string> seen;
+  for (const om::DiagCode code : om::all_diag_codes()) {
+    const std::string name{om::to_string(code)};
+    ASSERT_FALSE(name.empty());
+    // Wire format: lower-case kebab, as consumed by report tooling.
+    for (const char c : name) {
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                  c == '-')
+          << name;
+    }
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate name " << name;
+  }
+  EXPECT_FALSE(seen.empty());
+}
+
+TEST(DiagCode, StreamInsertionUsesWireName) {
+  om::Diagnostic diagnostic;
+  diagnostic.severity = om::Severity::Warning;
+  diagnostic.code = om::DiagCode::SolverTimeLimit;
+  diagnostic.message = "hit the wall";
+  std::ostringstream os;
+  os << diagnostic;
+  EXPECT_NE(os.str().find("solver-time-limit"), std::string::npos);
 }

@@ -1,0 +1,209 @@
+// Tests for the observability layer: metrics registry semantics,
+// snapshot comparison, trace recording, and the ambient-observation
+// install/feed/absorb cycle that core::run_operon relies on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace oo = operon::obs;
+
+TEST(Metrics, CounterAccumulatesInRegistrationOrder) {
+  oo::MetricsRegistry registry;
+  registry.add_counter("b.second");
+  registry.add_counter("a.first", 4);
+  registry.add_counter("b.second", 2);
+
+  const oo::MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.points.size(), 2u);
+  // First-touch order, not lexicographic.
+  EXPECT_EQ(snap.points[0].name, "b.second");
+  EXPECT_EQ(snap.points[1].name, "a.first");
+  EXPECT_EQ(snap.counter("b.second"), 3u);
+  EXPECT_EQ(snap.counter("a.first"), 4u);
+  EXPECT_EQ(snap.counter("absent"), 0u);
+}
+
+TEST(Metrics, GaugeOverwritesAndKeepsTimingFlag) {
+  oo::MetricsRegistry registry;
+  registry.set_gauge("power", 12.5);
+  registry.set_gauge("power", 9.25);
+  registry.set_gauge("time.total_s", 0.5, /*timing=*/true);
+
+  const oo::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_DOUBLE_EQ(snap.gauge("power"), 9.25);
+  const oo::MetricPoint* timing = snap.find("time.total_s");
+  ASSERT_NE(timing, nullptr);
+  EXPECT_TRUE(timing->timing);
+  EXPECT_FALSE(snap.find("power")->timing);
+}
+
+TEST(Metrics, KindMismatchThrows) {
+  oo::MetricsRegistry registry;
+  registry.add_counter("x");
+  EXPECT_THROW(registry.set_gauge("x", 1.0), operon::util::CheckError);
+  EXPECT_THROW(registry.observe("x", 1.0), operon::util::CheckError);
+}
+
+TEST(Metrics, HistogramBucketsAndStats) {
+  oo::MetricsRegistry registry;
+  registry.observe("h", 0.5);
+  registry.observe("h", 3.0);
+  registry.observe("h", 1e9);  // lands in the overflow bucket
+
+  const oo::MetricsSnapshot snap = registry.snapshot();
+  const oo::MetricPoint* h = snap.find("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->kind, oo::MetricKind::Histogram);
+  EXPECT_EQ(h->count, 3u);
+  EXPECT_DOUBLE_EQ(h->value, 0.5 + 3.0 + 1e9);
+  EXPECT_DOUBLE_EQ(h->min, 0.5);
+  EXPECT_DOUBLE_EQ(h->max, 1e9);
+  ASSERT_EQ(h->buckets.size(), oo::histogram_bounds().size() + 1);
+  EXPECT_EQ(h->buckets.back(), 1u);  // the 1e9 observation
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : h->buckets) total += b;
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(Metrics, AbsorbMergesAllKinds) {
+  oo::MetricsRegistry a;
+  a.add_counter("c", 2);
+  a.set_gauge("g", 1.0);
+  a.observe("h", 2.0);
+
+  oo::MetricsRegistry b;
+  b.add_counter("c", 3);
+  b.set_gauge("g", 7.0);
+  b.observe("h", 10.0);
+  b.add_counter("only_b");
+
+  a.absorb(b);
+  const oo::MetricsSnapshot snap = a.snapshot();
+  EXPECT_EQ(snap.counter("c"), 5u);           // counters add
+  EXPECT_DOUBLE_EQ(snap.gauge("g"), 7.0);     // gauges take the other's
+  const oo::MetricPoint* h = snap.find("h");  // histograms merge
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 2u);
+  EXPECT_DOUBLE_EQ(h->min, 2.0);
+  EXPECT_DOUBLE_EQ(h->max, 10.0);
+  EXPECT_EQ(snap.counter("only_b"), 1u);  // new names register
+}
+
+TEST(Metrics, SemanticEqualIgnoresTimingAndOrder) {
+  oo::MetricsRegistry a;
+  a.add_counter("c", 2);
+  a.set_gauge("time.x", 0.123, /*timing=*/true);
+  a.set_gauge("g", 5.0);
+
+  oo::MetricsRegistry b;
+  b.set_gauge("g", 5.0);  // different registration order
+  b.add_counter("c", 2);
+  b.set_gauge("time.x", 0.987, /*timing=*/true);  // different wall-clock
+
+  EXPECT_TRUE(oo::semantic_equal(a.snapshot(), b.snapshot()));
+
+  b.add_counter("c");  // now a semantic divergence
+  EXPECT_FALSE(oo::semantic_equal(a.snapshot(), b.snapshot()));
+}
+
+TEST(Metrics, JsonParsesAndContainsPoints) {
+  oo::MetricsRegistry registry;
+  registry.add_counter("c", 2);
+  registry.set_gauge("g", 1.5);
+  registry.observe("h", 3.0);
+  const std::string json = registry.to_json();
+  const operon::util::JsonValue doc = operon::util::parse_json(json);
+  const auto& metrics = doc.at("metrics").items();
+  ASSERT_EQ(metrics.size(), 3u);
+  EXPECT_EQ(metrics[0].at("name").as_string(), "c");
+  EXPECT_EQ(metrics[0].at("kind").as_string(), "counter");
+  EXPECT_EQ(metrics[1].at("kind").as_string(), "gauge");
+  EXPECT_EQ(metrics[2].at("kind").as_string(), "histogram");
+}
+
+TEST(Trace, RecorderAssignsDenseThreadSlots) {
+  oo::TraceRecorder recorder;
+  recorder.record("main", "test", 0.0, 1.0);
+  std::thread worker(
+      [&recorder] { recorder.record("worker", "test", 1.0, 2.0); });
+  worker.join();
+  recorder.record("main2", "test", 3.0, 1.0);
+
+  const std::vector<oo::TraceEvent> events = recorder.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].tid, 0u);
+  EXPECT_EQ(events[1].tid, 1u);
+  EXPECT_EQ(events[2].tid, 0u);  // same thread, same slot
+}
+
+TEST(Trace, ChromeJsonShape) {
+  oo::TraceRecorder recorder;
+  recorder.record("phase", "operon", 10.0, 5.0);
+  const operon::util::JsonValue doc =
+      operon::util::parse_json(recorder.to_chrome_json());
+  const auto& events = doc.at("traceEvents").items();
+  ASSERT_EQ(events.size(), 1u);
+  const auto& e = events[0];
+  EXPECT_EQ(e.at("name").as_string(), "phase");
+  EXPECT_EQ(e.at("cat").as_string(), "operon");
+  EXPECT_EQ(e.at("ph").as_string(), "X");
+  EXPECT_DOUBLE_EQ(e.at("ts").as_number(), 10.0);
+  EXPECT_DOUBLE_EQ(e.at("dur").as_number(), 5.0);
+  EXPECT_DOUBLE_EQ(e.at("pid").as_number(), 1.0);
+}
+
+TEST(Ambient, HelpersNoOpWhenNothingInstalled) {
+  ASSERT_EQ(oo::current(), nullptr);
+  // Must not crash or register anywhere.
+  oo::add_counter("ghost");
+  oo::set_gauge("ghost", 1.0);
+  oo::observe("ghost", 1.0);
+  { OPERON_SPAN("ghost.span"); }
+  ASSERT_EQ(oo::current(), nullptr);
+}
+
+TEST(Ambient, ScopedInstallRestoresAndNests) {
+  ASSERT_EQ(oo::current(), nullptr);
+  oo::Observation outer;
+  {
+    oo::ScopedObservation outer_scope(outer);
+    EXPECT_EQ(oo::current(), &outer);
+    oo::add_counter("seen");
+
+    oo::Observation inner;
+    {
+      oo::ScopedObservation inner_scope(inner);
+      EXPECT_EQ(oo::current(), &inner);
+      oo::add_counter("seen", 2);
+    }
+    EXPECT_EQ(oo::current(), &outer);
+    // Inner counts went to inner only; roll them up explicitly.
+    EXPECT_EQ(inner.metrics.snapshot().counter("seen"), 2u);
+    outer.absorb(inner);
+  }
+  EXPECT_EQ(oo::current(), nullptr);
+  EXPECT_EQ(outer.metrics.snapshot().counter("seen"), 3u);
+}
+
+TEST(Ambient, SpanRecordsOnCurrentTrace) {
+  oo::Observation observation;
+  {
+    oo::ScopedObservation scope(observation);
+    OPERON_SPAN("unit.test_span");
+  }
+  const std::vector<oo::TraceEvent> events = observation.trace.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "unit.test_span");
+  EXPECT_EQ(events[0].category, "operon");
+  EXPECT_GE(events[0].dur_us, 0.0);
+}

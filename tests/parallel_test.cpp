@@ -17,6 +17,7 @@
 #include "codesign/generate.hpp"
 #include "codesign/selection.hpp"
 #include "core/flow.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -249,16 +250,16 @@ TEST(Determinism, RunOperonIdenticalAcrossThreadCounts) {
     const auto result = operon::core::run_operon(design, options);
 
     EXPECT_EQ(result.selection, reference.selection);
-    EXPECT_EQ(result.power_pj, reference.power_pj);  // bit-exact
+    EXPECT_EQ(result.stats.power_pj, reference.stats.power_pj);  // bit-exact
     EXPECT_EQ(result.violations.violated_paths,
               reference.violations.violated_paths);
     EXPECT_EQ(result.violations.total_excess_db,
               reference.violations.total_excess_db);
     EXPECT_EQ(result.violations.worst_loss_db,
               reference.violations.worst_loss_db);
-    EXPECT_EQ(result.optical_nets, reference.optical_nets);
-    EXPECT_EQ(result.electrical_nets, reference.electrical_nets);
-    EXPECT_EQ(result.lr_iterations, reference.lr_iterations);
+    EXPECT_EQ(result.stats.optical_nets, reference.stats.optical_nets);
+    EXPECT_EQ(result.stats.electrical_nets, reference.stats.electrical_nets);
+    EXPECT_EQ(result.stats.lr_iterations, reference.stats.lr_iterations);
 
     // WDM plan, field by field.
     const auto& a = result.wdm_plan;
@@ -287,12 +288,59 @@ TEST(Determinism, ExactSolverIdenticalAcrossThreadCounts) {
   serial.select.time_limit_s = 30.0;
   serial.threads = 1;
   const auto reference = operon::core::run_operon(design, serial);
-  ASSERT_TRUE(reference.proven_optimal);
+  ASSERT_TRUE(reference.stats.proven_optimal);
 
   operon::core::OperonOptions options = serial;
   options.threads = 4;
   const auto result = operon::core::run_operon(design, options);
-  ASSERT_TRUE(result.proven_optimal);
+  ASSERT_TRUE(result.stats.proven_optimal);
   EXPECT_EQ(result.selection, reference.selection);
-  EXPECT_EQ(result.power_pj, reference.power_pj);
+  EXPECT_EQ(result.stats.power_pj, reference.stats.power_pj);
+}
+
+// Semantic metrics — every counter/gauge/histogram the pipeline feeds
+// except the timing-flagged gauges — must be bit-identical at any
+// thread count, on a table1-shaped benchmark, for both solver families.
+// This is the observability half of the determinism contract (DESIGN.md
+// "Observability"): parallelism may change wall-clock attribution but
+// never what the pipeline did.
+TEST(Determinism, SemanticMetricsIdenticalAcrossThreadCounts) {
+  operon::benchgen::BenchmarkSpec spec = operon::benchgen::table1_spec("I1");
+  spec.num_groups = 36;  // shrunk I1 slice: same shape, test-sized
+  const auto design = operon::benchgen::generate_benchmark(spec);
+
+  for (const auto solver : {operon::core::SolverKind::Lr,
+                            operon::core::SolverKind::IlpExact}) {
+    operon::core::OperonOptions serial;
+    serial.solver = solver;
+    serial.select.time_limit_s = 30.0;
+    serial.threads = 1;
+    const auto reference = operon::core::run_operon(design, serial);
+
+    // The hot paths actually reported in.
+    const auto& metrics = reference.stats.metrics;
+    EXPECT_EQ(metrics.counter("core.runs"), 1u);
+    EXPECT_GT(metrics.counter("cluster.kmeans.runs"), 0u);
+    EXPECT_GT(metrics.counter("codesign.generate.candidates"), 0u);
+    EXPECT_GT(metrics.counter("codesign.crossing.cache_queries"), 0u);
+    EXPECT_GT(metrics.counter("flow.mcmf.solves"), 0u);
+    if (solver == operon::core::SolverKind::Lr) {
+      EXPECT_GT(metrics.counter("lr.iterations"), 0u);
+      ASSERT_NE(metrics.find("lr.subgradient_norm"), nullptr);
+      EXPECT_EQ(metrics.find("lr.subgradient_norm")->kind,
+                operon::obs::MetricKind::Histogram);
+    } else {
+      EXPECT_GT(metrics.counter("codesign.exact.nodes_explored"), 0u);
+    }
+
+    for (std::size_t threads : {2u, 8u}) {
+      operon::core::OperonOptions options = serial;
+      options.threads = threads;
+      const auto result = operon::core::run_operon(design, options);
+      EXPECT_TRUE(operon::obs::semantic_equal(result.stats.metrics,
+                                              reference.stats.metrics))
+          << "solver=" << static_cast<int>(solver)
+          << " threads=" << threads;
+    }
+  }
 }

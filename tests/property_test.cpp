@@ -195,7 +195,7 @@ TEST(Determinism, FullPipelineReproducible) {
   const auto a = operon::core::run_operon(design, options);
   const auto b = operon::core::run_operon(design, options);
   EXPECT_EQ(a.selection, b.selection);
-  EXPECT_DOUBLE_EQ(a.power_pj, b.power_pj);
+  EXPECT_DOUBLE_EQ(a.stats.power_pj, b.stats.power_pj);
   EXPECT_EQ(a.wdm_plan.initial_wdms, b.wdm_plan.initial_wdms);
   EXPECT_EQ(a.wdm_plan.final_wdms, b.wdm_plan.final_wdms);
 }

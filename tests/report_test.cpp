@@ -9,6 +9,8 @@
 #include "benchgen/benchgen.hpp"
 #include "core/flow.hpp"
 #include "core/report.hpp"
+#include "util/check.hpp"
+#include "util/json.hpp"
 #include "wdm/wavelength.hpp"
 
 namespace ocore = operon::core;
@@ -78,6 +80,86 @@ TEST(Report, WriteReadFile) {
   EXPECT_EQ(buffer.str(),
             ocore::report_json(design, result, options) + "\n");
   std::remove(path.c_str());
+}
+
+TEST(Report, StatsBlockRoundTripsByteStable) {
+  const auto design = small_design();
+  ocore::OperonOptions options;
+  const auto result = routed_fixture(design, options);
+  const std::string json = ocore::report_json(design, result, options);
+
+  // The additive stats/metrics block is present and populated.
+  const operon::util::JsonValue doc = operon::util::parse_json(json);
+  const auto& metrics = doc.at("stats").at("metrics").items();
+  ASSERT_FALSE(metrics.empty());
+  bool saw_core_runs = false;
+  for (const auto& point : metrics) {
+    EXPECT_FALSE(point.at("name").as_string().empty());
+    saw_core_runs =
+        saw_core_runs || point.at("name").as_string() == "core.runs";
+  }
+  EXPECT_TRUE(saw_core_runs);
+
+  // Byte-stable round trip through util::json — the golden property CI
+  // comparisons rely on.
+  EXPECT_EQ(operon::util::write_json(doc), json);
+}
+
+TEST(Report, NoTimingsIsDeterministicAcrossRuns) {
+  const auto design = small_design();
+  ocore::OperonOptions options;
+  options.solver = ocore::SolverKind::Lr;
+  ocore::ReportOptions report;
+  report.timings = false;
+
+  const auto a = ocore::run_operon(design, options);
+  const auto b = ocore::run_operon(design, options);
+  const std::string ja = ocore::report_json(design, a, options, report);
+  const std::string jb = ocore::report_json(design, b, options, report);
+
+  // No wall-clock content: the runtimes block and every timing-flagged
+  // metric (time.*) are gone...
+  EXPECT_EQ(ja.find("\"runtimes_s\":"), std::string::npos);
+  EXPECT_EQ(ja.find("\"time."), std::string::npos);
+  EXPECT_EQ(ja.find("\"timing\":"), std::string::npos);
+  // ...so two identical runs report byte-identical documents.
+  EXPECT_EQ(ja, jb);
+
+  // The timed variant still has both.
+  const std::string timed = ocore::report_json(design, a, options);
+  EXPECT_NE(timed.find("\"runtimes_s\":"), std::string::npos);
+  EXPECT_NE(timed.find("\"time.total_s\""), std::string::npos);
+}
+
+TEST(Report, DeprecatedAccessorsMirrorStats) {
+  const auto design = small_design();
+  ocore::OperonOptions options;
+  const auto result = routed_fixture(design, options);
+  // Compatibility surface for pre-RunStats callers: read-only views of
+  // the same values.
+  EXPECT_DOUBLE_EQ(result.power_pj(), result.stats.power_pj);
+  EXPECT_EQ(result.optical_nets(), result.stats.optical_nets);
+  EXPECT_EQ(result.electrical_nets(), result.stats.electrical_nets);
+  EXPECT_EQ(result.timed_out(), result.stats.timed_out);
+  EXPECT_EQ(result.proven_optimal(), result.stats.proven_optimal);
+  EXPECT_EQ(result.lr_iterations(), result.stats.lr_iterations);
+  EXPECT_DOUBLE_EQ(result.times().total_s(), result.stats.times.total_s());
+  const std::string with_bool =
+      ocore::report_json(design, result, options, /*include_per_net=*/true);
+  ocore::ReportOptions report;
+  report.per_net = true;
+  EXPECT_EQ(with_bool, ocore::report_json(design, result, options, report));
+}
+
+TEST(Report, EmptyCandidateSetIsRejectedNotOutOfBounds) {
+  // A candidate set with no options violates the generation contract
+  // (the pure-electrical fallback must always exist); the selection
+  // driver must say so instead of indexing out of bounds.
+  std::vector<operon::codesign::CandidateSet> sets(1);
+  sets[0].net = 7;
+  ocore::OperonOptions options;
+  EXPECT_THROW(ocore::run_selection_only(sets, options),
+               operon::util::CheckError);
 }
 
 TEST(Wavelength, AssignmentValidOnRealPlan) {

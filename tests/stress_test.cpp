@@ -40,8 +40,8 @@ TEST(Stress, RandomPipelines) {
     // System invariants, regardless of configuration:
     ASSERT_EQ(result.selection.size(), result.sets.size());
     EXPECT_TRUE(result.violations.clean());
-    EXPECT_GT(result.power_pj, 0.0);
-    EXPECT_EQ(result.optical_nets + result.electrical_nets,
+    EXPECT_GT(result.stats.power_pj, 0.0);
+    EXPECT_EQ(result.stats.optical_nets + result.stats.electrical_nets,
               result.sets.size());
     // WDM plan consistent: final <= initial <= connections (per-WDM
     // sharing can only reduce), all channels allocated.

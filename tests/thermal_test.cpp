@@ -108,7 +108,7 @@ TEST(Thermal, CoolerElectricalLayerPaysLessTuning) {
   for (std::size_t i = 0; i < result.sets.size(); ++i) {
     operon_chosen.push_back(result.sets[i].options[result.selection[i]]);
   }
-  if (result.power_pj >= glow.total_power_pj) {
+  if (result.stats.power_pj >= glow.total_power_pj) {
     GTEST_SKIP() << "instance did not separate OPERON from GLOW";
   }
 

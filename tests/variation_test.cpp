@@ -164,5 +164,5 @@ TEST(Variation, GuardBandImprovesYield) {
   EXPECT_GE(yield_guarded.worst_nominal_margin_db, 3.0 - 1e-6);
   EXPECT_GE(yield_guarded.design_yield, yield_unguarded.design_yield - 0.02);
   // The guard band costs power (or is free when unconstrained).
-  EXPECT_GE(with_guard.power_pj, unguarded.power_pj - 1e-9);
+  EXPECT_GE(with_guard.stats.power_pj, unguarded.stats.power_pj - 1e-9);
 }

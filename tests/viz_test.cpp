@@ -78,7 +78,7 @@ TEST(Render, RoutedDesignContainsAllLayers) {
   EXPECT_NE(svg.find("</svg>"), std::string::npos);
   // Optical segments and conversion markers exist (each optical net has
   // at least one segment line, plus pin and conversion circles).
-  EXPECT_GE(count_occurrences(svg, "<line"), result.optical_nets);
+  EXPECT_GE(count_occurrences(svg, "<line"), result.stats.optical_nets);
   EXPECT_GT(count_occurrences(svg, "<circle"), 0u);
   // Legend entries present.
   EXPECT_NE(svg.find("optical waveguide"), std::string::npos);

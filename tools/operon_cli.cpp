@@ -4,7 +4,8 @@
 //   operon_cli info   --in design.txt
 //   operon_cli route  --in design.txt [--solver lr|ilp|mip]
 //                     [--ilp-limit 20] [--lm 20] [--report out.json]
-//                     [--svg out.svg] [--per-net]
+//                     [--svg out.svg] [--per-net] [--no-timings]
+//                     [--trace-out t.json] [--metrics-out m.json]
 //   operon_cli stress --faults [--seeds 200] [--threads N]
 //
 // Exit code 0 on success, 1 on usage/input errors, 2 when routing left
@@ -26,6 +27,7 @@
 #include "core/verify.hpp"
 #include "model/design_json.hpp"
 #include "model/diagnostic.hpp"
+#include "obs/sink.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
@@ -44,7 +46,9 @@ int usage() {
                "  operon_cli route  --in FILE [--solver lr|ilp|mip] "
                "[--ilp-limit SEC] [--lm DB] [--threads N (0 = all cores; "
                "results identical at any N)] [--report FILE] [--svg FILE] "
-               "[--per-net]\n"
+               "[--per-net] [--no-timings (omit wall-clock fields from the "
+               "report)] [--trace-out FILE (Chrome trace_event JSON)] "
+               "[--metrics-out FILE (metrics registry JSON)]\n"
                "  operon_cli stress --faults [--seeds N] [--solver "
                "lr|ilp|mip] [--threads N]  # fault-injection harness; exit "
                "2 on any robustness breach\n");
@@ -121,19 +125,28 @@ int cmd_route(const util::Cli& cli) {
     options.params.optical.max_loss_db = cli.get_double("lm", 20.0);
   }
 
+  // Install the trace/metrics sink (a no-op when neither --trace-out nor
+  // --metrics-out is given) so the run's spans and counters land in it.
+  obs::CliObservation observing(cli);
+
   const core::OperonResult result = core::run_operon(design, options);
   std::printf("%s: %.2f pJ/bit-cycle | %zu optical, %zu electrical nets | "
               "worst loss %.2f / %.1f dB | WDMs %zu -> %zu | %.2f s%s\n",
-              design.name.c_str(), result.power_pj, result.optical_nets,
-              result.electrical_nets, result.violations.worst_loss_db,
+              design.name.c_str(), result.stats.power_pj,
+              result.stats.optical_nets, result.stats.electrical_nets,
+              result.violations.worst_loss_db,
               options.params.optical.max_loss_db,
               result.wdm_plan.initial_wdms, result.wdm_plan.final_wdms,
-              result.times.total_s(), result.degraded ? " | DEGRADED" : "");
+              result.stats.times.total_s(),
+              result.degraded ? " | DEGRADED" : "");
   print_diagnostics(result.diagnostics);
 
   if (cli.has("report")) {
+    core::ReportOptions report;
+    report.per_net = cli.get_bool("per-net", false);
+    report.timings = !cli.get_bool("no-timings", false);
     core::write_report(cli.get("report", "report.json"), design, result,
-                       options, cli.get_bool("per-net", false));
+                       options, report);
     std::printf("report: %s\n", cli.get("report", "report.json").c_str());
   }
   if (cli.has("svg")) {
@@ -205,6 +218,9 @@ int cmd_stress(const util::Cli& cli) {
   else return usage();
   options.select.time_limit_s = cli.get_double("ilp-limit", 5.0);
   options.threads = cli.get_threads();
+
+  // File-only sink: never touches stdout, so the digest stays stable.
+  obs::CliObservation observing(cli);
 
   const std::vector<benchgen::FaultKind> kinds = benchgen::all_fault_kinds();
   std::size_t rejected = 0, completed = 0, degraded = 0, breaches = 0;
