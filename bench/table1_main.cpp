@@ -18,6 +18,7 @@
 #include "baseline/routers.hpp"
 #include "benchgen/benchgen.hpp"
 #include "core/flow.hpp"
+#include "obs/ledger.hpp"
 #include "obs/sink.hpp"
 #include "util/cli.hpp"
 #include "util/strings.hpp"
@@ -43,7 +44,10 @@ constexpr PaperRow kPaper[] = {
 int main(int argc, char** argv) {
   using namespace operon;
   const util::Cli cli(argc, argv);
-  const obs::CliObservation observing(cli);  // --trace-out/--metrics-out
+  // --trace-out/--metrics-out/--ledger-out/--heartbeat-ms; with
+  // --ledger-out each run below appends one record, keyed by the case id
+  // and seed set via set_ledger_context.
+  const obs::CliObservation observing(cli);
   const double ilp_limit = cli.get_double("ilp-limit", 20.0);
   const std::uint64_t seed_offset =
       static_cast<std::uint64_t>(cli.get_int("seed-offset", 0));
@@ -74,6 +78,7 @@ int main(int argc, char** argv) {
     benchgen::BenchmarkSpec spec = benchgen::table1_spec(id);
     spec.seed += seed_offset;
     const model::Design design = benchgen::generate_benchmark(spec);
+    obs::set_ledger_context(id, spec.seed);
 
     core::OperonOptions options;
     options.solver = core::SolverKind::Lr;

@@ -1,0 +1,266 @@
+#!/usr/bin/env python3
+"""Bench trajectory and regression tooling over run-ledger JSONL files.
+
+Two subcommands:
+
+  point    Condense a ledger (e.g. from `bench/table1_main --ledger-out`)
+           into one trajectory point and append it to a BENCH_*.json
+           history file (a JSON array, one element per recorded build).
+           The point keeps the headline semantic numbers per (case,
+           solver) plus wall-clock, keyed by the build's git describe.
+
+  compare  Python mirror of `operon_cli compare`: pair two ledgers by
+           (case, seed, options fingerprint) and demand exact semantic
+           equality; timing gauges are held to a ratio threshold and
+           reported, not gated, unless --fail-on-timing.
+
+Usage:
+  bench_regress.py point --ledger runs.jsonl --out BENCH_table1.json
+  bench_regress.py compare baseline.jsonl current.jsonl [--json]
+                   [--timing-ratio 1.5] [--timing-min 0.05]
+                   [--fail-on-timing]
+
+Exit codes: 0 ok; 1 usage/input error; 2 semantic drift;
+3 timing regression (compare, only with --fail-on-timing).
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(message: str, code: int = 1) -> None:
+    print(f"bench_regress: FAIL: {message}", file=sys.stderr)
+    sys.exit(code)
+
+
+def read_ledger(path: str) -> list:
+    records = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                if not line.strip():
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError as error:
+                    fail(f"{path} line {line_number}: not valid JSON: {error}")
+    except OSError as error:
+        fail(f"cannot load '{path}': {error}")
+    return records
+
+
+def gauge(points: list, name: str):
+    for point in points:
+        if point.get("name") == name and point.get("kind") == "gauge":
+            return point.get("value")
+    return None
+
+
+# -- point -----------------------------------------------------------------
+
+
+def cmd_point(args: argparse.Namespace) -> int:
+    records = read_ledger(args.ledger)
+    if not records:
+        fail(f"ledger '{args.ledger}' has no records")
+
+    entries = []
+    seen = set()
+    for record in records:
+        # table1 re-runs each case serially when --threads != 1; the
+        # first occurrence per (case, solver) is the measured run.
+        key = (record["case"], record["solver"])
+        if key in seen:
+            continue
+        seen.add(key)
+        entries.append(
+            {
+                "case": record["case"],
+                "seed": record["seed"],
+                "solver": record["solver"],
+                "options": record["options"],
+                "threads": record["threads"],
+                "degraded": record["degraded"],
+                "power_pj": gauge(record["metrics"], "core.power_pj"),
+                "optical_nets": gauge(record["metrics"], "core.optical_nets"),
+                "electrical_nets": gauge(
+                    record["metrics"], "core.electrical_nets"
+                ),
+                "time_total_s": gauge(record["timings"], "time.total_s"),
+            }
+        )
+
+    point = {"git": records[0]["git"], "entries": entries}
+    if args.label:
+        point["label"] = args.label
+
+    try:
+        with open(args.out, "r", encoding="utf-8") as handle:
+            history = json.load(handle)
+        if not isinstance(history, list):
+            fail(f"'{args.out}' exists but is not a JSON array")
+    except FileNotFoundError:
+        history = []
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"cannot load '{args.out}': {error}")
+
+    history.append(point)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(history, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"bench_regress: appended point '{point['git']}' "
+        f"({len(entries)} entries) to '{args.out}' "
+        f"({len(history)} point(s) total)"
+    )
+    return 0
+
+
+# -- compare ---------------------------------------------------------------
+
+
+def ledger_key(record: dict) -> str:
+    return f"{record['case']}/{record['seed']}/{record['options']}"
+
+
+def semantic_points(record: dict) -> list:
+    points = [p for p in record["metrics"] if not p.get("timing")]
+    return sorted(points, key=lambda p: p["name"])
+
+
+def semantic_difference(a: dict, b: dict) -> str:
+    if a["degraded"] != b["degraded"]:
+        return f"degraded: {a['degraded']} vs {b['degraded']}"
+    if a.get("diagnostics", {}) != b.get("diagnostics", {}):
+        return "diagnostic summary differs"
+    lhs, rhs = semantic_points(a), semantic_points(b)
+    by_name = {p["name"]: p for p in rhs}
+    for point in lhs:
+        if point["name"] not in by_name:
+            return f"extra metric '{point['name']}'"
+        if point != by_name[point["name"]]:
+            return f"metric '{point['name']}' differs"
+    for point in rhs:
+        if point["name"] not in {p["name"] for p in lhs}:
+            return f"missing metric '{point['name']}'"
+    return ""
+
+
+def compare_timings(a: dict, b: dict, args: argparse.Namespace) -> list:
+    findings = []
+    after = {
+        p["name"]: p["value"]
+        for p in b["timings"]
+        if p.get("kind") == "gauge"
+    }
+    for point in a["timings"]:
+        if point.get("kind") != "gauge":
+            continue
+        if point["name"].startswith("pool."):
+            continue  # telemetry counters scale with thread count
+        before = point["value"]
+        if before < args.timing_min or point["name"] not in after:
+            continue
+        current = after[point["name"]]
+        if current >= args.timing_ratio * before:
+            findings.append(
+                f"{point['name']}: {before:.3f} -> {current:.3f} "
+                f"(x{current / before:.2f} >= x{args.timing_ratio:.2f})"
+            )
+    return findings
+
+
+def group_by_key(records: list) -> dict:
+    groups = {}
+    for record in records:
+        groups.setdefault(ledger_key(record), []).append(record)
+    return groups
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    before = group_by_key(read_ledger(args.baseline))
+    after = group_by_key(read_ledger(args.current))
+
+    matched = 0
+    only_baseline, only_current, semantic, timing = [], [], [], []
+    for key in sorted(before):
+        others = after.get(key, [])
+        only_baseline.extend([key] * max(0, len(before[key]) - len(others)))
+        for a, b in zip(before[key], others):
+            matched += 1
+            difference = semantic_difference(a, b)
+            if difference:
+                semantic.append({"key": key, "detail": difference})
+            for finding in compare_timings(a, b, args):
+                timing.append({"key": key, "detail": finding})
+    for key in sorted(after):
+        extra = len(after[key]) - len(before.get(key, []))
+        only_current.extend([key] * max(0, extra))
+
+    semantic_ok = not (only_baseline or only_current or semantic)
+    if not semantic_ok:
+        verdict = "semantic-drift"
+    elif timing:
+        verdict = "timing-regression"
+    else:
+        verdict = "ok"
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "verdict": verdict,
+                    "matched": matched,
+                    "only_baseline": only_baseline,
+                    "only_current": only_current,
+                    "semantic": semantic,
+                    "timing": timing,
+                }
+            )
+        )
+    else:
+        print(f"bench_regress: {verdict} | {matched} pair(s) matched")
+        for key in only_baseline:
+            print(f"  only in baseline: {key}")
+        for key in only_current:
+            print(f"  only in current:  {key}")
+        for finding in semantic:
+            print(f"  semantic {finding['key']}: {finding['detail']}")
+        for finding in timing:
+            print(f"  timing {finding['key']}: {finding['detail']}")
+
+    if not semantic_ok:
+        return 2
+    if timing and args.fail_on_timing:
+        return 3
+    return 0
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    point = commands.add_parser("point", help="append a trajectory point")
+    point.add_argument("--ledger", required=True, help="input ledger JSONL")
+    point.add_argument(
+        "--out", required=True, help="BENCH_*.json history file to append to"
+    )
+    point.add_argument("--label", default="", help="optional point label")
+
+    compare = commands.add_parser("compare", help="compare two ledgers")
+    compare.add_argument("baseline", help="baseline ledger JSONL")
+    compare.add_argument("current", help="current ledger JSONL")
+    compare.add_argument("--timing-ratio", type=float, default=1.5)
+    compare.add_argument("--timing-min", type=float, default=0.05)
+    compare.add_argument("--fail-on-timing", action="store_true")
+    compare.add_argument("--json", action="store_true")
+
+    args = parser.parse_args()
+    if args.command == "point":
+        sys.exit(cmd_point(args))
+    sys.exit(cmd_compare(args))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Validate a run-ledger JSONL file (the --ledger-out format).
+
+Mirrors the strict C++ parser in src/obs/ledger.cpp: every non-blank
+line must be a schema-1 record with the identity key (case, seed,
+options fingerprint), provenance (git, solver, threads), the degraded /
+diagnostics summary, and well-formed metric points — semantic points in
+"metrics" (never timing-flagged), timing gauges in "timings".
+
+Usage: check_ledger.py LEDGER.jsonl [--min-records N]
+Exit code 0 when valid, 1 with a diagnostic on the first violation.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = 1
+HISTOGRAM_BUCKETS = 14  # len(histogram_bounds) + 1, see src/obs/metrics.cpp
+KINDS = ("counter", "gauge", "histogram")
+
+
+def fail(message: str) -> None:
+    print(f"check_ledger: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def is_number(value: object) -> bool:
+    return not isinstance(value, bool) and isinstance(value, (int, float))
+
+
+def is_uint(value: object) -> bool:
+    return not isinstance(value, bool) and isinstance(value, int) and value >= 0
+
+
+def check_point(where: str, point: object) -> None:
+    if not isinstance(point, dict):
+        fail(f"{where} is not an object")
+    name = point.get("name")
+    if not isinstance(name, str) or not name:
+        fail(f"{where}.name must be a non-empty string")
+    kind = point.get("kind")
+    if kind not in KINDS:
+        fail(f"{where} ('{name}') has unknown kind {kind!r}")
+    if "timing" in point and point["timing"] is not True:
+        fail(f"{where} ('{name}').timing must be true when present")
+    if kind == "counter":
+        if not is_uint(point.get("value")):
+            fail(f"{where} ('{name}') counter value must be a non-negative int")
+    elif kind == "gauge":
+        if not is_number(point.get("value")):
+            fail(f"{where} ('{name}') gauge value must be a number")
+    else:  # histogram
+        if not is_uint(point.get("count")):
+            fail(f"{where} ('{name}') histogram count must be a non-negative int")
+        for key in ("sum", "min", "max"):
+            if not is_number(point.get(key)):
+                fail(f"{where} ('{name}').{key} must be a number")
+        buckets = point.get("buckets")
+        if not isinstance(buckets, list) or len(buckets) != HISTOGRAM_BUCKETS:
+            fail(
+                f"{where} ('{name}') must have exactly "
+                f"{HISTOGRAM_BUCKETS} buckets"
+            )
+        if not all(is_uint(b) for b in buckets):
+            fail(f"{where} ('{name}') buckets must be non-negative ints")
+
+
+def check_record(line_number: int, record: object) -> None:
+    where = f"line {line_number}"
+    if not isinstance(record, dict):
+        fail(f"{where}: record is not an object")
+    if record.get("schema") != SCHEMA_VERSION:
+        fail(
+            f"{where}: schema {record.get('schema')!r} unsupported "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    for key in ("case", "git", "options", "solver"):
+        if not isinstance(record.get(key), str) or not record[key]:
+            fail(f"{where}: '{key}' must be a non-empty string")
+    for key in ("seed", "threads"):
+        if not is_uint(record.get(key)):
+            fail(f"{where}: '{key}' must be a non-negative integer")
+    if not isinstance(record.get("degraded"), bool):
+        fail(f"{where}: 'degraded' must be a boolean")
+    diagnostics = record.get("diagnostics")
+    if not isinstance(diagnostics, dict):
+        fail(f"{where}: 'diagnostics' must be an object")
+    for code, count in diagnostics.items():
+        if not is_uint(count):
+            fail(f"{where}: diagnostic count for '{code}' must be an int")
+    for key in ("metrics", "timings"):
+        points = record.get(key)
+        if not isinstance(points, list):
+            fail(f"{where}: '{key}' must be an array")
+        for index, point in enumerate(points):
+            check_point(f"{where}: {key}[{index}]", point)
+    for point in record["metrics"]:
+        if point.get("timing"):
+            fail(
+                f"{where}: timing-flagged point '{point['name']}' in the "
+                "semantic metrics array"
+            )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("ledger", help="ledger JSONL file to validate")
+    parser.add_argument(
+        "--min-records",
+        type=int,
+        default=1,
+        help="fail when fewer records are present (default: 1)",
+    )
+    args = parser.parse_args()
+
+    records = 0
+    try:
+        with open(args.ledger, "r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                if not line.strip():
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as error:
+                    fail(f"line {line_number}: not valid JSON: {error}")
+                check_record(line_number, record)
+                records += 1
+    except OSError as error:
+        fail(f"cannot load '{args.ledger}': {error}")
+
+    if records < args.min_records:
+        fail(f"expected at least {args.min_records} records, got {records}")
+
+    print(f"check_ledger: OK: {records} record(s) in '{args.ledger}'")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,8 +1,12 @@
 #include "core/flow.hpp"
 
 #include <iterator>
+#include <map>
+#include <utility>
 
+#include "obs/ledger.hpp"
 #include "obs/obs.hpp"
+#include "obs/resource.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
@@ -210,6 +214,7 @@ void finalize_stats(OperonResult& result, obs::Observation& run_obs) {
   obs::set_gauge("time.selection_s", times.selection_s, /*timing=*/true);
   obs::set_gauge("time.wdm_s", times.wdm_s, /*timing=*/true);
   obs::set_gauge("time.total_s", times.total_s(), /*timing=*/true);
+  obs::publish_resource_gauges();
   result.stats.metrics = run_obs.metrics.snapshot();
 }
 
@@ -219,7 +224,126 @@ void absorb_into_ambient(const obs::Observation& run_obs) {
   if (obs::Observation* ambient = obs::current()) ambient->absorb(run_obs);
 }
 
+/// Build this run's LedgerRecord and hand it to the ambient collector
+/// (no-op when none is installed). Case id and seed come from the
+/// front-end context (obs::set_ledger_context); a run without context
+/// falls back to `fallback_case` with seed 0.
+void emit_run_record(const OperonResult& result, const OperonOptions& options,
+                     const std::string& fallback_case) {
+  obs::LedgerCollector* ledger = obs::current_ledger();
+  if (ledger == nullptr) return;
+  obs::LedgerRecord record;
+  record.case_id = ledger->context_case();
+  if (record.case_id.empty()) record.case_id = fallback_case;
+  record.seed = ledger->context_seed();
+  record.options = options_fingerprint(options);
+  record.solver = std::string(to_string(options.solver));
+  record.threads = options.threads;
+  record.degraded = result.degraded;
+  std::map<std::string, std::uint64_t> counts;
+  for (const model::Diagnostic& diagnostic : result.diagnostics) {
+    ++counts[std::string(model::to_string(diagnostic.code))];
+  }
+  record.diagnostics.assign(counts.begin(), counts.end());
+  for (const obs::MetricPoint& point : result.stats.metrics.points) {
+    (point.timing ? record.timings : record.metrics).push_back(point);
+  }
+  obs::emit_ledger_record(std::move(record));
+}
+
 }  // namespace
+
+std::string_view to_string(SolverKind solver) {
+  switch (solver) {
+    case SolverKind::IlpExact: return "ilp-exact";
+    case SolverKind::Lr: return "lr";
+    case SolverKind::MipLiteral: return "mip-literal";
+  }
+  return "unknown";
+}
+
+std::string options_fingerprint(const OperonOptions& options) {
+  // Canonical key=value rendering of every semantic field, hashed.
+  // Doubles print at %.17g so distinct values never collide through
+  // formatting; thread counts and the warm-start vector's storage are
+  // deliberately NOT free-form — warm starts fold in value-by-value.
+  std::string canon;
+  canon.reserve(1024);
+  const auto field = [&canon](const char* key, std::string_view value) {
+    canon.append(key);
+    canon.push_back('=');
+    canon.append(value);
+    canon.push_back(';');
+  };
+  const auto num = [&field](const char* key, double value) {
+    field(key, util::format("%.17g", value));
+  };
+  const auto count = [&field](const char* key, std::uint64_t value) {
+    field(key, util::format("%llu", static_cast<unsigned long long>(value)));
+  };
+  const auto flag = [&field](const char* key, bool value) {
+    field(key, value ? "1" : "0");
+  };
+
+  const model::OpticalParams& opt = options.params.optical;
+  num("optical.alpha_db_per_um", opt.alpha_db_per_um);
+  num("optical.beta_db_per_crossing", opt.beta_db_per_crossing);
+  num("optical.splitter_excess_db", opt.splitter_excess_db);
+  num("optical.pmod_pj_per_bit", opt.pmod_pj_per_bit);
+  num("optical.pdet_pj_per_bit", opt.pdet_pj_per_bit);
+  num("optical.max_loss_db", opt.max_loss_db);
+  count("optical.wdm_capacity", static_cast<std::uint64_t>(opt.wdm_capacity));
+  num("optical.dis_lower_um", opt.dis_lower_um);
+  num("optical.dis_upper_um", opt.dis_upper_um);
+  const model::ElectricalParams& ele = options.params.electrical;
+  num("electrical.switching_factor", ele.switching_factor);
+  num("electrical.frequency_ghz", ele.frequency_ghz);
+  num("electrical.voltage_v", ele.voltage_v);
+  num("electrical.cap_ff_per_um", ele.cap_ff_per_um);
+
+  const cluster::SignalProcessingOptions& proc = options.processing;
+  count("processing.kmeans.capacity", proc.kmeans.capacity);
+  num("processing.kmeans.variance_threshold", proc.kmeans.variance_threshold);
+  count("processing.kmeans.max_iterations", proc.kmeans.max_iterations);
+  count("processing.kmeans.seed", proc.kmeans.seed);
+  num("processing.pin_merge_threshold_um", proc.pin_merge_threshold_um);
+
+  const codesign::GenerationOptions& gen = options.generation;
+  count("generation.max_baselines", gen.max_baselines);
+  count("generation.dp.max_labels", gen.dp.max_labels);
+  flag("generation.dp.prune_infeasible", gen.dp.prune_infeasible);
+  flag("generation.dp.prune_dominated", gen.dp.prune_dominated);
+  count("generation.grid_cells", gen.grid_cells);
+  flag("generation.estimate_crossings", gen.estimate_crossings);
+  count("generation.max_candidates_per_net", gen.max_candidates_per_net);
+  flag("generation.detour_baselines", gen.detour_baselines);
+
+  num("select.time_limit_s", options.select.time_limit_s);
+  flag("select.reduce_variables", options.select.reduce_variables);
+  std::uint64_t warm = 1469598103934665603ULL;
+  for (const std::size_t choice : options.select.warm_start) {
+    warm = util::fnv1a(util::format("%zu,", choice), warm);
+  }
+  field("select.warm_start", util::hex64(warm));
+
+  count("lr.max_iterations", options.lr.max_iterations);
+  num("lr.init_scale", options.lr.init_scale);
+  num("lr.step_scale", options.lr.step_scale);
+  num("lr.convergence_ratio", options.lr.convergence_ratio);
+  flag("lr.repair_violations", options.lr.repair_violations);
+
+  num("wdm.usage_cost", options.wdm.usage_cost);
+  num("wdm.usage_rank_cost", options.wdm.usage_rank_cost);
+  num("wdm.move_cost_weight", options.wdm.move_cost_weight);
+
+  field("solver", to_string(options.solver));
+  flag("run_wdm_stage", options.run_wdm_stage);
+
+  std::string out(to_string(options.solver));
+  out.push_back('-');
+  out.append(util::hex64(util::fnv1a(canon)));
+  return out;
+}
 
 OperonResult run_operon(const model::Design& design,
                         const OperonOptions& raw_options) {
@@ -260,6 +384,7 @@ OperonResult run_operon(const model::Design& design,
     finalize_stats(result, run_obs);
   }
   absorb_into_ambient(run_obs);
+  emit_run_record(result, options, design.name);
   return result;
 }
 
@@ -276,6 +401,7 @@ OperonResult run_selection_only(std::vector<codesign::CandidateSet> sets,
     finalize_stats(result, run_obs);
   }
   absorb_into_ambient(run_obs);
+  emit_run_record(result, options, "selection-only");
   return result;
 }
 

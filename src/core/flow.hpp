@@ -4,6 +4,8 @@
 // determination (exact ILP-style branch-and-bound, or the LR speed-up)
 // -> WDM placement + network-flow assignment.
 
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "cluster/hypernet_builder.hpp"
@@ -22,6 +24,10 @@ enum class SolverKind {
   Lr,         ///< "OPERON (LR)": Lagrangian-relaxation speed-up
   MipLiteral  ///< literal Formulation-(3) MIP via simplex B&B (small cases)
 };
+
+/// Stable identifier ("ilp-exact", "lr", "mip-literal") used in ledger
+/// records and CLI flags.
+std::string_view to_string(SolverKind solver);
 
 struct OperonOptions {
   model::TechParams params = model::TechParams::dac18_defaults();
@@ -73,6 +79,17 @@ struct OperonResult {
   std::size_t electrical_nets() const { return stats.electrical_nets; }
   const StageTimes& times() const { return stats.times; }
 };
+
+/// Deterministic fingerprint of the semantically-relevant options:
+/// every field that can change the selected plan (tech parameters,
+/// stage options, solver, WDM toggle) folded into an FNV-1a hash,
+/// rendered as "<solver>-<16 hex digits>". Thread counts are excluded
+/// by design — results are bit-identical at any --threads value, so
+/// ledger records from different thread counts must pair up and agree
+/// (see obs/ledger.hpp). Changing any semantic default or adding a
+/// semantic field changes the fingerprint, which conservatively splits
+/// ledger histories instead of silently comparing unlike runs.
+std::string options_fingerprint(const OperonOptions& options);
 
 /// Run the full OPERON pipeline on a design.
 ///

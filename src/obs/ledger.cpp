@@ -1,0 +1,390 @@
+#include "obs/ledger.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/json.hpp"
+#include "util/strings.hpp"
+
+namespace operon::obs {
+
+namespace {
+
+#ifndef OPERON_GIT_DESCRIBE
+#define OPERON_GIT_DESCRIBE "unknown"
+#endif
+
+/// Semantic points of a record sorted by name, for order-insensitive
+/// exact comparison (mirrors metrics.cpp semantic_equal).
+std::vector<MetricPoint> sorted_semantic(const LedgerRecord& record) {
+  std::vector<MetricPoint> out;
+  out.reserve(record.metrics.size());
+  for (const MetricPoint& point : record.metrics) {
+    if (!point.timing) out.push_back(point);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricPoint& a, const MetricPoint& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void write_points_key(util::JsonWriter& json, const char* key,
+                      std::span<const MetricPoint> points) {
+  json.key(key);
+  write_metric_points(json, points, /*include_timing=*/true, /*exact=*/true);
+}
+
+std::vector<MetricPoint> points_from_json(const util::JsonValue& array) {
+  std::vector<MetricPoint> points;
+  points.reserve(array.items().size());
+  for (const util::JsonValue& item : array.items()) {
+    points.push_back(metric_point_from_json(item));
+  }
+  return points;
+}
+
+std::uint64_t uint_member(const util::JsonValue& object,
+                          std::string_view key) {
+  const double number = object.at(key).as_number();
+  OPERON_CHECK_MSG(number >= 0,
+                   "ledger field '" << key << "' must be non-negative");
+  return static_cast<std::uint64_t>(number);
+}
+
+}  // namespace
+
+std::string_view git_describe() { return OPERON_GIT_DESCRIBE; }
+
+bool operator==(const LedgerRecord& a, const LedgerRecord& b) {
+  return a.schema == b.schema && a.case_id == b.case_id && a.seed == b.seed &&
+         a.git == b.git && a.options == b.options && a.solver == b.solver &&
+         a.threads == b.threads && a.degraded == b.degraded &&
+         a.diagnostics == b.diagnostics && a.metrics == b.metrics &&
+         a.timings == b.timings;
+}
+
+std::string ledger_key(const LedgerRecord& record) {
+  std::ostringstream os;
+  os << record.case_id << '/' << record.seed << '/' << record.options;
+  return os.str();
+}
+
+bool semantic_equal(const LedgerRecord& a, const LedgerRecord& b) {
+  return ledger_key(a) == ledger_key(b) && a.degraded == b.degraded &&
+         a.diagnostics == b.diagnostics &&
+         sorted_semantic(a) == sorted_semantic(b);
+}
+
+std::string to_json_line(const LedgerRecord& record) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("schema").value(record.schema);
+  json.key("case").value(record.case_id);
+  json.key("seed").value(record.seed);
+  json.key("git").value(record.git);
+  json.key("options").value(record.options);
+  json.key("solver").value(record.solver);
+  json.key("threads").value(static_cast<std::uint64_t>(record.threads));
+  json.key("degraded").value(record.degraded);
+  json.key("diagnostics").begin_object();
+  for (const auto& [code, count] : record.diagnostics) {
+    json.key(code).value(count);
+  }
+  json.end_object();
+  write_points_key(json, "metrics", record.metrics);
+  write_points_key(json, "timings", record.timings);
+  json.end_object();
+  return json.str();
+}
+
+LedgerRecord ledger_record_from_json(const util::JsonValue& value) {
+  OPERON_CHECK_MSG(value.is(util::JsonType::Object),
+                   "ledger record must be a JSON object");
+  LedgerRecord record;
+  record.schema = static_cast<int>(value.at("schema").as_number());
+  OPERON_CHECK_MSG(record.schema == kLedgerSchemaVersion,
+                   "ledger record schema " << record.schema
+                                           << " unsupported (expected "
+                                           << kLedgerSchemaVersion << ")");
+  record.case_id = value.at("case").as_string();
+  record.seed = uint_member(value, "seed");
+  record.git = value.at("git").as_string();
+  record.options = value.at("options").as_string();
+  record.solver = value.at("solver").as_string();
+  record.threads = static_cast<std::size_t>(uint_member(value, "threads"));
+  record.degraded = value.at("degraded").as_bool();
+  record.diagnostics.clear();
+  for (const auto& [code, count] : value.at("diagnostics").members()) {
+    OPERON_CHECK_MSG(count.is(util::JsonType::Number),
+                     "diagnostic count for '" << code << "' must be a number");
+    record.diagnostics.emplace_back(
+        code, static_cast<std::uint64_t>(count.as_number()));
+  }
+  record.metrics = points_from_json(value.at("metrics"));
+  record.timings = points_from_json(value.at("timings"));
+  for (const MetricPoint& point : record.metrics) {
+    OPERON_CHECK_MSG(!point.timing, "timing-flagged point '"
+                                        << point.name
+                                        << "' in the semantic metrics array");
+  }
+  return record;
+}
+
+LedgerRecord parse_ledger_record(std::string_view line) {
+  return ledger_record_from_json(util::parse_json(line));
+}
+
+std::vector<LedgerRecord> read_ledger(const std::string& path) {
+  std::ifstream is(path);
+  OPERON_CHECK_MSG(is.good(), "cannot open ledger '" << path << "'");
+  std::vector<LedgerRecord> records;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (util::trim(line).empty()) continue;
+    try {
+      records.push_back(parse_ledger_record(line));
+    } catch (const util::CheckError& error) {
+      OPERON_CHECK_MSG(false, "ledger '" << path << "' line " << line_number
+                                         << ": " << error.what());
+    }
+  }
+  return records;
+}
+
+void append_ledger_record(const std::string& path,
+                          const LedgerRecord& record) {
+  const std::string line = to_json_line(record);
+  // Stage the line first: if the process dies mid-append, the ledger
+  // either has the whole line or none of it, and the stage file shows
+  // what was in flight.
+  const std::string stage = path + ".tmp";
+  {
+    std::ofstream os(stage, std::ios::trunc);
+    os << line << "\n";
+    os.flush();
+    OPERON_CHECK_MSG(os.good(), "cannot stage ledger record in '" << stage
+                                                                  << "'");
+  }
+  {
+    std::ofstream os(path, std::ios::app);
+    os << line << "\n";
+    os.flush();
+    OPERON_CHECK_MSG(os.good(), "cannot append ledger record to '" << path
+                                                                   << "'");
+  }
+  std::remove(stage.c_str());
+}
+
+// -- regression sentinel ---------------------------------------------------
+
+namespace {
+
+/// Group records by identity key, preserving append order within a key
+/// so duplicate runs (e.g. table1's serial re-runs) pair by occurrence.
+std::map<std::string, std::vector<const LedgerRecord*>> by_key(
+    std::span<const LedgerRecord> records) {
+  std::map<std::string, std::vector<const LedgerRecord*>> groups;
+  for (const LedgerRecord& record : records) {
+    groups[ledger_key(record)].push_back(&record);
+  }
+  return groups;
+}
+
+/// First semantic difference between two paired records, for the
+/// finding message; empty when none.
+std::string semantic_difference(const LedgerRecord& a, const LedgerRecord& b) {
+  if (a.degraded != b.degraded) {
+    return util::format("degraded: %s vs %s", a.degraded ? "true" : "false",
+                        b.degraded ? "true" : "false");
+  }
+  if (a.diagnostics != b.diagnostics) return "diagnostic summary differs";
+  const std::vector<MetricPoint> lhs = sorted_semantic(a);
+  const std::vector<MetricPoint> rhs = sorted_semantic(b);
+  std::size_t i = 0, j = 0;
+  while (i < lhs.size() || j < rhs.size()) {
+    if (i == lhs.size()) return "missing metric '" + rhs[j].name + "'";
+    if (j == rhs.size()) return "extra metric '" + lhs[i].name + "'";
+    if (lhs[i].name < rhs[j].name) return "extra metric '" + lhs[i].name + "'";
+    if (rhs[j].name < lhs[i].name) {
+      return "missing metric '" + rhs[j].name + "'";
+    }
+    if (!(lhs[i] == rhs[j])) {
+      const MetricPoint& x = lhs[i];
+      const MetricPoint& y = rhs[j];
+      if (x.kind == MetricKind::Counter) {
+        return util::format("%s: %llu vs %llu", x.name.c_str(),
+                            static_cast<unsigned long long>(x.count),
+                            static_cast<unsigned long long>(y.count));
+      }
+      return util::format("%s: %.17g vs %.17g (count %llu vs %llu)",
+                          x.name.c_str(), x.value, y.value,
+                          static_cast<unsigned long long>(x.count),
+                          static_cast<unsigned long long>(y.count));
+    }
+    ++i;
+    ++j;
+  }
+  return "";
+}
+
+void compare_timings(const LedgerRecord& baseline, const LedgerRecord& current,
+                     const CompareOptions& options, CompareResult& result) {
+  for (const MetricPoint& before : baseline.timings) {
+    if (before.kind != MetricKind::Gauge) continue;
+    if (before.value < options.timing_min) continue;
+    // pool.* telemetry legitimately scales with the thread count; only
+    // wall-clock (time.*) and footprint (resource.*) gauges are held to
+    // the ratio threshold.
+    if (util::starts_with(before.name, "pool.")) continue;
+    for (const MetricPoint& after : current.timings) {
+      if (after.name != before.name || after.kind != MetricKind::Gauge) {
+        continue;
+      }
+      if (after.value >= options.timing_ratio * before.value) {
+        result.timing.push_back(
+            {ledger_key(baseline),
+             util::format("%s: %.3f -> %.3f (x%.2f >= x%.2f)",
+                          before.name.c_str(), before.value, after.value,
+                          after.value / before.value, options.timing_ratio)});
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string_view CompareResult::verdict() const {
+  if (!semantic_ok()) return "semantic-drift";
+  if (!timing.empty()) return "timing-regression";
+  return "ok";
+}
+
+std::string CompareResult::to_json() const {
+  util::JsonWriter json;
+  const auto findings = [&json](const char* key,
+                                std::span<const CompareFinding> list) {
+    json.key(key).begin_array();
+    for (const CompareFinding& finding : list) {
+      json.begin_object();
+      json.key("key").value(finding.key);
+      json.key("detail").value(finding.detail);
+      json.end_object();
+    }
+    json.end_array();
+  };
+  json.begin_object();
+  json.key("verdict").value(verdict());
+  json.key("matched").value(static_cast<std::uint64_t>(matched));
+  json.key("only_baseline").begin_array();
+  for (const std::string& key : only_baseline) json.value(key);
+  json.end_array();
+  json.key("only_current").begin_array();
+  for (const std::string& key : only_current) json.value(key);
+  json.end_array();
+  findings("semantic", semantic);
+  findings("timing", timing);
+  json.end_object();
+  return json.str();
+}
+
+CompareResult compare_ledgers(std::span<const LedgerRecord> baseline,
+                              std::span<const LedgerRecord> current,
+                              const CompareOptions& options) {
+  CompareResult result;
+  const auto before = by_key(baseline);
+  const auto after = by_key(current);
+  for (const auto& [key, records] : before) {
+    const auto found = after.find(key);
+    const std::size_t other = found == after.end() ? 0 : found->second.size();
+    for (std::size_t i = other; i < records.size(); ++i) {
+      result.only_baseline.push_back(key);
+    }
+    for (std::size_t i = 0; i < std::min(records.size(), other); ++i) {
+      ++result.matched;
+      const LedgerRecord& a = *records[i];
+      const LedgerRecord& b = *found->second[i];
+      const std::string difference = semantic_difference(a, b);
+      if (!difference.empty()) result.semantic.push_back({key, difference});
+      compare_timings(a, b, options, result);
+    }
+  }
+  for (const auto& [key, records] : after) {
+    const auto found = before.find(key);
+    const std::size_t other = found == before.end() ? 0 : found->second.size();
+    for (std::size_t i = other; i < records.size(); ++i) {
+      result.only_current.push_back(key);
+    }
+  }
+  return result;
+}
+
+// -- ambient collection ----------------------------------------------------
+
+void LedgerCollector::set_context(std::string case_id, std::uint64_t seed) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  context_case_ = std::move(case_id);
+  context_seed_ = seed;
+}
+
+std::string LedgerCollector::context_case() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return context_case_;
+}
+
+std::uint64_t LedgerCollector::context_seed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return context_seed_;
+}
+
+void LedgerCollector::add(LedgerRecord record) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  records_.push_back(std::move(record));
+}
+
+std::vector<LedgerRecord> LedgerCollector::records() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+std::size_t LedgerCollector::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+namespace {
+std::atomic<LedgerCollector*> g_ledger{nullptr};
+}  // namespace
+
+LedgerCollector* current_ledger() {
+  return g_ledger.load(std::memory_order_acquire);
+}
+
+ScopedLedger::ScopedLedger(LedgerCollector& collector)
+    : previous_(g_ledger.exchange(&collector, std::memory_order_acq_rel)) {}
+
+ScopedLedger::~ScopedLedger() {
+  g_ledger.store(previous_, std::memory_order_release);
+}
+
+void set_ledger_context(std::string case_id, std::uint64_t seed) {
+  if (LedgerCollector* ledger = current_ledger()) {
+    ledger->set_context(std::move(case_id), seed);
+  }
+}
+
+void emit_ledger_record(LedgerRecord record) {
+  if (LedgerCollector* ledger = current_ledger()) {
+    ledger->add(std::move(record));
+  }
+}
+
+}  // namespace operon::obs

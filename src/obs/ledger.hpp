@@ -1,0 +1,197 @@
+#pragma once
+// Persistent run ledger: the cross-run memory of the observability
+// layer. One LedgerRecord per completed pipeline run (run_operon /
+// run_selection_only), serialized as one line of JSON in an append-only
+// JSONL file, so perf and semantics can be compared across commits,
+// thread counts, and machines.
+//
+// A record carries the identity key (benchmark/case id, seed, options
+// fingerprint), provenance (schema version, git describe, solver,
+// thread count), the degraded/diagnostic summary, and the run's full
+// metric snapshot split into semantic points (bit-identical at any
+// --threads value) and timing-flagged points (wall-clock, compared only
+// against thresholds). Records round-trip exactly through the strict
+// JSON parser: parse_ledger_record(to_json_line(r)) == r.
+//
+// Writers are crash-safe: the serialized line is staged to a sibling
+// temp file first, then appended to the ledger in one stream write, so
+// a crash can lose at most the record being written, never corrupt the
+// records already present (see append_ledger_record).
+//
+// compare_ledgers is the regression sentinel: records from two ledgers
+// are paired by (case, seed, options) key — exploiting determinism,
+// semantic metrics must match EXACTLY — while timing gauges are held
+// only to a ratio threshold and reported, not gated, by default. See
+// DESIGN.md "Observability" for the record schema and verdict format.
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace operon::util {
+class JsonValue;
+}  // namespace operon::util
+
+namespace operon::obs {
+
+/// Bump when the record layout changes incompatibly; readers reject
+/// unknown versions instead of guessing.
+inline constexpr int kLedgerSchemaVersion = 1;
+
+/// `git describe --always --dirty` of the tree this binary was built
+/// from ("unknown" when the build was not configured inside a git
+/// checkout).
+std::string_view git_describe();
+
+struct LedgerRecord {
+  int schema = kLedgerSchemaVersion;
+  /// Benchmark/case identity ("I1", a design name, ...).
+  std::string case_id;
+  /// Generator seed when the front end recorded one (0 otherwise).
+  std::uint64_t seed = 0;
+  std::string git{git_describe()};
+  /// Deterministic fingerprint of the semantically-relevant options
+  /// (core::options_fingerprint; excludes thread count by design, so
+  /// records from --threads 1/2/8 runs pair up and must agree).
+  std::string options;
+  std::string solver;
+  /// The OperonOptions::threads knob as set (informational only; never
+  /// part of the identity key or the semantic comparison).
+  std::size_t threads = 1;
+  bool degraded = false;
+  /// Warning counts per DiagCode wire name, sorted by name.
+  std::vector<std::pair<std::string, std::uint64_t>> diagnostics;
+  /// Semantic metric points, in registration order.
+  std::vector<MetricPoint> metrics;
+  /// Timing-flagged points (time.*, resource.*, pool.*), kept separate
+  /// so semantic comparison cannot accidentally include them.
+  std::vector<MetricPoint> timings;
+};
+
+bool operator==(const LedgerRecord& a, const LedgerRecord& b);
+
+/// Identity key used to pair records across ledgers: case / seed /
+/// options fingerprint (NOT git, threads, or timings).
+std::string ledger_key(const LedgerRecord& record);
+
+/// True when the two records describe the same semantic outcome:
+/// equal identity key, degraded flag, diagnostic summary, and
+/// bit-identical semantic metric points (compared in name order).
+bool semantic_equal(const LedgerRecord& a, const LedgerRecord& b);
+
+/// One-line JSON serialization (no trailing newline).
+std::string to_json_line(const LedgerRecord& record);
+
+/// Strict parsers; throw util::CheckError on any malformed input,
+/// unknown schema version, or mistyped field.
+LedgerRecord ledger_record_from_json(const util::JsonValue& value);
+LedgerRecord parse_ledger_record(std::string_view line);
+
+/// Parse a whole JSONL ledger file. Blank lines are ignored; any
+/// malformed line throws CheckError naming the line number. A missing
+/// file throws (an empty ledger is a present file with zero records).
+std::vector<LedgerRecord> read_ledger(const std::string& path);
+
+/// Crash-safe append: stage the serialized line in `path`.tmp, then
+/// append it to `path` in one stream write and remove the stage file.
+/// Throws CheckError on I/O failure.
+void append_ledger_record(const std::string& path,
+                          const LedgerRecord& record);
+
+// -- regression sentinel ---------------------------------------------------
+
+struct CompareOptions {
+  /// A timing gauge regresses when current >= ratio * baseline...
+  double timing_ratio = 1.5;
+  /// ...and the baseline is at least this large (filters noise on
+  /// sub-50ms stages whose wall-clock is mostly jitter).
+  double timing_min = 0.05;
+};
+
+struct CompareFinding {
+  std::string key;     ///< ledger_key of the affected record pair
+  std::string detail;  ///< human-readable description of the difference
+};
+
+struct CompareResult {
+  std::size_t matched = 0;  ///< record pairs with equal identity keys
+  std::vector<std::string> only_baseline;  ///< keys with no current match
+  std::vector<std::string> only_current;   ///< keys with no baseline match
+  std::vector<CompareFinding> semantic;    ///< exact-match violations
+  std::vector<CompareFinding> timing;      ///< threshold violations
+
+  /// No unmatched keys and no semantic mismatches (timing regressions
+  /// do not affect this — they are report-only unless the caller opts
+  /// into gating on them).
+  bool semantic_ok() const {
+    return only_baseline.empty() && only_current.empty() && semantic.empty();
+  }
+  /// "ok" | "semantic-drift" | "timing-regression".
+  std::string_view verdict() const;
+  /// Machine-readable verdict document.
+  std::string to_json() const;
+};
+
+/// Pair records by identity key (duplicates pair by occurrence order —
+/// deterministic because ledgers are append-ordered) and compare each
+/// pair: semantic metrics + degraded + diagnostics must match exactly;
+/// timing gauges are held to the ratio threshold.
+CompareResult compare_ledgers(std::span<const LedgerRecord> baseline,
+                              std::span<const LedgerRecord> current,
+                              const CompareOptions& options = {});
+
+// -- ambient collection ----------------------------------------------------
+
+/// Collects the records of completed runs, plus the run context (case
+/// id, seed) that only the front end knows. Install with ScopedLedger;
+/// core's driver tail emits into whichever collector is current.
+class LedgerCollector {
+ public:
+  LedgerCollector() = default;
+  LedgerCollector(const LedgerCollector&) = delete;
+  LedgerCollector& operator=(const LedgerCollector&) = delete;
+
+  /// Set by the front end before a run; case_id empty means "use the
+  /// design name". Sticky until the next call.
+  void set_context(std::string case_id, std::uint64_t seed);
+  std::string context_case() const;
+  std::uint64_t context_seed() const;
+
+  void add(LedgerRecord record);
+  std::vector<LedgerRecord> records() const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::string context_case_;
+  std::uint64_t context_seed_ = 0;
+  std::vector<LedgerRecord> records_;
+};
+
+/// Currently installed collector (nullptr when none).
+LedgerCollector* current_ledger();
+
+/// RAII install, mirroring ScopedObservation.
+class ScopedLedger {
+ public:
+  explicit ScopedLedger(LedgerCollector& collector);
+  ~ScopedLedger();
+  ScopedLedger(const ScopedLedger&) = delete;
+  ScopedLedger& operator=(const ScopedLedger&) = delete;
+
+ private:
+  LedgerCollector* previous_;
+};
+
+/// Free helpers mirroring obs::add_counter: no-op when no collector is
+/// installed, so library code can call them unconditionally.
+void set_ledger_context(std::string case_id, std::uint64_t seed);
+void emit_ledger_record(LedgerRecord record);
+
+}  // namespace operon::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 
 #include "util/check.hpp"
 #include "util/json.hpp"
@@ -107,7 +108,11 @@ bool semantic_equal(const MetricsSnapshot& a, const MetricsSnapshot& b) {
 
 void write_metric_points(util::JsonWriter& json,
                          std::span<const MetricPoint> points,
-                         bool include_timing) {
+                         bool include_timing, bool exact) {
+  const auto number = [&json, exact](double value) {
+    if (exact) json.value_exact(value);
+    else json.value(value);
+  };
   json.begin_array();
   for (const MetricPoint& point : points) {
     if (point.timing && !include_timing) continue;
@@ -120,13 +125,17 @@ void write_metric_points(util::JsonWriter& json,
         json.key("value").value(point.count);
         break;
       case MetricKind::Gauge:
-        json.key("value").value(point.value);
+        json.key("value");
+        number(point.value);
         break;
       case MetricKind::Histogram:
         json.key("count").value(point.count);
-        json.key("sum").value(point.value);
-        json.key("min").value(point.min);
-        json.key("max").value(point.max);
+        json.key("sum");
+        number(point.value);
+        json.key("min");
+        number(point.min);
+        json.key("max");
+        number(point.max);
         json.key("buckets").begin_array();
         for (const std::uint64_t bucket : point.buckets) json.value(bucket);
         json.end_array();
@@ -135,6 +144,62 @@ void write_metric_points(util::JsonWriter& json,
     json.end_object();
   }
   json.end_array();
+}
+
+namespace {
+
+std::uint64_t uint_field(const util::JsonValue& object, std::string_view key) {
+  const double number = object.at(key).as_number();
+  OPERON_CHECK_MSG(number >= 0 && number == std::floor(number),
+                   "metric point field '" << key
+                                          << "' is not a non-negative integer");
+  return static_cast<std::uint64_t>(number);
+}
+
+}  // namespace
+
+MetricPoint metric_point_from_json(const util::JsonValue& value) {
+  MetricPoint point;
+  point.name = value.at("name").as_string();
+  OPERON_CHECK_MSG(!point.name.empty(), "metric point with empty name");
+  const std::string& kind = value.at("kind").as_string();
+  if (kind == "counter") point.kind = MetricKind::Counter;
+  else if (kind == "gauge") point.kind = MetricKind::Gauge;
+  else if (kind == "histogram") point.kind = MetricKind::Histogram;
+  else OPERON_CHECK_MSG(false, "unknown metric kind '" << kind << "'");
+  if (const util::JsonValue* timing = value.find("timing")) {
+    point.timing = timing->as_bool();
+  }
+  switch (point.kind) {
+    case MetricKind::Counter:
+      point.count = uint_field(value, "value");
+      break;
+    case MetricKind::Gauge:
+      point.value = value.at("value").as_number();
+      break;
+    case MetricKind::Histogram: {
+      point.count = uint_field(value, "count");
+      point.value = value.at("sum").as_number();
+      point.min = value.at("min").as_number();
+      point.max = value.at("max").as_number();
+      const std::vector<util::JsonValue>& buckets =
+          value.at("buckets").items();
+      OPERON_CHECK_MSG(buckets.size() == histogram_bounds().size() + 1,
+                       "histogram '" << point.name << "' has "
+                                     << buckets.size() << " buckets, expected "
+                                     << histogram_bounds().size() + 1);
+      point.buckets.reserve(buckets.size());
+      for (std::size_t i = 0; i < buckets.size(); ++i) {
+        const double count = buckets[i].as_number();
+        OPERON_CHECK_MSG(count >= 0 && count == std::floor(count),
+                         "histogram '" << point.name << "' bucket " << i
+                                       << " is not a non-negative integer");
+        point.buckets.push_back(static_cast<std::uint64_t>(count));
+      }
+      break;
+    }
+  }
+  return point;
 }
 
 void MetricsRegistry::add_counter(std::string_view name, std::uint64_t delta) {
@@ -174,6 +239,13 @@ void MetricsRegistry::absorb(const MetricsRegistry& other) {
   }
   const std::lock_guard<std::mutex> lock(mutex_);
   for (const MetricPoint& point : theirs) {
+    merge_point(entry(point.name, point.kind), point);
+  }
+}
+
+void MetricsRegistry::absorb(const MetricsSnapshot& other) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const MetricPoint& point : other.points) {
     merge_point(entry(point.name, point.kind), point);
   }
 }

@@ -17,6 +17,7 @@
 #include <vector>
 
 namespace operon::util {
+class JsonValue;
 class JsonWriter;
 }  // namespace operon::util
 
@@ -73,11 +74,20 @@ struct MetricsSnapshot {
 bool semantic_equal(const MetricsSnapshot& a, const MetricsSnapshot& b);
 
 /// Append `points` to an open JsonWriter scope as an array value (the
-/// caller has already emitted the key). Shared by report_json and the
-/// --metrics-out sink so the two formats cannot drift.
+/// caller has already emitted the key). Shared by report_json, the
+/// --metrics-out sink, and the run ledger so the formats cannot drift.
+/// `exact` selects bit-exact round-trip double formatting
+/// (JsonWriter::value_exact) — the ledger uses it so parsed-back
+/// records compare bit-identically; reports keep the display-oriented
+/// default.
 void write_metric_points(util::JsonWriter& json,
                          std::span<const MetricPoint> points,
-                         bool include_timing);
+                         bool include_timing, bool exact = false);
+
+/// Parse one element of a write_metric_points array back into a
+/// MetricPoint. Throws util::CheckError on any missing/mistyped field,
+/// unknown kind, or histogram bucket-count mismatch.
+MetricPoint metric_point_from_json(const util::JsonValue& value);
 
 /// Thread-safe metric store. Names are registered on first touch and
 /// keep that position forever; touching a name with a different kind is
@@ -96,6 +106,9 @@ class MetricsRegistry {
   /// other's value, histograms merge. Used to roll a per-run observation
   /// up into a session-level sink.
   void absorb(const MetricsRegistry& other);
+  /// Same merge semantics from a snapshot (e.g. replaying the per-run
+  /// snapshots stored in RunStats or a ledger record).
+  void absorb(const MetricsSnapshot& other);
 
   MetricsSnapshot snapshot() const;
   /// {"metrics": [...]} document with every point (timing included).

@@ -1,14 +1,25 @@
 #include "obs/obs.hpp"
 
 #include <atomic>
+#include <mutex>
 
 namespace operon::obs {
 
 namespace {
 std::atomic<Observation*> g_current{nullptr};
+/// Serializes install/uninstall against with_current_observation so an
+/// out-of-run sampler never dereferences an observation that its owner
+/// is about to destroy. Taken only at run boundaries and per heartbeat
+/// sample — never on the metric/span hot path.
+std::mutex g_install_mutex;
 }  // namespace
 
 Observation* current() { return g_current.load(std::memory_order_acquire); }
+
+void with_current_observation(const std::function<void(Observation*)>& fn) {
+  const std::lock_guard<std::mutex> lock(g_install_mutex);
+  fn(current());
+}
 
 MetricsRegistry* current_metrics() {
   Observation* observation = current();
@@ -20,10 +31,13 @@ TraceRecorder* current_trace() {
   return observation == nullptr ? nullptr : &observation->trace;
 }
 
-ScopedObservation::ScopedObservation(Observation& observation)
-    : previous_(g_current.exchange(&observation, std::memory_order_acq_rel)) {}
+ScopedObservation::ScopedObservation(Observation& observation) {
+  const std::lock_guard<std::mutex> lock(g_install_mutex);
+  previous_ = g_current.exchange(&observation, std::memory_order_acq_rel);
+}
 
 ScopedObservation::~ScopedObservation() {
+  const std::lock_guard<std::mutex> lock(g_install_mutex);
   g_current.store(previous_, std::memory_order_release);
 }
 

@@ -16,6 +16,7 @@
 // is fine); worker threads only *feed* the current observation.
 
 #include <cstdint>
+#include <functional>
 #include <string_view>
 
 #include "obs/metrics.hpp"
@@ -37,6 +38,14 @@ struct Observation {
 Observation* current();
 MetricsRegistry* current_metrics();
 TraceRecorder* current_trace();
+
+/// Run `fn` on the current observation (nullptr when none) while
+/// holding the install/uninstall guard, so a ScopedObservation cannot
+/// uninstall — and its owner destroy — the observation mid-call. This
+/// is how threads OUTSIDE a run (the resource heartbeat sampler) must
+/// access the ambient observation; threads inside a run join before
+/// uninstall by construction and keep using the lock-free helpers.
+void with_current_observation(const std::function<void(Observation*)>& fn);
 
 /// RAII install: makes `observation` current, restores the previous one
 /// on destruction.

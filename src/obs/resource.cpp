@@ -1,0 +1,118 @@
+#include "obs/resource.hpp"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "util/thread_pool.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#define OPERON_HAS_GETRUSAGE 1
+#endif
+
+namespace operon::obs {
+
+ResourceUsage sample_resource_usage() {
+  ResourceUsage usage;
+#ifdef OPERON_HAS_GETRUSAGE
+  struct rusage raw{};
+  if (getrusage(RUSAGE_SELF, &raw) == 0) {
+    // ru_maxrss is KiB on Linux, bytes on macOS.
+#if defined(__APPLE__)
+    usage.peak_rss_mb = static_cast<double>(raw.ru_maxrss) / (1024.0 * 1024.0);
+#else
+    usage.peak_rss_mb = static_cast<double>(raw.ru_maxrss) / 1024.0;
+#endif
+    usage.user_cpu_s = static_cast<double>(raw.ru_utime.tv_sec) +
+                       static_cast<double>(raw.ru_utime.tv_usec) * 1e-6;
+    usage.sys_cpu_s = static_cast<double>(raw.ru_stime.tv_sec) +
+                      static_cast<double>(raw.ru_stime.tv_usec) * 1e-6;
+  }
+#endif
+  return usage;
+}
+
+void publish_resource_gauges() {
+  MetricsRegistry* metrics = current_metrics();
+  if (metrics == nullptr) return;
+  const ResourceUsage usage = sample_resource_usage();
+  metrics->set_gauge("resource.peak_rss_mb", usage.peak_rss_mb,
+                     /*timing=*/true);
+  metrics->set_gauge("resource.user_cpu_s", usage.user_cpu_s, /*timing=*/true);
+  metrics->set_gauge("resource.sys_cpu_s", usage.sys_cpu_s, /*timing=*/true);
+  const util::PoolTelemetry pool = util::pool_telemetry();
+  metrics->set_gauge("pool.pools", static_cast<double>(pool.pools),
+                     /*timing=*/true);
+  metrics->set_gauge("pool.workers_spawned",
+                     static_cast<double>(pool.workers_spawned),
+                     /*timing=*/true);
+  metrics->set_gauge("pool.jobs", static_cast<double>(pool.jobs),
+                     /*timing=*/true);
+  metrics->set_gauge("pool.inline_runs",
+                     static_cast<double>(pool.inline_runs), /*timing=*/true);
+  metrics->set_gauge("pool.indices", static_cast<double>(pool.indices),
+                     /*timing=*/true);
+}
+
+Heartbeat::Heartbeat(std::chrono::milliseconds period)
+    : thread_([this, period] { run(period); }) {}
+
+Heartbeat::~Heartbeat() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  thread_.join();
+}
+
+void Heartbeat::run(std::chrono::milliseconds period) {
+  sample();  // guarantee at least one data point per observed interval
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (stop_cv_.wait_for(lock, period, [this] { return stop_; })) return;
+    lock.unlock();
+    sample();
+    lock.lock();
+  }
+}
+
+void Heartbeat::sample() {
+  // The install guard keeps the observation alive for the duration of
+  // the sample even if the owning run is tearing down concurrently.
+  with_current_observation([this](Observation* observation) {
+    if (observation == nullptr) return;
+    const double now_us = trace_now_us();
+    const MetricsSnapshot snapshot = observation->metrics.snapshot();
+    std::vector<std::pair<std::string, double>> values;
+    values.reserve(snapshot.points.size());
+    for (const MetricPoint& point : snapshot.points) {
+      switch (point.kind) {
+        case MetricKind::Counter:
+          values.emplace_back(point.name, static_cast<double>(point.count));
+          break;
+        case MetricKind::Gauge:
+          values.emplace_back(point.name, point.value);
+          break;
+        case MetricKind::Histogram:
+          values.emplace_back(point.name, static_cast<double>(point.count));
+          break;
+      }
+    }
+    if (!values.empty()) {
+      observation->trace.record_counter("hb.metrics", "heartbeat", now_us,
+                                        std::move(values));
+    }
+    const ResourceUsage usage = sample_resource_usage();
+    observation->trace.record_counter(
+        "hb.resource", "heartbeat", now_us,
+        {{"peak_rss_mb", usage.peak_rss_mb},
+         {"user_cpu_s", usage.user_cpu_s},
+         {"sys_cpu_s", usage.sys_cpu_s}});
+    samples_.fetch_add(1, std::memory_order_relaxed);
+  });
+}
+
+}  // namespace operon::obs

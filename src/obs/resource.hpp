@@ -1,0 +1,74 @@
+#pragma once
+// Resource telemetry: what the process cost, alongside what it did.
+//
+//  * sample_resource_usage(): peak RSS and user/system CPU time from
+//    getrusage (zeros on platforms without it);
+//  * publish_resource_gauges(): writes the sample plus the
+//    util::ThreadPool utilization counters into the current observation
+//    as `resource.*` / `pool.*` gauges — all timing-flagged, because
+//    memory footprint, CPU split, and pool fan-out counts depend on the
+//    machine and the thread knob, never on what the pipeline decided;
+//  * Heartbeat: a background sampler that every `period` snapshots the
+//    ambient registry (through the obs install guard, so it can never
+//    race a run tear-down) and records one Chrome 'C' counter event per
+//    metric into the ambient trace, so a long ILP/LR run shows live
+//    progress in chrome://tracing instead of one opaque span.
+//
+// Heartbeat data is wall-clock by construction and must never feed a
+// semantic metric (see DESIGN.md "Observability").
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+
+namespace operon::obs {
+
+struct ResourceUsage {
+  double peak_rss_mb = 0.0;  ///< high-water resident set size, MiB
+  double user_cpu_s = 0.0;   ///< user-mode CPU time, seconds
+  double sys_cpu_s = 0.0;    ///< kernel-mode CPU time, seconds
+};
+
+/// Current process-wide usage (getrusage(RUSAGE_SELF)); all zeros on
+/// platforms without getrusage.
+ResourceUsage sample_resource_usage();
+
+/// Publish `resource.peak_rss_mb` / `resource.user_cpu_s` /
+/// `resource.sys_cpu_s` and the `pool.*` utilization counters as
+/// timing-flagged gauges on the current observation. No-op when none is
+/// installed.
+void publish_resource_gauges();
+
+/// Periodic registry-to-trace sampler. One sample is taken immediately
+/// on start (so even short observed runs get a data point), then one
+/// every `period` until destruction. Each sample emits an `hb.metrics`
+/// counter event carrying every registry point's headline value, plus
+/// an `hb.resource` counter event with the ResourceUsage sample.
+class Heartbeat {
+ public:
+  explicit Heartbeat(std::chrono::milliseconds period);
+  /// Stops and joins the sampler thread.
+  ~Heartbeat();
+  Heartbeat(const Heartbeat&) = delete;
+  Heartbeat& operator=(const Heartbeat&) = delete;
+
+  /// Samples taken so far (for tests and the sink's summary line).
+  std::size_t samples() const {
+    return samples_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run(std::chrono::milliseconds period);
+  void sample();
+
+  std::atomic<std::size_t> samples_{0};
+  std::mutex mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace operon::obs

@@ -1,6 +1,8 @@
 #include "obs/sink.hpp"
 
+#include <chrono>
 #include <cstdio>
+#include <exception>
 #include <fstream>
 
 #include "util/cli.hpp"
@@ -23,19 +25,44 @@ void write_file(const std::string& path, const std::string& text,
 
 CliObservation::CliObservation(const util::Cli& cli)
     : trace_path_(cli.get("trace-out", "")),
-      metrics_path_(cli.get("metrics-out", "")) {
+      metrics_path_(cli.get("metrics-out", "")),
+      ledger_path_(cli.get("ledger-out", "")) {
   if (!trace_path_.empty() || !metrics_path_.empty()) {
     scope_.emplace(observation_);
+  }
+  if (!ledger_path_.empty()) {
+    ledger_scope_.emplace(ledger_);
+  }
+  const int heartbeat_ms = cli.get_int("heartbeat-ms", 0);
+  if (heartbeat_ms > 0 && scope_.has_value()) {
+    heartbeat_.emplace(std::chrono::milliseconds(heartbeat_ms));
   }
 }
 
 CliObservation::~CliObservation() {
+  heartbeat_.reset();  // join the sampler before tearing anything down
+  if (scope_.has_value()) {
+    // Session-level resource/pool gauges so the metrics file records the
+    // whole process, not just the last run's snapshot.
+    publish_resource_gauges();
+  }
   scope_.reset();  // uninstall before serializing
+  ledger_scope_.reset();
   if (!trace_path_.empty()) {
     write_file(trace_path_, observation_.trace.to_chrome_json(), "trace");
   }
   if (!metrics_path_.empty()) {
     write_file(metrics_path_, observation_.metrics.to_json(), "metrics");
+  }
+  if (!ledger_path_.empty()) {
+    try {
+      for (const LedgerRecord& record : ledger_.records()) {
+        append_ledger_record(ledger_path_, record);
+      }
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "warning: failed to write ledger to '%s': %s\n",
+                   ledger_path_.c_str(), error.what());
+    }
   }
 }
 

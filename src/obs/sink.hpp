@@ -1,19 +1,30 @@
 #pragma once
 // Observation sink for command-line front ends: reads the shared
-// `--trace-out FILE` / `--metrics-out FILE` flags, installs a
-// process-wide Observation when either is present, and writes the
-// Chrome trace / metrics JSON files on destruction. One line per
+// `--trace-out FILE` / `--metrics-out FILE` / `--ledger-out FILE` /
+// `--heartbeat-ms N` flags, installs a process-wide Observation (and
+// ledger collector) when requested, and writes the Chrome trace /
+// metrics JSON / ledger JSONL files on destruction. One line per
 // binary:
 //
 //   obs::CliObservation observing(cli);
 //
-// With neither flag present nothing is installed and instrumented code
+// With no flags present nothing is installed and instrumented code
 // stays on its no-op path.
+//
+// `--ledger-out` appends one LedgerRecord per completed pipeline run
+// (crash-safe, see obs/ledger.hpp); front ends name the runs with
+// obs::set_ledger_context. `--heartbeat-ms N` starts a sampler thread
+// that snapshots the ambient metrics registry and process resource
+// usage into the trace every N ms as 'C' counter events (requires
+// `--trace-out` to land anywhere; heartbeat data is timing-only and
+// never part of semantic output).
 
 #include <optional>
 #include <string>
 
+#include "obs/ledger.hpp"
 #include "obs/obs.hpp"
+#include "obs/resource.hpp"
 
 namespace operon::util {
 class Cli;
@@ -24,20 +35,26 @@ namespace operon::obs {
 class CliObservation {
  public:
   explicit CliObservation(const util::Cli& cli);
-  /// Writes the requested files; failures are reported on stderr, never
-  /// thrown (a full disk at exit must not mask the run's own status).
+  /// Stops the heartbeat, publishes final resource gauges, then writes
+  /// the requested files; failures are reported on stderr, never thrown
+  /// (a full disk at exit must not mask the run's own status).
   ~CliObservation();
   CliObservation(const CliObservation&) = delete;
   CliObservation& operator=(const CliObservation&) = delete;
 
   bool active() const { return scope_.has_value(); }
   Observation& observation() { return observation_; }
+  const LedgerCollector& ledger() const { return ledger_; }
 
  private:
   std::string trace_path_;
   std::string metrics_path_;
+  std::string ledger_path_;
   Observation observation_;
+  LedgerCollector ledger_;
   std::optional<ScopedObservation> scope_;
+  std::optional<ScopedLedger> ledger_scope_;
+  std::optional<Heartbeat> heartbeat_;
 };
 
 }  // namespace operon::obs

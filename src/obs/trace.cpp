@@ -19,8 +19,19 @@ void TraceRecorder::record(std::string_view name, std::string_view category,
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto [slot, inserted] = thread_slots_.try_emplace(
       self, static_cast<std::uint32_t>(thread_slots_.size()));
-  events_.push_back(TraceEvent{std::string(name), std::string(category), ts_us,
-                               dur_us, slot->second});
+  events_.push_back(TraceEvent{std::string(name), std::string(category), 'X',
+                               ts_us, dur_us, slot->second, {}});
+}
+
+void TraceRecorder::record_counter(
+    std::string_view name, std::string_view category, double ts_us,
+    std::vector<std::pair<std::string, double>> values) {
+  const std::thread::id self = std::this_thread::get_id();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto [slot, inserted] = thread_slots_.try_emplace(
+      self, static_cast<std::uint32_t>(thread_slots_.size()));
+  events_.push_back(TraceEvent{std::string(name), std::string(category), 'C',
+                               ts_us, 0.0, slot->second, std::move(values)});
 }
 
 void TraceRecorder::absorb(const TraceRecorder& other) {
@@ -54,11 +65,16 @@ std::string TraceRecorder::to_chrome_json() const {
     json.begin_object();
     json.key("name").value(event.name);
     json.key("cat").value(event.category);
-    json.key("ph").value("X");
+    json.key("ph").value(std::string_view(&event.phase, 1));
     json.key("ts").value(event.ts_us);
-    json.key("dur").value(event.dur_us);
+    if (event.phase == 'X') json.key("dur").value(event.dur_us);
     json.key("pid").value(1);
     json.key("tid").value(static_cast<std::uint64_t>(event.tid));
+    if (!event.args.empty()) {
+      json.key("args").begin_object();
+      for (const auto& [key, value] : event.args) json.key(key).value(value);
+      json.end_object();
+    }
     json.end_object();
   }
   json.end_array();

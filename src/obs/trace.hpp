@@ -13,6 +13,7 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace operon::obs {
@@ -23,9 +24,13 @@ double trace_now_us();
 struct TraceEvent {
   std::string name;
   std::string category;
+  char phase = 'X';     ///< trace-event phase: 'X' complete, 'C' counter
   double ts_us = 0.0;   ///< start, microseconds since the process origin
-  double dur_us = 0.0;  ///< duration, microseconds
+  double dur_us = 0.0;  ///< duration, microseconds ('X' events only)
   std::uint32_t tid = 0;  ///< dense per-recorder thread slot (0 = first seen)
+  /// Event arguments ('C' events carry the sampled values here; shown
+  /// as counter tracks by chrome://tracing / Perfetto).
+  std::vector<std::pair<std::string, double>> args;
 };
 
 /// Thread-safe append-only event store.
@@ -38,6 +43,12 @@ class TraceRecorder {
   /// Record a completed interval attributed to the calling thread.
   void record(std::string_view name, std::string_view category, double ts_us,
               double dur_us);
+
+  /// Record a 'C' counter sample attributed to the calling thread (the
+  /// heartbeat sampler's format; renders as a counter track).
+  void record_counter(std::string_view name, std::string_view category,
+                      double ts_us,
+                      std::vector<std::pair<std::string, double>> values);
 
   void absorb(const TraceRecorder& other);
 

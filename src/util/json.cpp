@@ -115,6 +115,25 @@ JsonWriter& JsonWriter::value(double number) {
   return *this;
 }
 
+JsonWriter& JsonWriter::value_exact(double number) {
+  comma_if_needed();
+  pending_key_ = false;
+  if (std::isfinite(number)) {
+    // Shortest representation that strtod parses back to the same bits;
+    // 17 significant digits always round-trip a binary64.
+    char buffer[40];
+    for (int precision = 12; precision <= 17; ++precision) {
+      std::snprintf(buffer, sizeof buffer, "%.*g", precision, number);
+      if (std::strtod(buffer, nullptr) == number) break;
+    }
+    out_ << buffer;
+  } else {
+    out_ << "null";  // JSON has no Inf/NaN
+  }
+  has_root_ = true;
+  return *this;
+}
+
 JsonWriter& JsonWriter::value(std::int64_t number) {
   comma_if_needed();
   pending_key_ = false;

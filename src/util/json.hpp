@@ -42,6 +42,12 @@ class JsonWriter {
   JsonWriter& value(std::string_view text);
   JsonWriter& value(const char* text);
   JsonWriter& value(double number);
+  /// Like value(double) but with bit-exact round-trip formatting: the
+  /// shortest precision in [12, 17] significant digits whose strtod
+  /// parse returns the same binary64. Used where parsed-back equality
+  /// is a contract (the run ledger), at the cost of occasionally longer
+  /// literals than the display-oriented %.12g of value(double).
+  JsonWriter& value_exact(double number);
   JsonWriter& value(std::int64_t number);
   JsonWriter& value(std::uint64_t number);
   JsonWriter& value(int number);

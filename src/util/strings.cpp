@@ -72,4 +72,17 @@ std::string with_commas(long long value) {
   return {out.rbegin(), out.rend()};
 }
 
+std::uint64_t fnv1a(std::string_view text, std::uint64_t seed) {
+  std::uint64_t digest = seed;
+  for (const char c : text) {
+    digest ^= static_cast<unsigned char>(c);
+    digest *= 1099511628211ULL;
+  }
+  return digest;
+}
+
+std::string hex64(std::uint64_t value) {
+  return format("%016llx", static_cast<unsigned long long>(value));
+}
+
 }  // namespace operon::util

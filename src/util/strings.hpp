@@ -1,6 +1,7 @@
 #pragma once
 // Small string utilities shared across the library.
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -23,5 +24,14 @@ std::string fixed(double value, int digits);
 
 /// Human-readable count with thousands separators ("12,345").
 std::string with_commas(long long value);
+
+/// FNV-1a 64-bit hash, platform-stable. Used for option fingerprints
+/// (obs ledger) and output digests (the stress harness); chain calls by
+/// passing the previous digest as `seed`.
+std::uint64_t fnv1a(std::string_view text,
+                    std::uint64_t seed = 1469598103934665603ULL);
+
+/// 16-hex-digit rendering of a 64-bit hash ("00c0ffee00c0ffee").
+std::string hex64(std::uint64_t value);
 
 }  // namespace operon::util

@@ -1,10 +1,31 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "util/check.hpp"
 
 namespace operon::util {
+
+namespace {
+// Relaxed: the counters are telemetry read at sample points, never a
+// synchronization mechanism.
+std::atomic<std::uint64_t> g_pools{0};
+std::atomic<std::uint64_t> g_workers_spawned{0};
+std::atomic<std::uint64_t> g_jobs{0};
+std::atomic<std::uint64_t> g_inline_runs{0};
+std::atomic<std::uint64_t> g_indices{0};
+}  // namespace
+
+PoolTelemetry pool_telemetry() {
+  PoolTelemetry telemetry;
+  telemetry.pools = g_pools.load(std::memory_order_relaxed);
+  telemetry.workers_spawned = g_workers_spawned.load(std::memory_order_relaxed);
+  telemetry.jobs = g_jobs.load(std::memory_order_relaxed);
+  telemetry.inline_runs = g_inline_runs.load(std::memory_order_relaxed);
+  telemetry.indices = g_indices.load(std::memory_order_relaxed);
+  return telemetry;
+}
 
 std::size_t resolve_threads(std::size_t threads) {
   if (threads != 0) return threads;
@@ -20,6 +41,8 @@ std::vector<Rng> split_rngs(Rng& base, std::size_t n) {
 
 ThreadPool::ThreadPool(std::size_t threads) {
   const std::size_t total = resolve_threads(threads);
+  g_pools.fetch_add(1, std::memory_order_relaxed);
+  g_workers_spawned.fetch_add(total - 1, std::memory_order_relaxed);
   workers_.reserve(total - 1);
   for (std::size_t w = 1; w < total; ++w) {
     workers_.emplace_back([this, w] { worker_loop(w); });
@@ -68,11 +91,14 @@ void ThreadPool::worker_loop(std::size_t worker) {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  g_indices.fetch_add(n, std::memory_order_relaxed);
   const std::size_t total = num_threads();
   if (total == 1 || n == 1) {
+    g_inline_runs.fetch_add(1, std::memory_order_relaxed);
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  g_jobs.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     OPERON_CHECK_MSG(job_fn_ == nullptr,
@@ -100,6 +126,10 @@ void parallel_for(std::size_t n, std::size_t threads,
                   const std::function<void(std::size_t)>& fn) {
   const std::size_t total = resolve_threads(threads);
   if (total == 1 || n <= 1) {
+    if (n != 0) {
+      g_indices.fetch_add(n, std::memory_order_relaxed);
+      g_inline_runs.fetch_add(1, std::memory_order_relaxed);
+    }
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }

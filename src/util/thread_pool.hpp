@@ -26,6 +26,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -39,6 +40,20 @@ namespace operon::util {
 /// Resolve a user-facing thread-count knob: 0 means "use all hardware
 /// threads", anything else is taken literally (minimum 1).
 std::size_t resolve_threads(std::size_t threads);
+
+/// Process-wide cumulative thread-pool utilization counters, maintained
+/// by ThreadPool/parallel_for with relaxed atomics. Read by the obs
+/// resource layer (`pool.*` timing-flagged gauges) — NOT part of the
+/// semantic determinism contract: `workers_spawned` depends on the
+/// thread-count knob and `inline_runs`/`jobs` on which fast path fired.
+struct PoolTelemetry {
+  std::uint64_t pools = 0;           ///< ThreadPool instances constructed
+  std::uint64_t workers_spawned = 0; ///< helper threads started (ex caller)
+  std::uint64_t jobs = 0;            ///< parallel_for fan-outs (T>1, n>1)
+  std::uint64_t inline_runs = 0;     ///< parallel_for serial fast paths
+  std::uint64_t indices = 0;         ///< loop indices executed either way
+};
+PoolTelemetry pool_telemetry();
 
 /// Deterministic per-index child generators for parallel loops: the i-th
 /// stream depends only on the base generator's state and i, never on

@@ -1,0 +1,386 @@
+// Tests for the cross-run observability layer: ledger record
+// round-trips, crash-safe appends, the compare regression sentinel,
+// the ambient collector wired through core::run_operon, the options
+// fingerprint contract, resource/pool telemetry, the heartbeat
+// sampler, and session-sink absorption semantics.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchgen/benchgen.hpp"
+#include "core/flow.hpp"
+#include "obs/ledger.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/resource.hpp"
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace oo = operon::obs;
+namespace oc = operon::core;
+
+namespace {
+
+/// A record with every point kind and awkward doubles, as a realistic
+/// registry snapshot produces them.
+oo::LedgerRecord sample_record(const std::string& case_id = "T1") {
+  oo::MetricsRegistry registry;
+  registry.add_counter("core.runs");
+  registry.set_gauge("core.power_pj", 0.1 + 0.2);  // not exactly 0.3
+  registry.set_gauge("core.tiny", 4.9406564584124654e-14);
+  registry.observe("lr.norm", 0.5);
+  registry.observe("lr.norm", 1234.5678901234567);
+  registry.set_gauge("time.total_s", 1.25, /*timing=*/true);
+
+  oo::LedgerRecord record;
+  record.case_id = case_id;
+  record.seed = 42;
+  record.options = "lr-0123456789abcdef";
+  record.solver = "lr";
+  record.threads = 2;
+  record.degraded = true;
+  record.diagnostics = {{"lr-no-convergence", 1}, {"pin-off-chip", 3}};
+  for (const oo::MetricPoint& point : registry.snapshot().points) {
+    (point.timing ? record.timings : record.metrics).push_back(point);
+  }
+  return record;
+}
+
+operon::model::Design tiny_design() {
+  operon::benchgen::BenchmarkSpec spec;
+  spec.name = "ledger-tiny";
+  spec.num_groups = 6;
+  spec.bits_lo = 1;
+  spec.bits_hi = 3;
+  spec.seed = 7;
+  return operon::benchgen::generate_benchmark(spec);
+}
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+}  // namespace
+
+TEST(Ledger, RecordRoundTripsThroughJsonExactly) {
+  const oo::LedgerRecord record = sample_record();
+  const std::string line = oo::to_json_line(record);
+  const oo::LedgerRecord parsed = oo::parse_ledger_record(line);
+  EXPECT_TRUE(parsed == record);
+  // Doubles must round-trip bit-exactly, not just approximately.
+  ASSERT_EQ(parsed.metrics[1].name, "core.power_pj");
+  EXPECT_EQ(parsed.metrics[1].value, 0.1 + 0.2);
+  // And a second serialization is byte-stable.
+  EXPECT_EQ(oo::to_json_line(parsed), line);
+}
+
+TEST(Ledger, AppendIsCrashSafeAndReadsBack) {
+  const std::string path = temp_path("ledger_append.jsonl");
+  std::remove(path.c_str());
+  const oo::LedgerRecord first = sample_record("A");
+  const oo::LedgerRecord second = sample_record("B");
+  oo::append_ledger_record(path, first);
+  oo::append_ledger_record(path, second);
+
+  const std::vector<oo::LedgerRecord> records = oo::read_ledger(path);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_TRUE(records[0] == first);
+  EXPECT_TRUE(records[1] == second);
+  // The stage file is cleaned up after a successful append.
+  std::ifstream stage(path + ".tmp");
+  EXPECT_FALSE(stage.good());
+  std::remove(path.c_str());
+}
+
+TEST(Ledger, MalformedLineThrowsWithLineNumber) {
+  const std::string path = temp_path("ledger_malformed.jsonl");
+  {
+    std::ofstream os(path);
+    os << oo::to_json_line(sample_record()) << "\n";
+    os << "\n";  // blank lines are fine
+    os << "{ not json\n";
+  }
+  try {
+    oo::read_ledger(path);
+    FAIL() << "malformed ledger line must throw";
+  } catch (const operon::util::CheckError& error) {
+    EXPECT_NE(std::string(error.what()).find("line 3"), std::string::npos)
+        << error.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Ledger, MissingFileThrows) {
+  EXPECT_THROW(oo::read_ledger(temp_path("no_such_ledger.jsonl")),
+               operon::util::CheckError);
+}
+
+TEST(Ledger, ParserRejectsWrongSchemaAndMisplacedTimingPoints) {
+  oo::LedgerRecord record = sample_record();
+  record.schema = 99;
+  EXPECT_THROW(oo::parse_ledger_record(oo::to_json_line(record)),
+               operon::util::CheckError);
+
+  // A timing-flagged point smuggled into the semantic array is rejected.
+  record = sample_record();
+  record.metrics.push_back(record.timings[0]);
+  EXPECT_THROW(oo::parse_ledger_record(oo::to_json_line(record)),
+               operon::util::CheckError);
+}
+
+TEST(Compare, IdenticalLedgersAreOk) {
+  const std::vector<oo::LedgerRecord> ledger = {sample_record("A"),
+                                                sample_record("B")};
+  const oo::CompareResult result = oo::compare_ledgers(ledger, ledger);
+  EXPECT_EQ(result.matched, 2u);
+  EXPECT_TRUE(result.semantic_ok());
+  EXPECT_EQ(result.verdict(), "ok");
+}
+
+TEST(Compare, PerturbedSemanticMetricIsDrift) {
+  const std::vector<oo::LedgerRecord> baseline = {sample_record()};
+  std::vector<oo::LedgerRecord> current = {sample_record()};
+  current[0].metrics[1].value += 1e-9;  // any bit difference counts
+
+  const oo::CompareResult result = oo::compare_ledgers(baseline, current);
+  EXPECT_FALSE(result.semantic_ok());
+  EXPECT_EQ(result.verdict(), "semantic-drift");
+  ASSERT_EQ(result.semantic.size(), 1u);
+  EXPECT_NE(result.semantic[0].detail.find("core.power_pj"),
+            std::string::npos);
+}
+
+TEST(Compare, DegradedFlagAndDiagnosticsAreSemantic) {
+  const std::vector<oo::LedgerRecord> baseline = {sample_record()};
+  std::vector<oo::LedgerRecord> current = {sample_record()};
+  current[0].degraded = false;
+  EXPECT_EQ(oo::compare_ledgers(baseline, current).verdict(),
+            "semantic-drift");
+
+  current = {sample_record()};
+  current[0].diagnostics[0].second += 1;
+  EXPECT_EQ(oo::compare_ledgers(baseline, current).verdict(),
+            "semantic-drift");
+}
+
+TEST(Compare, TimingRegressionIsReportOnly) {
+  const std::vector<oo::LedgerRecord> baseline = {sample_record()};
+  std::vector<oo::LedgerRecord> current = {sample_record()};
+  ASSERT_EQ(current[0].timings[0].name, "time.total_s");
+  current[0].timings[0].value *= 2.0;  // past the default 1.5x threshold
+
+  const oo::CompareResult result = oo::compare_ledgers(baseline, current);
+  EXPECT_TRUE(result.semantic_ok());  // timing never gates semantic_ok
+  EXPECT_EQ(result.verdict(), "timing-regression");
+  ASSERT_EQ(result.timing.size(), 1u);
+  EXPECT_NE(result.timing[0].detail.find("time.total_s"), std::string::npos);
+
+  // Below the noise floor nothing is reported.
+  oo::CompareOptions lax;
+  lax.timing_min = 1e9;
+  EXPECT_EQ(oo::compare_ledgers(baseline, current, lax).verdict(), "ok");
+}
+
+TEST(Compare, UnmatchedKeysAreDrift) {
+  const std::vector<oo::LedgerRecord> baseline = {sample_record("A"),
+                                                  sample_record("B")};
+  const std::vector<oo::LedgerRecord> current = {sample_record("B"),
+                                                 sample_record("C")};
+  const oo::CompareResult result = oo::compare_ledgers(baseline, current);
+  EXPECT_EQ(result.matched, 1u);
+  ASSERT_EQ(result.only_baseline.size(), 1u);
+  ASSERT_EQ(result.only_current.size(), 1u);
+  EXPECT_FALSE(result.semantic_ok());
+  EXPECT_EQ(result.verdict(), "semantic-drift");
+}
+
+TEST(Compare, VerdictJsonParses) {
+  const std::vector<oo::LedgerRecord> baseline = {sample_record()};
+  std::vector<oo::LedgerRecord> current = {sample_record()};
+  current[0].metrics[0].count += 1;
+  const oo::CompareResult result = oo::compare_ledgers(baseline, current);
+  const operon::util::JsonValue doc =
+      operon::util::parse_json(result.to_json());
+  EXPECT_EQ(doc.at("verdict").as_string(), "semantic-drift");
+  EXPECT_EQ(doc.at("matched").as_number(), 1.0);
+  EXPECT_EQ(doc.at("semantic").items().size(), 1u);
+}
+
+TEST(Ledger, CollectorCapturesRunsEndToEnd) {
+  const operon::model::Design design = tiny_design();
+  oc::OperonOptions options;  // LR defaults
+
+  oo::LedgerCollector collector;
+  {
+    const oo::ScopedLedger scope(collector);
+    oo::set_ledger_context("tiny-case", 7);
+    (void)oc::run_operon(design, options);
+    // Context is sticky: a second run reuses it.
+    (void)oc::run_operon(design, options);
+  }
+  const std::vector<oo::LedgerRecord> records = collector.records();
+  ASSERT_EQ(records.size(), 2u);
+  for (const oo::LedgerRecord& record : records) {
+    EXPECT_EQ(record.schema, oo::kLedgerSchemaVersion);
+    EXPECT_EQ(record.case_id, "tiny-case");
+    EXPECT_EQ(record.seed, 7u);
+    EXPECT_EQ(record.solver, "lr");
+    EXPECT_EQ(record.threads, 1u);
+    EXPECT_EQ(record.git, oo::git_describe());
+    EXPECT_EQ(record.options, oc::options_fingerprint(options));
+    EXPECT_FALSE(record.metrics.empty());
+    EXPECT_FALSE(record.timings.empty());
+    for (const oo::MetricPoint& point : record.metrics) {
+      EXPECT_FALSE(point.timing) << point.name;
+    }
+    for (const oo::MetricPoint& point : record.timings) {
+      EXPECT_TRUE(point.timing) << point.name;
+    }
+    // The driver publishes resource telemetry alongside wall-clock.
+    bool has_total = false, has_rss = false;
+    for (const oo::MetricPoint& point : record.timings) {
+      has_total = has_total || point.name == "time.total_s";
+      has_rss = has_rss || point.name == "resource.peak_rss_mb";
+    }
+    EXPECT_TRUE(has_total);
+    EXPECT_TRUE(has_rss);
+  }
+  // Two identical runs produce semantically identical records.
+  EXPECT_TRUE(oo::semantic_equal(records[0], records[1]));
+
+  // Without a collector nothing is recorded and nothing crashes.
+  EXPECT_EQ(oo::current_ledger(), nullptr);
+  (void)oc::run_operon(design, options);
+}
+
+TEST(Ledger, FallsBackToDesignNameWithoutContext) {
+  oo::LedgerCollector collector;
+  {
+    const oo::ScopedLedger scope(collector);
+    (void)oc::run_operon(tiny_design(), {});
+  }
+  const std::vector<oo::LedgerRecord> records = collector.records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].case_id, "ledger-tiny");
+  EXPECT_EQ(records[0].seed, 0u);
+}
+
+TEST(Ledger, FingerprintIgnoresThreadsButTracksSemantics) {
+  oc::OperonOptions base;
+  const std::string fingerprint = oc::options_fingerprint(base);
+
+  oc::OperonOptions threaded = base;
+  threaded.threads = 8;
+  threaded.generation.threads = 4;  // per-stage knobs are excluded too
+  threaded.lr.threads = 4;
+  threaded.select.threads = 4;
+  EXPECT_EQ(oc::options_fingerprint(threaded), fingerprint);
+
+  oc::OperonOptions looser = base;
+  looser.params.optical.max_loss_db = 18.0;
+  EXPECT_NE(oc::options_fingerprint(looser), fingerprint);
+
+  oc::OperonOptions exact = base;
+  exact.solver = oc::SolverKind::IlpExact;
+  const std::string exact_fp = oc::options_fingerprint(exact);
+  EXPECT_NE(exact_fp, fingerprint);
+  EXPECT_EQ(exact_fp.rfind("ilp-exact-", 0), 0u);
+  EXPECT_EQ(fingerprint.rfind("lr-", 0), 0u);
+
+  oc::OperonOptions no_wdm = base;
+  no_wdm.run_wdm_stage = false;
+  EXPECT_NE(oc::options_fingerprint(no_wdm), fingerprint);
+}
+
+TEST(Resource, SampleAndPublishAreSane) {
+  const oo::ResourceUsage usage = oo::sample_resource_usage();
+  EXPECT_GT(usage.peak_rss_mb, 0.0);
+  EXPECT_GE(usage.user_cpu_s, 0.0);
+  EXPECT_GE(usage.sys_cpu_s, 0.0);
+
+  oo::Observation observation;
+  {
+    const oo::ScopedObservation scope(observation);
+    oo::publish_resource_gauges();
+  }
+  const oo::MetricsSnapshot snap = observation.metrics.snapshot();
+  for (const char* name :
+       {"resource.peak_rss_mb", "resource.user_cpu_s", "resource.sys_cpu_s",
+        "pool.pools", "pool.workers_spawned", "pool.jobs", "pool.inline_runs",
+        "pool.indices"}) {
+    const oo::MetricPoint* point = snap.find(name);
+    ASSERT_NE(point, nullptr) << name;
+    EXPECT_TRUE(point->timing) << name;  // telemetry is never semantic
+  }
+  EXPECT_GT(snap.gauge("resource.peak_rss_mb"), 0.0);
+}
+
+TEST(Resource, HeartbeatEmitsCounterEventsIntoTrace) {
+  oo::Observation observation;
+  {
+    const oo::ScopedObservation scope(observation);
+    oo::add_counter("test.alive", 3);
+    oo::Heartbeat heartbeat(std::chrono::milliseconds(5));
+    // The first sample fires immediately; wait for at least one more.
+    while (heartbeat.samples() < 2) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  std::size_t resource_events = 0, metric_events = 0;
+  for (const oo::TraceEvent& event : observation.trace.events()) {
+    if (event.phase != 'C') continue;
+    EXPECT_EQ(event.category, "heartbeat");
+    EXPECT_FALSE(event.args.empty());
+    if (event.name == "hb.resource") ++resource_events;
+    if (event.name == "hb.metrics") ++metric_events;
+  }
+  EXPECT_GE(resource_events, 2u);
+  EXPECT_GE(metric_events, 2u);
+
+  // Heartbeats outside any observation are a safe no-op.
+  {
+    oo::Heartbeat idle(std::chrono::milliseconds(1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+// The session-sink contract the CLI/bench front ends rely on: absorbing
+// N per-run observations into one session registry gives exactly the
+// same snapshot as manually merging the N run snapshots — counters add,
+// gauges take the last write, histogram buckets merge — including the
+// degenerate zero- and single-run sessions.
+TEST(Sink, SessionAbsorptionMatchesManualMerges) {
+  const operon::model::Design design = tiny_design();
+  const oc::OperonOptions options;
+
+  for (const std::size_t runs : {0u, 1u, 3u}) {
+    oo::Observation session;
+    oo::MetricsRegistry manual;
+    {
+      const oo::ScopedObservation scope(session);
+      for (std::size_t i = 0; i < runs; ++i) {
+        const oc::OperonResult result = oc::run_operon(design, options);
+        manual.absorb(result.stats.metrics);
+      }
+    }
+    const oo::MetricsSnapshot absorbed = session.metrics.snapshot();
+    const oo::MetricsSnapshot merged = manual.snapshot();
+    ASSERT_EQ(absorbed.points.size(), merged.points.size()) << runs;
+    for (std::size_t i = 0; i < absorbed.points.size(); ++i) {
+      EXPECT_TRUE(absorbed.points[i] == merged.points[i])
+          << "runs=" << runs << " point=" << absorbed.points[i].name;
+    }
+    if (runs > 0) {
+      EXPECT_EQ(absorbed.counter("core.runs"), runs);
+    } else {
+      EXPECT_TRUE(absorbed.points.empty());
+    }
+  }
+}

@@ -99,6 +99,34 @@ TEST(Metrics, AbsorbMergesAllKinds) {
   EXPECT_EQ(snap.counter("only_b"), 1u);  // new names register
 }
 
+TEST(Metrics, AbsorbSnapshotOverloadMatchesRegistryAbsorb) {
+  oo::MetricsRegistry source;
+  source.add_counter("c", 3);
+  source.set_gauge("g", 7.0);
+  source.set_gauge("time.x", 0.5, /*timing=*/true);
+  source.observe("h", 10.0);
+  source.observe("h", 0.25);
+
+  oo::MetricsRegistry via_registry, via_snapshot;
+  for (oo::MetricsRegistry* registry : {&via_registry, &via_snapshot}) {
+    registry->add_counter("c", 2);
+    registry->set_gauge("g", 1.0);
+    registry->observe("h", 2.0);
+  }
+  via_registry.absorb(source);
+  via_snapshot.absorb(source.snapshot());  // the ledger/stats path
+
+  const oo::MetricsSnapshot a = via_registry.snapshot();
+  const oo::MetricsSnapshot b = via_snapshot.snapshot();
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_TRUE(a.points[i] == b.points[i]) << a.points[i].name;
+  }
+  EXPECT_EQ(b.counter("c"), 5u);
+  EXPECT_DOUBLE_EQ(b.gauge("g"), 7.0);
+  EXPECT_TRUE(b.find("time.x")->timing);
+}
+
 TEST(Metrics, SemanticEqualIgnoresTimingAndOrder) {
   oo::MetricsRegistry a;
   a.add_counter("c", 2);

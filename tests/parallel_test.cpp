@@ -17,6 +17,7 @@
 #include "codesign/generate.hpp"
 #include "codesign/selection.hpp"
 #include "core/flow.hpp"
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -303,7 +304,10 @@ TEST(Determinism, ExactSolverIdenticalAcrossThreadCounts) {
 // thread count, on a table1-shaped benchmark, for both solver families.
 // This is the observability half of the determinism contract (DESIGN.md
 // "Observability"): parallelism may change wall-clock attribution but
-// never what the pipeline did.
+// never what the pipeline did. The same contract must hold one level
+// up, through the ledger: records written at different thread counts
+// carry identical identity keys and semantics, so the regression
+// sentinel (obs::compare_ledgers) pairs them and reports "ok".
 TEST(Determinism, SemanticMetricsIdenticalAcrossThreadCounts) {
   operon::benchgen::BenchmarkSpec spec = operon::benchgen::table1_spec("I1");
   spec.num_groups = 36;  // shrunk I1 slice: same shape, test-sized
@@ -315,7 +319,14 @@ TEST(Determinism, SemanticMetricsIdenticalAcrossThreadCounts) {
     serial.solver = solver;
     serial.select.time_limit_s = 30.0;
     serial.threads = 1;
-    const auto reference = operon::core::run_operon(design, serial);
+    operon::obs::LedgerCollector reference_ledger;
+    operon::core::OperonResult reference;
+    {
+      const operon::obs::ScopedLedger scope(reference_ledger);
+      operon::obs::set_ledger_context("I1-slice", spec.seed);
+      reference = operon::core::run_operon(design, serial);
+    }
+    ASSERT_EQ(reference_ledger.size(), 1u);
 
     // The hot paths actually reported in.
     const auto& metrics = reference.stats.metrics;
@@ -336,11 +347,34 @@ TEST(Determinism, SemanticMetricsIdenticalAcrossThreadCounts) {
     for (std::size_t threads : {2u, 8u}) {
       operon::core::OperonOptions options = serial;
       options.threads = threads;
-      const auto result = operon::core::run_operon(design, options);
+      operon::obs::LedgerCollector ledger;
+      operon::core::OperonResult result;
+      {
+        const operon::obs::ScopedLedger scope(ledger);
+        operon::obs::set_ledger_context("I1-slice", spec.seed);
+        result = operon::core::run_operon(design, options);
+      }
       EXPECT_TRUE(operon::obs::semantic_equal(result.stats.metrics,
                                               reference.stats.metrics))
           << "solver=" << static_cast<int>(solver)
           << " threads=" << threads;
+
+      // The ledger view of the same pair: identical identity key
+      // (options fingerprint excludes the thread knob), identical
+      // semantics, verdict "ok".
+      const auto records = ledger.records();
+      ASSERT_EQ(records.size(), 1u);
+      EXPECT_EQ(records[0].threads, threads);
+      EXPECT_EQ(operon::obs::ledger_key(records[0]),
+                operon::obs::ledger_key(reference_ledger.records()[0]));
+      const operon::obs::CompareResult compared = operon::obs::compare_ledgers(
+          reference_ledger.records(), records);
+      EXPECT_EQ(compared.matched, 1u);
+      EXPECT_TRUE(compared.semantic_ok())
+          << "solver=" << static_cast<int>(solver) << " threads=" << threads
+          << " verdict=" << compared.verdict();
+      EXPECT_EQ(compared.verdict(),
+                compared.timing.empty() ? "ok" : "timing-regression");
     }
   }
 }

@@ -6,11 +6,17 @@
 //                     [--ilp-limit 20] [--lm 20] [--report out.json]
 //                     [--svg out.svg] [--per-net] [--no-timings]
 //                     [--trace-out t.json] [--metrics-out m.json]
+//                     [--ledger-out runs.jsonl] [--heartbeat-ms 100]
 //   operon_cli stress --faults [--seeds 200] [--threads N]
+//   operon_cli ledger append --case I1 [--seed S] --out runs.jsonl
+//   operon_cli ledger show runs.jsonl
+//   operon_cli compare baseline.jsonl current.jsonl [--json]
 //
 // Exit code 0 on success, 1 on usage/input errors, 2 when routing left
-// detection violations (never expected — the electrical fallback exists)
-// or when the stress harness observed a robustness breach.
+// detection violations (never expected — the electrical fallback exists),
+// when the stress harness observed a robustness breach, or when compare
+// found semantic drift; 3 when compare found only a timing regression
+// and --fail-on-timing was given.
 
 #include <cstdio>
 #include <cstring>
@@ -27,10 +33,13 @@
 #include "core/verify.hpp"
 #include "model/design_json.hpp"
 #include "model/diagnostic.hpp"
+#include "obs/ledger.hpp"
+#include "obs/resource.hpp"
 #include "obs/sink.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
+#include "util/strings.hpp"
 #include "viz/render.hpp"
 
 namespace {
@@ -48,11 +57,43 @@ int usage() {
                "results identical at any N)] [--report FILE] [--svg FILE] "
                "[--per-net] [--no-timings (omit wall-clock fields from the "
                "report)] [--trace-out FILE (Chrome trace_event JSON)] "
-               "[--metrics-out FILE (metrics registry JSON)]\n"
+               "[--metrics-out FILE (metrics registry JSON)] [--ledger-out "
+               "FILE (append run records, JSONL)] [--heartbeat-ms N "
+               "(periodic resource samples into the trace)]\n"
                "  operon_cli stress --faults [--seeds N] [--solver "
                "lr|ilp|mip] [--threads N]  # fault-injection harness; exit "
-               "2 on any robustness breach\n");
+               "2 on any robustness breach\n"
+               "  operon_cli ledger append --case I1..I5 | --in FILE "
+               "[--seed S] [--solver lr|ilp|mip] [--ilp-limit SEC] [--lm DB] "
+               "[--threads N]  --out LEDGER.jsonl\n"
+               "  operon_cli ledger show LEDGER.jsonl\n"
+               "  operon_cli compare BASELINE.jsonl CURRENT.jsonl [--json] "
+               "[--timing-ratio R] [--timing-min SEC] [--fail-on-timing]  "
+               "# exit 2 on semantic drift, 3 on gated timing regression\n");
   return 1;
+}
+
+/// Parse the shared `--solver lr|ilp|mip` flag; false = unknown value.
+bool parse_solver(const util::Cli& cli, core::OperonOptions& options) {
+  const std::string solver = cli.get("solver", "lr");
+  if (solver == "ilp") options.solver = core::SolverKind::IlpExact;
+  else if (solver == "mip") options.solver = core::SolverKind::MipLiteral;
+  else if (solver == "lr") options.solver = core::SolverKind::Lr;
+  else return false;
+  return true;
+}
+
+/// One-line run summary on stderr (stdout stays byte-identical for
+/// digest-based harnesses like stress).
+void print_run_summary(const std::string& label, double power_pj,
+                       std::size_t optical, std::size_t electrical,
+                       bool degraded) {
+  const obs::ResourceUsage usage = obs::sample_resource_usage();
+  std::fprintf(stderr,
+               "summary: %s | %.2f pJ/bit-cycle | %zu optical, %zu "
+               "electrical nets | degraded=%d | peak_rss=%.1f MB\n",
+               label.c_str(), power_pj, optical, electrical, degraded ? 1 : 0,
+               usage.peak_rss_mb);
 }
 
 void print_diagnostics(std::span<const model::Diagnostic> diagnostics) {
@@ -114,22 +155,23 @@ int cmd_route(const util::Cli& cli) {
   design.validate();
 
   core::OperonOptions options;
-  const std::string solver = cli.get("solver", "lr");
-  if (solver == "ilp") options.solver = core::SolverKind::IlpExact;
-  else if (solver == "mip") options.solver = core::SolverKind::MipLiteral;
-  else if (solver == "lr") options.solver = core::SolverKind::Lr;
-  else return usage();
+  if (!parse_solver(cli, options)) return usage();
   options.select.time_limit_s = cli.get_double("ilp-limit", 20.0);
   options.threads = cli.get_threads();
   if (cli.has("lm")) {
     options.params.optical.max_loss_db = cli.get_double("lm", 20.0);
   }
 
-  // Install the trace/metrics sink (a no-op when neither --trace-out nor
-  // --metrics-out is given) so the run's spans and counters land in it.
+  // Install the trace/metrics/ledger sink (a no-op when none of the
+  // observability flags is given) so the run's spans, counters, and
+  // ledger record land in it.
   obs::CliObservation observing(cli);
+  obs::set_ledger_context(design.name, 0);
 
   const core::OperonResult result = core::run_operon(design, options);
+  print_run_summary(design.name, result.stats.power_pj,
+                    result.stats.optical_nets, result.stats.electrical_nets,
+                    result.degraded);
   std::printf("%s: %.2f pJ/bit-cycle | %zu optical, %zu electrical nets | "
               "worst loss %.2f / %.1f dB | WDMs %zu -> %zu | %.2f s%s\n",
               design.name.c_str(), result.stats.power_pj,
@@ -170,15 +212,7 @@ int cmd_route(const util::Cli& cli) {
 // Reject-expected fault that sails through, a Complete-expected fault
 // that gets rejected — is a breach. Output is fully deterministic (no
 // timing, no pointers), so stdout is byte-identical at any --threads
-// value and the trailing FNV digest can be diffed across runs.
-
-std::uint64_t fnv1a(std::uint64_t digest, std::string_view text) {
-  for (const char c : text) {
-    digest ^= static_cast<unsigned char>(c);
-    digest *= 1099511628211ULL;
-  }
-  return digest;
-}
+// value and the trailing util::fnv1a digest can be diffed across runs.
 
 const char* check_parse_text(const std::string& text, std::size_t* breaches) {
   try {
@@ -211,11 +245,7 @@ int cmd_stress(const util::Cli& cli) {
       static_cast<std::size_t>(cli.get_int("seeds", 100));
 
   core::OperonOptions options;
-  const std::string solver = cli.get("solver", "lr");
-  if (solver == "ilp") options.solver = core::SolverKind::IlpExact;
-  else if (solver == "mip") options.solver = core::SolverKind::MipLiteral;
-  else if (solver == "lr") options.solver = core::SolverKind::Lr;
-  else return usage();
+  if (!parse_solver(cli, options)) return usage();
   options.select.time_limit_s = cli.get_double("ilp-limit", 5.0);
   options.threads = cli.get_threads();
 
@@ -224,6 +254,8 @@ int cmd_stress(const util::Cli& cli) {
 
   const std::vector<benchgen::FaultKind> kinds = benchgen::all_fault_kinds();
   std::size_t rejected = 0, completed = 0, degraded = 0, breaches = 0;
+  double total_power_pj = 0.0;
+  std::size_t total_optical = 0, total_electrical = 0;
   std::uint64_t digest = 1469598103934665603ULL;
 
   for (std::size_t s = 0; s < seeds; ++s) {
@@ -245,6 +277,9 @@ int cmd_stress(const util::Cli& cli) {
       const core::OperonResult result = core::run_operon(bad, options);
       const std::vector<model::Diagnostic> problems =
           core::verify_result(result, options);
+      total_power_pj += result.stats.power_pj;
+      total_optical += result.stats.optical_nets;
+      total_electrical += result.stats.electrical_nets;
       if (!problems.empty()) {
         pipeline = "BREACH";  // completed, but the plan does not verify
         ++breaches;
@@ -283,7 +318,7 @@ int cmd_stress(const util::Cli& cli) {
                   "seed=%zu fault=%s pipeline=%s text=%s json=%s", s,
                   std::string(benchgen::fault_name(kind)).c_str(), pipeline,
                   text, json);
-    digest = fnv1a(digest, line);
+    digest = util::fnv1a(line, digest);
     std::printf("%s\n", line);
   }
 
@@ -291,7 +326,119 @@ int cmd_stress(const util::Cli& cli) {
               "| %zu breaches | digest=%016llx\n",
               seeds, rejected, completed, degraded, breaches,
               static_cast<unsigned long long>(digest));
+  print_run_summary(util::format("stress(%zu seeds)", seeds), total_power_pj,
+                    total_optical, total_electrical, degraded > 0);
   return breaches == 0 ? 0 : 2;
+}
+
+// -- ledger / compare: the cross-run regression sentinel -------------------
+
+int cmd_ledger(const util::Cli& cli) {
+  // Cli skips argv[0] ("ledger"), so positional()[0] is the action.
+  const std::vector<std::string>& pos = cli.positional();
+  if (pos.empty()) return usage();
+  const std::string& action = pos[0];
+
+  if (action == "show") {
+    if (pos.size() < 2) return usage();
+    const std::vector<obs::LedgerRecord> records = obs::read_ledger(pos[1]);
+    for (const obs::LedgerRecord& record : records) {
+      std::printf("%s seed=%llu solver=%s threads=%zu degraded=%d "
+                  "metrics=%zu timings=%zu diagnostics=%zu git=%s "
+                  "options=%s\n",
+                  record.case_id.c_str(),
+                  static_cast<unsigned long long>(record.seed),
+                  record.solver.c_str(), record.threads,
+                  record.degraded ? 1 : 0, record.metrics.size(),
+                  record.timings.size(), record.diagnostics.size(),
+                  record.git.c_str(), record.options.c_str());
+    }
+    std::printf("%zu record(s)\n", records.size());
+    return 0;
+  }
+
+  if (action != "append") return usage();
+  const std::string out = cli.get("out", "");
+  if (out.empty()) return usage();
+
+  model::Design design;
+  std::string case_id;
+  std::uint64_t seed = 0;
+  if (cli.has("in")) {
+    design = model::load_design(cli.get("in", ""));
+    case_id = design.name;
+  } else {
+    benchgen::BenchmarkSpec spec = benchgen::table1_spec(cli.get("case", "I1"));
+    if (cli.has("seed")) {
+      spec.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+    }
+    case_id = cli.get("case", "I1");
+    seed = spec.seed;
+    design = benchgen::generate_benchmark(spec);
+  }
+  design.validate();
+
+  core::OperonOptions options;
+  if (!parse_solver(cli, options)) return usage();
+  options.select.time_limit_s = cli.get_double("ilp-limit", 20.0);
+  options.threads = cli.get_threads();
+  if (cli.has("lm")) {
+    options.params.optical.max_loss_db = cli.get_double("lm", 20.0);
+  }
+
+  obs::LedgerCollector collector;
+  {
+    const obs::ScopedLedger scope(collector);
+    obs::set_ledger_context(case_id, seed);
+    const core::OperonResult result = core::run_operon(design, options);
+    print_run_summary(case_id, result.stats.power_pj,
+                      result.stats.optical_nets, result.stats.electrical_nets,
+                      result.degraded);
+  }
+  for (const obs::LedgerRecord& record : collector.records()) {
+    obs::append_ledger_record(out, record);
+  }
+  std::printf("appended %zu record(s) to %s\n", collector.size(), out.c_str());
+  return 0;
+}
+
+int cmd_compare(const util::Cli& cli) {
+  // Cli skips argv[0] ("compare"): positional() holds the two ledgers.
+  const std::vector<std::string>& pos = cli.positional();
+  if (pos.size() < 2) return usage();
+  const std::vector<obs::LedgerRecord> baseline = obs::read_ledger(pos[0]);
+  const std::vector<obs::LedgerRecord> current = obs::read_ledger(pos[1]);
+  obs::CompareOptions compare;
+  compare.timing_ratio = cli.get_double("timing-ratio", compare.timing_ratio);
+  compare.timing_min = cli.get_double("timing-min", compare.timing_min);
+  const obs::CompareResult result =
+      obs::compare_ledgers(baseline, current, compare);
+
+  if (cli.get_bool("json", false)) {
+    std::printf("%s\n", result.to_json().c_str());
+  } else {
+    std::printf("compare: %s | %zu pair(s) matched\n",
+                std::string(result.verdict()).c_str(), result.matched);
+    for (const std::string& key : result.only_baseline) {
+      std::printf("  only in baseline: %s\n", key.c_str());
+    }
+    for (const std::string& key : result.only_current) {
+      std::printf("  only in current:  %s\n", key.c_str());
+    }
+    for (const obs::CompareFinding& finding : result.semantic) {
+      std::printf("  semantic %s: %s\n", finding.key.c_str(),
+                  finding.detail.c_str());
+    }
+    for (const obs::CompareFinding& finding : result.timing) {
+      std::printf("  timing %s: %s\n", finding.key.c_str(),
+                  finding.detail.c_str());
+    }
+  }
+  if (!result.semantic_ok()) return 2;
+  if (!result.timing.empty() && cli.get_bool("fail-on-timing", false)) {
+    return 3;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -305,6 +452,8 @@ int main(int argc, char** argv) {
     if (command == "info") return cmd_info(cli);
     if (command == "route") return cmd_route(cli);
     if (command == "stress") return cmd_stress(cli);
+    if (command == "ledger") return cmd_ledger(cli);
+    if (command == "compare") return cmd_compare(cli);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;
