@@ -49,6 +49,9 @@ int main(int argc, char** argv) {
   // and seed set via set_ledger_context.
   const obs::CliObservation observing(cli);
   const double ilp_limit = cli.get_double("ilp-limit", 20.0);
+  // Whole-run wall-clock budget per case (<= 0: unlimited). A tripped
+  // run completes on the degradation ladder and its row is marked.
+  const double time_limit = cli.get_double("time-limit", 0.0);
   const std::uint64_t seed_offset =
       static_cast<std::uint64_t>(cli.get_int("seed-offset", 0));
   const std::size_t threads = cli.get_threads();
@@ -84,8 +87,16 @@ int main(int argc, char** argv) {
     options.solver = core::SolverKind::Lr;
     options.run_wdm_stage = false;
     options.threads = threads;
+    options.run_time_limit_s = time_limit;
     const core::OperonResult prep = core::run_operon(design, options);
     const double lr_cpu = prep.stats.times.selection_s;
+    if (prep.stats.trip_checkpoint != 0) {
+      std::printf("%s: run budget tripped at checkpoint %llu (stage %s); "
+                  "row reflects the degraded plan\n",
+                  id.c_str(),
+                  static_cast<unsigned long long>(prep.stats.trip_checkpoint),
+                  prep.stats.trip_stage.c_str());
+    }
 
     if (threads == 1) {
       stage_table.add_row({id, util::fixed(prep.stats.times.processing_s, 2),

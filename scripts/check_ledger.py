@@ -2,10 +2,12 @@
 """Validate a run-ledger JSONL file (the --ledger-out format).
 
 Mirrors the strict C++ parser in src/obs/ledger.cpp: every non-blank
-line must be a schema-1 record with the identity key (case, seed,
-options fingerprint), provenance (git, solver, threads), the degraded /
-diagnostics summary, and well-formed metric points — semantic points in
-"metrics" (never timing-flagged), timing gauges in "timings".
+line must be a schema-1 or schema-2 record with the identity key (case,
+seed, options fingerprint), provenance (git, solver, threads), the
+degraded / diagnostics summary, and well-formed metric points — semantic
+points in "metrics" (never timing-flagged), timing gauges in "timings".
+Schema-2 records additionally require a non-negative integer
+"trip_checkpoint" (run-budget cancellation; 0 = ran to completion).
 
 Usage: check_ledger.py LEDGER.jsonl [--min-records N]
 Exit code 0 when valid, 1 with a diagnostic on the first violation.
@@ -15,7 +17,7 @@ import argparse
 import json
 import sys
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSIONS = (1, 2)
 HISTOGRAM_BUCKETS = 14  # len(histogram_bounds) + 1, see src/obs/metrics.cpp
 KINDS = ("counter", "gauge", "histogram")
 
@@ -70,10 +72,10 @@ def check_record(line_number: int, record: object) -> None:
     where = f"line {line_number}"
     if not isinstance(record, dict):
         fail(f"{where}: record is not an object")
-    if record.get("schema") != SCHEMA_VERSION:
+    if record.get("schema") not in SCHEMA_VERSIONS:
         fail(
             f"{where}: schema {record.get('schema')!r} unsupported "
-            f"(expected {SCHEMA_VERSION})"
+            f"(accepting {SCHEMA_VERSIONS})"
         )
     for key in ("case", "git", "options", "solver"):
         if not isinstance(record.get(key), str) or not record[key]:
@@ -83,6 +85,8 @@ def check_record(line_number: int, record: object) -> None:
             fail(f"{where}: '{key}' must be a non-negative integer")
     if not isinstance(record.get("degraded"), bool):
         fail(f"{where}: 'degraded' must be a boolean")
+    if record["schema"] >= 2 and not is_uint(record.get("trip_checkpoint")):
+        fail(f"{where}: 'trip_checkpoint' must be a non-negative integer")
     diagnostics = record.get("diagnostics")
     if not isinstance(diagnostics, dict):
         fail(f"{where}: 'diagnostics' must be an object")

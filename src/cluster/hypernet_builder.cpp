@@ -63,23 +63,38 @@ SignalProcessingResult build_hyper_nets(
   OPERON_SPAN("cluster.build_hyper_nets");
   SignalProcessingResult result;
 
+  util::StopToken stop = options.stop;
   for (std::size_t g = 0; g < design.groups.size(); ++g) {
     const model::SignalGroup& group = design.groups[g];
 
-    // Top-down: partition the group's bits by centroid into
-    // capacity-respecting clusters.
-    std::vector<geom::Point> centroids;
-    centroids.reserve(group.bits.size());
-    for (const model::SignalBit& bit : group.bits) {
-      centroids.push_back(bit.centroid());
-    }
-    KMeansOptions km = options.kmeans;
-    km.seed = options.kmeans.seed + g * 7919;  // per-group deterministic seed
-    const KMeansResult clusters = capacitated_kmeans(centroids, km);
+    // Per-group checkpoint: once the run budget trips, the remaining
+    // groups take the index-order chunking rung below instead of
+    // K-Means — full bit coverage, degraded cluster quality.
+    const bool degraded = stop.checkpoint("cluster.group");
 
-    std::vector<std::vector<std::size_t>> members(clusters.num_clusters());
-    for (std::size_t bit = 0; bit < group.bits.size(); ++bit) {
-      members[clusters.assignment[bit]].push_back(bit);
+    std::vector<std::vector<std::size_t>> members;
+    if (degraded) {
+      const std::size_t capacity = std::max<std::size_t>(options.kmeans.capacity, 1);
+      for (std::size_t bit = 0; bit < group.bits.size(); ++bit) {
+        if (bit % capacity == 0) members.emplace_back();
+        members.back().push_back(bit);
+      }
+    } else {
+      // Top-down: partition the group's bits by centroid into
+      // capacity-respecting clusters.
+      std::vector<geom::Point> centroids;
+      centroids.reserve(group.bits.size());
+      for (const model::SignalBit& bit : group.bits) {
+        centroids.push_back(bit.centroid());
+      }
+      KMeansOptions km = options.kmeans;
+      km.seed = options.kmeans.seed + g * 7919;  // per-group deterministic seed
+      const KMeansResult clusters = capacitated_kmeans(centroids, km);
+
+      members.resize(clusters.num_clusters());
+      for (std::size_t bit = 0; bit < group.bits.size(); ++bit) {
+        members[clusters.assignment[bit]].push_back(bit);
+      }
     }
 
     // Bottom-up: hyper pins per cluster, then assemble the hyper net.

@@ -9,6 +9,7 @@
 #include "cluster/kmeans.hpp"
 #include "model/design.hpp"
 #include "model/hyper.hpp"
+#include "util/stop.hpp"
 
 namespace operon::cluster {
 
@@ -16,6 +17,11 @@ struct SignalProcessingOptions {
   KMeansOptions kmeans;
   /// Pins closer than this agglomerate into one hyper pin (§3.1.2).
   double pin_merge_threshold_um = 600.0;
+  /// Run-wide budget: polled once per signal group (serial loop). On a
+  /// trip the remaining groups skip K-Means and chunk bits in index
+  /// order (capacity-respecting), keeping full bit coverage so every
+  /// signal still gets routed — just with worse clusters.
+  util::StopToken stop;
 };
 
 struct SignalProcessingResult {

@@ -64,6 +64,12 @@ Candidate electrical_candidate(const model::HyperNet& net,
       /*baseline_index=*/0);
 }
 
+/// Batch size for run-budget checkpoints during generation. Fixed —
+/// deliberately NOT derived from the thread count — so the checkpoint
+/// sequence (and therefore any trip point) is identical at any
+/// GenerationOptions::threads value.
+constexpr std::size_t kStopBatch = 32;
+
 }  // namespace
 
 std::vector<CandidateSet> generate_candidates(
@@ -77,11 +83,30 @@ std::vector<CandidateSet> generate_candidates(
   // reads only shared immutable state and writes its own index, so any
   // thread count produces bit-identical candidate sets.
   util::ThreadPool pool(options.threads);
+  util::StopToken stop = options.stop;
+
+  // Runs `body(i)` over the nets in fixed-size batches with a checkpoint
+  // before each batch (polled here, serially — workers never poll).
+  // Returns the count of fully processed nets (== nets.size() unless the
+  // run budget tripped).
+  const auto batched = [&](const char* stage, auto&& body) {
+    std::size_t done = 0;
+    while (done < nets.size()) {
+      if (stop.checkpoint(stage)) break;
+      const std::size_t end = std::min(done + kStopBatch, nets.size());
+      pool.parallel_for(end - done,
+                        [&](std::size_t k) { body(done + k); });
+      done = end;
+    }
+    return done;
+  };
 
   // Phase 1: baselines for every net (needed before any DP so crossings
-  // can be estimated against the other nets' primary baselines).
+  // can be estimated against the other nets' primary baselines). Nets
+  // past a trip keep an empty baseline list — the phase-2 body then
+  // degrades them to the electrical-only candidate naturally.
   std::vector<std::vector<steiner::SteinerTree>> baselines(nets.size());
-  pool.parallel_for(nets.size(), [&](std::size_t i) {
+  batched("codesign.generate.baselines", [&](std::size_t i) {
     baselines[i] = steiner::generate_baselines(
         pin_centers(nets[i]), steiner::Metric::Euclidean, options.max_baselines);
   });
@@ -91,6 +116,7 @@ std::vector<CandidateSet> generate_candidates(
   SegmentIndex estimator(design.chip, options.grid_cells);
   if (options.estimate_crossings) {
     for (std::size_t i = 0; i < nets.size(); ++i) {
+      if (baselines[i].empty()) continue;  // trip rung: no baseline built
       estimator.add_all(nets[i].id,
                         baselines[i][0].segments(steiner::Metric::Euclidean));
     }
@@ -98,7 +124,7 @@ std::vector<CandidateSet> generate_candidates(
 
   // Phase 2: DP per baseline, then the electrical fallback.
   std::vector<CandidateSet> sets(nets.size());
-  pool.parallel_for(nets.size(), [&](std::size_t i) {
+  const std::size_t dp_done = batched("codesign.generate.dp", [&](std::size_t i) {
     const model::HyperNet& net = nets[i];
     CandidateSet set;
     set.net = net.id;
@@ -106,7 +132,10 @@ std::vector<CandidateSet> generate_candidates(
     set.root = net.root;
     set.baselines = std::move(baselines[i]);
 
-    if (options.detour_baselines) {
+    // An empty baseline list marks a net past the phase-1 trip: skip
+    // detours and the DP (the loop below is vacuous) so the set holds
+    // only the electrical fallback appended at the end.
+    if (options.detour_baselines && !set.baselines.empty()) {
       add_detour_baselines(set.baselines, pin_centers(net));
     }
 
@@ -158,11 +187,36 @@ std::vector<CandidateSet> generate_candidates(
     set.bbox = box;
     sets[i] = std::move(set);
   });
+
+  // Trip tail: nets never reached by phase 2 still need a routable
+  // candidate set. Build just the guaranteed-feasible a_ie for each —
+  // this tail always completes (no checkpoints) because an empty set
+  // would be a contract violation, not a degradation.
+  if (dp_done < nets.size()) {
+    pool.parallel_for(nets.size() - dp_done, [&](std::size_t k) {
+      const std::size_t i = dp_done + k;
+      const model::HyperNet& net = nets[i];
+      CandidateSet set;
+      set.net = net.id;
+      set.bit_count = net.bit_count();
+      set.root = net.root;
+      steiner::SteinerTree rsmt;
+      set.options.push_back(electrical_candidate(net, params, rsmt));
+      set.baselines.push_back(std::move(rsmt));
+      set.options.back().baseline = 0;
+      set.electrical_index = 0;
+      set.bbox = net.bbox();
+      sets[i] = std::move(set);
+    });
+  }
+
   std::size_t total_candidates = 0;
   for (const CandidateSet& set : sets) total_candidates += set.options.size();
   obs::add_counter("codesign.generate.runs");
   obs::add_counter("codesign.generate.candidates", total_candidates);
   obs::set_gauge("codesign.generate.nets", static_cast<double>(sets.size()));
+  obs::set_gauge("codesign.generate.trip_tail_nets",
+                 static_cast<double>(nets.size() - dp_done));
   return sets;
 }
 

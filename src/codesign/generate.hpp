@@ -13,6 +13,7 @@
 #include "model/design.hpp"
 #include "model/hyper.hpp"
 #include "model/params.hpp"
+#include "util/stop.hpp"
 
 namespace operon::codesign {
 
@@ -34,6 +35,12 @@ struct GenerationOptions {
   /// each net's candidate set is computed independently and written by
   /// index (see util/thread_pool.hpp for the determinism contract).
   std::size_t threads = 1;
+  /// Run-wide budget: polled between fixed-size net batches (the batch
+  /// size is independent of `threads`, so the checkpoint count — and
+  /// hence the trip point — is identical at any thread count). Nets not
+  /// generated before a trip get an electrical-only candidate set (the
+  /// guaranteed-feasible a_ie), so the pipeline still routes everything.
+  util::StopToken stop;
 };
 
 /// Candidate sets for every hyper net, in the same order as `nets`.

@@ -8,6 +8,7 @@
 #include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
+#include "util/stop.hpp"
 #include "util/timer.hpp"
 
 namespace operon::codesign {
@@ -72,12 +73,13 @@ class ComponentSolver {
  public:
   ComponentSolver(const SelectionEvaluator& evaluator,
                   std::vector<std::size_t> nets, const util::Deadline& deadline,
-                  Selection& selection, std::size_t& nodes,
-                  std::size_t& incumbent_updates, const Selection* warm_start,
-                  const Selection* peeled)
+                  util::StopToken stop, Selection& selection,
+                  std::size_t& nodes, std::size_t& incumbent_updates,
+                  const Selection* warm_start, const Selection* peeled)
       : evaluator_(evaluator),
         nets_(std::move(nets)),
         deadline_(deadline),
+        stop_(std::move(stop)),
         selection_(selection),
         nodes_(nodes),
         incumbent_updates_(incumbent_updates),
@@ -199,7 +201,9 @@ class ComponentSolver {
 
   void dfs(std::size_t k, double committed) {
     ++nodes_;
-    if (deadline_.expired()) {
+    // Per-node run-budget checkpoint (serial recursion — deterministic
+    // count) alongside the stage deadline; both exits keep the incumbent.
+    if (stop_.checkpoint("codesign.exact") || deadline_.expired()) {
       timed_out_ = true;
       return;
     }
@@ -302,6 +306,7 @@ class ComponentSolver {
   const SelectionEvaluator& evaluator_;
   std::vector<std::size_t> nets_;
   const util::Deadline& deadline_;
+  util::StopToken stop_;
   Selection& selection_;
   std::size_t& nodes_;
   std::size_t& incumbent_updates_;
@@ -335,7 +340,9 @@ SelectResult solve_selection_exact(std::span<const CandidateSet> sets,
                                    const model::TechParams& params,
                                    const SelectOptions& options) {
   util::Timer timer;
-  util::Deadline deadline(options.time_limit_s);
+  // Run budget caps the stage budget (Deadline(0) stays unlimited when
+  // neither is set).
+  util::Deadline deadline = options.stop.stage_deadline(options.time_limit_s);
   SelectionEvaluator evaluator(sets, params,
                                /*interact_all=*/!options.reduce_variables);
   // can_conflict() and the DFS feasibility checks touch every candidate
@@ -365,8 +372,9 @@ SelectResult solve_selection_exact(std::span<const CandidateSet> sets,
     const Selection* warm =
         options.warm_start.size() == sets.size() ? &options.warm_start
                                                  : nullptr;
-    ComponentSolver solver(evaluator, component, deadline, result.selection,
-                           nodes, incumbent_updates, warm, &peeled);
+    ComponentSolver solver(evaluator, component, deadline, options.stop,
+                           result.selection, nodes, incumbent_updates, warm,
+                           &peeled);
     all_proven = solver.solve() && all_proven;
   }
   result.nodes_explored = nodes;
@@ -381,7 +389,8 @@ SelectResult solve_selection_exact(std::span<const CandidateSet> sets,
   result.power_pj = evaluator.total_power(result.selection);
   result.violations = evaluator.violations(result.selection);
   result.proven_optimal = all_proven;
-  result.timed_out = !all_proven && deadline.expired();
+  result.timed_out =
+      !all_proven && (deadline.expired() || options.stop.stopped());
   result.runtime_s = timer.seconds();
   return result;
 }
@@ -461,6 +470,7 @@ SelectResult solve_selection_mip(std::span<const CandidateSet> sets,
 
   ilp::MipOptions mip_options;
   mip_options.time_limit_s = options.time_limit_s;
+  mip_options.stop = options.stop;
   const ilp::MipResult solved = ilp::solve_mip(mip.model, mip_options);
 
   SelectResult result;

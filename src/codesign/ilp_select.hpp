@@ -23,6 +23,7 @@
 #include "codesign/selection.hpp"
 #include "ilp/bnb.hpp"
 #include "ilp/model.hpp"
+#include "util/stop.hpp"
 
 namespace operon::codesign {
 
@@ -38,6 +39,11 @@ struct SelectOptions {
   /// (1 = serial, 0 = hardware concurrency). The search itself is
   /// sequential, so the selected optimum is identical at any value.
   std::size_t threads = 1;
+  /// Run-wide budget: polled once per search node (serial DFS, so the
+  /// poll count is deterministic); caps time_limit_s via
+  /// stage_deadline(). A trip reads exactly like a stage timeout — the
+  /// incumbent is returned with timed_out = true.
+  util::StopToken stop;
 };
 
 struct SelectResult {

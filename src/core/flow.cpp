@@ -26,6 +26,26 @@ OperonOptions with_threads(const OperonOptions& options) {
   return propagated;
 }
 
+/// Fan the run's stop token into every stage options struct (mirror of
+/// with_threads for the cancellation knob).
+void with_stop(OperonOptions& options, util::StopToken token) {
+  options.processing.stop = token;
+  options.generation.stop = token;
+  options.select.stop = token;
+  options.lr.stop = token;
+  options.wdm.stop = std::move(token);
+}
+
+/// Create, chain (to any external CLI/session token), and arm this run's
+/// budget source, then distribute its token into the stage options.
+util::StopSource arm_run_budget(OperonOptions& options) {
+  util::StopSource source;
+  if (options.stop) source.chain(options.stop);
+  source.arm(options.run_time_limit_s, options.stop_at_checkpoint);
+  with_stop(options, source.token());
+  return source;
+}
+
 void add_warning(OperonResult& result, model::DiagCode code,
                  std::string message) {
   if (result.diagnostics.size() >= model::kMaxDiagnostics) return;
@@ -193,6 +213,28 @@ void run_pipeline_tail(OperonResult& result, const OperonOptions& options) {
   }
 }
 
+/// Record a run-budget trip: degraded result, trip checkpoint + stage in
+/// the stats, and a RunTimeLimit / RunInterrupted warning. The message
+/// names the checkpoint and stage but deliberately NOT the trip reason,
+/// so a stop_at_checkpoint replay of a wall-clock trip produces
+/// byte-identical diagnostics (an Interrupt differs by DiagCode only).
+void note_run_trip(OperonResult& result, const util::StopToken& token) {
+  const std::uint64_t checkpoint = token.trip_checkpoint();
+  if (checkpoint == 0) return;
+  result.degraded = true;
+  result.stats.trip_checkpoint = checkpoint;
+  result.stats.trip_stage = token.trip_stage();
+  const bool interrupted = token.reason() == util::StopReason::Interrupt;
+  add_warning(
+      result,
+      interrupted ? model::DiagCode::RunInterrupted
+                  : model::DiagCode::RunTimeLimit,
+      util::format("run budget tripped at checkpoint %llu (stage %s); later "
+                   "stages completed on their degradation rungs",
+                   static_cast<unsigned long long>(checkpoint),
+                   result.stats.trip_stage.c_str()));
+}
+
 /// Summary gauges + timing gauges, then the run's metrics snapshot into
 /// result.stats. Runs inside the per-run observation scope so the
 /// snapshot is exactly this run's registry.
@@ -206,6 +248,8 @@ void finalize_stats(OperonResult& result, obs::Observation& run_obs) {
   obs::set_gauge("core.violated_paths",
                  static_cast<double>(result.violations.violated_paths));
   obs::set_gauge("core.degraded", result.degraded ? 1.0 : 0.0);
+  obs::set_gauge("core.trip_checkpoint",
+                 static_cast<double>(result.stats.trip_checkpoint));
   obs::set_gauge("core.diagnostics",
                  static_cast<double>(result.diagnostics.size()));
   const StageTimes& times = result.stats.times;
@@ -240,6 +284,7 @@ void emit_run_record(const OperonResult& result, const OperonOptions& options,
   record.solver = std::string(to_string(options.solver));
   record.threads = options.threads;
   record.degraded = result.degraded;
+  record.trip_checkpoint = result.stats.trip_checkpoint;
   std::map<std::string, std::uint64_t> counts;
   for (const model::Diagnostic& diagnostic : result.diagnostics) {
     ++counts[std::string(model::to_string(diagnostic.code))];
@@ -338,6 +383,12 @@ std::string options_fingerprint(const OperonOptions& options) {
 
   field("solver", to_string(options.solver));
   flag("run_wdm_stage", options.run_wdm_stage);
+  // Budget knobs are semantic: a budget-limited run can legitimately
+  // produce a different (degraded) plan, so its ledger history must not
+  // pair with unlimited runs. The stop token itself is runtime state,
+  // not configuration, and stays out.
+  num("run_time_limit_s", options.run_time_limit_s);
+  count("stop_at_checkpoint", options.stop_at_checkpoint);
 
   std::string out(to_string(options.solver));
   out.push_back('-');
@@ -347,7 +398,9 @@ std::string options_fingerprint(const OperonOptions& options) {
 
 OperonResult run_operon(const model::Design& design,
                         const OperonOptions& raw_options) {
-  const OperonOptions options = with_threads(raw_options);
+  OperonOptions options = with_threads(raw_options);
+  const util::StopSource run_budget = arm_run_budget(options);
+  const util::StopToken run_token = run_budget.token();
   obs::Observation run_obs;
   OperonResult result;
   {
@@ -381,6 +434,7 @@ OperonResult run_operon(const model::Design& design,
     result.stats.times.generation_s = timer.seconds();
 
     run_pipeline_tail(result, options);
+    note_run_trip(result, run_token);
     finalize_stats(result, run_obs);
   }
   absorb_into_ambient(run_obs);
@@ -390,7 +444,9 @@ OperonResult run_operon(const model::Design& design,
 
 OperonResult run_selection_only(std::vector<codesign::CandidateSet> sets,
                                 const OperonOptions& raw_options) {
-  const OperonOptions options = with_threads(raw_options);
+  OperonOptions options = with_threads(raw_options);
+  const util::StopSource run_budget = arm_run_budget(options);
+  const util::StopToken run_token = run_budget.token();
   obs::Observation run_obs;
   OperonResult result;
   result.sets = std::move(sets);
@@ -398,6 +454,7 @@ OperonResult run_selection_only(std::vector<codesign::CandidateSet> sets,
     const obs::ScopedObservation scope(run_obs);
     OPERON_SPAN("core.run_selection_only");
     run_pipeline_tail(result, options);
+    note_run_trip(result, run_token);
     finalize_stats(result, run_obs);
   }
   absorb_into_ambient(run_obs);

@@ -4,6 +4,7 @@
 // determination (exact ILP-style branch-and-bound, or the LR speed-up)
 // -> WDM placement + network-flow assignment.
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -15,6 +16,7 @@
 #include "lr/lr.hpp"
 #include "model/design.hpp"
 #include "model/diagnostic.hpp"
+#include "util/stop.hpp"
 #include "wdm/assign.hpp"
 
 namespace operon::core {
@@ -46,6 +48,23 @@ struct OperonOptions {
   /// per-stage fields should not be set directly. Results are
   /// bit-identical at any value; only wall-clock changes.
   std::size_t threads = 1;
+  /// Whole-run wall-clock budget in seconds (<= 0: unlimited). When it
+  /// trips, the current stage stops at its next checkpoint and every
+  /// later stage runs on its degradation rung; the run reports
+  /// DiagCode::RunTimeLimit with the trip checkpoint and sets
+  /// `degraded` instead of throwing.
+  double run_time_limit_s = 0.0;
+  /// Debug replay: trip the run deterministically at exactly this
+  /// checkpoint number (0: disabled). Replays a wall-clock trip
+  /// bit-identically at any thread count — the trip checkpoint of a
+  /// timed-out run is in its diagnostics and ledger record.
+  std::uint64_t stop_at_checkpoint = 0;
+  /// Optional external stop parent (e.g. the CLI's SIGINT/SIGTERM
+  /// source). The run's own budget source chains to it, so an external
+  /// request stops the run at its next checkpoint with
+  /// DiagCode::RunInterrupted. Do not pass per-stage tokens here; the
+  /// per-stage option `stop` fields are populated by run_operon itself.
+  util::StopToken stop;
 };
 
 struct OperonResult {

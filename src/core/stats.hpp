@@ -12,6 +12,8 @@
 // OperonOptions::threads value (tests/parallel_test.cpp enforces it).
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 
 #include "obs/metrics.hpp"
 
@@ -41,6 +43,12 @@ struct RunStats {
   bool proven_optimal = false;
   /// LR solver only: iterations until convergence or the cap.
   std::size_t lr_iterations = 0;
+  /// Run-budget trip record: the numbered checkpoint at which the run
+  /// stopped (0 = ran to completion) and the stage label that polled it.
+  /// Replaying trip_checkpoint via OperonOptions::stop_at_checkpoint
+  /// reproduces the stopped run bit-identically.
+  std::uint64_t trip_checkpoint = 0;
+  std::string trip_stage;
   StageTimes times;
   /// Every metric the run's instrumentation registered, in registration
   /// order: solver node counts, LR trajectory histograms, MCMF

@@ -1,6 +1,8 @@
 #include "flow/mcmf.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <deque>
 #include <limits>
 #include <queue>
 
@@ -21,6 +23,10 @@ std::size_t MinCostMaxFlow::add_edge(NodeId from, NodeId to,
   OPERON_CHECK(from < num_nodes_);
   OPERON_CHECK(to < num_nodes_);
   OPERON_CHECK(capacity >= 0);
+  OPERON_CHECK_MSG(capacity <= kMaxEdgeCapacity,
+                   "edge capacity exceeds kMaxEdgeCapacity — residual "
+                   "updates could overflow int64");
+  OPERON_CHECK_MSG(std::isfinite(cost), "edge cost must be finite");
   if (cost < 0.0) has_negative_costs_ = true;
 
   const std::size_t fwd_pos = adjacency_[from].size();
@@ -50,22 +56,40 @@ void MinCostMaxFlow::clear_flow() {
   std::fill(potential_.begin(), potential_.end(), 0.0);
 }
 
-void MinCostMaxFlow::bellman_ford(NodeId s) {
+// SPFA (queue-driven Bellman–Ford) for the initial potentials when
+// negative-cost edges exist. Deterministic: plain FIFO, nodes relaxed in
+// arrival order. A node dequeued more than num_nodes_ times implies a
+// reachable negative-cost cycle — that is a malformed network for the
+// successive-shortest-path invariant, so it fails fast rather than
+// spinning forever.
+void MinCostMaxFlow::spfa(NodeId s) {
   std::vector<double> dist(num_nodes_, kInf);
+  std::vector<char> in_queue(num_nodes_, 0);
+  std::vector<std::size_t> dequeues(num_nodes_, 0);
+  std::deque<NodeId> queue;
   dist[s] = 0.0;
-  for (std::size_t round = 0; round + 1 < num_nodes_; ++round) {
-    bool relaxed = false;
-    for (NodeId u = 0; u < num_nodes_; ++u) {
-      if (dist[u] == kInf) continue;
-      for (const InternalEdge& e : adjacency_[u]) {
-        if (e.capacity <= 0) continue;
-        if (dist[u] + e.cost < dist[e.to] - 1e-12) {
-          dist[e.to] = dist[u] + e.cost;
-          relaxed = true;
+  queue.push_back(s);
+  in_queue[s] = 1;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    in_queue[u] = 0;
+    OPERON_CHECK_MSG(++dequeues[u] <= num_nodes_,
+                     "negative-cost cycle detected in flow network (SPFA "
+                     "relaxation count exceeded node count)");
+    for (const InternalEdge& e : adjacency_[u]) {
+      if (e.capacity <= 0) continue;
+      const double nd = dist[u] + e.cost;
+      OPERON_CHECK_MSG(std::isfinite(nd),
+                       "SPFA distance accumulation overflowed to non-finite");
+      if (nd < dist[e.to] - 1e-12) {
+        dist[e.to] = nd;
+        if (!in_queue[e.to]) {
+          queue.push_back(e.to);
+          in_queue[e.to] = 1;
         }
       }
     }
-    if (!relaxed) break;
   }
   for (NodeId u = 0; u < num_nodes_; ++u) {
     potential_[u] = dist[u] == kInf ? 0.0 : dist[u];
@@ -101,23 +125,30 @@ bool MinCostMaxFlow::dijkstra(
   return dist[t] < kInf;
 }
 
-FlowResult MinCostMaxFlow::solve(NodeId s, NodeId t, std::int64_t limit) {
+FlowResult MinCostMaxFlow::solve(NodeId s, NodeId t, std::int64_t limit,
+                                 util::StopToken stop) {
   OPERON_CHECK(s < num_nodes_);
   OPERON_CHECK(t < num_nodes_);
   OPERON_CHECK(s != t);
 
   FlowResult result;
   if (has_negative_costs_) {
-    bellman_ford(s);
+    spfa(s);
     ++result.potential_updates;
-    obs::add_counter("flow.mcmf.bellman_ford_runs");
+    obs::add_counter("flow.mcmf.spfa_runs");
   } else {
     std::fill(potential_.begin(), potential_.end(), 0.0);
   }
 
   std::vector<double> dist;
   std::vector<std::pair<NodeId, std::size_t>> parent;
-  while (result.max_flow < limit && dijkstra(s, t, dist, parent)) {
+  while (result.max_flow < limit) {
+    // Per-augmentation checkpoint (serial loop — deterministic count).
+    if (stop.checkpoint("flow.mcmf")) {
+      result.stopped = true;
+      break;
+    }
+    if (!dijkstra(s, t, dist, parent)) break;
     // Update potentials with the new shortest distances.
     ++result.augmenting_paths;
     ++result.potential_updates;
@@ -138,10 +169,14 @@ FlowResult MinCostMaxFlow::solve(NodeId s, NodeId t, std::int64_t limit) {
       InternalEdge& fwd = adjacency_[u][idx];
       InternalEdge& rev = adjacency_[fwd.to][fwd.reverse];
       fwd.capacity -= push;
+      OPERON_CHECK_MSG(rev.capacity <= kMaxEdgeCapacity - push,
+                       "residual capacity would overflow int64");
       rev.capacity += push;
       result.total_cost += fwd.cost * static_cast<double>(push);
       v = u;
     }
+    OPERON_CHECK_MSG(std::isfinite(result.total_cost),
+                     "cost x flow accumulation overflowed to non-finite");
     result.max_flow += push;
   }
 
@@ -157,8 +192,9 @@ FlowResult MinCostMaxFlow::solve(NodeId s, NodeId t, std::int64_t limit) {
 }
 
 FlowResult MinCostMaxFlow::solve_with_demand(NodeId s, NodeId t,
-                                             std::int64_t demand) {
-  FlowResult result = solve(s, t, demand);
+                                             std::int64_t demand,
+                                             util::StopToken stop) {
+  FlowResult result = solve(s, t, demand, std::move(stop));
   result.feasible = result.max_flow >= demand;
   return result;
 }

@@ -2,7 +2,7 @@
 // Min-cost max-flow on directed graphs with integer capacities and real
 // edge costs — the network substrate for the WDM assignment (§4.2,
 // Fig 7), replacing LEMON. Successive shortest paths with Johnson
-// potentials (Dijkstra); an initial Bellman–Ford pass establishes valid
+// potentials (Dijkstra); an initial SPFA pass establishes valid
 // potentials when negative-cost edges are present. For networks with
 // integral capacities the optimum is integral (total unimodularity),
 // which is exactly the property §4.2 relies on.
@@ -11,9 +11,16 @@
 #include <limits>
 #include <vector>
 
+#include "util/stop.hpp"
+
 namespace operon::flow {
 
 using NodeId = std::size_t;
+
+/// Hard cap on a single edge's capacity: keeps every residual update and
+/// flow accumulation comfortably inside int64 (enforced in add_edge).
+inline constexpr std::int64_t kMaxEdgeCapacity =
+    std::numeric_limits<std::int64_t>::max() / 4;
 
 struct Edge {
   NodeId from = 0;
@@ -30,10 +37,14 @@ struct FlowResult {
   double total_cost = 0.0;
   bool feasible = true;  ///< set by solve_with_demand when demand met
   std::size_t augmenting_paths = 0;
-  /// Johnson-potential recomputations: the initial Bellman–Ford pass
-  /// (when negative costs exist) plus one Dijkstra-driven update per
+  /// Johnson-potential recomputations: the initial SPFA pass (when
+  /// negative costs exist) plus one Dijkstra-driven update per
   /// augmentation.
   std::size_t potential_updates = 0;
+  /// True when a run-budget stop token tripped before max flow was
+  /// reached: the flows pushed so far are a valid (partial) min-cost
+  /// flow, but max_flow may be short of the achievable maximum.
+  bool stopped = false;
 };
 
 class MinCostMaxFlow {
@@ -50,12 +61,16 @@ class MinCostMaxFlow {
   std::size_t num_edges() const { return edges_.size(); }
 
   /// Push min-cost flow from s to t until max flow (or `limit` units).
+  /// The optional stop token is polled once per augmentation (serial
+  /// loop — deterministic count); a trip sets FlowResult::stopped.
   FlowResult solve(NodeId s, NodeId t,
-                   std::int64_t limit = std::numeric_limits<std::int64_t>::max());
+                   std::int64_t limit = std::numeric_limits<std::int64_t>::max(),
+                   util::StopToken stop = {});
 
   /// Like solve() but marks the result infeasible when fewer than
   /// `demand` units could be routed.
-  FlowResult solve_with_demand(NodeId s, NodeId t, std::int64_t demand);
+  FlowResult solve_with_demand(NodeId s, NodeId t, std::int64_t demand,
+                               util::StopToken stop = {});
 
   /// Reset all flows to zero (graph reusable).
   void clear_flow();
@@ -70,7 +85,7 @@ class MinCostMaxFlow {
 
   bool dijkstra(NodeId s, NodeId t, std::vector<double>& dist,
                 std::vector<std::pair<NodeId, std::size_t>>& parent) const;
-  void bellman_ford(NodeId s);
+  void spfa(NodeId s);
 
   std::size_t num_nodes_;
   std::vector<std::vector<InternalEdge>> adjacency_;

@@ -6,6 +6,7 @@
 
 #include "obs/obs.hpp"
 #include "util/check.hpp"
+#include "util/stop.hpp"
 #include "util/timer.hpp"
 
 namespace operon::ilp {
@@ -38,7 +39,10 @@ std::size_t most_fractional(const Model& model,
 
 MipResult solve_mip(const Model& model, const MipOptions& options) {
   model.validate();
-  util::Deadline deadline(options.time_limit_s);
+  // Run budget caps the stage budget; a null/unarmed token degenerates
+  // to the plain stage deadline.
+  util::StopToken stop = options.stop;
+  util::Deadline deadline = stop.stage_deadline(options.time_limit_s);
   MipResult result;
 
   // Minimization sense internally; flip at the end for Maximize.
@@ -67,7 +71,10 @@ MipResult solve_mip(const Model& model, const MipOptions& options) {
   bool hit_nodes = false;
 
   while (!stack.empty()) {
-    if (deadline.expired()) {
+    // Per-node checkpoint: the DFS loop is serial, so the poll count is
+    // deterministic; a tripped run token reads as a time limit here and
+    // the incumbent (if any) is returned exactly as on a stage timeout.
+    if (stop.checkpoint("ilp.bnb") || deadline.expired()) {
       hit_time = true;
       break;
     }

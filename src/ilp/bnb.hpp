@@ -10,6 +10,7 @@
 
 #include "ilp/model.hpp"
 #include "ilp/simplex.hpp"
+#include "util/stop.hpp"
 
 namespace operon::ilp {
 
@@ -21,6 +22,10 @@ struct MipOptions {
   double integrality_tol = 1e-6;
   double gap_tol = 1e-9;        ///< absolute objective gap to prune with
   LpOptions lp;
+  /// Run-wide budget: polled once per node (the node loop is serial, so
+  /// the poll is a numbered checkpoint); caps time_limit_s via
+  /// stage_deadline(). Null token = stage deadline only.
+  util::StopToken stop;
 };
 
 struct MipResult {

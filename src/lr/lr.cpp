@@ -96,7 +96,11 @@ LrResult solve_selection_lr(std::span<const CandidateSet> sets,
   Selection best_feasible;
   double best_feasible_power = std::numeric_limits<double>::infinity();
 
+  util::StopToken stop = options.stop;
   for (std::size_t iter = 1; iter <= options.max_iterations; ++iter) {
+    // Iteration checkpoint: on a tripped run budget the multiplier loop
+    // stops here and the best-feasible-so-far tail below takes over.
+    if (stop.checkpoint("lr.iteration")) break;
     OPERON_SPAN("lr.iteration");
     result.iterations = iter;
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "codesign/selection.hpp"
+#include "util/stop.hpp"
 
 namespace operon::lr {
 
@@ -37,6 +38,10 @@ struct LrOptions {
   /// semantics of Algorithm 1, so results are bit-identical at any
   /// thread count.
   std::size_t threads = 1;
+  /// Run-wide budget: polled once per multiplier iteration (serial
+  /// orchestration point). A trip breaks the loop; the repair tail still
+  /// runs, so the result is the best feasible selection seen so far.
+  util::StopToken stop;
 };
 
 struct LrIterationStats {

@@ -98,6 +98,8 @@ std::string_view to_string(DiagCode code) {
     case DiagCode::LrNoConvergence: return "lr-no-convergence";
     case DiagCode::SelectionInfeasibleFallback:
       return "selection-infeasible-fallback";
+    case DiagCode::RunTimeLimit: return "run-time-limit";
+    case DiagCode::RunInterrupted: return "run-interrupted";
     case DiagCode::WdmCounterMismatch: return "wdm-counter-mismatch";
     case DiagCode::WdmMoveInvalid: return "wdm-move-invalid";
     case DiagCode::WdmAllocationOutOfRange:
@@ -142,6 +144,8 @@ std::span<const DiagCode> all_diag_codes() {
       DiagCode::SolverTimeLimit,
       DiagCode::LrNoConvergence,
       DiagCode::SelectionInfeasibleFallback,
+      DiagCode::RunTimeLimit,
+      DiagCode::RunInterrupted,
       DiagCode::WdmCounterMismatch,
       DiagCode::WdmMoveInvalid,
       DiagCode::WdmAllocationOutOfRange,

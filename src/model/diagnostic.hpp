@@ -60,6 +60,12 @@ enum class DiagCode {
   SolverTimeLimit,
   LrNoConvergence,
   SelectionInfeasibleFallback,
+  /// The whole-run budget (OperonOptions::run_time_limit_s or the
+  /// stop_at_checkpoint replay) tripped: the pipeline finished on the
+  /// per-stage degradation rungs. Message carries the trip checkpoint.
+  RunTimeLimit,
+  /// An external stop request (SIGINT/SIGTERM) tripped the run token.
+  RunInterrupted,
   // core::verify_result plan audit
   WdmCounterMismatch,
   WdmMoveInvalid,

@@ -65,6 +65,7 @@ bool operator==(const LedgerRecord& a, const LedgerRecord& b) {
   return a.schema == b.schema && a.case_id == b.case_id && a.seed == b.seed &&
          a.git == b.git && a.options == b.options && a.solver == b.solver &&
          a.threads == b.threads && a.degraded == b.degraded &&
+         a.trip_checkpoint == b.trip_checkpoint &&
          a.diagnostics == b.diagnostics && a.metrics == b.metrics &&
          a.timings == b.timings;
 }
@@ -77,6 +78,7 @@ std::string ledger_key(const LedgerRecord& record) {
 
 bool semantic_equal(const LedgerRecord& a, const LedgerRecord& b) {
   return ledger_key(a) == ledger_key(b) && a.degraded == b.degraded &&
+         a.trip_checkpoint == b.trip_checkpoint &&
          a.diagnostics == b.diagnostics &&
          sorted_semantic(a) == sorted_semantic(b);
 }
@@ -92,6 +94,7 @@ std::string to_json_line(const LedgerRecord& record) {
   json.key("solver").value(record.solver);
   json.key("threads").value(static_cast<std::uint64_t>(record.threads));
   json.key("degraded").value(record.degraded);
+  json.key("trip_checkpoint").value(record.trip_checkpoint);
   json.key("diagnostics").begin_object();
   for (const auto& [code, count] : record.diagnostics) {
     json.key(code).value(count);
@@ -108,10 +111,12 @@ LedgerRecord ledger_record_from_json(const util::JsonValue& value) {
                    "ledger record must be a JSON object");
   LedgerRecord record;
   record.schema = static_cast<int>(value.at("schema").as_number());
-  OPERON_CHECK_MSG(record.schema == kLedgerSchemaVersion,
-                   "ledger record schema " << record.schema
-                                           << " unsupported (expected "
-                                           << kLedgerSchemaVersion << ")");
+  OPERON_CHECK_MSG(record.schema >= kLedgerMinSchemaVersion &&
+                       record.schema <= kLedgerSchemaVersion,
+                   "ledger record schema "
+                       << record.schema << " unsupported (accepting "
+                       << kLedgerMinSchemaVersion << ".."
+                       << kLedgerSchemaVersion << ")");
   record.case_id = value.at("case").as_string();
   record.seed = uint_member(value, "seed");
   record.git = value.at("git").as_string();
@@ -119,6 +124,9 @@ LedgerRecord ledger_record_from_json(const util::JsonValue& value) {
   record.solver = value.at("solver").as_string();
   record.threads = static_cast<std::size_t>(uint_member(value, "threads"));
   record.degraded = value.at("degraded").as_bool();
+  // v2 field; v1 records predate run budgets, so they never tripped.
+  record.trip_checkpoint =
+      record.schema >= 2 ? uint_member(value, "trip_checkpoint") : 0;
   record.diagnostics.clear();
   for (const auto& [code, count] : value.at("diagnostics").members()) {
     OPERON_CHECK_MSG(count.is(util::JsonType::Number),
@@ -204,6 +212,11 @@ std::string semantic_difference(const LedgerRecord& a, const LedgerRecord& b) {
   if (a.degraded != b.degraded) {
     return util::format("degraded: %s vs %s", a.degraded ? "true" : "false",
                         b.degraded ? "true" : "false");
+  }
+  if (a.trip_checkpoint != b.trip_checkpoint) {
+    return util::format("trip_checkpoint: %llu vs %llu",
+                        static_cast<unsigned long long>(a.trip_checkpoint),
+                        static_cast<unsigned long long>(b.trip_checkpoint));
   }
   if (a.diagnostics != b.diagnostics) return "diagnostic summary differs";
   const std::vector<MetricPoint> lhs = sorted_semantic(a);

@@ -41,8 +41,11 @@ class JsonValue;
 namespace operon::obs {
 
 /// Bump when the record layout changes incompatibly; readers reject
-/// unknown versions instead of guessing.
-inline constexpr int kLedgerSchemaVersion = 1;
+/// unknown versions instead of guessing. v2 added trip_checkpoint (run
+/// budget cancellation); v1 records still parse, with trip_checkpoint
+/// defaulting to 0.
+inline constexpr int kLedgerSchemaVersion = 2;
+inline constexpr int kLedgerMinSchemaVersion = 1;
 
 /// `git describe --always --dirty` of the tree this binary was built
 /// from ("unknown" when the build was not configured inside a git
@@ -65,6 +68,11 @@ struct LedgerRecord {
   /// part of the identity key or the semantic comparison).
   std::size_t threads = 1;
   bool degraded = false;
+  /// Run-budget trip checkpoint (core::RunStats::trip_checkpoint): 0
+  /// when the run completed, otherwise the numbered checkpoint at which
+  /// the budget (or a stop_at_checkpoint replay) tripped. Semantic:
+  /// bit-identical at any thread count for a deterministic trip.
+  std::uint64_t trip_checkpoint = 0;
   /// Warning counts per DiagCode wire name, sorted by name.
   std::vector<std::pair<std::string, std::uint64_t>> diagnostics;
   /// Semantic metric points, in registration order.

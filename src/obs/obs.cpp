@@ -1,7 +1,11 @@
 #include "obs/obs.hpp"
 
 #include <atomic>
+#include <map>
 #include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
 
 namespace operon::obs {
 
@@ -12,7 +16,52 @@ std::atomic<Observation*> g_current{nullptr};
 /// is about to destroy. Taken only at run boundaries and per heartbeat
 /// sample — never on the metric/span hot path.
 std::mutex g_install_mutex;
+
+/// Open-span registry: which spans are live on which thread right now,
+/// read by the watchdog's stall report from a foreign thread. Spans
+/// bracket stages and solver iterations, not per-element work, so one
+/// uncontended mutex per open/close is cheap relative to what a span
+/// covers. Both the mutex and the map are leaked singletons so spans
+/// closing during process teardown never touch destroyed statics.
+std::mutex& span_mutex() {
+  static std::mutex* mutex = new std::mutex();
+  return *mutex;
+}
+
+std::map<std::thread::id, std::vector<const char*>>& open_spans() {
+  static auto* spans = new std::map<std::thread::id, std::vector<const char*>>();
+  return *spans;
+}
+
+void push_open_span(const char* name) {
+  const std::lock_guard<std::mutex> lock(span_mutex());
+  open_spans()[std::this_thread::get_id()].push_back(name);
+}
+
+void pop_open_span() {
+  const std::lock_guard<std::mutex> lock(span_mutex());
+  auto& spans = open_spans();
+  const auto it = spans.find(std::this_thread::get_id());
+  if (it == spans.end() || it->second.empty()) return;
+  it->second.pop_back();
+  if (it->second.empty()) spans.erase(it);
+}
 }  // namespace
+
+std::string describe_open_spans() {
+  const std::lock_guard<std::mutex> lock(span_mutex());
+  std::ostringstream os;
+  for (const auto& [id, stack] : open_spans()) {
+    os << "thread " << id << ": ";
+    for (std::size_t i = 0; i < stack.size(); ++i) {
+      if (i != 0) os << " > ";
+      os << stack[i];
+    }
+    os << "\n";
+  }
+  if (open_spans().empty()) os << "(no open spans)\n";
+  return os.str();
+}
 
 Observation* current() { return g_current.load(std::memory_order_acquire); }
 
@@ -61,11 +110,14 @@ void observe(std::string_view name, double value) {
 
 Span::Span(const char* name, const char* category)
     : recorder_(current_trace()), name_(name), category_(category) {
-  if (recorder_ != nullptr) start_us_ = trace_now_us();
+  if (recorder_ == nullptr) return;
+  start_us_ = trace_now_us();
+  push_open_span(name_);
 }
 
 Span::~Span() {
   if (recorder_ == nullptr) return;
+  pop_open_span();
   recorder_->record(name_, category_, start_us_, trace_now_us() - start_us_);
 }
 

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <string_view>
 
 #include "obs/metrics.hpp"
@@ -82,6 +83,13 @@ class Span {
   const char* category_;
   double start_us_ = 0.0;
 };
+
+/// One line per thread with an open span stack ("thread <id>: a > b"),
+/// for the watchdog's stall report (obs::Watchdog). Only spans recorded
+/// under an installed observation are tracked; returns "(no open
+/// spans)" otherwise. Takes the global span-registry mutex — cheap
+/// relative to a stall, not meant for hot paths.
+std::string describe_open_spans();
 
 }  // namespace operon::obs
 

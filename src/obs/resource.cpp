@@ -1,5 +1,8 @@
 #include "obs/resource.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -113,6 +116,91 @@ void Heartbeat::sample() {
          {"sys_cpu_s", usage.sys_cpu_s}});
     samples_.fetch_add(1, std::memory_order_relaxed);
   });
+}
+
+std::string render_stall_report(const util::StopToken& token) {
+  std::ostringstream os;
+  os << "operon watchdog: no stop-token checkpoint for "
+     << token.seconds_since_checkpoint() << " s\n";
+  os << "  last stage: "
+     << (token.last_stage()[0] != '\0' ? token.last_stage() : "(none yet)")
+     << " after " << token.checkpoints() << " checkpoint(s)\n";
+  os << "  open spans:\n";
+  std::istringstream spans(describe_open_spans());
+  for (std::string line; std::getline(spans, line);) {
+    os << "    " << line << "\n";
+  }
+  // The install guard keeps the observation alive while we snapshot it,
+  // even if the stalled run is somehow tearing down concurrently.
+  with_current_observation([&os](Observation* observation) {
+    if (observation == nullptr) {
+      os << "  metrics: (no observation installed)\n";
+      return;
+    }
+    os << "  metrics:\n";
+    for (const MetricPoint& point : observation->metrics.snapshot().points) {
+      os << "    " << point.name << " = ";
+      switch (point.kind) {
+        case MetricKind::Counter:
+          os << point.count;
+          break;
+        case MetricKind::Gauge:
+          os << point.value;
+          break;
+        case MetricKind::Histogram:
+          os << point.count << " obs, sum " << point.value;
+          break;
+      }
+      os << "\n";
+    }
+  });
+  const ResourceUsage usage = sample_resource_usage();
+  os << "  resource: peak_rss_mb=" << usage.peak_rss_mb
+     << " user_cpu_s=" << usage.user_cpu_s << " sys_cpu_s=" << usage.sys_cpu_s
+     << "\n";
+  return os.str();
+}
+
+Watchdog::Watchdog(util::StopToken token, std::chrono::milliseconds timeout,
+                   AlarmFn on_alarm)
+    : token_(std::move(token)),
+      on_alarm_(std::move(on_alarm)),
+      thread_([this, timeout] { run(timeout); }) {}
+
+Watchdog::~Watchdog() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  thread_.join();
+}
+
+void Watchdog::run(std::chrono::milliseconds timeout) {
+  // Poll a few times per timeout window: precise enough to catch a
+  // stall within ~1.25x the configured limit, cheap enough to never
+  // matter (each poll is a handful of relaxed atomic loads).
+  const auto poll =
+      std::max<std::chrono::milliseconds>(timeout / 4,
+                                          std::chrono::milliseconds(1));
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (stop_cv_.wait_for(lock, poll, [this] { return stop_; })) return;
+    if (token_.seconds_since_checkpoint() * 1000.0 <
+        static_cast<double>(timeout.count())) {
+      continue;
+    }
+    lock.unlock();
+    fired_.store(true, std::memory_order_release);
+    const std::string report = render_stall_report(token_);
+    if (on_alarm_) {
+      on_alarm_(report);
+      return;  // fires at most once; the hook kept the process alive
+    }
+    std::fputs(report.c_str(), stderr);
+    std::fflush(stderr);
+    std::abort();
+  }
 }
 
 }  // namespace operon::obs

@@ -21,8 +21,12 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
+
+#include "util/stop.hpp"
 
 namespace operon::obs {
 
@@ -65,6 +69,49 @@ class Heartbeat {
   void sample();
 
   std::atomic<std::size_t> samples_{0};
+  std::mutex mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+/// Render the stall report the watchdog emits: the token's last stage
+/// and checkpoint count, seconds since the last checkpoint, every
+/// thread's open span stack (obs::describe_open_spans), and the current
+/// observation's metric headline. Exposed for tests and for callers
+/// that want the report without the watchdog thread.
+std::string render_stall_report(const util::StopToken& token);
+
+/// Liveness watchdog for the cooperative cancellation contract
+/// (util::StopToken): every stage must keep calling checkpoint(). The
+/// watchdog polls the token's checkpoint heartbeat from a background
+/// thread; if no checkpoint lands for `timeout`, it renders a stall
+/// report and invokes `on_alarm` — by default writing the report to
+/// stderr and calling std::abort(), because a stage that stopped
+/// polling can no longer honor a budget or a SIGINT. Wall-clock by
+/// construction: the watchdog never influences results and must never
+/// feed a semantic metric. Fires at most once.
+class Watchdog {
+ public:
+  using AlarmFn = std::function<void(const std::string& report)>;
+  /// `on_alarm` replaces the default stderr+abort action (tests hook it
+  /// to observe the report without dying).
+  Watchdog(util::StopToken token, std::chrono::milliseconds timeout,
+           AlarmFn on_alarm = {});
+  /// Stops and joins the poller thread (unless the alarm already fired
+  /// and took the process down).
+  ~Watchdog();
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  bool fired() const { return fired_.load(std::memory_order_acquire); }
+
+ private:
+  void run(std::chrono::milliseconds timeout);
+
+  util::StopToken token_;
+  AlarmFn on_alarm_;
+  std::atomic<bool> fired_{false};
   std::mutex mutex_;
   std::condition_variable stop_cv_;
   bool stop_ = false;

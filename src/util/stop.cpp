@@ -1,0 +1,167 @@
+#include "util/stop.hpp"
+
+#include <algorithm>
+
+namespace operon::util {
+
+std::string_view to_string(StopReason reason) {
+  switch (reason) {
+    case StopReason::None:
+      return "none";
+    case StopReason::TimeLimit:
+      return "time-limit";
+    case StopReason::Interrupt:
+      return "interrupt";
+    case StopReason::DebugCheckpoint:
+      return "debug-checkpoint";
+  }
+  return "none";
+}
+
+namespace detail {
+
+std::int64_t StopState::now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+double StopState::elapsed_s() const {
+  return static_cast<double>(now_ns() -
+                             start_ns.load(std::memory_order_relaxed)) *
+         1e-9;
+}
+
+bool StopState::deadline_expired() const {
+  if (!armed.load(std::memory_order_relaxed)) return false;
+  const double budget = budget_s.load(std::memory_order_relaxed);
+  if (budget <= 0.0) return false;
+  return elapsed_s() >= budget;
+}
+
+StopReason StopState::pending_reason(std::uint64_t next_checkpoint) const {
+  // Priority order matters for replay: an external interrupt beats the
+  // armed budget, and the deterministic stop_at replay beats the
+  // wall-clock deadline so a replayed run never re-trips on time first.
+  if (requested.load(std::memory_order_acquire)) {
+    return static_cast<StopReason>(
+        requested_reason.load(std::memory_order_relaxed));
+  }
+  for (const StopState* p = parent.get(); p != nullptr;
+       p = p->parent.get()) {
+    if (p->tripped_at.load(std::memory_order_acquire) != 0 ||
+        p->requested.load(std::memory_order_acquire)) {
+      return static_cast<StopReason>(
+          p->requested.load(std::memory_order_acquire)
+              ? p->requested_reason.load(std::memory_order_relaxed)
+              : p->trip_reason.load(std::memory_order_relaxed));
+    }
+    if (p->deadline_expired()) return StopReason::TimeLimit;
+  }
+  const std::uint64_t stop_at_cp = stop_at.load(std::memory_order_relaxed);
+  if (stop_at_cp != 0 && next_checkpoint >= stop_at_cp) {
+    return StopReason::DebugCheckpoint;
+  }
+  if (deadline_expired()) return StopReason::TimeLimit;
+  return StopReason::None;
+}
+
+void StopState::note_progress(const char* stage, std::int64_t now) {
+  for (StopState* s = this; s != nullptr; s = s->parent.get()) {
+    s->last_stage.store(stage, std::memory_order_relaxed);
+    s->last_checkpoint_ns.store(now, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace detail
+
+bool StopToken::checkpoint(const char* stage) {
+  if (!state_) return false;
+  detail::StopState& s = *state_;
+  const std::uint64_t n =
+      s.checkpoints.fetch_add(1, std::memory_order_relaxed) + 1;
+  s.note_progress(stage, detail::StopState::now_ns());
+  if (s.tripped_at.load(std::memory_order_relaxed) != 0) return true;
+  const StopReason why = s.pending_reason(n);
+  if (why == StopReason::None) return false;
+  s.trip_reason.store(static_cast<int>(why), std::memory_order_relaxed);
+  s.trip_stage.store(stage, std::memory_order_relaxed);
+  s.tripped_at.store(n, std::memory_order_release);
+  return true;
+}
+
+bool StopToken::stopped() const {
+  return state_ != nullptr &&
+         state_->tripped_at.load(std::memory_order_acquire) != 0;
+}
+
+std::uint64_t StopToken::trip_checkpoint() const {
+  return state_ ? state_->tripped_at.load(std::memory_order_acquire) : 0;
+}
+
+StopReason StopToken::reason() const {
+  if (!state_) return StopReason::None;
+  return static_cast<StopReason>(
+      state_->trip_reason.load(std::memory_order_acquire));
+}
+
+const char* StopToken::trip_stage() const {
+  return state_ ? state_->trip_stage.load(std::memory_order_acquire) : "";
+}
+
+std::uint64_t StopToken::checkpoints() const {
+  return state_ ? state_->checkpoints.load(std::memory_order_relaxed) : 0;
+}
+
+const char* StopToken::last_stage() const {
+  return state_ ? state_->last_stage.load(std::memory_order_relaxed) : "";
+}
+
+double StopToken::seconds_since_checkpoint() const {
+  if (!state_) return 0.0;
+  const std::int64_t last =
+      state_->last_checkpoint_ns.load(std::memory_order_relaxed);
+  if (last == 0) return 0.0;
+  return static_cast<double>(detail::StopState::now_ns() - last) * 1e-9;
+}
+
+Deadline StopToken::stage_deadline(double stage_limit_s) const {
+  const double stage = stage_limit_s > 0.0 ? stage_limit_s : 0.0;
+  double run = 0.0;  // 0 == unlimited throughout
+  if (state_ && state_->armed.load(std::memory_order_relaxed)) {
+    const double budget = state_->budget_s.load(std::memory_order_relaxed);
+    if (budget > 0.0) {
+      // Already past the run budget: the tightest expressible positive
+      // deadline (Deadline(0) would mean unlimited, the opposite).
+      run = std::max(budget - state_->elapsed_s(), 1e-9);
+    }
+  }
+  if (stage <= 0.0) return Deadline(run);
+  if (run <= 0.0) return Deadline(stage);
+  return Deadline(std::min(stage, run));
+}
+
+StopSource::StopSource() : state_(std::make_shared<detail::StopState>()) {}
+
+void StopSource::arm(double time_limit_s, std::uint64_t stop_at_checkpoint) {
+  state_->budget_s.store(time_limit_s, std::memory_order_relaxed);
+  state_->stop_at.store(stop_at_checkpoint, std::memory_order_relaxed);
+  state_->start_ns.store(detail::StopState::now_ns(),
+                         std::memory_order_relaxed);
+  state_->last_checkpoint_ns.store(
+      state_->start_ns.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  state_->armed.store(true, std::memory_order_release);
+}
+
+void StopSource::request_stop(StopReason reason) {
+  state_->requested_reason.store(static_cast<int>(reason),
+                                 std::memory_order_relaxed);
+  state_->requested.store(true, std::memory_order_release);
+}
+
+void StopSource::chain(StopToken parent) {
+  state_->parent = parent.state_;
+}
+
+}  // namespace operon::util

@@ -1,0 +1,184 @@
+#pragma once
+// Run-wide budgets and deterministic cooperative cancellation.
+//
+// A StopSource owns the shared stop state for one run (or one CLI
+// session); StopToken is the cheap handle the pipeline stages poll.
+// Determinism is the design center: a stage may only stop at a
+// *numbered checkpoint* — StopToken::checkpoint() is called exclusively
+// from serial orchestration code (never from worker threads), so the
+// checkpoint sequence is identical at any thread count, and the
+// checkpoint at which a run tripped is recorded. Replaying that number
+// through StopSource::arm(_, stop_at_checkpoint) reproduces the stopped
+// run bit-identically, turning an inherently wall-clock event into a
+// testable one (tests/cancel_test.cpp).
+//
+// Wall-clock state (time since the last checkpoint, last stage label)
+// is tracked only for the watchdog (obs::Watchdog) and never feeds a
+// stop decision by itself — the decision is always taken at the next
+// checkpoint.
+//
+// Sources compose: StopSource::chain(parent) makes every checkpoint
+// also honor the parent's stop request and deadline (the run budget
+// caps stage budgets), and forwards checkpoint progress upward so a
+// watchdog on the outermost source sees the active run's heartbeat.
+// request_stop() touches only atomics and is async-signal-safe — the
+// CLI's SIGINT/SIGTERM handlers call it directly.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string_view>
+
+#include "util/timer.hpp"
+
+namespace operon::util {
+
+/// Why a run (or stage) was asked to stop. TimeLimit and DebugCheckpoint
+/// trips are deliberately reported identically downstream (same
+/// DiagCode, same message) so a stop_at_checkpoint replay of a
+/// wall-clock trip is bit-identical.
+enum class StopReason : int {
+  None = 0,
+  TimeLimit,        ///< the armed wall-clock budget expired
+  Interrupt,        ///< external request (SIGINT/SIGTERM, caller)
+  DebugCheckpoint,  ///< the stop_at_checkpoint replay count was reached
+};
+
+std::string_view to_string(StopReason reason);
+
+/// Deadline helper for time-limited solvers (previously in timer.hpp).
+class Deadline {
+ public:
+  /// A non-positive budget means "no limit".
+  explicit Deadline(double budget_seconds) : budget_(budget_seconds) {}
+
+  bool expired() const {
+    return budget_ > 0.0 && timer_.seconds() >= budget_;
+  }
+
+  double remaining() const {
+    if (budget_ <= 0.0) return std::numeric_limits<double>::infinity();
+    return budget_ - timer_.seconds();
+  }
+
+  double budget() const { return budget_; }
+
+ private:
+  double budget_;
+  Timer timer_;
+};
+
+namespace detail {
+
+/// Shared stop state. All fields the watchdog (a foreign thread) reads
+/// are atomics; the checkpoint counter itself is only ever advanced
+/// from the serial orchestration thread.
+struct StopState {
+  using Clock = std::chrono::steady_clock;
+
+  // External stop request (signal handlers write these — atomics only).
+  std::atomic<bool> requested{false};
+  std::atomic<int> requested_reason{static_cast<int>(StopReason::Interrupt)};
+
+  // Armed budget. Written by arm() before any checkpoint runs.
+  std::atomic<bool> armed{false};
+  std::atomic<double> budget_s{0.0};  ///< <= 0: unlimited
+  std::atomic<std::int64_t> start_ns{0};
+  std::atomic<std::uint64_t> stop_at{0};  ///< 0: disabled
+
+  // Progress (watchdog-visible heartbeat).
+  std::atomic<std::uint64_t> checkpoints{0};
+  std::atomic<const char*> last_stage{""};
+  std::atomic<std::int64_t> last_checkpoint_ns{0};
+
+  // Trip record. 0 = not tripped; otherwise the checkpoint number.
+  std::atomic<std::uint64_t> tripped_at{0};
+  std::atomic<int> trip_reason{static_cast<int>(StopReason::None)};
+  std::atomic<const char*> trip_stage{""};
+
+  std::shared_ptr<StopState> parent;
+
+  static std::int64_t now_ns();
+  double elapsed_s() const;
+  bool deadline_expired() const;
+  /// First pending stop cause along the parent chain (None when none).
+  StopReason pending_reason(std::uint64_t next_checkpoint) const;
+  void note_progress(const char* stage, std::int64_t now);
+};
+
+}  // namespace detail
+
+/// Cheap copyable handle to a StopSource's state. A default-constructed
+/// token is *null*: checkpoint() always returns false and counts
+/// nothing, so library code can poll unconditionally.
+class StopToken {
+ public:
+  StopToken() = default;
+
+  explicit operator bool() const { return state_ != nullptr; }
+
+  /// Numbered poll — call ONLY from serial orchestration code (between
+  /// parallel batches, per solver node/iteration), never from worker
+  /// threads. Increments the checkpoint counter, then returns true when
+  /// this run is (now or previously) stopped. The first true records
+  /// the trip checkpoint, reason, and stage.
+  bool checkpoint(const char* stage);
+
+  /// Unnumbered peek at the trip flag (for guards after a trip — never
+  /// advances the counter, never trips by itself).
+  bool stopped() const;
+
+  /// Trip record: checkpoint number (0 = not tripped), reason, stage.
+  std::uint64_t trip_checkpoint() const;
+  StopReason reason() const;
+  const char* trip_stage() const;
+
+  /// Progress accessors for the watchdog.
+  std::uint64_t checkpoints() const;
+  const char* last_stage() const;
+  double seconds_since_checkpoint() const;
+
+  /// Compose a stage time limit with the remaining run budget: the
+  /// returned Deadline expires at min(stage limit, remaining run
+  /// budget), where a non-positive stage limit means "stage unlimited"
+  /// and a null/unarmed/unlimited token leaves the stage limit alone.
+  /// Deadline(0) == unlimited semantics are preserved at every
+  /// combination (tests/stop_test.cpp audits them).
+  Deadline stage_deadline(double stage_limit_s) const;
+
+ private:
+  friend class StopSource;
+  explicit StopToken(std::shared_ptr<detail::StopState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::StopState> state_;
+};
+
+/// Owner of one run's (or session's) stop state.
+class StopSource {
+ public:
+  StopSource();
+
+  StopToken token() const { return StopToken(state_); }
+
+  /// Start the wall clock: a positive time limit trips the token at the
+  /// first checkpoint past the budget; a non-zero stop_at_checkpoint
+  /// trips deterministically at exactly that checkpoint (debug replay).
+  void arm(double time_limit_s, std::uint64_t stop_at_checkpoint = 0);
+
+  /// Ask the run to stop at its next checkpoint. Touches only atomics —
+  /// async-signal-safe, callable from any thread or signal handler.
+  void request_stop(StopReason reason = StopReason::Interrupt);
+
+  /// Honor `parent`'s stop requests/deadline at every checkpoint and
+  /// forward checkpoint progress to it (so a watchdog on the parent
+  /// observes the child's heartbeat). A null parent is a no-op.
+  void chain(StopToken parent);
+
+ private:
+  std::shared_ptr<detail::StopState> state_;
+};
+
+}  // namespace operon::util

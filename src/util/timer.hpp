@@ -2,7 +2,6 @@
 // Wall-clock stopwatch for runtime reporting (Table 1 CPU(s) columns).
 
 #include <chrono>
-#include <limits>
 
 namespace operon::util {
 
@@ -24,26 +23,6 @@ class Timer {
   Clock::time_point start_;
 };
 
-/// Deadline helper for time-limited solvers (ILP branch-and-bound).
-class Deadline {
- public:
-  /// A non-positive budget means "no limit".
-  explicit Deadline(double budget_seconds) : budget_(budget_seconds) {}
-
-  bool expired() const {
-    return budget_ > 0.0 && timer_.seconds() >= budget_;
-  }
-
-  double remaining() const {
-    if (budget_ <= 0.0) return std::numeric_limits<double>::infinity();
-    return budget_ - timer_.seconds();
-  }
-
-  double budget() const { return budget_; }
-
- private:
-  double budget_;
-  Timer timer_;
-};
+// Deadline moved to util/stop.hpp (run-budget composition lives there).
 
 }  // namespace operon::util

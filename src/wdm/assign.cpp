@@ -11,6 +11,52 @@
 
 namespace operon::wdm {
 
+namespace {
+
+/// Degradation rung for a tripped run budget: deterministic greedy
+/// index-order fill — each connection's channels go to the first
+/// same-axis WDMs with remaining capacity. place_wdms guarantees the
+/// axis has sufficient total capacity, so the fill is complete and
+/// capacity-respecting (the auditor's invariants); only move distance
+/// is sacrificed relative to the flow optimum.
+AssignResult identity_assignment(std::span<const Connection> connections,
+                                 std::span<const Wdm> wdms,
+                                 const std::vector<std::size_t>& conn_ids,
+                                 const std::vector<std::size_t>& wdm_ids) {
+  AssignResult result;
+  result.identity_fallback = true;
+  std::vector<std::int64_t> remaining(wdm_ids.size());
+  for (std::size_t j = 0; j < wdm_ids.size(); ++j) {
+    remaining[j] = wdms[wdm_ids[j]].capacity;
+  }
+  std::vector<char> wdm_hit(wdm_ids.size(), 0);
+  std::size_t next = 0;
+  for (std::size_t k = 0; k < conn_ids.size(); ++k) {
+    const Connection& conn = connections[conn_ids[k]];
+    std::int64_t bits = static_cast<std::int64_t>(conn.bits);
+    for (std::size_t j = next; j < wdm_ids.size() && bits > 0; ++j) {
+      if (remaining[j] <= 0) {
+        if (j == next) ++next;
+        continue;
+      }
+      const std::int64_t take = std::min(bits, remaining[j]);
+      remaining[j] -= take;
+      bits -= take;
+      result.allocations.push_back({conn_ids[k], wdm_ids[j],
+                                    static_cast<std::size_t>(take)});
+      result.total_move_um += std::abs(conn.coord - wdms[wdm_ids[j]].coord) *
+                              static_cast<double>(take);
+      wdm_hit[j] = 1;
+    }
+    if (bits > 0) result.feasible = false;
+  }
+  result.wdms_used = static_cast<std::size_t>(
+      std::count(wdm_hit.begin(), wdm_hit.end(), 1));
+  return result;
+}
+
+}  // namespace
+
 AssignResult assign_connections(std::span<const Connection> connections,
                                 std::span<const Wdm> wdms, Axis axis,
                                 const model::OpticalParams& optical,
@@ -25,6 +71,13 @@ AssignResult assign_connections(std::span<const Connection> connections,
   }
   AssignResult result;
   if (conn_ids.empty()) return result;
+
+  // Stage-entry checkpoint: a tripped run budget skips the flow solve
+  // entirely and takes the identity rung.
+  util::StopToken stop = options.stop;
+  if (stop.checkpoint("wdm.assign")) {
+    return identity_assignment(connections, wdms, conn_ids, wdm_ids);
+  }
 
   // Node layout: 0 = source, 1 = sink, then connections, then WDMs.
   const std::size_t s = 0, t = 1;
@@ -87,7 +140,13 @@ AssignResult assign_connections(std::span<const Connection> connections,
     }
   }
 
-  const flow::FlowResult flow_result = graph.solve_with_demand(s, t, demand);
+  const flow::FlowResult flow_result =
+      graph.solve_with_demand(s, t, demand, stop);
+  if (flow_result.stopped) {
+    // A mid-solve trip leaves a partial flow that would fail the
+    // completeness audit; discard it wholesale for the identity rung.
+    return identity_assignment(connections, wdms, conn_ids, wdm_ids);
+  }
   result.feasible = flow_result.feasible;
   if (!flow_result.feasible) {
     OPERON_LOG(Warn) << "WDM assignment: only " << flow_result.max_flow << "/"
@@ -136,11 +195,13 @@ WdmPlan plan_wdm_assignment(std::span<const codesign::CandidateSet> sets,
     plan.final_wdms += result.wdms_used;
     plan.total_move_um += result.total_move_um;
     plan.feasible = plan.feasible && result.feasible;
+    plan.identity_fallback = plan.identity_fallback || result.identity_fallback;
     plan.allocations.insert(plan.allocations.end(),
                             result.allocations.begin(),
                             result.allocations.end());
   }
   obs::add_counter("wdm.assignments");
+  obs::set_gauge("wdm.identity_fallback", plan.identity_fallback ? 1.0 : 0.0);
   obs::set_gauge("wdm.connections", static_cast<double>(plan.connections.size()));
   obs::set_gauge("wdm.initial_wdms", static_cast<double>(plan.initial_wdms));
   obs::set_gauge("wdm.final_wdms", static_cast<double>(plan.final_wdms));

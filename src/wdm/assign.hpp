@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "model/params.hpp"
+#include "util/stop.hpp"
 #include "wdm/wdm.hpp"
 
 namespace operon::wdm {
@@ -24,6 +25,11 @@ struct AssignOptions {
   double usage_rank_cost = 1.0;
   /// Weight of the normalized (distance / disu) move cost.
   double move_cost_weight = 0.5;
+  /// Run-wide budget: checkpointed at stage entry and per flow
+  /// augmentation. A trip replaces the flow optimum with the identity
+  /// (greedy index-order) assignment — still capacity-respecting and
+  /// complete, just not move-optimal.
+  util::StopToken stop;
 };
 
 /// One piece of a (possibly split) connection-to-WDM allocation.
@@ -38,6 +44,9 @@ struct AssignResult {
   std::size_t wdms_used = 0;       ///< WDMs with non-zero flow
   double total_move_um = 0.0;      ///< channel-weighted perpendicular moves
   bool feasible = true;            ///< all channels allocated
+  /// True when a run-budget trip replaced the flow optimum with the
+  /// greedy identity assignment (degradation rung).
+  bool identity_fallback = false;
 };
 
 /// Solve the assignment for one axis (connections and WDMs of the other
@@ -58,6 +67,9 @@ struct WdmPlan {
   std::size_t final_wdms = 0;                   ///< with flow > 0
   double total_move_um = 0.0;
   bool feasible = true;
+  /// True when any axis fell back to the identity assignment because the
+  /// run budget tripped.
+  bool identity_fallback = false;
 };
 
 WdmPlan plan_wdm_assignment(std::span<const codesign::CandidateSet> sets,

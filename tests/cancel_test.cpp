@@ -1,0 +1,260 @@
+// Cancellation determinism suite: a run stopped by the wall-clock
+// budget is replayable bit-identically through stop_at_checkpoint at
+// any thread count, every early-stopped run still passes the
+// independent plan auditor (core::verify_result), an external interrupt
+// degrades instead of throwing, and the watchdog detects a stage that
+// stops checkpointing.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchgen/benchgen.hpp"
+#include "core/flow.hpp"
+#include "core/verify.hpp"
+#include "model/diagnostic.hpp"
+#include "obs/obs.hpp"
+#include "obs/resource.hpp"
+#include "util/stop.hpp"
+
+namespace oc = operon::core;
+namespace om = operon::model;
+namespace oo = operon::obs;
+namespace ou = operon::util;
+
+namespace {
+
+operon::model::Design cancel_design(std::uint64_t seed = 21) {
+  operon::benchgen::BenchmarkSpec spec;
+  spec.name = "cancel-design";
+  spec.num_groups = 10;
+  spec.bits_lo = 2;
+  spec.bits_hi = 5;
+  spec.seed = seed;
+  return operon::benchgen::generate_benchmark(spec);
+}
+
+bool has_code(const std::vector<om::Diagnostic>& diagnostics,
+              om::DiagCode code) {
+  for (const om::Diagnostic& diagnostic : diagnostics) {
+    if (diagnostic.code == code) return true;
+  }
+  return false;
+}
+
+/// Semantic equality of two results: selected plan, power, trip
+/// record, degraded flag, diagnostics, and every non-timing metric
+/// point must match bit-identically.
+void expect_identical(const oc::OperonResult& a, const oc::OperonResult& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.stats.power_pj, b.stats.power_pj) << label;
+  EXPECT_EQ(a.selection, b.selection) << label;
+  EXPECT_EQ(a.stats.trip_checkpoint, b.stats.trip_checkpoint) << label;
+  EXPECT_EQ(a.stats.trip_stage, b.stats.trip_stage) << label;
+  EXPECT_EQ(a.degraded, b.degraded) << label;
+  ASSERT_EQ(a.diagnostics.size(), b.diagnostics.size()) << label;
+  for (std::size_t i = 0; i < a.diagnostics.size(); ++i) {
+    EXPECT_EQ(a.diagnostics[i].code, b.diagnostics[i].code) << label;
+    EXPECT_EQ(a.diagnostics[i].message, b.diagnostics[i].message) << label;
+  }
+  // Timing-flagged points (wall-clock, pool telemetry) legitimately
+  // differ across thread counts; the semantic points must not.
+  const auto semantic = [](const oc::OperonResult& result) {
+    std::vector<oo::MetricPoint> points;
+    for (const oo::MetricPoint& point : result.stats.metrics.points) {
+      if (!point.timing) points.push_back(point);
+    }
+    return points;
+  };
+  const std::vector<oo::MetricPoint> sa = semantic(a);
+  const std::vector<oo::MetricPoint> sb = semantic(b);
+  ASSERT_EQ(sa.size(), sb.size()) << label;
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_TRUE(sa[i] == sb[i]) << label << " point=" << sa[i].name;
+  }
+}
+
+}  // namespace
+
+TEST(Cancel, StopAtCheckpointDegradesAndVerifies) {
+  const om::Design design = cancel_design();
+  oc::OperonOptions options;
+  options.stop_at_checkpoint = 5;
+  const oc::OperonResult result = oc::run_operon(design, options);
+  EXPECT_TRUE(result.degraded);
+  EXPECT_EQ(result.stats.trip_checkpoint, 5u);
+  EXPECT_FALSE(result.stats.trip_stage.empty());
+  EXPECT_TRUE(has_code(result.diagnostics, om::DiagCode::RunTimeLimit));
+  EXPECT_TRUE(oc::verify_result(result, options).empty());
+}
+
+TEST(Cancel, StopAtIsBitIdenticalAcrossThreadCounts) {
+  const om::Design design = cancel_design();
+  for (const std::uint64_t stop_at : {2u, 9u, 30u}) {
+    oc::OperonOptions base;
+    base.stop_at_checkpoint = stop_at;
+    base.threads = 1;
+    const oc::OperonResult reference = oc::run_operon(design, base);
+    for (const std::size_t threads : {2u, 8u}) {
+      oc::OperonOptions options = base;
+      options.threads = threads;
+      const oc::OperonResult result = oc::run_operon(design, options);
+      expect_identical(reference, result,
+                       "stop_at=" + std::to_string(stop_at) +
+                           " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+TEST(Cancel, EveryEarlyStopPassesTheAuditor) {
+  // Sweep the trip point across the whole checkpoint range: wherever
+  // the run is cut, the degraded plan must satisfy the independent
+  // post-hoc audit, and a trip must always mark the run degraded.
+  const om::Design design = cancel_design(22);
+  oc::OperonOptions complete_options;
+  const oc::OperonResult complete = oc::run_operon(design, complete_options);
+  EXPECT_EQ(complete.stats.trip_checkpoint, 0u);
+
+  for (const std::uint64_t stop_at : {1u, 3u, 7u, 15u, 40u, 200u, 100000u}) {
+    oc::OperonOptions options;
+    options.stop_at_checkpoint = stop_at;
+    const oc::OperonResult result = oc::run_operon(design, options);
+    const std::string label = "stop_at=" + std::to_string(stop_at);
+    EXPECT_TRUE(oc::verify_result(result, options).empty()) << label;
+    if (result.stats.trip_checkpoint != 0) {
+      EXPECT_EQ(result.stats.trip_checkpoint, stop_at) << label;
+      EXPECT_TRUE(result.degraded) << label;
+      EXPECT_TRUE(has_code(result.diagnostics, om::DiagCode::RunTimeLimit))
+          << label;
+    } else {
+      // The run finished before the replay checkpoint was reached — it
+      // must then be indistinguishable from the unbudgeted run.
+      expect_identical(complete, result, label);
+    }
+  }
+}
+
+TEST(Cancel, WallClockTripReplaysBitIdentically) {
+  const om::Design design = cancel_design(23);
+  oc::OperonOptions timed;
+  timed.run_time_limit_s = 1e-6;  // trips at the first checkpoint wave
+  const oc::OperonResult tripped = oc::run_operon(design, timed);
+  ASSERT_NE(tripped.stats.trip_checkpoint, 0u);
+  EXPECT_TRUE(tripped.degraded);
+  EXPECT_TRUE(has_code(tripped.diagnostics, om::DiagCode::RunTimeLimit));
+  EXPECT_TRUE(oc::verify_result(tripped, timed).empty());
+
+  // Replaying the recorded checkpoint must reproduce the whole result —
+  // same diagnostics text, same plan — at any thread count, even though
+  // the replay never consults the wall clock.
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    oc::OperonOptions replay;
+    replay.stop_at_checkpoint = tripped.stats.trip_checkpoint;
+    replay.threads = threads;
+    const oc::OperonResult replayed = oc::run_operon(design, replay);
+    expect_identical(tripped, replayed,
+                     "replay threads=" + std::to_string(threads));
+  }
+}
+
+TEST(Cancel, ExternalInterruptDegradesWithRunInterrupted) {
+  const om::Design design = cancel_design(24);
+  ou::StopSource external;
+  external.request_stop();  // as the CLI's SIGINT handler would
+  oc::OperonOptions options;
+  options.stop = external.token();
+  const oc::OperonResult result = oc::run_operon(design, options);
+  EXPECT_TRUE(result.degraded);
+  EXPECT_EQ(result.stats.trip_checkpoint, 1u);
+  EXPECT_TRUE(has_code(result.diagnostics, om::DiagCode::RunInterrupted));
+  EXPECT_FALSE(has_code(result.diagnostics, om::DiagCode::RunTimeLimit));
+  EXPECT_TRUE(oc::verify_result(result, options).empty());
+}
+
+TEST(Cancel, SelectionOnlyHonorsStopAt) {
+  const om::Design design = cancel_design(25);
+  oc::OperonOptions prep_options;
+  oc::OperonResult prep = oc::run_operon(design, prep_options);
+
+  oc::OperonOptions options;
+  options.solver = oc::SolverKind::IlpExact;
+  options.stop_at_checkpoint = 1;
+  const oc::OperonResult result =
+      oc::run_selection_only(prep.sets, options);
+  EXPECT_TRUE(result.degraded);
+  EXPECT_EQ(result.stats.trip_checkpoint, 1u);
+  EXPECT_TRUE(has_code(result.diagnostics, om::DiagCode::RunTimeLimit));
+}
+
+// -- watchdog --------------------------------------------------------------
+
+TEST(Watchdog, FiresOnSilentTokenWithStallReport) {
+  ou::StopSource source;
+  source.arm(0.0);
+  ou::StopToken token = source.token();
+  EXPECT_FALSE(token.checkpoint("cluster.group"));  // one heartbeat, then silence
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::string report;
+  bool fired = false;
+  oo::Watchdog watchdog(token, std::chrono::milliseconds(10),
+                        [&](const std::string& r) {
+                          const std::lock_guard<std::mutex> lock(mutex);
+                          report = r;
+                          fired = true;
+                          cv.notify_all();
+                        });
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(10),
+                            [&] { return fired; }));
+  }
+  EXPECT_TRUE(watchdog.fired());
+  EXPECT_NE(report.find("no stop-token checkpoint"), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("cluster.group"), std::string::npos) << report;
+  EXPECT_NE(report.find("open spans"), std::string::npos) << report;
+}
+
+TEST(Watchdog, StaysQuietWhileCheckpointsFlow) {
+  ou::StopSource source;
+  source.arm(0.0);
+  ou::StopToken token = source.token();
+  std::atomic<bool> fired{false};
+  {
+    oo::Watchdog watchdog(token, std::chrono::milliseconds(200),
+                          [&](const std::string&) { fired = true; });
+    const auto until =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(120);
+    while (std::chrono::steady_clock::now() < until) {
+      token.checkpoint("lr.iteration");
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  EXPECT_FALSE(fired.load());
+}
+
+TEST(Watchdog, OpenSpanRegistryTracksLiveSpans) {
+  oo::Observation observation;
+  {
+    const oo::ScopedObservation scope(observation);
+    OPERON_SPAN("cancel.outer");
+    {
+      OPERON_SPAN("cancel.inner");
+      const std::string open = oo::describe_open_spans();
+      EXPECT_NE(open.find("cancel.outer > cancel.inner"), std::string::npos)
+          << open;
+    }
+    EXPECT_EQ(oo::describe_open_spans().find("cancel.inner"),
+              std::string::npos);
+  }
+  EXPECT_NE(oo::describe_open_spans().find("(no open spans)"),
+            std::string::npos);
+}

@@ -5,12 +5,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <numeric>
 #include <vector>
 
 #include "flow/mcmf.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
+#include "util/stop.hpp"
 
 namespace of = operon::flow;
 
@@ -123,6 +126,66 @@ TEST(Mcmf, RejectsBadArgs) {
   EXPECT_THROW(graph.add_edge(0, 1, -1, 0.0), operon::util::CheckError);
   graph.add_edge(0, 1, 1, 0.0);
   EXPECT_THROW(graph.solve(0, 0), operon::util::CheckError);
+}
+
+TEST(Mcmf, NearLimitCapacityDoesNotOverflow) {
+  // Regression: residual updates on capacities at the guard limit must
+  // stay inside int64 — forward flow plus reverse capacity peaks at
+  // exactly kMaxEdgeCapacity per edge pair.
+  of::MinCostMaxFlow graph(3);
+  graph.add_edge(0, 1, of::kMaxEdgeCapacity, 1.0);
+  graph.add_edge(1, 2, of::kMaxEdgeCapacity, 1.0);
+  const auto result = graph.solve(0, 2);
+  EXPECT_EQ(result.max_flow, of::kMaxEdgeCapacity);
+  EXPECT_TRUE(std::isfinite(result.total_cost));
+  EXPECT_EQ(graph.edge(0).flow, of::kMaxEdgeCapacity);
+}
+
+TEST(Mcmf, RejectsCapacityBeyondGuardLimit) {
+  of::MinCostMaxFlow graph(2);
+  EXPECT_THROW(graph.add_edge(0, 1, of::kMaxEdgeCapacity + 1, 0.0),
+               operon::util::CheckError);
+}
+
+TEST(Mcmf, RejectsNonFiniteCost) {
+  of::MinCostMaxFlow graph(2);
+  EXPECT_THROW(
+      graph.add_edge(0, 1, 1, std::numeric_limits<double>::infinity()),
+      operon::util::CheckError);
+  EXPECT_THROW(
+      graph.add_edge(0, 1, 1, std::numeric_limits<double>::quiet_NaN()),
+      operon::util::CheckError);
+}
+
+TEST(Mcmf, NegativeCostCycleIsDetectedNotLooped) {
+  // A negative-cost cycle makes shortest path undefined; the SPFA
+  // fallback must fail loudly instead of relaxing forever.
+  of::MinCostMaxFlow graph(4);
+  graph.add_edge(0, 1, 1, 1.0);
+  graph.add_edge(1, 2, 5, -3.0);
+  graph.add_edge(2, 1, 5, -3.0);
+  graph.add_edge(2, 3, 1, 1.0);
+  EXPECT_THROW(graph.solve(0, 3), operon::util::CheckError);
+}
+
+TEST(Mcmf, StopTokenStopsBetweenAugmentations) {
+  // Four unit-capacity parallel paths need four augmentations; a token
+  // tripping at the second checkpoint leaves a valid partial flow.
+  of::MinCostMaxFlow graph(6);
+  for (of::NodeId mid = 1; mid <= 4; ++mid) {
+    graph.add_edge(0, mid, 1, static_cast<double>(mid));
+    graph.add_edge(mid, 5, 1, 1.0);
+  }
+  operon::util::StopSource source;
+  source.arm(0.0, /*stop_at_checkpoint=*/2);
+  const auto result = graph.solve(0, 5, 100, source.token());
+  EXPECT_TRUE(result.stopped);
+  EXPECT_EQ(result.max_flow, 1);  // one augmentation before the trip
+  // Untripped solve still finds the maximum.
+  graph.clear_flow();
+  const auto full = graph.solve(0, 5);
+  EXPECT_FALSE(full.stopped);
+  EXPECT_EQ(full.max_flow, 4);
 }
 
 // Property: on random graphs, edge flows conserve at internal nodes and

@@ -135,6 +135,30 @@ TEST(Ledger, ParserRejectsWrongSchemaAndMisplacedTimingPoints) {
                operon::util::CheckError);
 }
 
+TEST(Ledger, SchemaV1RecordsParseWithZeroTripCheckpoint) {
+  // Pre-run-budget ledgers (schema 1, no trip_checkpoint key) must keep
+  // parsing: they never tripped, so the field defaults to 0.
+  oo::LedgerRecord record = sample_record();
+  record.trip_checkpoint = 17;
+  std::string line = oo::to_json_line(record);
+  const std::string v2_schema = "\"schema\":2";
+  const std::string v2_field = "\"trip_checkpoint\":17,";
+  ASSERT_NE(line.find(v2_schema), std::string::npos);
+  ASSERT_NE(line.find(v2_field), std::string::npos);
+  line.replace(line.find(v2_schema), v2_schema.size(), "\"schema\":1");
+  line.replace(line.find(v2_field), v2_field.size(), "");
+
+  const oo::LedgerRecord parsed = oo::parse_ledger_record(line);
+  EXPECT_EQ(parsed.schema, 1);
+  EXPECT_EQ(parsed.trip_checkpoint, 0u);
+  EXPECT_EQ(parsed.case_id, record.case_id);
+
+  // A schema-2 record without the field is malformed, not defaulted.
+  std::string broken = oo::to_json_line(record);
+  broken.replace(broken.find(v2_field), v2_field.size(), "");
+  EXPECT_THROW(oo::parse_ledger_record(broken), operon::util::CheckError);
+}
+
 TEST(Compare, IdenticalLedgersAreOk) {
   const std::vector<oo::LedgerRecord> ledger = {sample_record("A"),
                                                 sample_record("B")};
@@ -166,6 +190,14 @@ TEST(Compare, DegradedFlagAndDiagnosticsAreSemantic) {
 
   current = {sample_record()};
   current[0].diagnostics[0].second += 1;
+  EXPECT_EQ(oo::compare_ledgers(baseline, current).verdict(),
+            "semantic-drift");
+
+  // The run-budget trip checkpoint is semantic too: a run that tripped
+  // at a different checkpoint did not take the same path.
+  current = {sample_record()};
+  current[0].trip_checkpoint = 5;
+  EXPECT_FALSE(oo::semantic_equal(baseline[0], current[0]));
   EXPECT_EQ(oo::compare_ledgers(baseline, current).verdict(),
             "semantic-drift");
 }

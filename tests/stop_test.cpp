@@ -1,0 +1,189 @@
+// Tests for the run-budget/cancellation substrate (util/stop.hpp):
+// StopToken checkpoint semantics, trip records, replay determinism of
+// stop_at_checkpoint, source chaining, and the stage_deadline
+// composition audit (Deadline(0) == unlimited at every combination).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "util/stop.hpp"
+
+namespace ou = operon::util;
+
+TEST(Stop, NullTokenNeverStops) {
+  ou::StopToken token;
+  EXPECT_FALSE(static_cast<bool>(token));
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(token.checkpoint("stage"));
+  EXPECT_FALSE(token.stopped());
+  EXPECT_EQ(token.trip_checkpoint(), 0u);
+  EXPECT_EQ(token.checkpoints(), 0u);  // null tokens count nothing
+  EXPECT_EQ(token.reason(), ou::StopReason::None);
+}
+
+TEST(Stop, UnarmedSourceCountsButNeverTrips) {
+  ou::StopSource source;
+  ou::StopToken token = source.token();
+  EXPECT_TRUE(static_cast<bool>(token));
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(token.checkpoint("a"));
+  EXPECT_EQ(token.checkpoints(), 10u);
+  EXPECT_FALSE(token.stopped());
+}
+
+TEST(Stop, StopAtCheckpointTripsExactlyThere) {
+  ou::StopSource source;
+  source.arm(/*time_limit_s=*/0.0, /*stop_at_checkpoint=*/3);
+  ou::StopToken token = source.token();
+  EXPECT_FALSE(token.checkpoint("one"));
+  EXPECT_FALSE(token.checkpoint("two"));
+  EXPECT_TRUE(token.checkpoint("three"));
+  EXPECT_TRUE(token.stopped());
+  EXPECT_EQ(token.trip_checkpoint(), 3u);
+  EXPECT_EQ(token.reason(), ou::StopReason::DebugCheckpoint);
+  EXPECT_STREQ(token.trip_stage(), "three");
+  // The trip is sticky and the record frozen; later checkpoints still
+  // count but return true without rewriting the trip.
+  EXPECT_TRUE(token.checkpoint("four"));
+  EXPECT_EQ(token.trip_checkpoint(), 3u);
+  EXPECT_STREQ(token.trip_stage(), "three");
+  EXPECT_EQ(token.checkpoints(), 4u);
+}
+
+TEST(Stop, TinyTimeLimitTripsAtFirstCheckpoint) {
+  ou::StopSource source;
+  source.arm(1e-9);
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  ou::StopToken token = source.token();
+  EXPECT_TRUE(token.checkpoint("stage"));
+  EXPECT_EQ(token.reason(), ou::StopReason::TimeLimit);
+  EXPECT_EQ(token.trip_checkpoint(), 1u);
+}
+
+TEST(Stop, RequestStopTripsWithInterruptAndBeatsStopAt) {
+  ou::StopSource source;
+  source.arm(0.0, /*stop_at_checkpoint=*/50);
+  source.request_stop();  // what the SIGINT handler does
+  ou::StopToken token = source.token();
+  EXPECT_TRUE(token.checkpoint("stage"));
+  EXPECT_EQ(token.reason(), ou::StopReason::Interrupt);
+  EXPECT_EQ(token.trip_checkpoint(), 1u);
+}
+
+TEST(Stop, ChainedParentStopsChildAndSeesItsProgress) {
+  ou::StopSource parent;
+  ou::StopSource child;
+  child.chain(parent.token());
+  ou::StopToken token = child.token();
+
+  EXPECT_FALSE(token.checkpoint("warmup"));
+  // Progress is forwarded upward: a watchdog on the parent sees the
+  // child's heartbeat even though the parent never checkpoints.
+  EXPECT_STREQ(parent.token().last_stage(), "warmup");
+
+  parent.request_stop();
+  EXPECT_TRUE(token.checkpoint("work"));
+  EXPECT_EQ(token.reason(), ou::StopReason::Interrupt);
+  EXPECT_EQ(token.trip_checkpoint(), 2u);  // numbered on the child
+}
+
+TEST(Stop, ChainedParentDeadlineCapsChild) {
+  ou::StopSource parent;
+  parent.arm(1e-9);
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  ou::StopSource child;  // itself unlimited
+  child.chain(parent.token());
+  ou::StopToken token = child.token();
+  EXPECT_TRUE(token.checkpoint("stage"));
+  EXPECT_EQ(token.reason(), ou::StopReason::TimeLimit);
+}
+
+TEST(Stop, ReplayIsDeterministic) {
+  // Two sources armed with the same stop_at produce identical trip
+  // records over the same checkpoint sequence — the property the
+  // pipeline's replay rests on.
+  for (int round = 0; round < 2; ++round) {
+    ou::StopSource source;
+    source.arm(0.0, 5);
+    ou::StopToken token = source.token();
+    int trips = 0;
+    for (int i = 0; i < 8; ++i) trips += token.checkpoint("s") ? 1 : 0;
+    EXPECT_EQ(trips, 4);  // checkpoints 5..8
+    EXPECT_EQ(token.trip_checkpoint(), 5u);
+    EXPECT_EQ(token.reason(), ou::StopReason::DebugCheckpoint);
+  }
+}
+
+// -- stage_deadline composition audit --------------------------------------
+//
+// Deadline(<=0) means "unlimited"; the audit walks every combination of
+// {null token, unarmed, unlimited budget, finite budget, expired
+// budget} x {no stage limit, finite stage limit}.
+
+TEST(StopDeadline, NullTokenPassesStageLimitThrough) {
+  ou::StopToken token;
+  EXPECT_DOUBLE_EQ(token.stage_deadline(5.0).budget(), 5.0);
+  EXPECT_DOUBLE_EQ(token.stage_deadline(0.0).budget(), 0.0);    // unlimited
+  EXPECT_DOUBLE_EQ(token.stage_deadline(-1.0).budget(), 0.0);   // unlimited
+  EXPECT_FALSE(token.stage_deadline(0.0).expired());
+}
+
+TEST(StopDeadline, UnarmedAndUnlimitedBudgetsLeaveStageAlone) {
+  ou::StopSource unarmed;
+  EXPECT_DOUBLE_EQ(unarmed.token().stage_deadline(5.0).budget(), 5.0);
+  EXPECT_DOUBLE_EQ(unarmed.token().stage_deadline(0.0).budget(), 0.0);
+
+  ou::StopSource unlimited;
+  unlimited.arm(0.0);  // armed, but no wall-clock budget
+  EXPECT_DOUBLE_EQ(unlimited.token().stage_deadline(5.0).budget(), 5.0);
+  EXPECT_DOUBLE_EQ(unlimited.token().stage_deadline(0.0).budget(), 0.0);
+}
+
+TEST(StopDeadline, FiniteRunBudgetCapsStageLimit) {
+  ou::StopSource source;
+  source.arm(100.0);
+  // Stage tighter than the run: stage wins.
+  EXPECT_DOUBLE_EQ(source.token().stage_deadline(5.0).budget(), 5.0);
+  // No stage limit: the remaining run budget becomes the deadline.
+  const double remaining = source.token().stage_deadline(0.0).budget();
+  EXPECT_GT(remaining, 90.0);
+  EXPECT_LE(remaining, 100.0);
+  // Stage looser than the run: the run budget wins.
+  const double capped = source.token().stage_deadline(500.0).budget();
+  EXPECT_LE(capped, 100.0);
+  EXPECT_GT(capped, 90.0);
+}
+
+TEST(StopDeadline, ExpiredRunBudgetYieldsTinyPositiveDeadline) {
+  ou::StopSource source;
+  source.arm(1e-9);
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  // Deadline(0) would mean unlimited — the opposite of expired — so an
+  // exhausted budget must clamp to the tightest positive deadline.
+  const ou::Deadline deadline = source.token().stage_deadline(0.0);
+  EXPECT_GT(deadline.budget(), 0.0);
+  EXPECT_TRUE(deadline.expired());
+  EXPECT_TRUE(source.token().stage_deadline(500.0).expired());
+}
+
+TEST(Stop, ReasonNames) {
+  EXPECT_EQ(ou::to_string(ou::StopReason::None), "none");
+  EXPECT_EQ(ou::to_string(ou::StopReason::TimeLimit), "time-limit");
+  EXPECT_EQ(ou::to_string(ou::StopReason::Interrupt), "interrupt");
+  EXPECT_EQ(ou::to_string(ou::StopReason::DebugCheckpoint),
+            "debug-checkpoint");
+}
+
+TEST(Stop, SecondsSinceCheckpointTracksProgress) {
+  ou::StopSource source;
+  EXPECT_DOUBLE_EQ(source.token().seconds_since_checkpoint(), 0.0);  // unarmed
+  source.arm(0.0);
+  ou::StopToken token = source.token();
+  token.checkpoint("stage");
+  EXPECT_GE(token.seconds_since_checkpoint(), 0.0);
+  EXPECT_LT(token.seconds_since_checkpoint(), 10.0);
+  EXPECT_STREQ(token.last_stage(), "stage");
+}

@@ -9,6 +9,7 @@
 #include "util/check.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
+#include "util/stop.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"

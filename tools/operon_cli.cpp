@@ -7,7 +7,15 @@
 //                     [--svg out.svg] [--per-net] [--no-timings]
 //                     [--trace-out t.json] [--metrics-out m.json]
 //                     [--ledger-out runs.jsonl] [--heartbeat-ms 100]
+//                     [--time-limit 0.5] [--stop-at-checkpoint N]
+//                     [--watchdog-ms 5000]
 //   operon_cli stress --faults [--seeds 200] [--threads N]
+//                     [--time-limit-sweep]
+//
+// route and stress install SIGINT/SIGTERM handlers that flip the
+// session stop token: an interrupted run stops at its next checkpoint,
+// completes on the degradation ladder, and still writes its report and
+// ledger record (DiagCode::RunInterrupted, degraded=true).
 //   operon_cli ledger append --case I1 [--seed S] --out runs.jsonl
 //   operon_cli ledger show runs.jsonl
 //   operon_cli compare baseline.jsonl current.jsonl [--json]
@@ -18,9 +26,12 @@
 // found semantic drift; 3 when compare found only a timing regression
 // and --fail-on-timing was given.
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <span>
 #include <sstream>
 #include <string>
@@ -39,12 +50,33 @@
 #include "util/check.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
+#include "util/stop.hpp"
 #include "util/strings.hpp"
 #include "viz/render.hpp"
 
 namespace {
 
 using namespace operon;
+
+/// Session-wide stop source the SIGINT/SIGTERM handlers flip. Runs
+/// chain their own budget source to this token (OperonOptions::stop),
+/// so an interrupt stops the pipeline at its next checkpoint and the
+/// run still completes degraded — emitting its report and ledger
+/// record — instead of dying mid-write.
+util::StopSource& signal_stop_source() {
+  static util::StopSource source;
+  return source;
+}
+
+void handle_stop_signal(int) {
+  // request_stop touches only atomics — async-signal-safe.
+  signal_stop_source().request_stop(util::StopReason::Interrupt);
+}
+
+void install_signal_handlers() {
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+}
 
 int usage() {
   std::fprintf(stderr,
@@ -54,14 +86,20 @@ int usage() {
                "  operon_cli info   --in FILE\n"
                "  operon_cli route  --in FILE [--solver lr|ilp|mip] "
                "[--ilp-limit SEC] [--lm DB] [--threads N (0 = all cores; "
-               "results identical at any N)] [--report FILE] [--svg FILE] "
+               "results identical at any N)] [--time-limit SEC (whole-run "
+               "budget; trips to the degradation ladder, never throws)] "
+               "[--stop-at-checkpoint N (deterministic replay of a budget "
+               "trip)] [--watchdog-ms N (abort with a stall report when no "
+               "checkpoint lands for N ms)] [--report FILE] [--svg FILE] "
                "[--per-net] [--no-timings (omit wall-clock fields from the "
                "report)] [--trace-out FILE (Chrome trace_event JSON)] "
                "[--metrics-out FILE (metrics registry JSON)] [--ledger-out "
                "FILE (append run records, JSONL)] [--heartbeat-ms N "
                "(periodic resource samples into the trace)]\n"
                "  operon_cli stress --faults [--seeds N] [--solver "
-               "lr|ilp|mip] [--threads N]  # fault-injection harness; exit "
+               "lr|ilp|mip] [--threads N] [--time-limit-sweep (also re-run "
+               "each clean seed with a deterministic early stop and verify "
+               "the degraded plan)]  # fault-injection harness; exit "
                "2 on any robustness breach\n"
                "  operon_cli ledger append --case I1..I5 | --in FILE "
                "[--seed S] [--solver lr|ilp|mip] [--ilp-limit SEC] [--lm DB] "
@@ -161,6 +199,10 @@ int cmd_route(const util::Cli& cli) {
   if (cli.has("lm")) {
     options.params.optical.max_loss_db = cli.get_double("lm", 20.0);
   }
+  options.run_time_limit_s = cli.get_double("time-limit", 0.0);
+  options.stop_at_checkpoint =
+      static_cast<std::uint64_t>(cli.get_int("stop-at-checkpoint", 0));
+  options.stop = signal_stop_source().token();
 
   // Install the trace/metrics/ledger sink (a no-op when none of the
   // observability flags is given) so the run's spans, counters, and
@@ -168,7 +210,22 @@ int cmd_route(const util::Cli& cli) {
   obs::CliObservation observing(cli);
   obs::set_ledger_context(design.name, 0);
 
-  const core::OperonResult result = core::run_operon(design, options);
+  const core::OperonResult result = [&] {
+    // The watchdog only lives for the run itself: checkpoint progress
+    // is forwarded up to the signal token, and a stage that stops
+    // polling gets its span stack and metrics dumped before the abort.
+    std::optional<obs::Watchdog> watchdog;
+    const int watchdog_ms = cli.get_int("watchdog-ms", 0);
+    if (watchdog_ms > 0) {
+      watchdog.emplace(options.stop, std::chrono::milliseconds(watchdog_ms));
+    }
+    return core::run_operon(design, options);
+  }();
+  if (result.stats.trip_checkpoint != 0) {
+    std::fprintf(stderr, "run budget tripped at checkpoint %llu (stage %s)\n",
+                 static_cast<unsigned long long>(result.stats.trip_checkpoint),
+                 result.stats.trip_stage.c_str());
+  }
   print_run_summary(design.name, result.stats.power_pj,
                     result.stats.optical_nets, result.stats.electrical_nets,
                     result.degraded);
@@ -248,6 +305,12 @@ int cmd_stress(const util::Cli& cli) {
   if (!parse_solver(cli, options)) return usage();
   options.select.time_limit_s = cli.get_double("ilp-limit", 5.0);
   options.threads = cli.get_threads();
+  options.stop = signal_stop_source().token();
+  // Early-stop robustness sweep: re-run each seed's clean design with a
+  // deterministic per-seed stop_at_checkpoint (never wall-clock, so the
+  // digest stays byte-identical at any --threads value) and hold the
+  // early-stopped plan to core::verify_result.
+  const bool time_limit_sweep = cli.get_bool("time-limit-sweep", false);
 
   // File-only sink: never touches stdout, so the digest stays stable.
   obs::CliObservation observing(cli);
@@ -313,11 +376,39 @@ int cmd_stress(const util::Cli& cli) {
                                                 rng),
                          &breaches);
 
-    char line[160];
+    std::string sweep = "-";
+    if (time_limit_sweep) {
+      core::OperonOptions sweep_options = options;
+      sweep_options.stop_at_checkpoint = 1 + (s * 7) % 64;
+      try {
+        const core::OperonResult early = core::run_operon(base, sweep_options);
+        const bool verified =
+            core::verify_result(early, sweep_options).empty();
+        // A trip must mark the run degraded; a short run may simply
+        // finish before the replay checkpoint, which is fine.
+        const bool consistent =
+            early.stats.trip_checkpoint == 0 || early.degraded;
+        if (verified && consistent) {
+          sweep = early.stats.trip_checkpoint != 0
+                      ? util::format("tripped@%llu",
+                                     static_cast<unsigned long long>(
+                                         early.stats.trip_checkpoint))
+                      : "completed";
+        } else {
+          sweep = "BREACH";  // early stop broke the plan contract
+          ++breaches;
+        }
+      } catch (const util::CheckError&) {
+        sweep = "BREACH";  // an early stop must degrade, never throw
+        ++breaches;
+      }
+    }
+
+    char line[224];
     std::snprintf(line, sizeof(line),
-                  "seed=%zu fault=%s pipeline=%s text=%s json=%s", s,
+                  "seed=%zu fault=%s pipeline=%s text=%s json=%s sweep=%s", s,
                   std::string(benchgen::fault_name(kind)).c_str(), pipeline,
-                  text, json);
+                  text, json, sweep.c_str());
     digest = util::fnv1a(line, digest);
     std::printf("%s\n", line);
   }
@@ -450,8 +541,14 @@ int main(int argc, char** argv) {
   try {
     if (command == "gen") return cmd_gen(cli);
     if (command == "info") return cmd_info(cli);
-    if (command == "route") return cmd_route(cli);
-    if (command == "stress") return cmd_stress(cli);
+    if (command == "route") {
+      install_signal_handlers();
+      return cmd_route(cli);
+    }
+    if (command == "stress") {
+      install_signal_handlers();
+      return cmd_stress(cli);
+    }
     if (command == "ledger") return cmd_ledger(cli);
     if (command == "compare") return cmd_compare(cli);
   } catch (const std::exception& error) {
