@@ -66,6 +66,7 @@ void BM_SegmentIndexQuery(benchmark::State& state) {
     index.add(i, {{rng.uniform(0, 20000), rng.uniform(0, 20000)},
                   {rng.uniform(0, 20000), rng.uniform(0, 20000)}});
   }
+  index.finalize();
   const operon::geom::Segment probe{{1000, 1000}, {19000, 18000}};
   for (auto _ : state) {
     benchmark::DoNotOptimize(index.count_crossings(probe, 1u << 30));

@@ -158,6 +158,18 @@ BenchmarkSpec table1_spec(std::string_view id) {
   return spec;
 }
 
+BenchmarkSpec scaled_spec(BenchmarkSpec spec, std::size_t scale) {
+  OPERON_CHECK_MSG(scale >= 1, "benchmark scale must be >= 1");
+  if (scale == 1) return spec;
+  const double f = std::sqrt(static_cast<double>(scale));
+  spec.num_groups *= scale;
+  spec.chip_um *= f;
+  spec.margin_um *= f;
+  if (spec.placement_region_um > 0.0) spec.placement_region_um *= f;
+  spec.name += "x" + std::to_string(scale);
+  return spec;
+}
+
 std::vector<std::string> table1_cases() {
   return {"I1", "I2", "I3", "I4", "I5"};
 }

@@ -47,6 +47,14 @@ model::Design generate_benchmark(const BenchmarkSpec& spec);
 /// The five Table 1 cases. `id` is one of "I1".."I5".
 BenchmarkSpec table1_spec(std::string_view id);
 
+/// Scale a spec to ~`scale`× the instance: `scale`× the signal groups on
+/// a √scale-larger chip (area grows with the group count, so pin density
+/// and the per-net span statistics — and with them the crossing-degree
+/// regime — are preserved). The name gains an "xN" suffix so ledger
+/// records of scaled runs never pair with unscaled ones. scale == 1
+/// returns the spec unchanged.
+BenchmarkSpec scaled_spec(BenchmarkSpec spec, std::size_t scale);
+
 /// All five Table 1 case ids, in order.
 std::vector<std::string> table1_cases();
 

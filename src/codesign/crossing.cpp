@@ -7,12 +7,24 @@
 
 namespace operon::codesign {
 
+namespace {
+
+/// Per-thread query scratch: `stamp[i] == epoch` marks segment i as seen
+/// by the current query. The epoch is bumped per query (and is 64-bit, so
+/// it never wraps), which also keeps interleaved queries against
+/// *different* SegmentIndex instances from contaminating each other.
+struct QueryScratch {
+  std::vector<std::uint64_t> stamp;
+  std::uint64_t epoch = 0;
+};
+
+}  // namespace
+
 SegmentIndex::SegmentIndex(const geom::BBox& extent, std::size_t cells)
     : extent_(extent), cells_(std::max<std::size_t>(cells, 1)) {
   OPERON_CHECK(!extent.is_empty());
   cell_w_ = std::max(extent_.width(), 1e-9) / static_cast<double>(cells_);
   cell_h_ = std::max(extent_.height(), 1e-9) / static_cast<double>(cells_);
-  buckets_.resize(cells_ * cells_);
 }
 
 std::size_t SegmentIndex::cell_of(double x, double y) const {
@@ -25,26 +37,9 @@ std::size_t SegmentIndex::cell_of(double x, double y) const {
          clamp_idx(x, extent_.xlo, cell_w_);
 }
 
-void SegmentIndex::cells_overlapping(const geom::BBox& box,
-                                     std::vector<std::size_t>& out) const {
-  out.clear();
-  const std::size_t lo = cell_of(box.xlo, box.ylo);
-  const std::size_t hi = cell_of(box.xhi, box.yhi);
-  const std::size_t x0 = lo % cells_, y0 = lo / cells_;
-  const std::size_t x1 = hi % cells_, y1 = hi / cells_;
-  for (std::size_t y = y0; y <= y1; ++y) {
-    for (std::size_t x = x0; x <= x1; ++x) {
-      out.push_back(y * cells_ + x);
-    }
-  }
-}
-
 void SegmentIndex::add(std::size_t net, const geom::Segment& segment) {
-  const std::size_t index = segments_.size();
   segments_.push_back({segment, net});
-  std::vector<std::size_t> cells;
-  cells_overlapping(segment.bbox(), cells);
-  for (std::size_t c : cells) buckets_[c].push_back(index);
+  finalized_ = false;
 }
 
 void SegmentIndex::add_all(std::size_t net,
@@ -52,27 +47,82 @@ void SegmentIndex::add_all(std::size_t net,
   for (const geom::Segment& s : segments) add(net, s);
 }
 
+void SegmentIndex::finalize() {
+  if (finalized_) return;
+  // Counting sort into CSR: one pass tallies per-cell occupancy, the
+  // prefix sum fixes the offsets, and a second pass scatters segment
+  // indices — ascending within each bucket, exactly the insertion order
+  // the former vector-of-vectors produced.
+  const std::size_t num_cells = cells_ * cells_;
+  bucket_start_.assign(num_cells + 1, 0);
+  const auto for_each_cell = [&](const Tagged& tagged, auto&& fn) {
+    const geom::BBox box = tagged.segment.bbox();
+    const std::size_t lo = cell_of(box.xlo, box.ylo);
+    const std::size_t hi = cell_of(box.xhi, box.yhi);
+    const std::size_t x0 = lo % cells_, y0 = lo / cells_;
+    const std::size_t x1 = hi % cells_, y1 = hi / cells_;
+    for (std::size_t y = y0; y <= y1; ++y) {
+      for (std::size_t x = x0; x <= x1; ++x) {
+        fn(y * cells_ + x);
+      }
+    }
+  };
+  for (const Tagged& tagged : segments_) {
+    for_each_cell(tagged, [&](std::size_t c) { ++bucket_start_[c + 1]; });
+  }
+  for (std::size_t c = 0; c < num_cells; ++c) {
+    bucket_start_[c + 1] += bucket_start_[c];
+  }
+  bucket_data_.resize(bucket_start_[num_cells]);
+  std::vector<std::uint32_t> cursor(bucket_start_.begin(),
+                                    bucket_start_.end() - 1);
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    for_each_cell(segments_[i], [&](std::size_t c) {
+      bucket_data_[cursor[c]++] = static_cast<std::uint32_t>(i);
+    });
+  }
+  finalized_ = true;
+}
+
 std::size_t SegmentIndex::count_crossings(const geom::Segment& seg,
                                           std::size_t exclude_net) const {
-  std::vector<std::size_t> cells;
-  cells_overlapping(seg.bbox(), cells);
-  // A segment spanning several cells appears in several buckets; dedup
-  // with a call-local sort so the query stays const and thread-safe.
-  std::vector<std::size_t> candidates;
-  for (std::size_t c : cells) {
-    candidates.insert(candidates.end(), buckets_[c].begin(),
-                      buckets_[c].end());
-  }
-  std::sort(candidates.begin(), candidates.end());
-  candidates.erase(std::unique(candidates.begin(), candidates.end()),
-                   candidates.end());
+  OPERON_CHECK_MSG(finalized_ || segments_.empty(),
+                   "SegmentIndex::finalize() must run before queries");
+  if (segments_.empty()) return 0;
+
   const geom::BBox seg_box = seg.bbox();
+  const std::size_t lo = cell_of(seg_box.xlo, seg_box.ylo);
+  const std::size_t hi = cell_of(seg_box.xhi, seg_box.yhi);
+  const std::size_t x0 = lo % cells_, y0 = lo / cells_;
+  const std::size_t x1 = hi % cells_, y1 = hi / cells_;
+
+  thread_local QueryScratch scratch;
+  const bool multi_cell = (x0 != x1) || (y0 != y1);
+  if (multi_cell) {
+    // A segment spanning several cells appears in several buckets; the
+    // epoch stamp dedups without any per-query allocation or sorting.
+    if (scratch.stamp.size() < segments_.size()) {
+      scratch.stamp.resize(segments_.size(), 0);
+    }
+    ++scratch.epoch;
+  }
+
   std::size_t count = 0;
-  for (std::size_t index : candidates) {
-    const Tagged& tagged = segments_[index];
-    if (tagged.net == exclude_net) continue;
-    if (!seg_box.overlaps(tagged.segment.bbox())) continue;
-    if (geom::segments_cross(seg, tagged.segment)) ++count;
+  for (std::size_t y = y0; y <= y1; ++y) {
+    for (std::size_t x = x0; x <= x1; ++x) {
+      const std::size_t c = y * cells_ + x;
+      for (std::uint32_t k = bucket_start_[c]; k < bucket_start_[c + 1]; ++k) {
+        const std::uint32_t index = bucket_data_[k];
+        if (multi_cell) {
+          if (scratch.stamp[index] == scratch.epoch) continue;
+          scratch.stamp[index] = scratch.epoch;
+        }
+        const Tagged& tagged = segments_[index];
+        if (tagged.net == exclude_net) continue;
+        if (!seg_box.overlaps(tagged.segment.bbox())) continue;
+        if (geom::segments_cross(seg, tagged.segment)) ++count;
+      }
+    }
   }
   return count;
 }

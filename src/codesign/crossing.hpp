@@ -2,9 +2,13 @@
 // Crossing-loss estimation (§3.2): during candidate generation the
 // crossing loss of an edge is approximated against the *baseline*
 // topologies of the other hyper nets. A uniform bucket grid keeps the
-// segment-vs-segment tests local.
+// segment-vs-segment tests local; buckets are a flat CSR layout
+// (offsets + one index pool) built by finalize(), and queries dedup
+// multi-cell segments with an epoch-stamped scratch array instead of the
+// former per-query allocate + sort + unique.
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -16,9 +20,10 @@ namespace operon::codesign {
 /// Spatial index over tagged segments supporting "how many segments not
 /// belonging to net X does this segment properly cross?".
 ///
-/// Thread-safety: add()/add_all() are single-threaded (construction
-/// phase); once filled, count_crossings() is const, touches no mutable
-/// state, and may be called concurrently from any number of threads.
+/// Thread-safety: add()/add_all() then one finalize() call are
+/// single-threaded (construction phase); once finalized,
+/// count_crossings() is const, allocation-free (thread-local scratch),
+/// and may be called concurrently from any number of threads.
 class SegmentIndex {
  public:
   /// `extent`: chip bounding box; `cells`: grid resolution per axis.
@@ -26,6 +31,10 @@ class SegmentIndex {
 
   void add(std::size_t net, const geom::Segment& segment);
   void add_all(std::size_t net, std::span<const geom::Segment> segments);
+
+  /// Build the CSR buckets. Must be called after the last add() and
+  /// before the first count_crossings(); idempotent until the next add().
+  void finalize();
 
   std::size_t num_segments() const { return segments_.size(); }
 
@@ -40,14 +49,17 @@ class SegmentIndex {
   };
 
   std::size_t cell_of(double x, double y) const;
-  void cells_overlapping(const geom::BBox& box, std::vector<std::size_t>& out) const;
 
   geom::BBox extent_;
   std::size_t cells_;
   double cell_w_;
   double cell_h_;
   std::vector<Tagged> segments_;
-  std::vector<std::vector<std::size_t>> buckets_;
+  /// CSR buckets: segment indices of cell c are
+  /// bucket_data_[bucket_start_[c] .. bucket_start_[c + 1]).
+  std::vector<std::uint32_t> bucket_start_;
+  std::vector<std::uint32_t> bucket_data_;
+  bool finalized_ = false;
 };
 
 }  // namespace operon::codesign

@@ -1,10 +1,12 @@
 #include "codesign/dp.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 #include <map>
 
 #include "optical/loss.hpp"
+#include "util/arena.hpp"
 #include "util/check.hpp"
 
 namespace operon::codesign {
@@ -12,6 +14,17 @@ namespace operon::codesign {
 namespace {
 
 constexpr double kClosed = -1.0;
+
+// Labels and merge states are PODs whose per-edge decisions live in
+// fixed-width arena blocks (num_points entries each) instead of per-state
+// std::vector<EdgeKind>: the merge loop copies O(labels × states) kind
+// vectors per node, and the bump arena turns every one of those copies
+// into a memcpy with no allocator round-trips. Pruning moves the PODs
+// only; dead blocks are reclaimed wholesale by the per-node reset. The
+// algorithm itself — merge order, dominance tests, sort comparators,
+// cap handling — is unchanged line for line, so the emitted label
+// vectors are bit-identical to the previous representation (pinned by
+// DpGolden tests).
 
 /// A label: the state of one subtree *including* the decision for the
 /// edge above it. Closed labels (open_det == 0) have no optical component
@@ -29,7 +42,7 @@ struct Label {
   /// kept so the root retains a (power, loss-headroom) Pareto frontier
   /// rather than a single min-power labeling.
   double closed_worst = 0.0;
-  std::vector<EdgeKind> kinds;
+  EdgeKind* kinds = nullptr;
 
   bool open() const { return open_det > 0; }
 };
@@ -43,7 +56,7 @@ struct MergeState {
   int sum_det = 0;
   int k_optical = 0;
   int k_electrical = 0;
-  std::vector<EdgeKind> kinds;
+  EdgeKind* kinds = nullptr;
 };
 
 bool dominates(const MergeState& a, const MergeState& b) {
@@ -67,7 +80,7 @@ void prune_states(std::vector<MergeState>& states, std::size_t cap,
       }
       if (dominated) continue;
       std::erase_if(kept, [&](const MergeState& k) { return dominates(s, k); });
-      kept.push_back(std::move(s));
+      kept.push_back(s);
     }
     states = std::move(kept);
   }
@@ -115,7 +128,7 @@ void prune_labels(std::vector<Label>& labels, std::size_t cap,
       }
       if (dominated) continue;
       std::erase_if(kept, [&](const Label& k) { return label_dominates(l, k); });
-      kept.push_back(std::move(l));
+      kept.push_back(l);
     }
     labels = std::move(kept);
   }
@@ -132,13 +145,13 @@ void prune_labels(std::vector<Label>& labels, std::size_t cap,
     for (auto& l : labels) {
       if (kept.size() >= cap) {
         if (!have_closed && !l.open()) {
-          kept.back() = std::move(l);  // guarantee a closed survivor
+          kept.back() = l;  // guarantee a closed survivor
           have_closed = true;
         }
         continue;
       }
       have_closed = have_closed || !l.open();
-      kept.push_back(std::move(l));
+      kept.push_back(l);
     }
     labels = std::move(kept);
   }
@@ -151,20 +164,47 @@ class DpRunner {
 
   std::vector<std::vector<EdgeKind>> run() {
     const std::size_t n = tree_.num_points();
+    // Two arenas per worker thread: surviving label blocks live in the
+    // persistent arena until run() copies the root survivors out; merge
+    // states and pre-prune label blocks churn through the scratch arena,
+    // which is rewound at every node so pruned garbage never accumulates.
+    // reset() keeps the chunks, so repeated runs (one per net × baseline)
+    // allocate nothing in steady state, and thread-locality makes the
+    // parallel generation phase race-free without any locking.
+    thread_local util::Arena persistent_arena;
+    thread_local util::Arena scratch_arena;
+    persistent_arena.reset();
+    persistent_ = &persistent_arena;
+    scratch_ = &scratch_arena;
+
     labels_.assign(n, {});
     for (std::size_t v : rooted_.postorder) {
       process_node(v);
     }
     std::vector<std::vector<EdgeKind>> result;
-    for (Label& label : labels_[rooted_.root]) {
-      result.push_back(std::move(label.kinds));
+    result.reserve(labels_[rooted_.root].size());
+    for (const Label& label : labels_[rooted_.root]) {
+      result.emplace_back(label.kinds, label.kinds + n);
     }
+    persistent_ = nullptr;
+    scratch_ = nullptr;
     return result;
   }
 
  private:
   bool is_sink(std::size_t v) const {
     return tree_.is_terminal(v) && v != rooted_.root;
+  }
+
+  EdgeKind* alloc_kinds(util::Arena& arena, const EdgeKind* from) {
+    const std::size_t n = tree_.num_points();
+    EdgeKind* block = arena.allocate<EdgeKind>(n);
+    if (from != nullptr) {
+      std::memcpy(block, from, n * sizeof(EdgeKind));
+    } else {
+      std::fill(block, block + n, EdgeKind::Electrical);
+    }
+    return block;
   }
 
   /// (static propagation loss, estimated crossing loss) of one edge.
@@ -180,20 +220,22 @@ class DpRunner {
   void process_node(std::size_t v) {
     const std::size_t n = tree_.num_points();
     const auto& children = rooted_.children[v];
+    scratch_->reset();
 
     // Fold children label sets into merge states.
     std::vector<MergeState> states;
     {
       MergeState init;
-      init.kinds.assign(n, EdgeKind::Electrical);
+      init.kinds = alloc_kinds(*scratch_, nullptr);
       init.max_open = 0.0;
-      states.push_back(std::move(init));
+      states.push_back(init);
     }
     for (std::size_t child : children) {
       std::vector<MergeState> next;
       for (const MergeState& state : states) {
         for (const Label& label : labels_[child]) {
           MergeState merged = state;
+          merged.kinds = alloc_kinds(*scratch_, state.kinds);
           merged.power += label.power;
           merged.closed_worst = std::max(merged.closed_worst, label.closed_worst);
           if (label.open()) {
@@ -212,7 +254,7 @@ class DpRunner {
           }
           merged.kinds[child] = label.open() ? EdgeKind::Optical
                                              : EdgeKind::Electrical;
-          next.push_back(std::move(merged));
+          next.push_back(merged);
         }
       }
       prune_states(next, options_.max_labels * 2, options_.prune_dominated);
@@ -247,7 +289,7 @@ class DpRunner {
         if (feasible) {
           Label label;
           label.closed_worst = closed_worst;
-          label.kinds = state.kinds;
+          label.kinds = alloc_kinds(*scratch_, state.kinds);
           if (!is_root) {
             const double len = geom::manhattan(tree_.points[rooted_.parent[v]],
                                                tree_.points[v]);
@@ -255,7 +297,7 @@ class DpRunner {
             label.kinds[v] = EdgeKind::Electrical;
           }
           label.power = power;
-          out.push_back(std::move(label));
+          out.push_back(label);
         }
       }
 
@@ -286,15 +328,20 @@ class DpRunner {
             label.open_static = open_static;
             label.open_det = state.sum_det + (needs_local ? 1 : 0);
             label.closed_worst = state.closed_worst;
-            label.kinds = state.kinds;
+            label.kinds = alloc_kinds(*scratch_, state.kinds);
             label.kinds[v] = EdgeKind::Optical;
-            out.push_back(std::move(label));
+            out.push_back(label);
           }
         }
       }
     }
     prune_labels(out, options_.max_labels, options_.prune_dominated);
     OPERON_CHECK_MSG(!out.empty(), "DP produced no labels at node " << v);
+    // Survivors move from scratch to the persistent arena: only pruned
+    // winners outlive the node, so persistent growth is Σ_v |labels_v|·n.
+    for (Label& label : out) {
+      label.kinds = alloc_kinds(*persistent_, label.kinds);
+    }
     labels_[v] = std::move(out);
   }
 
@@ -302,6 +349,8 @@ class DpRunner {
   DpOptions options_;
   const steiner::SteinerTree& tree_;
   const steiner::RootedTree& rooted_;
+  util::Arena* persistent_ = nullptr;
+  util::Arena* scratch_ = nullptr;
   std::vector<std::vector<Label>> labels_;
 };
 

@@ -121,6 +121,7 @@ std::vector<CandidateSet> generate_candidates(
                         baselines[i][0].segments(steiner::Metric::Euclidean));
     }
   }
+  estimator.finalize();
 
   // Phase 2: DP per baseline, then the electrical fallback.
   std::vector<CandidateSet> sets(nets.size());

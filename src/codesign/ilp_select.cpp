@@ -20,20 +20,6 @@ bool has_optical_option(const CandidateSet& set) {
                      [](const Candidate& c) { return !c.pure_electrical(); });
 }
 
-/// True when some candidate pair of the two nets can actually cross.
-bool can_conflict(const SelectionEvaluator& evaluator, std::size_t i,
-                  std::size_t m) {
-  const auto& a = evaluator.set(i);
-  const auto& b = evaluator.set(m);
-  for (std::size_t ci = 0; ci < a.options.size(); ++ci) {
-    for (std::size_t cm = 0; cm < b.options.size(); ++cm) {
-      if (!evaluator.crossings(i, ci, m, cm).empty()) return true;
-      if (!evaluator.crossings(m, cm, i, ci).empty()) return true;
-    }
-  }
-  return false;
-}
-
 /// Connected components of the conflict graph: nets are joined only when
 /// some candidate pair can genuinely cross (a sharper §3.3 reduction than
 /// bounding boxes alone — disjoint components solve independently and a
@@ -52,7 +38,7 @@ std::vector<std::vector<std::size_t>> interaction_components(
     for (std::size_t m : evaluator.interacting(i)) {
       if (m < i || !has_optical_option(evaluator.set(m))) continue;
       if (find(i) == find(m)) continue;
-      if (can_conflict(evaluator, i, m)) parent[find(i)] = find(m);
+      if (evaluator.pair_can_conflict(i, m)) parent[find(i)] = find(m);
     }
   }
   std::vector<std::vector<std::size_t>> components;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "obs/obs.hpp"
 #include "util/check.hpp"
@@ -11,45 +12,171 @@ namespace operon::codesign {
 
 namespace {
 
-std::uint64_t pair_key(std::size_t i, std::size_t ci, std::size_t m,
-                       std::size_t cm) {
+std::uint64_t fallback_key(std::size_t i, std::size_t ci, std::size_t m,
+                           std::size_t cm) {
   // Nets < 2^24, candidates < 2^8 comfortably.
   return (static_cast<std::uint64_t>(i) << 40) |
          (static_cast<std::uint64_t>(ci) << 32) |
          (static_cast<std::uint64_t>(m) << 8) | static_cast<std::uint64_t>(cm);
 }
 
-/// Canonical "all zero crossings" marker (also used for cached zeros, so
-/// entries stay tiny).
-const std::vector<int> kNoCrossings;
+/// All bbox-overlapping (a, b) pairs with a < b, via a sweep over the
+/// x-sorted boxes: a box only needs testing against the active set whose
+/// x-ranges reach its xlo (closed-interval, mirroring BBox::overlaps).
+/// Output pair set is exactly the former O(n²) scan's.
+std::vector<std::pair<std::size_t, std::size_t>> overlapping_pairs(
+    std::span<const CandidateSet> sets) {
+  std::vector<std::size_t> order;
+  order.reserve(sets.size());
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    if (!sets[i].bbox.is_empty()) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (sets[a].bbox.xlo != sets[b].bbox.xlo) {
+      return sets[a].bbox.xlo < sets[b].bbox.xlo;
+    }
+    return a < b;
+  });
+
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  std::vector<std::size_t> active;
+  for (std::size_t j : order) {
+    const geom::BBox& bj = sets[j].bbox;
+    std::erase_if(active, [&](std::size_t a) {
+      return sets[a].bbox.xhi < bj.xlo;
+    });
+    for (std::size_t a : active) {
+      const geom::BBox& ba = sets[a].bbox;
+      // x-overlap holds by construction (sorted xlo, survivors' xhi
+      // reach bj.xlo); only the y-interval test remains.
+      if (ba.ylo <= bj.yhi && bj.ylo <= ba.yhi) {
+        pairs.emplace_back(std::min(a, j), std::max(a, j));
+      }
+    }
+    active.push_back(j);
+  }
+  return pairs;
+}
 
 }  // namespace
 
 SelectionEvaluator::SelectionEvaluator(std::span<const CandidateSet> sets,
                                        const model::TechParams& params,
                                        bool interact_all)
-    : sets_(sets),
-      params_(params),
-      interactions_(sets.size()),
-      cache_shards_(new CacheShard[kCacheShards]) {
-  for (std::size_t i = 0; i < sets_.size(); ++i) {
-    for (std::size_t m = i + 1; m < sets_.size(); ++m) {
-      if (interact_all || sets_[i].bbox.overlaps(sets_[m].bbox)) {
+    : sets_(sets), params_(params), interactions_(sets.size()) {
+  if (interact_all) {
+    for (std::size_t i = 0; i < sets_.size(); ++i) {
+      for (std::size_t m = i + 1; m < sets_.size(); ++m) {
         interactions_[i].push_back(m);
         interactions_[m].push_back(i);
       }
     }
+  } else {
+    for (const auto& [a, b] : overlapping_pairs(sets_)) {
+      interactions_[a].push_back(b);
+      interactions_[b].push_back(a);
+    }
+    for (auto& list : interactions_) std::sort(list.begin(), list.end());
   }
-  // Per-candidate optical geometry bounding boxes for quick rejection.
+  obs::set_gauge("codesign.interactions.pairs",
+                 static_cast<double>(num_interacting_pairs()));
+
+  // Per-candidate optical geometry bounding boxes for quick rejection,
+  // plus compact mirrors of the per-candidate metadata the hot path
+  // needs (so queries never touch the big Candidate structs).
   optical_bbox_.resize(sets_.size());
+  active_paths_.resize(sets_.size());
+  num_options_.resize(sets_.size());
   for (std::size_t i = 0; i < sets_.size(); ++i) {
     optical_bbox_[i].resize(sets_[i].options.size());
+    active_paths_[i].resize(sets_[i].options.size());
+    num_options_[i] = static_cast<std::uint32_t>(sets_[i].options.size());
     for (std::size_t c = 0; c < sets_[i].options.size(); ++c) {
+      const Candidate& cand = sets_[i].options[c];
       geom::BBox box;
-      for (const geom::Segment& seg : sets_[i].options[c].optical_segments) {
+      for (const geom::Segment& seg : cand.optical_segments) {
         box.expand(seg.bbox());
       }
       optical_bbox_[i][c] = box;
+      active_paths_[i][c] =
+          (cand.paths.empty() || cand.optical_segments.empty())
+              ? 0u
+              : static_cast<std::uint32_t>(cand.paths.size());
+    }
+  }
+
+  // Flat directed-pair layout: slot ids, combo ids, and counts offsets
+  // are all fixed here, so queries are pure reads plus one lazy compute.
+  slot_start_.resize(sets_.size() + 1, 0);
+  for (std::size_t i = 0; i < sets_.size(); ++i) {
+    slot_start_[i + 1] =
+        slot_start_[i] + static_cast<std::uint32_t>(interactions_[i].size());
+  }
+  const std::size_t num_slots = slot_start_[sets_.size()];
+
+  combo_base_.resize(num_slots + 1, 0);
+  std::uint64_t combos = 0;
+  for (std::size_t i = 0; i < sets_.size(); ++i) {
+    for (std::size_t k = 0; k < interactions_[i].size(); ++k) {
+      const std::size_t m = interactions_[i][k];
+      combo_base_[slot_start_[i] + k] = static_cast<std::uint32_t>(combos);
+      combos += sets_[i].options.size() * sets_[m].options.size();
+    }
+  }
+  OPERON_CHECK_MSG(combos < kNoSlot, "crossing-table combo count overflow");
+  combo_base_[num_slots] = static_cast<std::uint32_t>(combos);
+
+  counts_begin_.resize(combos + 1, 0);
+  std::uint64_t pool = 0;
+  {
+    std::size_t combo = 0;
+    for (std::size_t i = 0; i < sets_.size(); ++i) {
+      for (std::size_t m : interactions_[i]) {
+        for (std::size_t ci = 0; ci < sets_[i].options.size(); ++ci) {
+          const std::uint64_t paths = sets_[i].options[ci].paths.size();
+          for (std::size_t cm = 0; cm < sets_[m].options.size(); ++cm) {
+            counts_begin_[combo++] = static_cast<std::uint32_t>(pool);
+            pool += paths;
+          }
+        }
+      }
+    }
+    OPERON_CHECK_MSG(pool < kNoSlot, "crossing-table counts pool overflow");
+    counts_begin_[combo] = static_cast<std::uint32_t>(pool);
+  }
+
+  counts_pool_.resize(pool, 0);
+  state_.reset(combos > 0 ? new std::atomic<std::uint8_t>[combos]() : nullptr);
+  compute_mutex_.reset(new std::mutex[kComputeStripes]);
+  const std::size_t words = (combos + 63) / 64;
+  counted_bits_.reset(words > 0 ? new std::atomic<std::uint64_t>[words]()
+                                : nullptr);
+
+  // Reverse-slot table: interaction lists are symmetric, so every
+  // directed slot (i -> m) has a partner (m -> i); resolve it once here
+  // so the k-indexed reverse queries never search.
+  rev_slot_.resize(num_slots);
+  for (std::size_t i = 0; i < sets_.size(); ++i) {
+    for (std::size_t k = 0; k < interactions_[i].size(); ++k) {
+      const std::size_t m = interactions_[i][k];
+      const auto& list = interactions_[m];
+      const auto it = std::lower_bound(list.begin(), list.end(), i);
+      OPERON_DCHECK(it != list.end() && *it == i);
+      rev_slot_[slot_start_[i] + k] =
+          slot_start_[m] + static_cast<std::uint32_t>(it - list.begin());
+    }
+  }
+
+  // The dense matrix only serves random-access (i, m) queries — the hot
+  // loops are k-indexed and never touch it — so it stays small; larger
+  // instances fall back to a binary search over the interaction list.
+  if (sets_.size() <= 1024) {
+    slot_dense_.assign(sets_.size() * sets_.size(), kNoSlot);
+    for (std::size_t i = 0; i < sets_.size(); ++i) {
+      for (std::size_t k = 0; k < interactions_[i].size(); ++k) {
+        slot_dense_[i * sets_.size() + interactions_[i][k]] =
+            slot_start_[i] + static_cast<std::uint32_t>(k);
+      }
     }
   }
 }
@@ -77,59 +204,131 @@ double SelectionEvaluator::total_power(const Selection& selection) const {
   return sum;
 }
 
-const std::vector<int>& SelectionEvaluator::crossings(std::size_t i,
-                                                      std::size_t ci,
-                                                      std::size_t m,
-                                                      std::size_t cm) const {
+std::uint32_t SelectionEvaluator::slot_of(std::size_t i, std::size_t m) const {
+  if (!slot_dense_.empty()) return slot_dense_[i * sets_.size() + m];
+  const auto& list = interactions_[i];
+  const auto it = std::lower_bound(list.begin(), list.end(), m);
+  if (it == list.end() || *it != m) return kNoSlot;
+  return slot_start_[i] + static_cast<std::uint32_t>(it - list.begin());
+}
+
+std::span<const int> SelectionEvaluator::crossings(std::size_t i,
+                                                   std::size_t ci,
+                                                   std::size_t m,
+                                                   std::size_t cm) const {
   return crossings_impl(i, ci, m, cm, /*count=*/true);
 }
 
-const std::vector<int>& SelectionEvaluator::crossings_impl(
+std::span<const int> SelectionEvaluator::crossings_impl(std::size_t i,
+                                                        std::size_t ci,
+                                                        std::size_t m,
+                                                        std::size_t cm,
+                                                        bool count) const {
+  // Cheap rejection, mirrored on both sides: a candidate with no optical
+  // paths or no optical geometry can neither suffer nor inflict
+  // crossings, in either query direction. An empty result means "all
+  // zeros".
+  const std::uint32_t num_paths = active_paths_[i][ci];
+  if (num_paths == 0 || active_paths_[m][cm] == 0) return {};
+  if (!optical_bbox_[i][ci].overlaps(optical_bbox_[m][cm])) return {};
+  if (count) cache_queries_.fetch_add(1, std::memory_order_relaxed);
+
+  const std::uint32_t slot = slot_of(i, m);
+  if (slot == kNoSlot) return fallback_crossings(i, ci, m, cm, count);
+  return crossings_slot(slot, i, ci, m, cm, num_paths, count);
+}
+
+std::span<const int> SelectionEvaluator::crossings_slot(
+    std::uint32_t slot, std::size_t i, std::size_t ci, std::size_t m,
+    std::size_t cm, std::uint32_t num_paths, bool count) const {
+  const std::size_t combo = combo_base_[slot] + ci * num_options_[m] + cm;
+  std::uint8_t state = state_[combo].load(std::memory_order_acquire);
+  if (state == 0) state = compute_combo(i, ci, m, cm, combo);
+  if (count) {
+    std::atomic<std::uint64_t>& word = counted_bits_[combo >> 6];
+    const std::uint64_t bit = 1ull << (combo & 63);
+    if ((word.load(std::memory_order_relaxed) & bit) == 0 &&
+        (word.fetch_or(bit, std::memory_order_relaxed) & bit) == 0) {
+      cache_computed_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (state == 1) return {};
+  return {counts_pool_.data() + counts_begin_[combo], num_paths};
+}
+
+std::span<const int> SelectionEvaluator::crossings_at(std::size_t i,
+                                                      std::size_t ci,
+                                                      std::size_t k,
+                                                      std::size_t cm) const {
+  const std::size_t m = interactions_[i][k];
+  const std::uint32_t num_paths = active_paths_[i][ci];
+  if (num_paths == 0 || active_paths_[m][cm] == 0) return {};
+  if (!optical_bbox_[i][ci].overlaps(optical_bbox_[m][cm])) return {};
+  cache_queries_.fetch_add(1, std::memory_order_relaxed);
+  return crossings_slot(slot_start_[i] + static_cast<std::uint32_t>(k), i, ci,
+                        m, cm, num_paths, /*count=*/true);
+}
+
+std::span<const int> SelectionEvaluator::crossings_at_rev(std::size_t i,
+                                                          std::size_t k,
+                                                          std::size_t cm,
+                                                          std::size_t ci) const {
+  const std::size_t m = interactions_[i][k];
+  const std::uint32_t num_paths = active_paths_[m][cm];
+  if (num_paths == 0 || active_paths_[i][ci] == 0) return {};
+  if (!optical_bbox_[m][cm].overlaps(optical_bbox_[i][ci])) return {};
+  cache_queries_.fetch_add(1, std::memory_order_relaxed);
+  return crossings_slot(rev_slot_[slot_start_[i] + k], m, cm, i, ci, num_paths,
+                        /*count=*/true);
+}
+
+std::uint8_t SelectionEvaluator::compute_combo(std::size_t i, std::size_t ci,
+                                               std::size_t m, std::size_t cm,
+                                               std::size_t combo) const {
+  const Candidate& mine = sets_[i].options[ci];
+  const Candidate& other = sets_[m].options[cm];
+  std::lock_guard<std::mutex> lock(compute_mutex_[combo % kComputeStripes]);
+  std::uint8_t state = state_[combo].load(std::memory_order_acquire);
+  if (state != 0) return state;  // raced: another thread published it
+  int* out = counts_pool_.data() + counts_begin_[combo];
+  bool any = false;
+  for (std::size_t p = 0; p < mine.paths.size(); ++p) {
+    const int c = static_cast<int>(geom::count_crossings(
+        mine.paths[p].segments, other.optical_segments));
+    out[p] = c;
+    any = any || c != 0;
+  }
+  state = any ? 2 : 1;
+  // The release store publishes the pool writes to fast-path readers.
+  state_[combo].store(state, std::memory_order_release);
+  return state;
+}
+
+std::span<const int> SelectionEvaluator::fallback_crossings(
     std::size_t i, std::size_t ci, std::size_t m, std::size_t cm,
     bool count) const {
   const Candidate& mine = sets_[i].options[ci];
   const Candidate& other = sets_[m].options[cm];
-  // Cheap rejections: either side has no optical geometry, or the
-  // geometries cannot overlap. An empty result means "all zeros".
-  if (mine.paths.empty() || other.optical_segments.empty()) {
-    return kNoCrossings;
-  }
-  if (!optical_bbox_[i][ci].overlaps(optical_bbox_[m][cm])) {
-    return kNoCrossings;
-  }
-  if (count) cache_queries_.fetch_add(1, std::memory_order_relaxed);
-
-  const std::uint64_t key = pair_key(i, ci, m, cm);
-  CacheShard& shard = cache_shards_[key % kCacheShards];
-  {
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    const auto it = shard.map.find(key);
-    if (it != shard.map.end()) {
-      if (count && !it->second.counted) {
-        it->second.counted = true;
-        cache_computed_.fetch_add(1, std::memory_order_relaxed);
-      }
-      return it->second.counts;
+  const std::uint64_t key = fallback_key(i, ci, m, cm);
+  std::lock_guard<std::mutex> lock(fallback_mutex_);
+  auto it = fallback_.find(key);
+  if (it == fallback_.end()) {
+    std::vector<int> counts(mine.paths.size(), 0);
+    bool any = false;
+    for (std::size_t p = 0; p < mine.paths.size(); ++p) {
+      counts[p] = static_cast<int>(geom::count_crossings(
+          mine.paths[p].segments, other.optical_segments));
+      any = any || counts[p] != 0;
     }
+    if (!any) counts.clear();  // the tiny all-zero marker
+    it = fallback_.emplace(key, FallbackEntry{std::move(counts)}).first;
   }
-
-  // Compute outside the lock so concurrent misses on one shard don't
-  // serialize the geometry work; a racing duplicate is discarded below.
-  std::vector<int> counts(mine.paths.size(), 0);
-  bool any = false;
-  for (std::size_t p = 0; p < mine.paths.size(); ++p) {
-    counts[p] = static_cast<int>(geom::count_crossings(
-        mine.paths[p].segments, other.optical_segments));
-    any = any || counts[p] != 0;
-  }
-  if (!any) counts.clear();  // store the tiny all-zero marker
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  const auto it = shard.map.emplace(key, CacheEntry{std::move(counts)}).first;
   if (count && !it->second.counted) {
     it->second.counted = true;
     cache_computed_.fetch_add(1, std::memory_order_relaxed);
   }
-  return it->second.counts;
+  if (it->second.counts.empty()) return {};
+  return {it->second.counts.data(), mine.paths.size()};
 }
 
 void SelectionEvaluator::precompute_crossings(std::size_t threads) const {
@@ -155,6 +354,18 @@ void SelectionEvaluator::precompute_crossings(std::size_t threads) const {
   });
 }
 
+bool SelectionEvaluator::pair_can_conflict(std::size_t i, std::size_t m) const {
+  // Same combo order and short-circuit as the former per-combo scan in
+  // the exact solver, minus the counter traffic (structural read).
+  for (std::size_t ci = 0; ci < sets_[i].options.size(); ++ci) {
+    for (std::size_t cm = 0; cm < sets_[m].options.size(); ++cm) {
+      if (!crossings_impl(i, ci, m, cm, /*count=*/false).empty()) return true;
+      if (!crossings_impl(m, cm, i, ci, /*count=*/false).empty()) return true;
+    }
+  }
+  return false;
+}
+
 double SelectionEvaluator::path_loss_db(const Selection& selection,
                                         std::size_t i, std::size_t ci,
                                         std::size_t p) const {
@@ -162,21 +373,41 @@ double SelectionEvaluator::path_loss_db(const Selection& selection,
   OPERON_DCHECK(p < cand.paths.size());
   double loss = cand.paths[p].static_loss_db;
   const double beta = params_.optical.beta_db_per_crossing;
-  for (std::size_t m : interactions_[i]) {
-    const auto& counts = crossings(i, ci, m, selection[m]);
+  const auto& inter = interactions_[i];
+  for (std::size_t k = 0; k < inter.size(); ++k) {
+    const auto counts = crossings_at(i, ci, k, selection[inter[k]]);
     if (!counts.empty()) loss += beta * counts[p];
   }
   return loss;
+}
+
+void SelectionEvaluator::path_losses_db(const Selection& selection,
+                                        std::size_t i, std::size_t ci,
+                                        std::vector<double>& out) const {
+  const Candidate& cand = sets_[i].options[ci];
+  out.resize(cand.paths.size());
+  for (std::size_t p = 0; p < cand.paths.size(); ++p) {
+    out[p] = cand.paths[p].static_loss_db;
+  }
+  const double beta = params_.optical.beta_db_per_crossing;
+  const auto& inter = interactions_[i];
+  for (std::size_t k = 0; k < inter.size(); ++k) {
+    const auto counts = crossings_at(i, ci, k, selection[inter[k]]);
+    if (counts.empty()) continue;
+    for (std::size_t p = 0; p < counts.size(); ++p) {
+      out[p] += beta * counts[p];
+    }
+  }
 }
 
 ViolationStats SelectionEvaluator::violations(const Selection& selection) const {
   OPERON_CHECK(selection.size() == sets_.size());
   ViolationStats stats;
   const double lm = params_.optical.max_loss_db;
+  std::vector<double> losses;
   for (std::size_t i = 0; i < sets_.size(); ++i) {
-    const Candidate& cand = sets_[i].options[selection[i]];
-    for (std::size_t p = 0; p < cand.paths.size(); ++p) {
-      const double loss = path_loss_db(selection, i, selection[i], p);
+    path_losses_db(selection, i, selection[i], losses);
+    for (const double loss : losses) {
       stats.worst_loss_db = std::max(stats.worst_loss_db, loss);
       if (loss > lm + 1e-9) {
         ++stats.violated_paths;
@@ -222,18 +453,32 @@ Selection SelectionEvaluator::peel(Selection selection) const {
   // hard cap guards against oscillation; the final sweep falls back to
   // strictly-monotone demotion, which always terminates clean.
   std::size_t budget = 20 * sets_.size() + 100;
+  std::vector<double> losses;
+
+  // Per-net worst path loss, maintained incrementally: a demotion of net
+  // j only perturbs j itself and the nets interacting with j, so only
+  // those are recomputed per round (the former full rescan dominated the
+  // LR repair phase). Values are the same pure functions of the current
+  // selection the full rescan produced, and the argmax below scans in
+  // net order with a strict >, so the demotion sequence is unchanged.
+  std::vector<double> net_worst(sets_.size(),
+                                -std::numeric_limits<double>::infinity());
+  const auto recompute = [&](std::size_t i) {
+    path_losses_db(selection, i, selection[i], losses);
+    double worst = -std::numeric_limits<double>::infinity();
+    for (const double loss : losses) worst = std::max(worst, loss);
+    net_worst[i] = worst;
+  };
+  for (std::size_t i = 0; i < sets_.size(); ++i) recompute(i);
+
   while (true) {
     // Worst violated path and its owner.
     std::size_t worst_net = sets_.size();
     double worst_loss = lm + 1e-9;
     for (std::size_t i = 0; i < sets_.size(); ++i) {
-      const Candidate& cand = sets_[i].options[selection[i]];
-      for (std::size_t p = 0; p < cand.paths.size(); ++p) {
-        const double loss = path_loss_db(selection, i, selection[i], p);
-        if (loss > worst_loss) {
-          worst_loss = loss;
-          worst_net = i;
-        }
+      if (net_worst[i] > worst_loss) {
+        worst_loss = net_worst[i];
+        worst_net = i;
       }
     }
     if (worst_net == sets_.size()) return selection;  // clean
@@ -255,9 +500,10 @@ Selection SelectionEvaluator::peel(Selection selection) const {
       if (cand.power_pj < floor_power || cand.power_pj >= best_power) {
         continue;
       }
+      path_losses_db(selection, worst_net, c, losses);
       bool ok = true;
-      for (std::size_t p = 0; p < cand.paths.size(); ++p) {
-        if (path_loss_db(selection, worst_net, c, p) > lm + 1e-9) {
+      for (const double loss : losses) {
+        if (loss > lm + 1e-9) {
           ok = false;
           break;
         }
@@ -268,6 +514,8 @@ Selection SelectionEvaluator::peel(Selection selection) const {
       }
     }
     selection[worst_net] = best;
+    recompute(worst_net);
+    for (std::size_t m : interactions_[worst_net]) recompute(m);
   }
 }
 

@@ -2,16 +2,24 @@
 // Shared infrastructure for the solution-determination stage
 // (Formulation 3): a selection assigns one candidate to every hyper net;
 // the evaluator computes total power, exact pairwise crossing losses
-// (the lx(i,j,m,n,p) terms, lazily cached), and detection violations.
-// The §3.3 speed-up — dropping crossing terms for hyper-net pairs with
-// disjoint bounding boxes — is realized by the interaction list.
+// (the lx(i,j,m,n,p) terms), and detection violations. The §3.3 speed-up
+// — dropping crossing terms for hyper-net pairs with disjoint bounding
+// boxes — is realized by the interaction list, built from a sorted bbox
+// sweep instead of the former O(n²) pair scan.
+//
+// Crossing storage is a flat directed-pair table: every interacting
+// (i, m) pair owns one dense block of (ci, cm) combos with statically
+// assigned offsets into a single counts pool, so a query is two array
+// lookups and the hot path takes no lock, allocates nothing, and hashes
+// nothing. Combos are still computed lazily (guarded by a per-combo
+// std::once_flag), so sparse query streams pay only for what they touch
+// while bulk solvers can precompute the whole table in parallel.
 //
 // Thread-safety contract: construction is single-threaded; afterwards
 // every const query (crossings, path_loss_db, violations, total_power,
-// peel, ...) may be called concurrently from any number of threads. The
-// lazy crossing cache is sharded behind striped mutexes; cached vectors
-// are immutable once inserted and unordered_map references are stable
-// under insertion, so returned references stay valid for the evaluator's
+// peel, ...) may be called concurrently from any number of threads.
+// Once a combo is computed its counts are immutable, and the pool never
+// reallocates, so returned spans stay valid for the evaluator's
 // lifetime. Cached values are pure functions of the candidate geometry,
 // so results never depend on thread count or scheduling.
 
@@ -52,16 +60,17 @@ class SelectionEvaluator {
   /// Feeds the ambient obs registry (if any) with the cache counters
   /// `codesign.crossing.cache_queries` / `cache_computed`. Both are
   /// defined over the *solver-facing* query stream only (crossings()
-  /// calls past the cheap rejections; precompute_crossings() is
-  /// deliberately uncounted), so their totals — and the derived hit
-  /// count, queries - computed — are bit-identical at any thread count.
+  /// calls past the cheap rejections; precompute_crossings() and the
+  /// structural reads pair_can_conflict() are deliberately uncounted),
+  /// so their totals — and the derived hit count, queries - computed —
+  /// are bit-identical at any thread count.
   ~SelectionEvaluator();
 
   std::size_t num_nets() const { return sets_.size(); }
   const CandidateSet& set(std::size_t i) const { return sets_[i]; }
   const model::TechParams& params() const { return params_; }
 
-  /// Nets whose candidates may cross net i's candidates.
+  /// Nets whose candidates may cross net i's candidates (ascending).
   const std::vector<std::size_t>& interacting(std::size_t i) const {
     return interactions_[i];
   }
@@ -72,13 +81,26 @@ class SelectionEvaluator {
 
   /// Per-path crossing counts of candidate (i, ci) against candidate
   /// (m, cm): result[k] = proper crossings of path k's segments with the
-  /// other candidate's optical segments. Cached; safe to call from many
-  /// threads concurrently. An EMPTY vector means "all zeros" (the common
-  /// case is returned without allocating).
-  const std::vector<int>& crossings(std::size_t i, std::size_t ci,
-                                    std::size_t m, std::size_t cm) const;
+  /// other candidate's optical segments. Lazily computed once per combo;
+  /// safe to call from many threads concurrently. An EMPTY span means
+  /// "all zeros" (the common case is returned without allocating).
+  std::span<const int> crossings(std::size_t i, std::size_t ci, std::size_t m,
+                                 std::size_t cm) const;
 
-  /// Bulk-fill the crossing cache for every candidate pair of every
+  /// crossings(i, ci, interacting(i)[k], cm) without the slot lookup:
+  /// callers that already iterate the interaction list pass the list
+  /// index `k` and the directed slot is slot_start_[i] + k. Identical
+  /// results and counter semantics to crossings().
+  std::span<const int> crossings_at(std::size_t i, std::size_t ci,
+                                    std::size_t k, std::size_t cm) const;
+
+  /// The reverse direction of the same pair, also k-indexed:
+  /// crossings(interacting(i)[k], cm, i, ci) via the precomputed reverse
+  /// slot (the solvers' "impact on the neighbor's paths" query).
+  std::span<const int> crossings_at_rev(std::size_t i, std::size_t k,
+                                        std::size_t cm, std::size_t ci) const;
+
+  /// Bulk-fill the crossing tables for every candidate pair of every
   /// interacting net pair (both directions) using `threads` workers
   /// (0 = hardware concurrency). Solvers call this once up front so the
   /// pairwise lx work — the selection stage's dominant cost — runs in
@@ -86,10 +108,22 @@ class SelectionEvaluator {
   /// at one thread (the lazy path computes the same values on demand).
   void precompute_crossings(std::size_t threads) const;
 
+  /// True when some candidate pair of nets i and m can actually cross in
+  /// either direction (the exact solver's conflict-graph edge test).
+  /// Structural — uncounted by the cache counters.
+  bool pair_can_conflict(std::size_t i, std::size_t m) const;
+
   /// Loss of path `p` of candidate (i, ci) under a full selection: static
   /// loss plus beta * crossings against every selected interacting net.
   double path_loss_db(const Selection& selection, std::size_t i,
                       std::size_t ci, std::size_t p) const;
+
+  /// Losses of ALL paths of candidate (i, ci) at once, written into
+  /// `out` (resized to the path count). One crossing query per
+  /// interacting net instead of one per (path, net); bit-identical to
+  /// calling path_loss_db per path (same per-path FP addition order).
+  void path_losses_db(const Selection& selection, std::size_t i,
+                      std::size_t ci, std::vector<double>& out) const;
 
   /// Detection-constraint violations (Eq. 3c) of a full selection.
   ViolationStats violations(const Selection& selection) const;
@@ -111,34 +145,86 @@ class SelectionEvaluator {
   Selection peel(Selection selection) const;
 
  private:
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  /// Directed slot id of pair (i -> m), or kNoSlot when m is not in
+  /// interactions_[i]. O(1) via a dense matrix for small net counts,
+  /// binary search over the (sorted) interaction list otherwise.
+  std::uint32_t slot_of(std::size_t i, std::size_t m) const;
+
+  std::span<const int> crossings_impl(std::size_t i, std::size_t ci,
+                                      std::size_t m, std::size_t cm,
+                                      bool count) const;
+
+  /// Table lookup + lazy compute for a query whose directed slot is
+  /// already known (the tail of crossings_impl past the rejections).
+  std::span<const int> crossings_slot(std::uint32_t slot, std::size_t i,
+                                      std::size_t ci, std::size_t m,
+                                      std::size_t cm, std::uint32_t num_paths,
+                                      bool count) const;
+
+  /// Non-interacting pairs are answerable too (API compatibility for
+  /// hand-built sets whose bbox does not cover the optical geometry);
+  /// they fall back to a mutex-guarded map — never hit by the solvers,
+  /// whose query streams stay inside the interaction lists.
+  std::span<const int> fallback_crossings(std::size_t i, std::size_t ci,
+                                          std::size_t m, std::size_t cm,
+                                          bool count) const;
+
+  /// Slow path of crossings_impl: computes one combo's counts under a
+  /// striped mutex and publishes them via state_. Returns the new state.
+  std::uint8_t compute_combo(std::size_t i, std::size_t ci, std::size_t m,
+                             std::size_t cm, std::size_t combo) const;
+
   std::span<const CandidateSet> sets_;
   const model::TechParams& params_;
   std::vector<std::vector<std::size_t>> interactions_;
   /// Bounding box of each candidate's optical segments (quick rejection).
   std::vector<std::vector<geom::BBox>> optical_bbox_;
-  /// Striped-mutex crossing cache: the shard is picked by key, lookups
-  /// and insertions lock only that shard, and the geometry work itself
-  /// runs outside any lock (a racing duplicate computation is discarded
-  /// by emplace, so values are unique and deterministic).
-  struct CacheEntry {
+
+  /// Flat directed-pair layout. Slot of (i -> interactions_[i][k]) is
+  /// slot_start_[i] + k; combo of (ci, cm) within slot s is
+  /// combo_base_[s] + ci * |options(m)| + cm; its counts live at
+  /// counts_pool_[counts_begin_[combo] ...] with |paths(i, ci)| entries.
+  std::vector<std::uint32_t> slot_start_;
+  std::vector<std::uint32_t> combo_base_;
+  std::vector<std::uint32_t> counts_begin_;
+  /// rev_slot_[s] is the slot of (m -> i) when s is the slot of
+  /// (i -> m) — interaction is symmetric, so it always exists. Lets the
+  /// k-indexed reverse query skip the slot lookup too.
+  std::vector<std::uint32_t> rev_slot_;
+  /// Dense (i, m) -> slot matrix, built only for small net counts.
+  std::vector<std::uint32_t> slot_dense_;
+  /// Hot-path mirrors of the candidate metadata (the Candidate structs
+  /// themselves are large and cache-hostile): active_paths_[i][ci] is
+  /// the path count, or 0 when the candidate is rejected outright (no
+  /// paths or no optical geometry); num_options_[m] mirrors
+  /// sets_[m].options.size() for the combo arithmetic.
+  std::vector<std::vector<std::uint32_t>> active_paths_;
+  std::vector<std::uint32_t> num_options_;
+  mutable std::vector<int> counts_pool_;
+  /// Per-combo compute state: 0 = unknown, 1 = all-zero, 2 = nonzero.
+  /// The fast path is one acquire load; misses serialize on a striped
+  /// mutex in compute_combo(), whose release store publishes the pool
+  /// writes. (A plain std::once_flag per combo measured ~14% of the
+  /// selection stage in pthread_once alone.)
+  mutable std::unique_ptr<std::atomic<std::uint8_t>[]> state_;
+  /// First-touch bitmap of *counted* queries per combo: keeps
+  /// cache_computed_ equal to "distinct pairs the query stream needed",
+  /// independent of whether precompute_crossings() filled the value
+  /// first — and therefore identical at any thread count.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counted_bits_;
+
+  static constexpr std::size_t kComputeStripes = 64;
+  mutable std::unique_ptr<std::mutex[]> compute_mutex_;
+
+  struct FallbackEntry {
     std::vector<int> counts;
-    /// Set the first time a *counted* (solver-facing) query reads this
-    /// entry; keeps cache_computed_ equal to "distinct pairs the query
-    /// stream needed", independent of whether precompute_crossings()
-    /// filled the value first.
     bool counted = false;
   };
-  struct CacheShard {
-    std::mutex mutex;
-    std::unordered_map<std::uint64_t, CacheEntry> map;
-  };
-  static constexpr std::size_t kCacheShards = 64;
+  mutable std::mutex fallback_mutex_;
+  mutable std::unordered_map<std::uint64_t, FallbackEntry> fallback_;
 
-  const std::vector<int>& crossings_impl(std::size_t i, std::size_t ci,
-                                         std::size_t m, std::size_t cm,
-                                         bool count) const;
-
-  mutable std::unique_ptr<CacheShard[]> cache_shards_;
   /// Crossing-cache observability (see ~SelectionEvaluator). Relaxed
   /// atomics: only the final totals matter, and they are exact because
   /// every increment is a distinct event.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "geom/sweep.hpp"
+
 namespace operon::geom {
 
 namespace {
@@ -53,15 +55,13 @@ bool segments_cross(const Segment& s, const Segment& t) {
 
 std::size_t count_crossings(std::span<const Segment> lhs,
                             std::span<const Segment> rhs) {
-  std::size_t count = 0;
-  for (const Segment& s : lhs) {
-    const BBox sb = s.bbox();
-    for (const Segment& t : rhs) {
-      if (!sb.overlaps(t.bbox())) continue;
-      if (segments_cross(s, t)) ++count;
-    }
+  // Small products are cheaper as a direct pair loop than as an event
+  // sort; both counters agree exactly (sweep_test pins this), so the
+  // dispatch threshold is a pure performance knob.
+  if (lhs.size() * rhs.size() <= 32 * (lhs.size() + rhs.size())) {
+    return count_crossings_brute(lhs, rhs);
   }
-  return count;
+  return count_crossings_sweep(lhs, rhs);
 }
 
 std::size_t count_crossings(const Segment& seg, std::span<const Segment> set) {

@@ -1,0 +1,132 @@
+#include "geom/sweep.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace operon::geom {
+
+namespace {
+
+constexpr std::uint32_t kEndBit = 1u << 31;
+constexpr std::uint32_t kColorBit = 1u << 30;  // set = rhs
+constexpr std::uint32_t kIndexMask = kColorBit - 1;
+
+}  // namespace
+
+void CrossingSweep::clear() {
+  lhs_.clear();
+  rhs_.clear();
+}
+
+void CrossingSweep::add_lhs(std::uint32_t group, const Segment& segment) {
+  const BBox box = segment.bbox();
+  lhs_.push_back({segment, box.ylo, box.yhi, group});
+}
+
+void CrossingSweep::add_rhs(const Segment& segment) {
+  const BBox box = segment.bbox();
+  rhs_.push_back({segment, box.ylo, box.yhi, 0});
+}
+
+std::size_t CrossingSweep::run(std::span<int> group_counts) {
+  OPERON_DCHECK(lhs_.size() < kIndexMask && rhs_.size() < kIndexMask);
+  if (lhs_.empty() || rhs_.empty()) return 0;
+
+  events_.clear();
+  events_.reserve(2 * (lhs_.size() + rhs_.size()));
+  for (std::uint32_t i = 0; i < lhs_.size(); ++i) {
+    const BBox box = lhs_[i].seg.bbox();
+    events_.push_back({box.xlo, i});
+    events_.push_back({box.xhi, i | kEndBit});
+  }
+  for (std::uint32_t i = 0; i < rhs_.size(); ++i) {
+    const BBox box = rhs_[i].seg.bbox();
+    events_.push_back({box.xlo, i | kColorBit});
+    events_.push_back({box.xhi, i | kColorBit | kEndBit});
+  }
+  // Starts sort before ends at equal x (kEndBit is the top bit), so a
+  // segment starting exactly where another ends still sees it active —
+  // the same closed-interval overlap BBox::overlaps defines.
+  std::sort(events_.begin(), events_.end(),
+            [](const Event& a, const Event& b) {
+              if (a.x != b.x) return a.x < b.x;
+              return a.code < b.code;
+            });
+
+  active_lhs_.clear();
+  active_rhs_.clear();
+  std::size_t total = 0;
+
+  // One color's event handler; `item_is_lhs` picks which side of the
+  // enumerated pair carries the group tag.
+  const auto handle = [&](const Event& event, const std::vector<Item>& items,
+                          std::vector<std::uint32_t>& own,
+                          const std::vector<Item>& other_items,
+                          const std::vector<std::uint32_t>& other,
+                          bool item_is_lhs) {
+    const std::uint32_t index = event.code & kIndexMask;
+    const Item& item = items[index];
+    const auto less = [&items](std::uint32_t a, std::uint32_t b) {
+      if (items[a].ylo != items[b].ylo) return items[a].ylo < items[b].ylo;
+      return a < b;
+    };
+
+    if (event.code & kEndBit) {
+      const auto it = std::lower_bound(own.begin(), own.end(), index, less);
+      OPERON_DCHECK(it != own.end() && *it == index);
+      own.erase(it);
+      return;
+    }
+
+    // Scan the other color's sweep front: actives are x-overlapping by
+    // construction, so the pair predicate reduces to the y-interval test
+    // plus the proper-crossing check — identical to the brute force.
+    for (const std::uint32_t o : other) {
+      const Item& cand = other_items[o];
+      if (cand.ylo > item.yhi) break;  // actives sorted by ylo
+      if (cand.yhi < item.ylo) continue;
+      if (!segments_cross(item.seg, cand.seg)) continue;
+      ++total;
+      if (!group_counts.empty()) {
+        const std::uint32_t group = item_is_lhs ? item.group : cand.group;
+        OPERON_DCHECK(group < group_counts.size());
+        ++group_counts[group];
+      }
+    }
+    own.insert(std::upper_bound(own.begin(), own.end(), index, less), index);
+  };
+
+  for (const Event& event : events_) {
+    if (event.code & kColorBit) {
+      handle(event, rhs_, active_rhs_, lhs_, active_lhs_, /*item_is_lhs=*/false);
+    } else {
+      handle(event, lhs_, active_lhs_, rhs_, active_rhs_, /*item_is_lhs=*/true);
+    }
+  }
+  return total;
+}
+
+std::size_t count_crossings_brute(std::span<const Segment> lhs,
+                                  std::span<const Segment> rhs) {
+  std::size_t count = 0;
+  for (const Segment& s : lhs) {
+    const BBox sb = s.bbox();
+    for (const Segment& t : rhs) {
+      if (!sb.overlaps(t.bbox())) continue;
+      if (segments_cross(s, t)) ++count;
+    }
+  }
+  return count;
+}
+
+std::size_t count_crossings_sweep(std::span<const Segment> lhs,
+                                  std::span<const Segment> rhs) {
+  thread_local CrossingSweep sweep;
+  sweep.clear();
+  for (const Segment& s : lhs) sweep.add_lhs(0, s);
+  for (const Segment& t : rhs) sweep.add_rhs(t);
+  return sweep.run();
+}
+
+}  // namespace operon::geom

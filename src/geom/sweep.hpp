@@ -1,0 +1,75 @@
+#pragma once
+// Sweep-line crossing engine. Counting proper crossings between two
+// segment sets is the geometry kernel behind every lx(i,j,m,n,p) term;
+// the brute-force O(n·m) pair loop is replaced by a red/blue plane sweep
+// over sorted bbox endpoints: a pair of segments is examined exactly once
+// (when the later-starting one enters the sweep front) and only if their
+// bounding boxes overlap on both axes. The crossing predicate applied to
+// each surviving pair is the same `segments_cross` used by the brute
+// force, so the two counters agree exactly on every input — including
+// degenerate segments (zero length, collinear overlaps, shared
+// endpoints), which the predicate rejects identically either way.
+// `count_crossings_brute` is kept as the oracle for differential tests.
+//
+// Thread-safety: a CrossingSweep instance is single-threaded scratch
+// (reusable across runs without reallocating); the free functions use a
+// thread-local instance and are safe to call concurrently.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/segment.hpp"
+
+namespace operon::geom {
+
+/// Reference O(n·m) counter (bbox-filtered pair loop). Oracle for the
+/// sweep in differential tests; also the fastest choice for tiny inputs.
+std::size_t count_crossings_brute(std::span<const Segment> lhs,
+                                  std::span<const Segment> rhs);
+
+/// Sweep-line counter; equals count_crossings_brute on every input.
+std::size_t count_crossings_sweep(std::span<const Segment> lhs,
+                                  std::span<const Segment> rhs);
+
+/// Reusable red/blue sweep with per-group accumulation: lhs segments are
+/// tagged with a group id (e.g. the candidate path they belong to) and
+/// one run() distributes the pairwise crossing counts over the groups.
+/// All scratch is retained across clear()/run() cycles, so a long-lived
+/// instance performs no steady-state allocations.
+class CrossingSweep {
+ public:
+  void clear();
+  void add_lhs(std::uint32_t group, const Segment& segment);
+  void add_rhs(const Segment& segment);
+
+  std::size_t lhs_size() const { return lhs_.size(); }
+  std::size_t rhs_size() const { return rhs_.size(); }
+
+  /// Sweeps and returns the total number of proper crossings; when
+  /// `group_counts` is non-empty it must cover every group id added and
+  /// receives `group_counts[g] += crossings of lhs group g`.
+  std::size_t run(std::span<int> group_counts = {});
+
+ private:
+  struct Item {
+    Segment seg;
+    double ylo, yhi;
+    std::uint32_t group;
+  };
+  /// code packs (is_end, color, index): ascending order processes starts
+  /// before ends at equal x, which makes touching bboxes overlap exactly
+  /// as BBox::overlaps' closed intervals do.
+  struct Event {
+    double x;
+    std::uint32_t code;
+  };
+
+  std::vector<Item> lhs_, rhs_;
+  std::vector<Event> events_;
+  /// Active item indices per color, kept sorted by (ylo, index).
+  std::vector<std::uint32_t> active_lhs_, active_rhs_;
+};
+
+}  // namespace operon::geom

@@ -48,23 +48,36 @@ double weighted_cost(const SelectionEvaluator& evaluator,
   const double beta = evaluator.params().optical.beta_db_per_crossing;
 
   double cost = cand.power_pj;
-  // Own relaxed constraints.
+  // Own relaxed constraints, with the crossing queries hoisted out of
+  // the path loop: one query per interacting net fills every path's
+  // term. Per path the additions happen in the same (static first, then
+  // neighbors in ascending order) sequence as the per-path scan did, so
+  // the losses — and the costs — are bit-identical.
+  thread_local std::vector<double> loss;
+  loss.resize(cand.paths.size());
   for (std::size_t p = 0; p < cand.paths.size(); ++p) {
-    double loss = cand.paths[p].static_loss_db;
-    for (std::size_t m : evaluator.interacting(i)) {
-      const auto& counts = evaluator.crossings(i, c, m, selection[m]);
-      if (!counts.empty()) loss += beta * counts[p];
+    loss[p] = cand.paths[p].static_loss_db;
+  }
+  const auto& inter = evaluator.interacting(i);
+  for (std::size_t k = 0; k < inter.size(); ++k) {
+    const auto counts = evaluator.crossings_at(i, c, k, selection[inter[k]]);
+    if (counts.empty()) continue;  // empty span = all zeros
+    for (std::size_t p = 0; p < counts.size(); ++p) {
+      loss[p] += beta * counts[p];
     }
-    cost += lambda[i][c][p] * loss;
+  }
+  for (std::size_t p = 0; p < cand.paths.size(); ++p) {
+    cost += lambda[i][c][p] * loss[p];
   }
   // Impact on neighbors' selected paths.
   if (!cand.optical_segments.empty()) {
-    for (std::size_t m : evaluator.interacting(i)) {
+    for (std::size_t k = 0; k < inter.size(); ++k) {
+      const std::size_t m = inter[k];
       const std::size_t cm = selection[m];
-      const auto& counts = evaluator.crossings(m, cm, i, c);
+      const auto counts = evaluator.crossings_at_rev(i, k, cm, c);
       for (std::size_t q = 0; q < counts.size(); ++q) {
         if (counts[q] != 0) cost += lambda[m][cm][q] * beta * counts[q];
-      }  // empty vector = all zeros, loop body never runs
+      }  // empty span = all zeros, loop body never runs
     }
   }
   return cost;
@@ -153,13 +166,16 @@ LrResult solve_selection_lr(std::span<const CandidateSet> sets,
     pool.parallel_for(evaluator.num_nets(), [&](std::size_t i) {
       double local_max = 0.0;
       double local_norm2 = 0.0;
+      // All selected-candidate path losses in one bulk query sweep
+      // (bit-identical to per-path path_loss_db calls).
+      thread_local std::vector<double> selected_losses;
+      evaluator.path_losses_db(selection, i, selection[i], selected_losses);
       for (std::size_t c = 0; c < evaluator.set(i).options.size(); ++c) {
         const bool selected = (selection[i] == c);
         for (std::size_t p = 0; p < lambda[i][c].size(); ++p) {
           // Sub-gradient of (loss_p - lm), normalized by lm; paths of
           // unselected candidates contribute loss 0, so they decay.
-          const double loss =
-              selected ? evaluator.path_loss_db(selection, i, c, p) : 0.0;
+          const double loss = selected ? selected_losses[p] : 0.0;
           const double gradient = (loss - lm) / lm;
           local_norm2 += gradient * gradient;
           double& value = lambda[i][c][p];

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <map>
 #include <set>
+#include <unordered_map>
 
 #include "steiner/mst.hpp"
 #include "util/check.hpp"
@@ -13,6 +15,52 @@ namespace operon::steiner {
 namespace {
 
 constexpr double kGainEps = 1e-9;
+
+/// Memo of fermat_point results keyed by the EXACT coordinates of the
+/// triple (bit patterns, not a quantized grid — two distinct inputs must
+/// never alias). The Fermat point is a pure function of the triple, so
+/// memoization only removes repeated Weiszfeld iterations; results are
+/// bit-identical.
+struct FermatKey {
+  double ax, ay, bx, by, cx, cy;
+  bool operator==(const FermatKey&) const = default;
+};
+struct FermatKeyHash {
+  std::size_t operator()(const FermatKey& k) const {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    const auto mix = [&h](double d) {
+      std::uint64_t bits;
+      std::memcpy(&bits, &d, sizeof bits);
+      h = (h ^ bits) * 0x100000001b3ull;
+    };
+    mix(k.ax);
+    mix(k.ay);
+    mix(k.bx);
+    mix(k.by);
+    mix(k.cx);
+    mix(k.cy);
+    return static_cast<std::size_t>(h);
+  }
+};
+using FermatMemo = std::unordered_map<FermatKey, geom::Point, FermatKeyHash>;
+
+struct ScoredCandidate {
+  geom::Point point;
+  double gain;
+  double score;
+};
+
+/// Caches shared across the bi1s variant calls of one generate_baselines
+/// invocation (single-threaded use). Every variant's first round scores
+/// the same working set — the terminals — with the same metric and
+/// candidate cap, differing only in bend_penalty, so the sorted scored
+/// list is computed once per bend weight; Fermat triples recur heavily
+/// across rounds and variants and are memoized by exact coordinates.
+/// Results are bit-identical with or without the caches.
+struct Bi1sShared {
+  FermatMemo fermat;
+  std::map<double, std::vector<ScoredCandidate>> round1_by_bend;
+};
 
 /// Quantize a point for deduplication (1e-3 µm grid).
 std::pair<long long, long long> quantize(const geom::Point& p) {
@@ -114,7 +162,21 @@ geom::Point fermat_point(const geom::Point& a, const geom::Point& b,
   return y;
 }
 
-std::vector<geom::Point> fermat_candidates(std::span<const geom::Point> points) {
+namespace {
+
+geom::Point fermat_point_memo(FermatMemo* memo, const geom::Point& a,
+                              const geom::Point& b, const geom::Point& c) {
+  if (memo == nullptr) return fermat_point(a, b, c);
+  const FermatKey key{a.x, a.y, b.x, b.y, c.x, c.y};
+  const auto it = memo->find(key);
+  if (it != memo->end()) return it->second;
+  const geom::Point f = fermat_point(a, b, c);
+  memo->emplace(key, f);
+  return f;
+}
+
+std::vector<geom::Point> fermat_candidates_impl(
+    std::span<const geom::Point> points, FermatMemo* memo) {
   std::set<std::pair<long long, long long>> seen;
   for (const auto& p : points) seen.insert(quantize(p));
   std::vector<geom::Point> out;
@@ -131,7 +193,8 @@ std::vector<geom::Point> fermat_candidates(std::span<const geom::Point> points) 
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t j = i + 1; j < n; ++j) {
         for (std::size_t k = j + 1; k < n; ++k) {
-          const geom::Point f = fermat_point(points[i], points[j], points[k]);
+          const geom::Point f =
+              fermat_point_memo(memo, points[i], points[j], points[k]);
           if (seen.insert(quantize(f)).second) out.push_back(f);
         }
       }
@@ -156,7 +219,7 @@ std::vector<geom::Point> fermat_candidates(std::span<const geom::Point> points) 
     for (std::size_t a = 0; a < keep; ++a) {
       for (std::size_t b = a + 1; b < keep; ++b) {
         const geom::Point f =
-            fermat_point(points[i], points[order[a]], points[order[b]]);
+            fermat_point_memo(memo, points[i], points[order[a]], points[order[b]]);
         if (seen.insert(quantize(f)).second) out.push_back(f);
       }
     }
@@ -164,49 +227,128 @@ std::vector<geom::Point> fermat_candidates(std::span<const geom::Point> points) 
   return out;
 }
 
-SteinerTree bi1s(std::span<const geom::Point> terminals,
-                 const Bi1sOptions& options) {
+}  // namespace
+
+std::vector<geom::Point> fermat_candidates(std::span<const geom::Point> points) {
+  return fermat_candidates_impl(points, nullptr);
+}
+
+namespace {
+
+/// Row-major symmetric pairwise distance matrix of `pts`. Entries are
+/// edge_length values, which are bit-symmetric in their argument order
+/// (|dx|, |dy| are exact), so one evaluation serves both directions.
+std::vector<double> dist_matrix(const std::vector<geom::Point>& pts,
+                                Metric metric) {
+  const std::size_t n = pts.size();
+  std::vector<double> d(n * n, 0.0);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      d[u * n + v] = d[v * n + u] = edge_length(metric, pts[u], pts[v]);
+    }
+  }
+  return d;
+}
+
+/// Copy the nw×nw matrix `wd` into `out` at the wider stride n1 = nw+1,
+/// leaving the last row/column to be filled per trial point.
+void widen_dist(const std::vector<double>& wd, std::size_t nw,
+                std::vector<double>& out) {
+  const std::size_t n1 = nw + 1;
+  out.assign(n1 * n1, 0.0);
+  for (std::size_t u = 0; u < nw; ++u) {
+    std::memcpy(out.data() + u * n1, wd.data() + u * nw, nw * sizeof(double));
+  }
+}
+
+/// Fill the last row/column of the widened matrix with distances to `p`.
+void fill_trial_point(std::vector<double>& td, std::size_t nw,
+                      const std::vector<geom::Point>& working,
+                      const geom::Point& p, Metric metric) {
+  const std::size_t n1 = nw + 1;
+  for (std::size_t u = 0; u < nw; ++u) {
+    const double e = edge_length(metric, working[u], p);
+    td[u * n1 + nw] = e;
+    td[nw * n1 + u] = e;
+  }
+  td[nw * n1 + nw] = 0.0;
+}
+
+/// Score every candidate Steiner point against `working`: MST gain minus
+/// weighted bending cost, sorted best-first. `wd` is working's distance
+/// matrix; each trial MST reuses it and adds only the candidate's row,
+/// so the per-candidate cost drops from O(n²) to O(n) distance
+/// evaluations with bit-identical gains.
+std::vector<ScoredCandidate> score_round(
+    const std::vector<geom::Point>& working, const std::vector<double>& wd,
+    double base_len, const Bi1sOptions& options, FermatMemo* memo) {
+  const std::vector<geom::Point> candidates =
+      options.metric == Metric::Rectilinear
+          ? hanan_candidates(working)
+          : fermat_candidates_impl(working, memo);
+
+  const std::size_t nw = working.size();
+  const std::size_t n1 = nw + 1;
+  std::vector<double> td;
+  widen_dist(wd, nw, td);
+
+  std::vector<ScoredCandidate> scored;
+  scored.reserve(candidates.size());
+  std::vector<geom::Point> trial = working;
+  trial.emplace_back();
+  for (const geom::Point& cand : candidates) {
+    trial.back() = cand;
+    fill_trial_point(td, nw, working, cand, options.metric);
+    const auto edges = mst_edges_dist(n1, td.data());
+    double len = 0.0;
+    for (const auto& [u, v] : edges) len += td[u * n1 + v];
+    const double gain = base_len - len;
+    if (gain <= kGainEps) continue;
+    double score = gain;
+    if (options.bend_penalty > 0.0) {
+      score -= options.bend_penalty * bending_cost(trial, edges, nw);
+    }
+    scored.push_back({cand, gain, score});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredCandidate& a, const ScoredCandidate& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return geom::PointLess{}(a.point, b.point);
+            });
+  return scored;
+}
+
+SteinerTree bi1s_impl(std::span<const geom::Point> terminals,
+                      const Bi1sOptions& options, Bi1sShared* shared) {
   OPERON_CHECK(options.visit_stride >= 1);
   OPERON_CHECK(options.visit_offset < options.visit_stride);
   std::vector<geom::Point> working(terminals.begin(), terminals.end());
   const std::size_t num_terminals = terminals.size();
 
   if (num_terminals >= 3) {
+    // Working-set distance matrix, kept in sync with `working` across
+    // rounds and acceptances so trial MSTs never recompute it.
+    std::vector<double> wd = dist_matrix(working, options.metric);
+    std::vector<double> ad;
     for (std::size_t round = 0; round < options.max_rounds; ++round) {
-      const double base_len = mst_length(working, options.metric);
-      const std::vector<geom::Point> candidates =
-          options.metric == Metric::Rectilinear ? hanan_candidates(working)
-                                                : fermat_candidates(working);
+      const double base_len = mst_length_dist(working.size(), wd.data());
 
-      // Score every candidate: gain minus weighted bending cost.
-      struct Scored {
-        geom::Point point;
-        double gain;
-        double score;
-      };
-      std::vector<Scored> scored;
-      scored.reserve(candidates.size());
-      std::vector<geom::Point> trial = working;
-      trial.emplace_back();
-      for (const geom::Point& cand : candidates) {
-        trial.back() = cand;
-        const auto edges = mst_edges(trial, options.metric);
-        double len = 0.0;
-        for (const auto& [u, v] : edges)
-          len += edge_length(options.metric, trial[u], trial[v]);
-        const double gain = base_len - len;
-        if (gain <= kGainEps) continue;
-        double score = gain;
-        if (options.bend_penalty > 0.0) {
-          score -= options.bend_penalty *
-                   bending_cost(trial, edges, trial.size() - 1);
+      std::vector<ScoredCandidate> scored;
+      FermatMemo* memo = shared != nullptr ? &shared->fermat : nullptr;
+      if (round == 0 && shared != nullptr) {
+        // Round 1 is identical across the generate_baselines variants
+        // for a given bend weight (working == terminals): reuse it.
+        auto it = shared->round1_by_bend.find(options.bend_penalty);
+        if (it == shared->round1_by_bend.end()) {
+          it = shared->round1_by_bend
+                   .emplace(options.bend_penalty,
+                            score_round(working, wd, base_len, options, memo))
+                   .first;
         }
-        scored.push_back({cand, gain, score});
+        scored = it->second;
+      } else {
+        scored = score_round(working, wd, base_len, options, memo);
       }
-      std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
-        if (a.score != b.score) return a.score > b.score;
-        return geom::PointLess{}(a.point, b.point);
-      });
       if (options.max_candidates > 0 && scored.size() > options.max_candidates)
         scored.resize(options.max_candidates);
 
@@ -215,11 +357,14 @@ SteinerTree bi1s(std::span<const geom::Point> terminals,
       double current_len = base_len;
       for (std::size_t rank = 0; rank < scored.size(); ++rank) {
         if (rank % options.visit_stride != options.visit_offset) continue;
-        std::vector<geom::Point> with = working;
-        with.push_back(scored[rank].point);
-        const double len = mst_length(with, options.metric);
+        const std::size_t nw = working.size();
+        widen_dist(wd, nw, ad);
+        fill_trial_point(ad, nw, working, scored[rank].point, options.metric);
+        const double len = mst_length_dist(nw + 1, ad.data());
         if (current_len - len > kGainEps) {
-          working = std::move(with);
+          working.push_back(scored[rank].point);
+          wd = std::move(ad);
+          ad = {};
           current_len = len;
           accepted_any = true;
         }
@@ -234,6 +379,13 @@ SteinerTree bi1s(std::span<const geom::Point> terminals,
   tree.edges = mst_edges(tree.points, options.metric);
   tree.remove_redundant_steiner();
   return tree;
+}
+
+}  // namespace
+
+SteinerTree bi1s(std::span<const geom::Point> terminals,
+                 const Bi1sOptions& options) {
+  return bi1s_impl(terminals, options, nullptr);
 }
 
 std::vector<SteinerTree> generate_baselines(
@@ -258,12 +410,17 @@ std::vector<SteinerTree> generate_baselines(
     if (shapes.insert(std::move(shape)).second) out.push_back(std::move(tree));
   };
 
+  // The variant calls below differ only in bend weight and visit
+  // stride/offset; their first rounds and most Fermat triples coincide,
+  // so they share one cache (results are bit-identical to independent
+  // bi1s() calls — see Bi1sShared).
+  Bi1sShared shared;
   Bi1sOptions options;
   options.metric = metric;
-  try_add(bi1s(terminals, options));  // full BI1S first (best length)
+  try_add(bi1s_impl(terminals, options, &shared));  // full BI1S first (best length)
 
   options.bend_penalty = 50.0;  // bend-averse candidate ordering
-  try_add(bi1s(terminals, options));
+  try_add(bi1s_impl(terminals, options, &shared));
 
   options.bend_penalty = 0.0;
   for (std::size_t stride = 2; stride <= 3 && out.size() < max_baselines;
@@ -272,7 +429,7 @@ std::vector<SteinerTree> generate_baselines(
          ++offset) {
       options.visit_stride = stride;
       options.visit_offset = offset;
-      try_add(bi1s(terminals, options));
+      try_add(bi1s_impl(terminals, options, &shared));
     }
   }
 

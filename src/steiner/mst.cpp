@@ -46,6 +46,54 @@ std::vector<std::pair<std::size_t, std::size_t>> mst_edges(
   return edges;
 }
 
+std::vector<std::pair<std::size_t, std::size_t>> mst_edges_dist(
+    std::size_t n, const double* dist) {
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  if (n <= 1) return edges;
+  edges.reserve(n - 1);
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> best(n, kInf);
+  std::vector<std::size_t> best_from(n, 0);
+  std::vector<char> in_tree(n, 0);
+  in_tree[0] = 1;
+  for (std::size_t v = 1; v < n; ++v) {
+    best[v] = dist[v];  // row 0
+    best_from[v] = 0;
+  }
+  for (std::size_t step = 1; step < n; ++step) {
+    std::size_t pick = n;
+    double pick_cost = kInf;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!in_tree[v] && best[v] < pick_cost) {
+        pick_cost = best[v];
+        pick = v;
+      }
+    }
+    OPERON_CHECK(pick < n);
+    in_tree[pick] = 1;
+    edges.emplace_back(best_from[pick], pick);
+    const double* row = dist + pick * n;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (in_tree[v]) continue;
+      const double cost = row[v];
+      if (cost < best[v]) {
+        best[v] = cost;
+        best_from[v] = pick;
+      }
+    }
+  }
+  return edges;
+}
+
+double mst_length_dist(std::size_t n, const double* dist) {
+  double sum = 0.0;
+  for (const auto& [u, v] : mst_edges_dist(n, dist)) {
+    sum += dist[u * n + v];
+  }
+  return sum;
+}
+
 double mst_length(std::span<const geom::Point> points, Metric metric) {
   double sum = 0.0;
   for (const auto& [u, v] : mst_edges(points, metric)) {

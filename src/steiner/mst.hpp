@@ -20,6 +20,18 @@ std::vector<std::pair<std::size_t, std::size_t>> mst_edges(
 /// Total MST length.
 double mst_length(std::span<const geom::Point> points, Metric metric);
 
+/// Prim over an explicit pairwise distance matrix (row-major n×n,
+/// symmetric). When dist[u*n+v] == edge_length(metric, points[u],
+/// points[v]) the edges — and the length below, summed in edge order —
+/// are bit-identical to the point-based overloads: the comparison and
+/// accumulation sequences are the same, only the (pure, deterministic)
+/// distance evaluations are hoisted out. Lets BI1S trial loops reuse the
+/// unchanged working-set block instead of recomputing O(n²) distances
+/// per candidate.
+std::vector<std::pair<std::size_t, std::size_t>> mst_edges_dist(
+    std::size_t n, const double* dist);
+double mst_length_dist(std::size_t n, const double* dist);
+
 /// MST as a SteinerTree (all points are terminals).
 SteinerTree mst_tree(std::span<const geom::Point> points, Metric metric);
 

@@ -1,0 +1,93 @@
+#pragma once
+// Chunked bump arena for trivially-destructible hot-path data (DP label
+// kinds, sweep scratch). allocate() bumps a pointer inside the current
+// chunk and chains a new chunk when full; reset() rewinds to empty while
+// RETAINING every chunk, so a long-lived arena reaches a steady state
+// with zero allocations. Pointers stay stable until reset() — chunks are
+// never moved or freed before then — which is what lets labels hold raw
+// spans into the arena across pruning.
+//
+// Ownership rules: the arena neither constructs nor destroys objects;
+// callers may only place trivially-destructible types. Not thread-safe —
+// one arena per thread (parallel DP runs derive one per work item).
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace operon::util {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t chunk_bytes = 1 << 16)
+      : chunk_bytes_(chunk_bytes < 64 ? 64 : chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Uninitialized storage for `count` objects of T.
+  template <typename T>
+  T* allocate(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    const std::size_t bytes = count * sizeof(T);
+    return static_cast<T*>(allocate_bytes(bytes, alignof(T)));
+  }
+
+  /// Rewind to empty, retaining all chunks for reuse.
+  void reset() {
+    current_ = 0;
+    offset_ = 0;
+  }
+
+  /// Bytes handed out since the last reset (diagnostics; counts skipped
+  /// chunk tails as used).
+  std::size_t bytes_used() const {
+    std::size_t total = offset_;
+    for (std::size_t c = 0; c < current_ && c < chunks_.size(); ++c) {
+      total += chunks_[c].size;
+    }
+    return total;
+  }
+
+  /// Bytes held across all chunks (diagnostics).
+  std::size_t bytes_reserved() const {
+    std::size_t total = 0;
+    for (const Chunk& chunk : chunks_) total += chunk.size;
+    return total;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void* allocate_bytes(std::size_t bytes, std::size_t align) {
+    if (bytes == 0) bytes = 1;  // distinct non-null results keep spans sane
+    while (true) {
+      if (current_ < chunks_.size()) {
+        Chunk& chunk = chunks_[current_];
+        const std::size_t aligned = (offset_ + align - 1) & ~(align - 1);
+        if (aligned + bytes <= chunk.size) {
+          offset_ = aligned + bytes;
+          return chunk.data.get() + aligned;
+        }
+        // Chunk exhausted: advance (reused chunks keep their storage).
+        ++current_;
+        offset_ = 0;
+        continue;
+      }
+      const std::size_t size = bytes > chunk_bytes_ ? bytes : chunk_bytes_;
+      chunks_.push_back({std::make_unique<std::byte[]>(size), size});
+    }
+  }
+
+  std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t current_ = 0;  ///< chunk currently bumped into
+  std::size_t offset_ = 0;   ///< bump offset within that chunk
+};
+
+}  // namespace operon::util

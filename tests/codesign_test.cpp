@@ -56,6 +56,7 @@ TEST(SegmentIndexTest, CountsAndExcludesOwnNet) {
   oc::SegmentIndex index(chip, 8);
   index.add(0, {{0, 50}, {100, 50}});   // horizontal, net 0
   index.add(1, {{0, 60}, {100, 60}});   // horizontal, net 1
+  index.finalize();
   const og::Segment vertical{{50, 0}, {50, 100}};
   EXPECT_EQ(index.count_crossings(vertical, 99), 2u);
   EXPECT_EQ(index.count_crossings(vertical, 0), 1u);  // net-0 bar excluded
@@ -67,6 +68,7 @@ TEST(SegmentIndexTest, NoDoubleCountAcrossCells) {
   og::BBox chip = og::BBox::of({0, 0}, {1000, 1000});
   oc::SegmentIndex index(chip, 32);
   index.add(0, {{0, 500}, {1000, 500}});
+  index.finalize();
   EXPECT_EQ(index.count_crossings({{500, 0}, {500, 1000}}, 99), 1u);
 }
 

@@ -1,0 +1,122 @@
+// Bit-for-bit pin of the co-design DP output across representation
+// changes: the digests below were captured from the pre-arena build
+// (std::vector<EdgeKind> labels, per-merge heap copies), so the
+// arena-backed DP must reproduce the exact same candidates — kinds,
+// powers, and per-path losses to the last bit — for these instances.
+// If a DELIBERATE algorithmic change to the DP (not a storage change)
+// alters the output, re-capture the digests and say so in the commit.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "codesign/crossing.hpp"
+#include "codesign/dp.hpp"
+#include "model/params.hpp"
+#include "steiner/bi1s.hpp"
+#include "util/rng.hpp"
+
+namespace operon::codesign {
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t dp_digest(std::uint64_t seed, bool with_estimator,
+                        std::size_t max_labels) {
+  util::Rng rng(seed);
+  const model::TechParams params = model::TechParams::dac18_defaults();
+  const auto terminals = 3 + static_cast<std::size_t>(rng.uniform_int(0, 3));
+  std::vector<geom::Point> pts(terminals);
+  for (auto& p : pts) p = {rng.uniform(0, 15000), rng.uniform(0, 15000)};
+  const steiner::SteinerTree tree =
+      steiner::bi1s(pts, {.metric = steiner::Metric::Euclidean});
+  const steiner::RootedTree rooted = steiner::RootedTree::build(tree, 0);
+
+  SegmentIndex index(geom::BBox::of({0, 0}, {15000, 15000}), 16);
+  if (with_estimator) {
+    for (std::size_t net = 1; net <= 6; ++net) {
+      geom::Point a{rng.uniform(0, 15000), rng.uniform(0, 15000)};
+      geom::Point b{rng.uniform(0, 15000), rng.uniform(0, 15000)};
+      index.add(net, {a, b});
+    }
+  }
+  index.finalize();
+
+  AssembleContext ctx;
+  ctx.tree = &tree;
+  ctx.rooted = &rooted;
+  ctx.bit_count = 8 + static_cast<std::size_t>(rng.uniform_int(0, 24));
+  ctx.params = &params;
+  ctx.estimator = with_estimator ? &index : nullptr;
+  ctx.net_id = 0;
+
+  DpOptions options;
+  options.max_labels = max_labels;
+  const auto candidates = run_codesign_dp(ctx, 0, options);
+
+  std::uint64_t h = 14695981039346656037ull;
+  for (const auto& cand : candidates) {
+    // NOTE: hashes size() *bytes* of the kinds array (the prefix), as the
+    // capture harness did; power_pj already depends on every kind.
+    h = fnv1a(h, cand.edge_kinds.data(), cand.edge_kinds.size());
+    h = fnv1a(h, &cand.power_pj, sizeof(double));
+    for (const auto& path : cand.paths) {
+      h = fnv1a(h, &path.static_loss_db, sizeof(double));
+      h = fnv1a(h, &path.estimated_crossing_db, sizeof(double));
+    }
+  }
+  return h;
+}
+
+struct GoldenCase {
+  std::uint64_t seed;
+  bool with_estimator;
+  std::size_t max_labels;
+  std::uint64_t digest;
+};
+
+// Captured from the pre-change build (see file comment).
+constexpr GoldenCase kGolden[] = {
+    {1ull, false, 24, 0x0d569e358a8166adull},
+    {2ull, false, 24, 0xe93c72a83e62b711ull},
+    {3ull, false, 24, 0x66923b6a64baafc6ull},
+    {4ull, false, 24, 0x0637de7fa8816e02ull},
+    {5ull, false, 24, 0x0736b07e52874525ull},
+    {6ull, false, 24, 0xf563a8f3e5cdeda7ull},
+    {1ull, true, 24, 0xd3252d07df7e5fceull},
+    {2ull, true, 24, 0xfaf03714e51747a7ull},
+    {3ull, true, 24, 0x19e26fd3ce6f9cecull},
+    {4ull, true, 24, 0x71962066062fb97aull},
+    {5ull, true, 24, 0x468b372e2a69fc2cull},
+    {6ull, true, 24, 0xec8e685291e90983ull},
+    {1ull, true, 0, 0xd3252d07df7e5fceull},
+    {2ull, true, 0, 0xfaf03714e51747a7ull},
+    {3ull, true, 0, 0x19e26fd3ce6f9cecull},
+};
+
+TEST(DpGolden, BitForBitStable) {
+  for (const GoldenCase& c : kGolden) {
+    EXPECT_EQ(dp_digest(c.seed, c.with_estimator, c.max_labels), c.digest)
+        << "seed=" << c.seed << " estimator=" << c.with_estimator
+        << " max_labels=" << c.max_labels;
+  }
+}
+
+TEST(DpGolden, RepeatedRunsReuseArenasCleanly) {
+  // Same digest when the thread-local arenas are warm from prior runs.
+  const std::uint64_t first = dp_digest(1, true, 24);
+  const std::uint64_t second = dp_digest(1, true, 24);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first, 0xd3252d07df7e5fceull);
+}
+
+}  // namespace
+}  // namespace operon::codesign

@@ -193,8 +193,10 @@ TEST(CrossingCache, ParallelPrecomputeMatchesLazy) {
     for (std::size_t m : lazy.interacting(i)) {
       for (std::size_t ci = 0; ci < sets[i].options.size(); ++ci) {
         for (std::size_t cm = 0; cm < sets[m].options.size(); ++cm) {
-          EXPECT_EQ(lazy.crossings(i, ci, m, cm),
-                    precomputed.crossings(i, ci, m, cm));
+          const auto a = lazy.crossings(i, ci, m, cm);
+          const auto b = precomputed.crossings(i, ci, m, cm);
+          EXPECT_EQ(std::vector<int>(a.begin(), a.end()),
+                    std::vector<int>(b.begin(), b.end()));
         }
       }
     }

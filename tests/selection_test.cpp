@@ -135,6 +135,35 @@ TEST(Evaluator, CrossingCountsSymmetricInMesh) {
   EXPECT_GT(crossing_pairs, 0u);
 }
 
+// Regression for the once-asymmetric cheap rejection in crossings():
+// whether a pair of candidates can cross must not depend on the query
+// direction. Totals are compared as presence (a geometric crossing is
+// counted once per *path* traversing it, so the raw sums may differ
+// between directions, but zero/non-zero must agree).
+TEST(Evaluator, CrossingRejectionIsSymmetric) {
+  const auto sets = candidates_for(crossing_mesh(2, 3), kParams);
+  oc::SelectionEvaluator evaluator(sets, kParams);
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    for (std::size_t m : evaluator.interacting(i)) {
+      if (m <= i) continue;
+      for (std::size_t ci = 0; ci < sets[i].options.size(); ++ci) {
+        for (std::size_t cm = 0; cm < sets[m].options.size(); ++cm) {
+          const auto forward = evaluator.crossings(i, ci, m, cm);
+          const auto reverse = evaluator.crossings(m, cm, i, ci);
+          long long forward_total = 0, reverse_total = 0;
+          for (int c : forward) forward_total += c;
+          for (int c : reverse) reverse_total += c;
+          EXPECT_EQ(forward_total > 0, reverse_total > 0)
+              << "i=" << i << " ci=" << ci << " m=" << m << " cm=" << cm;
+          if (forward_total > 0) ++checked;
+        }
+      }
+    }
+  }
+  EXPECT_GT(checked, 0u) << "mesh produced no crossing pairs to check";
+}
+
 TEST(ExactSelect, NoInteractionsPicksPerNetMin) {
   const auto sets = candidates_for(parallel_buses(5, 4000.0, 4), kParams);
   oc::SelectionEvaluator evaluator(sets, kParams);
@@ -260,14 +289,14 @@ TEST(Evaluator, EmptyCrossingsMeansAllZerosContract) {
     for (std::size_t m : evaluator.interacting(i)) {
       for (std::size_t ci = 0; ci < sets[i].options.size(); ++ci) {
         for (std::size_t cm = 0; cm < sets[m].options.size(); ++cm) {
-          const auto& cached = evaluator.crossings(i, ci, m, cm);
+          const auto cached = evaluator.crossings(i, ci, m, cm);
           const auto full = explicit_counts(i, ci, m, cm);
           if (cached.empty()) {
             ++empty_markers;
             for (int c : full) EXPECT_EQ(c, 0);
           } else {
             ++explicit_vectors;
-            EXPECT_EQ(cached, full);
+            EXPECT_EQ(std::vector<int>(cached.begin(), cached.end()), full);
           }
         }
       }

@@ -1,0 +1,148 @@
+// Differential tests for the sweep-line crossing engine: on randomized
+// segment soups across density/orientation regimes the sweep must equal
+// the brute-force oracle exactly (both apply the same proper-crossing
+// predicate, so even degenerate inputs must agree).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "geom/segment.hpp"
+#include "geom/sweep.hpp"
+#include "util/rng.hpp"
+
+namespace operon::geom {
+namespace {
+
+enum class Regime { General, Rectilinear, Collinear, Clustered, Degenerate };
+
+std::vector<Segment> random_soup(util::Rng& rng, std::size_t count,
+                                 double extent, double max_len,
+                                 Regime regime) {
+  std::vector<Segment> segs;
+  segs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Point a{rng.uniform(0.0, extent), rng.uniform(0.0, extent)};
+    Point b{a.x + rng.uniform(-max_len, max_len),
+            a.y + rng.uniform(-max_len, max_len)};
+    switch (regime) {
+      case Regime::General:
+        break;
+      case Regime::Rectilinear:
+        // Manhattan routes: axis-parallel, lots of shared coordinates.
+        if (rng.bernoulli(0.5)) {
+          b.y = a.y;
+        } else {
+          b.x = a.x;
+        }
+        break;
+      case Regime::Collinear:
+        // Many segments on few shared lines: overlaps and T-junctions.
+        a.y = b.y = 10.0 * rng.uniform_int(0, 4);
+        if (rng.bernoulli(0.3)) b = Point{b.x, a.y + rng.uniform(-5.0, 5.0)};
+        break;
+      case Regime::Clustered:
+        // Dense hot spot: near-quadratic pair count in one corner.
+        a = Point{rng.uniform(0.0, extent / 10.0),
+                  rng.uniform(0.0, extent / 10.0)};
+        b = Point{a.x + rng.uniform(-max_len, max_len),
+                  a.y + rng.uniform(-max_len, max_len)};
+        break;
+      case Regime::Degenerate:
+        // Zero-length segments and exact duplicates sprinkled in.
+        if (rng.bernoulli(0.3)) b = a;
+        if (rng.bernoulli(0.2) && !segs.empty()) {
+          segs.push_back(segs.back());
+          continue;
+        }
+        break;
+    }
+    segs.push_back({a, b});
+  }
+  return segs;
+}
+
+class SweepRegimeTest : public ::testing::TestWithParam<Regime> {};
+
+TEST_P(SweepRegimeTest, SweepMatchesBruteForce) {
+  util::Rng rng(0xC0FFEE + static_cast<std::uint64_t>(GetParam()));
+  for (int round = 0; round < 40; ++round) {
+    const auto lhs_count = static_cast<std::size_t>(rng.uniform_int(0, 60));
+    const auto rhs_count = static_cast<std::size_t>(rng.uniform_int(0, 60));
+    const double max_len = rng.bernoulli(0.5) ? 30.0 : 200.0;
+    const auto lhs = random_soup(rng, lhs_count, 100.0, max_len, GetParam());
+    const auto rhs = random_soup(rng, rhs_count, 100.0, max_len, GetParam());
+    const std::size_t brute = count_crossings_brute(lhs, rhs);
+    EXPECT_EQ(count_crossings_sweep(lhs, rhs), brute);
+    // The public entry point dispatches between the two; its result must
+    // be threshold-independent.
+    EXPECT_EQ(count_crossings(lhs, rhs), brute);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRegimes, SweepRegimeTest,
+                         ::testing::Values(Regime::General, Regime::Rectilinear,
+                                           Regime::Collinear, Regime::Clustered,
+                                           Regime::Degenerate));
+
+TEST(CrossingSweep, GroupedCountsMatchPerGroupBrute) {
+  util::Rng rng(0xBEEF);
+  for (int round = 0; round < 25; ++round) {
+    const auto groups = static_cast<std::size_t>(rng.uniform_int(1, 5));
+    std::vector<std::vector<Segment>> lhs_groups(groups);
+    CrossingSweep sweep;
+    sweep.clear();
+    for (std::size_t g = 0; g < groups; ++g) {
+      lhs_groups[g] = random_soup(rng, static_cast<std::size_t>(
+                                           rng.uniform_int(0, 20)),
+                                  100.0, 80.0, Regime::General);
+      for (const Segment& s : lhs_groups[g]) {
+        sweep.add_lhs(static_cast<std::uint32_t>(g), s);
+      }
+    }
+    const auto rhs = random_soup(rng, static_cast<std::size_t>(
+                                          rng.uniform_int(0, 40)),
+                                 100.0, 80.0, Regime::General);
+    for (const Segment& t : rhs) sweep.add_rhs(t);
+
+    std::vector<int> counts(groups, 0);
+    const std::size_t total = sweep.run(counts);
+    std::size_t expected_total = 0;
+    for (std::size_t g = 0; g < groups; ++g) {
+      const std::size_t expected = count_crossings_brute(lhs_groups[g], rhs);
+      EXPECT_EQ(static_cast<std::size_t>(counts[g]), expected);
+      expected_total += expected;
+    }
+    EXPECT_EQ(total, expected_total);
+  }
+}
+
+TEST(CrossingSweep, ReuseAcrossRunsIsClean) {
+  CrossingSweep sweep;
+  const std::vector<Segment> cross_a = {{{0.0, 0.0}, {10.0, 10.0}}};
+  const std::vector<Segment> cross_b = {{{0.0, 10.0}, {10.0, 0.0}}};
+  for (int i = 0; i < 3; ++i) {
+    sweep.clear();
+    for (const Segment& s : cross_a) sweep.add_lhs(0, s);
+    for (const Segment& t : cross_b) sweep.add_rhs(t);
+    EXPECT_EQ(sweep.run(), 1u);
+  }
+  sweep.clear();
+  EXPECT_EQ(sweep.run(), 0u);  // empty run after reuse
+}
+
+TEST(CrossingSweep, TouchingEndpointsAndTJunctionsDoNotCount) {
+  // Shared endpoint, T-junction, and collinear overlap: not proper.
+  const std::vector<Segment> lhs = {{{0.0, 0.0}, {10.0, 0.0}}};
+  const std::vector<Segment> shared_end = {{{10.0, 0.0}, {20.0, 5.0}}};
+  const std::vector<Segment> tee = {{{5.0, 0.0}, {5.0, 8.0}}};
+  const std::vector<Segment> overlap = {{{2.0, 0.0}, {8.0, 0.0}}};
+  const std::vector<Segment> proper = {{{5.0, -1.0}, {5.0, 1.0}}};
+  EXPECT_EQ(count_crossings_sweep(lhs, shared_end), 0u);
+  EXPECT_EQ(count_crossings_sweep(lhs, tee), 0u);
+  EXPECT_EQ(count_crossings_sweep(lhs, overlap), 0u);
+  EXPECT_EQ(count_crossings_sweep(lhs, proper), 1u);
+}
+
+}  // namespace
+}  // namespace operon::geom
