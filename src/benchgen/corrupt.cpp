@@ -251,4 +251,63 @@ std::string corrupt_json(const std::string& text, util::Rng& rng) {
   }
 }
 
+namespace {
+
+/// Pad past the frame-size limit with printable junk (still one line —
+/// the transport must reject it on size, not on content).
+std::string oversize(const std::string& text, std::size_t oversize_bytes,
+                     util::Rng& rng) {
+  std::string out = text;
+  out.reserve(oversize_bytes);
+  while (out.size() < oversize_bytes) {
+    out.push_back(static_cast<char>(rng.uniform_int(32, 126)));
+  }
+  return out;
+}
+
+/// Split the frame with an embedded newline: the receiver sees two
+/// frames, both almost certainly malformed.
+std::string inject_newline(const std::string& text, util::Rng& rng) {
+  std::string out = text;
+  out.insert(pick_offset(out, rng), 1, '\n');
+  return out;
+}
+
+/// Duplicate the first `"key":value` pair at/after a random offset (the
+/// strict parser rejects duplicate members). Falls back to garbling
+/// when no member is found.
+std::string duplicate_member(const std::string& text, util::Rng& rng) {
+  const std::size_t start = pick_offset(text, rng);
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const std::size_t quote = (start + i) % text.size();
+    if (text[quote] != '"' || quote + 1 >= text.size()) continue;
+    const std::size_t close = text.find('"', quote + 1);
+    if (close == std::string::npos || close + 1 >= text.size() ||
+        text[close + 1] != ':') {
+      continue;
+    }
+    std::size_t end = close + 2;
+    while (end < text.size() && text[end] != ',' && text[end] != '}') ++end;
+    if (end >= text.size()) continue;
+    const std::string member = text.substr(quote, end - quote);
+    return text.substr(0, end) + "," + member + text.substr(end);
+  }
+  return garble(text, rng);
+}
+
+}  // namespace
+
+std::string corrupt_frame(const std::string& line, std::size_t oversize_bytes,
+                          util::Rng& rng) {
+  switch (rng.uniform_int(0, 6)) {
+    case 0: return truncate_at(line, rng);
+    case 1: return inject_nan(line, rng);
+    case 2: return swap_punctuation(line, rng);
+    case 3: return garble(line, rng);
+    case 4: return oversize(line, oversize_bytes, rng);
+    case 5: return inject_newline(line, rng);
+    default: return duplicate_member(line, rng);
+  }
+}
+
 }  // namespace operon::benchgen

@@ -60,4 +60,15 @@ std::string corrupt_text(const std::string& text, util::Rng& rng);
 /// strict parser's error paths.
 std::string corrupt_json(const std::string& text, util::Rng& rng);
 
+/// Serve-protocol frame corruption: everything corrupt_json does, plus
+/// the transport-level faults a JSONL wire can see — a frame inflated
+/// past the size limit (pad to `oversize_bytes`; pass the protocol's
+/// kMaxFrameBytes + 1), an embedded newline splitting the frame in two,
+/// and a duplicated object member (the strict parser rejects
+/// duplicates). The contract under test (tests/serve_protocol_test.cpp):
+/// the daemon answers every such frame with a structured error response
+/// — it never crashes, hangs, or emits a malformed line.
+std::string corrupt_frame(const std::string& line, std::size_t oversize_bytes,
+                          util::Rng& rng);
+
 }  // namespace operon::benchgen

@@ -404,7 +404,12 @@ OperonResult run_operon(const model::Design& design,
   obs::Observation run_obs;
   OperonResult result;
   {
-    const obs::ScopedObservation scope(run_obs);
+    // Thread-scoped install: runs orchestrated concurrently on
+    // different threads (the serve daemon's executors) each feed their
+    // own per-run registry; a session-wide ScopedObservation sink stays
+    // visible to observer threads and receives this run via
+    // absorb_into_ambient below.
+    const obs::ScopedThreadObservation scope(run_obs);
     OPERON_SPAN("core.run_operon");
     validate_inputs(result, design, options.params);
     util::Timer timer;
@@ -451,7 +456,7 @@ OperonResult run_selection_only(std::vector<codesign::CandidateSet> sets,
   OperonResult result;
   result.sets = std::move(sets);
   {
-    const obs::ScopedObservation scope(run_obs);
+    const obs::ScopedThreadObservation scope(run_obs);
     OPERON_SPAN("core.run_selection_only");
     run_pipeline_tail(result, options);
     note_run_trip(result, run_token);

@@ -375,9 +375,15 @@ std::size_t LedgerCollector::size() const {
 
 namespace {
 std::atomic<LedgerCollector*> g_ledger{nullptr};
+/// Per-thread override (ScopedThreadLedger); only the owning thread
+/// touches its own slot. Mirrors obs::ScopedThreadObservation so
+/// concurrent run orchestrators (the serve daemon's executors) each
+/// collect their own job's record with its own case/seed context.
+thread_local LedgerCollector* t_ledger = nullptr;
 }  // namespace
 
 LedgerCollector* current_ledger() {
+  if (LedgerCollector* local = t_ledger) return local;
   return g_ledger.load(std::memory_order_acquire);
 }
 
@@ -387,6 +393,13 @@ ScopedLedger::ScopedLedger(LedgerCollector& collector)
 ScopedLedger::~ScopedLedger() {
   g_ledger.store(previous_, std::memory_order_release);
 }
+
+ScopedThreadLedger::ScopedThreadLedger(LedgerCollector& collector)
+    : previous_(t_ledger) {
+  t_ledger = &collector;
+}
+
+ScopedThreadLedger::~ScopedThreadLedger() { t_ledger = previous_; }
 
 void set_ledger_context(std::string case_id, std::uint64_t seed) {
   if (LedgerCollector* ledger = current_ledger()) {

@@ -182,16 +182,32 @@ class LedgerCollector {
   std::vector<LedgerRecord> records_;
 };
 
-/// Currently installed collector (nullptr when none).
+/// Currently installed collector: this thread's override when one is
+/// installed, else the process-wide one, else nullptr.
 LedgerCollector* current_ledger();
 
-/// RAII install, mirroring ScopedObservation.
+/// RAII install into the process-wide slot, mirroring ScopedObservation.
 class ScopedLedger {
  public:
   explicit ScopedLedger(LedgerCollector& collector);
   ~ScopedLedger();
   ScopedLedger(const ScopedLedger&) = delete;
   ScopedLedger& operator=(const ScopedLedger&) = delete;
+
+ private:
+  LedgerCollector* previous_;
+};
+
+/// RAII install into the calling thread's override slot, mirroring
+/// ScopedThreadObservation: shadows the process-wide collector on this
+/// thread only, so concurrent job executors each collect their own
+/// run's record under their own case/seed context.
+class ScopedThreadLedger {
+ public:
+  explicit ScopedThreadLedger(LedgerCollector& collector);
+  ~ScopedThreadLedger();
+  ScopedThreadLedger(const ScopedThreadLedger&) = delete;
+  ScopedThreadLedger& operator=(const ScopedThreadLedger&) = delete;
 
  private:
   LedgerCollector* previous_;

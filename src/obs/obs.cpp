@@ -11,6 +11,9 @@ namespace operon::obs {
 
 namespace {
 std::atomic<Observation*> g_current{nullptr};
+/// Per-thread override (ScopedThreadObservation). Plain pointer: only
+/// the owning thread ever reads or writes its own slot.
+thread_local Observation* t_current = nullptr;
 /// Serializes install/uninstall against with_current_observation so an
 /// out-of-run sampler never dereferences an observation that its owner
 /// is about to destroy. Taken only at run boundaries and per heartbeat
@@ -63,10 +66,17 @@ std::string describe_open_spans() {
   return os.str();
 }
 
-Observation* current() { return g_current.load(std::memory_order_acquire); }
+Observation* current() {
+  if (Observation* local = t_current) return local;
+  return g_current.load(std::memory_order_acquire);
+}
 
 void with_current_observation(const std::function<void(Observation*)>& fn) {
   const std::lock_guard<std::mutex> lock(g_install_mutex);
+  // Observer threads have no thread-local override, so this resolves to
+  // the process-wide slot — the only one whose uninstall the guard must
+  // serialize against (thread overrides die with their owning scope, on
+  // the thread that is inside fn's caller anyway).
   fn(current());
 }
 
@@ -89,6 +99,13 @@ ScopedObservation::~ScopedObservation() {
   const std::lock_guard<std::mutex> lock(g_install_mutex);
   g_current.store(previous_, std::memory_order_release);
 }
+
+ScopedThreadObservation::ScopedThreadObservation(Observation& observation)
+    : previous_(t_current) {
+  t_current = &observation;
+}
+
+ScopedThreadObservation::~ScopedThreadObservation() { t_current = previous_; }
 
 void add_counter(std::string_view name, std::uint64_t delta) {
   if (MetricsRegistry* metrics = current_metrics()) {

@@ -12,8 +12,24 @@
 // absorbs it into whatever observation enclosed it — typically a
 // CliObservation sink (sink.hpp) collecting session totals.
 //
-// Install/uninstall is meant for the thread that owns the run (nesting
-// is fine); worker threads only *feed* the current observation.
+// Two install scopes exist:
+//  * ScopedObservation — the process-wide slot. One per session (a CLI
+//    sink, a test harness); observer threads outside any run (the
+//    resource heartbeat, the watchdog) read this one.
+//  * ScopedThreadObservation — a thread-local override that shadows the
+//    process slot on the installing thread only. core::run_operon uses
+//    it for its per-run observation, so runs orchestrated concurrently
+//    on different threads (the serve daemon's job executors) each feed
+//    their own registry instead of clobbering one global slot. All
+//    pipeline emission happens on the orchestrating thread (hot loops
+//    accumulate locally and flush from serial sections — see
+//    metrics.hpp), so the thread-local scope captures exactly the run's
+//    activity.
+//
+// current() resolves thread-local first, then the process slot. Worker
+// threads only *feed* the current observation; install/uninstall of the
+// process slot is meant for the thread that owns the session (nesting
+// is fine on one thread).
 
 #include <cstdint>
 #include <functional>
@@ -35,7 +51,8 @@ struct Observation {
   }
 };
 
-/// Currently installed observation (nullptr when none).
+/// Currently installed observation: this thread's override when one is
+/// installed, else the process-wide slot, else nullptr.
 Observation* current();
 MetricsRegistry* current_metrics();
 TraceRecorder* current_trace();
@@ -48,14 +65,32 @@ TraceRecorder* current_trace();
 /// uninstall by construction and keep using the lock-free helpers.
 void with_current_observation(const std::function<void(Observation*)>& fn);
 
-/// RAII install: makes `observation` current, restores the previous one
-/// on destruction.
+/// RAII install into the process-wide slot: makes `observation` current
+/// for every thread without a thread-local override, restores the
+/// previous one on destruction.
 class ScopedObservation {
  public:
   explicit ScopedObservation(Observation& observation);
   ~ScopedObservation();
   ScopedObservation(const ScopedObservation&) = delete;
   ScopedObservation& operator=(const ScopedObservation&) = delete;
+
+ private:
+  Observation* previous_;
+};
+
+/// RAII install into the calling thread's override slot: shadows the
+/// process-wide observation on this thread only (other threads,
+/// including the heartbeat/watchdog observers, keep seeing the process
+/// slot). Nesting on one thread restores the previous override. This is
+/// the install concurrent run orchestrators must use — it touches no
+/// shared state, so any number of threads can hold one simultaneously.
+class ScopedThreadObservation {
+ public:
+  explicit ScopedThreadObservation(Observation& observation);
+  ~ScopedThreadObservation();
+  ScopedThreadObservation(const ScopedThreadObservation&) = delete;
+  ScopedThreadObservation& operator=(const ScopedThreadObservation&) = delete;
 
  private:
   Observation* previous_;

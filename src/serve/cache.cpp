@@ -1,0 +1,90 @@
+#include "serve/cache.hpp"
+
+#include <filesystem>
+#include <utility>
+#include <vector>
+
+namespace operon::serve {
+
+void LedgerWriter::append(const obs::LedgerRecord& record) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!path_.empty()) obs::append_ledger_record(path_, record);
+  ++appended_;
+}
+
+std::size_t LedgerWriter::appended() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return appended_;
+}
+
+std::size_t ResultCache::prime_from_ledger(const std::string& path) {
+  if (path.empty() || !std::filesystem::exists(path)) return 0;
+  const std::vector<obs::LedgerRecord> records = obs::read_ledger(path);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t primed = 0;
+  for (const obs::LedgerRecord& record : records) {
+    const std::string key = obs::ledger_key(record);
+    // A completed run is always the entry to keep; a tripped record
+    // only fills an empty slot (it is servable iff its trip matches
+    // the key's fingerprinted stop_at_checkpoint, which lookup checks).
+    const auto it = done_.find(key);
+    if (it != done_.end() && it->second.trip_checkpoint == 0 &&
+        record.trip_checkpoint != 0) {
+      continue;
+    }
+    if (it == done_.end()) ++primed;
+    done_[key] = record;
+  }
+  return primed;
+}
+
+bool ResultCache::lookup(const std::string& key, std::uint64_t expected_trip,
+                         obs::LedgerRecord* record) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = done_.find(key);
+  if (it == done_.end() || it->second.trip_checkpoint != expected_trip) {
+    return false;
+  }
+  *record = it->second;
+  return true;
+}
+
+ResultCache::Outcome ResultCache::acquire(const std::string& key,
+                                          std::uint64_t expected_trip,
+                                          obs::LedgerRecord* record) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    const auto it = done_.find(key);
+    if (it != done_.end() && it->second.trip_checkpoint == expected_trip) {
+      *record = it->second;
+      return Outcome::Hit;
+    }
+    if (pending_.insert(key).second) return Outcome::Owner;
+    pending_cv_.wait(lock);
+  }
+}
+
+void ResultCache::fulfill(const std::string& key,
+                          const obs::LedgerRecord& record, bool cacheable) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    pending_.erase(key);
+    if (cacheable) done_[key] = record;
+  }
+  pending_cv_.notify_all();
+}
+
+void ResultCache::abandon(const std::string& key) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    pending_.erase(key);
+  }
+  pending_cv_.notify_all();
+}
+
+std::size_t ResultCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return done_.size();
+}
+
+}  // namespace operon::serve

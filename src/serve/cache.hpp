@@ -1,0 +1,113 @@
+#pragma once
+// Ledger-backed result store for the serve daemon.
+//
+// ResultCache maps the ledger identity key (case / seed / options
+// fingerprint — obs::ledger_key) to the completed run's LedgerRecord.
+// Determinism makes this sound: two jobs with the same key MUST produce
+// semantically identical records, so serving the stored one is
+// indistinguishable from recomputing. A stored record is only served
+// when its trip checkpoint equals the requester's expected trip —
+// spec.stop_at_checkpoint, which is itself folded into the options
+// fingerprint, so the expectation is a pure function of the key. A
+// clean run (trip 0) serves specs with no stop request; a deterministic
+// replay trip (stop_at_checkpoint == N, tripped at N) serves identical
+// replay specs. A wall-clock budget trip or a mid-run cancel yields a
+// record whose trip checkpoint depends on timing — it is appended to
+// the ledger (real run history) but fails the trip match, so a fresh
+// submit recomputes.
+//
+// In-flight duplicates are deduplicated through acquire(): the first
+// job for a key becomes the owner and computes; concurrent jobs with
+// the same key block until the owner fulfills (then return the record)
+// or abandons (then the next waiter becomes the owner and recomputes).
+// This keeps the ledger record *set* for a job batch independent of
+// scheduling interleaving — the serve determinism contract.
+//
+// LedgerWriter is the single serialized append point for the daemon:
+// obs::append_ledger_record is crash-safe per call but stages through a
+// sibling temp file, so concurrent appenders from overlapping jobs
+// could interleave partial lines or clobber each other's stage file.
+// Every serve-side record goes through one LedgerWriter
+// (tests/serve_test.cpp hammers it from many threads and re-parses the
+// file; scripts/check_ledger.py validates it in CI).
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "obs/ledger.hpp"
+
+namespace operon::serve {
+
+class LedgerWriter {
+ public:
+  /// Empty path = discard (tests that only need the cache).
+  explicit LedgerWriter(std::string path) : path_(std::move(path)) {}
+
+  /// Append one record (crash-safe, serialized). Throws
+  /// util::CheckError on I/O failure.
+  void append(const obs::LedgerRecord& record);
+
+  std::size_t appended() const;
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  mutable std::mutex mutex_;
+  std::size_t appended_ = 0;
+};
+
+class ResultCache {
+ public:
+  enum class Outcome {
+    Hit,    ///< record filled from the cache
+    Owner,  ///< caller must compute and then fulfill() or abandon()
+  };
+
+  /// Warm the cache from an existing ledger file: one entry per key, a
+  /// completed run (trip_checkpoint == 0) always preferred over a
+  /// tripped one, last occurrence winning within each class (append
+  /// order). Tripped records are kept because a deterministic replay
+  /// trip IS the servable result for its key — lookup's trip match
+  /// keeps timing-dependent trips (wall-clock, cancel) from ever being
+  /// served. Returns the number of entries primed; a missing file
+  /// primes nothing. Malformed ledgers throw (util::CheckError) — a
+  /// corrupt store must fail loudly at startup, not serve garbage.
+  std::size_t prime_from_ledger(const std::string& path);
+
+  /// Non-blocking probe (the submit-time fast path). Hits only when the
+  /// stored record's trip checkpoint equals `expected_trip` (the
+  /// requesting spec's stop_at_checkpoint; 0 = ran to completion).
+  bool lookup(const std::string& key, std::uint64_t expected_trip,
+              obs::LedgerRecord* record) const;
+
+  /// Blocking probe-or-own: Hit fills `record`; Owner means the caller
+  /// holds the pending slot for `key` and MUST call fulfill or abandon.
+  /// Blocks while another owner is computing the same key. A stored
+  /// record whose trip mismatches `expected_trip` counts as a miss (the
+  /// owner's fulfill overwrites it).
+  Outcome acquire(const std::string& key, std::uint64_t expected_trip,
+                  obs::LedgerRecord* record);
+
+  /// Owner completed: store the record when `cacheable` (deterministic
+  /// outcome), release the pending slot, wake waiters.
+  void fulfill(const std::string& key, const obs::LedgerRecord& record,
+               bool cacheable);
+
+  /// Owner failed or produced an uncacheable record: release the
+  /// pending slot so the next waiter recomputes.
+  void abandon(const std::string& key);
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable pending_cv_;
+  std::map<std::string, obs::LedgerRecord> done_;
+  std::set<std::string> pending_;
+};
+
+}  // namespace operon::serve

@@ -1,0 +1,299 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/json.hpp"
+#include "util/strings.hpp"
+
+namespace operon::serve {
+
+namespace {
+
+using util::JsonType;
+using util::JsonValue;
+
+/// Seeds above 2^53 would silently round through the JSON double
+/// representation; reject them instead of corrupting the identity key.
+constexpr std::uint64_t kMaxExactUint = 1ULL << 53;
+
+std::uint64_t as_uint(const JsonValue& value, const char* where,
+                      std::uint64_t max = kMaxExactUint) {
+  OPERON_CHECK_MSG(value.is(JsonType::Number), "'" << where
+                   << "' must be a number");
+  const double number = value.as_number();
+  OPERON_CHECK_MSG(number >= 0.0 && number <= static_cast<double>(max) &&
+                   number == std::floor(number),
+                   "'" << where << "' must be an integer in [0, " << max
+                       << "], got " << number);
+  return static_cast<std::uint64_t>(number);
+}
+
+double as_budget(const JsonValue& value, const char* where) {
+  OPERON_CHECK_MSG(value.is(JsonType::Number), "'" << where
+                   << "' must be a number");
+  const double number = value.as_number();
+  OPERON_CHECK_MSG(std::isfinite(number) && number >= 0.0 &&
+                   number <= 1e9,
+                   "'" << where << "' must be a finite non-negative budget");
+  return number;
+}
+
+bool as_bool(const JsonValue& value, const char* where) {
+  OPERON_CHECK_MSG(value.is(JsonType::Bool), "'" << where
+                   << "' must be a boolean");
+  return value.as_bool();
+}
+
+std::string as_name(const JsonValue& value, const char* where,
+                    std::size_t max_bytes) {
+  OPERON_CHECK_MSG(value.is(JsonType::String), "'" << where
+                   << "' must be a string");
+  const std::string& text = value.as_string();
+  OPERON_CHECK_MSG(!text.empty() && text.size() <= max_bytes,
+                   "'" << where << "' must be 1.." << max_bytes << " bytes");
+  for (const char c : text) {
+    OPERON_CHECK_MSG(c >= 0x20 && c != 0x7f,
+                     "'" << where << "' must not contain control characters");
+  }
+  return text;
+}
+
+void check_frame_size(std::string_view line) {
+  OPERON_CHECK_MSG(line.size() <= kMaxFrameBytes,
+                   "frame of " << line.size() << " bytes exceeds the "
+                   << kMaxFrameBytes << "-byte protocol limit");
+}
+
+Op op_from_name(std::string_view name) {
+  if (name == "submit") return Op::Submit;
+  if (name == "status") return Op::Status;
+  if (name == "result") return Op::Result;
+  if (name == "cancel") return Op::Cancel;
+  if (name == "stats") return Op::Stats;
+  if (name == "shutdown") return Op::Shutdown;
+  OPERON_CHECK_MSG(false, "unknown op '" << name << "'");
+  return Op::Status;  // unreachable
+}
+
+}  // namespace
+
+std::string_view to_string(Op op) {
+  switch (op) {
+    case Op::Submit: return "submit";
+    case Op::Status: return "status";
+    case Op::Result: return "result";
+    case Op::Cancel: return "cancel";
+    case Op::Stats: return "stats";
+    case Op::Shutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+Request parse_request(std::string_view line) {
+  check_frame_size(line);
+  const JsonValue doc = util::parse_json(line);
+  OPERON_CHECK_MSG(doc.is(JsonType::Object), "request must be a JSON object");
+  const JsonValue* op_member = doc.find("op");
+  OPERON_CHECK_MSG(op_member != nullptr && op_member->is(JsonType::String),
+                   "request must carry a string 'op'");
+  Request request;
+  request.op = op_from_name(op_member->as_string());
+
+  const bool is_submit = request.op == Op::Submit;
+  for (const auto& [key, value] : doc.members()) {
+    if (key == "op") continue;
+    if (key == "job" &&
+        (request.op == Op::Status || request.op == Op::Result ||
+         request.op == Op::Cancel)) {
+      request.job = as_uint(value, "job");
+    } else if (key == "wait" && (is_submit || request.op == Op::Result)) {
+      request.wait = as_bool(value, "wait");
+    } else if (key == "cancel_running" && request.op == Op::Shutdown) {
+      request.cancel_running = as_bool(value, "cancel_running");
+    } else if (key == "case" && is_submit) {
+      request.spec.case_id = as_name(value, "case", 32);
+    } else if (key == "seed" && is_submit) {
+      request.spec.seed = as_uint(value, "seed");
+    } else if (key == "groups" && is_submit) {
+      request.spec.groups =
+          static_cast<std::size_t>(as_uint(value, "groups", 1000000));
+    } else if (key == "bits_lo" && is_submit) {
+      request.spec.bits_lo =
+          static_cast<std::size_t>(as_uint(value, "bits_lo", 64));
+    } else if (key == "bits_hi" && is_submit) {
+      request.spec.bits_hi =
+          static_cast<std::size_t>(as_uint(value, "bits_hi", 64));
+    } else if (key == "tenant" && is_submit) {
+      request.spec.tenant = as_name(value, "tenant", 64);
+    } else if (key == "priority" && is_submit) {
+      OPERON_CHECK_MSG(value.is(JsonType::Number),
+                       "'priority' must be a number");
+      const double p = value.as_number();
+      OPERON_CHECK_MSG(p >= -1e6 && p <= 1e6 && p == std::floor(p),
+                       "'priority' must be an integer in [-1e6, 1e6]");
+      request.spec.priority = static_cast<int>(p);
+    } else if (key == "solver" && is_submit) {
+      const std::string solver = as_name(value, "solver", 16);
+      OPERON_CHECK_MSG(solver == "lr" || solver == "ilp" || solver == "mip",
+                       "'solver' must be one of lr|ilp|mip");
+      request.spec.solver = solver;
+    } else if (key == "ilp_limit_s" && is_submit) {
+      request.spec.ilp_limit_s = as_budget(value, "ilp_limit_s");
+    } else if (key == "max_loss_db" && is_submit) {
+      request.spec.max_loss_db = as_budget(value, "max_loss_db");
+    } else if (key == "time_limit_s" && is_submit) {
+      request.spec.time_limit_s = as_budget(value, "time_limit_s");
+    } else if (key == "stop_at_checkpoint" && is_submit) {
+      request.spec.stop_at_checkpoint = as_uint(value, "stop_at_checkpoint");
+    } else {
+      OPERON_CHECK_MSG(false, "unknown member '" << key << "' for op '"
+                              << to_string(request.op) << "'");
+    }
+  }
+  if (is_submit) {
+    OPERON_CHECK_MSG(request.spec.bits_lo >= 1 &&
+                     request.spec.bits_lo <= request.spec.bits_hi,
+                     "'bits_lo'/'bits_hi' must satisfy 1 <= lo <= hi");
+  }
+  return request;
+}
+
+std::string to_json_line(const Request& request) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("op").value(to_string(request.op));
+  switch (request.op) {
+    case Op::Submit: {
+      const JobSpec& spec = request.spec;
+      if (spec.groups > 0) {
+        json.key("groups").value(static_cast<std::uint64_t>(spec.groups));
+        json.key("bits_lo").value(static_cast<std::uint64_t>(spec.bits_lo));
+        json.key("bits_hi").value(static_cast<std::uint64_t>(spec.bits_hi));
+      } else {
+        json.key("case").value(spec.case_id);
+      }
+      json.key("seed").value(spec.seed);
+      json.key("tenant").value(spec.tenant);
+      json.key("priority").value(spec.priority);
+      json.key("solver").value(spec.solver);
+      json.key("ilp_limit_s").value(spec.ilp_limit_s);
+      if (spec.max_loss_db > 0.0) {
+        json.key("max_loss_db").value(spec.max_loss_db);
+      }
+      if (spec.time_limit_s > 0.0) {
+        json.key("time_limit_s").value(spec.time_limit_s);
+      }
+      if (spec.stop_at_checkpoint != 0) {
+        json.key("stop_at_checkpoint").value(spec.stop_at_checkpoint);
+      }
+      if (request.wait) json.key("wait").value(true);
+      break;
+    }
+    case Op::Status:
+    case Op::Cancel:
+      json.key("job").value(request.job);
+      break;
+    case Op::Result:
+      json.key("job").value(request.job);
+      if (request.wait) json.key("wait").value(true);
+      break;
+    case Op::Shutdown:
+      if (request.cancel_running) json.key("cancel_running").value(true);
+      break;
+    case Op::Stats:
+      break;
+  }
+  json.end_object();
+  return json.str();
+}
+
+std::string to_json_line(const Response& response) {
+  // The record and stats payloads are themselves canonical JSON
+  // documents (ledger line, metrics registry); embedding goes through
+  // parse_json so the result is one well-formed tree, not string
+  // splicing.
+  JsonValue::Members members;
+  members.emplace_back("ok", JsonValue::make_bool(response.ok));
+  if (!response.op.empty()) {
+    members.emplace_back("op", JsonValue::make_string(response.op));
+  }
+  if (!response.error.empty()) {
+    members.emplace_back("error", JsonValue::make_string(response.error));
+  }
+  if (!response.detail.empty()) {
+    members.emplace_back("detail", JsonValue::make_string(response.detail));
+  }
+  if (response.job != 0) {
+    members.emplace_back(
+        "job", JsonValue::make_number(static_cast<double>(response.job)));
+  }
+  if (!response.state.empty()) {
+    members.emplace_back("state", JsonValue::make_string(response.state));
+  }
+  if (response.cached) {
+    members.emplace_back("cached", JsonValue::make_bool(true));
+  }
+  if (!response.key.empty()) {
+    members.emplace_back("key", JsonValue::make_string(response.key));
+  }
+  if (response.has_record) {
+    members.emplace_back("record",
+                         util::parse_json(obs::to_json_line(response.record)));
+  }
+  if (!response.stats_json.empty()) {
+    members.emplace_back("stats", util::parse_json(response.stats_json));
+  }
+  return util::write_json(JsonValue::make_object(std::move(members)));
+}
+
+Response parse_response(std::string_view line) {
+  check_frame_size(line);
+  const JsonValue doc = util::parse_json(line);
+  OPERON_CHECK_MSG(doc.is(JsonType::Object), "response must be a JSON object");
+  Response response;
+  bool saw_ok = false;
+  for (const auto& [key, value] : doc.members()) {
+    if (key == "ok") {
+      response.ok = as_bool(value, "ok");
+      saw_ok = true;
+    } else if (key == "op") {
+      response.op = as_name(value, "op", 16);
+    } else if (key == "error") {
+      response.error = as_name(value, "error", 64);
+    } else if (key == "detail") {
+      OPERON_CHECK_MSG(value.is(JsonType::String),
+                       "'detail' must be a string");
+      response.detail = value.as_string();
+    } else if (key == "job") {
+      response.job = as_uint(value, "job");
+    } else if (key == "state") {
+      response.state = as_name(value, "state", 16);
+    } else if (key == "cached") {
+      response.cached = as_bool(value, "cached");
+    } else if (key == "key") {
+      response.key = as_name(value, "key", 256);
+    } else if (key == "record") {
+      response.record = obs::ledger_record_from_json(value);
+      response.has_record = true;
+    } else if (key == "stats") {
+      response.stats_json = util::write_json(value);
+    } else {
+      OPERON_CHECK_MSG(false, "unknown response member '" << key << "'");
+    }
+  }
+  OPERON_CHECK_MSG(saw_ok, "response must carry 'ok'");
+  return response;
+}
+
+Response error_response(std::string_view error, std::string_view detail) {
+  Response response;
+  response.ok = false;
+  response.error = std::string(error);
+  response.detail = std::string(detail);
+  return response;
+}
+
+}  // namespace operon::serve

@@ -1,0 +1,108 @@
+#pragma once
+// serve protocol: line-delimited JSON (one request per line, one
+// response line per request) spoken over the operon_serve Unix socket.
+//
+// Requests name an op — submit / status / result / cancel / stats /
+// shutdown — plus the op's payload; parse_request is strict in the
+// json.hpp tradition: unknown ops, unknown members, mistyped or
+// out-of-range fields, NaN budgets, oversized frames, and trailing junk
+// all raise util::CheckError with a message, which the server turns
+// into a structured {"ok":false,"error":...} response — never a crash
+// or a hung connection (tests/serve_protocol_test.cpp holds it to
+// that, with the benchgen frame manglers as the adversary).
+//
+// A submit payload is a *job spec*, not a design: the daemon builds the
+// design deterministically through benchgen (a Table 1 case id or a
+// custom generator regime) so the job's identity is exactly the ledger
+// identity key (case, seed, options fingerprint) and the result cache
+// can answer repeats without recomputing. See DESIGN.md "Service
+// architecture" for the op semantics and the cache contract.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/ledger.hpp"
+
+namespace operon::serve {
+
+/// Hard cap on one protocol frame (request or response line), newline
+/// included. Longer frames are rejected with a structured error before
+/// any parse work happens — the strict JSON parser never sees them.
+inline constexpr std::size_t kMaxFrameBytes = 64 * 1024;
+
+enum class Op {
+  Submit,    ///< enqueue (or cache-answer) one route job
+  Status,    ///< one job's state, or the server totals when job == 0
+  Result,    ///< fetch a completed job's ledger record (optionally wait)
+  Cancel,    ///< stop a queued or running job at its next checkpoint
+  Stats,     ///< serve metrics registry snapshot (queue/cache/jobs)
+  Shutdown,  ///< stop admitting, drain (or cancel) in-flight, exit
+};
+
+std::string_view to_string(Op op);
+
+/// What to route, built deterministically on the server. Either a
+/// Table 1 case (`case_id`, groups == 0) or a custom benchgen regime
+/// (groups > 0). Everything here except `tenant` and `priority` is
+/// semantic: it feeds the design generator or the options fingerprint,
+/// so two specs with equal fields share one ledger identity key.
+struct JobSpec {
+  std::string case_id = "I1";  ///< "I1".."I5" (ignored when groups > 0)
+  std::uint64_t seed = 1;
+  std::size_t groups = 0;  ///< > 0: custom generator with this many groups
+  std::size_t bits_lo = 2;
+  std::size_t bits_hi = 8;
+  std::string tenant = "default";  ///< fair-share bucket, not semantic
+  int priority = 0;                ///< higher pops first, not semantic
+  std::string solver = "lr";       ///< lr | ilp | mip
+  double ilp_limit_s = 20.0;       ///< exact-solver budget
+  double max_loss_db = 0.0;        ///< 0 = tech default (lm)
+  double time_limit_s = 0.0;       ///< whole-run budget; 0 = unlimited
+  std::uint64_t stop_at_checkpoint = 0;  ///< deterministic trip replay
+};
+
+struct Request {
+  Op op = Op::Status;
+  std::uint64_t job = 0;  ///< status/result/cancel target (0 = server)
+  bool wait = false;      ///< result/submit: block until the job settles
+  bool cancel_running = false;  ///< shutdown: cancel instead of drain
+  JobSpec spec;                 ///< submit payload
+};
+
+/// Strict parse of one request line. Throws util::CheckError on any
+/// malformed frame: not a JSON object, unknown op, unknown member,
+/// mistyped/mis-ranged field, non-finite budget, or a frame longer than
+/// kMaxFrameBytes.
+Request parse_request(std::string_view line);
+
+/// One-line serialization (no trailing newline) — the client half.
+std::string to_json_line(const Request& request);
+
+struct Response {
+  bool ok = false;
+  std::string op;      ///< echoed op name ("" when the op never parsed)
+  std::string error;   ///< machine-readable slug when !ok (see DESIGN.md)
+  std::string detail;  ///< human-readable elaboration
+  std::uint64_t job = 0;
+  std::string state;   ///< queued | running | done | failed | canceled
+  bool cached = false; ///< submit/result: answered from the result cache
+  std::string key;     ///< ledger identity key (case/seed/fingerprint)
+  bool has_record = false;
+  obs::LedgerRecord record;  ///< result payload when has_record
+  std::string stats_json;    ///< stats payload: metrics registry document
+};
+
+/// One-line serialization (no trailing newline). Always a single line —
+/// every embedded string is JSON-escaped, so the line framing cannot be
+/// broken by job/tenant names.
+std::string to_json_line(const Response& response);
+
+/// Strict parse of one response line (the client half). Throws
+/// util::CheckError on malformed input.
+Response parse_response(std::string_view line);
+
+/// Shorthand for a failed response (op left empty when unknown).
+Response error_response(std::string_view error, std::string_view detail);
+
+}  // namespace operon::serve

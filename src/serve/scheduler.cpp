@@ -1,0 +1,60 @@
+#include "serve/scheduler.hpp"
+
+namespace operon::serve {
+
+bool FairQueue::push(const QueuedJob& job) {
+  if (capacity_ != 0 && size_ >= capacity_) return false;
+  tenants_[job.tenant].lanes[job.priority].push_back(job);
+  ++size_;
+  return true;
+}
+
+bool FairQueue::pop(QueuedJob* out) {
+  if (size_ == 0) return false;
+  // Best candidate: (priority desc, started asc, tenant asc). Each
+  // tenant's own best is its highest non-empty lane's front; the map
+  // iteration order makes every tie-break deterministic.
+  TenantQueue* best_tenant = nullptr;
+  const QueuedJob* best = nullptr;
+  for (auto& [name, tenant] : tenants_) {
+    if (tenant.lanes.empty()) continue;
+    const QueuedJob& head = tenant.lanes.begin()->second.front();
+    if (best == nullptr || head.priority > best->priority ||
+        (head.priority == best->priority &&
+         tenant.started < best_tenant->started)) {
+      best_tenant = &tenant;
+      best = &head;
+    }
+  }
+  if (best == nullptr) return false;
+  *out = *best;
+  auto lane = best_tenant->lanes.begin();
+  lane->second.pop_front();
+  if (lane->second.empty()) best_tenant->lanes.erase(lane);
+  ++best_tenant->started;
+  --size_;
+  return true;
+}
+
+bool FairQueue::remove(std::uint64_t id) {
+  for (auto& [name, tenant] : tenants_) {
+    for (auto lane = tenant.lanes.begin(); lane != tenant.lanes.end();
+         ++lane) {
+      for (auto it = lane->second.begin(); it != lane->second.end(); ++it) {
+        if (it->id != id) continue;
+        lane->second.erase(it);
+        if (lane->second.empty()) tenant.lanes.erase(lane);
+        --size_;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::uint64_t FairQueue::started(const std::string& tenant) const {
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.started;
+}
+
+}  // namespace operon::serve

@@ -1,0 +1,70 @@
+#pragma once
+// Deterministic bounded job queue with priority classes and per-tenant
+// fair share. Pop order is a pure function of the push/pop history —
+// never of wall-clock or thread timing — so a queue drained serially
+// replays identically (tests/serve_test.cpp pins the order):
+//
+//  1. highest priority class first (priority is global: an urgent job
+//     beats every backlog);
+//  2. within a class, the tenant that has been *started* least often so
+//     far (the fair share — a tenant streaming hundreds of jobs cannot
+//     starve one that submits occasionally), ties broken by tenant name;
+//  3. within a tenant, submission order (sequence number).
+//
+// The queue is NOT internally synchronized: the Server drives it under
+// its own mutex (admission, cancel-while-queued, and the executor pop
+// all need the same lock anyway). Capacity is enforced at push — a full
+// queue is the admission-control signal the server turns into a
+// structured `backpressure` rejection.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+namespace operon::serve {
+
+struct QueuedJob {
+  std::uint64_t id = 0;
+  std::string tenant;
+  int priority = 0;
+  std::uint64_t sequence = 0;  ///< admission order, assigned by the server
+};
+
+class FairQueue {
+ public:
+  /// `capacity` == 0 means unbounded (tests); otherwise push rejects
+  /// once `size() == capacity`.
+  explicit FairQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// False when the queue is full (backpressure) — the job was NOT
+  /// admitted.
+  bool push(const QueuedJob& job);
+
+  /// Pop the next job per the deterministic order above; false when
+  /// empty. Charges one "started" credit to the popped job's tenant.
+  bool pop(QueuedJob* out);
+
+  /// Remove a still-queued job by id (cancel); false when not queued.
+  bool remove(std::uint64_t id);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Jobs started so far for `tenant` (fair-share credits).
+  std::uint64_t started(const std::string& tenant) const;
+
+ private:
+  struct TenantQueue {
+    /// Per-priority FIFO lanes, keyed descending so begin() is the
+    /// tenant's best class. Sequence order within a lane is push order.
+    std::map<int, std::deque<QueuedJob>, std::greater<int>> lanes;
+    std::uint64_t started = 0;
+  };
+
+  std::size_t capacity_;
+  std::size_t size_ = 0;
+  std::map<std::string, TenantQueue> tenants_;
+};
+
+}  // namespace operon::serve

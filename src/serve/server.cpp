@@ -1,0 +1,478 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "benchgen/benchgen.hpp"
+#include "model/design.hpp"
+#include "obs/resource.hpp"
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace operon::serve {
+
+core::OperonOptions options_for(const JobSpec& spec) {
+  core::OperonOptions options;
+  if (spec.solver == "ilp") {
+    options.solver = core::SolverKind::IlpExact;
+  } else if (spec.solver == "mip") {
+    options.solver = core::SolverKind::MipLiteral;
+  } else {
+    OPERON_CHECK_MSG(spec.solver == "lr",
+                     "unknown solver '" << spec.solver << "'");
+    options.solver = core::SolverKind::Lr;
+  }
+  options.select.time_limit_s = spec.ilp_limit_s;
+  if (spec.max_loss_db > 0.0) {
+    options.params.optical.max_loss_db = spec.max_loss_db;
+  }
+  options.run_time_limit_s = spec.time_limit_s;
+  options.stop_at_checkpoint = spec.stop_at_checkpoint;
+  return options;
+}
+
+std::string case_label_for(const JobSpec& spec) {
+  if (spec.groups == 0) return spec.case_id;
+  return util::format("custom-g%zu-b%zu-%zu", spec.groups, spec.bits_lo,
+                      spec.bits_hi);
+}
+
+std::string job_key(const JobSpec& spec) {
+  return util::format("%s/%llu/%s", case_label_for(spec).c_str(),
+                      static_cast<unsigned long long>(spec.seed),
+                      core::options_fingerprint(options_for(spec)).c_str());
+}
+
+namespace {
+
+benchgen::BenchmarkSpec benchmark_for(const JobSpec& spec,
+                                      const std::string& case_label) {
+  benchgen::BenchmarkSpec bench;
+  if (spec.groups == 0) {
+    bench = benchgen::table1_spec(spec.case_id);
+  } else {
+    bench.name = case_label;
+    bench.num_groups = spec.groups;
+    bench.bits_lo = spec.bits_lo;
+    bench.bits_hi = spec.bits_hi;
+  }
+  bench.seed = spec.seed;
+  return bench;
+}
+
+}  // namespace
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)),
+      queue_(config_.queue_limit),
+      writer_(config_.ledger_path) {
+  const std::size_t primed = cache_.prime_from_ledger(config_.ledger_path);
+  if (primed != 0) metrics_.add_counter("serve.cache.primed", primed);
+  metrics_.set_gauge("serve.cache.size", static_cast<double>(cache_.size()));
+  std::size_t workers = config_.workers;
+  if (workers == 0) {
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back(&Server::worker_loop, this);
+  }
+}
+
+Server::~Server() { shutdown(false); }
+
+bool Server::draining() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return draining_;
+}
+
+obs::MetricsSnapshot Server::metrics() const { return metrics_.snapshot(); }
+
+std::size_t Server::cache_size() const { return cache_.size(); }
+
+std::size_t Server::records_appended() const { return writer_.appended(); }
+
+Response Server::handle(const Request& request) {
+  switch (request.op) {
+    case Op::Submit: return submit(request);
+    case Op::Status: return status(request);
+    case Op::Result: return result(request);
+    case Op::Cancel: return cancel(request);
+    case Op::Stats: return stats();
+    case Op::Shutdown: {
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        draining_ = true;
+        if (request.cancel_running) {
+          QueuedJob queued;
+          while (queue_.pop(&queued)) {
+            Job* job = find_job(queued.id);
+            if (job == nullptr) continue;
+            settle(*job, "canceled");
+            metrics_.add_counter("serve.jobs.canceled");
+          }
+          for (auto& [id, job] : jobs_) {
+            if (job->state == "running") {
+              job->stop.request_stop(util::StopReason::Interrupt);
+            }
+          }
+          update_gauges_locked();
+        }
+      }
+      queue_cv_.notify_all();
+      done_cv_.notify_all();
+      Response response;
+      response.ok = true;
+      response.state = "draining";
+      return response;
+    }
+  }
+  return error_response("internal-error", "unhandled op");
+}
+
+std::string Server::handle_line(std::string_view line) {
+  Response response;
+  std::string op_name;
+  try {
+    const Request request = parse_request(line);
+    op_name = std::string(to_string(request.op));
+    response = handle(request);
+  } catch (const util::CheckError& error) {
+    response = error_response("bad-request", error.what());
+  } catch (const std::exception& error) {  // never let a frame kill the daemon
+    response = error_response("internal-error", error.what());
+  }
+  if (response.op.empty()) response.op = op_name;
+  return to_json_line(response);
+}
+
+Response Server::submit(const Request& request) {
+  const JobSpec& spec = request.spec;
+  if (spec.groups == 0) {
+    const std::vector<std::string> cases = benchgen::table1_cases();
+    if (std::find(cases.begin(), cases.end(), spec.case_id) == cases.end()) {
+      return error_response(
+          "unknown-case",
+          util::format("case '%s' is not a Table 1 id and no 'groups' "
+                       "was given",
+                       spec.case_id.c_str()));
+    }
+  }
+  const std::string case_label = case_label_for(spec);
+  const std::string key = job_key(spec);
+
+  std::uint64_t id = 0;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (draining_) {
+      return error_response("shutting-down",
+                            "server is draining; submit rejected");
+    }
+    metrics_.add_counter("serve.submitted");
+
+    auto owned = std::make_unique<Job>();
+    Job& job = *owned;
+    job.id = next_id_;
+    job.spec = spec;
+    job.case_label = case_label;
+    job.key = key;
+
+    // Fast path: a cached key settles as done without queueing — the
+    // warm-resubmission contract (second pass recomputes nothing).
+    obs::LedgerRecord cached_record;
+    if (cache_.lookup(key, spec.stop_at_checkpoint, &cached_record)) {
+      metrics_.add_counter("serve.cache.hit");
+      job.record = std::move(cached_record);
+      job.has_record = true;
+      job.cached = true;
+      job.state = "done";
+      id = job.id;
+      ++next_id_;
+      jobs_.emplace(id, std::move(owned));
+      Response response;
+      response.ok = true;
+      fill_job_fields(job, &response);
+      return response;
+    }
+
+    QueuedJob queued;
+    queued.id = job.id;
+    queued.tenant = spec.tenant;
+    queued.priority = spec.priority;
+    queued.sequence = next_sequence_;
+    if (!queue_.push(queued)) {
+      metrics_.add_counter("serve.rejected.backpressure");
+      update_gauges_locked();
+      return error_response(
+          "backpressure",
+          util::format("queue is full (%zu jobs); retry later",
+                       queue_.size()));
+    }
+    ++next_sequence_;
+    id = job.id;
+    ++next_id_;
+    if (config_.session_stop) job.stop.chain(config_.session_stop);
+    jobs_.emplace(id, std::move(owned));
+    update_gauges_locked();
+
+    if (request.wait) {
+      queue_cv_.notify_one();
+      Job* waiting = find_job(id);
+      done_cv_.wait(lock, [&] { return settled(*waiting); });
+      Response response;
+      response.ok = waiting->state != "failed";
+      fill_job_fields(*waiting, &response);
+      if (waiting->state == "failed") {
+        response.error = "job-failed";
+        response.detail = waiting->error;
+      }
+      return response;
+    }
+  }
+  queue_cv_.notify_one();
+  Response response;
+  response.ok = true;
+  response.job = id;
+  response.state = "queued";
+  response.key = key;
+  return response;
+}
+
+Response Server::status(const Request& request) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Response response;
+  if (request.job == 0) {
+    response.ok = true;
+    response.state = draining_ ? "draining" : "serving";
+    response.detail = util::format(
+        "%zu queued, %zu running, %zu jobs, %zu cached", queue_.size(),
+        inflight_, jobs_.size(), cache_.size());
+    return response;
+  }
+  const Job* job = find_job(request.job);
+  if (job == nullptr) {
+    return error_response("unknown-job",
+                          util::format("no job %llu",
+                                       static_cast<unsigned long long>(
+                                           request.job)));
+  }
+  response.ok = true;
+  fill_job_fields(*job, &response);
+  response.has_record = false;  // records only travel on `result`
+  return response;
+}
+
+Response Server::result(const Request& request) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  Job* job = find_job(request.job);
+  if (job == nullptr) {
+    return error_response("unknown-job",
+                          util::format("no job %llu",
+                                       static_cast<unsigned long long>(
+                                           request.job)));
+  }
+  if (request.wait) {
+    done_cv_.wait(lock, [&] { return settled(*job); });
+  }
+  if (!settled(*job)) {
+    Response response = error_response(
+        "not-done", "job has not settled yet; pass \"wait\": true to block");
+    fill_job_fields(*job, &response);
+    response.has_record = false;
+    return response;
+  }
+  Response response;
+  response.ok = job->state != "failed";
+  fill_job_fields(*job, &response);
+  if (job->state == "failed") {
+    response.error = "job-failed";
+    response.detail = job->error;
+  }
+  return response;
+}
+
+Response Server::cancel(const Request& request) {
+  Response response;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Job* job = find_job(request.job);
+    if (job == nullptr) {
+      return error_response("unknown-job",
+                            util::format("no job %llu",
+                                         static_cast<unsigned long long>(
+                                             request.job)));
+    }
+    if (job->state == "queued") {
+      OPERON_CHECK_MSG(queue_.remove(job->id),
+                       "queued job " << job->id << " missing from the queue");
+      settle(*job, "canceled");
+      metrics_.add_counter("serve.jobs.canceled");
+      update_gauges_locked();
+    } else if (job->state == "running") {
+      // Honored at the pipeline's next numbered checkpoint; the job
+      // settles with a degraded run-interrupted record.
+      job->stop.request_stop(util::StopReason::Interrupt);
+    }
+    response.ok = true;
+    fill_job_fields(*job, &response);
+    response.has_record = false;
+  }
+  done_cv_.notify_all();
+  return response;
+}
+
+Response Server::stats() const {
+  Response response;
+  response.ok = true;
+  response.stats_json = metrics_.to_json();
+  return response;
+}
+
+void Server::shutdown(bool cancel_running) {
+  Request request;
+  request.op = Op::Shutdown;
+  request.cancel_running = cancel_running;
+  (void)handle(request);
+  std::vector<std::thread> to_join;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!joined_) {
+      joined_ = true;
+      to_join.swap(workers_);
+    }
+  }
+  for (std::thread& worker : to_join) worker.join();
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock, [&] { return draining_ || !queue_.empty(); });
+      QueuedJob queued;
+      if (!queue_.pop(&queued)) {
+        if (draining_) return;
+        continue;
+      }
+      job = find_job(queued.id);
+      OPERON_CHECK_MSG(job != nullptr,
+                       "popped job " << queued.id << " has no record");
+      job->state = "running";
+      ++inflight_;
+      update_gauges_locked();
+    }
+    execute(*job);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --inflight_;
+      update_gauges_locked();
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void Server::execute(Job& job) {
+  obs::LedgerRecord hit;
+  if (cache_.acquire(job.key, job.spec.stop_at_checkpoint, &hit) ==
+      ResultCache::Outcome::Hit) {
+    metrics_.add_counter("serve.cache.hit");
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job.record = std::move(hit);
+    job.has_record = true;
+    job.cached = true;
+    settle(job, "done");
+    return;
+  }
+  metrics_.add_counter("serve.cache.miss");
+  try {
+    const model::Design design =
+        benchgen::generate_benchmark(benchmark_for(job.spec, job.case_label));
+    core::OperonOptions options = options_for(job.spec);
+    options.threads = config_.job_threads;
+    options.stop = job.stop.token();
+
+    obs::LedgerCollector collector;
+    collector.set_context(job.case_label, job.spec.seed);
+    std::optional<obs::Watchdog> watchdog;
+    if (config_.watchdog_ms > 0) {
+      watchdog.emplace(options.stop,
+                       std::chrono::milliseconds(config_.watchdog_ms));
+    }
+    {
+      const obs::ScopedThreadLedger scope(collector);
+      (void)core::run_operon(design, options);
+    }
+    watchdog.reset();
+
+    const std::vector<obs::LedgerRecord> records = collector.records();
+    OPERON_CHECK_MSG(records.size() == 1,
+                     "run emitted " << records.size()
+                                    << " ledger records, expected 1");
+    const obs::LedgerRecord& record = records.front();
+    writer_.append(record);
+    // A deterministic outcome — the trip is exactly what the spec asked
+    // for (0 = clean completion, N = a stop_at_checkpoint replay that
+    // reached its checkpoint) — is cacheable; a wall-clock trip or a
+    // cancel is real run history but must never be served back (see
+    // serve/cache.hpp).
+    const bool cacheable =
+        record.trip_checkpoint == job.spec.stop_at_checkpoint;
+    cache_.fulfill(job.key, record, cacheable);
+    metrics_.set_gauge("serve.cache.size", static_cast<double>(cache_.size()));
+
+    // The job-level source never trips itself — the run's chained
+    // source does, and reports the interrupt in the diagnostics.
+    bool canceled = false;
+    for (const auto& [diag, count] : record.diagnostics) {
+      if (diag == "run-interrupted" && count > 0) canceled = true;
+    }
+    metrics_.add_counter(canceled ? "serve.jobs.canceled"
+                                  : "serve.jobs.completed");
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job.record = record;
+    job.has_record = true;
+    settle(job, canceled ? "canceled" : "done");
+  } catch (const util::CheckError& error) {
+    cache_.abandon(job.key);
+    metrics_.add_counter("serve.jobs.failed");
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job.error = error.what();
+    settle(job, "failed");
+  }
+}
+
+void Server::settle(Job& job, std::string_view state) {
+  job.state = std::string(state);
+}
+
+Server::Job* Server::find_job(std::uint64_t id) {
+  const auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : it->second.get();
+}
+
+bool Server::settled(const Job& job) const {
+  return job.state == "done" || job.state == "failed" ||
+         job.state == "canceled";
+}
+
+void Server::update_gauges_locked() {
+  metrics_.set_gauge("serve.queue.depth", static_cast<double>(queue_.size()));
+  metrics_.set_gauge("serve.jobs.inflight", static_cast<double>(inflight_));
+}
+
+void Server::fill_job_fields(const Job& job, Response* response) const {
+  response->job = job.id;
+  response->state = job.state;
+  response->cached = job.cached;
+  response->key = job.key;
+  if (job.has_record) {
+    response->has_record = true;
+    response->record = job.record;
+  }
+}
+
+}  // namespace operon::serve

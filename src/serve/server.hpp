@@ -1,0 +1,168 @@
+#pragma once
+// Serve daemon core: deterministic job queue + executor pool + ledger
+// result store, behind a transport-agnostic request handler. The Unix
+// socket front end (serve/socket.hpp) and tests both drive the same
+// handle() entry point, so every protocol behavior is testable without
+// a socket.
+//
+// Determinism contract (tests/serve_determinism_test.cpp): for a fixed
+// job set, the *set* of semantic ledger records is bit-identical
+// regardless of submission order, executor count, scheduling
+// interleaving, or per-job --threads. Three mechanisms carry it:
+//   1. each job's outcome depends only on (case, seed, options) — the
+//      pipeline's own determinism invariant;
+//   2. duplicate keys are deduplicated (ResultCache::acquire), so a
+//      record is computed once no matter how submissions interleave;
+//   3. every record reaches the ledger through one serialized
+//      LedgerWriter — concurrent appends cannot interleave lines.
+//
+// Job lifecycle: queued -> running -> done | failed | canceled.
+// A submit whose key is already cached settles as done immediately
+// (cached=true) without entering the queue. Cancel of a queued job
+// removes it from the queue; cancel of a running job requests its
+// StopSource, which the pipeline honors at its next numbered checkpoint
+// and degrades (run-interrupted record — appended, never cached).
+//
+// Serve-side metrics live in the server's OWN registry (serve.* names:
+// queue depth, in-flight, cache hits, rejections), never in the ambient
+// observation — the executors install thread-scoped observations for
+// their jobs, and mixing daemon bookkeeping into a job's per-run
+// snapshot would break record pairing across runs.
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "obs/metrics.hpp"
+#include "serve/cache.hpp"
+#include "serve/protocol.hpp"
+#include "serve/scheduler.hpp"
+#include "util/stop.hpp"
+
+namespace operon::serve {
+
+struct ServerConfig {
+  /// Persistent result store (JSONL ledger). Warmed into the cache at
+  /// startup; every completed job appends. Empty = no persistence.
+  std::string ledger_path;
+  /// Executor threads draining the queue.
+  std::size_t workers = 1;
+  /// OperonOptions::threads for each job (0 = all cores). Excluded from
+  /// the options fingerprint, so the cache key is identical at any
+  /// value.
+  std::size_t job_threads = 1;
+  /// Admission bound: submits beyond this many queued jobs get a
+  /// structured `backpressure` rejection (0 = unbounded).
+  std::size_t queue_limit = 64;
+  /// Per-job stall guard: abort (default Watchdog action) when a
+  /// running job goes this long without a checkpoint (0 = off).
+  int watchdog_ms = 0;
+  /// Daemon session stop (SIGINT/SIGTERM chain). Every job's
+  /// StopSource chains to it, so a session interrupt stops all running
+  /// jobs at their next checkpoint.
+  util::StopToken session_stop;
+};
+
+class Server {
+ public:
+  /// Primes the cache from `ledger_path` (throws util::CheckError if
+  /// the file exists but is malformed — fail loudly, don't serve
+  /// garbage) and starts the executor threads.
+  explicit Server(ServerConfig config);
+  ~Server();  ///< implies shutdown(false)
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Handle one parsed request. Blocking only for wait=true
+  /// submit/result. Throws only on internal invariant violations;
+  /// protocol-level problems come back as ok=false responses.
+  Response handle(const Request& request);
+
+  /// Transport entry point: parse one JSONL frame, dispatch, serialize.
+  /// NEVER throws — malformed frames become structured error responses
+  /// (tests/serve_protocol_test.cpp holds it to that under mangled
+  /// input).
+  std::string handle_line(std::string_view line);
+
+  /// Drain: stop admitting, finish queued + running jobs (or cancel
+  /// them when `cancel_running`), join the executors. Idempotent.
+  void shutdown(bool cancel_running);
+
+  /// True once a shutdown request was seen (the socket loop's exit
+  /// signal).
+  bool draining() const;
+
+  /// Serve-side bookkeeping (queue depth, cache hits, ...).
+  obs::MetricsSnapshot metrics() const;
+  std::size_t cache_size() const;
+  std::size_t records_appended() const;
+
+ private:
+  struct Job {
+    std::uint64_t id = 0;
+    JobSpec spec;
+    std::string case_label;  ///< design/case id as recorded in the ledger
+    std::string key;         ///< case / seed / options fingerprint
+    std::string state = "queued";
+    bool cached = false;
+    bool has_record = false;
+    obs::LedgerRecord record;
+    std::string error;  ///< failure detail when state == "failed"
+    util::StopSource stop;
+  };
+
+  Response submit(const Request& request);
+  Response status(const Request& request);
+  Response result(const Request& request);
+  Response cancel(const Request& request);
+  Response stats() const;
+
+  void worker_loop();
+  void execute(Job& job);
+  void settle(Job& job, std::string_view state);
+
+  Job* find_job(std::uint64_t id);
+  bool settled(const Job& job) const;
+  void update_gauges_locked();
+  void fill_job_fields(const Job& job, Response* response) const;
+
+  ServerConfig config_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;  ///< executors wait here
+  std::condition_variable done_cv_;   ///< wait=true requests wait here
+  FairQueue queue_;
+  std::map<std::uint64_t, std::unique_ptr<Job>> jobs_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_sequence_ = 1;
+  std::size_t inflight_ = 0;
+  bool draining_ = false;
+  bool joined_ = false;
+
+  ResultCache cache_;
+  LedgerWriter writer_;
+  mutable obs::MetricsRegistry metrics_;
+  std::vector<std::thread> workers_;
+};
+
+/// Build the OperonOptions a job spec denotes — shared by the server
+/// (execution + fingerprint) and by anything that needs the cache key
+/// for a spec without running it. Thread count and stop token are NOT
+/// set here (both are execution details outside the fingerprint).
+core::OperonOptions options_for(const JobSpec& spec);
+
+/// The ledger case label for a spec: the Table 1 id, or a canonical
+/// "custom-g<groups>-b<lo>-<hi>" name for generator jobs.
+std::string case_label_for(const JobSpec& spec);
+
+/// The full cache/ledger identity key for a spec.
+std::string job_key(const JobSpec& spec);
+
+}  // namespace operon::serve

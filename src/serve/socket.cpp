@@ -1,0 +1,213 @@
+#include "serve/socket.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "serve/server.hpp"
+#include "util/check.hpp"
+
+namespace operon::serve {
+
+namespace {
+
+/// A run of garbage longer than a frame plus its newline is
+/// unrecoverable — there is no resync point in a JSONL stream.
+constexpr std::size_t kMaxBufferedBytes = kMaxFrameBytes + 1;
+
+void send_all(int fd, std::string_view bytes) {
+  // MSG_NOSIGNAL: a client that hung up must not SIGPIPE the daemon;
+  // the failed send just ends this connection's loop.
+  while (!bytes.empty()) {
+    const ssize_t sent =
+        ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (sent <= 0) return;
+    bytes.remove_prefix(static_cast<std::size_t>(sent));
+  }
+}
+
+sockaddr_un socket_address(const std::string& path) {
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  OPERON_CHECK_MSG(path.size() < sizeof(address.sun_path),
+                   "socket path '" << path << "' exceeds the "
+                   << sizeof(address.sun_path) - 1 << "-byte sun_path limit");
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+  return address;
+}
+
+}  // namespace
+
+SocketServer::SocketServer(Server& server, std::string path)
+    : server_(server), path_(std::move(path)) {
+  const sockaddr_un address = socket_address(path_);
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  OPERON_CHECK_MSG(listen_fd_ >= 0,
+                   "socket() failed: " << std::strerror(errno));
+  ::unlink(path_.c_str());  // the daemon owns its path; drop stale sockets
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    const int bind_errno = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    OPERON_CHECK_MSG(false, "bind('" << path_ << "') failed: "
+                                     << std::strerror(bind_errno));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const int listen_errno = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(path_.c_str());
+    OPERON_CHECK_MSG(false, "listen('" << path_ << "') failed: "
+                                       << std::strerror(listen_errno));
+  }
+}
+
+SocketServer::~SocketServer() {
+  stop();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  ::unlink(path_.c_str());
+}
+
+void SocketServer::run() {
+  for (;;) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) return;
+    }
+    if (server_.draining()) return;
+    pollfd poller{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&poller, 1, /*timeout_ms=*/200);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (ready == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    connection_fds_.push_back(fd);
+    connections_.emplace_back(&SocketServer::connection_loop, this, fd);
+  }
+}
+
+void SocketServer::stop() {
+  std::vector<std::thread> to_join;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+    for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+    to_join.swap(connections_);
+  }
+  for (std::thread& connection : to_join) connection.join();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const int fd : connection_fds_) ::close(fd);
+    connection_fds_.clear();
+  }
+}
+
+void SocketServer::connection_loop(int fd) {
+  // Close + deregister under the registry mutex, so stop()'s shutdown
+  // sweep can never hit a recycled fd number.
+  const auto finish = [&] {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it =
+        std::find(connection_fds_.begin(), connection_fds_.end(), fd);
+    if (it != connection_fds_.end()) {
+      connection_fds_.erase(it);
+      ::close(fd);
+    }
+  };
+  std::string pending;
+  char chunk[4096];
+  bool overflow = false;
+  while (!overflow) {
+    const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (got <= 0) break;  // EOF, reset, or shutdown(fd)
+    pending.append(chunk, static_cast<std::size_t>(got));
+    for (;;) {
+      const std::size_t newline = pending.find('\n');
+      if (newline == std::string::npos) {
+        // An unterminated run longer than a frame can never become a
+        // valid line — don't buffer it further.
+        overflow = pending.size() > kMaxBufferedBytes;
+        break;
+      }
+      // A terminated line over the limit is equally unrecoverable: the
+      // sender's framing is broken, not just one request.
+      if (newline > kMaxFrameBytes) {
+        overflow = true;
+        break;
+      }
+      std::string line = pending.substr(0, newline);
+      pending.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      send_all(fd, server_.handle_line(line) + "\n");
+    }
+  }
+  if (overflow) {
+    send_all(fd, to_json_line(error_response(
+                     "frame-too-large",
+                     "no line within the frame size limit")) +
+                     "\n");
+  }
+  finish();
+}
+
+Client::Client(const std::string& path) {
+  const sockaddr_un address = socket_address(path);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  OPERON_CHECK_MSG(fd_ >= 0, "socket() failed: " << std::strerror(errno));
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    const int connect_errno = errno;
+    ::close(fd_);
+    fd_ = -1;
+    OPERON_CHECK_MSG(false, "connect('" << path << "') failed: "
+                                        << std::strerror(connect_errno)
+                                        << " (is operon_serve running?)");
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Response Client::call(const Request& request) {
+  return parse_response(call_line(to_json_line(request)));
+}
+
+std::string Client::call_line(std::string_view line) {
+  std::string frame(line);
+  frame.push_back('\n');
+  send_all(fd_, frame);
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string response = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return response;
+    }
+    OPERON_CHECK_MSG(buffer_.size() <= kMaxBufferedBytes,
+                     "daemon response exceeds the frame size limit");
+    char chunk[4096];
+    const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    OPERON_CHECK_MSG(got > 0, "daemon closed the connection mid-response");
+    buffer_.append(chunk, static_cast<std::size_t>(got));
+  }
+}
+
+}  // namespace operon::serve

@@ -1,0 +1,89 @@
+#pragma once
+// Unix-domain-socket transport for the serve daemon: line-delimited
+// JSONL frames, one request per line, one response line per request.
+// All protocol behavior lives in Server::handle_line — this layer only
+// frames bytes, so it can be (and is) tested with raw garbage streams
+// (tests/serve_protocol_test.cpp) without touching job semantics.
+//
+// Framing rules, enforced per connection:
+//   - a frame is the bytes up to '\n' (the newline is not part of it);
+//   - a connection that accumulates more than kMaxFrameBytes without a
+//     newline gets one `frame-too-large` error response and is closed
+//     (the stream is unrecoverable — there is no resync point);
+//   - responses always end in exactly one '\n'.
+//
+// Shutdown order matters: drain the Server first (settles every job, so
+// blocked wait=true requests complete), then stop() the socket loop —
+// it shuts down live connection fds, which unblocks their readers.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace operon::serve {
+
+class Server;
+
+class SocketServer {
+ public:
+  /// Bind + listen on `path` (an existing socket file is unlinked
+  /// first — the daemon owns its path). Throws util::CheckError on any
+  /// socket failure or an over-long path (sun_path limit).
+  SocketServer(Server& server, std::string path);
+  ~SocketServer();  ///< implies stop()
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Accept loop: spawns one thread per connection, returns once the
+  /// Server reports draining() (polled) or stop() is called.
+  void run();
+
+  /// Wake the accept loop and unblock every live connection reader.
+  /// Idempotent; joins connection threads.
+  void stop();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void connection_loop(int fd);
+
+  Server& server_;
+  std::string path_;
+  int listen_fd_ = -1;
+
+  std::mutex mutex_;
+  bool stopping_ = false;
+  std::vector<int> connection_fds_;
+  std::vector<std::thread> connections_;
+};
+
+/// Blocking JSONL client for the daemon socket (operon_cli submit and
+/// the serve tests).
+class Client {
+ public:
+  /// Connect to the daemon at `path`; throws util::CheckError when the
+  /// daemon is not there.
+  explicit Client(const std::string& path);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// One request/response round trip.
+  Response call(const Request& request);
+
+  /// Raw round trip: send `line` + '\n', return the response line
+  /// (without the newline). Used by protocol tests to send frames the
+  /// typed API could never produce.
+  std::string call_line(std::string_view line);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes read past the last response line
+};
+
+}  // namespace operon::serve

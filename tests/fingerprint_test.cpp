@@ -1,0 +1,135 @@
+// Options-fingerprint stability suite. The fingerprint is the third
+// component of the ledger identity key — serve's result cache and
+// compare_ledgers both pair records by it — so its value for a given
+// option set must stay stable across refactors, and its field coverage
+// must follow the documented rule (DESIGN.md "Service architecture"):
+// every semantic field is folded in (budgets included — a time-limited
+// run is NOT comparable to an unlimited one), thread count is excluded
+// (results are bit-identical at any --threads value).
+//
+// The golden strings below pin the CURRENT fingerprints. An
+// intentional semantic-default change legitimately moves them — retune
+// the pins in the same commit and say so; an UNINTENTIONAL change here
+// means cache histories silently split (every warm daemon recomputes)
+// or, worse, unlike runs pair up.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/flow.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace oc = operon::core;
+namespace os = operon::serve;
+
+namespace {
+
+TEST(Fingerprint, GoldenDefaultOptions) {
+  EXPECT_EQ(oc::options_fingerprint(oc::OperonOptions{}),
+            "lr-241b85f3edbc1b56");
+}
+
+TEST(Fingerprint, GoldenSolverVariants) {
+  oc::OperonOptions ilp;
+  ilp.solver = oc::SolverKind::IlpExact;
+  EXPECT_EQ(oc::options_fingerprint(ilp), "ilp-exact-e371fbdd75e42af1");
+  oc::OperonOptions mip;
+  mip.solver = oc::SolverKind::MipLiteral;
+  EXPECT_EQ(oc::options_fingerprint(mip), "mip-literal-ffd369daf5c74b9a");
+}
+
+TEST(Fingerprint, GoldenServeDefaultJob) {
+  // The fingerprint a default serve submit resolves to (ilp_limit_s
+  // 20, lr solver). The serve cache key and every warm daemon restart
+  // depend on this staying put.
+  EXPECT_EQ(os::job_key(os::JobSpec{}), "I1/1/lr-762befb437412ada");
+}
+
+TEST(Fingerprint, ThreadCountIsExcluded) {
+  oc::OperonOptions base;
+  const std::string fingerprint = oc::options_fingerprint(base);
+  for (const std::size_t threads : {std::size_t{0}, std::size_t{2},
+                                    std::size_t{8}, std::size_t{64}}) {
+    oc::OperonOptions variant;
+    variant.threads = threads;
+    EXPECT_EQ(oc::options_fingerprint(variant), fingerprint)
+        << "threads=" << threads << " changed the fingerprint";
+  }
+}
+
+TEST(Fingerprint, RunBudgetsAreIncluded) {
+  const std::string base = oc::options_fingerprint(oc::OperonOptions{});
+
+  oc::OperonOptions time_limited;
+  time_limited.run_time_limit_s = 1.5;
+  EXPECT_NE(oc::options_fingerprint(time_limited), base);
+
+  oc::OperonOptions replay;
+  replay.stop_at_checkpoint = 3;
+  EXPECT_NE(oc::options_fingerprint(replay), base);
+
+  oc::OperonOptions solver_budget;
+  solver_budget.select.time_limit_s = 7.0;
+  EXPECT_NE(oc::options_fingerprint(solver_budget), base);
+
+  oc::OperonOptions loss;
+  loss.params.optical.max_loss_db = 12.0;
+  EXPECT_NE(oc::options_fingerprint(loss), base);
+}
+
+TEST(Fingerprint, SemanticFieldsSeparateCleanly) {
+  // Distinct semantic variants must not collide pairwise (a collision
+  // would silently pair unlike runs in the ledger).
+  std::vector<std::string> fingerprints;
+  {
+    oc::OperonOptions o;
+    fingerprints.push_back(oc::options_fingerprint(o));
+  }
+  {
+    oc::OperonOptions o;
+    o.solver = oc::SolverKind::IlpExact;
+    fingerprints.push_back(oc::options_fingerprint(o));
+  }
+  {
+    oc::OperonOptions o;
+    o.run_wdm_stage = false;
+    fingerprints.push_back(oc::options_fingerprint(o));
+  }
+  {
+    oc::OperonOptions o;
+    o.run_time_limit_s = 0.25;
+    fingerprints.push_back(oc::options_fingerprint(o));
+  }
+  {
+    oc::OperonOptions o;
+    o.stop_at_checkpoint = 17;
+    fingerprints.push_back(oc::options_fingerprint(o));
+  }
+  for (std::size_t i = 0; i < fingerprints.size(); ++i) {
+    for (std::size_t j = i + 1; j < fingerprints.size(); ++j) {
+      EXPECT_NE(fingerprints[i], fingerprints[j])
+          << "variants " << i << " and " << j << " collide";
+    }
+  }
+}
+
+TEST(Fingerprint, ServeJobKeyLayout) {
+  os::JobSpec spec;
+  spec.groups = 4;
+  spec.bits_lo = 2;
+  spec.bits_hi = 4;
+  spec.seed = 11;
+  const std::string key = os::job_key(spec);
+  const std::string expected_prefix = "custom-g4-b2-4/11/";
+  ASSERT_EQ(key.rfind(expected_prefix, 0), 0u) << key;
+  // Tenant, priority, and wait flags are scheduling concerns — they
+  // must NOT move the key (or identical runs would never dedup).
+  os::JobSpec scheduled = spec;
+  scheduled.tenant = "someone-else";
+  scheduled.priority = 9;
+  EXPECT_EQ(os::job_key(scheduled), key);
+}
+
+}  // namespace

@@ -1,0 +1,219 @@
+// Serve determinism contract: for a fixed job set, the SEMANTIC ledger
+// record set is bit-identical regardless of submission order, executor
+// count, scheduling interleaving, or per-job thread count — verified
+// with the same compare_ledgers sentinel that gates CI. Also covers the
+// warm-resubmission contract (a second identical batch recomputes
+// nothing) and the deterministic cancel replay (a mid-run cancel's trip
+// checkpoint, replayed via stop_at_checkpoint, reproduces the record
+// bit-identically).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/ledger.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/stop.hpp"
+
+namespace os = operon::serve;
+namespace oo = operon::obs;
+
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+os::JobSpec job(std::uint64_t seed, std::size_t groups,
+                const std::string& tenant, int priority) {
+  os::JobSpec spec;
+  spec.groups = groups;
+  spec.bits_lo = 2;
+  spec.bits_hi = 4;
+  spec.seed = seed;
+  spec.tenant = tenant;
+  spec.priority = priority;
+  spec.ilp_limit_s = 5.0;
+  return spec;
+}
+
+/// A mixed batch: several tenants, priorities, a duplicate spec (must
+/// deduplicate to ONE record), and one deterministic early-stop replay
+/// job (cacheable trip).
+std::vector<os::JobSpec> batch() {
+  std::vector<os::JobSpec> jobs;
+  jobs.push_back(job(1, 4, "alpha", 0));
+  jobs.push_back(job(2, 4, "alpha", 2));
+  jobs.push_back(job(3, 5, "beta", 0));
+  jobs.push_back(job(4, 3, "beta", 1));
+  jobs.push_back(job(1, 4, "gamma", 5));  // duplicate of jobs[0]
+  os::JobSpec replay = job(5, 4, "alpha", 0);
+  replay.stop_at_checkpoint = 3;
+  jobs.push_back(replay);
+  return jobs;
+}
+
+/// Submit every spec (in the given order), wait for all, shut down.
+void run_batch(const std::string& ledger_path,
+               const std::vector<os::JobSpec>& jobs, std::size_t workers,
+               std::size_t job_threads) {
+  os::ServerConfig config;
+  config.ledger_path = ledger_path;
+  config.workers = workers;
+  config.job_threads = job_threads;
+  os::Server server(config);
+  std::vector<std::uint64_t> ids;
+  for (const os::JobSpec& spec : jobs) {
+    os::Request request;
+    request.op = os::Op::Submit;
+    request.spec = spec;
+    const os::Response response = server.handle(request);
+    ASSERT_TRUE(response.ok) << response.error << ": " << response.detail;
+    ids.push_back(response.job);
+  }
+  for (const std::uint64_t id : ids) {
+    os::Request request;
+    request.op = os::Op::Result;
+    request.job = id;
+    request.wait = true;
+    const os::Response response = server.handle(request);
+    ASSERT_TRUE(response.ok) << response.error << ": " << response.detail;
+    EXPECT_EQ(response.state, "done");
+  }
+  server.shutdown(/*cancel_running=*/false);
+}
+
+TEST(ServeDeterminism, RecordSetInvariantAcrossOrderWorkersAndThreads) {
+  const std::string baseline_path = temp_path("serve_det_baseline.jsonl");
+  const std::string shuffled_path = temp_path("serve_det_shuffled.jsonl");
+  std::remove(baseline_path.c_str());
+  std::remove(shuffled_path.c_str());
+
+  // Baseline: submission order, one executor, one thread per job.
+  run_batch(baseline_path, batch(), /*workers=*/1, /*job_threads=*/1);
+
+  // Current: reversed submission order, parallel executors, all-core
+  // jobs — maximally different interleaving.
+  std::vector<os::JobSpec> reversed = batch();
+  std::reverse(reversed.begin(), reversed.end());
+  run_batch(shuffled_path, reversed, /*workers=*/4, /*job_threads=*/0);
+
+  const std::vector<oo::LedgerRecord> baseline =
+      oo::read_ledger(baseline_path);
+  const std::vector<oo::LedgerRecord> current =
+      oo::read_ledger(shuffled_path);
+  // The duplicate spec deduplicates: 6 submissions, 5 records.
+  EXPECT_EQ(baseline.size(), 5u);
+  EXPECT_EQ(current.size(), 5u);
+
+  const oo::CompareResult verdict = oo::compare_ledgers(baseline, current);
+  EXPECT_TRUE(verdict.semantic_ok()) << verdict.to_json();
+  EXPECT_EQ(verdict.matched, 5u);
+
+  std::remove(baseline_path.c_str());
+  std::remove(shuffled_path.c_str());
+}
+
+TEST(ServeDeterminism, WarmResubmissionRecomputesNothing) {
+  const std::string path = temp_path("serve_det_warm.jsonl");
+  std::remove(path.c_str());
+  run_batch(path, batch(), /*workers=*/2, /*job_threads=*/1);
+  const std::size_t cold_records = oo::read_ledger(path).size();
+  ASSERT_EQ(cold_records, 5u);
+
+  // Second pass over the same ledger: every submit must be a cache hit
+  // — including the stop_at_checkpoint replay job (deterministic trip,
+  // cacheable) — and the ledger must not grow.
+  os::ServerConfig config;
+  config.ledger_path = path;
+  config.workers = 2;
+  os::Server server(config);
+  const std::vector<os::JobSpec> jobs = batch();
+  for (const os::JobSpec& spec : jobs) {
+    os::Request request;
+    request.op = os::Op::Submit;
+    request.spec = spec;
+    request.wait = true;
+    const os::Response response = server.handle(request);
+    ASSERT_TRUE(response.ok) << response.error << ": " << response.detail;
+    EXPECT_TRUE(response.cached) << "seed " << spec.seed << " recomputed";
+  }
+  EXPECT_EQ(server.records_appended(), 0u);
+  const oo::MetricsSnapshot snapshot = server.metrics();
+  EXPECT_EQ(snapshot.counter("serve.cache.hit"), jobs.size());
+  EXPECT_EQ(snapshot.find("serve.cache.miss"), nullptr)
+      << "warm pass recorded a cache miss";
+  server.shutdown(false);
+  EXPECT_EQ(oo::read_ledger(path).size(), cold_records);
+  std::remove(path.c_str());
+}
+
+TEST(ServeDeterminism, CancelReplayReproducesTheInterruptedRecord) {
+  // Interrupt a job deterministically (a pre-requested session stop —
+  // the daemon's SIGINT path — trips at checkpoint 1), read the trip
+  // checkpoint from its record, then replay that checkpoint via
+  // stop_at_checkpoint on servers with different thread counts: the
+  // replays must agree with each other bit-identically and reproduce
+  // the interrupted run's semantics (the TimeLimit/Interrupt/
+  // DebugCheckpoint equivalence, through the whole serve stack).
+  os::JobSpec slow = job(7, 40, "alpha", 0);
+  slow.bits_hi = 7;
+
+  oo::LedgerRecord interrupted;
+  {
+    operon::util::StopSource session;
+    session.request_stop();
+    os::ServerConfig config;
+    config.workers = 1;
+    config.session_stop = session.token();
+    os::Server server(config);
+    os::Request submit;
+    submit.op = os::Op::Submit;
+    submit.spec = slow;
+    submit.wait = true;
+    const os::Response response = server.handle(submit);
+    ASSERT_TRUE(response.ok);
+    EXPECT_EQ(response.state, "canceled");
+    ASSERT_TRUE(response.has_record);
+    interrupted = response.record;
+    server.shutdown(true);
+  }
+  ASSERT_EQ(interrupted.trip_checkpoint, 1u);
+  ASSERT_TRUE(interrupted.degraded);
+
+  os::JobSpec replay = slow;
+  replay.stop_at_checkpoint = interrupted.trip_checkpoint;
+  oo::LedgerRecord replayed[2];
+  const std::size_t thread_counts[2] = {1, 0};
+  for (int i = 0; i < 2; ++i) {
+    os::ServerConfig config;
+    config.workers = 1;
+    config.job_threads = thread_counts[i];
+    os::Server server(config);
+    os::Request submit;
+    submit.op = os::Op::Submit;
+    submit.spec = replay;
+    submit.wait = true;
+    const os::Response response = server.handle(submit);
+    ASSERT_TRUE(response.ok);
+    ASSERT_TRUE(response.has_record);
+    replayed[i] = response.record;
+    server.shutdown(false);
+  }
+  // Replays agree with each other bit-identically at any thread
+  // count...
+  EXPECT_TRUE(oo::semantic_equal(replayed[0], replayed[1]));
+  // ...and reproduce the interrupted run's semantics. The identity keys
+  // differ by construction (stop_at_checkpoint is fingerprinted), so
+  // compare the outcome fields directly.
+  EXPECT_EQ(replayed[0].trip_checkpoint, interrupted.trip_checkpoint);
+  EXPECT_EQ(replayed[0].degraded, interrupted.degraded);
+  EXPECT_EQ(replayed[0].metrics.size(), interrupted.metrics.size());
+}
+
+}  // namespace

@@ -1,0 +1,259 @@
+// Serve protocol robustness: the strict frame parser's golden paths and
+// rejection paths, a seeded corrupt_frame sweep through
+// Server::handle_line (every mangled frame must yield one parseable,
+// structured response — never a crash, throw, or hang), and raw
+// socket-level abuse against a live SocketServer (garbage bytes,
+// unterminated oversized frames, mid-frame disconnects) after which the
+// daemon must still serve clean clients.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchgen/corrupt.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/socket.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace os = operon::serve;
+namespace ou = operon::util;
+
+namespace {
+
+os::Request parse(const std::string& line) {
+  return os::parse_request(line);
+}
+
+// -- parser golden paths ---------------------------------------------------
+
+TEST(ServeProtocol, SubmitRoundTripsThroughTheWire) {
+  os::Request request;
+  request.op = os::Op::Submit;
+  request.spec.case_id = "I3";
+  request.spec.seed = 42;
+  request.spec.tenant = "team-a";
+  request.spec.priority = 2;
+  request.spec.solver = "ilp";
+  request.spec.ilp_limit_s = 3.5;
+  request.spec.time_limit_s = 1.0;
+  request.wait = true;
+  const os::Request parsed = parse(os::to_json_line(request));
+  EXPECT_EQ(parsed.op, os::Op::Submit);
+  EXPECT_EQ(parsed.spec.case_id, "I3");
+  EXPECT_EQ(parsed.spec.seed, 42u);
+  EXPECT_EQ(parsed.spec.tenant, "team-a");
+  EXPECT_EQ(parsed.spec.priority, 2);
+  EXPECT_EQ(parsed.spec.solver, "ilp");
+  EXPECT_EQ(parsed.spec.ilp_limit_s, 3.5);
+  EXPECT_EQ(parsed.spec.time_limit_s, 1.0);
+  EXPECT_TRUE(parsed.wait);
+}
+
+TEST(ServeProtocol, CustomGeneratorSubmitRoundTrips) {
+  os::Request request;
+  request.op = os::Op::Submit;
+  request.spec.groups = 12;
+  request.spec.bits_lo = 3;
+  request.spec.bits_hi = 6;
+  const os::Request parsed = parse(os::to_json_line(request));
+  EXPECT_EQ(parsed.spec.groups, 12u);
+  EXPECT_EQ(parsed.spec.bits_lo, 3u);
+  EXPECT_EQ(parsed.spec.bits_hi, 6u);
+}
+
+TEST(ServeProtocol, ResponseRoundTripsWithRecordAndStats) {
+  os::Response response;
+  response.ok = true;
+  response.op = "result";
+  response.job = 7;
+  response.state = "done";
+  response.cached = true;
+  response.key = "I1/7/lr-0000000000000000";
+  response.has_record = true;
+  response.record.case_id = "I1";
+  response.record.seed = 7;
+  response.record.options = "lr-0000000000000000";
+  response.record.solver = "lr";
+  const os::Response parsed = os::parse_response(os::to_json_line(response));
+  EXPECT_TRUE(parsed.ok);
+  EXPECT_EQ(parsed.job, 7u);
+  EXPECT_TRUE(parsed.cached);
+  ASSERT_TRUE(parsed.has_record);
+  EXPECT_EQ(parsed.record, response.record);
+}
+
+// -- parser rejection paths ------------------------------------------------
+
+TEST(ServeProtocol, RejectsMalformedFrames) {
+  EXPECT_THROW(parse("not json"), ou::CheckError);
+  EXPECT_THROW(parse("[1,2,3]"), ou::CheckError);
+  EXPECT_THROW(parse("{}"), ou::CheckError);                  // no op
+  EXPECT_THROW(parse(R"({"op":"fly"})"), ou::CheckError);     // unknown op
+  EXPECT_THROW(parse(R"({"op":"status","bogus":1})"),         // unknown member
+               ou::CheckError);
+  EXPECT_THROW(parse(R"({"op":"status","case":"I1"})"),       // submit-only
+               ou::CheckError);
+  EXPECT_THROW(parse(R"({"op":"submit","seed":-1})"), ou::CheckError);
+  EXPECT_THROW(parse(R"({"op":"submit","seed":1.5})"), ou::CheckError);
+  EXPECT_THROW(parse(R"({"op":"submit","seed":1e300})"),      // > 2^53
+               ou::CheckError);
+  EXPECT_THROW(parse(R"({"op":"submit","solver":"cp-sat"})"), ou::CheckError);
+  EXPECT_THROW(parse(R"({"op":"submit","bits_lo":5,"bits_hi":2})"),
+               ou::CheckError);
+  EXPECT_THROW(parse(R"({"op":"submit","tenant":""})"), ou::CheckError);
+  EXPECT_THROW(parse(R"({"op":"submit","ilp_limit_s":-2})"), ou::CheckError);
+  EXPECT_THROW(parse(std::string(R"({"op":"submit","case":")") +
+                     std::string(os::kMaxFrameBytes, 'x') + R"("})"),
+               ou::CheckError);  // over the frame limit
+}
+
+// -- handle_line under seeded corruption -----------------------------------
+
+TEST(ServeProtocol, HandleLineAnswersEveryCorruptFrameStructurally) {
+  os::ServerConfig config;
+  config.workers = 1;
+  os::Server server(config);
+
+  // Base frames: cheap ops plus a submit whose job is trivial, so the
+  // rare mangle that stays valid JSON still costs nothing.
+  const std::vector<std::string> bases = {
+      R"({"op":"status","job":3})",
+      R"({"op":"stats"})",
+      R"({"op":"result","job":1})",
+      R"({"op":"cancel","job":2})",
+      R"({"op":"submit","groups":1,"bits_lo":2,"bits_hi":2,"seed":1})",
+  };
+  ou::Rng rng(2024);
+  for (int round = 0; round < 200; ++round) {
+    const std::string& base = bases[static_cast<std::size_t>(
+        round % static_cast<int>(bases.size()))];
+    const std::string mangled =
+        operon::benchgen::corrupt_frame(base, os::kMaxFrameBytes + 1, rng);
+    std::string reply;
+    ASSERT_NO_THROW(reply = server.handle_line(mangled))
+        << "frame: " << mangled.substr(0, 120);
+    // Whatever happened, the reply is one well-formed response line.
+    os::Response response;
+    ASSERT_NO_THROW(response = os::parse_response(reply))
+        << "reply: " << reply.substr(0, 200);
+    if (!response.ok) {
+      EXPECT_FALSE(response.error.empty());
+    }
+  }
+  server.shutdown(/*cancel_running=*/true);
+}
+
+// -- socket-level abuse ----------------------------------------------------
+
+class ServeSocketTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    socket_path_ = testing::TempDir() + "serve_protocol_test.sock";
+    os::ServerConfig config;
+    config.workers = 1;
+    server_ = std::make_unique<os::Server>(config);
+    socket_ = std::make_unique<os::SocketServer>(*server_, socket_path_);
+    acceptor_ = std::thread([this] { socket_->run(); });
+  }
+
+  void TearDown() override {
+    server_->shutdown(/*cancel_running=*/true);
+    socket_->stop();
+    acceptor_.join();
+    socket_.reset();
+    server_.reset();
+  }
+
+  std::string socket_path_;
+  std::unique_ptr<os::Server> server_;
+  std::unique_ptr<os::SocketServer> socket_;
+  std::thread acceptor_;
+};
+
+TEST_F(ServeSocketTest, GarbageBytesGetStructuredErrors) {
+  os::Client client(socket_path_);
+  const std::string reply = client.call_line("\x01\x02{{{]]]garbage");
+  const os::Response response = os::parse_response(reply);
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error, "bad-request");
+
+  // The same connection keeps working after a bad frame.
+  os::Request stats;
+  stats.op = os::Op::Stats;
+  EXPECT_TRUE(client.call(stats).ok);
+}
+
+TEST_F(ServeSocketTest, UnterminatedOversizedFrameIsCutOff) {
+  os::Client client(socket_path_);
+  // More than kMaxFrameBytes without a newline: the daemon answers
+  // frame-too-large and closes this connection...
+  const std::string reply =
+      client.call_line(std::string(os::kMaxFrameBytes + 64, 'a'));
+  const os::Response response = os::parse_response(reply);
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error, "frame-too-large");
+
+  // ...but keeps serving fresh connections.
+  os::Client fresh(socket_path_);
+  os::Request stats;
+  stats.op = os::Op::Stats;
+  EXPECT_TRUE(fresh.call(stats).ok);
+}
+
+TEST_F(ServeSocketTest, MidFrameDisconnectDoesNotWedgeTheDaemon) {
+  // Raw socket: send half a frame (no newline) and vanish.
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  ASSERT_LT(socket_path_.size(), sizeof(address.sun_path));
+  std::memcpy(address.sun_path, socket_path_.c_str(),
+              socket_path_.size() + 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                      sizeof(address)),
+            0);
+  ASSERT_GT(::send(fd, "{\"op\":\"sta", 10, 0), 0);
+  ::close(fd);
+
+  os::Client client(socket_path_);
+  os::Request stats;
+  stats.op = os::Op::Stats;
+  EXPECT_TRUE(client.call(stats).ok);
+}
+
+TEST_F(ServeSocketTest, FullJobLifecycleOverTheSocket) {
+  os::Client client(socket_path_);
+  os::Request submit;
+  submit.op = os::Op::Submit;
+  submit.spec.groups = 3;
+  submit.spec.bits_lo = 2;
+  submit.spec.bits_hi = 3;
+  submit.spec.seed = 5;
+  submit.wait = true;
+  const os::Response done = client.call(submit);
+  ASSERT_TRUE(done.ok) << done.error << ": " << done.detail;
+  EXPECT_EQ(done.state, "done");
+  ASSERT_TRUE(done.has_record);
+  EXPECT_EQ(done.record.seed, 5u);
+
+  os::Request result;
+  result.op = os::Op::Result;
+  result.job = done.job;
+  const os::Response fetched = client.call(result);
+  ASSERT_TRUE(fetched.ok);
+  EXPECT_TRUE(fetched.has_record);
+  EXPECT_TRUE(operon::obs::semantic_equal(fetched.record, done.record));
+}
+
+}  // namespace

@@ -1,0 +1,541 @@
+// Serve daemon core suite: deterministic fair-share queue order, the
+// ledger-backed result cache (dedup, cacheability policy, warm
+// priming), the single-writer ledger append point under a many-thread
+// hammer, and the Server job lifecycle (submit/status/result/cancel,
+// backpressure, drain) through the in-process handle() API.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/ledger.hpp"
+#include "serve/cache.hpp"
+#include "serve/protocol.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/server.hpp"
+#include "util/check.hpp"
+#include "util/stop.hpp"
+
+namespace os = operon::serve;
+namespace oo = operon::obs;
+
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+os::QueuedJob queued(std::uint64_t id, const std::string& tenant,
+                     int priority, std::uint64_t sequence) {
+  os::QueuedJob job;
+  job.id = id;
+  job.tenant = tenant;
+  job.priority = priority;
+  job.sequence = sequence;
+  return job;
+}
+
+std::vector<std::uint64_t> drain_ids(os::FairQueue& queue) {
+  std::vector<std::uint64_t> ids;
+  os::QueuedJob job;
+  while (queue.pop(&job)) ids.push_back(job.id);
+  return ids;
+}
+
+/// A tiny custom-generator job spec (sub-second compute).
+os::JobSpec tiny_spec(std::uint64_t seed) {
+  os::JobSpec spec;
+  spec.groups = 4;
+  spec.bits_lo = 2;
+  spec.bits_hi = 4;
+  spec.seed = seed;
+  spec.ilp_limit_s = 5.0;
+  return spec;
+}
+
+os::Request submit_request(const os::JobSpec& spec, bool wait) {
+  os::Request request;
+  request.op = os::Op::Submit;
+  request.spec = spec;
+  request.wait = wait;
+  return request;
+}
+
+os::Request job_request(os::Op op, std::uint64_t job, bool wait = false) {
+  os::Request request;
+  request.op = op;
+  request.job = job;
+  request.wait = wait;
+  return request;
+}
+
+bool has_diag(const oo::LedgerRecord& record, const std::string& name) {
+  for (const auto& [diag, count] : record.diagnostics) {
+    if (diag == name && count > 0) return true;
+  }
+  return false;
+}
+
+// -- FairQueue -------------------------------------------------------------
+
+TEST(FairQueue, PriorityClassBeatsEverything) {
+  os::FairQueue queue(0);
+  ASSERT_TRUE(queue.push(queued(1, "a", 0, 1)));
+  ASSERT_TRUE(queue.push(queued(2, "a", 0, 2)));
+  ASSERT_TRUE(queue.push(queued(3, "b", 5, 3)));
+  ASSERT_TRUE(queue.push(queued(4, "a", 5, 4)));
+  // Priority 5 first (tenant "a" and "b" both have 0 starts -> "a"
+  // wins the name tie), then the priority-0 backlog in FIFO order.
+  EXPECT_EQ(drain_ids(queue), (std::vector<std::uint64_t>{4, 3, 1, 2}));
+}
+
+TEST(FairQueue, FairShareRoundRobinsTenants) {
+  os::FairQueue queue(0);
+  // Tenant "hog" floods; tenant "meek" submits one job later.
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(queue.push(queued(i, "hog", 0, i)));
+  }
+  ASSERT_TRUE(queue.push(queued(9, "meek", 0, 5)));
+  // First pop goes to "hog" (0 starts each, name order); the moment
+  // "hog" has one start and "meek" has none, "meek" runs next.
+  EXPECT_EQ(drain_ids(queue), (std::vector<std::uint64_t>{1, 9, 2, 3, 4}));
+}
+
+TEST(FairQueue, PopOrderIsAPureFunctionOfHistory) {
+  // Same pushes, interleaved pops: replays identically.
+  for (int round = 0; round < 2; ++round) {
+    os::FairQueue queue(0);
+    ASSERT_TRUE(queue.push(queued(1, "b", 1, 1)));
+    ASSERT_TRUE(queue.push(queued(2, "a", 1, 2)));
+    os::QueuedJob job;
+    ASSERT_TRUE(queue.pop(&job));
+    EXPECT_EQ(job.id, 2u);  // same priority, same starts -> tenant "a"
+    ASSERT_TRUE(queue.push(queued(3, "b", 9, 3)));
+    ASSERT_TRUE(queue.pop(&job));
+    EXPECT_EQ(job.id, 3u);  // the higher class jumps the fair share
+    ASSERT_TRUE(queue.pop(&job));
+    EXPECT_EQ(job.id, 1u);
+    EXPECT_TRUE(queue.empty());
+  }
+}
+
+TEST(FairQueue, CapacityBoundsAdmission) {
+  os::FairQueue queue(2);
+  EXPECT_TRUE(queue.push(queued(1, "a", 0, 1)));
+  EXPECT_TRUE(queue.push(queued(2, "a", 0, 2)));
+  EXPECT_FALSE(queue.push(queued(3, "a", 0, 3)));  // backpressure
+  os::QueuedJob job;
+  ASSERT_TRUE(queue.pop(&job));
+  EXPECT_TRUE(queue.push(queued(3, "a", 0, 3)));  // slot freed
+}
+
+TEST(FairQueue, RemoveCancelsQueuedJob) {
+  os::FairQueue queue(0);
+  ASSERT_TRUE(queue.push(queued(1, "a", 0, 1)));
+  ASSERT_TRUE(queue.push(queued(2, "a", 0, 2)));
+  EXPECT_TRUE(queue.remove(1));
+  EXPECT_FALSE(queue.remove(1));  // already gone
+  EXPECT_EQ(drain_ids(queue), (std::vector<std::uint64_t>{2}));
+}
+
+// -- ResultCache -----------------------------------------------------------
+
+oo::LedgerRecord record_for(const std::string& case_id, std::uint64_t seed,
+                            std::uint64_t trip = 0) {
+  oo::LedgerRecord record;
+  record.case_id = case_id;
+  record.seed = seed;
+  record.options = "lr-0000000000000000";
+  record.solver = "lr";
+  record.trip_checkpoint = trip;
+  return record;
+}
+
+TEST(ResultCache, OwnerFulfillThenHit) {
+  os::ResultCache cache;
+  oo::LedgerRecord out;
+  EXPECT_FALSE(cache.lookup("k", 0, &out));
+  ASSERT_EQ(cache.acquire("k", 0, &out), os::ResultCache::Outcome::Owner);
+  cache.fulfill("k", record_for("I1", 1), /*cacheable=*/true);
+  EXPECT_EQ(cache.acquire("k", 0, &out), os::ResultCache::Outcome::Hit);
+  EXPECT_EQ(out.case_id, "I1");
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ResultCache, UncacheableOutcomeIsNeverServed) {
+  os::ResultCache cache;
+  oo::LedgerRecord out;
+  ASSERT_EQ(cache.acquire("k", 0, &out), os::ResultCache::Outcome::Owner);
+  cache.fulfill("k", record_for("I1", 1, /*trip=*/7), /*cacheable=*/false);
+  EXPECT_FALSE(cache.lookup("k", 0, &out));
+  // The next acquire owns and recomputes.
+  EXPECT_EQ(cache.acquire("k", 0, &out), os::ResultCache::Outcome::Owner);
+  cache.abandon("k");
+}
+
+TEST(ResultCache, TripMatchGatesWhatAStoredRecordServes) {
+  // A stored deterministic-replay trip serves only requesters expecting
+  // exactly that trip; everyone else recomputes (and overwrites).
+  os::ResultCache cache;
+  oo::LedgerRecord out;
+  ASSERT_EQ(cache.acquire("k", 3, &out), os::ResultCache::Outcome::Owner);
+  cache.fulfill("k", record_for("I1", 1, /*trip=*/3), /*cacheable=*/true);
+  EXPECT_TRUE(cache.lookup("k", 3, &out));
+  EXPECT_EQ(out.trip_checkpoint, 3u);
+  EXPECT_FALSE(cache.lookup("k", 0, &out));
+  EXPECT_FALSE(cache.lookup("k", 5, &out));
+  // A mismatched acquire becomes the owner and may overwrite the slot.
+  ASSERT_EQ(cache.acquire("k", 0, &out), os::ResultCache::Outcome::Owner);
+  cache.fulfill("k", record_for("I1", 1, /*trip=*/0), /*cacheable=*/true);
+  EXPECT_TRUE(cache.lookup("k", 0, &out));
+  EXPECT_FALSE(cache.lookup("k", 3, &out));
+}
+
+TEST(ResultCache, WaiterBlocksUntilOwnerFulfills) {
+  os::ResultCache cache;
+  oo::LedgerRecord out;
+  ASSERT_EQ(cache.acquire("k", 0, &out), os::ResultCache::Outcome::Owner);
+  std::atomic<bool> got_hit{false};
+  std::thread waiter([&] {
+    oo::LedgerRecord hit;
+    if (cache.acquire("k", 0, &hit) == os::ResultCache::Outcome::Hit &&
+        hit.seed == 42) {
+      got_hit.store(true);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(got_hit.load());  // still blocked on the pending owner
+  cache.fulfill("k", record_for("I1", 42), /*cacheable=*/true);
+  waiter.join();
+  EXPECT_TRUE(got_hit.load());
+}
+
+TEST(ResultCache, AbandonPromotesTheNextWaiterToOwner) {
+  os::ResultCache cache;
+  oo::LedgerRecord out;
+  ASSERT_EQ(cache.acquire("k", 0, &out), os::ResultCache::Outcome::Owner);
+  std::atomic<bool> became_owner{false};
+  std::thread waiter([&] {
+    oo::LedgerRecord hit;
+    if (cache.acquire("k", 0, &hit) == os::ResultCache::Outcome::Owner) {
+      became_owner.store(true);
+      cache.abandon("k");
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  cache.abandon("k");
+  waiter.join();
+  EXPECT_TRUE(became_owner.load());
+}
+
+TEST(ResultCache, PrimeFromLedgerGatesTripsAndSkipsMissingFiles) {
+  const std::string path = temp_path("serve_prime.jsonl");
+  std::remove(path.c_str());
+  os::ResultCache empty_cache;
+  EXPECT_EQ(empty_cache.prime_from_ledger(path), 0u);  // missing file
+
+  oo::append_ledger_record(path, record_for("I1", 1));
+  oo::append_ledger_record(path, record_for("I1", 2, /*trip=*/5));
+  oo::append_ledger_record(path, record_for("I2", 3));
+  // Same key as the first record, tripped: a completed run must not be
+  // displaced by later trip history.
+  oo::append_ledger_record(path, record_for("I1", 1, /*trip=*/2));
+  os::ResultCache cache;
+  EXPECT_EQ(cache.prime_from_ledger(path), 3u);
+  oo::LedgerRecord out;
+  // Clean records serve expected-trip 0; the kept clean record wins
+  // over the later trip for its key.
+  EXPECT_TRUE(cache.lookup(oo::ledger_key(record_for("I1", 1)), 0, &out));
+  EXPECT_EQ(out.trip_checkpoint, 0u);
+  // A primed trip serves ONLY a requester expecting that exact trip
+  // (a stop_at_checkpoint replay — the trip is in its fingerprint).
+  const std::string trip_key = oo::ledger_key(record_for("I1", 2, 5));
+  EXPECT_FALSE(cache.lookup(trip_key, 0, &out));
+  EXPECT_TRUE(cache.lookup(trip_key, 5, &out));
+  std::remove(path.c_str());
+}
+
+// -- LedgerWriter ----------------------------------------------------------
+
+TEST(LedgerWriter, ConcurrentAppendsNeverInterleaveLines) {
+  // The satellite-4 regression: N threads hammer one writer; the file
+  // must re-parse line-for-line (read_ledger throws on any malformed
+  // or interleaved line).
+  const std::string path = temp_path("serve_hammer.jsonl");
+  std::remove(path.c_str());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 25;
+  os::LedgerWriter writer(path);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&writer, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        writer.append(record_for("hammer-" + std::to_string(t),
+                                 static_cast<std::uint64_t>(i)));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(writer.appended(), static_cast<std::size_t>(kThreads * kPerThread));
+  const std::vector<oo::LedgerRecord> records = oo::read_ledger(path);
+  EXPECT_EQ(records.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  std::remove(path.c_str());
+}
+
+TEST(LedgerWriter, EmptyPathDiscardsButCounts) {
+  os::LedgerWriter writer("");
+  writer.append(record_for("I1", 1));
+  EXPECT_EQ(writer.appended(), 1u);
+}
+
+// -- Server ----------------------------------------------------------------
+
+TEST(Server, SubmitWaitComputesAndCachesTheRecord) {
+  const std::string path = temp_path("serve_server_basic.jsonl");
+  std::remove(path.c_str());
+  os::ServerConfig config;
+  config.ledger_path = path;
+  config.workers = 2;
+  os::Server server(config);
+
+  const os::Response first =
+      server.handle(submit_request(tiny_spec(11), /*wait=*/true));
+  ASSERT_TRUE(first.ok) << first.error << ": " << first.detail;
+  EXPECT_EQ(first.state, "done");
+  EXPECT_FALSE(first.cached);
+  ASSERT_TRUE(first.has_record);
+  EXPECT_EQ(first.record.case_id, "custom-g4-b2-4");
+  EXPECT_EQ(first.record.seed, 11u);
+  EXPECT_EQ(oo::ledger_key(first.record), first.key);
+
+  const os::Response again =
+      server.handle(submit_request(tiny_spec(11), /*wait=*/true));
+  ASSERT_TRUE(again.ok);
+  EXPECT_TRUE(again.cached);
+  ASSERT_TRUE(again.has_record);
+  EXPECT_TRUE(oo::semantic_equal(again.record, first.record));
+
+  EXPECT_EQ(server.records_appended(), 1u);  // the hit recomputed nothing
+  const oo::MetricsSnapshot snapshot = server.metrics();
+  EXPECT_EQ(snapshot.counter("serve.cache.hit"), 1u);
+  EXPECT_EQ(snapshot.counter("serve.cache.miss"), 1u);
+  EXPECT_EQ(snapshot.counter("serve.submitted"), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(Server, UnknownCaseIsAStructuredRejection) {
+  os::ServerConfig config;
+  os::Server server(config);
+  os::JobSpec spec;
+  spec.case_id = "I9";
+  const os::Response response =
+      server.handle(submit_request(spec, /*wait=*/false));
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error, "unknown-case");
+}
+
+TEST(Server, StatusAndResultTrackTheLifecycle) {
+  os::ServerConfig config;
+  config.workers = 1;
+  os::Server server(config);
+  const os::Response submitted =
+      server.handle(submit_request(tiny_spec(12), /*wait=*/false));
+  ASSERT_TRUE(submitted.ok);
+  ASSERT_NE(submitted.job, 0u);
+
+  const os::Response missing = server.handle(job_request(os::Op::Status, 999));
+  EXPECT_FALSE(missing.ok);
+  EXPECT_EQ(missing.error, "unknown-job");
+
+  const os::Response done =
+      server.handle(job_request(os::Op::Result, submitted.job, /*wait=*/true));
+  ASSERT_TRUE(done.ok);
+  EXPECT_EQ(done.state, "done");
+  EXPECT_TRUE(done.has_record);
+
+  const os::Response status =
+      server.handle(job_request(os::Op::Status, submitted.job));
+  EXPECT_TRUE(status.ok);
+  EXPECT_EQ(status.state, "done");
+  EXPECT_FALSE(status.has_record);  // records only travel on `result`
+
+  const os::Response summary = server.handle(job_request(os::Op::Status, 0));
+  EXPECT_TRUE(summary.ok);
+  EXPECT_EQ(summary.state, "serving");
+}
+
+TEST(Server, BackpressureAndCancelWhileQueued) {
+  os::ServerConfig config;
+  config.workers = 1;
+  config.queue_limit = 1;
+  os::Server server(config);
+
+  // A beefier first job occupies the single worker; B fills the
+  // one-slot queue; C must bounce.
+  os::JobSpec slow = tiny_spec(13);
+  slow.groups = 30;
+  slow.bits_hi = 6;
+  const os::Response a = server.handle(submit_request(slow, /*wait=*/false));
+  ASSERT_TRUE(a.ok);
+  // Wait for the worker to pop A (the queue slot frees up).
+  for (int i = 0; i < 5000; ++i) {
+    const os::Response status = server.handle(job_request(os::Op::Status, a.job));
+    if (status.state != "queued") break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const os::Response b =
+      server.handle(submit_request(tiny_spec(14), /*wait=*/false));
+  ASSERT_TRUE(b.ok) << b.error << ": " << b.detail;
+  const os::Response c =
+      server.handle(submit_request(tiny_spec(15), /*wait=*/false));
+  EXPECT_FALSE(c.ok);
+  EXPECT_EQ(c.error, "backpressure");
+
+  // Cancel B while it is still queued: it settles with no record.
+  const os::Response canceled =
+      server.handle(job_request(os::Op::Cancel, b.job));
+  ASSERT_TRUE(canceled.ok);
+  EXPECT_EQ(canceled.state, "canceled");
+  const os::Response result =
+      server.handle(job_request(os::Op::Result, b.job, /*wait=*/true));
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.state, "canceled");
+  EXPECT_FALSE(result.has_record);
+
+  const oo::MetricsSnapshot snapshot = server.metrics();
+  EXPECT_EQ(snapshot.counter("serve.rejected.backpressure"), 1u);
+  EXPECT_EQ(snapshot.counter("serve.jobs.canceled"), 1u);
+  server.shutdown(/*cancel_running=*/true);
+}
+
+TEST(Server, SessionStopInterruptsJobsDeterministically) {
+  // A pre-requested session stop (the daemon's SIGINT path) trips
+  // every job at its first checkpoint: the job settles as canceled
+  // with a valid degraded run-interrupted record, which is appended to
+  // the ledger but never cached.
+  const std::string path = temp_path("serve_server_interrupt.jsonl");
+  std::remove(path.c_str());
+  operon::util::StopSource session;
+  session.request_stop();
+  os::ServerConfig config;
+  config.ledger_path = path;
+  config.workers = 1;
+  config.session_stop = session.token();
+  os::Server server(config);
+
+  const os::Response result =
+      server.handle(submit_request(tiny_spec(16), /*wait=*/true));
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.state, "canceled");
+  ASSERT_TRUE(result.has_record);
+  EXPECT_TRUE(result.record.degraded);
+  EXPECT_EQ(result.record.trip_checkpoint, 1u);
+  EXPECT_TRUE(has_diag(result.record, "run-interrupted"));
+
+  // The interrupted record is history, not a servable result: it was
+  // appended to the ledger but must never be cached.
+  EXPECT_EQ(server.records_appended(), 1u);
+  EXPECT_EQ(server.cache_size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Server, CancelRunningJobEndsValidEitherWay) {
+  // Cancelling a running job races the run's own completion by design
+  // (the stop lands at the next checkpoint). Both outcomes must be
+  // sound: canceled -> degraded run-interrupted record, never cached;
+  // done -> clean record, cached.
+  os::ServerConfig config;
+  config.workers = 1;
+  os::Server server(config);
+  os::JobSpec slow = tiny_spec(16);
+  slow.groups = 40;
+  slow.bits_hi = 7;
+  const os::Response submitted =
+      server.handle(submit_request(slow, /*wait=*/false));
+  ASSERT_TRUE(submitted.ok);
+  for (int i = 0; i < 5000; ++i) {
+    const os::Response status =
+        server.handle(job_request(os::Op::Status, submitted.job));
+    if (status.state != "queued") break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const os::Response canceled =
+      server.handle(job_request(os::Op::Cancel, submitted.job));
+  ASSERT_TRUE(canceled.ok);
+
+  const os::Response result =
+      server.handle(job_request(os::Op::Result, submitted.job, /*wait=*/true));
+  ASSERT_TRUE(result.ok);
+  ASSERT_TRUE(result.has_record);
+  if (result.state == "canceled") {
+    EXPECT_TRUE(result.record.degraded);
+    EXPECT_GT(result.record.trip_checkpoint, 0u);
+    EXPECT_TRUE(has_diag(result.record, "run-interrupted"));
+    EXPECT_EQ(server.cache_size(), 0u);
+  } else {
+    EXPECT_EQ(result.state, "done");
+    EXPECT_EQ(result.record.trip_checkpoint, 0u);
+    EXPECT_EQ(server.cache_size(), 1u);
+  }
+}
+
+TEST(Server, ShutdownDrainsQueuedJobsAndRejectsNewOnes) {
+  const std::string path = temp_path("serve_server_drain.jsonl");
+  std::remove(path.c_str());
+  os::ServerConfig config;
+  config.ledger_path = path;
+  config.workers = 2;
+  os::Server server(config);
+  std::vector<std::uint64_t> jobs;
+  for (std::uint64_t seed = 21; seed < 25; ++seed) {
+    const os::Response response =
+        server.handle(submit_request(tiny_spec(seed), /*wait=*/false));
+    ASSERT_TRUE(response.ok);
+    jobs.push_back(response.job);
+  }
+  server.shutdown(/*cancel_running=*/false);  // graceful: finish the queue
+  for (const std::uint64_t job : jobs) {
+    const os::Response result =
+        server.handle(job_request(os::Op::Result, job, /*wait=*/true));
+    ASSERT_TRUE(result.ok);
+    EXPECT_EQ(result.state, "done");
+  }
+  EXPECT_EQ(server.records_appended(), 4u);
+  const os::Response late =
+      server.handle(submit_request(tiny_spec(99), /*wait=*/false));
+  EXPECT_FALSE(late.ok);
+  EXPECT_EQ(late.error, "shutting-down");
+  std::remove(path.c_str());
+}
+
+TEST(Server, WarmStartPrimesTheCacheFromTheLedger) {
+  const std::string path = temp_path("serve_server_warm.jsonl");
+  std::remove(path.c_str());
+  {
+    os::ServerConfig config;
+    config.ledger_path = path;
+    os::Server server(config);
+    const os::Response response =
+        server.handle(submit_request(tiny_spec(31), /*wait=*/true));
+    ASSERT_TRUE(response.ok);
+    server.shutdown(false);
+  }
+  // A fresh server over the same ledger serves the record from cache.
+  os::ServerConfig config;
+  config.ledger_path = path;
+  os::Server server(config);
+  const os::Response response =
+      server.handle(submit_request(tiny_spec(31), /*wait=*/true));
+  ASSERT_TRUE(response.ok);
+  EXPECT_TRUE(response.cached);
+  EXPECT_EQ(server.records_appended(), 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace

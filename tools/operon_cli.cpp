@@ -47,6 +47,8 @@
 #include "obs/ledger.hpp"
 #include "obs/resource.hpp"
 #include "obs/sink.hpp"
+#include "serve/protocol.hpp"
+#include "serve/socket.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
@@ -105,6 +107,14 @@ int usage() {
                "[--seed S] [--solver lr|ilp|mip] [--ilp-limit SEC] [--lm DB] "
                "[--threads N]  --out LEDGER.jsonl\n"
                "  operon_cli ledger show LEDGER.jsonl\n"
+               "  operon_cli submit --socket PATH [--case I1..I5 | --groups "
+               "N [--bits-lo A --bits-hi B]] [--seed S] [--solver lr|ilp|mip] "
+               "[--ilp-limit SEC] [--lm DB] [--time-limit SEC] "
+               "[--stop-at-checkpoint N] [--tenant NAME] [--priority P] "
+               "[--wait]  # or --do status|result|cancel [--job N] "
+               "[--wait] | --do stats | --do shutdown [--cancel-running]; "
+               "talks to a running operon_serve, prints the raw JSON "
+               "response\n"
                "  operon_cli compare BASELINE.jsonl CURRENT.jsonl [--json] "
                "[--timing-ratio R] [--timing-min SEC] [--fail-on-timing]  "
                "# exit 2 on semantic drift, 3 on gated timing regression\n");
@@ -493,6 +503,59 @@ int cmd_ledger(const util::Cli& cli) {
   return 0;
 }
 
+int cmd_submit(const util::Cli& cli) {
+  // Client mode for the operon_serve daemon (see tools/operon_serve.cpp
+  // and DESIGN.md "Service architecture"): one request per invocation,
+  // raw response JSON on stdout so scripts can parse it. The op
+  // defaults to submit; --do selects the others.
+  const std::string socket_path = cli.get("socket", "");
+  if (socket_path.empty()) return usage();
+  const std::string op = cli.get("do", "submit");
+
+  serve::Request request;
+  if (op == "submit") {
+    request.op = serve::Op::Submit;
+    serve::JobSpec& spec = request.spec;
+    if (cli.has("groups")) {
+      spec.groups = static_cast<std::size_t>(cli.get_int("groups", 0));
+      spec.bits_lo = static_cast<std::size_t>(cli.get_int("bits-lo", 2));
+      spec.bits_hi = static_cast<std::size_t>(cli.get_int("bits-hi", 8));
+    } else {
+      spec.case_id = cli.get("case", "I1");
+    }
+    spec.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+    spec.tenant = cli.get("tenant", "default");
+    spec.priority = static_cast<int>(cli.get_int("priority", 0));
+    spec.solver = cli.get("solver", "lr");
+    spec.ilp_limit_s = cli.get_double("ilp-limit", 20.0);
+    if (cli.has("lm")) spec.max_loss_db = cli.get_double("lm", 20.0);
+    spec.time_limit_s = cli.get_double("time-limit", 0.0);
+    spec.stop_at_checkpoint =
+        static_cast<std::uint64_t>(cli.get_int("stop-at-checkpoint", 0));
+    request.wait = cli.get_bool("wait", false);
+  } else if (op == "status" || op == "result" || op == "cancel") {
+    request.op = op == "status" ? serve::Op::Status
+                 : op == "result" ? serve::Op::Result
+                                  : serve::Op::Cancel;
+    request.job = static_cast<std::uint64_t>(cli.get_int("job", 0));
+    request.wait = cli.get_bool("wait", false);
+  } else if (op == "stats") {
+    request.op = serve::Op::Stats;
+  } else if (op == "shutdown") {
+    request.op = serve::Op::Shutdown;
+    request.cancel_running = cli.get_bool("cancel-running", false);
+  } else {
+    return usage();
+  }
+
+  serve::Client client(socket_path);
+  const std::string response_line =
+      client.call_line(serve::to_json_line(request));
+  std::printf("%s\n", response_line.c_str());
+  const serve::Response response = serve::parse_response(response_line);
+  return response.ok ? 0 : 1;
+}
+
 int cmd_compare(const util::Cli& cli) {
   // Cli skips argv[0] ("compare"): positional() holds the two ledgers.
   const std::vector<std::string>& pos = cli.positional();
@@ -550,6 +613,7 @@ int main(int argc, char** argv) {
       return cmd_stress(cli);
     }
     if (command == "ledger") return cmd_ledger(cli);
+    if (command == "submit") return cmd_submit(cli);
     if (command == "compare") return cmd_compare(cli);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());

@@ -1,0 +1,106 @@
+// operon_serve — JSONL-over-Unix-socket daemon for OPERON runs.
+//
+//   operon_serve --socket /tmp/operon.sock [--ledger runs.jsonl]
+//                [--workers N (executor threads; 0 = all cores)]
+//                [--job-threads N (per-job --threads; 0 = all cores)]
+//                [--queue-limit N (backpressure bound; 0 = unbounded)]
+//                [--watchdog-ms N (per-job stall abort; 0 = off)]
+//
+// Protocol (one JSON object per line, one response line per request):
+//   {"op":"submit","case":"I1","seed":7}            queue a Table 1 run
+//   {"op":"submit","groups":40,"bits_lo":2,...}     queue a generator run
+//   {"op":"status","job":3} / {"op":"result","job":3,"wait":true}
+//   {"op":"cancel","job":3}                         stop at next checkpoint
+//   {"op":"stats"}                                  serve.* metrics
+//   {"op":"shutdown","cancel_running":false}        drain and exit
+//
+// The ledger file is the persistent result store: it is warmed into the
+// result cache at startup, every completed job appends one record, and
+// a submit whose (case, seed, options-fingerprint) key is already
+// present settles instantly from the cache (`cached: true`). See
+// DESIGN.md "Service architecture".
+//
+// SIGINT/SIGTERM cancel all jobs at their next checkpoint (each settles
+// with a degraded run-interrupted record) and exit cleanly.
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "serve/server.hpp"
+#include "serve/socket.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/stop.hpp"
+
+namespace {
+
+using namespace operon;
+
+util::StopSource& signal_stop_source() {
+  static util::StopSource source;
+  return source;
+}
+
+void handle_stop_signal(int) {
+  // request_stop touches only atomics — async-signal-safe.
+  signal_stop_source().request_stop(util::StopReason::Interrupt);
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: operon_serve --socket PATH [--ledger FILE] "
+               "[--workers N] [--job-threads N] [--queue-limit N] "
+               "[--watchdog-ms N]\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  if (!cli.has("socket")) return usage();
+  try {
+    serve::ServerConfig config;
+    config.ledger_path = cli.get("ledger", "");
+    config.workers = static_cast<std::size_t>(cli.get_int("workers", 1));
+    config.job_threads =
+        static_cast<std::size_t>(cli.get_int("job-threads", 1));
+    config.queue_limit =
+        static_cast<std::size_t>(cli.get_int("queue-limit", 64));
+    config.watchdog_ms = static_cast<int>(cli.get_int("watchdog-ms", 0));
+    config.session_stop = signal_stop_source().token();
+
+    std::signal(SIGINT, handle_stop_signal);
+    std::signal(SIGTERM, handle_stop_signal);
+
+    serve::Server server(config);
+    serve::SocketServer socket(server, cli.get("socket", ""));
+    std::fprintf(stderr, "operon_serve: listening on %s (ledger: %s)\n",
+                 socket.path().c_str(),
+                 config.ledger_path.empty() ? "<none>"
+                                            : config.ledger_path.c_str());
+
+    std::thread acceptor([&] { socket.run(); });
+    const util::StopToken session = signal_stop_source().token();
+    while (!server.draining() && !session.stopped()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+
+    // A signal cancels everything at the next checkpoint; a protocol
+    // shutdown already applied its own cancel_running choice in
+    // handle(). Drain the server BEFORE closing connections so blocked
+    // wait=true requests settle and get their responses.
+    server.shutdown(/*cancel_running=*/session.stopped());
+    socket.stop();
+    acceptor.join();
+    std::fprintf(stderr, "operon_serve: drained (%zu records appended)\n",
+                 server.records_appended());
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "operon_serve: error: %s\n", error.what());
+    return 1;
+  }
+}
