@@ -70,7 +70,23 @@ int main(int argc, char** argv) {
   // dependent tree, so its semantic metrics (query counts) are not
   // comparable across runs — only complete solves are.
   const bool skip_ilp = cli.get_bool("skip-ilp", false);
-  const bool full_table = scale == 1 && cases.size() == 5 && !skip_ilp;
+  // --solver swaps the main per-case run (the paper's LR column) for
+  // another registered solver; --solver portfolio races them
+  // (--portfolio-order picks the members, --portfolio-lanes the
+  // concurrency). The ILP comparison column is unaffected.
+  const std::optional<core::SolverKind> main_solver =
+      core::parse_solver_kind(cli.get("solver", "lr"));
+  if (!main_solver.has_value()) {
+    std::fprintf(stderr, "unknown --solver '%s' (lr|ilp|mip|portfolio)\n",
+                 cli.get("solver", "lr").c_str());
+    return 1;
+  }
+  const std::string main_label =
+      *main_solver == core::SolverKind::Lr
+          ? "LR"
+          : std::string(core::to_string(*main_solver));
+  const bool full_table = scale == 1 && cases.size() == 5 && !skip_ilp &&
+                          *main_solver == core::SolverKind::Lr;
 
   std::printf("=== Table 1: Performance Comparisons among Different Designs ===\n");
   std::printf("(ILP time limit %.0f s; the paper used 3000 s on 8 cores; "
@@ -79,7 +95,7 @@ int main(int argc, char** argv) {
               scale == 1 ? "" : ("; instance scale " + std::to_string(scale) + "x").c_str());
 
   util::Table table({"Bench", "#Net", "#HNet", "#HPin", "Elec[14]", "Opt[4]",
-                     "ILP", "ILP CPU(s)", "LR", "LR CPU(s)"});
+                     "ILP", "ILP CPU(s)", main_label, main_label + " CPU(s)"});
   // Per-stage wall-clock; when --threads != 1 each case is re-run at
   // threads=1 so the last columns report the parallel speedup (the
   // powers must match bit-identically — determinism is an invariant).
@@ -104,7 +120,20 @@ int main(int argc, char** argv) {
     obs::set_ledger_context(spec.name, spec.seed);
 
     core::OperonOptions options;
-    options.solver = core::SolverKind::Lr;
+    options.solver = *main_solver;
+    if (cli.has("portfolio-order")) {
+      options.portfolio.members =
+          core::parse_portfolio_members(cli.get("portfolio-order", ""));
+    }
+    options.portfolio.lanes =
+        static_cast<std::size_t>(cli.get_int("portfolio-lanes", 0));
+    // Only the exact main solvers consult the budget; leaving it at the
+    // default for lr/portfolio keeps their ledger fingerprints free of
+    // the --ilp-limit knob (portfolio lanes race on node budgets).
+    if (*main_solver == core::SolverKind::IlpExact ||
+        *main_solver == core::SolverKind::MipLiteral) {
+      options.select.time_limit_s = ilp_limit;
+    }
     options.run_wdm_stage = false;
     options.threads = threads;
     options.run_time_limit_s = time_limit;

@@ -7,7 +7,10 @@ seed, options fingerprint), provenance (git, solver, threads), the
 degraded / diagnostics summary, and well-formed metric points — semantic
 points in "metrics" (never timing-flagged), timing gauges in "timings".
 Schema-2 records additionally require a non-negative integer
-"trip_checkpoint" (run-budget cancellation; 0 = ran to completion).
+"trip_checkpoint" (run-budget cancellation; 0 = ran to completion);
+schema-3 records additionally require string "winning_solver" and
+"portfolio_order" fields (portfolio races; both empty for plain
+solvers).
 
 Usage: check_ledger.py LEDGER.jsonl [--min-records N]
 Exit code 0 when valid, 1 with a diagnostic on the first violation.
@@ -17,7 +20,7 @@ import argparse
 import json
 import sys
 
-SCHEMA_VERSIONS = (1, 2)
+SCHEMA_VERSIONS = (1, 2, 3)
 HISTOGRAM_BUCKETS = 14  # len(histogram_bounds) + 1, see src/obs/metrics.cpp
 KINDS = ("counter", "gauge", "histogram")
 
@@ -87,6 +90,10 @@ def check_record(line_number: int, record: object) -> None:
         fail(f"{where}: 'degraded' must be a boolean")
     if record["schema"] >= 2 and not is_uint(record.get("trip_checkpoint")):
         fail(f"{where}: 'trip_checkpoint' must be a non-negative integer")
+    if record["schema"] >= 3:
+        for key in ("winning_solver", "portfolio_order"):
+            if not isinstance(record.get(key), str):
+                fail(f"{where}: '{key}' must be a string")
     diagnostics = record.get("diagnostics")
     if not isinstance(diagnostics, dict):
         fail(f"{where}: 'diagnostics' must be an object")

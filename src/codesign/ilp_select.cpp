@@ -60,14 +60,16 @@ class ComponentSolver {
   ComponentSolver(const SelectionEvaluator& evaluator,
                   std::vector<std::size_t> nets, const util::Deadline& deadline,
                   util::StopToken stop, Selection& selection,
-                  std::size_t& nodes, std::size_t& incumbent_updates,
-                  const Selection* warm_start, const Selection* peeled)
+                  std::size_t& nodes, std::size_t max_nodes,
+                  std::size_t& incumbent_updates, const Selection* warm_start,
+                  const Selection* peeled)
       : evaluator_(evaluator),
         nets_(std::move(nets)),
         deadline_(deadline),
         stop_(std::move(stop)),
         selection_(selection),
         nodes_(nodes),
+        max_nodes_(max_nodes),
         incumbent_updates_(incumbent_updates),
         warm_start_(warm_start),
         peeled_(peeled) {
@@ -188,8 +190,11 @@ class ComponentSolver {
   void dfs(std::size_t k, double committed) {
     ++nodes_;
     // Per-node run-budget checkpoint (serial recursion — deterministic
-    // count) alongside the stage deadline; both exits keep the incumbent.
-    if (stop_.checkpoint("codesign.exact") || deadline_.expired()) {
+    // count) alongside the stage deadline and the deterministic node
+    // budget (nodes_ is shared across components, so the budget is
+    // global); every exit keeps the incumbent.
+    if (stop_.checkpoint("codesign.exact") || deadline_.expired() ||
+        (max_nodes_ != 0 && nodes_ > max_nodes_)) {
       timed_out_ = true;
       return;
     }
@@ -295,6 +300,7 @@ class ComponentSolver {
   util::StopToken stop_;
   Selection& selection_;
   std::size_t& nodes_;
+  std::size_t max_nodes_;
   std::size_t& incumbent_updates_;
   const Selection* warm_start_ = nullptr;
   const Selection* peeled_ = nullptr;
@@ -359,8 +365,8 @@ SelectResult solve_selection_exact(std::span<const CandidateSet> sets,
         options.warm_start.size() == sets.size() ? &options.warm_start
                                                  : nullptr;
     ComponentSolver solver(evaluator, component, deadline, options.stop,
-                           result.selection, nodes, incumbent_updates, warm,
-                           &peeled);
+                           result.selection, nodes, options.max_nodes,
+                           incumbent_updates, warm, &peeled);
     all_proven = solver.solve() && all_proven;
   }
   result.nodes_explored = nodes;
@@ -375,8 +381,11 @@ SelectResult solve_selection_exact(std::span<const CandidateSet> sets,
   result.power_pj = evaluator.total_power(result.selection);
   result.violations = evaluator.violations(result.selection);
   result.proven_optimal = all_proven;
-  result.timed_out =
-      !all_proven && (deadline.expired() || options.stop.stopped());
+  result.node_limited =
+      !all_proven && options.max_nodes != 0 && nodes > options.max_nodes;
+  result.timed_out = !all_proven && (deadline.expired() ||
+                                     options.stop.stopped() ||
+                                     result.node_limited);
   result.runtime_s = timer.seconds();
   return result;
 }
@@ -456,6 +465,7 @@ SelectResult solve_selection_mip(std::span<const CandidateSet> sets,
 
   ilp::MipOptions mip_options;
   mip_options.time_limit_s = options.time_limit_s;
+  mip_options.max_nodes = options.max_nodes;
   mip_options.stop = options.stop;
   const ilp::MipResult solved = ilp::solve_mip(mip.model, mip_options);
 
@@ -463,7 +473,9 @@ SelectResult solve_selection_mip(std::span<const CandidateSet> sets,
   result.runtime_s = timer.seconds();
   result.nodes_explored = solved.nodes_explored;
   result.incumbent_updates = solved.incumbent_updates;
-  result.timed_out = solved.status == ilp::MipStatus::TimeLimit;
+  result.node_limited = solved.status == ilp::MipStatus::NodeLimit;
+  result.timed_out = solved.status == ilp::MipStatus::TimeLimit ||
+                     result.node_limited;
   result.proven_optimal = solved.status == ilp::MipStatus::Optimal;
   if (solved.has_incumbent) {
     result.selection.assign(evaluator.num_nets(), 0);

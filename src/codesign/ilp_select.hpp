@@ -29,6 +29,14 @@ namespace operon::codesign {
 
 struct SelectOptions {
   double time_limit_s = 60.0;  ///< <= 0: unlimited
+  /// Deterministic search budget (0 = unlimited): the exact DFS aborts
+  /// after exploring this many nodes globally (across components), the
+  /// literal MIP after this many B&B nodes; the incumbent is kept and
+  /// timed_out/node_limited are set. Unlike time_limit_s, the cut point
+  /// is a node count — a budgeted run is bit-identical on every machine
+  /// at any thread count, which is what lets the portfolio race exact
+  /// members without consulting a wall clock.
+  std::size_t max_nodes = 0;
   /// Apply the §3.3 bounding-box variable reduction (ablation switch).
   bool reduce_variables = true;
   /// Optional warm-start selection (e.g. an LR solution): seeds the
@@ -52,6 +60,9 @@ struct SelectResult {
   ViolationStats violations;
   bool proven_optimal = false;
   bool timed_out = false;
+  /// timed_out via the deterministic max_nodes budget rather than the
+  /// wall clock / stop token (distinguishes the diagnostics).
+  bool node_limited = false;
   double runtime_s = 0.0;
   std::size_t nodes_explored = 0;
   /// Times the incumbent improved (greedy seeds, warm starts accepted,

@@ -1,0 +1,273 @@
+#include "codesign/portfolio.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace operon::codesign {
+
+double InstanceFeatures::work() const {
+  return static_cast<double>(nets) + static_cast<double>(candidates) / 16.0 +
+         static_cast<double>(interacting_pairs) / 4.0;
+}
+
+InstanceFeatures extract_features(const SolverContext& ctx) {
+  InstanceFeatures features;
+  features.nets = ctx.sets.size();
+  for (const CandidateSet& set : ctx.sets) {
+    features.candidates += set.options.size();
+    features.max_set_size = std::max(features.max_set_size,
+                                     set.options.size());
+  }
+  if (ctx.evaluator != nullptr) {
+    features.interacting_pairs = ctx.evaluator->num_interacting_pairs();
+  }
+  return features;
+}
+
+void PortfolioHistory::add_sample(std::string_view solver, double nets,
+                                  double seconds) {
+  if (seconds <= 0.0) return;
+  PerSolver& entry = samples_[std::string(solver)];
+  entry.rate_sum += seconds / std::max(nets, 1.0);
+  entry.count += 1;
+}
+
+PortfolioHistory PortfolioHistory::from_records(
+    std::span<const obs::LedgerRecord> records) {
+  PortfolioHistory history;
+  for (const obs::LedgerRecord& record : records) {
+    // Portfolio records time the whole race, not one solver; a record
+    // with a winner could be attributed, but its lane ran under race
+    // budgets — skip both rather than pollute the rates.
+    if (record.solver == "portfolio") continue;
+    double nets = 0.0;
+    double seconds = 0.0;
+    for (const obs::MetricPoint& point : record.metrics) {
+      if (point.name == "core.optical_nets" ||
+          point.name == "core.electrical_nets") {
+        nets += point.value;
+      }
+    }
+    for (const obs::MetricPoint& point : record.timings) {
+      if (point.name == "time.selection_s") seconds = point.value;
+    }
+    if (nets > 0.0) history.add_sample(record.solver, nets, seconds);
+  }
+  return history;
+}
+
+std::optional<double> PortfolioHistory::predict_seconds(
+    std::string_view solver, const InstanceFeatures& features) const {
+  const auto it = samples_.find(solver);
+  if (it == samples_.end() || it->second.count == 0) return std::nullopt;
+  const double rate = it->second.rate_sum / static_cast<double>(it->second.count);
+  return rate * features.work();
+}
+
+std::size_t PortfolioHistory::num_samples() const {
+  std::size_t total = 0;
+  for (const auto& [name, entry] : samples_) total += entry.count;
+  return total;
+}
+
+std::size_t PortfolioSolver::canonical_rank(std::string_view name) {
+  if (name == "ilp-exact") return 0;
+  if (name == "mip-literal") return 1;
+  if (name == "lr") return 2;
+  return 3;
+}
+
+PortfolioSolver::PortfolioSolver(
+    PortfolioOptions options,
+    std::vector<std::shared_ptr<const SelectionSolver>> members)
+    : options_(std::move(options)), members_(std::move(members)) {
+  OPERON_CHECK_MSG(!members_.empty(), "portfolio needs at least one member");
+  rank_.resize(members_.size());
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      OPERON_CHECK_MSG(members_[i]->name() != members_[j]->name(),
+                       "portfolio member '" << members_[i]->name()
+                                            << "' listed twice");
+    }
+    // Unknown (future) solvers rank behind the built-ins, distinct by
+    // member position so power ties still break deterministically.
+    const std::size_t base = canonical_rank(members_[i]->name());
+    rank_[i] = base < 3 ? base : 3 + i;
+    if (rank_[i] >= rank_[fallback_]) fallback_ = i;
+  }
+}
+
+std::vector<std::size_t> PortfolioSolver::race_order(
+    const InstanceFeatures& features) const {
+  std::vector<double> predicted(members_.size(),
+                                std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (const std::optional<double> seconds =
+            options_.history.predict_seconds(members_[i]->name(), features)) {
+      predicted[i] = *seconds;
+    }
+  }
+  std::vector<std::size_t> order(members_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return predicted[a] < predicted[b];
+                   });
+  return order;
+}
+
+namespace {
+
+/// The deterministic fold key — clean first, then power (exact bits),
+/// then canonical rank. Mirrors SharedIncumbent::better.
+bool lane_better(const SolverOutcome& a, std::size_t rank_a,
+                 const SolverOutcome& b, std::size_t rank_b) {
+  if (a.violations.clean() != b.violations.clean()) return a.violations.clean();
+  if (a.power_pj != b.power_pj) return a.power_pj < b.power_pj;
+  return rank_a < rank_b;
+}
+
+std::string join_names(
+    const std::vector<std::shared_ptr<const SelectionSolver>>& members,
+    const std::vector<std::size_t>& order) {
+  std::string joined;
+  for (const std::size_t member : order) {
+    if (!joined.empty()) joined.push_back(',');
+    joined.append(members[member]->name());
+  }
+  return joined;
+}
+
+}  // namespace
+
+SolverOutcome PortfolioSolver::degraded_fallback(
+    const SolverContext& ctx, std::string race_order_names) const {
+  // Runs serially under the already-tripped run token: the member stops
+  // at its first own checkpoint and completes on its rung, so the text
+  // and plan below replay bit-identically via stop_at_checkpoint.
+  SolverContext fallback_ctx = ctx;
+  fallback_ctx.deterministic_budgets = true;
+  fallback_ctx.race_max_nodes = options_.race_max_nodes;
+  SolverOutcome outcome = members_[fallback_]->solve(fallback_ctx);
+  outcome.degraded = true;
+  outcome.warnings.push_back(
+      {model::Severity::Warning, model::DiagCode::SolverTimeLimit,
+       "portfolio race stopped by the run budget; all lane results "
+       "discarded, degrading onto the " +
+           std::string(members_[fallback_]->name()) + " rung"});
+  outcome.winning_solver = std::string(members_[fallback_]->name());
+  outcome.race_order = std::move(race_order_names);
+  obs::add_counter("portfolio.fallback");
+  return outcome;
+}
+
+SolverOutcome PortfolioSolver::solve(const SolverContext& ctx) const {
+  const std::size_t n = members_.size();
+  const InstanceFeatures features = extract_features(ctx);
+  const std::vector<std::size_t> order = race_order(features);
+  std::string order_names = join_names(members_, order);
+  obs::set_gauge("portfolio.members", static_cast<double>(n));
+  // Copies share the underlying stop state; checkpoint() mutates the
+  // (shared) counter, so poll through a local non-const handle.
+  util::StopToken run_token = ctx.stop;
+
+  // Serial pre-race poll: a budget that tripped before the race skips
+  // it entirely and degrades straight onto the fallback rung.
+  if (run_token.checkpoint("portfolio.race")) {
+    return degraded_fallback(ctx, std::move(order_names));
+  }
+
+  struct Lane {
+    SolverOutcome outcome;
+    double seconds = 0.0;
+  };
+  std::vector<Lane> lanes(n);
+  std::vector<obs::Observation> lane_obs(n);
+  std::vector<util::StopSource> lane_stops(n);
+  for (util::StopSource& source : lane_stops) source.chain(ctx.stop);
+  SharedIncumbent incumbent;
+
+  const std::size_t concurrency =
+      options_.lanes == 0 ? n : std::min(options_.lanes, n);
+  // Lanes racing concurrently each run single-threaded (oversubscribing
+  // the machine with nested pools only slows the race down); a
+  // sequential sweep keeps the caller's thread budget. Wall-clock only —
+  // semantic outputs are thread-count invariant per lane.
+  const std::size_t inner_threads = concurrency > 1 ? 1 : ctx.threads;
+
+  util::parallel_for(n, concurrency, [&](std::size_t slot) {
+    // Start order is the selector's; results land by MEMBER index, and
+    // nothing below ever reads another lane's outcome, so scheduling
+    // cannot leak into the fold.
+    const std::size_t member = order[slot];
+    util::Timer timer;
+    const obs::ScopedThreadObservation scope(lane_obs[member]);
+    SolverContext lane_ctx = ctx;
+    lane_ctx.stop = lane_stops[member].token();
+    lane_ctx.threads = inner_threads;
+    lane_ctx.incumbent = &incumbent;
+    lane_ctx.deterministic_budgets = true;
+    lane_ctx.race_max_nodes = options_.race_max_nodes;
+    lanes[member].outcome = members_[member]->solve(lane_ctx);
+    lanes[member].seconds = timer.seconds();
+    const SolverOutcome& out = lanes[member].outcome;
+    incumbent.publish({rank_[member], out.power_pj, out.violations.clean(),
+                       out.proven_optimal});
+    // Provably outcome-invariant loser cancellation: a proven-optimal,
+    // clean lane stops every lane of strictly worse canonical rank.
+    // Any member returns a FEASIBLE selection even when cut (incumbent
+    // / repair-tail / all-electrical rungs), and a feasible selection's
+    // power is >= the proven optimum, so a cut lane can never beat this
+    // one in the fold — whether the cut landed or the lane finished
+    // first changes wall clock only.
+    if (out.proven_optimal && out.violations.clean()) {
+      for (std::size_t other = 0; other < n; ++other) {
+        if (rank_[other] > rank_[member]) lane_stops[other].request_stop();
+      }
+    }
+  });
+
+  // Serial post-join poll: when the run budget tripped DURING the race,
+  // the lanes were cut at arbitrary wall-clock points — discard all of
+  // them and recompute on the fallback rung under the tripped token
+  // (the stop_at_checkpoint replay takes the same path, so the trip is
+  // bit-identical even though the replay never consults the clock).
+  if (run_token.checkpoint("portfolio.race")) {
+    return degraded_fallback(ctx, std::move(order_names));
+  }
+
+  std::size_t winner = 0;
+  for (std::size_t member = 1; member < n; ++member) {
+    if (lane_better(lanes[member].outcome, rank_[member],
+                    lanes[winner].outcome, rank_[winner])) {
+      winner = member;
+    }
+  }
+
+  // Only the winner's lane observation reaches the run record: loser
+  // metrics may have been cut mid-run by the kill rule, so absorbing
+  // them would leak scheduling into the semantic metric set.
+  if (obs::Observation* ambient = obs::current()) {
+    ambient->absorb(lane_obs[winner]);
+  }
+  obs::add_counter("portfolio.win." + std::string(members_[winner]->name()));
+  for (std::size_t member = 0; member < n; ++member) {
+    obs::set_gauge(
+        "time.portfolio." + std::string(members_[member]->name()) + "_s",
+        lanes[member].seconds, /*timing=*/true);
+  }
+
+  SolverOutcome outcome = std::move(lanes[winner].outcome);
+  outcome.winning_solver = std::string(members_[winner]->name());
+  outcome.race_order = std::move(order_names);
+  return outcome;
+}
+
+}  // namespace operon::codesign

@@ -1,0 +1,122 @@
+#pragma once
+// The portfolio selection solver: races registered member solvers on
+// parallel_for lanes and folds the winner deterministically. See
+// DESIGN.md "Portfolio solver" for the full contract; in short:
+//
+//  * Every member always runs to a deterministic completion — lanes get
+//    deterministic_budgets (no wall clocks; exact members run under the
+//    race node budget), so each lane's outcome is a pure function of
+//    the instance.
+//  * The winner is a serial post-join fold by (clean, power, canonical
+//    rank) — never completion order, never lane index.
+//  * Loser cancellation is provably outcome-invariant: only a lane that
+//    finished proven-optimal AND clean may stop lanes of strictly worse
+//    canonical rank. Any such lane's feasible result has power >= the
+//    proven optimum and loses every tie by rank, so whether it was cut
+//    or completed cannot change the folded winner.
+//  * The race start order comes from a per-instance selector over
+//    ledger-trained history; it only shifts wall clock, never the fold.
+//  * Two numbered `portfolio.race` checkpoints (pre-race / post-join)
+//    poll the run token in serial orchestration code. On a trip, every
+//    lane result is discarded and the fallback member (highest
+//    canonical rank) recomputes under the tripped token, so a
+//    stop_at_checkpoint replay of a wall-clock trip is bit-identical.
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "codesign/solver.hpp"
+#include "obs/ledger.hpp"
+
+namespace operon::codesign {
+
+/// Instance features the race selector conditions on.
+struct InstanceFeatures {
+  std::size_t nets = 0;
+  std::size_t candidates = 0;        ///< total options over all sets
+  std::size_t max_set_size = 0;
+  std::size_t interacting_pairs = 0; ///< crossing-density proxy
+  /// Scalar work surrogate the history rates multiply (coarse: nets
+  /// dominate, density and candidate volume add pressure).
+  double work() const;
+};
+
+InstanceFeatures extract_features(const SolverContext& ctx);
+
+/// Ledger-trained per-solver cost model: each non-portfolio record with
+/// a selection timing contributes one seconds-per-net rate sample.
+/// Deterministic (std::map order) — but note history only ever moves
+/// the race START order, which is a wall-clock concern; it is excluded
+/// from the options fingerprint.
+class PortfolioHistory {
+ public:
+  void add_sample(std::string_view solver, double nets, double seconds);
+  static PortfolioHistory from_records(
+      std::span<const obs::LedgerRecord> records);
+  /// Mean rate * features.work(); nullopt when no samples for `solver`.
+  std::optional<double> predict_seconds(std::string_view solver,
+                                        const InstanceFeatures& features) const;
+  std::size_t num_samples() const;
+
+ private:
+  struct PerSolver {
+    double rate_sum = 0.0;
+    std::size_t count = 0;
+  };
+  std::map<std::string, PerSolver, std::less<>> samples_;
+};
+
+struct PortfolioOptions {
+  /// Canonical member names raced, in configuration order (the
+  /// selector's fallback order). SEMANTIC — folded into the options
+  /// fingerprint (the fold prefers canonical rank, but the member SET
+  /// shapes the result).
+  std::vector<std::string> members = {"lr", "ilp-exact"};
+  /// Concurrency cap on the race (0 = one lane per member). Pure
+  /// wall-clock knob — every member still runs and the fold is
+  /// deterministic — so it is NOT semantic and stays out of the
+  /// fingerprint, like threads.
+  std::size_t lanes = 0;
+  /// Deterministic node budget imposed on exact members whose own
+  /// select.max_nodes is unlimited (see SelectOptions::max_nodes).
+  /// SEMANTIC — it decides where a hard instance's search is cut.
+  std::size_t race_max_nodes = 250000;
+  /// Accumulated history for the start-order selector (wall-clock only;
+  /// excluded from the fingerprint).
+  PortfolioHistory history;
+};
+
+class PortfolioSolver final : public SelectionSolver {
+ public:
+  /// `members` are the resolved solvers for options.members, same order.
+  PortfolioSolver(PortfolioOptions options,
+                  std::vector<std::shared_ptr<const SelectionSolver>> members);
+  std::string_view name() const override { return "portfolio"; }
+  SolverCapabilities capabilities() const override { return {false, true}; }
+  SolverOutcome solve(const SolverContext& ctx) const override;
+
+  /// Selector output: member indices in race start order (exposed for
+  /// tests). Members with history-predicted costs sort ascending by
+  /// prediction; unpredicted members keep configuration order after.
+  std::vector<std::size_t> race_order(const InstanceFeatures& features) const;
+
+  /// Fixed arbitration rank of a canonical solver name: exactness wins
+  /// power ties (ilp-exact < mip-literal < lr < anything else).
+  static std::size_t canonical_rank(std::string_view name);
+
+ private:
+  SolverOutcome degraded_fallback(const SolverContext& ctx,
+                                  std::string race_order_names) const;
+
+  PortfolioOptions options_;
+  std::vector<std::shared_ptr<const SelectionSolver>> members_;
+  std::vector<std::size_t> rank_;  ///< arbitration rank per member
+  std::size_t fallback_ = 0;       ///< member index of the trip rung
+};
+
+}  // namespace operon::codesign

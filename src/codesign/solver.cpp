@@ -1,0 +1,131 @@
+#include "codesign/solver.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace operon::codesign {
+
+bool SharedIncumbent::better(const Entry& a, const Entry& b) {
+  if (a.clean != b.clean) return a.clean;
+  if (a.power_pj != b.power_pj) return a.power_pj < b.power_pj;
+  return a.rank < b.rank;
+}
+
+void SharedIncumbent::publish(const Entry& entry) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!best_.has_value() || better(entry, *best_)) best_ = entry;
+}
+
+std::optional<SharedIncumbent::Entry> SharedIncumbent::best() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return best_;
+}
+
+void SolverRegistry::register_solver(
+    std::shared_ptr<const SelectionSolver> solver) {
+  OPERON_CHECK_MSG(solver != nullptr, "cannot register a null solver");
+  OPERON_CHECK_MSG(find(solver->name()) == nullptr,
+                   "solver '" << solver->name() << "' is already registered");
+  solvers_.push_back(std::move(solver));
+}
+
+std::shared_ptr<const SelectionSolver> SolverRegistry::find(
+    std::string_view name) const {
+  for (const std::shared_ptr<const SelectionSolver>& solver : solvers_) {
+    if (solver->name() == name) return solver;
+  }
+  return nullptr;
+}
+
+std::vector<std::shared_ptr<const SelectionSolver>> SolverRegistry::resolve(
+    std::span<const std::string> names) const {
+  std::vector<std::shared_ptr<const SelectionSolver>> resolved;
+  resolved.reserve(names.size());
+  for (const std::string& name : names) {
+    std::shared_ptr<const SelectionSolver> solver = find(name);
+    OPERON_CHECK_MSG(solver != nullptr,
+                     "no registered solver named '" << name << "'");
+    resolved.push_back(std::move(solver));
+  }
+  return resolved;
+}
+
+std::vector<std::string_view> SolverRegistry::names() const {
+  std::vector<std::string_view> out;
+  out.reserve(solvers_.size());
+  for (const std::shared_ptr<const SelectionSolver>& solver : solvers_) {
+    out.push_back(solver->name());
+  }
+  return out;
+}
+
+namespace {
+
+/// Shared context -> SelectOptions plumbing of both exact adapters.
+SelectOptions lane_select_options(const SelectOptions& configured,
+                                  const SolverContext& ctx) {
+  SelectOptions select = configured;
+  select.stop = ctx.stop;
+  select.threads = ctx.threads;
+  if (ctx.deterministic_budgets) {
+    select.time_limit_s = 0.0;
+    if (select.max_nodes == 0) select.max_nodes = ctx.race_max_nodes;
+  }
+  return select;
+}
+
+/// Outcome + degradation warning off a SelectResult. The wall-clock
+/// messages are byte-identical to the pre-API switch in core (the
+/// cancel and fault-injection suites compare diagnostic text); the
+/// node-budget variants are new with max_nodes.
+SolverOutcome from_select_result(SelectResult solved, const char* timeout_msg,
+                                 const char* node_budget_msg) {
+  SolverOutcome outcome;
+  outcome.selection = std::move(solved.selection);
+  outcome.power_pj = solved.power_pj;
+  outcome.violations = solved.violations;
+  outcome.proven_optimal = solved.proven_optimal;
+  outcome.timed_out = solved.timed_out;
+  if (solved.timed_out) {
+    outcome.degraded = true;
+    outcome.warnings.push_back(
+        {model::Severity::Warning, model::DiagCode::SolverTimeLimit,
+         solved.node_limited ? node_budget_msg : timeout_msg});
+  }
+  return outcome;
+}
+
+}  // namespace
+
+ExactSelectionSolver::ExactSelectionSolver(
+    SelectOptions options, std::shared_ptr<const SelectionSolver> warm_start)
+    : options_(std::move(options)), warm_start_(std::move(warm_start)) {}
+
+SolverOutcome ExactSelectionSolver::solve(const SolverContext& ctx) const {
+  SelectOptions select = lane_select_options(options_, ctx);
+  if (select.warm_start.empty() && warm_start_ != nullptr) {
+    SolverContext warm_ctx = ctx;
+    warm_ctx.incumbent = nullptr;  // the warm start is internal, not a lane
+    select.warm_start = warm_start_->solve(warm_ctx).selection;
+  }
+  return from_select_result(
+      solve_selection_exact(ctx.sets, *ctx.params, select),
+      "exact branch-and-bound hit its time limit; returning "
+      "the incumbent (no worse than the LR warm start)",
+      "exact branch-and-bound exhausted its node budget; returning "
+      "the incumbent (no worse than the LR warm start)");
+}
+
+MipSelectionSolver::MipSelectionSolver(SelectOptions options)
+    : options_(std::move(options)) {}
+
+SolverOutcome MipSelectionSolver::solve(const SolverContext& ctx) const {
+  return from_select_result(
+      solve_selection_mip(ctx.sets, *ctx.params,
+                          lane_select_options(options_, ctx)),
+      "literal MIP hit its time limit; returning the incumbent",
+      "literal MIP exhausted its node budget; returning the incumbent");
+}
+
+}  // namespace operon::codesign

@@ -1,0 +1,177 @@
+#pragma once
+// The selection-stage solver API: every Formulation-(3) solver —
+// exact branch-and-bound, the literal MIP, the LR speed-up, and the
+// racing portfolio — implements `SelectionSolver` and registers in a
+// `SolverRegistry`. Core's `run_selection_stage` looks the configured
+// solver up by canonical name and calls `solve(ctx)`; it never switches
+// on solver identity, so new solvers plug in without touching core.
+//
+// Contract:
+//  * `solve` must be const and thread-compatible — the portfolio races
+//    the same solver objects from several lanes concurrently.
+//  * A solver never throws on budget trips or infeasibility; it
+//    degrades (returns its best incumbent, sets `timed_out`/`degraded`,
+//    appends Warning diagnostics) exactly like the pre-API switch did.
+//  * When `ctx.deterministic_budgets` is set (racing lanes), wall-clock
+//    budgets must not be consulted: exact solvers run under the node
+//    budget `ctx.race_max_nodes` instead, so a lane's result is
+//    bit-identical on any machine at any lane/thread count.
+//  * `ctx.incumbent`, when present, is publish-only shared state: lanes
+//    may announce their final (power, clean, proven) entry, but no
+//    solver may consume it for pruning — consuming it would make a
+//    lane's search tree depend on cross-lane timing.
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "codesign/ilp_select.hpp"
+#include "codesign/selection.hpp"
+#include "model/diagnostic.hpp"
+#include "util/stop.hpp"
+
+namespace operon::codesign {
+
+struct SolverCapabilities {
+  /// Can prove optimality (sets SolverOutcome::proven_optimal).
+  bool exact = false;
+  /// Keeps a feasible incumbent under any budget trip (all current
+  /// solvers do; a future solver without this must not join races).
+  bool anytime = false;
+};
+
+/// Publish-only shared best across racing lanes. Lanes publish their
+/// final entry; the portfolio reads `best()` only AFTER the race joins
+/// (and the winner is re-derived by a deterministic fold anyway), so
+/// the mutex never serializes solver work and no solver's search path
+/// depends on what the other lanes published.
+class SharedIncumbent {
+ public:
+  struct Entry {
+    std::size_t rank = 0;  ///< canonical arbitration rank of the lane
+    double power_pj = 0.0;
+    bool clean = false;
+    bool proven_optimal = false;
+  };
+
+  void publish(const Entry& entry);
+  std::optional<Entry> best() const;
+
+  /// Arbitration order: clean beats violated, then lower power, then
+  /// lower canonical rank. Exact power comparison (no epsilon) — the
+  /// fold must be bit-deterministic.
+  static bool better(const Entry& a, const Entry& b);
+
+ private:
+  mutable std::mutex mutex_;
+  std::optional<Entry> best_;
+};
+
+/// Per-run inputs a solver needs. Solver *configuration* (time limits,
+/// iteration caps, ...) is captured by each adapter at registry build;
+/// the context only carries run state, so the interface never widens
+/// when a solver grows a knob.
+struct SolverContext {
+  std::span<const CandidateSet> sets;
+  const model::TechParams* params = nullptr;
+  /// Stage-level evaluator (thread-safe for const queries). Serves
+  /// feature extraction and post-solve auditing; solvers that need
+  /// different interaction settings build their own.
+  const SelectionEvaluator* evaluator = nullptr;
+  /// The run token (or a racing lane's chained token). Checkpoint
+  /// discipline is the solver's own (codesign.exact / lr.iteration /
+  /// ilp.bnb.node polls).
+  util::StopToken stop;
+  /// Worker threads for the solver's internal parallel_for fan-outs.
+  std::size_t threads = 1;
+  /// Racing: publish-only shared best (see SharedIncumbent). Null
+  /// outside races.
+  SharedIncumbent* incumbent = nullptr;
+  /// Racing: forbid wall-clock budgets (see file comment).
+  bool deterministic_budgets = false;
+  /// Racing: node budget for exact members whose own max_nodes is
+  /// unlimited; ignored unless deterministic_budgets is set.
+  std::size_t race_max_nodes = 0;
+};
+
+struct SolverOutcome {
+  Selection selection;
+  double power_pj = 0.0;
+  ViolationStats violations;
+  bool proven_optimal = false;
+  bool timed_out = false;
+  /// A degradation rung fired (time/node limit, non-convergence).
+  bool degraded = false;
+  std::size_t lr_iterations = 0;
+  /// Warning diagnostics to surface on the run (byte-stable text — the
+  /// fault-injection and cancel-replay suites compare messages).
+  std::vector<model::Diagnostic> warnings;
+  /// Portfolio only: canonical name of the winning member and the
+  /// comma-joined race start order ("" for plain solvers).
+  std::string winning_solver;
+  std::string race_order;
+};
+
+class SelectionSolver {
+ public:
+  virtual ~SelectionSolver() = default;
+  /// Canonical name (matches core::to_string(SolverKind)).
+  virtual std::string_view name() const = 0;
+  virtual SolverCapabilities capabilities() const = 0;
+  virtual SolverOutcome solve(const SolverContext& ctx) const = 0;
+};
+
+/// Name-keyed solver collection; registration order is preserved (it is
+/// the deterministic fallback race order).
+class SolverRegistry {
+ public:
+  /// Throws CheckError on a duplicate name.
+  void register_solver(std::shared_ptr<const SelectionSolver> solver);
+  /// Null when no solver has that name.
+  std::shared_ptr<const SelectionSolver> find(std::string_view name) const;
+  /// Resolve a member-name list; throws CheckError on unknown names
+  /// (malformed configuration — a library-boundary error).
+  std::vector<std::shared_ptr<const SelectionSolver>> resolve(
+      std::span<const std::string> names) const;
+  std::vector<std::string_view> names() const;
+
+ private:
+  std::vector<std::shared_ptr<const SelectionSolver>> solvers_;
+};
+
+/// solve_selection_exact behind the API ("ilp-exact"). Holds an
+/// optional warm-start solver (the LR adapter in the default registry):
+/// when the configured warm start is empty, its selection seeds the
+/// branch-and-bound incumbent, so a budget-limited run never returns
+/// worse than the heuristic — the pre-API "timeout falls back to the
+/// LR surrogate" rung, unchanged.
+class ExactSelectionSolver final : public SelectionSolver {
+ public:
+  ExactSelectionSolver(SelectOptions options,
+                       std::shared_ptr<const SelectionSolver> warm_start);
+  std::string_view name() const override { return "ilp-exact"; }
+  SolverCapabilities capabilities() const override { return {true, true}; }
+  SolverOutcome solve(const SolverContext& ctx) const override;
+
+ private:
+  SelectOptions options_;
+  std::shared_ptr<const SelectionSolver> warm_start_;
+};
+
+/// solve_selection_mip behind the API ("mip-literal").
+class MipSelectionSolver final : public SelectionSolver {
+ public:
+  explicit MipSelectionSolver(SelectOptions options);
+  std::string_view name() const override { return "mip-literal"; }
+  SolverCapabilities capabilities() const override { return {true, true}; }
+  SolverOutcome solve(const SolverContext& ctx) const override;
+
+ private:
+  SelectOptions options_;
+};
+
+}  // namespace operon::codesign

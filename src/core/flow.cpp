@@ -2,8 +2,10 @@
 
 #include <iterator>
 #include <map>
+#include <memory>
 #include <utility>
 
+#include "lr/lr_solver.hpp"
 #include "obs/ledger.hpp"
 #include "obs/obs.hpp"
 #include "obs/resource.hpp"
@@ -107,61 +109,52 @@ void report_budget_infeasible_nets(OperonResult& result) {
   }
 }
 
+/// The per-run solver registry: every solver the flow can run, keyed by
+/// canonical name. Adapters capture their stage options here; the
+/// SolverContext only carries per-run state, so a new solver registers
+/// below (or via a future extension hook) and core needs no other
+/// change — run_selection_stage has no per-solver switch.
+codesign::SolverRegistry build_solver_registry(const OperonOptions& options) {
+  codesign::SolverRegistry registry;
+  // The LR adapter doubles as the exact solver's warm-start: a
+  // time-limited exact run is never worse than the heuristic — the
+  // surrogate's selection seeds the incumbent, and the search only
+  // ever replaces it with something better.
+  const auto lr_solver = std::make_shared<lr::LrSelectionSolver>(options.lr);
+  registry.register_solver(
+      std::make_shared<codesign::ExactSelectionSolver>(options.select,
+                                                       lr_solver));
+  registry.register_solver(lr_solver);
+  registry.register_solver(
+      std::make_shared<codesign::MipSelectionSolver>(options.select));
+  registry.register_solver(std::make_shared<codesign::PortfolioSolver>(
+      options.portfolio, registry.resolve(options.portfolio.members)));
+  return registry;
+}
+
 void run_selection_stage(OperonResult& result, const OperonOptions& options) {
   codesign::SelectionEvaluator evaluator(result.sets, options.params);
-  switch (options.solver) {
-    case SolverKind::IlpExact: {
-      // Warm-start the branch-and-bound with a quick LR pass so a
-      // time-limited run is never worse than the heuristic — this IS the
-      // "timeout falls back to the LR surrogate" rung: the surrogate's
-      // selection seeds the incumbent, and the search only ever replaces
-      // it with something better.
-      codesign::SelectOptions select = options.select;
-      if (select.warm_start.empty()) {
-        select.warm_start =
-            lr::solve_selection_lr(result.sets, options.params, options.lr)
-                .selection;
-      }
-      const codesign::SelectResult solved = codesign::solve_selection_exact(
-          result.sets, options.params, select);
-      result.selection = solved.selection;
-      result.stats.timed_out = solved.timed_out;
-      result.stats.proven_optimal = solved.proven_optimal;
-      if (solved.timed_out) {
-        result.degraded = true;
-        add_warning(result, model::DiagCode::SolverTimeLimit,
-                    "exact branch-and-bound hit its time limit; returning "
-                    "the incumbent (no worse than the LR warm start)");
-      }
-      break;
-    }
-    case SolverKind::MipLiteral: {
-      const codesign::SelectResult solved = codesign::solve_selection_mip(
-          result.sets, options.params, options.select);
-      result.selection = solved.selection;
-      result.stats.timed_out = solved.timed_out;
-      result.stats.proven_optimal = solved.proven_optimal;
-      if (solved.timed_out) {
-        result.degraded = true;
-        add_warning(result, model::DiagCode::SolverTimeLimit,
-                    "literal MIP hit its time limit; returning the incumbent");
-      }
-      break;
-    }
-    case SolverKind::Lr: {
-      const lr::LrResult solved =
-          lr::solve_selection_lr(result.sets, options.params, options.lr);
-      result.selection = solved.selection;
-      result.stats.lr_iterations = solved.iterations;
-      if (!solved.converged) {
-        result.degraded = true;
-        add_warning(result, model::DiagCode::LrNoConvergence,
-                    util::format("LR did not converge within %zu iterations; "
-                                 "keeping the repaired final selection",
-                                 solved.iterations));
-      }
-      break;
-    }
+  const codesign::SolverRegistry registry = build_solver_registry(options);
+  const std::shared_ptr<const codesign::SelectionSolver> solver =
+      registry.find(to_string(options.solver));
+  OPERON_CHECK_MSG(solver != nullptr, "no registered solver named '"
+                                          << to_string(options.solver) << "'");
+  codesign::SolverContext ctx;
+  ctx.sets = result.sets;
+  ctx.params = &options.params;
+  ctx.evaluator = &evaluator;
+  ctx.stop = options.select.stop;  // the run token, fanned by with_stop
+  ctx.threads = options.threads;
+  codesign::SolverOutcome solved = solver->solve(ctx);
+  result.selection = std::move(solved.selection);
+  result.stats.timed_out = solved.timed_out;
+  result.stats.proven_optimal = solved.proven_optimal;
+  result.stats.lr_iterations = solved.lr_iterations;
+  result.stats.winning_solver = std::move(solved.winning_solver);
+  result.stats.portfolio_order = std::move(solved.race_order);
+  if (solved.degraded) result.degraded = true;
+  for (model::Diagnostic& warning : solved.warnings) {
+    add_warning(result, warning.code, std::move(warning.message));
   }
   // Last rung of the ladder: whatever the solver produced, a selection
   // that still violates a detection constraint is replaced by the
@@ -285,6 +278,8 @@ void emit_run_record(const OperonResult& result, const OperonOptions& options,
   record.threads = options.threads;
   record.degraded = result.degraded;
   record.trip_checkpoint = result.stats.trip_checkpoint;
+  record.winning_solver = result.stats.winning_solver;
+  record.portfolio_order = result.stats.portfolio_order;
   std::map<std::string, std::uint64_t> counts;
   for (const model::Diagnostic& diagnostic : result.diagnostics) {
     ++counts[std::string(model::to_string(diagnostic.code))];
@@ -303,8 +298,43 @@ std::string_view to_string(SolverKind solver) {
     case SolverKind::IlpExact: return "ilp-exact";
     case SolverKind::Lr: return "lr";
     case SolverKind::MipLiteral: return "mip-literal";
+    case SolverKind::Portfolio: return "portfolio";
   }
   return "unknown";
+}
+
+std::string_view report_solver_name(SolverKind solver) {
+  return solver == SolverKind::Lr ? "lagrangian-relaxation"
+                                  : to_string(solver);
+}
+
+std::optional<SolverKind> parse_solver_kind(std::string_view name) {
+  if (name == "lr" || name == "lagrangian-relaxation") return SolverKind::Lr;
+  if (name == "ilp" || name == "ilp-exact") return SolverKind::IlpExact;
+  if (name == "mip" || name == "mip-literal") return SolverKind::MipLiteral;
+  if (name == "portfolio") return SolverKind::Portfolio;
+  return std::nullopt;
+}
+
+std::vector<std::string> parse_portfolio_members(std::string_view csv) {
+  std::vector<std::string> members;
+  for (const std::string& token : util::split(csv, ',')) {
+    const std::string_view trimmed = util::trim(token);
+    if (trimmed.empty()) continue;
+    const std::optional<SolverKind> kind = parse_solver_kind(trimmed);
+    OPERON_CHECK_MSG(kind.has_value() && *kind != SolverKind::Portfolio,
+                     "unknown portfolio member '"
+                         << trimmed << "' (expected lr, ilp, or mip)");
+    const std::string canonical(to_string(*kind));
+    for (const std::string& existing : members) {
+      OPERON_CHECK_MSG(existing != canonical, "portfolio member '"
+                                                  << canonical
+                                                  << "' listed twice");
+    }
+    members.push_back(canonical);
+  }
+  OPERON_CHECK_MSG(!members.empty(), "portfolio member list is empty");
+  return members;
 }
 
 std::string options_fingerprint(const OperonOptions& options) {
@@ -364,6 +394,7 @@ std::string options_fingerprint(const OperonOptions& options) {
   flag("generation.detour_baselines", gen.detour_baselines);
 
   num("select.time_limit_s", options.select.time_limit_s);
+  count("select.max_nodes", options.select.max_nodes);
   flag("select.reduce_variables", options.select.reduce_variables);
   std::uint64_t warm = 1469598103934665603ULL;
   for (const std::size_t choice : options.select.warm_start) {
@@ -380,6 +411,20 @@ std::string options_fingerprint(const OperonOptions& options) {
   num("wdm.usage_cost", options.wdm.usage_cost);
   num("wdm.usage_rank_cost", options.wdm.usage_rank_cost);
   num("wdm.move_cost_weight", options.wdm.move_cost_weight);
+
+  // Portfolio semantics: the member SET and the deterministic race node
+  // budget shape the folded result. Lane count and ledger history only
+  // move wall clock (concurrency / start order) and stay out, exactly
+  // like threads.
+  {
+    std::string members;
+    for (const std::string& member : options.portfolio.members) {
+      members.append(member);
+      members.push_back(',');
+    }
+    field("portfolio.members", members);
+  }
+  count("portfolio.race_max_nodes", options.portfolio.race_max_nodes);
 
   field("solver", to_string(options.solver));
   flag("run_wdm_stage", options.run_wdm_stage);

@@ -5,6 +5,7 @@
 // -> WDM placement + network-flow assignment.
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "cluster/hypernet_builder.hpp"
 #include "codesign/generate.hpp"
 #include "codesign/ilp_select.hpp"
+#include "codesign/portfolio.hpp"
 #include "core/stats.hpp"
 #include "lr/lr.hpp"
 #include "model/design.hpp"
@@ -24,12 +26,31 @@ namespace operon::core {
 enum class SolverKind {
   IlpExact,   ///< "OPERON (ILP)": exact branch-and-bound, time-limited
   Lr,         ///< "OPERON (LR)": Lagrangian-relaxation speed-up
-  MipLiteral  ///< literal Formulation-(3) MIP via simplex B&B (small cases)
+  MipLiteral, ///< literal Formulation-(3) MIP via simplex B&B (small cases)
+  Portfolio   ///< deterministic race of registered solvers (see
+              ///< codesign/portfolio.hpp)
 };
 
-/// Stable identifier ("ilp-exact", "lr", "mip-literal") used in ledger
-/// records and CLI flags.
+/// Canonical identifier ("ilp-exact", "lr", "mip-literal", "portfolio")
+/// used in ledger records, CLI flags, the serve protocol, and
+/// SelectionSolver::name(). The single source of truth for solver
+/// naming — report_solver_name below is the one display-only variant.
 std::string_view to_string(SolverKind solver);
+
+/// Display name for run reports: identical to to_string except Lr,
+/// which reports as "lagrangian-relaxation" (a report-JSON golden and
+/// downstream consumers pin the historical string).
+std::string_view report_solver_name(SolverKind solver);
+
+/// Round-trip parse of to_string plus the historical CLI/serve aliases
+/// ("ilp", "mip", "lagrangian-relaxation"); nullopt on unknown names.
+std::optional<SolverKind> parse_solver_kind(std::string_view name);
+
+/// Parse and canonicalize a comma-separated portfolio member list
+/// ("lr,ilp" -> {"lr", "ilp-exact"}). Throws util::CheckError on an
+/// empty list, unknown names, "portfolio" itself, or duplicates —
+/// malformed configuration, rejected at the boundary.
+std::vector<std::string> parse_portfolio_members(std::string_view csv);
 
 struct OperonOptions {
   model::TechParams params = model::TechParams::dac18_defaults();
@@ -38,6 +59,11 @@ struct OperonOptions {
   codesign::SelectOptions select;
   lr::LrOptions lr;
   wdm::AssignOptions wdm;
+  /// Portfolio-solver configuration (members, lanes, race node budget,
+  /// selector history); only consulted when solver == Portfolio.
+  /// members/race_max_nodes are semantic (fingerprinted); lanes and
+  /// history are wall-clock knobs and are not.
+  codesign::PortfolioOptions portfolio;
   SolverKind solver = SolverKind::Lr;
   bool run_wdm_stage = true;
   /// Worker threads for the parallel stages (candidate generation,

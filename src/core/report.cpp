@@ -8,17 +8,6 @@
 
 namespace operon::core {
 
-namespace {
-const char* solver_name(SolverKind kind) {
-  switch (kind) {
-    case SolverKind::IlpExact: return "ilp-exact";
-    case SolverKind::Lr: return "lagrangian-relaxation";
-    case SolverKind::MipLiteral: return "mip-literal";
-  }
-  return "?";
-}
-}  // namespace
-
 std::string report_json(const model::Design& design,
                         const OperonResult& result,
                         const OperonOptions& options,
@@ -43,10 +32,15 @@ std::string report_json(const model::Design& design,
   json.end_object();
 
   json.key("solver").begin_object();
-  json.key("kind").value(solver_name(options.solver));
+  json.key("kind").value(report_solver_name(options.solver));
   json.key("timed_out").value(stats.timed_out);
   json.key("proven_optimal").value(stats.proven_optimal);
   json.key("lr_iterations").value(stats.lr_iterations);
+  // Portfolio runs only, so plain-solver reports stay byte-identical.
+  if (!stats.winning_solver.empty()) {
+    json.key("winning_solver").value(stats.winning_solver);
+    json.key("portfolio_order").value(stats.portfolio_order);
+  }
   json.end_object();
 
   json.key("result").begin_object();

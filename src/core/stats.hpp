@@ -43,6 +43,13 @@ struct RunStats {
   bool proven_optimal = false;
   /// LR solver only: iterations until convergence or the cap.
   std::size_t lr_iterations = 0;
+  /// Portfolio solver only: canonical name of the member whose result
+  /// won the deterministic fold, and the comma-joined race start order
+  /// the selector chose. Empty for plain solvers. winning_solver is
+  /// deterministic; the order can shift with accumulated ledger history
+  /// (wall-clock concern — it never changes the folded result).
+  std::string winning_solver;
+  std::string portfolio_order;
   /// Run-budget trip record: the numbered checkpoint at which the run
   /// stopped (0 = ran to completion) and the stage label that polled it.
   /// Replaying trip_checkpoint via OperonOptions::stop_at_checkpoint

@@ -1,0 +1,36 @@
+#include "lr/lr_solver.hpp"
+
+#include <utility>
+
+#include "util/strings.hpp"
+
+namespace operon::lr {
+
+LrSelectionSolver::LrSelectionSolver(LrOptions options)
+    : options_(std::move(options)) {}
+
+codesign::SolverOutcome LrSelectionSolver::solve(
+    const codesign::SolverContext& ctx) const {
+  // LR's budget is the iteration cap — already deterministic, so
+  // ctx.deterministic_budgets needs no handling here.
+  LrOptions options = options_;
+  options.stop = ctx.stop;
+  options.threads = ctx.threads;
+  LrResult solved = solve_selection_lr(ctx.sets, *ctx.params, options);
+  codesign::SolverOutcome outcome;
+  outcome.selection = std::move(solved.selection);
+  outcome.power_pj = solved.power_pj;
+  outcome.violations = solved.violations;
+  outcome.lr_iterations = solved.iterations;
+  if (!solved.converged) {
+    outcome.degraded = true;
+    outcome.warnings.push_back(
+        {model::Severity::Warning, model::DiagCode::LrNoConvergence,
+         util::format("LR did not converge within %zu iterations; "
+                      "keeping the repaired final selection",
+                      solved.iterations)});
+  }
+  return outcome;
+}
+
+}  // namespace operon::lr

@@ -1,0 +1,26 @@
+#pragma once
+// solve_selection_lr behind the SelectionSolver API ("lr"). Lives in
+// the lr module (codesign is below lr in the dependency order and must
+// not link it); core registers it — and hands it to the exact adapter
+// as the warm-start solver — when building the per-run registry.
+
+#include "codesign/solver.hpp"
+#include "lr/lr.hpp"
+
+namespace operon::lr {
+
+class LrSelectionSolver final : public codesign::SelectionSolver {
+ public:
+  explicit LrSelectionSolver(LrOptions options);
+  std::string_view name() const override { return "lr"; }
+  codesign::SolverCapabilities capabilities() const override {
+    return {false, true};
+  }
+  codesign::SolverOutcome solve(
+      const codesign::SolverContext& ctx) const override;
+
+ private:
+  LrOptions options_;
+};
+
+}  // namespace operon::lr

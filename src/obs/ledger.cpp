@@ -66,6 +66,8 @@ bool operator==(const LedgerRecord& a, const LedgerRecord& b) {
          a.git == b.git && a.options == b.options && a.solver == b.solver &&
          a.threads == b.threads && a.degraded == b.degraded &&
          a.trip_checkpoint == b.trip_checkpoint &&
+         a.winning_solver == b.winning_solver &&
+         a.portfolio_order == b.portfolio_order &&
          a.diagnostics == b.diagnostics && a.metrics == b.metrics &&
          a.timings == b.timings;
 }
@@ -95,6 +97,8 @@ std::string to_json_line(const LedgerRecord& record) {
   json.key("threads").value(static_cast<std::uint64_t>(record.threads));
   json.key("degraded").value(record.degraded);
   json.key("trip_checkpoint").value(record.trip_checkpoint);
+  json.key("winning_solver").value(record.winning_solver);
+  json.key("portfolio_order").value(record.portfolio_order);
   json.key("diagnostics").begin_object();
   for (const auto& [code, count] : record.diagnostics) {
     json.key(code).value(count);
@@ -127,6 +131,11 @@ LedgerRecord ledger_record_from_json(const util::JsonValue& value) {
   // v2 field; v1 records predate run budgets, so they never tripped.
   record.trip_checkpoint =
       record.schema >= 2 ? uint_member(value, "trip_checkpoint") : 0;
+  // v3 fields; pre-portfolio records are plain-solver runs.
+  if (record.schema >= 3) {
+    record.winning_solver = value.at("winning_solver").as_string();
+    record.portfolio_order = value.at("portfolio_order").as_string();
+  }
   record.diagnostics.clear();
   for (const auto& [code, count] : value.at("diagnostics").members()) {
     OPERON_CHECK_MSG(count.is(util::JsonType::Number),

@@ -42,9 +42,10 @@ namespace operon::obs {
 
 /// Bump when the record layout changes incompatibly; readers reject
 /// unknown versions instead of guessing. v2 added trip_checkpoint (run
-/// budget cancellation); v1 records still parse, with trip_checkpoint
-/// defaulting to 0.
-inline constexpr int kLedgerSchemaVersion = 2;
+/// budget cancellation); v3 added winning_solver / portfolio_order
+/// (portfolio races). Older records still parse, with the newer fields
+/// at their defaults (0 / empty).
+inline constexpr int kLedgerSchemaVersion = 3;
 inline constexpr int kLedgerMinSchemaVersion = 1;
 
 /// `git describe --always --dirty` of the tree this binary was built
@@ -73,6 +74,13 @@ struct LedgerRecord {
   /// the budget (or a stop_at_checkpoint replay) tripped. Semantic:
   /// bit-identical at any thread count for a deterministic trip.
   std::uint64_t trip_checkpoint = 0;
+  /// Portfolio runs only (v3): the member whose result won the
+  /// deterministic fold, and the comma-joined race start order. Both
+  /// empty for plain solvers. winning_solver is deterministic at any
+  /// thread count; the order can shift with accumulated history
+  /// (wall-clock concern), so neither joins semantic_equal.
+  std::string winning_solver;
+  std::string portfolio_order;
   /// Warning counts per DiagCode wire name, sorted by name.
   std::vector<std::pair<std::string, std::uint64_t>> diagnostics;
   /// Semantic metric points, in registration order.

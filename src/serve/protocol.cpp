@@ -1,9 +1,11 @@
 #include "serve/protocol.hpp"
 
 #include <cmath>
+#include <optional>
 #include <utility>
 #include <vector>
 
+#include "core/flow.hpp"
 #include "util/check.hpp"
 #include "util/json.hpp"
 #include "util/strings.hpp"
@@ -136,10 +138,22 @@ Request parse_request(std::string_view line) {
                        "'priority' must be an integer in [-1e6, 1e6]");
       request.spec.priority = static_cast<int>(p);
     } else if (key == "solver" && is_submit) {
-      const std::string solver = as_name(value, "solver", 16);
-      OPERON_CHECK_MSG(solver == "lr" || solver == "ilp" || solver == "mip",
-                       "'solver' must be one of lr|ilp|mip");
-      request.spec.solver = solver;
+      const std::string solver = as_name(value, "solver", 24);
+      const std::optional<core::SolverKind> kind =
+          core::parse_solver_kind(solver);
+      OPERON_CHECK_MSG(kind.has_value(),
+                       "'solver' must be one of lr|ilp|mip|portfolio");
+      // Store the canonical name so aliased submits share one identity.
+      request.spec.solver = std::string(core::to_string(*kind));
+    } else if (key == "portfolio_order" && is_submit) {
+      const std::string order = as_name(value, "portfolio_order", 128);
+      // Canonicalize through the core parser (throws CheckError on
+      // unknown members or duplicates — a malformed frame).
+      request.spec.portfolio_order =
+          util::join(core::parse_portfolio_members(order), ",");
+    } else if (key == "portfolio_lanes" && is_submit) {
+      request.spec.portfolio_lanes =
+          static_cast<std::size_t>(as_uint(value, "portfolio_lanes", 1024));
     } else if (key == "ilp_limit_s" && is_submit) {
       request.spec.ilp_limit_s = as_budget(value, "ilp_limit_s");
     } else if (key == "max_loss_db" && is_submit) {
@@ -179,6 +193,13 @@ std::string to_json_line(const Request& request) {
       json.key("tenant").value(spec.tenant);
       json.key("priority").value(spec.priority);
       json.key("solver").value(spec.solver);
+      if (!spec.portfolio_order.empty()) {
+        json.key("portfolio_order").value(spec.portfolio_order);
+      }
+      if (spec.portfolio_lanes != 0) {
+        json.key("portfolio_lanes")
+            .value(static_cast<std::uint64_t>(spec.portfolio_lanes));
+      }
       json.key("ilp_limit_s").value(spec.ilp_limit_s);
       if (spec.max_loss_db > 0.0) {
         json.key("max_loss_db").value(spec.max_loss_db);

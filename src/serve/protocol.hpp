@@ -55,7 +55,13 @@ struct JobSpec {
   std::size_t bits_hi = 8;
   std::string tenant = "default";  ///< fair-share bucket, not semantic
   int priority = 0;                ///< higher pops first, not semantic
-  std::string solver = "lr";       ///< lr | ilp | mip
+  std::string solver = "lr";       ///< lr | ilp | mip | portfolio (+aliases)
+  /// Portfolio member list, canonical comma-joined ("" = portfolio
+  /// defaults). Semantic: it selects the raced solver set.
+  std::string portfolio_order;
+  /// Portfolio lane concurrency (0 = one lane per member). Wall-clock
+  /// only — excluded from the options fingerprint like threads.
+  std::size_t portfolio_lanes = 0;
   double ilp_limit_s = 20.0;       ///< exact-solver budget
   double max_loss_db = 0.0;        ///< 0 = tech default (lm)
   double time_limit_s = 0.0;       ///< whole-run budget; 0 = unlimited

@@ -16,15 +16,16 @@ namespace operon::serve {
 
 core::OperonOptions options_for(const JobSpec& spec) {
   core::OperonOptions options;
-  if (spec.solver == "ilp") {
-    options.solver = core::SolverKind::IlpExact;
-  } else if (spec.solver == "mip") {
-    options.solver = core::SolverKind::MipLiteral;
-  } else {
-    OPERON_CHECK_MSG(spec.solver == "lr",
-                     "unknown solver '" << spec.solver << "'");
-    options.solver = core::SolverKind::Lr;
+  const std::optional<core::SolverKind> kind =
+      core::parse_solver_kind(spec.solver);
+  OPERON_CHECK_MSG(kind.has_value(),
+                   "unknown solver '" << spec.solver << "'");
+  options.solver = *kind;
+  if (!spec.portfolio_order.empty()) {
+    options.portfolio.members =
+        core::parse_portfolio_members(spec.portfolio_order);
   }
+  options.portfolio.lanes = spec.portfolio_lanes;
   options.select.time_limit_s = spec.ilp_limit_s;
   if (spec.max_loss_db > 0.0) {
     options.params.optical.max_loss_db = spec.max_loss_db;

@@ -20,6 +20,16 @@ std::vector<std::string> split(std::string_view text, char delim) {
   }
 }
 
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view delim) {
+  std::string out;
+  for (const std::string& part : parts) {
+    if (!out.empty()) out.append(delim);
+    out.append(part);
+  }
+  return out;
+}
+
 std::string_view trim(std::string_view text) {
   const auto is_space = [](char c) {
     return c == ' ' || c == '\t' || c == '\r' || c == '\n';

@@ -11,6 +11,10 @@ namespace operon::util {
 /// Split on a delimiter; empty fields are kept.
 std::vector<std::string> split(std::string_view text, char delim);
 
+/// Join with a delimiter; the inverse of split for non-empty fields.
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view delim);
+
 /// Strip leading/trailing ASCII whitespace.
 std::string_view trim(std::string_view text);
 

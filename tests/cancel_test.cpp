@@ -192,6 +192,73 @@ TEST(Cancel, SelectionOnlyHonorsStopAt) {
   EXPECT_TRUE(has_code(result.diagnostics, om::DiagCode::RunTimeLimit));
 }
 
+TEST(Cancel, PortfolioRaceCheckpointsReplayDeterministically) {
+  // The portfolio polls the run token at exactly two numbered serial
+  // checkpoints ("portfolio.race": pre-race and post-join). Tripping
+  // either discards every lane result and degrades onto the fallback
+  // member under the tripped token — replayable bit-identically at any
+  // thread count, with the dedicated fallback warning text.
+  const om::Design design = cancel_design(26);
+  oc::OperonOptions prep_options;
+  oc::OperonResult prep = oc::run_operon(design, prep_options);
+
+  for (const std::uint64_t stop_at : {1u, 2u}) {
+    oc::OperonOptions options;
+    options.solver = oc::SolverKind::Portfolio;
+    options.stop_at_checkpoint = stop_at;
+    options.threads = 1;
+    const oc::OperonResult reference =
+        oc::run_selection_only(prep.sets, options);
+    const std::string label = "stop_at=" + std::to_string(stop_at);
+    EXPECT_TRUE(reference.degraded) << label;
+    EXPECT_EQ(reference.stats.trip_checkpoint, stop_at) << label;
+    EXPECT_EQ(reference.stats.trip_stage, "portfolio.race") << label;
+    EXPECT_TRUE(has_code(reference.diagnostics, om::DiagCode::SolverTimeLimit))
+        << label;
+    bool fallback_warned = false;
+    for (const om::Diagnostic& diagnostic : reference.diagnostics) {
+      if (diagnostic.message.find("portfolio race stopped by the run "
+                                  "budget") != std::string::npos) {
+        fallback_warned = true;
+      }
+    }
+    EXPECT_TRUE(fallback_warned) << label;
+
+    for (const std::size_t threads : {2u, 8u}) {
+      oc::OperonOptions replay = options;
+      replay.threads = threads;
+      const oc::OperonResult result =
+          oc::run_selection_only(prep.sets, replay);
+      expect_identical(reference, result,
+                       label + " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+TEST(Cancel, PortfolioWallClockTripReplaysBitIdentically) {
+  // A real wall-clock trip during a portfolio run records its numbered
+  // checkpoint like any other stage; replaying it via
+  // stop_at_checkpoint reproduces the whole degraded result.
+  const om::Design design = cancel_design(27);
+  oc::OperonOptions timed;
+  timed.solver = oc::SolverKind::Portfolio;
+  timed.run_time_limit_s = 1e-6;
+  const oc::OperonResult tripped = oc::run_operon(design, timed);
+  ASSERT_NE(tripped.stats.trip_checkpoint, 0u);
+  EXPECT_TRUE(tripped.degraded);
+  EXPECT_TRUE(oc::verify_result(tripped, timed).empty());
+
+  for (const std::size_t threads : {1u, 4u}) {
+    oc::OperonOptions replay;
+    replay.solver = oc::SolverKind::Portfolio;
+    replay.stop_at_checkpoint = tripped.stats.trip_checkpoint;
+    replay.threads = threads;
+    const oc::OperonResult replayed = oc::run_operon(design, replay);
+    expect_identical(tripped, replayed,
+                     "portfolio replay threads=" + std::to_string(threads));
+  }
+}
+
 // -- watchdog --------------------------------------------------------------
 
 TEST(Watchdog, FiresOnSilentTokenWithStallReport) {

@@ -26,25 +26,28 @@ namespace os = operon::serve;
 
 namespace {
 
+// Retuned 2026-08: the portfolio solver added three semantic fields
+// (select.max_nodes, portfolio.members, portfolio.race_max_nodes) to
+// the fold — an intentional schema change, moving every golden at once.
 TEST(Fingerprint, GoldenDefaultOptions) {
   EXPECT_EQ(oc::options_fingerprint(oc::OperonOptions{}),
-            "lr-241b85f3edbc1b56");
+            "lr-a7ce067dcf6ee721");
 }
 
 TEST(Fingerprint, GoldenSolverVariants) {
   oc::OperonOptions ilp;
   ilp.solver = oc::SolverKind::IlpExact;
-  EXPECT_EQ(oc::options_fingerprint(ilp), "ilp-exact-e371fbdd75e42af1");
+  EXPECT_EQ(oc::options_fingerprint(ilp), "ilp-exact-932a8d617c37c244");
   oc::OperonOptions mip;
   mip.solver = oc::SolverKind::MipLiteral;
-  EXPECT_EQ(oc::options_fingerprint(mip), "mip-literal-ffd369daf5c74b9a");
+  EXPECT_EQ(oc::options_fingerprint(mip), "mip-literal-51c8be36d36f4cc7");
 }
 
 TEST(Fingerprint, GoldenServeDefaultJob) {
   // The fingerprint a default serve submit resolves to (ilp_limit_s
   // 20, lr solver). The serve cache key and every warm daemon restart
   // depend on this staying put.
-  EXPECT_EQ(os::job_key(os::JobSpec{}), "I1/1/lr-762befb437412ada");
+  EXPECT_EQ(os::job_key(os::JobSpec{}), "I1/1/lr-ed3748f80c900d7d");
 }
 
 TEST(Fingerprint, ThreadCountIsExcluded) {
@@ -113,6 +116,38 @@ TEST(Fingerprint, SemanticFieldsSeparateCleanly) {
           << "variants " << i << " and " << j << " collide";
     }
   }
+}
+
+TEST(Fingerprint, PortfolioSemanticsIncludedWallClockKnobsExcluded) {
+  oc::OperonOptions base;
+  base.solver = oc::SolverKind::Portfolio;
+  const std::string fingerprint = oc::options_fingerprint(base);
+  ASSERT_EQ(fingerprint.rfind("portfolio-", 0), 0u) << fingerprint;
+
+  // Member list and the race node budget change the raced result —
+  // semantic, so each must move the fingerprint.
+  oc::OperonOptions members = base;
+  members.portfolio.members = {"lr", "mip-literal"};
+  EXPECT_NE(oc::options_fingerprint(members), fingerprint);
+
+  oc::OperonOptions budget = base;
+  budget.portfolio.race_max_nodes = 1000;
+  EXPECT_NE(oc::options_fingerprint(budget), fingerprint);
+
+  oc::OperonOptions nodes = base;
+  nodes.select.max_nodes = 5000;
+  EXPECT_NE(oc::options_fingerprint(nodes), fingerprint);
+
+  // Lane concurrency and selector history only reorder/parallelize the
+  // race (wall clock); the folded winner is invariant, so neither may
+  // split ledger histories.
+  oc::OperonOptions lanes = base;
+  lanes.portfolio.lanes = 2;
+  EXPECT_EQ(oc::options_fingerprint(lanes), fingerprint);
+
+  oc::OperonOptions history = base;
+  history.portfolio.history.add_sample("lr", 100.0, 0.5);
+  EXPECT_EQ(oc::options_fingerprint(history), fingerprint);
 }
 
 TEST(Fingerprint, ServeJobKeyLayout) {

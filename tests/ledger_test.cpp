@@ -135,28 +135,53 @@ TEST(Ledger, ParserRejectsWrongSchemaAndMisplacedTimingPoints) {
                operon::util::CheckError);
 }
 
-TEST(Ledger, SchemaV1RecordsParseWithZeroTripCheckpoint) {
-  // Pre-run-budget ledgers (schema 1, no trip_checkpoint key) must keep
-  // parsing: they never tripped, so the field defaults to 0.
+TEST(Ledger, OlderSchemaRecordsParseWithDefaultedNewerFields) {
+  // Pre-run-budget ledgers (schema 1, no trip_checkpoint key) and
+  // pre-portfolio ledgers (schema 2, no winning_solver/portfolio_order
+  // keys) must keep parsing, with the newer fields at their defaults.
   oo::LedgerRecord record = sample_record();
   record.trip_checkpoint = 17;
-  std::string line = oo::to_json_line(record);
-  const std::string v2_schema = "\"schema\":2";
+  record.winning_solver = "lr";
+  record.portfolio_order = "lr,ilp-exact";
+  const std::string current = oo::to_json_line(record);
+  const std::string v3_schema = "\"schema\":3";
   const std::string v2_field = "\"trip_checkpoint\":17,";
-  ASSERT_NE(line.find(v2_schema), std::string::npos);
-  ASSERT_NE(line.find(v2_field), std::string::npos);
-  line.replace(line.find(v2_schema), v2_schema.size(), "\"schema\":1");
-  line.replace(line.find(v2_field), v2_field.size(), "");
+  const std::string v3_fields =
+      "\"winning_solver\":\"lr\",\"portfolio_order\":\"lr,ilp-exact\",";
+  ASSERT_NE(current.find(v3_schema), std::string::npos);
+  ASSERT_NE(current.find(v2_field), std::string::npos);
+  ASSERT_NE(current.find(v3_fields), std::string::npos);
 
-  const oo::LedgerRecord parsed = oo::parse_ledger_record(line);
-  EXPECT_EQ(parsed.schema, 1);
-  EXPECT_EQ(parsed.trip_checkpoint, 0u);
-  EXPECT_EQ(parsed.case_id, record.case_id);
+  std::string v1 = current;
+  v1.replace(v1.find(v3_schema), v3_schema.size(), "\"schema\":1");
+  v1.replace(v1.find(v2_field), v2_field.size(), "");
+  v1.replace(v1.find(v3_fields), v3_fields.size(), "");
+  const oo::LedgerRecord parsed_v1 = oo::parse_ledger_record(v1);
+  EXPECT_EQ(parsed_v1.schema, 1);
+  EXPECT_EQ(parsed_v1.trip_checkpoint, 0u);
+  EXPECT_EQ(parsed_v1.winning_solver, "");
+  EXPECT_EQ(parsed_v1.case_id, record.case_id);
 
-  // A schema-2 record without the field is malformed, not defaulted.
-  std::string broken = oo::to_json_line(record);
-  broken.replace(broken.find(v2_field), v2_field.size(), "");
-  EXPECT_THROW(oo::parse_ledger_record(broken), operon::util::CheckError);
+  std::string v2 = current;
+  v2.replace(v2.find(v3_schema), v3_schema.size(), "\"schema\":2");
+  v2.replace(v2.find(v3_fields), v3_fields.size(), "");
+  const oo::LedgerRecord parsed_v2 = oo::parse_ledger_record(v2);
+  EXPECT_EQ(parsed_v2.schema, 2);
+  EXPECT_EQ(parsed_v2.trip_checkpoint, 17u);
+  EXPECT_EQ(parsed_v2.winning_solver, "");
+  EXPECT_EQ(parsed_v2.portfolio_order, "");
+
+  // Records claiming the current schema are held to it strictly: a
+  // missing newer field is malformed, not defaulted.
+  std::string missing_trip = current;
+  missing_trip.replace(missing_trip.find(v2_field), v2_field.size(), "");
+  EXPECT_THROW(oo::parse_ledger_record(missing_trip),
+               operon::util::CheckError);
+  std::string missing_portfolio = current;
+  missing_portfolio.replace(missing_portfolio.find(v3_fields),
+                            v3_fields.size(), "");
+  EXPECT_THROW(oo::parse_ledger_record(missing_portfolio),
+               operon::util::CheckError);
 }
 
 TEST(Compare, IdenticalLedgersAreOk) {

@@ -1,0 +1,374 @@
+// Portfolio solver suite: the SelectionSolver registry contract, the
+// canonical solver-name maps, deterministic racing (bit-identical plans
+// at any thread count, lane count, and member order), the differential
+// check against each fixed solver, deterministic node-budget cuts, the
+// ledger-trained race-order selector, and the ledger record fields a
+// portfolio run emits.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "benchgen/benchgen.hpp"
+#include "codesign/portfolio.hpp"
+#include "codesign/solver.hpp"
+#include "core/flow.hpp"
+#include "lr/lr_solver.hpp"
+#include "model/diagnostic.hpp"
+#include "obs/ledger.hpp"
+#include "util/check.hpp"
+
+namespace oc = operon::core;
+namespace ocd = operon::codesign;
+namespace om = operon::model;
+namespace oo = operon::obs;
+
+namespace {
+
+om::Design race_design(std::uint64_t seed) {
+  operon::benchgen::BenchmarkSpec spec;
+  spec.name = "portfolio-design";
+  spec.num_groups = 10;
+  spec.bits_lo = 2;
+  spec.bits_hi = 5;
+  spec.seed = seed;
+  return operon::benchgen::generate_benchmark(spec);
+}
+
+/// Candidate sets for a design, prepared once so every solver sees the
+/// identical selection instance (table1_main's differential idiom).
+std::vector<ocd::CandidateSet> prepare_sets(const om::Design& design) {
+  oc::OperonOptions options;
+  options.run_wdm_stage = false;
+  return oc::run_operon(design, options).sets;
+}
+
+oc::OperonResult solve_with(const std::vector<ocd::CandidateSet>& sets,
+                            oc::SolverKind solver) {
+  oc::OperonOptions options;
+  options.solver = solver;
+  return oc::run_selection_only(sets, options);
+}
+
+bool has_code(const std::vector<om::Diagnostic>& diagnostics,
+              om::DiagCode code) {
+  for (const om::Diagnostic& diagnostic : diagnostics) {
+    if (diagnostic.code == code) return true;
+  }
+  return false;
+}
+
+/// Plan-level semantic equality plus the portfolio outcome fields and
+/// every non-timing metric point.
+void expect_identical(const oc::OperonResult& a, const oc::OperonResult& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.stats.power_pj, b.stats.power_pj) << label;
+  EXPECT_EQ(a.selection, b.selection) << label;
+  EXPECT_EQ(a.degraded, b.degraded) << label;
+  EXPECT_EQ(a.stats.winning_solver, b.stats.winning_solver) << label;
+  EXPECT_EQ(a.stats.portfolio_order, b.stats.portfolio_order) << label;
+  ASSERT_EQ(a.diagnostics.size(), b.diagnostics.size()) << label;
+  for (std::size_t i = 0; i < a.diagnostics.size(); ++i) {
+    EXPECT_EQ(a.diagnostics[i].code, b.diagnostics[i].code) << label;
+    EXPECT_EQ(a.diagnostics[i].message, b.diagnostics[i].message) << label;
+  }
+  const auto semantic = [](const oc::OperonResult& result) {
+    std::vector<oo::MetricPoint> points;
+    for (const oo::MetricPoint& point : result.stats.metrics.points) {
+      if (!point.timing) points.push_back(point);
+    }
+    return points;
+  };
+  const std::vector<oo::MetricPoint> sa = semantic(a);
+  const std::vector<oo::MetricPoint> sb = semantic(b);
+  ASSERT_EQ(sa.size(), sb.size()) << label;
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_TRUE(sa[i] == sb[i]) << label << " point=" << sa[i].name;
+  }
+}
+
+}  // namespace
+
+// -- solver name maps ------------------------------------------------------
+
+TEST(SolverNames, CanonicalNamesRoundTripWithAliases) {
+  for (const oc::SolverKind kind :
+       {oc::SolverKind::IlpExact, oc::SolverKind::Lr,
+        oc::SolverKind::MipLiteral, oc::SolverKind::Portfolio}) {
+    const auto parsed = oc::parse_solver_kind(oc::to_string(kind));
+    ASSERT_TRUE(parsed.has_value()) << oc::to_string(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_EQ(oc::parse_solver_kind("ilp"), oc::SolverKind::IlpExact);
+  EXPECT_EQ(oc::parse_solver_kind("mip"), oc::SolverKind::MipLiteral);
+  EXPECT_EQ(oc::parse_solver_kind("lagrangian-relaxation"),
+            oc::SolverKind::Lr);
+  EXPECT_FALSE(oc::parse_solver_kind("cp-sat").has_value());
+  EXPECT_FALSE(oc::parse_solver_kind("").has_value());
+
+  // The report display name diverges for LR only (a pinned historical
+  // string); everything else matches the canonical name.
+  EXPECT_EQ(oc::report_solver_name(oc::SolverKind::Lr),
+            "lagrangian-relaxation");
+  EXPECT_EQ(oc::report_solver_name(oc::SolverKind::IlpExact), "ilp-exact");
+  EXPECT_EQ(oc::report_solver_name(oc::SolverKind::Portfolio), "portfolio");
+}
+
+TEST(SolverNames, ParseMembersCanonicalizesAndRejects) {
+  const std::vector<std::string> members =
+      oc::parse_portfolio_members(" lr , ilp ");
+  ASSERT_EQ(members.size(), 2u);
+  EXPECT_EQ(members[0], "lr");
+  EXPECT_EQ(members[1], "ilp-exact");
+
+  EXPECT_THROW(oc::parse_portfolio_members(""), operon::util::CheckError);
+  EXPECT_THROW(oc::parse_portfolio_members("lr,bogus"),
+               operon::util::CheckError);
+  EXPECT_THROW(oc::parse_portfolio_members("lr,lagrangian-relaxation"),
+               operon::util::CheckError);  // duplicate after canonicalizing
+  EXPECT_THROW(oc::parse_portfolio_members("portfolio"),
+               operon::util::CheckError);  // a portfolio cannot race itself
+}
+
+// -- registry --------------------------------------------------------------
+
+TEST(SolverRegistry, RejectsDuplicatesFindsByNameResolvesLists) {
+  ocd::SolverRegistry registry;
+  registry.register_solver(
+      std::make_shared<ocd::MipSelectionSolver>(ocd::SelectOptions{}));
+  EXPECT_THROW(registry.register_solver(std::make_shared<ocd::MipSelectionSolver>(
+                   ocd::SelectOptions{})),
+               operon::util::CheckError);
+
+  EXPECT_NE(registry.find("mip-literal"), nullptr);
+  EXPECT_EQ(registry.find("lr"), nullptr);
+
+  const std::vector<std::string> known = {"mip-literal"};
+  EXPECT_EQ(registry.resolve(known).size(), 1u);
+  const std::vector<std::string> unknown = {"mip-literal", "bogus"};
+  EXPECT_THROW(registry.resolve(unknown), operon::util::CheckError);
+}
+
+// -- arbitration -----------------------------------------------------------
+
+TEST(SharedIncumbent, ArbitrationOrderAndPublish) {
+  using Entry = ocd::SharedIncumbent::Entry;
+  const Entry clean_cheap{2, 10.0, true, false};
+  const Entry clean_pricey{0, 20.0, true, true};
+  const Entry dirty_cheap{0, 1.0, false, true};
+  const Entry clean_cheap_exact{0, 10.0, true, true};
+
+  EXPECT_TRUE(ocd::SharedIncumbent::better(clean_cheap, dirty_cheap));
+  EXPECT_TRUE(ocd::SharedIncumbent::better(clean_cheap, clean_pricey));
+  // Power tie: the lower canonical rank (more exact member) wins.
+  EXPECT_TRUE(ocd::SharedIncumbent::better(clean_cheap_exact, clean_cheap));
+  EXPECT_FALSE(ocd::SharedIncumbent::better(clean_cheap, clean_cheap));
+
+  ocd::SharedIncumbent incumbent;
+  EXPECT_FALSE(incumbent.best().has_value());
+  incumbent.publish(clean_pricey);
+  incumbent.publish(clean_cheap);
+  incumbent.publish(dirty_cheap);  // worse: must not replace
+  ASSERT_TRUE(incumbent.best().has_value());
+  EXPECT_EQ(incumbent.best()->power_pj, 10.0);
+  EXPECT_TRUE(incumbent.best()->clean);
+}
+
+TEST(PortfolioSolverApi, CanonicalRankPrefersExactness) {
+  EXPECT_LT(ocd::PortfolioSolver::canonical_rank("ilp-exact"),
+            ocd::PortfolioSolver::canonical_rank("mip-literal"));
+  EXPECT_LT(ocd::PortfolioSolver::canonical_rank("mip-literal"),
+            ocd::PortfolioSolver::canonical_rank("lr"));
+  EXPECT_LT(ocd::PortfolioSolver::canonical_rank("lr"),
+            ocd::PortfolioSolver::canonical_rank("future-solver"));
+}
+
+// -- race-order selector ---------------------------------------------------
+
+TEST(PortfolioSelector, HistoryOrdersTheRaceByPredictedCost) {
+  ocd::PortfolioOptions options;
+  options.members = {"lr", "ilp-exact"};
+  std::vector<std::shared_ptr<const ocd::SelectionSolver>> members;
+  const auto lr = std::make_shared<operon::lr::LrSelectionSolver>(
+      operon::lr::LrOptions{});
+  members.push_back(std::make_shared<ocd::ExactSelectionSolver>(
+      ocd::SelectOptions{}, lr));
+  members.push_back(lr);
+  // members[0] = ilp-exact, members[1] = lr (resolution order).
+  std::swap(members[0], members[1]);
+  // Now members[0] = lr, members[1] = ilp-exact, matching options.members.
+
+  ocd::InstanceFeatures features;
+  features.nets = 100;
+
+  {
+    // No history: configuration order.
+    ocd::PortfolioSolver solver(options, members);
+    const std::vector<std::size_t> order = solver.race_order(features);
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 0u);
+    EXPECT_EQ(order[1], 1u);
+  }
+  {
+    // History says ilp-exact is far faster here: it starts first.
+    ocd::PortfolioOptions trained = options;
+    trained.history.add_sample("lr", 100.0, 10.0);
+    trained.history.add_sample("ilp-exact", 100.0, 0.5);
+    ocd::PortfolioSolver solver(trained, members);
+    const std::vector<std::size_t> order = solver.race_order(features);
+    EXPECT_EQ(order[0], 1u);
+    EXPECT_EQ(order[1], 0u);
+
+    const auto lr_prediction = trained.history.predict_seconds("lr", features);
+    ASSERT_TRUE(lr_prediction.has_value());
+    EXPECT_GT(*lr_prediction, 0.0);
+    EXPECT_FALSE(
+        trained.history.predict_seconds("mip-literal", features).has_value());
+  }
+}
+
+TEST(PortfolioSelector, FromRecordsSkipsPortfolioRows) {
+  const auto gauge = [](const char* name, double value, bool timing) {
+    oo::MetricPoint point;
+    point.name = name;
+    point.kind = oo::MetricKind::Gauge;
+    point.timing = timing;
+    point.value = value;
+    return point;
+  };
+  oo::LedgerRecord lr_record;
+  lr_record.solver = "lr";
+  lr_record.metrics.push_back(gauge("core.optical_nets", 40.0, false));
+  lr_record.metrics.push_back(gauge("core.electrical_nets", 60.0, false));
+  lr_record.timings.push_back(gauge("time.selection_s", 2.0, true));
+  oo::LedgerRecord race_record = lr_record;
+  race_record.solver = "portfolio";
+
+  const std::vector<oo::LedgerRecord> records = {lr_record, race_record};
+  const ocd::PortfolioHistory history =
+      ocd::PortfolioHistory::from_records(records);
+  // Only the plain-lr row contributes: the portfolio row times a whole
+  // race, not one solver.
+  EXPECT_EQ(history.num_samples(), 1u);
+}
+
+// -- racing ----------------------------------------------------------------
+
+TEST(PortfolioRace, MatchesTheBestFixedMemberOnSmallInstances) {
+  for (const std::uint64_t seed : {31u, 32u, 33u}) {
+    const om::Design design = race_design(seed);
+    const std::vector<ocd::CandidateSet> sets = prepare_sets(design);
+    const std::string label = "seed=" + std::to_string(seed);
+
+    const oc::OperonResult lr = solve_with(sets, oc::SolverKind::Lr);
+    const oc::OperonResult ilp = solve_with(sets, oc::SolverKind::IlpExact);
+    const oc::OperonResult race =
+        solve_with(sets, oc::SolverKind::Portfolio);  // members: lr, ilp
+
+    EXPECT_FALSE(race.stats.winning_solver.empty()) << label;
+    EXPECT_EQ(race.stats.portfolio_order, "lr,ilp-exact") << label;
+    // The fold picks the best member outcome; on instances the exact
+    // member proves within the race node budget, that is the optimum.
+    const double best =
+        std::min(lr.stats.power_pj, ilp.stats.power_pj);
+    EXPECT_EQ(race.stats.power_pj, best) << label;
+    if (ilp.stats.proven_optimal) {
+      EXPECT_EQ(race.stats.power_pj, ilp.stats.power_pj) << label;
+    }
+    EXPECT_TRUE(race.violations.clean()) << label;
+  }
+}
+
+TEST(PortfolioRace, BitIdenticalAcrossThreadsLanesAndMemberOrder) {
+  const om::Design design = race_design(34);
+  oc::OperonOptions base;
+  base.solver = oc::SolverKind::Portfolio;
+  base.threads = 1;
+  const oc::OperonResult reference = oc::run_operon(design, base);
+  EXPECT_FALSE(reference.stats.winning_solver.empty());
+
+  for (const std::size_t threads : {2u, 0u}) {
+    for (const std::size_t lanes : {0u, 1u, 2u}) {
+      oc::OperonOptions options = base;
+      options.threads = threads;
+      options.portfolio.lanes = lanes;
+      const oc::OperonResult result = oc::run_operon(design, options);
+      expect_identical(reference, result,
+                       "threads=" + std::to_string(threads) +
+                           " lanes=" + std::to_string(lanes));
+    }
+  }
+
+  // Member ORDER is a wall-clock concern: the fold's winner and plan
+  // must not move when the configuration lists members differently
+  // (only the recorded race_order string changes).
+  oc::OperonOptions swapped = base;
+  swapped.portfolio.members = {"ilp-exact", "lr"};
+  const oc::OperonResult result = oc::run_operon(design, swapped);
+  EXPECT_EQ(result.stats.power_pj, reference.stats.power_pj);
+  EXPECT_EQ(result.selection, reference.selection);
+  EXPECT_EQ(result.stats.winning_solver, reference.stats.winning_solver);
+  EXPECT_EQ(result.stats.portfolio_order, "ilp-exact,lr");
+}
+
+TEST(PortfolioRace, NodeBudgetCutsAreDeterministicAndDegrade) {
+  const om::Design design = race_design(35);
+  const std::vector<ocd::CandidateSet> sets = prepare_sets(design);
+
+  oc::OperonOptions options;
+  options.solver = oc::SolverKind::Portfolio;
+  options.portfolio.race_max_nodes = 1;  // cut the exact lane immediately
+  const oc::OperonResult cut = oc::run_selection_only(sets, options);
+
+  // The cut exact lane returns its warm-start incumbent (same power as
+  // the LR lane) and wins the tie by canonical rank — degraded, never
+  // thrown, and still a feasible plan.
+  EXPECT_TRUE(cut.degraded);
+  EXPECT_EQ(cut.stats.winning_solver, "ilp-exact");
+  EXPECT_TRUE(has_code(cut.diagnostics, om::DiagCode::SolverTimeLimit));
+  EXPECT_TRUE(cut.violations.clean());
+  const oc::OperonResult lr = solve_with(sets, oc::SolverKind::Lr);
+  EXPECT_EQ(cut.stats.power_pj, lr.stats.power_pj);
+
+  // The cut point is a node count, not a clock: re-running at another
+  // thread count reproduces the same degraded plan bit-identically.
+  oc::OperonOptions parallel = options;
+  parallel.threads = 4;
+  const oc::OperonResult again = oc::run_selection_only(sets, parallel);
+  EXPECT_EQ(again.stats.power_pj, cut.stats.power_pj);
+  EXPECT_EQ(again.selection, cut.selection);
+  EXPECT_EQ(again.stats.winning_solver, cut.stats.winning_solver);
+}
+
+TEST(PortfolioRace, LedgerRecordCarriesWinnerOrderAndMetrics) {
+  const om::Design design = race_design(36);
+  oc::OperonOptions options;
+  options.solver = oc::SolverKind::Portfolio;
+
+  oo::LedgerCollector collector;
+  {
+    const oo::ScopedLedger scope(collector);
+    oo::set_ledger_context("portfolio-case", 36);
+    (void)oc::run_operon(design, options);
+  }
+  ASSERT_EQ(collector.size(), 1u);
+  const oo::LedgerRecord record = collector.records()[0];
+  EXPECT_EQ(record.solver, "portfolio");
+  EXPECT_FALSE(record.winning_solver.empty());
+  EXPECT_EQ(record.portfolio_order, "lr,ilp-exact");
+
+  bool members_gauge = false, win_counter = false;
+  for (const oo::MetricPoint& point : record.metrics) {
+    if (point.name == "portfolio.members") members_gauge = true;
+    if (point.name == "portfolio.win." + record.winning_solver) {
+      win_counter = true;
+    }
+  }
+  EXPECT_TRUE(members_gauge);
+  EXPECT_TRUE(win_counter);
+
+  // The v3 record round-trips exactly through the strict parser.
+  EXPECT_EQ(oo::parse_ledger_record(oo::to_json_line(record)), record);
+}

@@ -54,10 +54,32 @@ TEST(ServeProtocol, SubmitRoundTripsThroughTheWire) {
   EXPECT_EQ(parsed.spec.seed, 42u);
   EXPECT_EQ(parsed.spec.tenant, "team-a");
   EXPECT_EQ(parsed.spec.priority, 2);
-  EXPECT_EQ(parsed.spec.solver, "ilp");
+  // The parser canonicalizes solver aliases so aliased submits share
+  // one job identity.
+  EXPECT_EQ(parsed.spec.solver, "ilp-exact");
   EXPECT_EQ(parsed.spec.ilp_limit_s, 3.5);
   EXPECT_EQ(parsed.spec.time_limit_s, 1.0);
   EXPECT_TRUE(parsed.wait);
+}
+
+TEST(ServeProtocol, PortfolioSubmitRoundTripsCanonicalized) {
+  os::Request request;
+  request.op = os::Op::Submit;
+  request.spec.solver = "portfolio";
+  request.spec.portfolio_order = "lr,ilp";
+  request.spec.portfolio_lanes = 2;
+  const os::Request parsed = parse(os::to_json_line(request));
+  EXPECT_EQ(parsed.spec.solver, "portfolio");
+  EXPECT_EQ(parsed.spec.portfolio_order, "lr,ilp-exact");
+  EXPECT_EQ(parsed.spec.portfolio_lanes, 2u);
+
+  // Members are validated at the protocol boundary like any field.
+  EXPECT_THROW(parse(R"({"op":"submit","portfolio_order":"lr,cp-sat"})"),
+               ou::CheckError);
+  EXPECT_THROW(parse(R"({"op":"submit","portfolio_order":"lr,lr"})"),
+               ou::CheckError);
+  EXPECT_THROW(parse(R"({"op":"submit","portfolio_order":"portfolio"})"),
+               ou::CheckError);
 }
 
 TEST(ServeProtocol, CustomGeneratorSubmitRoundTrips) {

@@ -329,6 +329,42 @@ TEST(Server, SubmitWaitComputesAndCachesTheRecord) {
   std::remove(path.c_str());
 }
 
+TEST(Server, RacedRunsAreCachedUnderTheSameTripRule) {
+  // A portfolio race is deterministic, so its record is as cacheable as
+  // any fixed-solver run: the resubmit must hit without recomputing,
+  // and the stored record carries the race outcome fields.
+  const std::string path = temp_path("serve_server_portfolio.jsonl");
+  std::remove(path.c_str());
+  os::ServerConfig config;
+  config.ledger_path = path;
+  config.workers = 2;
+  os::Server server(config);
+
+  os::JobSpec spec = tiny_spec(18);
+  spec.solver = "portfolio";
+  spec.portfolio_order = "lr,ilp-exact";
+  const os::Response first =
+      server.handle(submit_request(spec, /*wait=*/true));
+  ASSERT_TRUE(first.ok) << first.error << ": " << first.detail;
+  EXPECT_EQ(first.state, "done");
+  EXPECT_FALSE(first.cached);
+  ASSERT_TRUE(first.has_record);
+  EXPECT_EQ(first.record.solver, "portfolio");
+  EXPECT_EQ(first.record.trip_checkpoint, 0u);
+  EXPECT_FALSE(first.record.winning_solver.empty());
+  EXPECT_EQ(first.record.portfolio_order, "lr,ilp-exact");
+
+  const os::Response again =
+      server.handle(submit_request(spec, /*wait=*/true));
+  ASSERT_TRUE(again.ok);
+  EXPECT_TRUE(again.cached);
+  ASSERT_TRUE(again.has_record);
+  EXPECT_EQ(again.record.winning_solver, first.record.winning_solver);
+  EXPECT_TRUE(oo::semantic_equal(again.record, first.record));
+  EXPECT_EQ(server.records_appended(), 1u);
+  std::remove(path.c_str());
+}
+
 TEST(Server, UnknownCaseIsAStructuredRejection) {
   os::ServerConfig config;
   os::Server server(config);

@@ -2,7 +2,9 @@
 //
 //   operon_cli gen    --case I2 --out design.txt       # or --groups/--bits
 //   operon_cli info   --in design.txt
-//   operon_cli route  --in design.txt [--solver lr|ilp|mip]
+//   operon_cli route  --in design.txt [--solver lr|ilp|mip|portfolio]
+//                     [--portfolio-order lr,ilp] [--portfolio-lanes 2]
+//                     [--portfolio-history runs.jsonl]
 //                     [--ilp-limit 20] [--lm 20] [--report out.json]
 //                     [--svg out.svg] [--per-net] [--no-timings]
 //                     [--trace-out t.json] [--metrics-out m.json]
@@ -86,7 +88,11 @@ int usage() {
                "  operon_cli gen    --case I1..I5 | --groups N [--bits-lo A "
                "--bits-hi B] [--seed S]  --out FILE\n"
                "  operon_cli info   --in FILE\n"
-               "  operon_cli route  --in FILE [--solver lr|ilp|mip] "
+               "  operon_cli route  --in FILE [--solver lr|ilp|mip|portfolio] "
+               "[--portfolio-order lr,ilp,... (member race order)] "
+               "[--portfolio-lanes N (0 = one lane per member; wall-clock "
+               "only)] [--portfolio-history LEDGER.jsonl (seed the race-order "
+               "selector)] "
                "[--ilp-limit SEC] [--lm DB] [--threads N (0 = all cores; "
                "results identical at any N)] [--time-limit SEC (whole-run "
                "budget; trips to the degradation ladder, never throws)] "
@@ -99,16 +105,18 @@ int usage() {
                "FILE (append run records, JSONL)] [--heartbeat-ms N "
                "(periodic resource samples into the trace)]\n"
                "  operon_cli stress --faults [--seeds N] [--solver "
-               "lr|ilp|mip] [--threads N] [--time-limit-sweep (also re-run "
+               "lr|ilp|mip|portfolio] [--threads N] [--time-limit-sweep (also re-run "
                "each clean seed with a deterministic early stop and verify "
                "the degraded plan)]  # fault-injection harness; exit "
                "2 on any robustness breach\n"
                "  operon_cli ledger append --case I1..I5 | --in FILE "
-               "[--seed S] [--solver lr|ilp|mip] [--ilp-limit SEC] [--lm DB] "
+               "[--seed S] [--solver lr|ilp|mip|portfolio] [--ilp-limit SEC] [--lm DB] "
                "[--threads N]  --out LEDGER.jsonl\n"
                "  operon_cli ledger show LEDGER.jsonl\n"
                "  operon_cli submit --socket PATH [--case I1..I5 | --groups "
-               "N [--bits-lo A --bits-hi B]] [--seed S] [--solver lr|ilp|mip] "
+               "N [--bits-lo A --bits-hi B]] [--seed S] [--solver "
+               "lr|ilp|mip|portfolio] [--portfolio-order lr,ilp,...] "
+               "[--portfolio-lanes N] "
                "[--ilp-limit SEC] [--lm DB] [--time-limit SEC] "
                "[--stop-at-checkpoint N] [--tenant NAME] [--priority P] "
                "[--wait]  # or --do status|result|cancel [--job N] "
@@ -121,13 +129,27 @@ int usage() {
   return 1;
 }
 
-/// Parse the shared `--solver lr|ilp|mip` flag; false = unknown value.
+/// Parse the shared `--solver lr|ilp|mip|portfolio` flag plus the
+/// portfolio knobs (--portfolio-order, --portfolio-lanes,
+/// --portfolio-history); false = unknown solver name. Malformed
+/// portfolio flags throw util::CheckError like other boundary errors.
 bool parse_solver(const util::Cli& cli, core::OperonOptions& options) {
-  const std::string solver = cli.get("solver", "lr");
-  if (solver == "ilp") options.solver = core::SolverKind::IlpExact;
-  else if (solver == "mip") options.solver = core::SolverKind::MipLiteral;
-  else if (solver == "lr") options.solver = core::SolverKind::Lr;
-  else return false;
+  const std::optional<core::SolverKind> kind =
+      core::parse_solver_kind(cli.get("solver", "lr"));
+  if (!kind.has_value()) return false;
+  options.solver = *kind;
+  if (cli.has("portfolio-order")) {
+    options.portfolio.members =
+        core::parse_portfolio_members(cli.get("portfolio-order", ""));
+  }
+  options.portfolio.lanes =
+      static_cast<std::size_t>(cli.get_int("portfolio-lanes", 0));
+  if (cli.has("portfolio-history")) {
+    // Seed the race-order selector from an existing ledger; ordering is
+    // a wall-clock concern, so any ledger (or none) gives the same plan.
+    options.portfolio.history = codesign::PortfolioHistory::from_records(
+        obs::read_ledger(cli.get("portfolio-history", "")));
+  }
   return true;
 }
 
@@ -527,6 +549,11 @@ int cmd_submit(const util::Cli& cli) {
     spec.tenant = cli.get("tenant", "default");
     spec.priority = static_cast<int>(cli.get_int("priority", 0));
     spec.solver = cli.get("solver", "lr");
+    if (cli.has("portfolio-order")) {
+      spec.portfolio_order = cli.get("portfolio-order", "");
+    }
+    spec.portfolio_lanes =
+        static_cast<std::size_t>(cli.get_int("portfolio-lanes", 0));
     spec.ilp_limit_s = cli.get_double("ilp-limit", 20.0);
     if (cli.has("lm")) spec.max_loss_db = cli.get_double("lm", 20.0);
     spec.time_limit_s = cli.get_double("time-limit", 0.0);
