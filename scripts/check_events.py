@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Validate a structured event log (the --events-out JSONL format).
+
+One JSON object per line (blank lines tolerated), the obs::EventLog
+schema:
+
+  * members are drawn from the strict whitelist: seq / ts_us / level /
+    name / message / source / job / case / seed / tenant;
+  * seq, level, and name are required; seq is a positive integer;
+  * level is one of debug / info / warn / error;
+  * per-source seq streams are contiguous and monotonic (1, 2, 3, ...) —
+    the determinism contract the serve gates compare;
+  * ts_us is a non-negative number, non-decreasing over the file
+    (one emitter, one clock).
+
+Usage: check_events.py EVENTS.jsonl [--min-events N]
+Exit code 0 when valid, 1 with a diagnostic on the first violation.
+"""
+
+import argparse
+import json
+import sys
+
+ALLOWED_KEYS = {
+    "seq",
+    "ts_us",
+    "level",
+    "name",
+    "message",
+    "source",
+    "job",
+    "case",
+    "seed",
+    "tenant",
+}
+
+REQUIRED_KEYS = ("seq", "level", "name")
+
+KNOWN_LEVELS = {"debug", "info", "warn", "error"}
+
+
+def fail(message: str) -> None:
+    print(f"check_events: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_uint(line_no: int, key: str, value: object) -> int:
+    if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+        fail(f"line {line_no}: '{key}' must be a non-negative integer")
+    return value
+
+
+def check_event(line_no: int, event: object) -> dict:
+    if not isinstance(event, dict):
+        fail(f"line {line_no}: event is not a JSON object")
+    for key in event:
+        if key not in ALLOWED_KEYS:
+            fail(f"line {line_no}: unknown member '{key}'")
+    for key in REQUIRED_KEYS:
+        if key not in event:
+            fail(f"line {line_no}: missing required member '{key}'")
+    if check_uint(line_no, "seq", event["seq"]) < 1:
+        fail(f"line {line_no}: 'seq' must be >= 1")
+    if event["level"] not in KNOWN_LEVELS:
+        fail(f"line {line_no}: unknown level {event['level']!r}")
+    if not isinstance(event["name"], str) or not event["name"]:
+        fail(f"line {line_no}: 'name' must be a non-empty string")
+    for key in ("message", "source", "case", "tenant"):
+        if key in event and not isinstance(event[key], str):
+            fail(f"line {line_no}: '{key}' must be a string")
+    for key in ("job", "seed"):
+        if key in event:
+            check_uint(line_no, key, event[key])
+    if "ts_us" in event:
+        value = event["ts_us"]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            fail(f"line {line_no}: 'ts_us' must be a number")
+        if value < 0:
+            fail(f"line {line_no}: 'ts_us' must be >= 0")
+    return event
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("events", help="events JSONL file to validate")
+    parser.add_argument(
+        "--min-events",
+        type=int,
+        default=1,
+        help="fail when fewer events are present (default: 1)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.events, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except OSError as error:
+        fail(f"cannot load '{args.events}': {error}")
+
+    count = 0
+    next_seq = {}  # source -> expected next seq
+    last_ts = 0.0
+    for line_no, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as error:
+            fail(f"line {line_no}: not valid JSON: {error}")
+        event = check_event(line_no, event)
+        count += 1
+        source = event.get("source", "")
+        expected = next_seq.get(source, 1)
+        if event["seq"] != expected:
+            fail(
+                f"line {line_no}: source {source!r} seq {event['seq']} "
+                f"(expected {expected} — per-source streams are "
+                f"contiguous and monotonic)"
+            )
+        next_seq[source] = expected + 1
+        ts = event.get("ts_us", last_ts)
+        if ts < last_ts:
+            fail(
+                f"line {line_no}: ts_us {ts} went backwards "
+                f"(previous {last_ts})"
+            )
+        last_ts = ts
+
+    if count < args.min_events:
+        fail(f"expected at least {args.min_events} events, got {count}")
+
+    print(
+        f"check_events: OK: {count} events across {len(next_seq)} "
+        f"source(s) in '{args.events}'"
+    )
+
+
+if __name__ == "__main__":
+    main()

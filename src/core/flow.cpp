@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "lr/lr_solver.hpp"
+#include "obs/events.hpp"
 #include "obs/ledger.hpp"
 #include "obs/obs.hpp"
 #include "obs/resource.hpp"
@@ -456,6 +457,7 @@ OperonResult run_operon(const model::Design& design,
     // absorb_into_ambient below.
     const obs::ScopedThreadObservation scope(run_obs);
     OPERON_SPAN("core.run_operon");
+    obs::emit_event(util::LogLevel::Info, "core.run.start", design.name);
     validate_inputs(result, design, options.params);
     util::Timer timer;
 
@@ -486,6 +488,10 @@ OperonResult run_operon(const model::Design& design,
     run_pipeline_tail(result, options);
     note_run_trip(result, run_token);
     finalize_stats(result, run_obs);
+    obs::emit_event(result.degraded ? util::LogLevel::Warn
+                                    : util::LogLevel::Info,
+                    "core.run.completed",
+                    result.degraded ? "degraded" : "clean");
   }
   absorb_into_ambient(run_obs);
   emit_run_record(result, options, design.name);
@@ -503,9 +509,14 @@ OperonResult run_selection_only(std::vector<codesign::CandidateSet> sets,
   {
     const obs::ScopedThreadObservation scope(run_obs);
     OPERON_SPAN("core.run_selection_only");
+    obs::emit_event(util::LogLevel::Info, "core.run.start", "selection-only");
     run_pipeline_tail(result, options);
     note_run_trip(result, run_token);
     finalize_stats(result, run_obs);
+    obs::emit_event(result.degraded ? util::LogLevel::Warn
+                                    : util::LogLevel::Info,
+                    "core.run.completed",
+                    result.degraded ? "degraded" : "clean");
   }
   absorb_into_ambient(run_obs);
   emit_run_record(result, options, "selection-only");

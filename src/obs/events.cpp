@@ -1,0 +1,295 @@
+#include "obs/events.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace operon::obs {
+
+namespace {
+std::atomic<EventLog*> g_current{nullptr};
+/// Per-thread override (ScopedThreadEventLog). Plain pointer: only the
+/// owning thread ever reads or writes its own slot.
+thread_local EventLog* t_current = nullptr;
+/// Serializes install/uninstall against with_current_event_log so an
+/// out-of-scope observer (the watchdog) never dereferences a log that
+/// its owner is about to destroy — same contract as obs.cpp's
+/// g_install_mutex.
+std::mutex g_install_mutex;
+
+/// Innermost ScopedEventContext on this thread (nullptr when none).
+thread_local const EventContext* t_context = nullptr;
+
+/// util::set_log_sink bridge: every OPERON_LOG line that passes the
+/// threshold becomes a "log.<level>" event on the ambient log, carrying
+/// the emitting thread's ambient context. The body excludes the
+/// file:line prefix so the event stream stays stable across source
+/// reshuffles. Never removed once installed — it no-ops without a log.
+void log_bridge(util::LogLevel level, const char* /*file*/, int /*line*/,
+                const std::string& body) {
+  EventLog* log = current_event_log();
+  if (log == nullptr) return;
+  std::string name = "log.";
+  name += level_slug(level);
+  const EventContext* context = t_context;
+  log->emit(level, name, body, context ? *context : EventContext{});
+}
+
+void install_log_bridge_once() {
+  static std::once_flag once;
+  std::call_once(once, [] { util::set_log_sink(&log_bridge); });
+}
+
+/// Strict non-negative integer (<= 2^53 so binary64 holds it exactly).
+std::uint64_t as_uint(const util::JsonValue& value, const char* where) {
+  OPERON_CHECK_MSG(value.is(util::JsonType::Number),
+                   std::string("event member '") + where + "' must be a number");
+  const double number = value.as_number();
+  OPERON_CHECK_MSG(number >= 0.0 && number <= 9007199254740992.0 &&
+                       number == std::floor(number),
+                   std::string("event member '") + where +
+                       "' must be a non-negative integer");
+  return static_cast<std::uint64_t>(number);
+}
+
+/// Event object body shared by to_json_line and to_json_array.
+void write_event(util::JsonWriter& json, const Event& event) {
+  json.begin_object();
+  json.key("seq").value(event.seq);
+  json.key("ts_us").value_exact(event.ts_us);
+  json.key("level").value(level_slug(event.level));
+  json.key("name").value(event.name);
+  if (!event.message.empty()) json.key("message").value(event.message);
+  if (!event.context.source.empty()) {
+    json.key("source").value(event.context.source);
+  }
+  if (event.context.job != 0) json.key("job").value(event.context.job);
+  if (!event.context.case_id.empty()) {
+    json.key("case").value(event.context.case_id);
+  }
+  if (event.context.seed != 0) json.key("seed").value(event.context.seed);
+  if (!event.context.tenant.empty()) {
+    json.key("tenant").value(event.context.tenant);
+  }
+  json.end_object();
+}
+}  // namespace
+
+std::string_view level_slug(util::LogLevel level) {
+  switch (level) {
+    case util::LogLevel::Debug: return "debug";
+    case util::LogLevel::Info: return "info";
+    case util::LogLevel::Warn: return "warn";
+    case util::LogLevel::Error: return "error";
+    case util::LogLevel::Off: break;  // never emitted
+  }
+  return "off";
+}
+
+std::string to_json_line(const Event& event) {
+  util::JsonWriter json;
+  write_event(json, event);
+  return json.str();
+}
+
+Event event_from_json(const util::JsonValue& value) {
+  OPERON_CHECK_MSG(value.is(util::JsonType::Object),
+                   "event must be a JSON object");
+  Event event;
+  bool saw_seq = false;
+  bool saw_level = false;
+  bool saw_name = false;
+  for (const auto& [key, member] : value.members()) {
+    if (key == "seq") {
+      event.seq = as_uint(member, "seq");
+      saw_seq = true;
+    } else if (key == "ts_us") {
+      OPERON_CHECK_MSG(member.is(util::JsonType::Number),
+                       "event member 'ts_us' must be a number");
+      event.ts_us = member.as_number();
+    } else if (key == "level") {
+      const auto level = util::parse_log_level(member.as_string());
+      OPERON_CHECK_MSG(level.has_value(),
+                       "unknown event level '" + member.as_string() + "'");
+      event.level = *level;
+      saw_level = true;
+    } else if (key == "name") {
+      event.name = member.as_string();
+      saw_name = true;
+    } else if (key == "message") {
+      event.message = member.as_string();
+    } else if (key == "source") {
+      event.context.source = member.as_string();
+    } else if (key == "job") {
+      event.context.job = as_uint(member, "job");
+    } else if (key == "case") {
+      event.context.case_id = member.as_string();
+    } else if (key == "seed") {
+      event.context.seed = as_uint(member, "seed");
+    } else if (key == "tenant") {
+      event.context.tenant = member.as_string();
+    } else {
+      OPERON_CHECK_MSG(false, "unknown event member '" + key + "'");
+    }
+  }
+  OPERON_CHECK_MSG(saw_seq && saw_level && saw_name,
+                   "event requires 'seq', 'level', and 'name' members");
+  return event;
+}
+
+std::string to_json_array(std::span<const Event> events) {
+  util::JsonWriter json;
+  json.begin_array();
+  for (const Event& event : events) write_event(json, event);
+  json.end_array();
+  return json.str();
+}
+
+std::string semantic_line(const Event& event) {
+  std::ostringstream os;
+  os << "source=" << event.context.source << " seq=" << event.seq
+     << " level=" << level_slug(event.level) << " name=" << event.name
+     << " case=" << event.context.case_id << " seed=" << event.context.seed
+     << " tenant=" << event.context.tenant << " message=" << event.message;
+  return os.str();
+}
+
+std::string render_event(const Event& event) {
+  std::ostringstream os;
+  os << '#' << event.seq << ' ' << level_slug(event.level) << ' '
+     << event.name;
+  if (!event.context.source.empty()) os << " [" << event.context.source << ']';
+  if (!event.context.case_id.empty()) os << " case=" << event.context.case_id;
+  if (event.context.seed != 0) os << " seed=" << event.context.seed;
+  if (!event.context.tenant.empty()) os << " tenant=" << event.context.tenant;
+  if (!event.message.empty()) os << ": " << event.message;
+  return os.str();
+}
+
+EventLog::EventLog(std::size_t capacity) : capacity_(capacity) {}
+
+void EventLog::emit(util::LogLevel level, std::string_view name,
+                    std::string_view message, const EventContext& context) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Event event;
+  event.seq = ++next_seq_[context.source];
+  event.ts_us = trace_now_us();
+  event.level = level;
+  event.name = std::string(name);
+  event.message = std::string(message);
+  event.context = context;
+  ++total_;
+  if (sink_) sink_(event);
+  events_.push_back(std::move(event));
+  if (capacity_ != 0 && events_.size() > capacity_) events_.pop_front();
+}
+
+void EventLog::set_sink(std::function<void(const Event&)> sink) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  sink_ = std::move(sink);
+}
+
+std::vector<Event> EventLog::events(std::size_t tail) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t begin = 0;
+  if (tail != 0 && tail < events_.size()) begin = events_.size() - tail;
+  return std::vector<Event>(events_.begin() + static_cast<std::ptrdiff_t>(begin),
+                            events_.end());
+}
+
+std::size_t EventLog::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::uint64_t EventLog::total() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+std::string EventLog::to_jsonl() const {
+  std::string out;
+  for (const Event& event : events()) {
+    out += to_json_line(event);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string EventLog::dump(std::size_t tail) const {
+  std::string out;
+  for (const Event& event : events(tail)) {
+    out += render_event(event);
+    out += '\n';
+  }
+  if (out.empty()) out = "(no events)\n";
+  return out;
+}
+
+void EventLog::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  next_seq_.clear();
+  total_ = 0;
+}
+
+std::string flight_recorder_dump(const EventLog& log, std::size_t tail) {
+  std::ostringstream os;
+  os << "recent events:\n" << log.dump(tail);
+  os << "open spans:\n" << describe_open_spans();
+  return os.str();
+}
+
+EventLog* current_event_log() {
+  if (EventLog* local = t_current) return local;
+  return g_current.load(std::memory_order_acquire);
+}
+
+void with_current_event_log(const std::function<void(EventLog*)>& fn) {
+  const std::lock_guard<std::mutex> lock(g_install_mutex);
+  fn(current_event_log());
+}
+
+ScopedEventLog::ScopedEventLog(EventLog& log) {
+  install_log_bridge_once();
+  const std::lock_guard<std::mutex> lock(g_install_mutex);
+  previous_ = g_current.exchange(&log, std::memory_order_acq_rel);
+}
+
+ScopedEventLog::~ScopedEventLog() {
+  const std::lock_guard<std::mutex> lock(g_install_mutex);
+  g_current.store(previous_, std::memory_order_release);
+}
+
+ScopedThreadEventLog::ScopedThreadEventLog(EventLog& log)
+    : previous_(t_current) {
+  install_log_bridge_once();
+  t_current = &log;
+}
+
+ScopedThreadEventLog::~ScopedThreadEventLog() { t_current = previous_; }
+
+ScopedEventContext::ScopedEventContext(EventContext context)
+    : context_(std::move(context)), previous_(t_context) {
+  t_context = &context_;
+}
+
+ScopedEventContext::~ScopedEventContext() { t_context = previous_; }
+
+const EventContext* current_event_context() { return t_context; }
+
+void emit_event(util::LogLevel level, std::string_view name,
+                std::string_view message) {
+  EventLog* log = current_event_log();
+  if (log == nullptr) return;
+  const EventContext* context = t_context;
+  log->emit(level, name, message, context ? *context : EventContext{});
+}
+
+}  // namespace operon::obs

@@ -1,0 +1,204 @@
+#pragma once
+// Structured event log: the narrative companion to the metrics registry.
+// Events are leveled, dotted-name records ("serve.job.started",
+// "core.run.completed", "log.info") with per-source monotonic sequence
+// numbers and job/case context, serialized as JSONL. Wall-clock time is
+// carried on every event but segregated from the semantic identity
+// exactly like timing gauges: semantic_line() — the projection the
+// determinism tests and serve gates compare — excludes ts_us and the
+// submission-order-dependent job id, and keeps everything else
+// (source, seq, level, name, case, seed, tenant, message).
+//
+// Sequence numbers are assigned by the log at emit time, one counter
+// per source string ("" = the process stream; the serve daemon uses the
+// job identity key). A job's own event stream is therefore a
+// deterministic 1,2,3,... regardless of how jobs interleave across
+// executor threads — the event analogue of the ledger record-set
+// invariant.
+//
+// The log doubles as the daemon's flight recorder: constructed with a
+// capacity it keeps only the most recent events (a bounded ring), while
+// an optional sink callback still sees every emission (the daemon's
+// --events-out JSONL file). dump() renders the retained ring without
+// wall-clock fields, so flight-recorder goldens are byte-stable;
+// flight_recorder_dump() appends the open-span snapshot for the
+// watchdog stall report and the SIGTERM dump.
+//
+// Ambient install mirrors obs.hpp: ScopedEventLog fills the
+// process-wide slot, ScopedThreadEventLog shadows it on one thread (the
+// serve executors point their jobs at the shared daemon log this way),
+// and ScopedEventContext attaches job/case context to everything the
+// installing thread emits. Installing either scope also bridges
+// OPERON_LOG into the ambient log (util::set_log_sink), so every
+// leveled diagnostic becomes a structured "log.<level>" event.
+// Determinism rule: like metrics, events must only be emitted from
+// serial orchestration code, never inside a parallel_for body.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace operon::util {
+class JsonValue;
+class JsonWriter;
+}  // namespace operon::util
+
+namespace operon::obs {
+
+/// Context fields attached to an event. `source` selects the sequence
+/// stream; `job` is the serve job id — assigned in submission order and
+/// therefore NOT semantic (excluded from semantic_line like ts_us).
+struct EventContext {
+  std::string source;      ///< sequence stream ("" = process stream)
+  std::uint64_t job = 0;   ///< serve job id (0 = none); non-semantic
+  std::string case_id;     ///< design/case label
+  std::uint64_t seed = 0;
+  std::string tenant;
+};
+
+struct Event {
+  std::uint64_t seq = 0;  ///< per-source monotonic, assigned by the log
+  /// Wall-clock microseconds (trace_now_us origin); segregated from the
+  /// semantic projection like timing gauges.
+  double ts_us = 0.0;
+  util::LogLevel level = util::LogLevel::Info;
+  std::string name;  ///< dotted, lowercase ("serve.job.started")
+  std::string message;
+  EventContext context;
+};
+
+/// Lowercase level slug ("debug" | "info" | "warn" | "error").
+std::string_view level_slug(util::LogLevel level);
+
+/// One JSONL line (no trailing newline): seq / ts_us / level / name
+/// always present, context fields and message only when set.
+std::string to_json_line(const Event& event);
+
+/// Strict parse of one to_json_line document (unknown members, missing
+/// required fields, or bad types throw util::CheckError).
+Event event_from_json(const util::JsonValue& value);
+
+/// JSON array of event objects — the `events` protocol op payload.
+std::string to_json_array(std::span<const Event> events);
+
+/// Canonical semantic projection: source, seq, level, name, case, seed,
+/// tenant, message — everything except wall-time and the job id. Two
+/// runs are event-equivalent when their semantic_line multisets match.
+std::string semantic_line(const Event& event);
+
+/// Deterministic human-readable one-liner (no wall-time) for dumps.
+std::string render_event(const Event& event);
+
+/// Thread-safe event store with per-source monotonic sequencing.
+class EventLog {
+ public:
+  /// capacity == 0 retains every event (CLI sessions); capacity > 0
+  /// keeps a bounded ring of the most recent (the daemon's flight
+  /// recorder). The sink, when set, sees every event either way.
+  explicit EventLog(std::size_t capacity = 0);
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  void emit(util::LogLevel level, std::string_view name,
+            std::string_view message, const EventContext& context = {});
+
+  /// Called with every emitted event, under the log's mutex — the sink
+  /// must be fast and must not emit (it would deadlock).
+  void set_sink(std::function<void(const Event&)> sink);
+
+  /// Retained events, oldest first; tail != 0 keeps only the newest
+  /// `tail` of them.
+  std::vector<Event> events(std::size_t tail = 0) const;
+  std::size_t size() const;      ///< retained (<= capacity when bounded)
+  std::uint64_t total() const;   ///< ever emitted
+
+  std::string to_jsonl() const;  ///< one to_json_line per retained event
+
+  /// Flight-recorder rendering of the retained ring (newest-`tail`
+  /// slice when tail != 0): render_event lines, so byte-stable for a
+  /// fixed emission sequence.
+  std::string dump(std::size_t tail = 0) const;
+
+  void clear();  ///< drops events AND sequence counters
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<Event> events_;
+  std::map<std::string, std::uint64_t> next_seq_;  ///< per source
+  std::uint64_t total_ = 0;
+  std::function<void(const Event&)> sink_;
+};
+
+/// Recent events plus the current open-span snapshot — what the
+/// watchdog stall report and the daemon's SIGTERM handler dump.
+std::string flight_recorder_dump(const EventLog& log, std::size_t tail = 0);
+
+/// Currently installed event log: this thread's override when one is
+/// installed, else the process-wide slot, else nullptr.
+EventLog* current_event_log();
+
+/// Run `fn` on the current event log (nullptr when none) while holding
+/// the install guard — how threads outside any scope (the watchdog)
+/// must access it, mirroring with_current_observation.
+void with_current_event_log(const std::function<void(EventLog*)>& fn);
+
+/// RAII install into the process-wide slot (and bridge OPERON_LOG into
+/// the ambient log, once per process).
+class ScopedEventLog {
+ public:
+  explicit ScopedEventLog(EventLog& log);
+  ~ScopedEventLog();
+  ScopedEventLog(const ScopedEventLog&) = delete;
+  ScopedEventLog& operator=(const ScopedEventLog&) = delete;
+
+ private:
+  EventLog* previous_;
+};
+
+/// RAII install into the calling thread's override slot — the serve
+/// executors point their job threads at the shared daemon log with this
+/// (the log itself is thread-safe).
+class ScopedThreadEventLog {
+ public:
+  explicit ScopedThreadEventLog(EventLog& log);
+  ~ScopedThreadEventLog();
+  ScopedThreadEventLog(const ScopedThreadEventLog&) = delete;
+  ScopedThreadEventLog& operator=(const ScopedThreadEventLog&) = delete;
+
+ private:
+  EventLog* previous_;
+};
+
+/// RAII thread-local context: events emitted through emit_event (and
+/// the OPERON_LOG bridge) on this thread carry these fields. Nests.
+class ScopedEventContext {
+ public:
+  explicit ScopedEventContext(EventContext context);
+  ~ScopedEventContext();
+  ScopedEventContext(const ScopedEventContext&) = delete;
+  ScopedEventContext& operator=(const ScopedEventContext&) = delete;
+
+ private:
+  EventContext context_;
+  const EventContext* previous_;
+};
+
+/// The calling thread's ambient context (nullptr when none installed).
+const EventContext* current_event_context();
+
+/// Emit onto the current event log with the ambient thread context;
+/// no-op when no log is installed.
+void emit_event(util::LogLevel level, std::string_view name,
+                std::string_view message = {});
+
+}  // namespace operon::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstdio>
 
 #include "util/check.hpp"
 #include "util/json.hpp"
@@ -202,6 +203,63 @@ MetricPoint metric_point_from_json(const util::JsonValue& value) {
   return point;
 }
 
+namespace {
+
+/// Prometheus metric-name charset is [a-zA-Z0-9_:]; the registry's
+/// dotted vocabulary maps dots (and anything else) to underscores and
+/// gains an operon_ namespace prefix.
+std::string prometheus_name(std::string_view name) {
+  std::string out = "operon_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string prometheus_number(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.12g", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const MetricPoint& point : snapshot.points) {
+    const std::string name = prometheus_name(point.name);
+    out += "# TYPE " + name + " ";
+    switch (point.kind) {
+      case MetricKind::Counter:
+        out += "counter\n";
+        out += name + " " + std::to_string(point.count) + "\n";
+        break;
+      case MetricKind::Gauge:
+        out += "gauge\n";
+        out += name + " " + prometheus_number(point.value) + "\n";
+        break;
+      case MetricKind::Histogram: {
+        out += "histogram\n";
+        const std::span<const double> bounds = histogram_bounds();
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < point.buckets.size(); ++i) {
+          cumulative += point.buckets[i];
+          const std::string le =
+              i < bounds.size() ? prometheus_number(bounds[i]) : "+Inf";
+          out += name + "_bucket{le=\"" + le + "\"} " +
+                 std::to_string(cumulative) + "\n";
+        }
+        out += name + "_sum " + prometheus_number(point.value) + "\n";
+        out += name + "_count " + std::to_string(point.count) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
 void MetricsRegistry::add_counter(std::string_view name, std::uint64_t delta) {
   const std::lock_guard<std::mutex> lock(mutex_);
   entry(name, MetricKind::Counter).count += delta;
@@ -263,6 +321,10 @@ std::string MetricsRegistry::to_json() const {
   write_metric_points(json, copy.points, /*include_timing=*/true);
   json.end_object();
   return json.str();
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  return obs::to_prometheus(snapshot());
 }
 
 std::size_t MetricsRegistry::size() const {

@@ -89,6 +89,15 @@ void write_metric_points(util::JsonWriter& json,
 /// unknown kind, or histogram bucket-count mismatch.
 MetricPoint metric_point_from_json(const util::JsonValue& value);
 
+/// Prometheus text exposition (text format 0.0.4) of a snapshot: one
+/// `# TYPE` line per metric, dots in names mapped to underscores,
+/// histograms expanded into cumulative `_bucket{le=...}` series plus
+/// `_sum`/`_count`. Timing gauges are included — exposition is a
+/// monitoring surface, not a semantic-comparison one. Served through
+/// the serve `stats` op (`prom` member) and the CLI
+/// `--metrics-prom-out` sink.
+std::string to_prometheus(const MetricsSnapshot& snapshot);
+
 /// Thread-safe metric store. Names are registered on first touch and
 /// keep that position forever; touching a name with a different kind is
 /// a CheckError (metric names are a closed, documented vocabulary).
@@ -113,6 +122,8 @@ class MetricsRegistry {
   MetricsSnapshot snapshot() const;
   /// {"metrics": [...]} document with every point (timing included).
   std::string to_json() const;
+  /// to_prometheus(snapshot()).
+  std::string to_prometheus() const;
   std::size_t size() const;
   void clear();
 

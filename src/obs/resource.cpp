@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/events.hpp"
 #include "obs/obs.hpp"
 #include "util/thread_pool.hpp"
 
@@ -158,6 +159,16 @@ std::string render_stall_report(const util::StopToken& token) {
   os << "  resource: peak_rss_mb=" << usage.peak_rss_mb
      << " user_cpu_s=" << usage.user_cpu_s << " sys_cpu_s=" << usage.sys_cpu_s
      << "\n";
+  // Flight recorder: the last events before the stall, from the ambient
+  // event log when one is installed (the serve daemon's ring).
+  with_current_event_log([&os](EventLog* log) {
+    if (log == nullptr) return;
+    os << "  recent events:\n";
+    std::istringstream lines(log->dump(/*tail=*/32));
+    for (std::string line; std::getline(lines, line);) {
+      os << "    " << line << "\n";
+    }
+  });
   return os.str();
 }
 

@@ -1,11 +1,11 @@
 #include "obs/sink.hpp"
 
 #include <chrono>
-#include <cstdio>
 #include <exception>
 #include <fstream>
 
 #include "util/cli.hpp"
+#include "util/logging.hpp"
 
 namespace operon::obs {
 
@@ -16,8 +16,7 @@ void write_file(const std::string& path, const std::string& text,
   std::ofstream os(path);
   if (os.good()) os << text << "\n";
   if (!os.good()) {
-    std::fprintf(stderr, "warning: failed to write %s to '%s'\n", what,
-                 path.c_str());
+    OPERON_LOG(Warn) << "failed to write " << what << " to '" << path << "'";
   }
 }
 
@@ -26,12 +25,18 @@ void write_file(const std::string& path, const std::string& text,
 CliObservation::CliObservation(const util::Cli& cli)
     : trace_path_(cli.get("trace-out", "")),
       metrics_path_(cli.get("metrics-out", "")),
+      metrics_prom_path_(cli.get("metrics-prom-out", "")),
+      events_path_(cli.get("events-out", "")),
       ledger_path_(cli.get("ledger-out", "")) {
-  if (!trace_path_.empty() || !metrics_path_.empty()) {
+  if (!trace_path_.empty() || !metrics_path_.empty() ||
+      !metrics_prom_path_.empty()) {
     scope_.emplace(observation_);
   }
   if (!ledger_path_.empty()) {
     ledger_scope_.emplace(ledger_);
+  }
+  if (!events_path_.empty()) {
+    events_scope_.emplace(events_);
   }
   const int heartbeat_ms = cli.get_int("heartbeat-ms", 0);
   if (heartbeat_ms > 0 && scope_.has_value()) {
@@ -48,11 +53,19 @@ CliObservation::~CliObservation() {
   }
   scope_.reset();  // uninstall before serializing
   ledger_scope_.reset();
+  events_scope_.reset();
   if (!trace_path_.empty()) {
     write_file(trace_path_, observation_.trace.to_chrome_json(), "trace");
   }
   if (!metrics_path_.empty()) {
     write_file(metrics_path_, observation_.metrics.to_json(), "metrics");
+  }
+  if (!metrics_prom_path_.empty()) {
+    write_file(metrics_prom_path_, observation_.metrics.to_prometheus(),
+               "prometheus metrics");
+  }
+  if (!events_path_.empty()) {
+    write_file(events_path_, events_.to_jsonl(), "events");
   }
   if (!ledger_path_.empty()) {
     try {
@@ -60,8 +73,8 @@ CliObservation::~CliObservation() {
         append_ledger_record(ledger_path_, record);
       }
     } catch (const std::exception& error) {
-      std::fprintf(stderr, "warning: failed to write ledger to '%s': %s\n",
-                   ledger_path_.c_str(), error.what());
+      OPERON_LOG(Warn) << "failed to write ledger to '" << ledger_path_
+                       << "': " << error.what();
     }
   }
 }

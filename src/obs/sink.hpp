@@ -1,10 +1,11 @@
 #pragma once
 // Observation sink for command-line front ends: reads the shared
-// `--trace-out FILE` / `--metrics-out FILE` / `--ledger-out FILE` /
-// `--heartbeat-ms N` flags, installs a process-wide Observation (and
-// ledger collector) when requested, and writes the Chrome trace /
-// metrics JSON / ledger JSONL files on destruction. One line per
-// binary:
+// `--trace-out FILE` / `--metrics-out FILE` / `--metrics-prom-out FILE`
+// / `--events-out FILE` / `--ledger-out FILE` / `--heartbeat-ms N`
+// flags, installs a process-wide Observation (and ledger collector /
+// event log) when requested, and writes the Chrome trace / metrics
+// JSON / Prometheus text / events JSONL / ledger JSONL files on
+// destruction. One line per binary:
 //
 //   obs::CliObservation observing(cli);
 //
@@ -17,11 +18,14 @@
 // that snapshots the ambient metrics registry and process resource
 // usage into the trace every N ms as 'C' counter events (requires
 // `--trace-out` to land anywhere; heartbeat data is timing-only and
-// never part of semantic output).
+// never part of semantic output). `--events-out` installs a session
+// EventLog (events.hpp), which also routes OPERON_LOG lines into the
+// event stream via the log bridge.
 
 #include <optional>
 #include <string>
 
+#include "obs/events.hpp"
 #include "obs/ledger.hpp"
 #include "obs/obs.hpp"
 #include "obs/resource.hpp"
@@ -36,8 +40,9 @@ class CliObservation {
  public:
   explicit CliObservation(const util::Cli& cli);
   /// Stops the heartbeat, publishes final resource gauges, then writes
-  /// the requested files; failures are reported on stderr, never thrown
-  /// (a full disk at exit must not mask the run's own status).
+  /// the requested files; failures are reported via OPERON_LOG(Warn),
+  /// never thrown (a full disk at exit must not mask the run's own
+  /// status).
   ~CliObservation();
   CliObservation(const CliObservation&) = delete;
   CliObservation& operator=(const CliObservation&) = delete;
@@ -45,15 +50,20 @@ class CliObservation {
   bool active() const { return scope_.has_value(); }
   Observation& observation() { return observation_; }
   const LedgerCollector& ledger() const { return ledger_; }
+  EventLog& events() { return events_; }
 
  private:
   std::string trace_path_;
   std::string metrics_path_;
+  std::string metrics_prom_path_;
+  std::string events_path_;
   std::string ledger_path_;
   Observation observation_;
   LedgerCollector ledger_;
+  EventLog events_;
   std::optional<ScopedObservation> scope_;
   std::optional<ScopedLedger> ledger_scope_;
+  std::optional<ScopedEventLog> events_scope_;
   std::optional<Heartbeat> heartbeat_;
 };
 

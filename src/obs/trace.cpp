@@ -56,7 +56,8 @@ std::vector<TraceEvent> TraceRecorder::events() const {
   return events_;
 }
 
-std::string TraceRecorder::to_chrome_json() const {
+std::string TraceRecorder::to_chrome_json(
+    const std::vector<std::pair<std::string, std::string>>& metadata) const {
   const std::vector<TraceEvent> copy = events();
   util::JsonWriter json;
   json.begin_object();
@@ -79,6 +80,11 @@ std::string TraceRecorder::to_chrome_json() const {
   }
   json.end_array();
   json.key("displayTimeUnit").value("ms");
+  if (!metadata.empty()) {
+    json.key("metadata").begin_object();
+    for (const auto& [key, value] : metadata) json.key(key).value(value);
+    json.end_object();
+  }
   json.end_object();
   return json.str();
 }

@@ -56,8 +56,12 @@ class TraceRecorder {
   std::vector<TraceEvent> events() const;
 
   /// {"traceEvents": [{"name", "cat", "ph": "X", "ts", "dur", "pid",
-  /// "tid"}, ...]} — loadable by chrome://tracing and Perfetto.
-  std::string to_chrome_json() const;
+  /// "tid"}, ...]} — loadable by chrome://tracing and Perfetto. Optional
+  /// metadata key/value pairs land in a top-level "metadata" object (the
+  /// serve daemon tags per-job traces with job/tenant/case there).
+  std::string to_chrome_json(
+      const std::vector<std::pair<std::string, std::string>>& metadata = {})
+      const;
 
   void clear();
 

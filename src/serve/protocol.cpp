@@ -75,6 +75,7 @@ Op op_from_name(std::string_view name) {
   if (name == "result") return Op::Result;
   if (name == "cancel") return Op::Cancel;
   if (name == "stats") return Op::Stats;
+  if (name == "events") return Op::Events;
   if (name == "shutdown") return Op::Shutdown;
   OPERON_CHECK_MSG(false, "unknown op '" << name << "'");
   return Op::Status;  // unreachable
@@ -89,6 +90,7 @@ std::string_view to_string(Op op) {
     case Op::Result: return "result";
     case Op::Cancel: return "cancel";
     case Op::Stats: return "stats";
+    case Op::Events: return "events";
     case Op::Shutdown: return "shutdown";
   }
   return "unknown";
@@ -115,6 +117,13 @@ Request parse_request(std::string_view line) {
       request.wait = as_bool(value, "wait");
     } else if (key == "cancel_running" && request.op == Op::Shutdown) {
       request.cancel_running = as_bool(value, "cancel_running");
+    } else if (key == "tail" && request.op == Op::Events) {
+      request.tail = as_uint(value, "tail", 1000000);
+    } else if (key == "prom" && request.op == Op::Stats) {
+      request.prom = as_bool(value, "prom");
+    } else if (key == "with_metrics" &&
+               (request.op == Op::Status || request.op == Op::Result)) {
+      request.with_metrics = as_bool(value, "with_metrics");
     } else if (key == "case" && is_submit) {
       request.spec.case_id = as_name(value, "case", 32);
     } else if (key == "seed" && is_submit) {
@@ -216,15 +225,23 @@ std::string to_json_line(const Request& request) {
     case Op::Status:
     case Op::Cancel:
       json.key("job").value(request.job);
+      if (request.op == Op::Status && request.with_metrics) {
+        json.key("with_metrics").value(true);
+      }
       break;
     case Op::Result:
       json.key("job").value(request.job);
       if (request.wait) json.key("wait").value(true);
+      if (request.with_metrics) json.key("with_metrics").value(true);
       break;
     case Op::Shutdown:
       if (request.cancel_running) json.key("cancel_running").value(true);
       break;
     case Op::Stats:
+      if (request.prom) json.key("prom").value(true);
+      break;
+    case Op::Events:
+      if (request.tail != 0) json.key("tail").value(request.tail);
       break;
   }
   json.end_object();
@@ -267,6 +284,22 @@ std::string to_json_line(const Response& response) {
   if (!response.stats_json.empty()) {
     members.emplace_back("stats", util::parse_json(response.stats_json));
   }
+  if (!response.prom.empty()) {
+    members.emplace_back("prom", JsonValue::make_string(response.prom));
+  }
+  if (!response.job_metrics_json.empty()) {
+    members.emplace_back("metrics",
+                         util::parse_json(response.job_metrics_json));
+  }
+  if (!response.spans_json.empty()) {
+    members.emplace_back("spans", util::parse_json(response.spans_json));
+  }
+  if (!response.events_json.empty()) {
+    members.emplace_back("events", util::parse_json(response.events_json));
+  }
+  if (response.truncated) {
+    members.emplace_back("truncated", JsonValue::make_bool(true));
+  }
   return util::write_json(JsonValue::make_object(std::move(members)));
 }
 
@@ -301,6 +334,20 @@ Response parse_response(std::string_view line) {
       response.has_record = true;
     } else if (key == "stats") {
       response.stats_json = util::write_json(value);
+    } else if (key == "prom") {
+      OPERON_CHECK_MSG(value.is(JsonType::String), "'prom' must be a string");
+      response.prom = value.as_string();
+    } else if (key == "metrics") {
+      OPERON_CHECK_MSG(value.is(JsonType::Array), "'metrics' must be an array");
+      response.job_metrics_json = util::write_json(value);
+    } else if (key == "spans") {
+      OPERON_CHECK_MSG(value.is(JsonType::Array), "'spans' must be an array");
+      response.spans_json = util::write_json(value);
+    } else if (key == "events") {
+      OPERON_CHECK_MSG(value.is(JsonType::Array), "'events' must be an array");
+      response.events_json = util::write_json(value);
+    } else if (key == "truncated") {
+      response.truncated = as_bool(value, "truncated");
     } else {
       OPERON_CHECK_MSG(false, "unknown response member '" << key << "'");
     }

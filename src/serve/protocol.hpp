@@ -3,7 +3,8 @@
 // response line per request) spoken over the operon_serve Unix socket.
 //
 // Requests name an op — submit / status / result / cancel / stats /
-// shutdown — plus the op's payload; parse_request is strict in the
+// events / shutdown — plus the op's payload; parse_request is strict in
+// the
 // json.hpp tradition: unknown ops, unknown members, mistyped or
 // out-of-range fields, NaN budgets, oversized frames, and trailing junk
 // all raise util::CheckError with a message, which the server turns
@@ -37,6 +38,7 @@ enum class Op {
   Result,    ///< fetch a completed job's ledger record (optionally wait)
   Cancel,    ///< stop a queued or running job at its next checkpoint
   Stats,     ///< serve metrics registry snapshot (queue/cache/jobs)
+  Events,    ///< recent structured events (the daemon's flight recorder)
   Shutdown,  ///< stop admitting, drain (or cancel) in-flight, exit
 };
 
@@ -73,7 +75,13 @@ struct Request {
   std::uint64_t job = 0;  ///< status/result/cancel target (0 = server)
   bool wait = false;      ///< result/submit: block until the job settles
   bool cancel_running = false;  ///< shutdown: cancel instead of drain
-  JobSpec spec;                 ///< submit payload
+  /// events: return only the newest `tail` events (0 = all retained).
+  std::uint64_t tail = 0;
+  /// stats: include Prometheus text exposition in the response.
+  bool prom = false;
+  /// status/result: include the job's per-run metrics + span summary.
+  bool with_metrics = false;
+  JobSpec spec;  ///< submit payload
 };
 
 /// Strict parse of one request line. Throws util::CheckError on any
@@ -97,6 +105,21 @@ struct Response {
   bool has_record = false;
   obs::LedgerRecord record;  ///< result payload when has_record
   std::string stats_json;    ///< stats payload: metrics registry document
+  /// stats: Prometheus text exposition (newlines JSON-escaped on the
+  /// wire) when the request asked for `prom`.
+  std::string prom;
+  /// status/result with_metrics: the job's per-run metric points (a
+  /// write_metric_points array document) and aggregated span summary
+  /// (array of {"name","count","total_us"}). Empty for cache-served
+  /// jobs — a cached answer ran nothing.
+  std::string job_metrics_json;
+  std::string spans_json;
+  /// events: JSON array of event objects (obs::to_json_array).
+  std::string events_json;
+  /// Set when an oversized payload was shed/shortened to keep the
+  /// response line within kMaxFrameBytes (the structured flag the
+  /// 64 KiB frame fix reports instead of breaking the framing).
+  bool truncated = false;
 };
 
 /// One-line serialization (no trailing newline). Always a single line —

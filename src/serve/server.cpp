@@ -2,14 +2,18 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
 #include <optional>
 #include <utility>
 #include <vector>
 
 #include "benchgen/benchgen.hpp"
 #include "model/design.hpp"
+#include "obs/obs.hpp"
 #include "obs/resource.hpp"
 #include "util/check.hpp"
+#include "util/json.hpp"
+#include "util/logging.hpp"
 #include "util/strings.hpp"
 
 namespace operon::serve {
@@ -69,7 +73,20 @@ benchgen::BenchmarkSpec benchmark_for(const JobSpec& spec,
 Server::Server(ServerConfig config)
     : config_(std::move(config)),
       queue_(config_.queue_limit),
-      writer_(config_.ledger_path) {
+      writer_(config_.ledger_path),
+      events_(config_.events_capacity) {
+  if (!config_.events_path.empty()) {
+    events_file_.open(config_.events_path, std::ios::app);
+    OPERON_CHECK_MSG(events_file_.good(), "cannot open events file '"
+                                              << config_.events_path << "'");
+    // Runs under the log's emission mutex, so appends are serialized
+    // and ordered exactly as emitted; flushed per line so a live tail
+    // (the CI smoke, check_events.py) sees events promptly.
+    events_.set_sink([this](const obs::Event& event) {
+      events_file_ << obs::to_json_line(event) << '\n';
+      events_file_.flush();
+    });
+  }
   const std::size_t primed = cache_.prime_from_ledger(config_.ledger_path);
   if (primed != 0) metrics_.add_counter("serve.cache.primed", primed);
   metrics_.set_gauge("serve.cache.size", static_cast<double>(cache_.size()));
@@ -102,8 +119,11 @@ Response Server::handle(const Request& request) {
     case Op::Status: return status(request);
     case Op::Result: return result(request);
     case Op::Cancel: return cancel(request);
-    case Op::Stats: return stats();
+    case Op::Stats: return stats(request);
+    case Op::Events: return events(request);
     case Op::Shutdown: {
+      events_.emit(util::LogLevel::Info, "serve.shutdown",
+                   request.cancel_running ? "cancel" : "drain");
       {
         const std::lock_guard<std::mutex> lock(mutex_);
         draining_ = true;
@@ -113,6 +133,8 @@ Response Server::handle(const Request& request) {
             Job* job = find_job(queued.id);
             if (job == nullptr) continue;
             settle(*job, "canceled");
+            emit_job_event(*job, util::LogLevel::Warn, "serve.job.canceled",
+                           "canceled at shutdown");
             metrics_.add_counter("serve.jobs.canceled");
           }
           for (auto& [id, job] : jobs_) {
@@ -147,7 +169,31 @@ std::string Server::handle_line(std::string_view line) {
     response = error_response("internal-error", error.what());
   }
   if (response.op.empty()) response.op = op_name;
-  return to_json_line(response);
+  return serialize_clamped(std::move(response));
+}
+
+std::string Server::serialize_clamped(Response response) {
+  std::string line = to_json_line(response);
+  if (line.size() <= kMaxFrameBytes) return line;
+  response.truncated = true;
+  // Shed optional payloads, least essential first, until the line fits.
+  for (std::string* payload :
+       {&response.prom, &response.spans_json, &response.job_metrics_json,
+        &response.stats_json, &response.events_json}) {
+    if (payload->empty()) continue;
+    payload->clear();
+    line = to_json_line(response);
+    if (line.size() <= kMaxFrameBytes) return line;
+  }
+  // Even the mandatory members overflow (a pathological record): keep
+  // the framing intact with a structured error instead.
+  Response fallback = error_response(
+      "response-too-large",
+      "response exceeded the frame limit even after shedding payloads");
+  fallback.op = response.op;
+  fallback.job = response.job;
+  fallback.truncated = true;
+  return to_json_line(fallback);
 }
 
 Response Server::submit(const Request& request) {
@@ -192,6 +238,8 @@ Response Server::submit(const Request& request) {
       job.state = "done";
       id = job.id;
       ++next_id_;
+      emit_job_event(job, util::LogLevel::Info, "serve.job.submitted");
+      emit_job_event(job, util::LogLevel::Info, "serve.job.cache_hit");
       jobs_.emplace(id, std::move(owned));
       Response response;
       response.ok = true;
@@ -207,6 +255,15 @@ Response Server::submit(const Request& request) {
     if (!queue_.push(queued)) {
       metrics_.add_counter("serve.rejected.backpressure");
       update_gauges_locked();
+      // No id was assigned (next_id_ is untouched), so the context
+      // carries job = 0: the submission never became a job.
+      obs::EventContext context;
+      context.source = key;
+      context.case_id = case_label;
+      context.seed = spec.seed;
+      context.tenant = spec.tenant;
+      events_.emit(util::LogLevel::Warn, "serve.job.backpressure",
+                   "queue full; submit rejected", context);
       return error_response(
           "backpressure",
           util::format("queue is full (%zu jobs); retry later",
@@ -216,6 +273,7 @@ Response Server::submit(const Request& request) {
     id = job.id;
     ++next_id_;
     if (config_.session_stop) job.stop.chain(config_.session_stop);
+    emit_job_event(job, util::LogLevel::Info, "serve.job.submitted");
     jobs_.emplace(id, std::move(owned));
     update_gauges_locked();
 
@@ -263,6 +321,10 @@ Response Server::status(const Request& request) {
   response.ok = true;
   fill_job_fields(*job, &response);
   response.has_record = false;  // records only travel on `result`
+  if (request.with_metrics) {
+    response.job_metrics_json = job->metrics_json;
+    response.spans_json = job->spans_json;
+  }
   return response;
 }
 
@@ -288,6 +350,10 @@ Response Server::result(const Request& request) {
   Response response;
   response.ok = job->state != "failed";
   fill_job_fields(*job, &response);
+  if (request.with_metrics) {
+    response.job_metrics_json = job->metrics_json;
+    response.spans_json = job->spans_json;
+  }
   if (job->state == "failed") {
     response.error = "job-failed";
     response.detail = job->error;
@@ -310,6 +376,8 @@ Response Server::cancel(const Request& request) {
       OPERON_CHECK_MSG(queue_.remove(job->id),
                        "queued job " << job->id << " missing from the queue");
       settle(*job, "canceled");
+      emit_job_event(*job, util::LogLevel::Warn, "serve.job.canceled",
+                     "canceled while queued");
       metrics_.add_counter("serve.jobs.canceled");
       update_gauges_locked();
     } else if (job->state == "running") {
@@ -325,11 +393,36 @@ Response Server::cancel(const Request& request) {
   return response;
 }
 
-Response Server::stats() const {
+Response Server::stats(const Request& request) const {
   Response response;
   response.ok = true;
   response.stats_json = metrics_.to_json();
+  if (request.prom) response.prom = metrics_.to_prometheus();
   return response;
+}
+
+Response Server::events(const Request& request) const {
+  Response response;
+  response.ok = true;
+  std::vector<obs::Event> recent =
+      events_.events(static_cast<std::size_t>(request.tail));
+  std::string payload = obs::to_json_array(recent);
+  // Pre-truncate oldest-first so the envelope (ok/op members) always
+  // fits the frame; serialize_clamped stays as the backstop.
+  constexpr std::size_t kBudget = kMaxFrameBytes - 256;
+  while (payload.size() > kBudget && !recent.empty()) {
+    recent.erase(recent.begin(),
+                 recent.begin() +
+                     static_cast<std::ptrdiff_t>((recent.size() + 1) / 2));
+    response.truncated = true;
+    payload = obs::to_json_array(recent);
+  }
+  response.events_json = std::move(payload);
+  return response;
+}
+
+std::string Server::flight_recorder(std::size_t tail) const {
+  return obs::flight_recorder_dump(events_, tail);
 }
 
 void Server::shutdown(bool cancel_running) {
@@ -365,6 +458,7 @@ void Server::worker_loop() {
       job->state = "running";
       ++inflight_;
       update_gauges_locked();
+      emit_job_event(*job, util::LogLevel::Info, "serve.job.started");
     }
     execute(*job);
     {
@@ -381,6 +475,7 @@ void Server::execute(Job& job) {
   if (cache_.acquire(job.key, job.spec.stop_at_checkpoint, &hit) ==
       ResultCache::Outcome::Hit) {
     metrics_.add_counter("serve.cache.hit");
+    emit_job_event(job, util::LogLevel::Info, "serve.job.cache_hit");
     const std::lock_guard<std::mutex> lock(mutex_);
     job.record = std::move(hit);
     job.has_record = true;
@@ -396,6 +491,7 @@ void Server::execute(Job& job) {
     options.threads = config_.job_threads;
     options.stop = job.stop.token();
 
+    obs::Observation job_obs;
     obs::LedgerCollector collector;
     collector.set_context(job.case_label, job.spec.seed);
     std::optional<obs::Watchdog> watchdog;
@@ -404,10 +500,72 @@ void Server::execute(Job& job) {
                        std::chrono::milliseconds(config_.watchdog_ms));
     }
     {
+      // Per-job observation: the run's own thread-scoped observation
+      // absorbs into job_obs (the nearest ambient scope on this
+      // thread), so job_obs holds exactly this job's metrics/spans.
+      // The event scopes route the run's emit_event/OPERON_LOG lines
+      // onto the daemon log, stamped with this job's context.
+      const obs::ScopedThreadObservation obs_scope(job_obs);
+      const obs::ScopedThreadEventLog events_scope(events_);
+      obs::EventContext context;
+      context.source = job.key;
+      context.job = job.id;
+      context.case_id = job.case_label;
+      context.seed = job.spec.seed;
+      context.tenant = job.spec.tenant;
+      const obs::ScopedEventContext context_scope(context);
       const obs::ScopedThreadLedger scope(collector);
       (void)core::run_operon(design, options);
     }
     watchdog.reset();
+
+    // Pre-render the job's observability payloads (status/result
+    // with_metrics) and fold stage timings into the serve registry's
+    // live histograms (serve.job.time.*, scraped by `operon_cli top`).
+    const obs::MetricsSnapshot job_metrics = job_obs.metrics.snapshot();
+    util::JsonWriter metrics_writer;
+    obs::write_metric_points(metrics_writer, job_metrics.points,
+                             /*include_timing=*/true, /*exact=*/true);
+    std::map<std::string, std::pair<std::uint64_t, double>> span_totals;
+    for (const obs::TraceEvent& event : job_obs.trace.events()) {
+      if (event.phase != 'X') continue;
+      auto& slot = span_totals[event.name];
+      ++slot.first;
+      slot.second += event.dur_us;
+    }
+    util::JsonWriter spans_writer;
+    spans_writer.begin_array();
+    for (const auto& [name, totals] : span_totals) {
+      spans_writer.begin_object();
+      spans_writer.key("name").value(name);
+      spans_writer.key("count").value(totals.first);
+      spans_writer.key("total_us").value(totals.second);
+      spans_writer.end_object();
+    }
+    spans_writer.end_array();
+    for (const obs::MetricPoint& point : job_metrics.points) {
+      if (point.kind == obs::MetricKind::Gauge && point.timing &&
+          point.name.rfind("time.", 0) == 0) {
+        metrics_.observe("serve.job." + point.name, point.value);
+      }
+    }
+    if (!config_.trace_dir.empty()) {
+      const std::string path =
+          config_.trace_dir + "/job-" + std::to_string(job.id) + ".json";
+      std::ofstream trace_file(path);
+      if (trace_file.good()) {
+        trace_file << job_obs.trace.to_chrome_json(
+                          {{"job", std::to_string(job.id)},
+                           {"tenant", job.spec.tenant},
+                           {"case", job.case_label},
+                           {"seed", std::to_string(job.spec.seed)},
+                           {"key", job.key}})
+                   << "\n";
+      }
+      if (!trace_file.good()) {
+        OPERON_LOG(Warn) << "failed to write job trace to '" << path << "'";
+      }
+    }
 
     const std::vector<obs::LedgerRecord> records = collector.records();
     OPERON_CHECK_MSG(records.size() == 1,
@@ -433,13 +591,20 @@ void Server::execute(Job& job) {
     }
     metrics_.add_counter(canceled ? "serve.jobs.canceled"
                                   : "serve.jobs.completed");
+    emit_job_event(job,
+                   canceled ? util::LogLevel::Warn : util::LogLevel::Info,
+                   canceled ? "serve.job.canceled" : "serve.job.completed");
     const std::lock_guard<std::mutex> lock(mutex_);
     job.record = record;
     job.has_record = true;
+    job.metrics_json = metrics_writer.str();
+    job.spans_json = spans_writer.str();
     settle(job, canceled ? "canceled" : "done");
   } catch (const util::CheckError& error) {
     cache_.abandon(job.key);
     metrics_.add_counter("serve.jobs.failed");
+    emit_job_event(job, util::LogLevel::Error, "serve.job.failed",
+                   error.what());
     const std::lock_guard<std::mutex> lock(mutex_);
     job.error = error.what();
     settle(job, "failed");
@@ -448,6 +613,17 @@ void Server::execute(Job& job) {
 
 void Server::settle(Job& job, std::string_view state) {
   job.state = std::string(state);
+}
+
+void Server::emit_job_event(const Job& job, util::LogLevel level,
+                            std::string_view name, std::string_view message) {
+  obs::EventContext context;
+  context.source = job.key;
+  context.job = job.id;
+  context.case_id = job.case_label;
+  context.seed = job.spec.seed;
+  context.tenant = job.spec.tenant;
+  events_.emit(level, name, message, context);
 }
 
 Server::Job* Server::find_job(std::uint64_t id) {

@@ -31,6 +31,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -40,6 +41,7 @@
 #include <vector>
 
 #include "core/flow.hpp"
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "serve/cache.hpp"
 #include "serve/protocol.hpp"
@@ -64,6 +66,16 @@ struct ServerConfig {
   /// Per-job stall guard: abort (default Watchdog action) when a
   /// running job goes this long without a checkpoint (0 = off).
   int watchdog_ms = 0;
+  /// When set, one Chrome-trace file per computed job is written here
+  /// as job-<id>.json, tagged (metadata) with job/tenant/case/seed/key.
+  std::string trace_dir;
+  /// When set, every daemon event is appended to this JSONL file as it
+  /// is emitted (the durable twin of the in-memory flight recorder).
+  std::string events_path;
+  /// Flight-recorder ring size: how many recent events the daemon
+  /// retains in memory for the `events` op, the watchdog stall report,
+  /// and the SIGTERM dump (0 = unbounded).
+  std::size_t events_capacity = 256;
   /// Daemon session stop (SIGINT/SIGTERM chain). Every job's
   /// StopSource chains to it, so a session interrupt stops all running
   /// jobs at their next checkpoint.
@@ -104,6 +116,15 @@ class Server {
   std::size_t cache_size() const;
   std::size_t records_appended() const;
 
+  /// The daemon's event log / flight recorder. Lifecycle events and
+  /// per-job run events land here; the socket front end installs it as
+  /// the ambient event log so OPERON_LOG lines join the stream.
+  obs::EventLog& events_log() { return events_; }
+
+  /// Flight-recorder dump (recent events + open spans) for the SIGTERM
+  /// handler and operator tooling.
+  std::string flight_recorder(std::size_t tail = 0) const;
+
  private:
   struct Job {
     std::uint64_t id = 0;
@@ -115,6 +136,11 @@ class Server {
     bool has_record = false;
     obs::LedgerRecord record;
     std::string error;  ///< failure detail when state == "failed"
+    /// Per-job observability payloads, rendered once when the job
+    /// computes (empty for cache-served jobs): the run's metric points
+    /// (write_metric_points, exact doubles) and span summary.
+    std::string metrics_json;
+    std::string spans_json;
     util::StopSource stop;
   };
 
@@ -122,7 +148,8 @@ class Server {
   Response status(const Request& request);
   Response result(const Request& request);
   Response cancel(const Request& request);
-  Response stats() const;
+  Response stats(const Request& request) const;
+  Response events(const Request& request) const;
 
   void worker_loop();
   void execute(Job& job);
@@ -132,6 +159,13 @@ class Server {
   bool settled(const Job& job) const;
   void update_gauges_locked();
   void fill_job_fields(const Job& job, Response* response) const;
+  /// Lifecycle event with the job's full context on the daemon log.
+  void emit_job_event(const Job& job, util::LogLevel level,
+                      std::string_view name, std::string_view message = {});
+  /// Serialize, shedding optional payloads (prom, spans, metrics,
+  /// stats, events) with truncated=true until the line fits in
+  /// kMaxFrameBytes — the framing must survive any payload size.
+  static std::string serialize_clamped(Response response);
 
   ServerConfig config_;
 
@@ -149,6 +183,12 @@ class Server {
   ResultCache cache_;
   LedgerWriter writer_;
   mutable obs::MetricsRegistry metrics_;
+  /// Daemon event log (bounded flight-recorder ring). Declared after
+  /// the mutex-guarded state it reports on; its own mutex serializes
+  /// emission, and the optional --events-out sink writes from inside
+  /// that lock (see obs::EventLog::set_sink).
+  obs::EventLog events_;
+  std::ofstream events_file_;
   std::vector<std::thread> workers_;
 };
 

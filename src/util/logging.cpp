@@ -8,6 +8,7 @@ namespace operon::util {
 
 namespace {
 std::atomic<LogLevel> g_threshold{LogLevel::Info};
+std::atomic<LogSink> g_sink{nullptr};
 
 const char* basename_of(const char* path) {
   const char* slash = std::strrchr(path, '/');
@@ -32,15 +33,33 @@ const char* to_string(LogLevel level) {
   return "?";
 }
 
-LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : level_(level) {
-  stream_ << '[' << to_string(level) << ' ' << basename_of(file) << ':' << line
-          << "] ";
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  if (name == "debug") return LogLevel::Debug;
+  if (name == "info") return LogLevel::Info;
+  if (name == "warn") return LogLevel::Warn;
+  if (name == "error") return LogLevel::Error;
+  if (name == "off") return LogLevel::Off;
+  return std::nullopt;
 }
 
+void set_log_sink(LogSink sink) {
+  g_sink.store(sink, std::memory_order_release);
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), file_(file), line_(line) {}
+
 LogMessage::~LogMessage() {
-  stream_ << '\n';
-  std::cerr << stream_.str();
+  const std::string body = stream_.str();
+  if (const LogSink sink = g_sink.load(std::memory_order_acquire)) {
+    sink(level_, file_, line_, body);
+  }
+  // Compose the full line first so concurrent log statements cannot
+  // interleave mid-line on stderr.
+  std::ostringstream full;
+  full << '[' << to_string(level_) << ' ' << basename_of(file_) << ':'
+       << line_ << "] " << body << '\n';
+  std::cerr << full.str();
   if (level_ >= LogLevel::Error) std::cerr.flush();
 }
 

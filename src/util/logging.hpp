@@ -1,10 +1,17 @@
 #pragma once
 // Minimal leveled logger. Global severity threshold; streams to stderr.
 // Usage: OPERON_LOG(Info) << "placed " << n << " WDMs";
+//
+// Besides stderr, every emitted message is forwarded to an optional
+// process-wide sink hook (set_log_sink). The obs module installs a
+// bridge there so OPERON_LOG lines become structured events in the
+// ambient obs::EventLog — util stays dependency-free, obs subscribes.
 
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace operon::util {
 
@@ -15,6 +22,18 @@ LogLevel log_threshold();
 void set_log_threshold(LogLevel level);
 
 const char* to_string(LogLevel level);
+
+/// Parse a --log-level flag value ("debug" | "info" | "warn" | "error"
+/// | "off", case-sensitive); nullopt on anything else.
+std::optional<LogLevel> parse_log_level(std::string_view name);
+
+/// Sink hook invoked (after the threshold gate) with the message body —
+/// no "[LEVEL file:line]" prefix, no trailing newline. A plain function
+/// pointer kept in an atomic, so emitting a log line never takes a
+/// lock. The sink must not log (it would recurse).
+using LogSink = void (*)(LogLevel level, const char* file, int line,
+                         const std::string& body);
+void set_log_sink(LogSink sink);
 
 /// One log statement; flushes on destruction.
 class LogMessage {
@@ -28,7 +47,9 @@ class LogMessage {
 
  private:
   LogLevel level_;
-  std::ostringstream stream_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;  ///< message body (prefix added at flush)
 };
 
 }  // namespace operon::util

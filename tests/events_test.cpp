@@ -1,0 +1,243 @@
+// Structured event log (obs/events.hpp): per-source sequencing, the
+// bounded flight-recorder ring, the strict JSON schema, the OPERON_LOG
+// bridge, the semantic projection the determinism gates compare, and
+// the run-level event-stream invariance across thread counts. Also
+// covers the Prometheus text exposition (obs::to_prometheus), which
+// ships over the same serve stats surface.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "benchgen/benchgen.hpp"
+#include "core/flow.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+#include "util/json.hpp"
+#include "util/logging.hpp"
+
+namespace ob = operon::obs;
+namespace ou = operon::util;
+
+namespace {
+
+ob::EventContext context(const std::string& source, std::uint64_t job) {
+  ob::EventContext ctx;
+  ctx.source = source;
+  ctx.job = job;
+  ctx.case_id = "I1";
+  ctx.seed = 7;
+  ctx.tenant = "alpha";
+  return ctx;
+}
+
+TEST(EventLog, PerSourceSequencesAreIndependentAndMonotonic) {
+  ob::EventLog log;
+  log.emit(ou::LogLevel::Info, "a", "", context("x", 1));
+  log.emit(ou::LogLevel::Info, "b", "", context("y", 2));
+  log.emit(ou::LogLevel::Info, "c", "", context("x", 1));
+  log.emit(ou::LogLevel::Info, "d", "", {});  // process stream
+  const std::vector<ob::Event> events = log.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].seq, 1u);  // x: 1
+  EXPECT_EQ(events[1].seq, 1u);  // y: 1
+  EXPECT_EQ(events[2].seq, 2u);  // x: 2
+  EXPECT_EQ(events[3].seq, 1u);  // "": 1
+  EXPECT_EQ(log.total(), 4u);
+}
+
+TEST(EventLog, BoundedRingKeepsNewestButCountsAll) {
+  ob::EventLog log(/*capacity=*/3);
+  for (int i = 0; i < 5; ++i) {
+    log.emit(ou::LogLevel::Info, "e" + std::to_string(i), "", {});
+  }
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.total(), 5u);
+  const std::vector<ob::Event> events = log.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events.front().name, "e2");
+  EXPECT_EQ(events.back().name, "e4");
+  // tail narrows further within the ring.
+  EXPECT_EQ(log.events(1).front().name, "e4");
+}
+
+TEST(EventLog, SinkSeesEveryEventDespiteTheRing) {
+  ob::EventLog log(/*capacity=*/2);
+  std::vector<std::string> seen;
+  log.set_sink([&seen](const ob::Event& event) { seen.push_back(event.name); });
+  for (int i = 0; i < 4; ++i) {
+    log.emit(ou::LogLevel::Info, "e" + std::to_string(i), "", {});
+  }
+  EXPECT_EQ(seen, (std::vector<std::string>{"e0", "e1", "e2", "e3"}));
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(EventLog, JsonLineRoundTripsAndParsesStrictly) {
+  ob::EventLog log;
+  log.emit(ou::LogLevel::Warn, "serve.job.canceled", "canceled at shutdown",
+           context("I1/7/lr-abc", 3));
+  const ob::Event original = log.events().front();
+  const ob::Event parsed =
+      ob::event_from_json(ou::parse_json(ob::to_json_line(original)));
+  EXPECT_EQ(parsed.seq, original.seq);
+  EXPECT_EQ(parsed.ts_us, original.ts_us);
+  EXPECT_EQ(parsed.level, original.level);
+  EXPECT_EQ(parsed.name, original.name);
+  EXPECT_EQ(parsed.message, original.message);
+  EXPECT_EQ(parsed.context.source, original.context.source);
+  EXPECT_EQ(parsed.context.job, original.context.job);
+  EXPECT_EQ(parsed.context.case_id, original.context.case_id);
+  EXPECT_EQ(parsed.context.seed, original.context.seed);
+  EXPECT_EQ(parsed.context.tenant, original.context.tenant);
+
+  // Strict whitelist: unknown members, missing requireds, bad levels.
+  EXPECT_THROW(ob::event_from_json(ou::parse_json(
+                   R"({"seq":1,"level":"info","name":"a","bogus":1})")),
+               ou::CheckError);
+  EXPECT_THROW(
+      ob::event_from_json(ou::parse_json(R"({"level":"info","name":"a"})")),
+      ou::CheckError);
+  EXPECT_THROW(ob::event_from_json(ou::parse_json(
+                   R"({"seq":1,"level":"loud","name":"a"})")),
+               ou::CheckError);
+  EXPECT_THROW(ob::event_from_json(ou::parse_json(R"([1,2])")),
+               ou::CheckError);
+}
+
+TEST(EventLog, SemanticLineExcludesWallTimeAndJobId) {
+  ob::EventLog a;
+  ob::EventLog b;
+  a.emit(ou::LogLevel::Info, "serve.job.started", "", context("k", 1));
+  b.emit(ou::LogLevel::Info, "serve.job.started", "", context("k", 9));
+  const ob::Event ea = a.events().front();
+  const ob::Event eb = b.events().front();
+  ASSERT_NE(ea.context.job, eb.context.job);
+  EXPECT_EQ(ob::semantic_line(ea), ob::semantic_line(eb));
+  // ...but everything semantic is kept.
+  ob::Event changed = ea;
+  changed.message = "different";
+  EXPECT_NE(ob::semantic_line(ea), ob::semantic_line(changed));
+}
+
+TEST(EventLog, LogBridgeTurnsOperonLogIntoEvents) {
+  ob::EventLog log;
+  const ob::ScopedEventLog scope(log);
+  const ob::ScopedEventContext ctx(context("bridge-src", 4));
+  OPERON_LOG(Warn) << "widget " << 42 << " failed";
+  const std::vector<ob::Event> events = log.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "log.warn");
+  EXPECT_EQ(events[0].level, ou::LogLevel::Warn);
+  // Body only: no [LEVEL file:line] prefix leaks into the event.
+  EXPECT_EQ(events[0].message, "widget 42 failed");
+  EXPECT_EQ(events[0].context.source, "bridge-src");
+  EXPECT_EQ(events[0].context.tenant, "alpha");
+}
+
+TEST(EventLog, EmitEventWithoutALogIsANoOp) {
+  // No ambient log installed here: must not crash, must not leak state.
+  ob::emit_event(ou::LogLevel::Info, "nobody.listens", "fine");
+  SUCCEED();
+}
+
+TEST(FlightRecorder, DumpIsByteStableForAFixedEmissionSequence) {
+  ob::EventLog log(/*capacity=*/8);
+  log.emit(ou::LogLevel::Info, "serve.job.submitted", "",
+           context("I1/7/lr-abc", 1));
+  log.emit(ou::LogLevel::Info, "serve.job.started", "",
+           context("I1/7/lr-abc", 1));
+  log.emit(ou::LogLevel::Warn, "serve.job.canceled", "canceled while queued",
+           context("I2/9/lr-def", 2));
+  log.emit(ou::LogLevel::Info, "log.info", "listening", {});
+  // render_event carries no wall-time, so the dump is a golden string.
+  EXPECT_EQ(log.dump(),
+            "#1 info serve.job.submitted [I1/7/lr-abc] case=I1 seed=7 "
+            "tenant=alpha\n"
+            "#2 info serve.job.started [I1/7/lr-abc] case=I1 seed=7 "
+            "tenant=alpha\n"
+            "#1 warn serve.job.canceled [I2/9/lr-def] case=I1 seed=7 "
+            "tenant=alpha: canceled while queued\n"
+            "#1 info log.info: listening\n");
+  // tail slices the newest.
+  EXPECT_EQ(log.dump(1), "#1 info log.info: listening\n");
+
+  const std::string dump = ob::flight_recorder_dump(log, 2);
+  EXPECT_NE(dump.find("recent events:\n"), std::string::npos);
+  EXPECT_NE(dump.find("open spans:\n"), std::string::npos);
+  EXPECT_EQ(dump.find("serve.job.submitted"), std::string::npos);  // tailed off
+  EXPECT_NE(dump.find("serve.job.canceled"), std::string::npos);
+
+  ob::EventLog empty;
+  EXPECT_EQ(empty.dump(), "(no events)\n");
+}
+
+/// Collect the semantic event stream of one run_operon invocation at a
+/// given thread count.
+std::vector<std::string> run_event_stream(std::size_t threads) {
+  operon::benchgen::BenchmarkSpec spec;
+  spec.name = "events-det";
+  spec.num_groups = 4;
+  spec.bits_lo = 2;
+  spec.bits_hi = 4;
+  spec.seed = 11;
+  const operon::model::Design design =
+      operon::benchgen::generate_benchmark(spec);
+  operon::core::OperonOptions options;
+  options.threads = threads;
+  options.select.time_limit_s = 5.0;
+
+  ob::EventLog log;
+  std::vector<std::string> lines;
+  {
+    const ob::ScopedEventLog scope(log);
+    (void)operon::core::run_operon(design, options);
+  }
+  for (const ob::Event& event : log.events()) {
+    lines.push_back(ob::semantic_line(event));
+  }
+  return lines;
+}
+
+TEST(EventDeterminism, RunEventStreamIdenticalAcrossThreadCounts) {
+  const std::vector<std::string> serial = run_event_stream(1);
+  // The stream is non-trivial: the run start/completed pair plus any
+  // bridged OPERON_LOG lines, in emission order.
+  ASSERT_GE(serial.size(), 2u);
+  EXPECT_NE(serial.front().find("name=core.run.start"), std::string::npos)
+      << serial.front();
+  EXPECT_NE(serial.back().find("name=core.run.completed"), std::string::npos)
+      << serial.back();
+  EXPECT_EQ(run_event_stream(2), serial);
+  EXPECT_EQ(run_event_stream(0), serial);
+}
+
+TEST(EventDeterminism, PrometheusExpositionRendersEveryKind) {
+  ob::MetricsRegistry registry;
+  registry.add_counter("serve.submitted", 3);
+  registry.set_gauge("serve.queue.depth", 2.0);
+  registry.set_gauge("time.total_s", 1.5, /*timing=*/true);
+  registry.observe("serve.job.time.total_s", 0.25);
+  registry.observe("serve.job.time.total_s", 0.75);
+  const std::string text = registry.to_prometheus();
+
+  EXPECT_NE(text.find("# TYPE operon_serve_submitted counter\n"
+                      "operon_serve_submitted 3\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("operon_serve_queue_depth 2\n"), std::string::npos);
+  // Timing gauges ARE exposed: exposition is a monitoring surface.
+  EXPECT_NE(text.find("operon_time_total_s 1.5\n"), std::string::npos);
+  // Histograms expand to cumulative buckets + sum/count with +Inf.
+  EXPECT_NE(text.find("# TYPE operon_serve_job_time_total_s histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("operon_serve_job_time_total_s_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("operon_serve_job_time_total_s_sum 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("operon_serve_job_time_total_s_count 2\n"),
+            std::string::npos);
+}
+
+}  // namespace

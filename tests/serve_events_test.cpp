@@ -1,0 +1,300 @@
+// Serve observability surface: the per-job semantic event streams are
+// bit-identical regardless of submission order and executor count (the
+// event analogue of the ledger record-set invariant), the per-job
+// metrics payload is semantically identical at any per-job thread
+// count, the events op honors tail and strict parsing and pre-truncates
+// oversized payloads instead of breaking the framing, the stats op
+// serves Prometheus text, and --trace-dir yields one Chrome trace per
+// computed job.
+//
+// Determinism caveat baked into these tests: duplicate job keys
+// deduplicate through ResultCache::acquire, which makes the
+// compute-vs-cache-hit split scheduling-dependent — so the invariance
+// batches use UNIQUE keys only.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/json.hpp"
+
+namespace os = operon::serve;
+namespace ob = operon::obs;
+namespace ou = operon::util;
+
+namespace {
+
+os::JobSpec job(std::uint64_t seed, std::size_t groups,
+                const std::string& tenant) {
+  os::JobSpec spec;
+  spec.groups = groups;
+  spec.bits_lo = 2;
+  spec.bits_hi = 4;
+  spec.seed = seed;
+  spec.tenant = tenant;
+  spec.ilp_limit_s = 5.0;
+  return spec;
+}
+
+std::vector<os::JobSpec> unique_batch() {
+  return {job(1, 4, "alpha"), job(2, 4, "alpha"), job(3, 5, "beta"),
+          job(4, 3, "beta")};
+}
+
+/// Submit every spec in order, wait for all, shut down; return the
+/// retained events.
+std::vector<ob::Event> run_batch(const std::vector<os::JobSpec>& jobs,
+                                 std::size_t workers,
+                                 std::size_t job_threads) {
+  os::ServerConfig config;
+  config.workers = workers;
+  config.job_threads = job_threads;
+  os::Server server(config);
+  std::vector<std::uint64_t> ids;
+  for (const os::JobSpec& spec : jobs) {
+    os::Request request;
+    request.op = os::Op::Submit;
+    request.spec = spec;
+    const os::Response response = server.handle(request);
+    EXPECT_TRUE(response.ok) << response.error << ": " << response.detail;
+    ids.push_back(response.job);
+  }
+  for (const std::uint64_t id : ids) {
+    os::Request request;
+    request.op = os::Op::Result;
+    request.job = id;
+    request.wait = true;
+    const os::Response response = server.handle(request);
+    EXPECT_TRUE(response.ok) << response.error << ": " << response.detail;
+  }
+  server.shutdown(/*cancel_running=*/false);
+  return server.events_log().events();
+}
+
+/// Per-source semantic streams: source -> semantic lines in seq order.
+std::map<std::string, std::vector<std::string>> streams(
+    const std::vector<ob::Event>& events) {
+  std::map<std::string, std::vector<std::string>> out;
+  for (const ob::Event& event : events) {
+    if (event.context.source.empty()) continue;  // daemon process stream
+    out[event.context.source].push_back(ob::semantic_line(event));
+  }
+  // Events interleave across jobs in the shared log; each job's stream
+  // is reassembled in its own seq order.
+  for (auto& [source, lines] : out) {
+    std::sort(lines.begin(), lines.end(), [](const std::string& a,
+                                             const std::string& b) {
+      // semantic_line leads with "source=<s> seq=<n> " — sorting the
+      // whole line would order seq 10 before 2, so extract the number.
+      const auto seq = [](const std::string& line) {
+        const std::size_t at = line.find(" seq=") + 5;
+        return std::stoull(line.substr(at));
+      };
+      return seq(a) < seq(b);
+    });
+  }
+  return out;
+}
+
+TEST(ServeEvents, SemanticStreamsInvariantAcrossOrderAndWorkers) {
+  const auto baseline = streams(run_batch(unique_batch(), /*workers=*/1,
+                                          /*job_threads=*/1));
+  ASSERT_EQ(baseline.size(), 4u);  // one stream per unique job key
+  for (const auto& [source, lines] : baseline) {
+    // submitted, started, core.run.start, ..., core.run.completed,
+    // serve.job.completed — at least the five lifecycle marks.
+    ASSERT_GE(lines.size(), 5u) << source;
+    EXPECT_NE(lines.front().find("name=serve.job.submitted"),
+              std::string::npos);
+    EXPECT_NE(lines.back().find("name=serve.job.completed"),
+              std::string::npos);
+  }
+
+  std::vector<os::JobSpec> reversed = unique_batch();
+  std::reverse(reversed.begin(), reversed.end());
+  const auto shuffled = streams(run_batch(reversed, /*workers=*/4,
+                                          /*job_threads=*/0));
+  EXPECT_EQ(shuffled, baseline);
+}
+
+/// One computed job; returns the with_metrics status response.
+os::Response metrics_response(std::size_t job_threads) {
+  os::ServerConfig config;
+  config.job_threads = job_threads;
+  os::Server server(config);
+  os::Request submit;
+  submit.op = os::Op::Submit;
+  submit.spec = job(21, 4, "alpha");
+  submit.wait = true;
+  const os::Response submitted = server.handle(submit);
+  EXPECT_TRUE(submitted.ok) << submitted.error;
+
+  os::Request status;
+  status.op = os::Op::Status;
+  status.job = submitted.job;
+  status.with_metrics = true;
+  const os::Response response = server.handle(status);
+  EXPECT_TRUE(response.ok) << response.error;
+  server.shutdown(false);
+  return response;
+}
+
+ob::MetricsSnapshot parse_points(const std::string& json) {
+  ob::MetricsSnapshot snapshot;
+  const ou::JsonValue doc = ou::parse_json(json);
+  for (const ou::JsonValue& item : doc.items()) {
+    snapshot.points.push_back(ob::metric_point_from_json(item));
+  }
+  return snapshot;
+}
+
+TEST(ServeEvents, PerJobMetricsPayloadSemanticAcrossJobThreads) {
+  const os::Response serial = metrics_response(/*job_threads=*/1);
+  ASSERT_FALSE(serial.job_metrics_json.empty());
+  ASSERT_FALSE(serial.spans_json.empty());
+  const ob::MetricsSnapshot a = parse_points(serial.job_metrics_json);
+  EXPECT_FALSE(a.points.empty());
+
+  const os::Response parallel = metrics_response(/*job_threads=*/0);
+  const ob::MetricsSnapshot b = parse_points(parallel.job_metrics_json);
+  EXPECT_TRUE(ob::semantic_equal(a, b));
+
+  // The span summary names real stages.
+  EXPECT_NE(serial.spans_json.find("\"name\""), std::string::npos);
+}
+
+TEST(ServeEvents, CachedJobsServeEmptyMetricsPayload) {
+  os::ServerConfig config;
+  os::Server server(config);
+  os::Request submit;
+  submit.op = os::Op::Submit;
+  submit.spec = job(31, 3, "alpha");
+  submit.wait = true;
+  const os::Response first = server.handle(submit);
+  ASSERT_TRUE(first.ok) << first.error;
+  const os::Response second = server.handle(submit);  // cache hit
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_TRUE(second.cached);
+
+  os::Request status;
+  status.op = os::Op::Status;
+  status.job = second.job;
+  status.with_metrics = true;
+  const os::Response response = server.handle(status);
+  ASSERT_TRUE(response.ok) << response.error;
+  // A cached answer ran nothing: nothing to report.
+  EXPECT_TRUE(response.job_metrics_json.empty());
+  EXPECT_TRUE(response.spans_json.empty());
+  server.shutdown(false);
+}
+
+TEST(ServeEvents, EventsOpHonorsTailAndParsesStrictly) {
+  os::ServerConfig config;
+  os::Server server(config);
+  for (int i = 0; i < 6; ++i) {
+    server.events_log().emit(operon::util::LogLevel::Info,
+                             "test.e" + std::to_string(i), "", {});
+  }
+  os::Request request;
+  request.op = os::Op::Events;
+  request.tail = 2;
+  const os::Response response = server.handle(request);
+  ASSERT_TRUE(response.ok) << response.error;
+  EXPECT_FALSE(response.truncated);
+  const ou::JsonValue doc = ou::parse_json(response.events_json);
+  ASSERT_EQ(doc.items().size(), 2u);
+  EXPECT_EQ(ob::event_from_json(doc.items().back()).name, "test.e5");
+
+  // tail on any other op is an unknown member (strict whitelist).
+  const os::Response rejected =
+      os::parse_response(server.handle_line(R"({"op":"stats","tail":5})"));
+  EXPECT_FALSE(rejected.ok);
+  server.shutdown(false);
+}
+
+TEST(ServeEvents, OversizedEventsPayloadTruncatesInsteadOfBreakingFraming) {
+  os::ServerConfig config;
+  os::Server server(config);
+  const std::string filler(1024, 'x');
+  for (int i = 0; i < 200; ++i) {
+    server.events_log().emit(operon::util::LogLevel::Info, "test.big", filler,
+                             {});
+  }
+  const std::string line = server.handle_line(R"({"op":"events"})");
+  EXPECT_LE(line.size(), os::kMaxFrameBytes);
+  const os::Response response = os::parse_response(line);
+  ASSERT_TRUE(response.ok) << response.error;
+  EXPECT_TRUE(response.truncated);
+  // What survives is the newest slice, still schema-valid.
+  const ou::JsonValue doc = ou::parse_json(response.events_json);
+  ASSERT_FALSE(doc.items().empty());
+  EXPECT_EQ(ob::event_from_json(doc.items().back()).name, "test.big");
+  server.shutdown(false);
+}
+
+TEST(ServeEvents, StatsServesPrometheusTextOnRequest) {
+  os::ServerConfig config;
+  os::Server server(config);
+  os::Request submit;
+  submit.op = os::Op::Submit;
+  submit.spec = job(41, 3, "alpha");
+  submit.wait = true;
+  ASSERT_TRUE(server.handle(submit).ok);
+
+  os::Request stats;
+  stats.op = os::Op::Stats;
+  const os::Response plain = server.handle(stats);
+  ASSERT_TRUE(plain.ok);
+  EXPECT_TRUE(plain.prom.empty());  // opt-in only
+
+  stats.prom = true;
+  const os::Response with_prom = server.handle(stats);
+  ASSERT_TRUE(with_prom.ok);
+  EXPECT_NE(with_prom.prom.find("# TYPE operon_serve_submitted counter"),
+            std::string::npos)
+      << with_prom.prom;
+  // The text round-trips the protocol's JSON escaping.
+  const os::Response reparsed =
+      os::parse_response(os::to_json_line(with_prom));
+  EXPECT_EQ(reparsed.prom, with_prom.prom);
+  server.shutdown(false);
+}
+
+TEST(ServeEvents, TraceDirWritesOneTaggedTracePerComputedJob) {
+  const std::string dir = testing::TempDir() + "serve_events_traces";
+  std::remove((dir + "/job-1.json").c_str());
+  std::filesystem::create_directories(dir);
+  os::ServerConfig config;
+  config.trace_dir = dir;
+  os::Server server(config);
+  os::Request submit;
+  submit.op = os::Op::Submit;
+  submit.spec = job(51, 3, "tracer");
+  submit.wait = true;
+  const os::Response response = server.handle(submit);
+  ASSERT_TRUE(response.ok) << response.error;
+  server.shutdown(false);
+
+  std::ifstream in(dir + "/job-" + std::to_string(response.job) + ".json");
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string trace = buffer.str();
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"metadata\""), std::string::npos);
+  EXPECT_NE(trace.find("\"tenant\":\"tracer\""), std::string::npos);
+  EXPECT_NE(trace.find("\"key\":\"" + response.key + "\""), std::string::npos);
+}
+
+}  // namespace

@@ -33,10 +33,13 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <optional>
 #include <span>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "benchgen/benchgen.hpp"
@@ -46,6 +49,7 @@
 #include "core/verify.hpp"
 #include "model/design_json.hpp"
 #include "model/diagnostic.hpp"
+#include "obs/events.hpp"
 #include "obs/ledger.hpp"
 #include "obs/resource.hpp"
 #include "obs/sink.hpp"
@@ -53,6 +57,8 @@
 #include "serve/socket.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/logging.hpp"
 #include "util/rng.hpp"
 #include "util/stop.hpp"
 #include "util/strings.hpp"
@@ -119,13 +125,21 @@ int usage() {
                "[--portfolio-lanes N] "
                "[--ilp-limit SEC] [--lm DB] [--time-limit SEC] "
                "[--stop-at-checkpoint N] [--tenant NAME] [--priority P] "
-               "[--wait]  # or --do status|result|cancel [--job N] "
-               "[--wait] | --do stats | --do shutdown [--cancel-running]; "
-               "talks to a running operon_serve, prints the raw JSON "
-               "response\n"
+               "[--wait]  # or --do status|result [--job N] [--wait] "
+               "[--metrics (include per-job metric points + span summary)] "
+               "| --do cancel [--job N] | --do stats [--prom (print the "
+               "Prometheus text exposition)] | --do events [--tail N] | "
+               "--do shutdown [--cancel-running]; talks to a running "
+               "operon_serve, prints the raw JSON response\n"
+               "  operon_cli top    --socket PATH [--interval-ms N] "
+               "[--iterations N (0 = until interrupted)] [--events N]  "
+               "# live daemon introspection: queue depth, in-flight, cache "
+               "hit rate, per-stage timing deltas, recent events\n"
                "  operon_cli compare BASELINE.jsonl CURRENT.jsonl [--json] "
                "[--timing-ratio R] [--timing-min SEC] [--fail-on-timing]  "
-               "# exit 2 on semantic drift, 3 on gated timing regression\n");
+               "# exit 2 on semantic drift, 3 on gated timing regression\n"
+               "global: --log-level debug|info|warn|error|off (stderr "
+               "diagnostic threshold)\n");
   return 1;
 }
 
@@ -159,11 +173,12 @@ void print_run_summary(const std::string& label, double power_pj,
                        std::size_t optical, std::size_t electrical,
                        bool degraded) {
   const obs::ResourceUsage usage = obs::sample_resource_usage();
-  std::fprintf(stderr,
-               "summary: %s | %.2f pJ/bit-cycle | %zu optical, %zu "
-               "electrical nets | degraded=%d | peak_rss=%.1f MB\n",
-               label.c_str(), power_pj, optical, electrical, degraded ? 1 : 0,
-               usage.peak_rss_mb);
+  OPERON_LOG(Info) << "summary: " << label << " | "
+                   << util::format("%.2f", power_pj) << " pJ/bit-cycle | "
+                   << optical << " optical, " << electrical
+                   << " electrical nets | degraded=" << (degraded ? 1 : 0)
+                   << " | peak_rss="
+                   << util::format("%.1f", usage.peak_rss_mb) << " MB";
 }
 
 void print_diagnostics(std::span<const model::Diagnostic> diagnostics) {
@@ -254,9 +269,9 @@ int cmd_route(const util::Cli& cli) {
     return core::run_operon(design, options);
   }();
   if (result.stats.trip_checkpoint != 0) {
-    std::fprintf(stderr, "run budget tripped at checkpoint %llu (stage %s)\n",
-                 static_cast<unsigned long long>(result.stats.trip_checkpoint),
-                 result.stats.trip_stage.c_str());
+    OPERON_LOG(Warn) << "run budget tripped at checkpoint "
+                     << result.stats.trip_checkpoint << " (stage "
+                     << result.stats.trip_stage << ")";
   }
   print_run_summary(design.name, result.stats.power_pj,
                     result.stats.optical_nets, result.stats.electrical_nets,
@@ -566,8 +581,13 @@ int cmd_submit(const util::Cli& cli) {
                                   : serve::Op::Cancel;
     request.job = static_cast<std::uint64_t>(cli.get_int("job", 0));
     request.wait = cli.get_bool("wait", false);
+    request.with_metrics = cli.get_bool("metrics", false);
   } else if (op == "stats") {
     request.op = serve::Op::Stats;
+    request.prom = cli.get_bool("prom", false);
+  } else if (op == "events") {
+    request.op = serve::Op::Events;
+    request.tail = static_cast<std::uint64_t>(cli.get_int("tail", 0));
   } else if (op == "shutdown") {
     request.op = serve::Op::Shutdown;
     request.cancel_running = cli.get_bool("cancel-running", false);
@@ -578,9 +598,114 @@ int cmd_submit(const util::Cli& cli) {
   serve::Client client(socket_path);
   const std::string response_line =
       client.call_line(serve::to_json_line(request));
-  std::printf("%s\n", response_line.c_str());
   const serve::Response response = serve::parse_response(response_line);
+  if (request.prom && response.ok) {
+    // The scrape surface: raw Prometheus text (already newline-real
+    // after parsing), not the JSON envelope.
+    std::fputs(response.prom.c_str(), stdout);
+  } else {
+    std::printf("%s\n", response_line.c_str());
+  }
   return response.ok ? 0 : 1;
+}
+
+// -- top: live daemon introspection ---------------------------------------
+
+/// Poll the daemon's stats + events ops and render an operator view:
+/// queue depth, in-flight, cache hit rate, per-stage serve.job.time.*
+/// deltas since the previous poll, and the newest structured events.
+/// --iterations bounds the loop for CI one-shots (0 = poll until the
+/// daemon goes away or the process is interrupted).
+int cmd_top(const util::Cli& cli) {
+  const std::string socket_path = cli.get("socket", "");
+  if (socket_path.empty()) return usage();
+  const int interval_ms = static_cast<int>(cli.get_int("interval-ms", 1000));
+  const int iterations = static_cast<int>(cli.get_int("iterations", 0));
+  const std::uint64_t event_tail =
+      static_cast<std::uint64_t>(cli.get_int("events", 5));
+
+  serve::Client client(socket_path);
+  serve::Request stats_request;
+  stats_request.op = serve::Op::Stats;
+  serve::Request events_request;
+  events_request.op = serve::Op::Events;
+  events_request.tail = event_tail;
+
+  // Previous-poll histogram state, keyed by stage name: the deltas are
+  // what moved since the last screenful.
+  std::map<std::string, std::pair<std::uint64_t, double>> last_stage;
+  double last_event_ts_us = 0.0;
+  for (int poll = 0; iterations == 0 || poll < iterations; ++poll) {
+    if (poll != 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    const serve::Response stats = serve::parse_response(
+        client.call_line(serve::to_json_line(stats_request)));
+    if (!stats.ok) {
+      OPERON_LOG(Error) << "top: stats request failed: " << stats.error
+                        << (stats.detail.empty() ? "" : " — ")
+                        << stats.detail;
+      return 1;
+    }
+    obs::MetricsSnapshot snapshot;
+    const util::JsonValue doc = util::parse_json(stats.stats_json);
+    for (const util::JsonValue& item : doc.at("metrics").items()) {
+      snapshot.points.push_back(obs::metric_point_from_json(item));
+    }
+    const std::uint64_t hits = snapshot.counter("serve.cache.hit");
+    const std::uint64_t misses = snapshot.counter("serve.cache.miss");
+    const std::uint64_t lookups = hits + misses;
+    std::printf("queue=%.0f inflight=%.0f submitted=%llu completed=%llu "
+                "canceled=%llu failed=%llu | cache %llu/%llu hit (%.0f%%)\n",
+                snapshot.gauge("serve.queue.depth"),
+                snapshot.gauge("serve.jobs.inflight"),
+                static_cast<unsigned long long>(
+                    snapshot.counter("serve.submitted")),
+                static_cast<unsigned long long>(
+                    snapshot.counter("serve.jobs.completed")),
+                static_cast<unsigned long long>(
+                    snapshot.counter("serve.jobs.canceled")),
+                static_cast<unsigned long long>(
+                    snapshot.counter("serve.jobs.failed")),
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(lookups),
+                lookups == 0 ? 0.0 : 100.0 * hits / lookups);
+    for (const obs::MetricPoint& point : snapshot.points) {
+      constexpr std::string_view kStagePrefix = "serve.job.time.";
+      if (point.kind != obs::MetricKind::Histogram ||
+          point.name.rfind(kStagePrefix, 0) != 0) {
+        continue;
+      }
+      auto& prev = last_stage[point.name];
+      const std::uint64_t jobs = point.count - prev.first;
+      const double seconds = point.value - prev.second;
+      prev = {point.count, point.value};
+      if (jobs == 0) continue;
+      std::printf("  stage %-12s +%llu job(s)  +%.3f s\n",
+                  point.name.substr(kStagePrefix.size()).c_str(),
+                  static_cast<unsigned long long>(jobs), seconds);
+    }
+
+    const serve::Response events = serve::parse_response(
+        client.call_line(serve::to_json_line(events_request)));
+    if (events.ok && !events.events_json.empty()) {
+      double max_seen = last_event_ts_us;
+      // Named: the range-for would dangle on a temporary's items().
+      const util::JsonValue events_doc = util::parse_json(events.events_json);
+      for (const util::JsonValue& item : events_doc.items()) {
+        const obs::Event event = obs::event_from_json(item);
+        // ts_us is monotonic across the daemon's whole stream, so it
+        // dedups events already shown on the previous poll even though
+        // seq restarts per source.
+        if (event.ts_us <= last_event_ts_us) continue;
+        max_seen = std::max(max_seen, event.ts_us);
+        std::printf("  event %s\n", obs::render_event(event).c_str());
+      }
+      last_event_ts_us = max_seen;
+    }
+    std::fflush(stdout);
+  }
+  return 0;
 }
 
 int cmd_compare(const util::Cli& cli) {
@@ -628,6 +753,18 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const util::Cli cli(argc - 1, argv + 1);
+  if (cli.has("log-level")) {
+    const std::string name = cli.get("log-level", "info");
+    const std::optional<util::LogLevel> level = util::parse_log_level(name);
+    if (!level.has_value()) {
+      std::fprintf(stderr,
+                   "operon_cli: unknown --log-level '%s' (want "
+                   "debug|info|warn|error|off)\n",
+                   name.c_str());
+      return usage();
+    }
+    util::set_log_threshold(*level);
+  }
   try {
     if (command == "gen") return cmd_gen(cli);
     if (command == "info") return cmd_info(cli);
@@ -641,9 +778,10 @@ int main(int argc, char** argv) {
     }
     if (command == "ledger") return cmd_ledger(cli);
     if (command == "submit") return cmd_submit(cli);
+    if (command == "top") return cmd_top(cli);
     if (command == "compare") return cmd_compare(cli);
   } catch (const std::exception& error) {
-    std::fprintf(stderr, "error: %s\n", error.what());
+    OPERON_LOG(Error) << "operon_cli: " << error.what();
     return 1;
   }
   return usage();

@@ -5,13 +5,19 @@
 //                [--job-threads N (per-job --threads; 0 = all cores)]
 //                [--queue-limit N (backpressure bound; 0 = unbounded)]
 //                [--watchdog-ms N (per-job stall abort; 0 = off)]
+//                [--trace-dir DIR (one Chrome trace per computed job)]
+//                [--events-out FILE (append every event as JSONL)]
+//                [--events-ring N (flight-recorder size, default 256)]
+//                [--log-level debug|info|warn|error|off]
 //
 // Protocol (one JSON object per line, one response line per request):
 //   {"op":"submit","case":"I1","seed":7}            queue a Table 1 run
 //   {"op":"submit","groups":40,"bits_lo":2,...}     queue a generator run
 //   {"op":"status","job":3} / {"op":"result","job":3,"wait":true}
+//   {"op":"status","job":3,"with_metrics":true}     + per-job metrics/spans
 //   {"op":"cancel","job":3}                         stop at next checkpoint
-//   {"op":"stats"}                                  serve.* metrics
+//   {"op":"stats"} / {"op":"stats","prom":true}     serve.* metrics
+//   {"op":"events","tail":50}                       recent structured events
 //   {"op":"shutdown","cancel_running":false}        drain and exit
 //
 // The ledger file is the persistent result store: it is warmed into the
@@ -21,18 +27,22 @@
 // DESIGN.md "Service architecture".
 //
 // SIGINT/SIGTERM cancel all jobs at their next checkpoint (each settles
-// with a degraded run-interrupted record) and exit cleanly.
+// with a degraded run-interrupted record), dump the flight recorder
+// (recent events + open spans) to stderr, and exit cleanly.
 
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <thread>
 
+#include "obs/events.hpp"
 #include "serve/server.hpp"
 #include "serve/socket.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
+#include "util/logging.hpp"
 #include "util/stop.hpp"
 
 namespace {
@@ -50,10 +60,13 @@ void handle_stop_signal(int) {
 }
 
 int usage() {
+  // Raw stderr on purpose: usage is the answer to a malformed command
+  // line, not a leveled diagnostic.
   std::fprintf(stderr,
                "usage: operon_serve --socket PATH [--ledger FILE] "
                "[--workers N] [--job-threads N] [--queue-limit N] "
-               "[--watchdog-ms N]\n");
+               "[--watchdog-ms N] [--trace-dir DIR] [--events-out FILE] "
+               "[--events-ring N] [--log-level LEVEL]\n");
   return 1;
 }
 
@@ -62,6 +75,18 @@ int usage() {
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   if (!cli.has("socket")) return usage();
+  if (cli.has("log-level")) {
+    const std::string name = cli.get("log-level", "info");
+    const std::optional<util::LogLevel> level = util::parse_log_level(name);
+    if (!level.has_value()) {
+      std::fprintf(stderr,
+                   "operon_serve: unknown --log-level '%s' (want "
+                   "debug|info|warn|error|off)\n",
+                   name.c_str());
+      return usage();
+    }
+    util::set_log_threshold(*level);
+  }
   try {
     serve::ServerConfig config;
     config.ledger_path = cli.get("ledger", "");
@@ -71,22 +96,43 @@ int main(int argc, char** argv) {
     config.queue_limit =
         static_cast<std::size_t>(cli.get_int("queue-limit", 64));
     config.watchdog_ms = static_cast<int>(cli.get_int("watchdog-ms", 0));
+    config.trace_dir = cli.get("trace-dir", "");
+    config.events_path = cli.get("events-out", "");
+    config.events_capacity =
+        static_cast<std::size_t>(cli.get_int("events-ring", 256));
     config.session_stop = signal_stop_source().token();
 
     std::signal(SIGINT, handle_stop_signal);
     std::signal(SIGTERM, handle_stop_signal);
 
     serve::Server server(config);
+    // The daemon log is the process-wide ambient event log: OPERON_LOG
+    // lines (via the bridge) and watchdog stall reports join the same
+    // stream the `events` op serves.
+    const obs::ScopedEventLog ambient_events(server.events_log());
     serve::SocketServer socket(server, cli.get("socket", ""));
-    std::fprintf(stderr, "operon_serve: listening on %s (ledger: %s)\n",
-                 socket.path().c_str(),
-                 config.ledger_path.empty() ? "<none>"
-                                            : config.ledger_path.c_str());
+    OPERON_LOG(Info) << "operon_serve: listening on " << socket.path()
+                     << " (ledger: "
+                     << (config.ledger_path.empty() ? "<none>"
+                                                    : config.ledger_path)
+                     << ")";
 
     std::thread acceptor([&] { socket.run(); });
-    const util::StopToken session = signal_stop_source().token();
-    while (!server.draining() && !session.stopped()) {
+    // request_stop only *pends* a stop; it is honored at a numbered
+    // checkpoint poll. The daemon loop is that poll: a session-local
+    // source chained to the signal source trips here (never on the
+    // signal source itself, whose token the jobs chain to).
+    util::StopSource session_source;
+    session_source.chain(signal_stop_source().token());
+    util::StopToken session = session_source.token();
+    while (!server.draining() && !session.checkpoint("serve.session")) {
       std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    if (session.stopped()) {
+      // Flight recorder first: the moments before the interrupt, while
+      // the jobs it names are still live.
+      std::fputs(server.flight_recorder(/*tail=*/64).c_str(), stderr);
+      std::fflush(stderr);
     }
 
     // A signal cancels everything at the next checkpoint; a protocol
@@ -96,11 +142,11 @@ int main(int argc, char** argv) {
     server.shutdown(/*cancel_running=*/session.stopped());
     socket.stop();
     acceptor.join();
-    std::fprintf(stderr, "operon_serve: drained (%zu records appended)\n",
-                 server.records_appended());
+    OPERON_LOG(Info) << "operon_serve: drained ("
+                     << server.records_appended() << " records appended)";
     return 0;
   } catch (const std::exception& error) {
-    std::fprintf(stderr, "operon_serve: error: %s\n", error.what());
+    OPERON_LOG(Error) << "operon_serve: " << error.what();
     return 1;
   }
 }
