@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# Chaos smoke for the serve crash-safety contract (DESIGN.md "Crash
+# safety & recovery"): SIGKILL the daemon mid-batch, restart it with
+# --recover, drain, and require the final ledger to be semantically
+# identical to an uninterrupted reference run — with zero recompute of
+# jobs whose records survived the crash.
+#
+# Usage: scripts/chaos_smoke.sh [BUILD_DIR] [OUT_DIR] [JOB_THREADS]
+#   BUILD_DIR    cmake build tree holding tools/ (default: build)
+#   OUT_DIR      scratch directory, wiped on entry (default: /tmp/operon_chaos)
+#   JOB_THREADS  per-job --threads for both daemons (default: 1); the
+#                ledger must be bit-identical at any value, so CI runs
+#                the smoke at 1 and 0 (all cores) and compares.
+#
+# Exit 0 when the contract holds; non-zero with a diagnostic otherwise.
+
+set -euo pipefail
+
+SCRIPT_DIR=$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")" && pwd)
+
+BUILD_DIR=${1:-build}
+OUT=${2:-/tmp/operon_chaos}
+JOB_THREADS=${3:-1}
+CLI="$BUILD_DIR/tools/operon_cli"
+SERVE="$BUILD_DIR/tools/operon_serve"
+SEEDS="1 2 3 4 5 6"
+
+rm -rf "$OUT"
+mkdir -p "$OUT"
+
+fail() { echo "chaos_smoke: FAIL: $*" >&2; exit 1; }
+
+wait_socket() {
+  for _ in $(seq 1 100); do
+    test -S "$1" && return 0
+    sleep 0.05
+  done
+  fail "socket $1 never appeared"
+}
+
+submit() { # submit SOCKET EXTRA_FLAGS...
+  local sock=$1; shift
+  local seed=$1; shift
+  # Sized so one job runs ~100ms: big enough that the SIGKILL below
+  # lands mid-batch (some records on disk, some jobs in flight), small
+  # enough that the whole smoke stays in CI seconds.
+  "$CLI" submit --socket "$sock" --groups 400 --bits-lo 4 --bits-hi 12 \
+    --seed "$seed" "$@"
+}
+
+# --- Reference: the same batch, uninterrupted -----------------------------
+"$SERVE" --socket "$OUT/ref.sock" --ledger "$OUT/reference.jsonl" \
+  --workers 2 --job-threads "$JOB_THREADS" --log-level warn &
+REF_PID=$!
+wait_socket "$OUT/ref.sock"
+for seed in $SEEDS; do
+  submit "$OUT/ref.sock" "$seed" --wait > /dev/null
+done
+"$CLI" submit --socket "$OUT/ref.sock" --do shutdown > /dev/null
+wait "$REF_PID" || fail "reference daemon exited non-zero"
+
+# --- Chaos run: SIGKILL mid-batch -----------------------------------------
+"$SERVE" --socket "$OUT/serve.sock" --ledger "$OUT/ledger.jsonl" \
+  --journal "$OUT/journal.jsonl" --workers 2 \
+  --job-threads "$JOB_THREADS" --log-level warn &
+PID=$!
+wait_socket "$OUT/serve.sock"
+for seed in $SEEDS; do
+  submit "$OUT/serve.sock" "$seed" > /dev/null  # no --wait: leave work queued
+done
+sleep 0.15  # let some jobs finish so the kill lands mid-batch, not pre-batch
+kill -KILL "$PID"
+wait "$PID" 2> /dev/null || true
+rm -f "$OUT/serve.sock"  # SIGKILL leaves the stale socket file behind
+SURVIVED=$(grep -c . "$OUT/ledger.jsonl" 2> /dev/null || true)
+SURVIVED=${SURVIVED:-0}
+echo "chaos_smoke: SIGKILL landed with $SURVIVED record(s) on disk"
+
+# --- Restart with --recover, drain through client retries ------------------
+"$SERVE" --socket "$OUT/serve.sock" --ledger "$OUT/ledger.jsonl" \
+  --journal "$OUT/journal.jsonl" --recover --workers 2 \
+  --job-threads "$JOB_THREADS" --log-level warn &
+PID=$!
+wait_socket "$OUT/serve.sock"
+# Resubmit the whole batch with --wait: recovered-and-finished jobs and
+# crash survivors are cache hits; only work lost mid-flight recomputes.
+# --retries exercises the client backoff path against a daemon that is
+# still replaying its journal.
+for seed in $SEEDS; do
+  submit "$OUT/serve.sock" "$seed" --wait --retries 5 \
+    --retry-backoff-ms 50 > /dev/null
+done
+"$CLI" submit --socket "$OUT/serve.sock" --do stats > "$OUT/stats.json"
+"$CLI" submit --socket "$OUT/serve.sock" --do shutdown > /dev/null
+wait "$PID" || fail "recovered daemon exited non-zero"
+
+# --- The contract ----------------------------------------------------------
+# 1. Final ledger strictly parseable (startup repaired any torn tail)
+#    and semantically identical to the uninterrupted reference.
+python3 "$SCRIPT_DIR/check_ledger.py" "$OUT/ledger.jsonl" --min-records 6
+"$CLI" compare "$OUT/reference.jsonl" "$OUT/ledger.jsonl" \
+  || fail "post-recovery ledger drifted from the uninterrupted reference"
+
+# 2. Zero recompute of surviving records: every record present before
+#    the kill must have been served from cache, never recomputed (the
+#    ledger would then hold a duplicate key, failing compare above; the
+#    stats cross-check makes the count explicit).
+python3 - "$OUT/stats.json" "$SURVIVED" <<'EOF'
+import json, sys
+stats = json.load(open(sys.argv[1]))
+survived = int(sys.argv[2])
+metrics = {p["name"]: p for p in stats["stats"]["metrics"]}
+misses = metrics.get("serve.cache.miss", {}).get("value", 0)
+assert misses + survived >= 6, (
+    f"batch not covered: {misses} computed + {survived} survived < 6")
+assert misses <= 6 - survived + 1, (
+    f"recomputed surviving work: {misses} misses with {survived} records "
+    "already on disk")
+EOF
+
+echo "chaos_smoke: OK (job-threads=$JOB_THREADS, $SURVIVED survived the kill)"

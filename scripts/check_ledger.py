@@ -12,8 +12,13 @@ schema-3 records additionally require string "winning_solver" and
 "portfolio_order" fields (portfolio races; both empty for plain
 solvers).
 
-Usage: check_ledger.py LEDGER.jsonl [--min-records N]
+Usage: check_ledger.py LEDGER.jsonl [--min-records N] [--allow-torn-tail]
 Exit code 0 when valid, 1 with a diagnostic on the first violation.
+
+--allow-torn-tail tolerates a malformed FINAL line only (a daemon killed
+mid-append leaves exactly that wreckage; read_ledger_salvage skips it the
+same way) and prints a notice. A malformed line anywhere else is still a
+hard failure — crashes tear tails, not middles.
 """
 
 import argparse
@@ -25,7 +30,15 @@ HISTOGRAM_BUCKETS = 14  # len(histogram_bounds) + 1, see src/obs/metrics.cpp
 KINDS = ("counter", "gauge", "histogram")
 
 
+class Violation(Exception):
+    """One line failed validation; main() decides whether it is fatal."""
+
+
 def fail(message: str) -> None:
+    raise Violation(message)
+
+
+def die(message: str) -> None:
     print(f"check_ledger: FAIL: {message}", file=sys.stderr)
     sys.exit(1)
 
@@ -123,25 +136,45 @@ def main() -> None:
         default=1,
         help="fail when fewer records are present (default: 1)",
     )
+    parser.add_argument(
+        "--allow-torn-tail",
+        action="store_true",
+        help="tolerate a malformed final line (crash wreckage) with a notice",
+    )
     args = parser.parse_args()
 
-    records = 0
     try:
         with open(args.ledger, "r", encoding="utf-8") as handle:
-            for line_number, line in enumerate(handle, start=1):
-                if not line.strip():
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError as error:
-                    fail(f"line {line_number}: not valid JSON: {error}")
-                check_record(line_number, record)
-                records += 1
+            lines = handle.readlines()
     except OSError as error:
-        fail(f"cannot load '{args.ledger}': {error}")
+        die(f"cannot load '{args.ledger}': {error}")
+
+    last_nonblank = max(
+        (number for number, line in enumerate(lines, start=1) if line.strip()),
+        default=0,
+    )
+    records = 0
+    for line_number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                fail(f"line {line_number}: not valid JSON: {error}")
+            check_record(line_number, record)
+        except Violation as violation:
+            if args.allow_torn_tail and line_number == last_nonblank:
+                print(
+                    f"check_ledger: NOTE: torn tail skipped ({violation})",
+                    file=sys.stderr,
+                )
+                continue
+            die(str(violation))
+        records += 1
 
     if records < args.min_records:
-        fail(f"expected at least {args.min_records} records, got {records}")
+        die(f"expected at least {args.min_records} records, got {records}")
 
     print(f"check_ledger: OK: {records} record(s) in '{args.ledger}'")
 

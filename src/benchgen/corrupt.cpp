@@ -1,9 +1,13 @@
 #include "benchgen/corrupt.hpp"
 
+#include <algorithm>
 #include <cctype>
+#include <fstream>
 #include <limits>
+#include <sstream>
 
 #include "util/check.hpp"
+#include "util/strings.hpp"
 
 namespace operon::benchgen {
 
@@ -308,6 +312,102 @@ std::string corrupt_frame(const std::string& line, std::size_t oversize_bytes,
     case 5: return inject_newline(line, rng);
     default: return duplicate_member(line, rng);
   }
+}
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  OPERON_CHECK_MSG(is.good(), "cannot read '" << path << "'");
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+void write_file(const std::string& path, std::string_view bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  os.flush();
+  OPERON_CHECK_MSG(os.good(), "cannot write '" << path << "'");
+}
+
+/// Byte offset of the final non-empty line's first character.
+std::size_t last_line_start(std::string_view bytes) {
+  std::size_t end = bytes.size();
+  while (end > 0 && bytes[end - 1] == '\n') --end;
+  const std::size_t newline = bytes.rfind('\n', end == 0 ? 0 : end - 1);
+  return newline == std::string_view::npos ? 0 : newline + 1;
+}
+
+}  // namespace
+
+std::vector<CrashFaultKind> all_crash_fault_kinds() {
+  return {CrashFaultKind::TornLedgerTail, CrashFaultKind::TruncatedJournal,
+          CrashFaultKind::StaleStageFile, CrashFaultKind::HalfWrittenFrame};
+}
+
+std::string_view crash_fault_name(CrashFaultKind kind) {
+  switch (kind) {
+    case CrashFaultKind::TornLedgerTail: return "torn-ledger-tail";
+    case CrashFaultKind::TruncatedJournal: return "truncated-journal";
+    case CrashFaultKind::StaleStageFile: return "stale-stage-file";
+    case CrashFaultKind::HalfWrittenFrame: return "half-written-frame";
+  }
+  return "unknown";
+}
+
+void inject_crash_fault(const std::string& path, CrashFaultKind kind,
+                        util::Rng& rng) {
+  switch (kind) {
+    case CrashFaultKind::TornLedgerTail: {
+      // Cut mid-way through the final line: what a crash between the
+      // stream write's first byte and its newline leaves behind.
+      const std::string bytes = read_file(path);
+      OPERON_CHECK_MSG(!bytes.empty(),
+                       "torn-ledger-tail needs a non-empty '" << path << "'");
+      const std::size_t start = last_line_start(bytes);
+      const std::size_t len = bytes.size() - start;
+      const std::size_t keep =
+          start + 1 +
+          static_cast<std::size_t>(rng.uniform_int(
+              0, std::max<std::int64_t>(static_cast<std::int64_t>(len) - 2,
+                                        0)));
+      write_file(path, std::string_view(bytes).substr(0, keep));
+      return;
+    }
+    case CrashFaultKind::TruncatedJournal: {
+      // Chop the tail at an arbitrary offset — may erase whole entries
+      // plus a partial one, like a crash during a burst of appends.
+      const std::string bytes = read_file(path);
+      OPERON_CHECK_MSG(!bytes.empty(),
+                       "truncated-journal needs a non-empty '" << path << "'");
+      const std::size_t keep = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(bytes.size()) - 1));
+      write_file(path, std::string_view(bytes).substr(0, keep));
+      return;
+    }
+    case CrashFaultKind::StaleStageFile: {
+      // A writer died between staging and appending: its uniquely-named
+      // stage file survives, holding a complete-or-partial record.
+      const std::string stage = util::format(
+          "%s.tmp.%lld.%lld", path.c_str(),
+          static_cast<long long>(rng.uniform_int(1, 99999)),
+          static_cast<long long>(rng.uniform_int(0, 99)));
+      std::string staged = "{\"schema\":3,\"case\":\"I1\"";
+      if (rng.uniform_int(0, 1) == 1) staged += ",\"seed\":7}\n";
+      write_file(stage, staged);
+      return;
+    }
+    case CrashFaultKind::HalfWrittenFrame: {
+      // Append a partial object with no newline: a torn concurrent
+      // write or a crash mid-line as seen by any JSONL reader.
+      std::string bytes = read_file(path);
+      bytes += "{\"schema\":3,\"ca";
+      write_file(path, bytes);
+      return;
+    }
+  }
+  OPERON_CHECK_MSG(false, "unknown crash fault kind");
 }
 
 }  // namespace operon::benchgen

@@ -71,4 +71,28 @@ std::string corrupt_json(const std::string& text, util::Rng& rng);
 std::string corrupt_frame(const std::string& line, std::size_t oversize_bytes,
                           util::Rng& rng);
 
+/// Crash aftermaths for the serve chaos harness: each kind reproduces
+/// the on-disk state a SIGKILL can leave behind, so recovery code
+/// (read_ledger_salvage, JobJournal::replay, stale-stage cleanup) is
+/// tested against exactly the wreckage it claims to survive.
+enum class CrashFaultKind {
+  TornLedgerTail,    ///< final line cut mid-record (died mid-append)
+  TruncatedJournal,  ///< tail chopped at an arbitrary byte offset
+  StaleStageFile,    ///< leftover <path>.tmp.<pid>.<n> from a dead writer
+  HalfWrittenFrame,  ///< partial JSON object appended with no newline
+};
+
+/// Every CrashFaultKind, in declaration order.
+std::vector<CrashFaultKind> all_crash_fault_kinds();
+
+std::string_view crash_fault_name(CrashFaultKind kind);
+
+/// Apply one crash aftermath to the file at `path`, in place
+/// (StaleStageFile creates a sibling stage file instead). The
+/// truncating kinds need a non-empty file; offsets come from `rng` so a
+/// (seed, kind) pair replays exactly. Throws util::CheckError when the
+/// file cannot be read or written.
+void inject_crash_fault(const std::string& path, CrashFaultKind kind,
+                        util::Rng& rng);
+
 }  // namespace operon::benchgen

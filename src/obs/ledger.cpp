@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
+
+#include <unistd.h>
 
 #include "util/check.hpp"
 #include "util/json.hpp"
@@ -176,13 +179,56 @@ std::vector<LedgerRecord> read_ledger(const std::string& path) {
   return records;
 }
 
+LedgerSalvage read_ledger_salvage(const std::string& path) {
+  constexpr std::size_t kMaxFindings = 8;
+  LedgerSalvage salvage;
+  std::ifstream is(path);
+  if (!is.good()) {
+    salvage.missing = true;
+    return salvage;
+  }
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (util::trim(line).empty()) continue;
+    try {
+      salvage.records.push_back(parse_ledger_record(line));
+    } catch (const util::CheckError& error) {
+      ++salvage.skipped;
+      if (salvage.findings.size() < kMaxFindings) {
+        salvage.findings.push_back(util::format(
+            "line %llu: %s", static_cast<unsigned long long>(line_number),
+            error.what()));
+      }
+    }
+  }
+  return salvage;
+}
+
+namespace {
+
+/// Unique stage-file name for one append: pid distinguishes concurrent
+/// processes (CLI vs daemon targeting the same ledger), the counter
+/// distinguishes appends within one process that slip past external
+/// serialization.
+std::string stage_path_for(const std::string& path) {
+  static std::atomic<std::uint64_t> counter{0};
+  return util::format("%s.tmp.%llu.%llu", path.c_str(),
+                      static_cast<unsigned long long>(::getpid()),
+                      static_cast<unsigned long long>(
+                          counter.fetch_add(1, std::memory_order_relaxed)));
+}
+
+}  // namespace
+
 void append_ledger_record(const std::string& path,
                           const LedgerRecord& record) {
   const std::string line = to_json_line(record);
   // Stage the line first: if the process dies mid-append, the ledger
   // either has the whole line or none of it, and the stage file shows
   // what was in flight.
-  const std::string stage = path + ".tmp";
+  const std::string stage = stage_path_for(path);
   {
     std::ofstream os(stage, std::ios::trunc);
     os << line << "\n";
@@ -198,6 +244,47 @@ void append_ledger_record(const std::string& path,
                                                                    << "'");
   }
   std::remove(stage.c_str());
+}
+
+std::size_t truncate_torn_ledger_tail(const std::string& path) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const std::uintmax_t size = fs::file_size(path, ec);
+  if (ec || size == 0) return 0;
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) return 0;
+  std::string bytes(static_cast<std::size_t>(size), '\0');
+  is.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!is.good() || bytes.back() == '\n') return 0;
+  const std::size_t last_newline = bytes.find_last_of('\n');
+  const std::size_t keep =
+      last_newline == std::string::npos ? 0 : last_newline + 1;
+  fs::resize_file(path, keep, ec);
+  OPERON_CHECK_MSG(!ec, "cannot truncate torn tail of ledger '" << path
+                                                                << "'");
+  return bytes.size() - keep;
+}
+
+std::size_t remove_stale_ledger_stages(const std::string& path) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path ledger(path);
+  fs::path dir = ledger.parent_path();
+  if (dir.empty()) dir = ".";
+  const std::string prefix = ledger.filename().string() + ".tmp";
+  std::vector<fs::path> stale;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (util::starts_with(name, prefix)) stale.push_back(entry.path());
+  }
+  // Directory iteration order is filesystem-dependent; sort so the
+  // removal order (and any logging keyed to it) is deterministic.
+  std::sort(stale.begin(), stale.end());
+  std::size_t removed = 0;
+  for (const fs::path& stage : stale) {
+    if (fs::remove(stage, ec)) ++removed;
+  }
+  return removed;
 }
 
 // -- regression sentinel ---------------------------------------------------

@@ -114,11 +114,48 @@ LedgerRecord parse_ledger_record(std::string_view line);
 /// file throws (an empty ledger is a present file with zero records).
 std::vector<LedgerRecord> read_ledger(const std::string& path);
 
-/// Crash-safe append: stage the serialized line in `path`.tmp, then
-/// append it to `path` in one stream write and remove the stage file.
-/// Throws CheckError on I/O failure.
+/// Result of a salvage read: every parseable record plus a structured
+/// account of what was skipped, so callers can surface a diagnostic
+/// instead of dying on a torn tail.
+struct LedgerSalvage {
+  std::vector<LedgerRecord> records;
+  /// Malformed (unparseable) lines skipped.
+  std::size_t skipped = 0;
+  /// First few skip reasons ("line N: ..."), capped so a garbage file
+  /// cannot balloon the report.
+  std::vector<std::string> findings;
+  /// File absent or unreadable (records empty, skipped 0).
+  bool missing = false;
+};
+
+/// Tolerant reader for crash-prone paths (daemon startup, cache
+/// priming, portfolio history): malformed lines — a torn tail after
+/// SIGKILL, garbage from a partial write — are skipped and counted,
+/// never thrown. A missing file yields missing=true, not an error.
+/// The strict read_ledger stays the oracle for `compare`.
+LedgerSalvage read_ledger_salvage(const std::string& path);
+
+/// Crash-safe append: stage the serialized line in a uniquely-named
+/// sibling file (`path`.tmp.<pid>.<n>, collision-proof across
+/// concurrent processes), then append it to `path` in one stream write
+/// and remove the stage file. Throws CheckError on I/O failure.
 void append_ledger_record(const std::string& path,
                           const LedgerRecord& record);
+
+/// Remove leftover `path`.tmp* stage files from writers that died
+/// mid-append (the staged line, if complete, was never appended — the
+/// ledger itself is intact). Returns the number removed, in
+/// lexicographic name order. Call before any writer targets `path`.
+std::size_t remove_stale_ledger_stages(const std::string& path);
+
+/// Truncate an unterminated final line (crash wreckage: a writer died
+/// mid-append, leaving bytes after the last newline). Appending onto
+/// such a tail would weld the next record to the garbage, so every
+/// writer that reopens an existing ledger must repair it first. The
+/// torn record's job is still owed by the journal (settle happens only
+/// after the append), so nothing is lost. Returns the bytes removed
+/// (0 when the file is absent, empty, or newline-terminated).
+std::size_t truncate_torn_ledger_tail(const std::string& path);
 
 // -- regression sentinel ---------------------------------------------------
 

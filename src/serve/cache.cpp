@@ -17,9 +17,19 @@ std::size_t LedgerWriter::appended() const {
   return appended_;
 }
 
-std::size_t ResultCache::prime_from_ledger(const std::string& path) {
-  if (path.empty() || !std::filesystem::exists(path)) return 0;
-  const std::vector<obs::LedgerRecord> records = obs::read_ledger(path);
+std::size_t ResultCache::prime_from_ledger(const std::string& path,
+                                           obs::LedgerSalvage* salvage) {
+  if (path.empty() || !std::filesystem::exists(path)) {
+    if (salvage != nullptr) salvage->missing = !path.empty();
+    return 0;
+  }
+  obs::LedgerSalvage read = obs::read_ledger_salvage(path);
+  const std::vector<obs::LedgerRecord> records = std::move(read.records);
+  if (salvage != nullptr) {
+    salvage->skipped = read.skipped;
+    salvage->findings = std::move(read.findings);
+    salvage->missing = read.missing;
+  }
   const std::lock_guard<std::mutex> lock(mutex_);
   std::size_t primed = 0;
   for (const obs::LedgerRecord& record : records) {

@@ -74,9 +74,13 @@ class ResultCache {
   /// trip IS the servable result for its key — lookup's trip match
   /// keeps timing-dependent trips (wall-clock, cancel) from ever being
   /// served. Returns the number of entries primed; a missing file
-  /// primes nothing. Malformed ledgers throw (util::CheckError) — a
-  /// corrupt store must fail loudly at startup, not serve garbage.
-  std::size_t prime_from_ledger(const std::string& path);
+  /// primes nothing. The read is a salvage (obs::read_ledger_salvage):
+  /// a torn or garbage line — the normal aftermath of a crash mid-
+  /// append — is skipped, never fatal, so a daemon can always restart
+  /// on its own ledger. `salvage`, when non-null, receives the skip
+  /// account for the startup diagnostic.
+  std::size_t prime_from_ledger(const std::string& path,
+                                obs::LedgerSalvage* salvage = nullptr);
 
   /// Non-blocking probe (the submit-time fast path). Hits only when the
   /// stored record's trip checkpoint equals `expected_trip` (the

@@ -1,0 +1,138 @@
+#include "serve/journal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+
+#include "util/check.hpp"
+#include "util/json.hpp"
+#include "util/strings.hpp"
+
+namespace operon::serve {
+
+namespace {
+
+using util::JsonType;
+using util::JsonValue;
+
+/// Sequence numbers ride the JSON double representation like ledger
+/// seeds do; reject anything that would round.
+std::uint64_t seq_member(const JsonValue& object, std::string_view key) {
+  const JsonValue& value = object.at(key);
+  OPERON_CHECK_MSG(value.is(JsonType::Number),
+                   "journal field '" << key << "' must be a number");
+  const double number = value.as_number();
+  OPERON_CHECK_MSG(number >= 0.0 && number <= 9007199254740992.0 &&
+                       number == std::floor(number),
+                   "journal field '" << key << "' must be an exact integer");
+  return static_cast<std::uint64_t>(number);
+}
+
+}  // namespace
+
+std::uint64_t JobJournal::accepted(const JobSpec& spec) {
+  if (!enabled()) return 0;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t seq = next_seq_++;
+  append_event("accepted", seq, /*of=*/0, &spec);
+  return seq;
+}
+
+void JobJournal::settled(std::uint64_t of, std::string_view outcome) {
+  if (!enabled() || of == 0) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  append_event(outcome, next_seq_++, of, /*spec=*/nullptr);
+}
+
+void JobJournal::recovered(std::uint64_t of) {
+  if (!enabled() || of == 0) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  append_event("recovered", next_seq_++, of, /*spec=*/nullptr);
+}
+
+void JobJournal::append_event(std::string_view event, std::uint64_t seq,
+                              std::uint64_t of, const JobSpec* spec) {
+  JsonValue::Members members;
+  members.emplace_back(
+      "journal",
+      JsonValue::make_number(static_cast<double>(kJournalSchemaVersion)));
+  members.emplace_back("seq",
+                       JsonValue::make_number(static_cast<double>(seq)));
+  members.emplace_back("event", JsonValue::make_string(std::string(event)));
+  if (of != 0) {
+    members.emplace_back("of",
+                         JsonValue::make_number(static_cast<double>(of)));
+  }
+  if (spec != nullptr) {
+    // Embed the spec as a verbatim submit request, so replay goes back
+    // through the strict protocol parser instead of a second schema.
+    Request request;
+    request.op = Op::Submit;
+    request.spec = *spec;
+    members.emplace_back("spec", util::parse_json(to_json_line(request)));
+  }
+  const std::string line =
+      util::write_json(JsonValue::make_object(std::move(members)));
+  std::ofstream os(path_, std::ios::app);
+  os << line << "\n";
+  os.flush();
+  OPERON_CHECK_MSG(os.good(),
+                   "cannot append journal entry to '" << path_ << "'");
+}
+
+JobJournal::Replay JobJournal::replay(const std::string& path) {
+  Replay replay;
+  std::ifstream is(path);
+  if (!is.good()) {
+    replay.missing = true;
+    return replay;
+  }
+  // seq -> spec for accepted entries still awaiting a settle; the map
+  // order IS the re-admission order.
+  std::map<std::uint64_t, JobSpec> open;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (util::trim(line).empty()) continue;
+    try {
+      const JsonValue doc = util::parse_json(line);
+      OPERON_CHECK_MSG(doc.is(JsonType::Object),
+                       "journal entry must be a JSON object");
+      for (const auto& [key, value] : doc.members()) {
+        OPERON_CHECK_MSG(key == "journal" || key == "seq" || key == "event" ||
+                             key == "of" || key == "spec",
+                         "unknown journal member '" << key << "'");
+      }
+      const auto schema = static_cast<int>(seq_member(doc, "journal"));
+      OPERON_CHECK_MSG(schema == kJournalSchemaVersion,
+                       "journal schema " << schema << " unsupported");
+      const std::uint64_t seq = seq_member(doc, "seq");
+      const std::string& event = doc.at("event").as_string();
+      if (event == "accepted") {
+        const Request request =
+            parse_request(util::write_json(doc.at("spec")));
+        OPERON_CHECK_MSG(request.op == Op::Submit,
+                         "journaled spec must be a submit request");
+        open[seq] = request.spec;
+      } else if (event == "completed" || event == "failed" ||
+                 event == "canceled" || event == "recovered") {
+        open.erase(seq_member(doc, "of"));
+      } else {
+        OPERON_CHECK_MSG(false, "unknown journal event '" << event << "'");
+      }
+      ++replay.entries;
+      replay.max_seq = std::max(replay.max_seq, seq);
+    } catch (const util::CheckError&) {
+      // Torn tail or garbage line: recoverable by construction — count
+      // it and keep going (the salvage rule).
+      ++replay.skipped;
+    }
+  }
+  replay.pending.reserve(open.size());
+  for (auto& [seq, spec] : open) {
+    replay.pending.push_back({seq, std::move(spec)});
+  }
+  return replay;
+}
+
+}  // namespace operon::serve

@@ -1,0 +1,96 @@
+#pragma once
+// Durable job journal: the crash-recovery half of the serve daemon's
+// persistence story. The ledger remembers *results*; the journal
+// remembers *obligations* — every admitted job appends an `accepted`
+// entry (carrying the full submit spec), and every settle appends a
+// `completed` / `failed` / `canceled` entry referencing it. After a
+// crash, replay() pairs the two streams: an accepted entry with no
+// settle is a job the daemon still owes, and the server re-enqueues
+// those in journal-sequence order (deterministic re-admission), relying
+// on the ledger-backed ResultCache to answer any that actually finished
+// before the crash (the append to the ledger happens before the settle
+// entry, so a completed-but-unsettled job is a cache hit, not a rerun).
+//
+// Each re-admission is journaled as a `recovered` entry for the old
+// sequence plus a fresh `accepted`, so a second crash mid-recovery
+// replays correctly instead of duplicating jobs.
+//
+// One JSONL line per entry, schema-tagged:
+//   {"journal":1,"seq":N,"event":"accepted","spec":{"op":"submit",...}}
+//   {"journal":1,"seq":M,"event":"completed","of":N}
+// The spec member is a verbatim submit request line, so replay reuses
+// the strict protocol parser. Appends share the ledger discipline: one
+// serialized append point per file (the journal's own mutex), plain
+// append + flush, so a crash tears at most the final line — which
+// replay() skips and counts, never throws on (the salvage rule).
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace operon::serve {
+
+inline constexpr int kJournalSchemaVersion = 1;
+
+class JobJournal {
+ public:
+  /// Empty path = journaling disabled (every append is a no-op).
+  /// `next_seq` continues the numbering of an existing journal — pass
+  /// replay().max_seq + 1 when reopening after a restart.
+  explicit JobJournal(std::string path, std::uint64_t next_seq = 1)
+      : path_(std::move(path)), next_seq_(next_seq == 0 ? 1 : next_seq) {}
+
+  bool enabled() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+
+  /// Continue numbering after an existing journal's highest sequence
+  /// (replay().max_seq). Call before any append — sequence reuse across
+  /// restarts would make `of` references ambiguous.
+  void start_from(std::uint64_t max_seq) { next_seq_ = max_seq + 1; }
+
+  /// Journal a job's admission. Returns the entry's sequence number
+  /// (0 when disabled). Throws util::CheckError on I/O failure.
+  std::uint64_t accepted(const JobSpec& spec);
+
+  /// Journal the settle of accepted entry `of`: outcome is
+  /// "completed", "failed", or "canceled". No-op when disabled or when
+  /// `of` is 0 (a job admitted without a journal entry).
+  void settled(std::uint64_t of, std::string_view outcome);
+
+  /// Journal that recovery re-admitted (and re-journaled) accepted
+  /// entry `of`, so a crash mid-recovery cannot duplicate it.
+  void recovered(std::uint64_t of);
+
+  struct PendingJob {
+    std::uint64_t seq = 0;
+    JobSpec spec;
+  };
+  struct Replay {
+    /// Accepted but never settled or recovered, in sequence order —
+    /// the deterministic re-admission order.
+    std::vector<PendingJob> pending;
+    std::size_t entries = 0;  ///< well-formed entries read
+    std::size_t skipped = 0;  ///< malformed lines skipped (torn tail)
+    std::uint64_t max_seq = 0;
+    bool missing = false;  ///< file absent (a cold start, not an error)
+  };
+
+  /// Salvage-tolerant replay of a journal file: malformed lines are
+  /// skipped and counted, never thrown on. A missing file yields
+  /// missing=true and no pending jobs.
+  static Replay replay(const std::string& path);
+
+ private:
+  void append_event(std::string_view event, std::uint64_t seq,
+                    std::uint64_t of, const JobSpec* spec);
+
+  std::string path_;
+  std::mutex mutex_;
+  std::uint64_t next_seq_;
+};
+
+}  // namespace operon::serve

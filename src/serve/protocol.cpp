@@ -171,6 +171,8 @@ Request parse_request(std::string_view line) {
       request.spec.time_limit_s = as_budget(value, "time_limit_s");
     } else if (key == "stop_at_checkpoint" && is_submit) {
       request.spec.stop_at_checkpoint = as_uint(value, "stop_at_checkpoint");
+    } else if (key == "deadline_s" && is_submit) {
+      request.spec.deadline_s = as_budget(value, "deadline_s");
     } else {
       OPERON_CHECK_MSG(false, "unknown member '" << key << "' for op '"
                               << to_string(request.op) << "'");
@@ -218,6 +220,9 @@ std::string to_json_line(const Request& request) {
       }
       if (spec.stop_at_checkpoint != 0) {
         json.key("stop_at_checkpoint").value(spec.stop_at_checkpoint);
+      }
+      if (spec.deadline_s > 0.0) {
+        json.key("deadline_s").value(spec.deadline_s);
       }
       if (request.wait) json.key("wait").value(true);
       break;

@@ -68,6 +68,12 @@ struct JobSpec {
   double max_loss_db = 0.0;        ///< 0 = tech default (lm)
   double time_limit_s = 0.0;       ///< whole-run budget; 0 = unlimited
   std::uint64_t stop_at_checkpoint = 0;  ///< deterministic trip replay
+  /// Per-job wall-clock deadline counted from admission (queue wait
+  /// included); 0 = none. Wall-clock only, like tenant/priority: it
+  /// arms the job's StopSource, never the options fingerprint, so a
+  /// deadline trip degrades onto the run-time-limit rung and its
+  /// (timing-dependent) record is never cached.
+  double deadline_s = 0.0;
 };
 
 struct Request {

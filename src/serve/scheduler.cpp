@@ -2,8 +2,8 @@
 
 namespace operon::serve {
 
-bool FairQueue::push(const QueuedJob& job) {
-  if (capacity_ != 0 && size_ >= capacity_) return false;
+bool FairQueue::push(const QueuedJob& job, bool force) {
+  if (!force && capacity_ != 0 && size_ >= capacity_) return false;
   tenants_[job.tenant].lanes[job.priority].push_back(job);
   ++size_;
   return true;
@@ -55,6 +55,14 @@ bool FairQueue::remove(std::uint64_t id) {
 std::uint64_t FairQueue::started(const std::string& tenant) const {
   const auto it = tenants_.find(tenant);
   return it == tenants_.end() ? 0 : it->second.started;
+}
+
+std::size_t FairQueue::queued(const std::string& tenant) const {
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return 0;
+  std::size_t total = 0;
+  for (const auto& [priority, lane] : it->second.lanes) total += lane.size();
+  return total;
 }
 
 }  // namespace operon::serve

@@ -38,8 +38,10 @@ class FairQueue {
   explicit FairQueue(std::size_t capacity) : capacity_(capacity) {}
 
   /// False when the queue is full (backpressure) — the job was NOT
-  /// admitted.
-  bool push(const QueuedJob& job);
+  /// admitted. `force` bypasses the capacity bound: recovery re-admits
+  /// journaled jobs the daemon already accepted, so backpressure does
+  /// not apply to them.
+  bool push(const QueuedJob& job, bool force = false);
 
   /// Pop the next job per the deterministic order above; false when
   /// empty. Charges one "started" credit to the popped job's tenant.
@@ -53,6 +55,10 @@ class FairQueue {
 
   /// Jobs started so far for `tenant` (fair-share credits).
   std::uint64_t started(const std::string& tenant) const;
+
+  /// Jobs currently queued for `tenant` (the per-tenant quota input —
+  /// the server's admission control checks it before push).
+  std::size_t queued(const std::string& tenant) const;
 
  private:
   struct TenantQueue {

@@ -74,6 +74,7 @@ Server::Server(ServerConfig config)
     : config_(std::move(config)),
       queue_(config_.queue_limit),
       writer_(config_.ledger_path),
+      journal_(config_.journal_path),
       events_(config_.events_capacity) {
   if (!config_.events_path.empty()) {
     events_file_.open(config_.events_path, std::ios::app);
@@ -87,9 +88,49 @@ Server::Server(ServerConfig config)
       events_file_.flush();
     });
   }
-  const std::size_t primed = cache_.prime_from_ledger(config_.ledger_path);
+  if (!config_.ledger_path.empty()) {
+    // A crashed writer leaves its uniquely-named stage file behind; the
+    // ledger itself is intact (the staged line was never appended), so
+    // cleanup is a notice, not an error.
+    const std::size_t stale =
+        obs::remove_stale_ledger_stages(config_.ledger_path);
+    if (stale != 0) {
+      events_.emit(util::LogLevel::Warn, "serve.ledger.stale_stage_removed",
+                   util::format("removed %zu stale ledger stage file(s) "
+                                "left by a crashed writer",
+                                stale));
+    }
+    // An unterminated tail must go BEFORE this daemon's first append,
+    // or the next record would weld onto the garbage. The torn job is
+    // still owed by the journal (its settle never happened), so the
+    // truncation loses bytes, not work.
+    const std::size_t torn =
+        obs::truncate_torn_ledger_tail(config_.ledger_path);
+    if (torn != 0) {
+      metrics_.add_counter("serve.ledger.torn_tail_truncated");
+      events_.emit(util::LogLevel::Warn, "serve.ledger.repaired",
+                   util::format("truncated a torn final line (%zu byte(s)) "
+                                "left by a crashed append",
+                                torn));
+    }
+  }
+  obs::LedgerSalvage salvage;
+  const std::size_t primed =
+      cache_.prime_from_ledger(config_.ledger_path, &salvage);
+  if (salvage.skipped != 0) {
+    // Torn tail from a crash mid-append: skip and report, never refuse
+    // to start — the parseable records still prime the cache.
+    metrics_.add_counter("serve.ledger.salvage_skipped", salvage.skipped);
+    events_.emit(
+        util::LogLevel::Warn, "serve.ledger.salvaged",
+        util::format("skipped %zu unparseable ledger line(s) (first: %s)",
+                     salvage.skipped,
+                     salvage.findings.empty() ? "?"
+                                              : salvage.findings[0].c_str()));
+  }
   if (primed != 0) metrics_.add_counter("serve.cache.primed", primed);
   metrics_.set_gauge("serve.cache.size", static_cast<double>(cache_.size()));
+  recover_from_journal();
   std::size_t workers = config_.workers;
   if (workers == 0) {
     workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -101,6 +142,105 @@ Server::Server(ServerConfig config)
 }
 
 Server::~Server() { shutdown(false); }
+
+void Server::recover_from_journal() {
+  if (!journal_.enabled()) return;
+  // Same torn-tail rule as the ledger: repair before this daemon's
+  // first append. The replay below would skip the torn line anyway;
+  // truncating keeps the file strictly parseable going forward.
+  const std::size_t torn = obs::truncate_torn_ledger_tail(journal_.path());
+  if (torn != 0) {
+    events_.emit(util::LogLevel::Warn, "serve.journal.repaired",
+                 util::format("truncated a torn final line (%zu byte(s)) "
+                              "left by a crashed append",
+                              torn));
+  }
+  const JobJournal::Replay replay = JobJournal::replay(journal_.path());
+  // Even without --recover the numbering must continue past the old
+  // entries, or `of` references would become ambiguous.
+  journal_.start_from(replay.max_seq);
+  if (replay.skipped != 0) {
+    metrics_.add_counter("serve.journal.salvage_skipped", replay.skipped);
+    events_.emit(util::LogLevel::Warn, "serve.journal.salvaged",
+                 util::format("skipped %zu unparseable journal line(s)",
+                              replay.skipped));
+  }
+  if (!config_.recover) return;
+  for (const JobJournal::PendingJob& pending : replay.pending) {
+    recover_job(pending.spec, pending.seq);
+  }
+  if (!replay.pending.empty()) {
+    metrics_.add_counter("serve.recovered", replay.pending.size());
+    events_.emit(util::LogLevel::Info, "serve.recovered",
+                 util::format("re-admitted %zu journaled job(s)",
+                              replay.pending.size()));
+  }
+}
+
+void Server::recover_job(const JobSpec& spec, std::uint64_t old_seq) {
+  // The spec passed submit-time validation once, but the binary may
+  // have changed across the restart: a case id that no longer exists is
+  // dropped with a notice instead of poisoning the queue.
+  if (spec.groups == 0) {
+    const std::vector<std::string> cases = benchgen::table1_cases();
+    if (std::find(cases.begin(), cases.end(), spec.case_id) == cases.end()) {
+      journal_.recovered(old_seq);
+      events_.emit(util::LogLevel::Warn, "serve.job.recover_dropped",
+                   util::format("journaled case '%s' is no longer known",
+                                spec.case_id.c_str()));
+      return;
+    }
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto owned = std::make_unique<Job>();
+  Job& job = *owned;
+  job.id = next_id_++;
+  job.spec = spec;
+  job.case_label = case_label_for(spec);
+  job.key = job_key(spec);
+  job.recovered = true;
+
+  obs::LedgerRecord cached_record;
+  if (cache_.lookup(job.key, spec.stop_at_checkpoint, &cached_record)) {
+    // The run finished before the crash (its ledger append precedes the
+    // settle entry by construction); only the settle entry was lost.
+    // Serve the stored record — zero recompute.
+    journal_.recovered(old_seq);
+    metrics_.add_counter("serve.cache.hit");
+    job.record = std::move(cached_record);
+    job.has_record = true;
+    job.cached = true;
+    job.state = "done";
+    emit_job_event(job, util::LogLevel::Info, "serve.job.recovered",
+                   "served from cache");
+    jobs_.emplace(job.id, std::move(owned));
+    return;
+  }
+
+  // New accepted entry FIRST, recovered marker second: a crash between
+  // the two replays as a duplicate (deduplicated by the cache at
+  // execute time), never as a lost job.
+  job.journal_seq = journal_.accepted(spec);
+  journal_.recovered(old_seq);
+  if (spec.deadline_s > 0.0) {
+    // The original admission clock died with the old daemon; the
+    // deadline restarts from re-admission.
+    job.has_deadline = true;
+    job.deadline = util::Deadline(spec.deadline_s);
+  }
+  QueuedJob queued;
+  queued.id = job.id;
+  queued.tenant = spec.tenant;
+  queued.priority = spec.priority;
+  queued.sequence = next_sequence_++;
+  OPERON_CHECK_MSG(queue_.push(queued, /*force=*/true),
+                   "forced queue push failed for recovered job " << job.id);
+  ++tenant_outstanding_[spec.tenant];
+  if (config_.session_stop) job.stop.chain(config_.session_stop);
+  emit_job_event(job, util::LogLevel::Info, "serve.job.recovered");
+  jobs_.emplace(job.id, std::move(owned));
+  update_gauges_locked();
+}
 
 bool Server::draining() const {
   const std::lock_guard<std::mutex> lock(mutex_);
@@ -247,6 +387,44 @@ Response Server::submit(const Request& request) {
       return response;
     }
 
+    // Per-tenant admission quotas, checked before the global bound so
+    // the rejection names the binding cause. Both are pure functions of
+    // the queue/jobs state under this mutex — deterministic for a fixed
+    // submission order.
+    const std::size_t tenant_queued = queue_.queued(spec.tenant);
+    const auto outstanding_it = tenant_outstanding_.find(spec.tenant);
+    const std::size_t tenant_outstanding =
+        outstanding_it == tenant_outstanding_.end() ? 0
+                                                    : outstanding_it->second;
+    const bool over_queued = config_.tenant_max_queued != 0 &&
+                             tenant_queued >= config_.tenant_max_queued;
+    const bool over_inflight =
+        config_.tenant_max_inflight != 0 &&
+        tenant_outstanding >= config_.tenant_max_inflight;
+    if (over_queued || over_inflight) {
+      metrics_.add_counter("serve.quota_rejected");
+      update_gauges_locked();
+      obs::EventContext context;
+      context.source = key;
+      context.case_id = case_label;
+      context.seed = spec.seed;
+      context.tenant = spec.tenant;
+      events_.emit(util::LogLevel::Warn, "serve.job.quota_rejected",
+                   over_queued ? "tenant max-queued quota reached"
+                               : "tenant max-inflight quota reached",
+                   context);
+      return error_response(
+          "quota-exceeded",
+          over_queued
+              ? util::format("tenant '%s' has %zu job(s) queued (max %zu)",
+                             spec.tenant.c_str(), tenant_queued,
+                             config_.tenant_max_queued)
+              : util::format(
+                    "tenant '%s' has %zu job(s) outstanding (max %zu)",
+                    spec.tenant.c_str(), tenant_outstanding,
+                    config_.tenant_max_inflight));
+    }
+
     QueuedJob queued;
     queued.id = job.id;
     queued.tenant = spec.tenant;
@@ -272,6 +450,17 @@ Response Server::submit(const Request& request) {
     ++next_sequence_;
     id = job.id;
     ++next_id_;
+    ++tenant_outstanding_[spec.tenant];
+    // Admission is the durability point: once the accepted entry is on
+    // disk, a crashed daemon owes this job to --recover.
+    job.journal_seq = journal_.accepted(spec);
+    if (spec.deadline_s > 0.0) {
+      // The clock starts at admission, so queue wait counts against the
+      // deadline (the quota story's other half: a tenant cannot park
+      // unbounded work behind a deep queue).
+      job.has_deadline = true;
+      job.deadline = util::Deadline(spec.deadline_s);
+    }
     if (config_.session_stop) job.stop.chain(config_.session_stop);
     emit_job_event(job, util::LogLevel::Info, "serve.job.submitted");
     jobs_.emplace(id, std::move(owned));
@@ -490,6 +679,15 @@ void Server::execute(Job& job) {
     core::OperonOptions options = options_for(job.spec);
     options.threads = config_.job_threads;
     options.stop = job.stop.token();
+    if (job.has_deadline) {
+      // Wall-clock only: the deadline arms the job-level StopSource the
+      // run chains to, never the semantic options, so the record's
+      // fingerprint (and the cache key) is untouched. An already-
+      // expired deadline keeps a hair of budget so the run trips at its
+      // FIRST checkpoint and degrades onto the run-time-limit rung —
+      // arm(<=0) would mean unlimited.
+      job.stop.arm(std::max(job.deadline.remaining(), 1e-9));
+    }
 
     obs::Observation job_obs;
     obs::LedgerCollector collector;
@@ -586,8 +784,16 @@ void Server::execute(Job& job) {
     // The job-level source never trips itself — the run's chained
     // source does, and reports the interrupt in the diagnostics.
     bool canceled = false;
+    bool time_limited = false;
     for (const auto& [diag, count] : record.diagnostics) {
       if (diag == "run-interrupted" && count > 0) canceled = true;
+      if (diag == "run-time-limit" && count > 0) time_limited = true;
+    }
+    if (job.has_deadline && time_limited && job.deadline.expired()) {
+      metrics_.add_counter("serve.deadline.tripped");
+      emit_job_event(job, util::LogLevel::Warn, "serve.job.deadline_tripped",
+                     "per-job deadline expired; run degraded at its next "
+                     "checkpoint");
     }
     metrics_.add_counter(canceled ? "serve.jobs.canceled"
                                   : "serve.jobs.completed");
@@ -613,6 +819,15 @@ void Server::execute(Job& job) {
 
 void Server::settle(Job& job, std::string_view state) {
   job.state = std::string(state);
+  // Only queue-admitted jobs reach settle (cache-served submits set
+  // their state directly), so the quota count and the journal entry
+  // unwind exactly once per admission. The ledger append (in execute)
+  // precedes this settle entry — recovery relies on that order.
+  const auto it = tenant_outstanding_.find(job.spec.tenant);
+  if (it != tenant_outstanding_.end() && it->second > 0) {
+    if (--it->second == 0) tenant_outstanding_.erase(it);
+  }
+  journal_.settled(job.journal_seq, state == "done" ? "completed" : state);
 }
 
 void Server::emit_job_event(const Job& job, util::LogLevel level,

@@ -44,6 +44,7 @@
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "serve/cache.hpp"
+#include "serve/journal.hpp"
 #include "serve/protocol.hpp"
 #include "serve/scheduler.hpp"
 #include "util/stop.hpp"
@@ -76,6 +77,23 @@ struct ServerConfig {
   /// retains in memory for the `events` op, the watchdog stall report,
   /// and the SIGTERM dump (0 = unbounded).
   std::size_t events_capacity = 256;
+  /// Durable job journal (JSONL, see serve/journal.hpp): every admitted
+  /// job appends an `accepted` entry, every settle a matching one, so a
+  /// crash leaves a replayable account of what the daemon still owes.
+  /// Empty = no journal.
+  std::string journal_path;
+  /// Replay `journal_path` at startup and re-enqueue jobs that were
+  /// accepted but never settled, in journal-sequence order, before any
+  /// client submit is admitted. Already-cached keys settle instantly
+  /// from the ledger-primed cache (zero recompute).
+  bool recover = false;
+  /// Per-tenant admission quotas (0 = unlimited): a submit is rejected
+  /// with `quota-exceeded` when the tenant already has this many jobs
+  /// queued...
+  std::size_t tenant_max_queued = 0;
+  /// ...or this many outstanding (queued + running). Cache-served
+  /// submits never count — they consume no executor.
+  std::size_t tenant_max_inflight = 0;
   /// Daemon session stop (SIGINT/SIGTERM chain). Every job's
   /// StopSource chains to it, so a session interrupt stops all running
   /// jobs at their next checkpoint.
@@ -84,9 +102,11 @@ struct ServerConfig {
 
 class Server {
  public:
-  /// Primes the cache from `ledger_path` (throws util::CheckError if
-  /// the file exists but is malformed — fail loudly, don't serve
-  /// garbage) and starts the executor threads.
+  /// Primes the cache from `ledger_path` (a salvage read: a torn tail
+  /// from a crashed writer is skipped and reported as an event, never
+  /// fatal — a daemon must always be able to restart on its own
+  /// ledger), removes stale ledger stage files, replays the job
+  /// journal when configured, and starts the executor threads.
   explicit Server(ServerConfig config);
   ~Server();  ///< implies shutdown(false)
   Server(const Server&) = delete;
@@ -142,6 +162,16 @@ class Server {
     std::string metrics_json;
     std::string spans_json;
     util::StopSource stop;
+    /// Journal sequence of this job's `accepted` entry (0 = not
+    /// journaled: journaling off, or a cache-served submit).
+    std::uint64_t journal_seq = 0;
+    /// Re-admitted by journal replay rather than a client submit.
+    bool recovered = false;
+    /// Admission-time wall-clock deadline (spec.deadline_s > 0); armed
+    /// onto `stop` when the job starts executing so the run degrades at
+    /// its next checkpoint once the deadline passes.
+    bool has_deadline = false;
+    util::Deadline deadline{0.0};
   };
 
   Response submit(const Request& request);
@@ -154,6 +184,13 @@ class Server {
   void worker_loop();
   void execute(Job& job);
   void settle(Job& job, std::string_view state);
+  /// Journal replay at startup: continue the sequence numbering and,
+  /// when config_.recover, re-admit every pending job in journal order.
+  void recover_from_journal();
+  /// Internal re-admission for one replayed job: bypasses draining,
+  /// quota, and backpressure checks (the daemon already owes the job),
+  /// settling instantly from the cache when the key is already stored.
+  void recover_job(const JobSpec& spec, std::uint64_t old_seq);
 
   Job* find_job(std::uint64_t id);
   bool settled(const Job& job) const;
@@ -179,9 +216,14 @@ class Server {
   std::size_t inflight_ = 0;
   bool draining_ = false;
   bool joined_ = false;
+  /// Queued + running jobs per tenant (the max-inflight quota input).
+  /// Incremented at queue admission, decremented at settle; cache-
+  /// served submits never enter it.
+  std::map<std::string, std::size_t> tenant_outstanding_;
 
   ResultCache cache_;
   LedgerWriter writer_;
+  JobJournal journal_;
   mutable obs::MetricsRegistry metrics_;
   /// Daemon event log (bounded flight-recorder ring). Declared after
   /// the mutex-guarded state it reports on; its own mutex serializes

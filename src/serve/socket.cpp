@@ -7,7 +7,9 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "serve/server.hpp"
@@ -21,14 +23,27 @@ namespace {
 /// unrecoverable — there is no resync point in a JSONL stream.
 constexpr std::size_t kMaxBufferedBytes = kMaxFrameBytes + 1;
 
-void send_all(int fd, std::string_view bytes) {
+bool send_all(int fd, std::string_view bytes) {
   // MSG_NOSIGNAL: a client that hung up must not SIGPIPE the daemon;
-  // the failed send just ends this connection's loop.
+  // the failed send just ends this connection's loop. EINTR is not a
+  // failure — a signal landing mid-send must not tear the frame.
   while (!bytes.empty()) {
     const ssize_t sent =
         ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
-    if (sent <= 0) return;
+    if (sent < 0 && errno == EINTR) continue;
+    if (sent <= 0) return false;
     bytes.remove_prefix(static_cast<std::size_t>(sent));
+  }
+  return true;
+}
+
+/// recv that retries EINTR: a stray signal must look like "no bytes
+/// yet", never like a peer disconnect.
+ssize_t recv_retry(int fd, char* chunk, std::size_t size) {
+  for (;;) {
+    const ssize_t got = ::recv(fd, chunk, size, 0);
+    if (got < 0 && errno == EINTR) continue;
+    return got;
   }
 }
 
@@ -134,7 +149,7 @@ void SocketServer::connection_loop(int fd) {
   char chunk[4096];
   bool overflow = false;
   while (!overflow) {
-    const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+    const ssize_t got = recv_retry(fd, chunk, sizeof(chunk));
     if (got <= 0) break;  // EOF, reset, or shutdown(fd)
     pending.append(chunk, static_cast<std::size_t>(got));
     for (;;) {
@@ -167,18 +182,35 @@ void SocketServer::connection_loop(int fd) {
   finish();
 }
 
-Client::Client(const std::string& path) {
-  const sockaddr_un address = socket_address(path);
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  OPERON_CHECK_MSG(fd_ >= 0, "socket() failed: " << std::strerror(errno));
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&address),
+int Client::try_connect() {
+  const sockaddr_un address = socket_address(path_);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  OPERON_CHECK_MSG(fd >= 0, "socket() failed: " << std::strerror(errno));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&address),
                 sizeof(address)) != 0) {
     const int connect_errno = errno;
-    ::close(fd_);
-    fd_ = -1;
-    OPERON_CHECK_MSG(false, "connect('" << path << "') failed: "
-                                        << std::strerror(connect_errno)
-                                        << " (is operon_serve running?)");
+    ::close(fd);
+    return connect_errno == 0 ? EIO : connect_errno;
+  }
+  fd_ = fd;
+  return 0;
+}
+
+Client::Client(const std::string& path, RetryPolicy policy)
+    : path_(path), policy_(policy) {
+  int delay_ms = std::max(policy_.backoff_ms, 1);
+  for (std::size_t attempt = 0;; ++attempt) {
+    const int error = try_connect();
+    if (error == 0) return;
+    if (attempt >= policy_.retries) {
+      OPERON_CHECK_MSG(false, "connect('" << path_ << "') failed after "
+                                          << attempt + 1 << " attempt(s): "
+                                          << std::strerror(error)
+                                          << " (is operon_serve running?)");
+    }
+    ++retries_used_;
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    delay_ms = std::min(delay_ms * 2, std::max(policy_.backoff_max_ms, 1));
   }
 }
 
@@ -193,20 +225,45 @@ Response Client::call(const Request& request) {
 std::string Client::call_line(std::string_view line) {
   std::string frame(line);
   frame.push_back('\n');
-  send_all(fd_, frame);
-  for (;;) {
-    const std::size_t newline = buffer_.find('\n');
-    if (newline != std::string::npos) {
-      std::string response = buffer_.substr(0, newline);
-      buffer_.erase(0, newline + 1);
-      return response;
+  int delay_ms = std::max(policy_.backoff_ms, 1);
+  for (std::size_t attempt = 0;; ++attempt) {
+    bool received = false;
+    if (fd_ >= 0 && send_all(fd_, frame)) {
+      for (;;) {
+        const std::size_t newline = buffer_.find('\n');
+        if (newline != std::string::npos) {
+          std::string response = buffer_.substr(0, newline);
+          buffer_.erase(0, newline + 1);
+          return response;
+        }
+        OPERON_CHECK_MSG(buffer_.size() <= kMaxBufferedBytes,
+                         "daemon response exceeds the frame size limit");
+        char chunk[4096];
+        const ssize_t got = recv_retry(fd_, chunk, sizeof(chunk));
+        if (got <= 0) break;  // disconnect — maybe retryable, see below
+        received = true;
+        buffer_.append(chunk, static_cast<std::size_t>(got));
+      }
     }
-    OPERON_CHECK_MSG(buffer_.size() <= kMaxBufferedBytes,
-                     "daemon response exceeds the frame size limit");
-    char chunk[4096];
-    const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
-    OPERON_CHECK_MSG(got > 0, "daemon closed the connection mid-response");
-    buffer_.append(chunk, static_cast<std::size_t>(got));
+    // The connection died (or the send failed). Re-sending is sound
+    // ONLY before the first byte of this request's response: a partial
+    // response means the daemon executed the request, and re-sending a
+    // non-idempotent op (shutdown, cancel) would double-apply it.
+    OPERON_CHECK_MSG(!received && buffer_.empty(),
+                     "daemon closed the connection mid-response");
+    OPERON_CHECK_MSG(attempt < policy_.retries,
+                     "daemon closed the connection before responding ("
+                         << attempt + 1 << " attempt(s))");
+    ++retries_used_;
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    delay_ms = std::min(delay_ms * 2, std::max(policy_.backoff_max_ms, 1));
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    // A refused reconnect just consumes the next attempt: fd_ stays -1
+    // and the loop falls straight back here after the next backoff.
+    (void)try_connect();
   }
 }
 

@@ -62,13 +62,32 @@ class SocketServer {
   std::vector<std::thread> connections_;
 };
 
+/// Deterministic, seedless capped-exponential retry for Client: up to
+/// `retries` extra attempts after the first, waiting backoff_ms,
+/// 2*backoff_ms, 4*backoff_ms, ... (capped at backoff_max_ms) between
+/// them. No jitter by design — client behavior must be reproducible.
+struct RetryPolicy {
+  std::size_t retries = 0;    ///< extra attempts (0 = fail fast, the default)
+  int backoff_ms = 100;       ///< wait before the first retry; doubles
+  int backoff_max_ms = 2000;  ///< backoff ceiling
+};
+
 /// Blocking JSONL client for the daemon socket (operon_cli submit and
 /// the serve tests).
+///
+/// Retry idempotency rule: a request is re-sent ONLY when the failure
+/// provably happened before the daemon produced any of this request's
+/// response — connect refused, send failure, or a disconnect before the
+/// first response byte. Once a single response byte has arrived the
+/// request was executed, and a blind re-send could double-apply a
+/// non-idempotent op (shutdown, cancel); the client fails instead.
+/// Re-sent submits are safe on top of this: the result cache dedups by
+/// job key, so a duplicate admission recomputes nothing.
 class Client {
  public:
-  /// Connect to the daemon at `path`; throws util::CheckError when the
-  /// daemon is not there.
-  explicit Client(const std::string& path);
+  /// Connect to the daemon at `path`, retrying per `policy`; throws
+  /// util::CheckError when the daemon is not there after all attempts.
+  explicit Client(const std::string& path, RetryPolicy policy = {});
   ~Client();
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
@@ -78,11 +97,24 @@ class Client {
 
   /// Raw round trip: send `line` + '\n', return the response line
   /// (without the newline). Used by protocol tests to send frames the
-  /// typed API could never produce.
+  /// typed API could never produce. Reconnects + re-sends per the
+  /// retry policy when the connection dies before the first response
+  /// byte; throws once a partial response has been seen.
   std::string call_line(std::string_view line);
 
+  /// Retries consumed so far (connect + re-send), for client-side
+  /// serve.retry.* reporting.
+  std::size_t retries_used() const { return retries_used_; }
+
  private:
+  /// One connect attempt; returns 0 or the connect errno. Leaves fd_
+  /// at -1 on failure.
+  int try_connect();
+
   int fd_ = -1;
+  std::string path_;
+  RetryPolicy policy_;
+  std::size_t retries_used_ = 0;
   std::string buffer_;  ///< bytes read past the last response line
 };
 

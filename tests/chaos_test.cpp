@@ -1,0 +1,385 @@
+// Chaos suite: the crash-safety contract (DESIGN.md "Crash safety &
+// recovery") under simulated SIGKILL aftermaths. The crash-fault
+// corruptors reproduce the wreckage a killed daemon leaves behind
+// (torn ledger tail, truncated journal, stale stage file, half-written
+// frame); the tests hold read_ledger_salvage, truncate_torn_ledger_tail,
+// JobJournal::replay, and Server --recover to their promises: never
+// throw on wreckage, re-admit exactly the owed jobs in journal order,
+// recompute nothing the ledger already holds, and converge on a ledger
+// semantically identical to an uninterrupted run.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "benchgen/corrupt.hpp"
+#include "obs/ledger.hpp"
+#include "serve/journal.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ob = operon::benchgen;
+namespace oo = operon::obs;
+namespace os = operon::serve;
+namespace ou = operon::util;
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+/// A tiny custom-generator job spec (sub-second compute).
+os::JobSpec tiny_spec(std::uint64_t seed) {
+  os::JobSpec spec;
+  spec.groups = 4;
+  spec.bits_lo = 2;
+  spec.bits_hi = 4;
+  spec.seed = seed;
+  spec.ilp_limit_s = 5.0;
+  return spec;
+}
+
+os::Request submit_request(const os::JobSpec& spec, bool wait) {
+  os::Request request;
+  request.op = os::Op::Submit;
+  request.spec = spec;
+  request.wait = wait;
+  return request;
+}
+
+oo::LedgerRecord record_for(const std::string& case_id, std::uint64_t seed) {
+  oo::LedgerRecord record;
+  record.case_id = case_id;
+  record.seed = seed;
+  record.options = "opts";
+  record.solver = "lr";
+  return record;
+}
+
+std::size_t stage_file_count(const std::string& ledger_path) {
+  const fs::path ledger(ledger_path);
+  fs::path dir = ledger.parent_path();
+  if (dir.empty()) dir = ".";
+  const std::string prefix = ledger.filename().string() + ".tmp";
+  std::size_t count = 0;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (entry.path().filename().string().rfind(prefix, 0) == 0) ++count;
+  }
+  return count;
+}
+
+// -- crash-fault corruptors ------------------------------------------------
+
+TEST(CrashFaults, KindsEnumerateAndName) {
+  const std::vector<ob::CrashFaultKind> kinds = ob::all_crash_fault_kinds();
+  ASSERT_EQ(kinds.size(), 4u);
+  EXPECT_EQ(ob::crash_fault_name(ob::CrashFaultKind::TornLedgerTail),
+            "torn-ledger-tail");
+  EXPECT_EQ(ob::crash_fault_name(ob::CrashFaultKind::TruncatedJournal),
+            "truncated-journal");
+  EXPECT_EQ(ob::crash_fault_name(ob::CrashFaultKind::StaleStageFile),
+            "stale-stage-file");
+  EXPECT_EQ(ob::crash_fault_name(ob::CrashFaultKind::HalfWrittenFrame),
+            "half-written-frame");
+}
+
+TEST(CrashFaults, TornTailIsSalvagedThenRepaired) {
+  const std::string path = temp_path("chaos_torn.jsonl");
+  std::remove(path.c_str());
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    oo::append_ledger_record(path, record_for("I1", seed));
+  }
+  ou::Rng rng(11);
+  ob::inject_crash_fault(path, ob::CrashFaultKind::TornLedgerTail, rng);
+
+  // Strict read refuses; salvage keeps the intact prefix.
+  EXPECT_THROW(oo::read_ledger(path), ou::CheckError);
+  const oo::LedgerSalvage salvage = oo::read_ledger_salvage(path);
+  EXPECT_EQ(salvage.records.size(), 2u);
+  EXPECT_EQ(salvage.skipped, 1u);
+  ASSERT_EQ(salvage.findings.size(), 1u);
+  EXPECT_FALSE(salvage.missing);
+
+  // Repair truncates only the torn line; the file is strict-parseable
+  // again and a fresh append no longer welds onto garbage.
+  EXPECT_GT(oo::truncate_torn_ledger_tail(path), 0u);
+  oo::append_ledger_record(path, record_for("I1", 9));
+  const std::vector<oo::LedgerRecord> records = oo::read_ledger(path);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[2].seed, 9u);
+  std::remove(path.c_str());
+}
+
+TEST(CrashFaults, HalfWrittenFrameIsInvisibleToSalvage) {
+  const std::string path = temp_path("chaos_half.jsonl");
+  std::remove(path.c_str());
+  oo::append_ledger_record(path, record_for("I2", 5));
+  ou::Rng rng(12);
+  ob::inject_crash_fault(path, ob::CrashFaultKind::HalfWrittenFrame, rng);
+  const oo::LedgerSalvage salvage = oo::read_ledger_salvage(path);
+  EXPECT_EQ(salvage.records.size(), 1u);
+  EXPECT_EQ(salvage.skipped, 1u);
+  EXPECT_GT(oo::truncate_torn_ledger_tail(path), 0u);
+  EXPECT_EQ(oo::read_ledger(path).size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(CrashFaults, StaleStageFileIsSweptWithoutTouchingTheLedger) {
+  const std::string path = temp_path("chaos_stage.jsonl");
+  std::remove(path.c_str());
+  oo::append_ledger_record(path, record_for("I3", 1));
+  ou::Rng rng(13);
+  ob::inject_crash_fault(path, ob::CrashFaultKind::StaleStageFile, rng);
+  ASSERT_GE(stage_file_count(path), 1u);
+  EXPECT_GE(oo::remove_stale_ledger_stages(path), 1u);
+  EXPECT_EQ(stage_file_count(path), 0u);
+  EXPECT_EQ(oo::read_ledger(path).size(), 1u);  // the ledger was intact
+  std::remove(path.c_str());
+}
+
+TEST(CrashFaults, TruncatedJournalStillReplays) {
+  const std::string path = temp_path("chaos_trunc_journal.jsonl");
+  std::remove(path.c_str());
+  os::JobJournal journal(path);
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    journal.accepted(tiny_spec(seed));
+  }
+  ou::Rng rng(14);
+  ob::inject_crash_fault(path, ob::CrashFaultKind::TruncatedJournal, rng);
+  // Whatever the cut point, replay never throws and every surviving
+  // entry is intact (the cut line is skipped, not misparsed).
+  os::JobJournal::Replay replay;
+  ASSERT_NO_THROW(replay = os::JobJournal::replay(path));
+  EXPECT_LE(replay.pending.size(), 4u);
+  EXPECT_LE(replay.skipped, 1u);
+  for (const os::JobJournal::PendingJob& pending : replay.pending) {
+    EXPECT_GE(pending.spec.seed, 1u);
+    EXPECT_LE(pending.spec.seed, 4u);
+  }
+  std::remove(path.c_str());
+}
+
+// -- journal replay semantics ----------------------------------------------
+
+TEST(JobJournal, PendingIsAcceptedMinusSettledInSeqOrder) {
+  const std::string path = temp_path("chaos_journal_pending.jsonl");
+  std::remove(path.c_str());
+  os::JobJournal journal(path);
+  const std::uint64_t a = journal.accepted(tiny_spec(1));
+  const std::uint64_t b = journal.accepted(tiny_spec(2));
+  const std::uint64_t c = journal.accepted(tiny_spec(3));
+  journal.settled(b, "completed");
+  journal.settled(a, "failed");
+
+  const os::JobJournal::Replay replay = os::JobJournal::replay(path);
+  ASSERT_EQ(replay.pending.size(), 1u);
+  EXPECT_EQ(replay.pending[0].seq, c);
+  EXPECT_EQ(replay.pending[0].spec.seed, 3u);
+  EXPECT_EQ(replay.pending[0].spec.groups, 4u);
+  EXPECT_EQ(replay.max_seq, 5u);  // 3 accepted + 2 settle entries
+  EXPECT_EQ(replay.skipped, 0u);
+  EXPECT_FALSE(replay.missing);
+  std::remove(path.c_str());
+}
+
+TEST(JobJournal, RecoveredMarkerClosesTheOldObligation) {
+  const std::string path = temp_path("chaos_journal_recovered.jsonl");
+  std::remove(path.c_str());
+  os::JobJournal journal(path);
+  const std::uint64_t old_seq = journal.accepted(tiny_spec(7));
+  // Recovery order: new accepted FIRST, recovered marker second — a
+  // crash between the two duplicates (cache-deduplicated), never loses.
+  const std::uint64_t new_seq = journal.accepted(tiny_spec(7));
+  journal.recovered(old_seq);
+
+  const os::JobJournal::Replay replay = os::JobJournal::replay(path);
+  ASSERT_EQ(replay.pending.size(), 1u);
+  EXPECT_EQ(replay.pending[0].seq, new_seq);
+  std::remove(path.c_str());
+}
+
+TEST(JobJournal, SeqNumberingContinuesAcrossReopen) {
+  const std::string path = temp_path("chaos_journal_seq.jsonl");
+  std::remove(path.c_str());
+  std::uint64_t max_seq = 0;
+  {
+    os::JobJournal journal(path);
+    journal.accepted(tiny_spec(1));
+    journal.accepted(tiny_spec(2));
+    max_seq = os::JobJournal::replay(path).max_seq;
+    EXPECT_EQ(max_seq, 2u);
+  }
+  os::JobJournal reopened(path);
+  reopened.start_from(max_seq);
+  const std::uint64_t next = reopened.accepted(tiny_spec(3));
+  EXPECT_EQ(next, max_seq + 1);  // no seq reuse: `of` stays unambiguous
+  EXPECT_EQ(os::JobJournal::replay(path).pending.size(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(JobJournal, ReplayToleratesGarbageLines) {
+  const std::string path = temp_path("chaos_journal_garbage.jsonl");
+  std::remove(path.c_str());
+  os::JobJournal journal(path);
+  journal.accepted(tiny_spec(1));
+  {
+    std::ofstream os(path, std::ios::app);
+    os << "{\"journal\":1,\"seq\":99,\"event\":\"acc\n";  // malformed
+    os << "not json at all\n";
+  }
+  const os::JobJournal::Replay replay = os::JobJournal::replay(path);
+  EXPECT_EQ(replay.pending.size(), 1u);
+  EXPECT_EQ(replay.skipped, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(JobJournal, MissingFileReplaysEmpty) {
+  const os::JobJournal::Replay replay =
+      os::JobJournal::replay(temp_path("chaos_journal_missing.jsonl"));
+  EXPECT_TRUE(replay.missing);
+  EXPECT_TRUE(replay.pending.empty());
+  EXPECT_EQ(replay.max_seq, 0u);
+}
+
+// -- end-to-end recovery ---------------------------------------------------
+
+TEST(ChaosRecovery, RecoverReplaysOwedJobsAndMatchesUninterruptedRun) {
+  const std::string ledger = temp_path("chaos_e2e_ledger.jsonl");
+  const std::string journal = temp_path("chaos_e2e_journal.jsonl");
+  const std::string reference = temp_path("chaos_e2e_reference.jsonl");
+  for (const std::string& path : {ledger, journal, reference}) {
+    std::remove(path.c_str());
+  }
+
+  // Reference: the same five jobs, uninterrupted.
+  {
+    os::ServerConfig config;
+    config.ledger_path = reference;
+    config.workers = 2;
+    os::Server server(config);
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      const os::Response done =
+          server.handle(submit_request(tiny_spec(seed), /*wait=*/true));
+      ASSERT_TRUE(done.ok) << done.error << ": " << done.detail;
+    }
+    server.shutdown(false);
+  }
+
+  // "Crashed" daemon: seeds 1..3 completed and settled (workers=1 so
+  // the append order is the submit order), then the crash aftermath is
+  // reproduced by hand — seed 3's ledger append torn mid-line with its
+  // settle lost, seeds 4..5 accepted but never started, a stale stage
+  // file from a dead writer, and a half-written frame on the journal.
+  {
+    os::ServerConfig config;
+    config.ledger_path = ledger;
+    config.journal_path = journal;
+    config.workers = 1;
+    os::Server server(config);
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      ASSERT_TRUE(
+          server.handle(submit_request(tiny_spec(seed), /*wait=*/true)).ok);
+    }
+    server.shutdown(false);
+  }
+  const std::uint64_t max_seq = os::JobJournal::replay(journal).max_seq;
+  os::JobJournal tail(journal);
+  tail.start_from(max_seq);
+  tail.accepted(tiny_spec(3));  // its record is about to be torn
+  tail.accepted(tiny_spec(4));
+  tail.accepted(tiny_spec(5));
+  ou::Rng rng(21);
+  ob::inject_crash_fault(ledger, ob::CrashFaultKind::TornLedgerTail, rng);
+  ob::inject_crash_fault(ledger, ob::CrashFaultKind::StaleStageFile, rng);
+  ob::inject_crash_fault(journal, ob::CrashFaultKind::HalfWrittenFrame, rng);
+  ASSERT_GE(stage_file_count(ledger), 1u);
+
+  // Restart with --recover: startup must not throw on any of the
+  // wreckage, must re-admit exactly the three owed jobs, and must not
+  // recompute the two surviving records.
+  os::ServerConfig config;
+  config.ledger_path = ledger;
+  config.journal_path = journal;
+  config.recover = true;
+  config.workers = 2;
+  os::Server server(config);
+  EXPECT_EQ(stage_file_count(ledger), 0u);  // stale stage swept
+
+  // Resubmitting the full batch drains recovery: survivors and
+  // recovered jobs alike must come back without extra computes.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const os::Response done =
+        server.handle(submit_request(tiny_spec(seed), /*wait=*/true));
+    ASSERT_TRUE(done.ok) << done.error << ": " << done.detail;
+    EXPECT_EQ(done.state, "done");
+    ASSERT_TRUE(done.has_record);
+  }
+  const oo::MetricsSnapshot snapshot = server.metrics();
+  EXPECT_EQ(snapshot.counter("serve.recovered"), 3u);
+  EXPECT_EQ(snapshot.counter("serve.ledger.torn_tail_truncated"), 1u);
+  EXPECT_EQ(server.records_appended(), 3u);  // seeds 3..5; 1..2 cached
+  server.shutdown(false);
+
+  // The final ledger is strictly parseable again (tail repaired) and
+  // semantically identical to the uninterrupted run.
+  const std::vector<oo::LedgerRecord> final_records = oo::read_ledger(ledger);
+  const std::vector<oo::LedgerRecord> ref_records =
+      oo::read_ledger(reference);
+  ASSERT_EQ(final_records.size(), 5u);
+  const oo::CompareResult verdict =
+      oo::compare_ledgers(ref_records, final_records);
+  EXPECT_TRUE(verdict.semantic_ok()) << verdict.to_json();
+
+  for (const std::string& path : {ledger, journal, reference}) {
+    std::remove(path.c_str());
+  }
+}
+
+TEST(ChaosRecovery, RecoveryWithoutJournalIsANoOp) {
+  // --recover with no --journal: nothing to replay, nothing to throw.
+  os::ServerConfig config;
+  config.recover = true;
+  os::Server server(config);
+  const os::Response done =
+      server.handle(submit_request(tiny_spec(77), /*wait=*/true));
+  EXPECT_TRUE(done.ok);
+  server.shutdown(false);
+}
+
+TEST(ChaosRecovery, TornTailAloneDoesNotAbortStartup) {
+  // The acceptance bullet verbatim: a daemon pointed at a ledger with a
+  // torn tail must start, report, and serve.
+  const std::string ledger = temp_path("chaos_torn_start.jsonl");
+  std::remove(ledger.c_str());
+  {
+    os::ServerConfig config;
+    config.ledger_path = ledger;
+    os::Server server(config);
+    ASSERT_TRUE(
+        server.handle(submit_request(tiny_spec(8), /*wait=*/true)).ok);
+    server.shutdown(false);
+  }
+  ou::Rng rng(31);
+  ob::inject_crash_fault(ledger, ob::CrashFaultKind::TornLedgerTail, rng);
+
+  os::ServerConfig config;
+  config.ledger_path = ledger;
+  os::Server server(config);  // must not throw
+  const os::Response done =
+      server.handle(submit_request(tiny_spec(8), /*wait=*/true));
+  ASSERT_TRUE(done.ok);
+  EXPECT_FALSE(done.cached);  // the torn record was not servable
+  server.shutdown(false);
+  EXPECT_NO_THROW(oo::read_ledger(ledger));  // tail was repaired
+  std::remove(ledger.c_str());
+}
+
+}  // namespace

@@ -99,6 +99,74 @@ TEST(Ledger, AppendIsCrashSafeAndReadsBack) {
   std::remove(path.c_str());
 }
 
+TEST(Ledger, SalvageReadSkipsGarbageAndReportsFindings) {
+  const std::string path = temp_path("ledger_salvage.jsonl");
+  {
+    std::ofstream os(path);
+    os << oo::to_json_line(sample_record("A")) << "\n";
+    os << "{ not json\n";
+    os << oo::to_json_line(sample_record("B")) << "\n";
+    os << R"({"schema":3,"ca)";  // torn tail, no newline
+  }
+  const oo::LedgerSalvage salvage = oo::read_ledger_salvage(path);
+  EXPECT_FALSE(salvage.missing);
+  ASSERT_EQ(salvage.records.size(), 2u);
+  EXPECT_EQ(salvage.records[0].case_id, "A");
+  EXPECT_EQ(salvage.records[1].case_id, "B");
+  EXPECT_EQ(salvage.skipped, 2u);
+  ASSERT_EQ(salvage.findings.size(), 2u);
+  EXPECT_NE(salvage.findings[0].find("line 2"), std::string::npos)
+      << salvage.findings[0];
+  // The strict reader stays the oracle: same file, hard failure.
+  EXPECT_THROW(oo::read_ledger(path), operon::util::CheckError);
+  std::remove(path.c_str());
+}
+
+TEST(Ledger, SalvageReadFlagsMissingFile) {
+  const oo::LedgerSalvage salvage =
+      oo::read_ledger_salvage(temp_path("ledger_salvage_absent.jsonl"));
+  EXPECT_TRUE(salvage.missing);
+  EXPECT_TRUE(salvage.records.empty());
+  EXPECT_EQ(salvage.skipped, 0u);
+}
+
+TEST(Ledger, TruncateTornTailOnlyTouchesUnterminatedTails) {
+  const std::string path = temp_path("ledger_torn_tail.jsonl");
+  std::remove(path.c_str());
+  oo::append_ledger_record(path, sample_record("A"));
+  // Newline-terminated file: nothing to repair.
+  EXPECT_EQ(oo::truncate_torn_ledger_tail(path), 0u);
+  {
+    std::ofstream os(path, std::ios::app);
+    os << "{\"torn";  // crash mid-append
+  }
+  EXPECT_EQ(oo::truncate_torn_ledger_tail(path), 6u);
+  // Strictly parseable again, and appends no longer weld onto garbage.
+  EXPECT_EQ(oo::read_ledger(path).size(), 1u);
+  // Missing file: no-op, not an error.
+  EXPECT_EQ(
+      oo::truncate_torn_ledger_tail(temp_path("ledger_torn_absent.jsonl")),
+      0u);
+  std::remove(path.c_str());
+}
+
+TEST(Ledger, StaleStageSweepLeavesTheLedgerAlone) {
+  const std::string path = temp_path("ledger_stale_stage.jsonl");
+  std::remove(path.c_str());
+  oo::append_ledger_record(path, sample_record("A"));
+  // Simulate two writers that died with staged lines on disk.
+  {
+    std::ofstream a(path + ".tmp.1234.0");
+    a << "{\"half";
+    std::ofstream b(path + ".tmp.5678.3");
+    b << oo::to_json_line(sample_record("B")) << "\n";
+  }
+  EXPECT_EQ(oo::remove_stale_ledger_stages(path), 2u);
+  EXPECT_EQ(oo::remove_stale_ledger_stages(path), 0u);  // idempotent
+  EXPECT_EQ(oo::read_ledger(path).size(), 1u);
+  std::remove(path.c_str());
+}
+
 TEST(Ledger, MalformedLineThrowsWithLineNumber) {
   const std::string path = temp_path("ledger_malformed.jsonl");
   {

@@ -8,12 +8,17 @@
 
 #include <gtest/gtest.h>
 
+#include <pthread.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -252,6 +257,186 @@ TEST_F(ServeSocketTest, MidFrameDisconnectDoesNotWedgeTheDaemon) {
   os::Request stats;
   stats.op = os::Op::Stats;
   EXPECT_TRUE(client.call(stats).ok);
+}
+
+// -- client retry / EINTR -------------------------------------------------
+
+/// Bare AF_UNIX listener for scripted failure injection: accept one
+/// connection, run `script(fd)`, close. Lets the tests fail the wire at
+/// exact points (before/after the first response byte) that a real
+/// daemon never would.
+class ScriptedListener {
+ public:
+  explicit ScriptedListener(std::string path) : path_(std::move(path)) {
+    ::unlink(path_.c_str());
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un address{};
+    address.sun_family = AF_UNIX;
+    std::memcpy(address.sun_path, path_.c_str(), path_.size() + 1);
+    (void)::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&address),
+                 sizeof(address));
+    (void)::listen(listen_fd_, 8);
+  }
+  ~ScriptedListener() {
+    for (std::thread& t : threads_) t.join();
+    ::close(listen_fd_);
+    ::unlink(path_.c_str());
+  }
+  /// Accept the next connection on a background thread and run the
+  /// script on its fd (the script must NOT close the fd).
+  void next(std::function<void(int)> script) {
+    threads_.emplace_back([this, script = std::move(script)] {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) return;
+      script(fd);
+      ::close(fd);
+    });
+  }
+
+ private:
+  std::string path_;
+  int listen_fd_ = -1;
+  std::vector<std::thread> threads_;
+};
+
+void drain_one_line(int fd) {
+  char chunk[4096];
+  std::string seen;
+  while (seen.find('\n') == std::string::npos) {
+    const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (got <= 0) return;
+    seen.append(chunk, static_cast<std::size_t>(got));
+  }
+}
+
+TEST(ClientRetry, ExhaustedConnectRetriesThrowWithAttemptCount) {
+  os::RetryPolicy policy;
+  policy.retries = 2;
+  policy.backoff_ms = 1;
+  try {
+    os::Client client(testing::TempDir() + "serve_retry_nobody.sock",
+                      policy);
+    FAIL() << "connect to an unbound path must throw";
+  } catch (const ou::CheckError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("3 attempt(s)"), std::string::npos) << what;
+    EXPECT_NE(what.find("is operon_serve running?"), std::string::npos);
+  }
+}
+
+TEST(ClientRetry, BackoffSurvivesALateDaemon) {
+  const std::string path = testing::TempDir() + "serve_retry_late.sock";
+  ::unlink(path.c_str());
+  os::ServerConfig config;
+  config.workers = 1;
+  os::Server server(config);
+  std::unique_ptr<os::SocketServer> socket;
+  std::thread daemon([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    socket = std::make_unique<os::SocketServer>(server, path);
+    socket->run();
+  });
+  os::RetryPolicy policy;
+  policy.retries = 100;
+  policy.backoff_ms = 5;
+  policy.backoff_max_ms = 20;
+  os::Client client(path, policy);  // blocks through refused connects
+  EXPECT_GE(client.retries_used(), 1u);
+  os::Request stats;
+  stats.op = os::Op::Stats;
+  EXPECT_TRUE(client.call(stats).ok);
+  server.shutdown(/*cancel_running=*/true);
+  socket->stop();
+  daemon.join();
+}
+
+TEST(ClientRetry, DisconnectBeforeFirstResponseByteIsRetried) {
+  const std::string path = testing::TempDir() + "serve_retry_prebyte.sock";
+  ScriptedListener listener(path);
+  // First connection: swallow the request, answer nothing (the daemon
+  // died before executing — provably safe to re-send).
+  listener.next([](int fd) {
+    char chunk[4096];
+    (void)::recv(fd, chunk, sizeof(chunk), 0);
+  });
+  // Second connection: serve the response.
+  listener.next([](int fd) {
+    drain_one_line(fd);
+    const std::string reply = "{\"ok\":true}\n";
+    (void)::send(fd, reply.data(), reply.size(), MSG_NOSIGNAL);
+  });
+  os::RetryPolicy policy;
+  policy.retries = 3;
+  policy.backoff_ms = 1;
+  os::Client client(path, policy);
+  const std::string line = client.call_line(R"({"op":"stats"})");
+  EXPECT_TRUE(os::parse_response(line).ok);
+  EXPECT_EQ(client.retries_used(), 1u);
+}
+
+TEST(ClientRetry, DisconnectAfterFirstResponseByteNeverRetries) {
+  const std::string path = testing::TempDir() + "serve_retry_midframe.sock";
+  ScriptedListener listener(path);
+  // Send HALF a response, then hang up: the daemon may have executed a
+  // non-idempotent op, so the client MUST surface the failure instead
+  // of re-sending — even with retry budget to spare.
+  listener.next([](int fd) {
+    drain_one_line(fd);
+    (void)::send(fd, "{\"ok\":tr", 8, MSG_NOSIGNAL);
+  });
+  os::RetryPolicy policy;
+  policy.retries = 5;
+  policy.backoff_ms = 1;
+  os::Client client(path, policy);
+  try {
+    (void)client.call_line(R"({"op":"shutdown"})");
+    FAIL() << "mid-response disconnect must throw";
+  } catch (const ou::CheckError& error) {
+    EXPECT_NE(std::string(error.what()).find("mid-response"),
+              std::string::npos)
+        << error.what();
+  }
+  EXPECT_EQ(client.retries_used(), 0u);
+}
+
+namespace {
+void ignore_signal(int) {}
+}  // namespace
+
+TEST_F(ServeSocketTest, RequestSurvivesSignalStorm) {
+  // EINTR coverage: pepper the client thread with a no-SA_RESTART
+  // signal while it is blocked in recv waiting for a slow job. Both
+  // sides share the EINTR-retrying recv/send helpers, so the exchange
+  // must complete as if no signal landed.
+  struct sigaction action{};
+  struct sigaction saved{};
+  action.sa_handler = ignore_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // deliberately NOT SA_RESTART: recv returns EINTR
+  ASSERT_EQ(sigaction(SIGUSR1, &action, &saved), 0);
+
+  std::atomic<bool> done{false};
+  os::Response response;
+  std::thread requester([&] {
+    os::Client client(socket_path_);
+    os::Request submit;
+    submit.op = os::Op::Submit;
+    submit.spec.groups = 30;
+    submit.spec.bits_lo = 2;
+    submit.spec.bits_hi = 6;
+    submit.spec.seed = 6;
+    submit.wait = true;
+    response = client.call(submit);
+    done.store(true);
+  });
+  while (!done.load()) {
+    pthread_kill(requester.native_handle(), SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  requester.join();
+  ASSERT_EQ(sigaction(SIGUSR1, &saved, nullptr), 0);
+  ASSERT_TRUE(response.ok) << response.error << ": " << response.detail;
+  EXPECT_EQ(response.state, "done");
 }
 
 TEST_F(ServeSocketTest, FullJobLifecycleOverTheSocket) {

@@ -9,6 +9,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -571,6 +572,174 @@ TEST(Server, WarmStartPrimesTheCacheFromTheLedger) {
   ASSERT_TRUE(response.ok);
   EXPECT_TRUE(response.cached);
   EXPECT_EQ(server.records_appended(), 0u);
+  std::remove(path.c_str());
+}
+
+// -- per-tenant quotas -----------------------------------------------------
+
+TEST(Server, TenantMaxQueuedQuotaIsAStructuredRejection) {
+  os::ServerConfig config;
+  config.workers = 1;
+  config.tenant_max_queued = 1;
+  os::Server server(config);
+
+  // A beefier first job occupies the single worker (it pops off the
+  // queue), then one queued job fills tenant "default"'s quota.
+  os::JobSpec slow = tiny_spec(41);
+  slow.groups = 30;
+  slow.bits_hi = 6;
+  const os::Response a = server.handle(submit_request(slow, /*wait=*/false));
+  ASSERT_TRUE(a.ok);
+  for (int i = 0; i < 5000; ++i) {
+    const os::Response status =
+        server.handle(job_request(os::Op::Status, a.job));
+    if (status.state != "queued") break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const os::Response b =
+      server.handle(submit_request(tiny_spec(42), /*wait=*/false));
+  ASSERT_TRUE(b.ok) << b.error << ": " << b.detail;
+  const os::Response c =
+      server.handle(submit_request(tiny_spec(43), /*wait=*/false));
+  EXPECT_FALSE(c.ok);
+  EXPECT_EQ(c.error, "quota-exceeded");
+
+  // Another tenant's lane is unaffected: quotas are per tenant.
+  os::JobSpec other = tiny_spec(44);
+  other.tenant = "other";
+  EXPECT_TRUE(server.handle(submit_request(other, /*wait=*/false)).ok);
+
+  const oo::MetricsSnapshot snapshot = server.metrics();
+  EXPECT_EQ(snapshot.counter("serve.quota_rejected"), 1u);
+  server.shutdown(/*cancel_running=*/true);
+}
+
+TEST(Server, TenantMaxInflightQuotaCountsUntilSettle) {
+  os::ServerConfig config;
+  config.workers = 1;
+  config.tenant_max_inflight = 1;
+  os::Server server(config);
+
+  os::JobSpec slow = tiny_spec(45);
+  slow.groups = 30;
+  slow.bits_hi = 6;
+  const os::Response a = server.handle(submit_request(slow, /*wait=*/false));
+  ASSERT_TRUE(a.ok);
+  const os::Response rejected =
+      server.handle(submit_request(tiny_spec(46), /*wait=*/false));
+  EXPECT_FALSE(rejected.ok);
+  EXPECT_EQ(rejected.error, "quota-exceeded");
+
+  // Once the job settles, the slot frees and the tenant admits again.
+  const os::Response settled =
+      server.handle(job_request(os::Op::Result, a.job, /*wait=*/true));
+  ASSERT_TRUE(settled.ok);
+  const os::Response admitted =
+      server.handle(submit_request(tiny_spec(46), /*wait=*/true));
+  EXPECT_TRUE(admitted.ok) << admitted.error << ": " << admitted.detail;
+  server.shutdown(false);
+}
+
+TEST(Server, CacheServedSubmitsNeverCountAgainstQuotas) {
+  os::ServerConfig config;
+  config.workers = 1;
+  config.tenant_max_inflight = 1;
+  os::Server server(config);
+  // Warm the key, then hammer it: every hit settles instantly without
+  // touching the queue, so the quota never binds.
+  ASSERT_TRUE(server.handle(submit_request(tiny_spec(47), /*wait=*/true)).ok);
+  for (int i = 0; i < 5; ++i) {
+    const os::Response hit =
+        server.handle(submit_request(tiny_spec(47), /*wait=*/false));
+    ASSERT_TRUE(hit.ok);
+    EXPECT_EQ(hit.state, "done");
+  }
+  const oo::MetricsSnapshot snapshot = server.metrics();
+  EXPECT_EQ(snapshot.counter("serve.quota_rejected"), 0u);
+  server.shutdown(false);
+}
+
+// -- per-job deadlines -----------------------------------------------------
+
+TEST(Server, ExpiredDeadlineDegradesOntoTheTimeLimitRung) {
+  os::ServerConfig config;
+  config.workers = 1;
+  os::Server server(config);
+
+  // An effectively-expired deadline trips the run at its FIRST
+  // checkpoint: the job still settles done with a degraded record (the
+  // degradation contract — never a throw, never a lost job).
+  os::JobSpec spec = tiny_spec(51);
+  spec.groups = 30;
+  spec.bits_hi = 6;
+  spec.deadline_s = 1e-6;
+  const os::Response done =
+      server.handle(submit_request(spec, /*wait=*/true));
+  ASSERT_TRUE(done.ok) << done.error << ": " << done.detail;
+  EXPECT_EQ(done.state, "done");
+  ASSERT_TRUE(done.has_record);
+  EXPECT_TRUE(done.record.degraded);
+  EXPECT_GT(done.record.trip_checkpoint, 0u);
+  EXPECT_TRUE(has_diag(done.record, "run-time-limit"));
+
+  const oo::MetricsSnapshot snapshot = server.metrics();
+  EXPECT_EQ(snapshot.counter("serve.deadline.tripped"), 1u);
+
+  // The tripped record is real run history but never servable: a fresh
+  // submit without the deadline recomputes cleanly.
+  os::JobSpec clean = spec;
+  clean.deadline_s = 0.0;
+  const os::Response fresh =
+      server.handle(submit_request(clean, /*wait=*/true));
+  ASSERT_TRUE(fresh.ok);
+  EXPECT_FALSE(fresh.cached);
+  EXPECT_FALSE(fresh.record.degraded);
+  server.shutdown(false);
+}
+
+TEST(Server, DeadlineDoesNotChangeTheJobKey) {
+  // The deadline is wall-clock service policy, not semantics: specs
+  // differing only in deadline_s share one cache identity.
+  os::ServerConfig config;
+  config.workers = 1;
+  os::Server server(config);
+  ASSERT_TRUE(server.handle(submit_request(tiny_spec(52), /*wait=*/true)).ok);
+  os::JobSpec spec = tiny_spec(52);
+  spec.deadline_s = 3600.0;  // generous: cannot trip, must not split
+  const os::Response hit =
+      server.handle(submit_request(spec, /*wait=*/true));
+  ASSERT_TRUE(hit.ok);
+  EXPECT_TRUE(hit.cached);
+  EXPECT_EQ(server.records_appended(), 1u);
+  server.shutdown(false);
+}
+
+TEST(ResultCache, PrimeFromLedgerReportsSalvageAccount) {
+  const std::string path = temp_path("serve_prime_salvage.jsonl");
+  std::remove(path.c_str());
+  oo::LedgerRecord record;
+  record.case_id = "I1";
+  record.seed = 4;
+  record.options = "opts";
+  record.solver = "lr";
+  oo::append_ledger_record(path, record);
+  {
+    std::ofstream os(path, std::ios::app);
+    os << "torn{garbage";  // unterminated crash tail
+  }
+  os::ResultCache cache;
+  oo::LedgerSalvage salvage;
+  EXPECT_EQ(cache.prime_from_ledger(path, &salvage), 1u);
+  EXPECT_EQ(salvage.skipped, 1u);
+  EXPECT_FALSE(salvage.missing);
+  ASSERT_EQ(salvage.findings.size(), 1u);
+
+  oo::LedgerSalvage missing;
+  os::ResultCache empty;
+  EXPECT_EQ(empty.prime_from_ledger(temp_path("serve_prime_absent.jsonl"),
+                                    &missing),
+            0u);
+  EXPECT_TRUE(missing.missing);
   std::remove(path.c_str());
 }
 

@@ -125,6 +125,11 @@ int usage() {
                "[--portfolio-lanes N] "
                "[--ilp-limit SEC] [--lm DB] [--time-limit SEC] "
                "[--stop-at-checkpoint N] [--tenant NAME] [--priority P] "
+               "[--deadline SEC (wall-clock service deadline from "
+               "admission; trips the run onto the degradation ladder)] "
+               "[--retries N --retry-backoff-ms MS (reconnect with capped "
+               "exponential backoff; re-sends only before the first "
+               "response byte; exit 4 when the daemon stays unreachable)] "
                "[--wait]  # or --do status|result [--job N] [--wait] "
                "[--metrics (include per-job metric points + span summary)] "
                "| --do cancel [--job N] | --do stats [--prom (print the "
@@ -160,9 +165,18 @@ bool parse_solver(const util::Cli& cli, core::OperonOptions& options) {
       static_cast<std::size_t>(cli.get_int("portfolio-lanes", 0));
   if (cli.has("portfolio-history")) {
     // Seed the race-order selector from an existing ledger; ordering is
-    // a wall-clock concern, so any ledger (or none) gives the same plan.
-    options.portfolio.history = codesign::PortfolioHistory::from_records(
-        obs::read_ledger(cli.get("portfolio-history", "")));
+    // a wall-clock concern, so any ledger (or none) gives the same
+    // plan. Salvage read: a history ledger with a torn tail (live
+    // daemon, crashed writer) still seeds from its parseable records.
+    const std::string path = cli.get("portfolio-history", "");
+    const obs::LedgerSalvage salvage = obs::read_ledger_salvage(path);
+    OPERON_CHECK_MSG(!salvage.missing, "cannot open ledger '" << path << "'");
+    if (salvage.skipped != 0) {
+      OPERON_LOG(Warn) << "portfolio-history: skipped " << salvage.skipped
+                       << " unparseable line(s) in '" << path << "'";
+    }
+    options.portfolio.history =
+        codesign::PortfolioHistory::from_records(salvage.records);
   }
   return true;
 }
@@ -574,6 +588,10 @@ int cmd_submit(const util::Cli& cli) {
     spec.time_limit_s = cli.get_double("time-limit", 0.0);
     spec.stop_at_checkpoint =
         static_cast<std::uint64_t>(cli.get_int("stop-at-checkpoint", 0));
+    // Wall-clock service deadline, counted from admission (queue wait
+    // included). Arms the job's StopSource server-side; never part of
+    // the job key, so it cannot split the result cache.
+    spec.deadline_s = cli.get_double("deadline", 0.0);
     request.wait = cli.get_bool("wait", false);
   } else if (op == "status" || op == "result" || op == "cancel") {
     request.op = op == "status" ? serve::Op::Status
@@ -595,18 +613,38 @@ int cmd_submit(const util::Cli& cli) {
     return usage();
   }
 
-  serve::Client client(socket_path);
-  const std::string response_line =
-      client.call_line(serve::to_json_line(request));
-  const serve::Response response = serve::parse_response(response_line);
-  if (request.prom && response.ok) {
-    // The scrape surface: raw Prometheus text (already newline-real
-    // after parsing), not the JSON envelope.
-    std::fputs(response.prom.c_str(), stdout);
-  } else {
-    std::printf("%s\n", response_line.c_str());
+  serve::RetryPolicy retry;
+  retry.retries = static_cast<std::size_t>(cli.get_int("retries", 0));
+  retry.backoff_ms = static_cast<int>(cli.get_int("retry-backoff-ms", 100));
+  try {
+    serve::Client client(socket_path, retry);
+    const std::string response_line =
+        client.call_line(serve::to_json_line(request));
+    if (client.retries_used() != 0) {
+      // Client-side retry telemetry; stderr so stdout stays one JSON
+      // line for scripts.
+      OPERON_LOG(Warn) << "submit: recovered after " << client.retries_used()
+                       << " retry(ies) to " << socket_path;
+    }
+    const serve::Response response = serve::parse_response(response_line);
+    if (request.prom && response.ok) {
+      // The scrape surface: raw Prometheus text (already newline-real
+      // after parsing), not the JSON envelope.
+      std::fputs(response.prom.c_str(), stdout);
+    } else {
+      std::printf("%s\n", response_line.c_str());
+    }
+    return response.ok ? 0 : 1;
+  } catch (const util::CheckError& error) {
+    // Transport failure after retries are exhausted (connect refused,
+    // daemon died mid-exchange). Scripts parse stdout, so the failure
+    // is still one structured JSON line — with a distinct exit code so
+    // "daemon unreachable" is separable from "daemon said no" (1).
+    std::printf("%s\n", serve::to_json_line(serve::error_response(
+                            "connect-failed", error.what()))
+                            .c_str());
+    return 4;
   }
-  return response.ok ? 0 : 1;
 }
 
 // -- top: live daemon introspection ---------------------------------------

@@ -8,6 +8,10 @@
 //                [--trace-dir DIR (one Chrome trace per computed job)]
 //                [--events-out FILE (append every event as JSONL)]
 //                [--events-ring N (flight-recorder size, default 256)]
+//                [--journal FILE (durable job journal: accepted/settled)]
+//                [--recover (replay the journal; re-enqueue unsettled jobs)]
+//                [--tenant-max-queued N (per-tenant queued quota; 0 = off)]
+//                [--tenant-max-inflight N (per-tenant outstanding quota)]
 //                [--log-level debug|info|warn|error|off]
 //
 // Protocol (one JSON object per line, one response line per request):
@@ -66,7 +70,9 @@ int usage() {
                "usage: operon_serve --socket PATH [--ledger FILE] "
                "[--workers N] [--job-threads N] [--queue-limit N] "
                "[--watchdog-ms N] [--trace-dir DIR] [--events-out FILE] "
-               "[--events-ring N] [--log-level LEVEL]\n");
+               "[--events-ring N] [--journal FILE] [--recover] "
+               "[--tenant-max-queued N] [--tenant-max-inflight N] "
+               "[--log-level LEVEL]\n");
   return 1;
 }
 
@@ -100,6 +106,12 @@ int main(int argc, char** argv) {
     config.events_path = cli.get("events-out", "");
     config.events_capacity =
         static_cast<std::size_t>(cli.get_int("events-ring", 256));
+    config.journal_path = cli.get("journal", "");
+    config.recover = cli.get_bool("recover", false);
+    config.tenant_max_queued =
+        static_cast<std::size_t>(cli.get_int("tenant-max-queued", 0));
+    config.tenant_max_inflight =
+        static_cast<std::size_t>(cli.get_int("tenant-max-inflight", 0));
     config.session_stop = signal_stop_source().token();
 
     std::signal(SIGINT, handle_stop_signal);
